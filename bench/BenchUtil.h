@@ -1,0 +1,64 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers ---------------------===//
+
+#ifndef SMLTC_BENCH_BENCHUTIL_H
+#define SMLTC_BENCH_BENCHUTIL_H
+
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace smltc {
+namespace bench {
+
+struct Measurement {
+  bool Ok = false;
+  uint64_t Cycles = 0;
+  uint64_t AllocWords = 0;
+  size_t CodeSize = 0;
+  double CompileSec = 0;
+  int64_t Result = 0;
+};
+
+inline Measurement measure(const std::string &Source,
+                           const CompilerOptions &Opts) {
+  Measurement M;
+  CompileOutput C = Compiler::compile(Source, Opts);
+  if (!C.Ok) {
+    std::fprintf(stderr, "compile failed (%s): %s\n", Opts.VariantName,
+                 C.Errors.c_str());
+    return M;
+  }
+  M.CompileSec = C.Metrics.TotalSec;
+  M.CodeSize = C.Metrics.CodeSize;
+  VmOptions V;
+  V.UnalignedFloats = Opts.UnalignedFloats;
+  ExecResult R = execute(C.Program, V);
+  if (!R.Ok || R.UncaughtException) {
+    std::fprintf(stderr, "run failed (%s): %s\n", Opts.VariantName,
+                 R.TrapMessage.c_str());
+    return M;
+  }
+  M.Ok = true;
+  M.Cycles = R.Cycles;
+  M.AllocWords = R.AllocWords32;
+  M.Result = R.Result;
+  return M;
+}
+
+inline double geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double S = 0;
+  for (double X : Xs)
+    S += std::log(X);
+  return std::exp(S / static_cast<double>(Xs.size()));
+}
+
+} // namespace bench
+} // namespace smltc
+
+#endif // SMLTC_BENCH_BENCHUTIL_H

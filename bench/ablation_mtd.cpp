@@ -1,0 +1,70 @@
+//===- bench/ablation_mtd.cpp - Section 6 MTD / Life ablation --------------------===//
+//
+// The paper: "The only significant speedup of the sml.mtd compiler over
+// sml.rep is from the Life benchmark where with MTD, the (slow)
+// polymorphic equality in a tight loop (testing membership of an element
+// in a set) is successfully transformed into a (fast) monomorphic
+// equality operator — and the program runs 10 times faster."
+//
+// We measure (a) the full Life benchmark and (b) its isolated membership
+// kernel under sml.rep vs sml.mtd.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace smltc;
+using namespace smltc::bench;
+
+namespace {
+
+// The membership loop in isolation: a local (signature-hidden) member
+// used only at (int * int).
+const char *MemberKernel = R"ML(
+structure Main : sig val main : unit -> int end = struct
+  fun member (c, l) =
+    case l of
+      nil => false
+    | x :: r => x = c orelse member (c, r)
+
+  fun mkSet (0, acc) = acc
+    | mkSet (n, acc) = mkSet (n - 1, (n, n * 7 mod 23) :: acc)
+
+  fun countHits (set, 0, acc) = acc
+    | countHits (set, k, acc) =
+        if member ((k mod 31, (k * 7) mod 23), set)
+        then countHits (set, k - 1, acc + 1)
+        else countHits (set, k - 1, acc)
+
+  fun main () = countHits (mkSet (30, nil), 20000, 0)
+end
+)ML";
+
+void report(const char *What, const std::string &Src) {
+  Measurement Rep = measure(Src, CompilerOptions::rep());
+  Measurement Mtd = measure(Src, CompilerOptions::mtd());
+  if (!Rep.Ok || !Mtd.Ok)
+    return;
+  std::printf("%-22s  %14llu  %14llu  %8.2fx\n", What,
+              static_cast<unsigned long long>(Rep.Cycles),
+              static_cast<unsigned long long>(Mtd.Cycles),
+              static_cast<double>(Rep.Cycles) /
+                  static_cast<double>(Mtd.Cycles));
+}
+
+} // namespace
+
+int main() {
+  std::printf("Section 6 ablation: minimum typing derivations "
+              "(sml.rep vs sml.mtd)\n\n");
+  std::printf("%-22s  %14s  %14s  %8s\n", "program", "rep cycles",
+              "mtd cycles", "speedup");
+  report("Life (full)", findBenchmark("Life")->Source);
+  report("membership kernel", MemberKernel);
+  std::printf("\nThe kernel isolates the paper's anecdote: hidden, "
+              "locally-monomorphic equality becomes a primitive compare "
+              "instead of a runtime structural walk.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+//===- bench/ablation_wrapcancel.cpp - Section 5.2 wrap/unwrap cancellation ------===//
+//
+// The paper: "two new CPS optimizations are performed: pairs of 'wrapper'
+// and 'unwrapper' operations are cancelled; and record copying operations
+// ... can be eliminated" and "simple dataflow optimizations (cancelling
+// wrap/unwrap pairs in the CPS back end) is almost as effective as
+// type-theory-based wrapper elimination."
+//
+// We run the float-intensive benchmarks under sml.rep (floats boxed, so
+// wrap/unwrap pairs abound) with the cancellation on and off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace smltc;
+using namespace smltc::bench;
+
+int main() {
+  std::printf("Section 5.2 ablation: wrap/unwrap pair cancellation and "
+              "record-copy elimination under sml.rep\n\n");
+  std::printf("%-10s  %14s  %14s  %9s  %12s  %12s\n", "bench",
+              "cycles (off)", "cycles (on)", "speedup", "alloc (off)",
+              "alloc (on)");
+  for (const char *Name : {"MBrot", "BHut", "Ray", "Nucleic", "Simple"}) {
+    const BenchmarkProgram *B = findBenchmark(Name);
+    CompilerOptions Off = CompilerOptions::rep();
+    Off.CpsWrapCancel = false;
+    Off.CpsRecordCopyElim = false;
+    CompilerOptions On = CompilerOptions::rep();
+    Measurement MOff = measure(B->Source, Off);
+    Measurement MOn = measure(B->Source, On);
+    if (!MOff.Ok || !MOn.Ok)
+      continue;
+    std::printf("%-10s  %14llu  %14llu  %8.2fx  %12llu  %12llu\n", Name,
+                static_cast<unsigned long long>(MOff.Cycles),
+                static_cast<unsigned long long>(MOn.Cycles),
+                static_cast<double>(MOff.Cycles) /
+                    static_cast<double>(MOn.Cycles),
+                static_cast<unsigned long long>(MOff.AllocWords),
+                static_cast<unsigned long long>(MOn.AllocWords));
+  }
+  return 0;
+}

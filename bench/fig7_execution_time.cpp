@@ -1,0 +1,53 @@
+//===- bench/fig7_execution_time.cpp - Paper Figure 7 ---------------------------===//
+//
+// Reproduces Figure 7: the execution time of all twelve benchmarks under
+// the six compilers, as ratios to sml.nrp. The paper plots these as bars;
+// we print the table of the same series.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace smltc;
+using namespace smltc::bench;
+
+int main() {
+  size_t NumVariants;
+  const CompilerOptions *Variants =
+      CompilerOptions::allVariants(NumVariants);
+
+  std::printf("Figure 7: execution time relative to sml.nrp "
+              "(lower is better)\n\n");
+  std::printf("%-8s", "bench");
+  for (size_t V = 0; V < NumVariants; ++V)
+    std::printf("  %8s", Variants[V].VariantName + 4); // drop "sml."
+  std::printf("\n");
+
+  std::vector<std::vector<double>> Ratios(NumVariants);
+  for (const BenchmarkProgram &B : benchmarkCorpus()) {
+    std::printf("%-8s", B.Name);
+    uint64_t Base = 0;
+    for (size_t V = 0; V < NumVariants; ++V) {
+      Measurement M = measure(B.Source, Variants[V]);
+      if (!M.Ok) {
+        std::printf("  %8s", "FAIL");
+        continue;
+      }
+      if (V == 0)
+        Base = M.Cycles;
+      double R = static_cast<double>(M.Cycles) /
+                 static_cast<double>(Base);
+      Ratios[V].push_back(R);
+      std::printf("  %8.2f", R);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s", "Average");
+  for (size_t V = 0; V < NumVariants; ++V)
+    std::printf("  %8.2f", geomean(Ratios[V]));
+  std::printf("\n\nPaper's averages:  1.00  0.95  0.89  0.83  0.77  "
+              "0.81\n");
+  return 0;
+}

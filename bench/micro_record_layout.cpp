@@ -1,0 +1,85 @@
+//===- bench/micro_record_layout.cpp - Figures 1-2 record layouts ----------------===//
+//
+// Micro-benchmarks (google-benchmark) for the representation choices of
+// Figures 1 and 2: a record-build/traverse kernel compiled under standard
+// boxed representations (Figure 1a) vs flat/reordered layouts (Figures
+// 1b/1c), and a list-of-float-pairs kernel paying the Leroy coercion at
+// datatype boundaries (Figure 2a). Counters report the VM's deterministic
+// cycle and allocation metrics; wall time reports the compiler+VM host
+// cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace smltc;
+using namespace smltc::bench;
+
+namespace {
+
+// Figure 1: mixed records (4.51, "hello", 3.14, "world") built and read.
+const char *MixedRecordKernel = R"ML(
+fun spin (0, acc : real) = acc
+  | spin (n, acc) =
+      let val x = (4.51, n, 3.14, n * 2)
+          val y = (#1 x + real (#2 x), #3 x, 2.87)
+      in spin (n - 1, acc + #1 y + #2 y + #3 y) end
+fun main () = floor (spin (4000, 0.0))
+)ML";
+
+// Figure 2: a (real * real) list built once and traversed (the elements
+// are recursively boxed; fetching coerces to the flat representation).
+const char *FloatPairListKernel = R"ML(
+fun mk (0, acc) = acc
+  | mk (n, acc) = mk (n - 1, (real n, real (n * 2)) :: acc)
+fun total (nil, acc : real) = acc
+  | total ((a, b) :: r, acc) = total (r, acc + a + b)
+fun spin (0, l, acc : real) = acc
+  | spin (k, l, acc) = spin (k - 1, l, total (l, acc))
+fun main () = floor (spin (60, mk (120, nil), 0.0))
+)ML";
+
+void runKernel(benchmark::State &State, const char *Source,
+               CompilerOptions (*Variant)()) {
+  CompilerOptions O = Variant();
+  uint64_t Cycles = 0, Alloc = 0;
+  for (auto _ : State) {
+    Measurement M = measure(Source, O);
+    if (!M.Ok) {
+      State.SkipWithError("kernel failed");
+      return;
+    }
+    Cycles = M.Cycles;
+    Alloc = M.AllocWords;
+  }
+  State.counters["vm_cycles"] = static_cast<double>(Cycles);
+  State.counters["alloc_words32"] = static_cast<double>(Alloc);
+}
+
+void BM_MixedRecord_nrp(benchmark::State &S) {
+  runKernel(S, MixedRecordKernel, CompilerOptions::nrp);
+}
+void BM_MixedRecord_rep(benchmark::State &S) {
+  runKernel(S, MixedRecordKernel, CompilerOptions::rep);
+}
+void BM_MixedRecord_ffb(benchmark::State &S) {
+  runKernel(S, MixedRecordKernel, CompilerOptions::ffb);
+}
+void BM_FloatPairList_nrp(benchmark::State &S) {
+  runKernel(S, FloatPairListKernel, CompilerOptions::nrp);
+}
+void BM_FloatPairList_ffb(benchmark::State &S) {
+  runKernel(S, FloatPairListKernel, CompilerOptions::ffb);
+}
+
+BENCHMARK(BM_MixedRecord_nrp);
+BENCHMARK(BM_MixedRecord_rep);
+BENCHMARK(BM_MixedRecord_ffb);
+BENCHMARK(BM_FloatPairList_nrp);
+BENCHMARK(BM_FloatPairList_ffb);
+
+} // namespace
+
+BENCHMARK_MAIN();

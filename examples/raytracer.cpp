@@ -1,0 +1,91 @@
+//===- examples/raytracer.cpp - An ASCII ray tracer in MiniML ---------------------===//
+//
+// A complete SML program rendering a sphere scene to ASCII art through the
+// compiler's string runtime — floats, tuples, lists, strings, and
+// higher-order functions all in one pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+
+using namespace smltc;
+
+int main() {
+  const char *Tracer = R"ML(
+    fun dot ((ax : real, ay : real, az : real), (bx, by, bz)) =
+      ax * bx + ay * by + az * bz
+    fun vsub ((ax : real, ay : real, az : real), (bx, by, bz)) =
+      (ax - bx, ay - by, az - bz)
+    fun vscale (s : real, (x, y, z)) = (s * x, s * y, s * z)
+    fun vnorm v = let val d = sqrt (dot (v, v)) in vscale (1.0 / d, v) end
+
+    fun hitT (dir, center, radius : real) =
+      let val b = 2.0 * dot (vscale (0.0 - 1.0, center), dir)
+          val c = dot (center, center) - radius * radius
+          val disc = b * b - 4.0 * c
+      in if disc < 0.0 then 0.0 - 1.0
+         else (0.0 - b - sqrt disc) * 0.5
+      end
+
+    fun brightness (dir, spheres) =
+      let fun go (nil, bt, bc) = (bt, bc)
+            | go ((c, r) :: rest, bt, bc) =
+                let val t = hitT (dir, c, r)
+                in if t > 0.001 andalso (bt < 0.0 orelse t < bt)
+                   then go (rest, t, c :: nil)
+                   else go (rest, bt, bc)
+                end
+          val (t, bc) = go (spheres, 0.0 - 1.0, nil)
+      in case bc of
+           nil => 0.0
+         | c :: _ =>
+             let val p = vscale (t, dir)
+                 val n = vnorm (vsub (p, c))
+                 val l = vnorm (0.5, 0.7, 0.0 - 0.6)
+                 val d = dot (n, l)
+             in if d > 0.0 then 0.15 + d * 0.85 else 0.1 end
+      end
+
+    fun shadeChar b =
+      if b <= 0.0 then chr 32
+      else if b < 0.25 then chr 46      (* . *)
+      else if b < 0.5 then chr 43       (* + *)
+      else if b < 0.75 then chr 111     (* o *)
+      else chr 64                       (* @ *)
+
+    fun render (w, h, spheres) =
+      let fun row (y, x) =
+            if x >= w then print "\n"
+            else
+              let val dx = (real x - real w * 0.5) / real w * 1.6
+                  val dy = (real y - real h * 0.5) / real h * 1.2
+                  val dir = vnorm (dx, dy, 1.0)
+              in print (shadeChar (brightness (dir, spheres)));
+                 row (y, x + 1)
+              end
+          fun rows y =
+            if y >= h then ()
+            else (row (y, 0); rows (y + 1))
+      in rows 0 end
+
+    fun main () =
+      let val scene = [((0.0, 0.0, 4.0), 1.0),
+                       ((1.4, 0.7, 5.5), 0.8),
+                       ((0.0 - 1.5, 0.0 - 0.5, 3.5), 0.45)]
+      in render (46, 20, scene); 0 end
+  )ML";
+
+  ExecResult R =
+      Compiler::compileAndRun(Tracer, CompilerOptions::ffb());
+  if (!R.Ok || R.UncaughtException) {
+    std::fprintf(stderr, "failed: %s\n", R.TrapMessage.c_str());
+    return 1;
+  }
+  std::printf("%s", R.Output.c_str());
+  std::printf("\nrendered in %llu VM cycles, %llu words allocated\n",
+              static_cast<unsigned long long>(R.Cycles),
+              static_cast<unsigned long long>(R.AllocWords32));
+  return 0;
+}

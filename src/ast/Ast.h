@@ -1,0 +1,276 @@
+//===- ast/Ast.h - Raw abstract syntax ------------------------------------===//
+///
+/// \file
+/// The raw abstract syntax produced by the parser, before elaboration. Nodes
+/// are arena-allocated, kind-tagged structs. Identifiers in expressions and
+/// patterns are unresolved long identifiers (the elaborator classifies them
+/// as variables vs. data constructors).
+///
+/// Desugarings done by the parser so later phases never see them:
+///   - list literals [e1,...,en] become e1 :: ... :: nil
+///   - infix operator applications become App(Ident op, Tuple(l, r))
+///   - `fun f p1 p2 = e` clauses become curried `fn` matches (in elaboration)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_AST_AST_H
+#define SMLTC_AST_AST_H
+
+#include "support/Arena.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+
+namespace smltc {
+namespace ast {
+
+/// A possibly-qualified identifier: Quals.back() is the name, preceding
+/// symbols are structure qualifiers (e.g. S.T.x).
+struct LongId {
+  Span<Symbol> Parts;
+  Symbol name() const { return Parts.back(); }
+  bool isQualified() const { return Parts.size() > 1; }
+};
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+struct Ty {
+  enum class Kind : uint8_t { Var, Con, Tuple, Arrow };
+  Kind K;
+  SourceLoc Loc;
+
+  // Var
+  Symbol VarName;
+  bool IsEqVar = false;
+  // Con: Args applied to a (possibly qualified) type constructor.
+  Span<Ty *> Args;
+  LongId ConName;
+  // Tuple
+  Span<Ty *> Elems;
+  // Arrow
+  Ty *From = nullptr;
+  Ty *To = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+struct Pat {
+  enum class Kind : uint8_t {
+    Wild,   ///< _
+    Ident,  ///< variable or nullary constructor (resolved in elaboration)
+    Int,
+    String,
+    Tuple,
+    App,    ///< constructor applied to an argument pattern
+    Typed,  ///< pat : ty
+    Layered ///< x as pat
+  };
+  Kind K;
+  SourceLoc Loc;
+
+  LongId Name;              // Ident, App (constructor)
+  int64_t IntValue = 0;     // Int
+  Symbol StrValue;          // String (interned)
+  Span<Pat *> Elems;        // Tuple
+  Pat *Arg = nullptr;       // App, Typed, Layered
+  Ty *Annot = nullptr;      // Typed
+  Symbol AsVar;             // Layered
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Dec;
+
+struct Exp;
+
+/// One `pat => exp` arm of a match.
+struct Rule {
+  Pat *P;
+  Exp *E;
+};
+
+struct Exp {
+  enum class Kind : uint8_t {
+    Int,
+    Real,
+    String,
+    Ident,
+    Tuple,   ///< (e1, ..., en); () is the 0-tuple (unit)
+    Select,  ///< #i e  (tuple field selection)
+    App,
+    Fn,      ///< fn match
+    Case,
+    If,
+    Andalso,
+    Orelse,
+    Let,     ///< let decs in e1; ...; en end
+    Seq,     ///< (e1; ...; en)
+    Raise,
+    Handle,
+    Typed,   ///< e : ty
+  };
+  Kind K;
+  SourceLoc Loc;
+
+  int64_t IntValue = 0;
+  double RealValue = 0;
+  Symbol StrValue;
+  LongId Name;             // Ident
+  Span<Exp *> Elems;       // Tuple, Seq, Let body
+  int SelectIndex = 0;     // Select (1-based, as written)
+  Exp *Fun = nullptr;      // App
+  Exp *Arg = nullptr;      // App, Select, Raise, Typed, Handle(scrutinee)
+  Span<Rule> Rules;        // Fn, Case, Handle
+  Exp *Scrut = nullptr;    // Case, If(cond)
+  Exp *Then = nullptr;     // If, Andalso/Orelse lhs
+  Exp *Else = nullptr;     // If, Andalso/Orelse rhs
+  Span<Dec *> Decs;        // Let
+  Ty *Annot = nullptr;     // Typed
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations (core and module)
+//===----------------------------------------------------------------------===//
+
+struct ConBind {
+  Symbol Name;
+  Ty *OfTy; ///< null for constant constructors
+};
+
+struct DatBind {
+  Span<Symbol> TyVars;
+  Symbol Name;
+  Span<ConBind> Cons;
+};
+
+/// One clause of a clausal `fun` binding: f p1 ... pn = body.
+struct FunClause {
+  Span<Pat *> Params;
+  Ty *ResultAnnot; ///< optional
+  Exp *Body;
+};
+
+struct FunBind {
+  Symbol Name;
+  SourceLoc Loc;
+  Span<FunClause> Clauses;
+};
+
+struct SigExp;
+struct StrExp;
+struct Spec;
+
+/// How a structure expression is constrained by a signature.
+enum class SigConstraintKind : uint8_t { None, Transparent, Opaque };
+
+struct Dec {
+  enum class Kind : uint8_t {
+    Val,       ///< val pat = exp
+    ValRec,    ///< val rec f = fn ...
+    Fun,       ///< fun f p = e | ... and g ...
+    Datatype,
+    TypeAbbrev,
+    Exception,
+    Structure,
+    Signature,
+    Functor,
+    Open,      ///< open S (unsupported; parser rejects)
+  };
+  Kind K;
+  SourceLoc Loc;
+
+  // Val
+  Pat *ValPat = nullptr;
+  Exp *ValExp = nullptr;
+  // ValRec: parallel arrays of names and fn-expressions.
+  Span<Symbol> RecNames;
+  Span<Exp *> RecExps;
+  // Fun
+  Span<FunBind> FunBinds;
+  // Datatype
+  Span<DatBind> DatBinds;
+  // TypeAbbrev
+  Span<Symbol> TyVars;
+  Symbol TypeName;
+  Ty *TypeBody = nullptr;
+  // Exception
+  Symbol ExnName;
+  Ty *ExnOfTy = nullptr; ///< null for constant exceptions
+  // Structure
+  Symbol StrName;
+  SigConstraintKind StrConstraint = SigConstraintKind::None;
+  SigExp *StrSig = nullptr;
+  StrExp *StrBody = nullptr;
+  // Signature
+  Symbol SigName;
+  SigExp *SigBody = nullptr;
+  // Functor
+  Symbol FctName;
+  Symbol FctArgName;
+  SigExp *FctArgSig = nullptr;
+  SigConstraintKind FctConstraint = SigConstraintKind::None;
+  SigExp *FctResultSig = nullptr;
+  StrExp *FctBody = nullptr;
+};
+
+struct StrExp {
+  enum class Kind : uint8_t {
+    Struct, ///< struct decs end
+    Var,    ///< longid
+    App,    ///< F (strexp)
+  };
+  Kind K;
+  SourceLoc Loc;
+
+  Span<Dec *> Decs;    // Struct
+  LongId Name;         // Var
+  Symbol FctName;      // App
+  StrExp *Arg = nullptr;
+};
+
+struct Spec {
+  enum class Kind : uint8_t {
+    Val,       ///< val x : ty
+    Type,      ///< type ('a,...) t [= ty]
+    EqType,    ///< eqtype t (treated as Type with equality flag)
+    Datatype,
+    Exception,
+    Structure,
+  };
+  Kind K;
+  SourceLoc Loc;
+
+  Symbol Name;
+  Ty *ValTy = nullptr;        // Val
+  Span<Symbol> TyVars;        // Type
+  Ty *Manifest = nullptr;     // Type (optional `= ty`)
+  DatBind DatB;               // Datatype
+  Ty *ExnOfTy = nullptr;      // Exception (optional)
+  SigExp *StrSig = nullptr;   // Structure
+};
+
+struct SigExp {
+  enum class Kind : uint8_t { Sig, Var };
+  Kind K;
+  SourceLoc Loc;
+
+  Span<Spec *> Specs; // Sig
+  Symbol Name;        // Var
+};
+
+/// A full program: a sequence of top-level declarations.
+struct Program {
+  Span<Dec *> Decs;
+};
+
+} // namespace ast
+} // namespace smltc
+
+#endif // SMLTC_AST_AST_H

@@ -1,0 +1,347 @@
+//===- ast/AstPrinter.cpp - S-expression AST dumper ------------------------===//
+
+#include "ast/AstPrinter.h"
+
+#include <sstream>
+
+using namespace smltc;
+using namespace smltc::ast;
+
+namespace {
+
+void printLongId(std::ostringstream &OS, const LongId &Id) {
+  for (size_t I = 0; I < Id.Parts.size(); ++I) {
+    if (I)
+      OS << '.';
+    OS << Id.Parts[I].str();
+  }
+}
+
+void emitTy(std::ostringstream &OS, const Ty *T);
+void emitPat(std::ostringstream &OS, const Pat *P);
+void emitExp(std::ostringstream &OS, const Exp *E);
+void emitDec(std::ostringstream &OS, const Dec *D);
+
+void emitTy(std::ostringstream &OS, const Ty *T) {
+  switch (T->K) {
+  case Ty::Kind::Var:
+    OS << '\'' << T->VarName.str();
+    return;
+  case Ty::Kind::Con:
+    if (!T->Args.empty()) {
+      OS << "(";
+      for (size_t I = 0; I < T->Args.size(); ++I) {
+        if (I)
+          OS << ' ';
+        emitTy(OS, T->Args[I]);
+      }
+      OS << ") ";
+    }
+    printLongId(OS, T->ConName);
+    return;
+  case Ty::Kind::Tuple:
+    OS << "(tuple";
+    for (const Ty *E : T->Elems) {
+      OS << ' ';
+      emitTy(OS, E);
+    }
+    OS << ')';
+    return;
+  case Ty::Kind::Arrow:
+    OS << "(-> ";
+    emitTy(OS, T->From);
+    OS << ' ';
+    emitTy(OS, T->To);
+    OS << ')';
+    return;
+  }
+}
+
+void emitPat(std::ostringstream &OS, const Pat *P) {
+  switch (P->K) {
+  case Pat::Kind::Wild:
+    OS << '_';
+    return;
+  case Pat::Kind::Ident:
+    printLongId(OS, P->Name);
+    return;
+  case Pat::Kind::Int:
+    OS << P->IntValue;
+    return;
+  case Pat::Kind::String:
+    OS << '"' << P->StrValue.str() << '"';
+    return;
+  case Pat::Kind::Tuple:
+    OS << "(ptuple";
+    for (const Pat *E : P->Elems) {
+      OS << ' ';
+      emitPat(OS, E);
+    }
+    OS << ')';
+    return;
+  case Pat::Kind::App:
+    OS << "(pcon ";
+    printLongId(OS, P->Name);
+    OS << ' ';
+    emitPat(OS, P->Arg);
+    OS << ')';
+    return;
+  case Pat::Kind::Typed:
+    OS << "(ptyped ";
+    emitPat(OS, P->Arg);
+    OS << ' ';
+    emitTy(OS, P->Annot);
+    OS << ')';
+    return;
+  case Pat::Kind::Layered:
+    OS << "(as " << P->AsVar.str() << ' ';
+    emitPat(OS, P->Arg);
+    OS << ')';
+    return;
+  }
+}
+
+void emitExp(std::ostringstream &OS, const Exp *E) {
+  switch (E->K) {
+  case Exp::Kind::Int:
+    OS << E->IntValue;
+    return;
+  case Exp::Kind::Real:
+    OS << E->RealValue;
+    return;
+  case Exp::Kind::String:
+    OS << '"' << E->StrValue.str() << '"';
+    return;
+  case Exp::Kind::Ident:
+    printLongId(OS, E->Name);
+    return;
+  case Exp::Kind::Tuple:
+    OS << "(tuple";
+    for (const Exp *X : E->Elems) {
+      OS << ' ';
+      emitExp(OS, X);
+    }
+    OS << ')';
+    return;
+  case Exp::Kind::Select:
+    OS << "(#" << E->SelectIndex << ' ';
+    emitExp(OS, E->Arg);
+    OS << ')';
+    return;
+  case Exp::Kind::App:
+    OS << "(app ";
+    emitExp(OS, E->Fun);
+    OS << ' ';
+    emitExp(OS, E->Arg);
+    OS << ')';
+    return;
+  case Exp::Kind::Fn:
+    OS << "(fn";
+    for (const Rule &R : E->Rules) {
+      OS << " (";
+      emitPat(OS, R.P);
+      OS << " => ";
+      emitExp(OS, R.E);
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  case Exp::Kind::Case:
+    OS << "(case ";
+    emitExp(OS, E->Scrut);
+    for (const Rule &R : E->Rules) {
+      OS << " (";
+      emitPat(OS, R.P);
+      OS << " => ";
+      emitExp(OS, R.E);
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  case Exp::Kind::If:
+    OS << "(if ";
+    emitExp(OS, E->Scrut);
+    OS << ' ';
+    emitExp(OS, E->Then);
+    OS << ' ';
+    emitExp(OS, E->Else);
+    OS << ')';
+    return;
+  case Exp::Kind::Andalso:
+    OS << "(andalso ";
+    emitExp(OS, E->Then);
+    OS << ' ';
+    emitExp(OS, E->Else);
+    OS << ')';
+    return;
+  case Exp::Kind::Orelse:
+    OS << "(orelse ";
+    emitExp(OS, E->Then);
+    OS << ' ';
+    emitExp(OS, E->Else);
+    OS << ')';
+    return;
+  case Exp::Kind::Let:
+    OS << "(let (";
+    for (size_t I = 0; I < E->Decs.size(); ++I) {
+      if (I)
+        OS << ' ';
+      emitDec(OS, E->Decs[I]);
+    }
+    OS << ')';
+    for (const Exp *X : E->Elems) {
+      OS << ' ';
+      emitExp(OS, X);
+    }
+    OS << ')';
+    return;
+  case Exp::Kind::Seq:
+    OS << "(seq";
+    for (const Exp *X : E->Elems) {
+      OS << ' ';
+      emitExp(OS, X);
+    }
+    OS << ')';
+    return;
+  case Exp::Kind::Raise:
+    OS << "(raise ";
+    emitExp(OS, E->Arg);
+    OS << ')';
+    return;
+  case Exp::Kind::Handle:
+    OS << "(handle ";
+    emitExp(OS, E->Arg);
+    for (const Rule &R : E->Rules) {
+      OS << " (";
+      emitPat(OS, R.P);
+      OS << " => ";
+      emitExp(OS, R.E);
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  case Exp::Kind::Typed:
+    OS << "(typed ";
+    emitExp(OS, E->Arg);
+    OS << ' ';
+    emitTy(OS, E->Annot);
+    OS << ')';
+    return;
+  }
+}
+
+void emitDec(std::ostringstream &OS, const Dec *D) {
+  switch (D->K) {
+  case Dec::Kind::Val:
+    OS << "(val ";
+    emitPat(OS, D->ValPat);
+    OS << ' ';
+    emitExp(OS, D->ValExp);
+    OS << ')';
+    return;
+  case Dec::Kind::ValRec:
+    OS << "(valrec";
+    for (size_t I = 0; I < D->RecNames.size(); ++I) {
+      OS << " (" << D->RecNames[I].str() << ' ';
+      emitExp(OS, D->RecExps[I]);
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  case Dec::Kind::Fun:
+    OS << "(fun";
+    for (const FunBind &FB : D->FunBinds) {
+      OS << " (" << FB.Name.str();
+      for (const FunClause &C : FB.Clauses) {
+        OS << " (";
+        for (size_t I = 0; I < C.Params.size(); ++I) {
+          if (I)
+            OS << ' ';
+          emitPat(OS, C.Params[I]);
+        }
+        OS << " = ";
+        emitExp(OS, C.Body);
+        OS << ')';
+      }
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  case Dec::Kind::Datatype:
+    OS << "(datatype";
+    for (const DatBind &DB : D->DatBinds) {
+      OS << " (" << DB.Name.str();
+      for (const ConBind &CB : DB.Cons) {
+        OS << ' ' << CB.Name.str();
+        if (CB.OfTy) {
+          OS << ":";
+          emitTy(OS, CB.OfTy);
+        }
+      }
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  case Dec::Kind::TypeAbbrev:
+    OS << "(type " << D->TypeName.str() << ' ';
+    emitTy(OS, D->TypeBody);
+    OS << ')';
+    return;
+  case Dec::Kind::Exception:
+    OS << "(exception " << D->ExnName.str();
+    if (D->ExnOfTy) {
+      OS << " of ";
+      emitTy(OS, D->ExnOfTy);
+    }
+    OS << ')';
+    return;
+  case Dec::Kind::Structure:
+    OS << "(structure " << D->StrName.str() << ')';
+    return;
+  case Dec::Kind::Signature:
+    OS << "(signature " << D->SigName.str() << ')';
+    return;
+  case Dec::Kind::Functor:
+    OS << "(functor " << D->FctName.str() << ')';
+    return;
+  case Dec::Kind::Open:
+    OS << "(open)";
+    return;
+  }
+}
+
+} // namespace
+
+std::string smltc::printExp(const Exp *E) {
+  std::ostringstream OS;
+  emitExp(OS, E);
+  return OS.str();
+}
+
+std::string smltc::printPat(const Pat *P) {
+  std::ostringstream OS;
+  emitPat(OS, P);
+  return OS.str();
+}
+
+std::string smltc::printTy(const Ty *T) {
+  std::ostringstream OS;
+  emitTy(OS, T);
+  return OS.str();
+}
+
+std::string smltc::printDec(const Dec *D) {
+  std::ostringstream OS;
+  emitDec(OS, D);
+  return OS.str();
+}
+
+std::string smltc::printProgram(const Program &P) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < P.Decs.size(); ++I) {
+    if (I)
+      OS << '\n';
+    emitDec(OS, P.Decs[I]);
+  }
+  return OS.str();
+}

@@ -1,0 +1,25 @@
+//===- ast/AstPrinter.h - S-expression AST dumper --------------------------===//
+///
+/// \file
+/// Renders raw AST nodes as compact s-expressions for tests and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_AST_ASTPRINTER_H
+#define SMLTC_AST_ASTPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace smltc {
+
+std::string printExp(const ast::Exp *E);
+std::string printPat(const ast::Pat *P);
+std::string printTy(const ast::Ty *T);
+std::string printDec(const ast::Dec *D);
+std::string printProgram(const ast::Program &P);
+
+} // namespace smltc
+
+#endif // SMLTC_AST_ASTPRINTER_H

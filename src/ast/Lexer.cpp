@@ -1,0 +1,319 @@
+//===- ast/Lexer.cpp - MiniML lexer ----------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+using namespace smltc;
+
+const char *smltc::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof: return "end of input";
+  case TokKind::IntLit: return "integer literal";
+  case TokKind::RealLit: return "real literal";
+  case TokKind::StringLit: return "string literal";
+  case TokKind::Ident: return "identifier";
+  case TokKind::TyVar: return "type variable";
+  case TokKind::EqTyVar: return "equality type variable";
+  case TokKind::KwAbstraction: return "'abstraction'";
+  case TokKind::KwAnd: return "'and'";
+  case TokKind::KwAndalso: return "'andalso'";
+  case TokKind::KwCase: return "'case'";
+  case TokKind::KwDatatype: return "'datatype'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwEnd: return "'end'";
+  case TokKind::KwException: return "'exception'";
+  case TokKind::KwFn: return "'fn'";
+  case TokKind::KwFun: return "'fun'";
+  case TokKind::KwFunctor: return "'functor'";
+  case TokKind::KwHandle: return "'handle'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwIn: return "'in'";
+  case TokKind::KwLet: return "'let'";
+  case TokKind::KwOf: return "'of'";
+  case TokKind::KwOp: return "'op'";
+  case TokKind::KwOrelse: return "'orelse'";
+  case TokKind::KwRaise: return "'raise'";
+  case TokKind::KwRec: return "'rec'";
+  case TokKind::KwSig: return "'sig'";
+  case TokKind::KwSignature: return "'signature'";
+  case TokKind::KwStruct: return "'struct'";
+  case TokKind::KwStructure: return "'structure'";
+  case TokKind::KwThen: return "'then'";
+  case TokKind::KwType: return "'type'";
+  case TokKind::KwVal: return "'val'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Comma: return "','";
+  case TokKind::Semi: return "';'";
+  case TokKind::Underscore: return "'_'";
+  case TokKind::Dot: return "'.'";
+  case TokKind::Bar: return "'|'";
+  case TokKind::Equal: return "'='";
+  case TokKind::DArrow: return "'=>'";
+  case TokKind::Arrow: return "'->'";
+  case TokKind::Colon: return "':'";
+  case TokKind::ColonGt: return "':>'";
+  case TokKind::Hash: return "'#'";
+  }
+  return "<unknown token>";
+}
+
+char Lexer::advance() {
+  assert(Pos < Src.size());
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+static bool isSymbolicChar(char C) {
+  switch (C) {
+  case '!': case '%': case '&': case '$': case '+': case '-': case '/':
+  case ':': case '<': case '=': case '>': case '?': case '@': case '\\':
+  case '~': case '`': case '^': case '|': case '*': case '#':
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '(' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      int Depth = 1;
+      while (Depth > 0) {
+        if (Pos >= Src.size()) {
+          Diags.error(Start, "unterminated comment");
+          return;
+        }
+        char D = advance();
+        if (D == '(' && peek() == '*') {
+          advance();
+          ++Depth;
+        } else if (D == '*' && peek() == ')') {
+          advance();
+          --Depth;
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexNumber(bool Negative) {
+  std::string Digits;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Digits.push_back(advance());
+  bool IsReal = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsReal = true;
+    Digits.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(advance());
+  }
+  if ((peek() == 'e' || peek() == 'E') &&
+      (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+       (peek(1) == '~' &&
+        std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+    IsReal = true;
+    advance();
+    Digits.push_back('e');
+    if (peek() == '~') {
+      advance();
+      Digits.push_back('-');
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(advance());
+  }
+  if (IsReal) {
+    Token T = make(TokKind::RealLit);
+    T.RealValue = std::strtod(Digits.c_str(), nullptr);
+    if (Negative)
+      T.RealValue = -T.RealValue;
+    return T;
+  }
+  Token T = make(TokKind::IntLit);
+  T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+  if (Negative)
+    T.IntValue = -T.IntValue;
+  return T;
+}
+
+Token Lexer::lexString() {
+  advance(); // consume opening quote
+  std::string Value;
+  for (;;) {
+    if (Pos >= Src.size()) {
+      Diags.error(TokStart, "unterminated string literal");
+      break;
+    }
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C != '\\') {
+      Value.push_back(C);
+      continue;
+    }
+    if (Pos >= Src.size()) {
+      Diags.error(TokStart, "unterminated string escape");
+      break;
+    }
+    char E = advance();
+    switch (E) {
+    case 'n': Value.push_back('\n'); break;
+    case 't': Value.push_back('\t'); break;
+    case '\\': Value.push_back('\\'); break;
+    case '"': Value.push_back('"'); break;
+    default:
+      Diags.error(here(), std::string("unknown string escape '\\") + E + "'");
+      break;
+    }
+  }
+  Token T = make(TokKind::StringLit);
+  T.StrValue = std::move(Value);
+  return T;
+}
+
+Token Lexer::lexTyVar() {
+  advance(); // first '
+  bool Eq = false;
+  if (peek() == '\'') {
+    advance();
+    Eq = true;
+  }
+  std::string Name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Name.push_back(advance());
+  if (Name.empty())
+    Diags.error(TokStart, "expected type variable name after '");
+  Token T = make(Eq ? TokKind::EqTyVar : TokKind::TyVar);
+  T.Text = Interner.intern(Name);
+  return T;
+}
+
+Token Lexer::lexAlphaIdent() {
+  std::string Name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+         peek() == '\'')
+    Name.push_back(advance());
+
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"abstraction", TokKind::KwAbstraction},
+      {"and", TokKind::KwAnd},
+      {"andalso", TokKind::KwAndalso},
+      {"case", TokKind::KwCase},
+      {"datatype", TokKind::KwDatatype},
+      {"else", TokKind::KwElse},
+      {"end", TokKind::KwEnd},
+      {"exception", TokKind::KwException},
+      {"fn", TokKind::KwFn},
+      {"fun", TokKind::KwFun},
+      {"functor", TokKind::KwFunctor},
+      {"handle", TokKind::KwHandle},
+      {"if", TokKind::KwIf},
+      {"in", TokKind::KwIn},
+      {"let", TokKind::KwLet},
+      {"of", TokKind::KwOf},
+      {"op", TokKind::KwOp},
+      {"orelse", TokKind::KwOrelse},
+      {"raise", TokKind::KwRaise},
+      {"rec", TokKind::KwRec},
+      {"sig", TokKind::KwSig},
+      {"signature", TokKind::KwSignature},
+      {"struct", TokKind::KwStruct},
+      {"structure", TokKind::KwStructure},
+      {"then", TokKind::KwThen},
+      {"type", TokKind::KwType},
+      {"val", TokKind::KwVal},
+  };
+  auto It = Keywords.find(Name);
+  if (It != Keywords.end())
+    return make(It->second);
+  Token T = make(TokKind::Ident);
+  T.Text = Interner.intern(Name);
+  return T;
+}
+
+Token Lexer::lexSymbolicIdent() {
+  std::string Name;
+  while (isSymbolicChar(peek()))
+    Name.push_back(advance());
+  // Reserved symbolic tokens.
+  if (Name == "=")
+    return make(TokKind::Equal);
+  if (Name == "=>")
+    return make(TokKind::DArrow);
+  if (Name == "->")
+    return make(TokKind::Arrow);
+  if (Name == ":")
+    return make(TokKind::Colon);
+  if (Name == ":>")
+    return make(TokKind::ColonGt);
+  if (Name == "|")
+    return make(TokKind::Bar);
+  if (Name == "#")
+    return make(TokKind::Hash);
+  Token T = make(TokKind::Ident);
+  T.Text = Interner.intern(Name);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  TokStart = here();
+  if (Pos >= Src.size())
+    return make(TokKind::Eof);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(/*Negative=*/false);
+  // ~ directly followed by a digit is a negative literal; otherwise it is
+  // the symbolic identifier "~" (unary negation function).
+  if (C == '~' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    return lexNumber(/*Negative=*/true);
+  }
+  if (C == '"')
+    return lexString();
+  if (C == '\'')
+    return lexTyVar();
+  if (std::isalpha(static_cast<unsigned char>(C)))
+    return lexAlphaIdent();
+  if (isSymbolicChar(C))
+    return lexSymbolicIdent();
+
+  switch (C) {
+  case '(': advance(); return make(TokKind::LParen);
+  case ')': advance(); return make(TokKind::RParen);
+  case '[': advance(); return make(TokKind::LBracket);
+  case ']': advance(); return make(TokKind::RBracket);
+  case ',': advance(); return make(TokKind::Comma);
+  case ';': advance(); return make(TokKind::Semi);
+  case '_': advance(); return make(TokKind::Underscore);
+  case '.': advance(); return make(TokKind::Dot);
+  default:
+    Diags.error(here(), std::string("unexpected character '") + C + "'");
+    advance();
+    return next();
+  }
+}

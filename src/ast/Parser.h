@@ -1,0 +1,105 @@
+//===- ast/Parser.h - MiniML parser ----------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the SML subset, with a fixed infix operator
+/// table (standard SML default fixities; no user `infix` declarations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_AST_PARSER_H
+#define SMLTC_AST_PARSER_H
+
+#include "ast/Ast.h"
+#include "ast/Lexer.h"
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace smltc {
+
+class Parser {
+public:
+  Parser(std::string_view Source, Arena &A, StringInterner &Interner,
+         DiagnosticEngine &Diags)
+      : Lex(Source, Interner, Diags), A(A), Interner(Interner), Diags(Diags) {
+    Tok = Lex.next();
+    Ahead = Lex.next();
+  }
+
+  /// Parses a whole program. On syntax errors, diagnostics are reported and
+  /// a best-effort partial program is returned; callers must check
+  /// Diags.hasErrors().
+  ast::Program parseProgram();
+
+  /// Parses a single expression (used by tests and the quickstart example).
+  ast::Exp *parseExpression() { return parseExp(); }
+
+private:
+  // Token plumbing.
+  void bump() {
+    Tok = Ahead;
+    Ahead = Lex.next();
+  }
+  bool at(TokKind K) const { return Tok.Kind == K; }
+  bool atIdent(std::string_view S) const {
+    return Tok.Kind == TokKind::Ident && Tok.Text.str() == S;
+  }
+  bool eat(TokKind K) {
+    if (!at(K))
+      return false;
+    bump();
+    return true;
+  }
+  void expect(TokKind K, const char *Ctx);
+  Symbol expectIdent(const char *Ctx);
+
+  // Helpers.
+  ast::LongId parseLongId();
+  ast::LongId makeLongId(Symbol S);
+  ast::Exp *identExp(Symbol S, SourceLoc Loc);
+  Span<Symbol> parseTyVarSeq();
+
+  // Types.
+  ast::Ty *parseTy();
+  ast::Ty *parseTupleTy();
+  ast::Ty *parseConTy();
+  ast::Ty *parseAtTy();
+
+  // Patterns.
+  ast::Pat *parsePat();
+  ast::Pat *parseConsPat();
+  ast::Pat *parseAppPat();
+  ast::Pat *parseAtPat();
+  bool startsAtPat() const;
+
+  // Expressions.
+  ast::Exp *parseExp();
+  ast::Exp *parseOrelse();
+  ast::Exp *parseAndalso();
+  ast::Exp *parseTypedExp();
+  ast::Exp *parseInfixExp(int MinPrec);
+  ast::Exp *parseAppExp();
+  ast::Exp *parseAtExp();
+  bool startsAtExp() const;
+  Span<ast::Rule> parseMatch();
+
+  // Declarations and modules.
+  ast::Dec *parseDec();
+  bool startsDec() const;
+  ast::DatBind parseDatBind();
+  ast::StrExp *parseStrExp();
+  ast::SigExp *parseSigExp();
+  ast::Spec *parseSpec();
+
+  Lexer Lex;
+  Arena &A;
+  StringInterner &Interner;
+  DiagnosticEngine &Diags;
+  Token Tok;
+  Token Ahead;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_AST_PARSER_H

@@ -1,0 +1,63 @@
+//===- ast/Token.h - Token definitions ------------------------------------===//
+///
+/// \file
+/// Tokens for the MiniML (Standard ML subset) lexer. Reserved words and
+/// reserved symbolic tokens follow the SML Definition; symbolic identifiers
+/// (`::`, `:=`, `<=`, ...) lex as Ident with maximal munch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_AST_TOKEN_H
+#define SMLTC_AST_TOKEN_H
+
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+
+namespace smltc {
+
+enum class TokKind : uint8_t {
+  Eof,
+  // Literals.
+  IntLit,   ///< 4, ~3
+  RealLit,  ///< 3.14, 1e~7
+  StringLit,
+  // Identifiers.
+  Ident,    ///< alphanumeric or symbolic identifier
+  TyVar,    ///< 'a
+  EqTyVar,  ///< ''a
+  // Reserved words.
+  KwAbstraction, KwAnd, KwAndalso, KwCase, KwDatatype, KwElse, KwEnd,
+  KwException, KwFn, KwFun, KwFunctor, KwHandle, KwIf, KwIn, KwLet, KwOf,
+  KwOp, KwOrelse, KwRaise, KwRec, KwSig, KwSignature, KwStruct, KwStructure,
+  KwThen, KwType, KwVal,
+  // Reserved punctuation / symbolic tokens.
+  LParen, RParen, LBracket, RBracket, Comma, Semi, Underscore, Dot,
+  Bar,        ///< |
+  Equal,      ///< =
+  DArrow,     ///< =>
+  Arrow,      ///< ->
+  Colon,      ///< :
+  ColonGt,    ///< :>
+  Hash,       ///< #
+};
+
+/// One lexed token. Text-bearing kinds carry an interned Symbol; literals
+/// carry their decoded value.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  Symbol Text;           ///< Ident / TyVar / EqTyVar name.
+  int64_t IntValue = 0;  ///< IntLit.
+  double RealValue = 0;  ///< RealLit.
+  std::string StrValue;  ///< StringLit (decoded escapes).
+};
+
+/// Returns a printable name for a token kind (for diagnostics).
+const char *tokKindName(TokKind K);
+
+} // namespace smltc
+
+#endif // SMLTC_AST_TOKEN_H

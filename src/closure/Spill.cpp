@@ -1,0 +1,105 @@
+//===- closure/Spill.cpp - Register-pressure analysis -------------------------------===//
+
+#include "closure/Spill.h"
+
+#include <unordered_set>
+
+using namespace smltc;
+
+namespace {
+
+/// Computes live-variable counts bottom-up; returns the live set of E.
+void liveWalk(const Cexp *E, std::unordered_set<CVar> &Live,
+              const std::unordered_set<CVar> &Floats, int &MaxW,
+              int &MaxF) {
+  auto Count = [&]() {
+    int W = 0, F = 0;
+    for (CVar V : Live)
+      (Floats.count(V) ? F : W)++;
+    if (W > MaxW)
+      MaxW = W;
+    if (F > MaxF)
+      MaxF = F;
+  };
+  auto Use = [&](const CValue &V) {
+    if (V.isVar())
+      Live.insert(V.V);
+  };
+  switch (E->K) {
+  case Cexp::Kind::Branch: {
+    std::unordered_set<CVar> L1 = Live;
+    liveWalk(E->C1, L1, Floats, MaxW, MaxF);
+    liveWalk(E->C2, Live, Floats, MaxW, MaxF);
+    for (CVar V : L1)
+      Live.insert(V);
+    for (const CValue &V : E->Args)
+      Use(V);
+    Count();
+    return;
+  }
+  case Cexp::Kind::App:
+    Use(E->F);
+    for (const CValue &V : E->Args)
+      Use(V);
+    Count();
+    return;
+  case Cexp::Kind::Halt:
+    Use(E->F);
+    Count();
+    return;
+  case Cexp::Kind::Fix:
+    // Closed code has no FIX; tolerate for pre-closure use.
+    for (const CFun *F : E->Funs) {
+      std::unordered_set<CVar> L;
+      liveWalk(F->Body, L, Floats, MaxW, MaxF);
+    }
+    liveWalk(E->C1, Live, Floats, MaxW, MaxF);
+    return;
+  default:
+    liveWalk(E->C1, Live, Floats, MaxW, MaxF);
+    if (E->W)
+      Live.erase(E->W);
+    for (const CField &F : E->Fields)
+      Use(F.V);
+    for (const CValue &V : E->Args)
+      Use(V);
+    if (E->K == Cexp::Kind::Select)
+      Use(E->F);
+    Count();
+    return;
+  }
+}
+
+void collectFloats(const Cexp *E, std::unordered_set<CVar> &Floats) {
+  if (!E)
+    return;
+  if (E->W && E->WTy.isFloat())
+    Floats.insert(E->W);
+  collectFloats(E->C1, Floats);
+  collectFloats(E->C2, Floats);
+  for (const CFun *F : E->Funs)
+    collectFloats(F->Body, Floats);
+}
+
+} // namespace
+
+SpillReport smltc::analyzeRegisterPressure(const ClosureResult &Closed) {
+  SpillReport R;
+  for (const CFun *F : Closed.Funs) {
+    std::unordered_set<CVar> Floats;
+    for (size_t I = 0; I < F->Params.size(); ++I)
+      if (F->ParamTys[I].isFloat())
+        Floats.insert(F->Params[I]);
+    collectFloats(F->Body, Floats);
+    std::unordered_set<CVar> Live;
+    int MaxW = 0, MaxF = 0;
+    liveWalk(F->Body, Live, Floats, MaxW, MaxF);
+    if (MaxW > R.MaxLiveWords)
+      R.MaxLiveWords = MaxW;
+    if (MaxF > R.MaxLiveFloats)
+      R.MaxLiveFloats = MaxF;
+    if (MaxW > 32)
+      ++R.FunsOverWordLimit;
+  }
+  return R;
+}

@@ -1,0 +1,30 @@
+//===- closure/Spill.h - Register-pressure analysis --------------------------------===//
+///
+/// \file
+/// The spill phase of the paper's pipeline guarantees that no more values
+/// are simultaneously live than the machine has registers. In this
+/// reproduction, register pressure beyond the 32 fast registers is charged
+/// by the VM as spill cost instead of being rewritten into spill records;
+/// this analysis measures the pressure so tests (and EXPERIMENTS.md) can
+/// verify the workloads stay in healthy territory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_CLOSURE_SPILL_H
+#define SMLTC_CLOSURE_SPILL_H
+
+#include "closure/Closure.h"
+
+namespace smltc {
+
+struct SpillReport {
+  int MaxLiveWords = 0;
+  int MaxLiveFloats = 0;
+  int FunsOverWordLimit = 0; ///< functions whose pressure exceeds 32
+};
+
+SpillReport analyzeRegisterPressure(const ClosureResult &Closed);
+
+} // namespace smltc
+
+#endif // SMLTC_CLOSURE_SPILL_H

@@ -1,0 +1,113 @@
+//===- codegen/Machine.h - The TM abstract RISC target ---------------------------===//
+///
+/// \file
+/// A DECstation-5000-flavoured abstract RISC target. 32 "fast" general
+/// registers and 16 float registers; virtual registers above 32 model
+/// spilled values (the VM charges extra cycles for them, standing in for
+/// the spill records a production back end would emit). There is no stack:
+/// calls are jumps with arguments staged through an argument buffer (the
+/// CPS machine model), and the heap is allocated by pointer bumping with a
+/// Cheney two-space collector behind it.
+///
+/// Heap objects carry one descriptor word: (kind, floatlen, wordlen) for
+/// records with raw floats stored first — the paper's Figure 1c layout
+/// whose "descriptor is just two short integers".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_CODEGEN_MACHINE_H
+#define SMLTC_CODEGEN_MACHINE_H
+
+#include "cps/Cps.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smltc {
+
+using Reg = int16_t;
+
+enum class TmOp : uint8_t {
+  // Moves and constants.
+  MovI,      ///< rd := imm (tagged integer)
+  MovR,      ///< rd := rs
+  MovFI,     ///< fd := float imm
+  MovFR,     ///< fd := fs
+  LoadLabel, ///< rd := code label Imm
+  LoadStr,   ///< rd := string-pool pointer Imm
+  // Integer ALU (rd, rs1, rs2).
+  Add, Sub, Mul, Div, Mod, Neg, Abs,
+  // Float ALU (fd, fs1, fs2 / fd, fs).
+  FAdd, FSub, FMul, FDiv, FNeg, FAbs,
+  FSqrt, FSin, FCos, FAtan, FExp, FLn,
+  Floor, ///< rd := floor(fs)
+  IToF,  ///< fd := float(rs)
+  // Control (Target = instruction index within the function).
+  Br,      ///< if cond(rs1, rs2) goto Target
+  BrF,     ///< float compare-and-branch
+  BrBoxed, ///< if rs is a pointer goto Target
+  Jmp,     ///< goto Target
+  // Memory (Off = physical slot; floats first in mixed records).
+  Load,     ///< rd := mem[rbase + Off]
+  Store,    ///< mem[rbase + Off] := rs
+  LoadF,    ///< fd := floatmem[rbase + Off]
+  LoadIdx,  ///< rd := mem[rbase + ridx], bounds-checked (arrays/refs)
+  StoreIdx, ///< mem[rbase + ridx] := rs, bounds-checked
+  LoadByte, ///< rd := byte of string rbase at ridx
+  SizeOfOp, ///< rd := object length from descriptor
+  // Allocation: AllocStart (Kind, NWords, NFloats), fields, AllocEnd(rd).
+  AllocStart,
+  AllocWord,  ///< next word field := rs
+  AllocFloat, ///< next float field := fs
+  AllocEnd,   ///< rd := new object
+  // Exception handler register.
+  GetHdlr, SetHdlr,
+  // Calls: stage args, then jump. SetArg/SetArgF index word/float slots.
+  SetArg, SetArgF,
+  CallL, ///< jump to code label Imm with staged args
+  CallR, ///< jump to code address in rs with staged args
+  // Runtime services (args staged like a call; result in rd).
+  CCallRt,
+  // Termination.
+  HaltOp,    ///< result := rs
+  HaltExnOp, ///< uncaught exception
+};
+
+enum class TmCond : uint8_t { Eq, Ne, Lt, Le, Gt, Ge, Ult };
+
+struct Insn {
+  TmOp Op;
+  Reg Rd = 0;
+  Reg Rs1 = 0;
+  Reg Rs2 = 0;
+  int32_t Imm = 0;      ///< label / pool index / field offset / target
+  int64_t IVal = 0;     ///< integer immediate
+  double FVal = 0;      ///< float immediate
+  TmCond Cond = TmCond::Eq;
+  CpsOp Rt = CpsOp::Copy; ///< CCallRt: which runtime service
+  RecordKind RK = RecordKind::Std; ///< AllocStart
+};
+
+/// One compiled function: straight-line code with internal branches.
+struct TmFunction {
+  std::vector<Insn> Code;
+  int NumWordParams = 0;
+  int NumFloatParams = 0;
+};
+
+/// A whole compiled program.
+struct TmProgram {
+  std::vector<TmFunction> Funs; ///< entry is Funs[0]
+  std::vector<std::string> StringPool;
+  size_t codeSize() const {
+    size_t N = 0;
+    for (const TmFunction &F : Funs)
+      N += F.Code.size();
+    return N;
+  }
+};
+
+} // namespace smltc
+
+#endif // SMLTC_CODEGEN_MACHINE_H

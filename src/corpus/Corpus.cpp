@@ -1,0 +1,481 @@
+//===- corpus/Corpus.cpp - The twelve-benchmark corpus -------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace smltc;
+
+namespace {
+
+// --- BHut: 2D Barnes-Hut-flavoured n-body (naive forces), float tuples ---
+const char *BHutSrc = R"ML(
+fun accel ((x1 : real, y1 : real), (x2, y2, m2)) =
+  let val dx = x2 - x1
+      val dy = y2 - y1
+      val d2 = dx * dx + dy * dy + 0.05
+      val d = sqrt d2
+      val f = m2 / (d2 * d)
+  in (f * dx, f * dy) end
+
+fun totalAccel (p, bodies) =
+  foldl (fn (b, (ax, ay)) =>
+           let val (dax, day) = accel (p, b) in (ax + dax, ay + day) end)
+        (0.0, 0.0) bodies
+
+fun step bodies =
+  map (fn (x, y, m) =>
+         let val (ax, ay) = totalAccel ((x, y), bodies)
+         in (x + 0.01 * ax, y + 0.01 * ay, m) end)
+      bodies
+
+fun mkBodies n =
+  tabulate (n, fn i =>
+    let val r = real i
+    in (r * 0.37 - 3.0, r * 0.11 - 1.0, 1.0 + r * 0.01) end)
+
+fun loop (bodies, 0) = bodies
+  | loop (bodies, k) = loop (step bodies, k - 1)
+
+fun main () =
+  let val final = loop (mkBodies 24, 12)
+      val s = foldl (fn ((x, y, _), a : real) =>
+                       a + (if x < 0.0 then 0.0 - x else x)
+                         + (if y < 0.0 then 0.0 - y else y))
+                    0.0 final
+  in floor (s * 10.0) end
+)ML";
+
+// --- Boyer: term rewriting to normal form, datatype-heavy ---
+const char *BoyerSrc = R"ML(
+datatype term = V of int | F of int * term list
+
+fun size (V _) = 1
+  | size (F (_, args)) = foldl (fn (t, a) => a + size t) 1 args
+
+fun subst (env, V n) =
+      let fun look l = case l of
+                         nil => V n
+                       | (k, t) :: r => if k = n then t else look r
+      in look env end
+  | subst (env, F (f, args)) = F (f, map (fn t => subst (env, t)) args)
+
+(* rewrite rules: f1(x) -> f2(x, x); f2(x, y) -> f3(y); f3(c) -> c *)
+fun rewrite (F (1, [x])) = F (2, [x, x])
+  | rewrite (F (2, [x, y])) = F (3, [y])
+  | rewrite (F (3, [c])) = c
+  | rewrite t = t
+
+fun normalize t =
+  let val t2 = case t of
+                 V n => V n
+               | F (f, args) => F (f, map normalize args)
+      val t3 = rewrite t2
+  in if size t3 < size t2 then normalize t3 else t3 end
+
+fun build 0 = V 7
+  | build n = F (1, [F (2, [build (n - 1), V n])])
+
+fun iter (0, acc) = acc
+  | iter (k, acc) =
+      let val t = build (8 + k mod 3)
+          val n = normalize (subst ([(7, V 9)], t))
+      in iter (k - 1, acc + size n) end
+
+fun main () = iter (220, 0)
+)ML";
+
+// --- Sieve: closure-chained prime sieve plus callcc early exit ---
+const char *SieveSrc = R"ML(
+fun fromTo (i, n) = if i > n then nil else i :: fromTo (i + 1, n)
+
+fun sieve nil = nil
+  | sieve (p :: rest) =
+      p :: sieve (filter (fn x => x mod p <> 0) rest)
+
+fun firstOver (limit, l) =
+  callcc (fn k =>
+    (app (fn p => if p > limit then throw k p else ()) l; 0))
+
+fun main () =
+  let val primes = sieve (fromTo (2, 900))
+      val count = length primes
+      val probe = firstOver (500, primes)
+  in count * 1000 + probe mod 1000 end
+)ML";
+
+// --- KB-Comp: unification with exception failure, higher-order ---
+const char *KbSrc = R"ML(
+datatype trm = Vt of int | Ft of int * trm list
+
+exception Unify
+
+fun look (env, n) =
+  let fun go l = case l of
+                   nil => Vt n
+                 | (k, t) :: r => if k = n then t else go r
+  in go env end
+
+fun unify (env, Vt a, t) =
+      (case look (env, a) of
+         Vt b => if a = b then (a, t) :: env
+                 else unify (env, look (env, a), t)
+       | bound => unify (env, bound, t))
+  | unify (env, t, Vt a) = unify (env, Vt a, t)
+  | unify (env, Ft (f, fa), Ft (g, ga)) =
+      if f <> g orelse length fa <> length ga then raise Unify
+      else foldl (fn ((x, y), e) => unify (e, x, y)) env (zip (fa, ga))
+and zip (nil, nil) = nil
+  | zip (x :: xs, y :: ys) = (x, y) :: zip (xs, ys)
+  | zip _ = raise Unify
+
+fun mk (d, s) =
+  if d = 0 then (if s mod 3 = 0 then Vt (s mod 5) else Ft (s mod 4, nil))
+  else Ft (s mod 4, [mk (d - 1, s + 1), mk (d - 1, s * 2 + 1)])
+
+fun tryPair (a, b) =
+  (let val e = unify (nil, a, b) in 1 + (length e) end)
+  handle Unify => 0
+
+fun iter (0, acc) = acc
+  | iter (k, acc) =
+      iter (k - 1, acc + tryPair (mk (4, k mod 7), mk (4, (k + 3) mod 7)))
+
+fun main () = iter (260, 0)
+)ML";
+
+// --- Lexgen: string scanning / tokenizing ---
+const char *LexgenSrc = R"ML(
+fun isDigit c = c >= 48 andalso c <= 57
+fun isAlpha c = (c >= 97 andalso c <= 122) orelse (c >= 65 andalso c <= 90)
+fun isSpace c = c = 32 orelse c = 10 orelse c = 9
+
+fun scan (s, i, n, toks, chars) =
+  if i >= n then (toks, chars)
+  else
+    let val c = strsub (s, i)
+    in
+      if isSpace c then scan (s, i + 1, n, toks, chars)
+      else if isDigit c then
+        let fun go j = if j < n andalso isDigit (strsub (s, j))
+                       then go (j + 1) else j
+            val j = go i
+        in scan (s, j, n, toks + 1, chars + (j - i)) end
+      else if isAlpha c then
+        let fun go j = if j < n andalso isAlpha (strsub (s, j))
+                       then go (j + 1) else j
+            val j = go i
+            val w = substring (s, i, j - i)
+        in scan (s, j, n, toks + 1, chars + size w) end
+      else scan (s, i + 1, n, toks + 1, chars)
+    end
+
+fun repeatStr (s, 0) = ""
+  | repeatStr (s, k) = s ^ repeatStr (s, k - 1)
+
+fun main () =
+  let val input = repeatStr ("let val x1 = 42 in fn2 x1 + 375 end  ", 60)
+      val (toks, chars) = scan (input, 0, size input, 0, 0)
+  in toks * 1000 + chars mod 1000 end
+)ML";
+
+// --- Yacc: LR-flavoured table-driven parsing over int arrays ---
+const char *YaccSrc = R"ML(
+fun mkTable n =
+  let val t = array (n * 8, 0)
+      fun fill i =
+        if i >= n * 8 then t
+        else (aupdate (t, i, (i * 7 + 3) mod 5); fill (i + 1))
+  in fill 0 end
+
+fun parse (table, input, state, stack, reds) =
+  case input of
+    nil => (length stack, reds)
+  | tok :: rest =>
+      let val action = asub (table, (state * 8 + tok) mod (alength table))
+      in
+        if action = 0 then parse (table, rest, tok mod 11, state :: stack, reds)
+        else if action < 3 then
+          (case stack of
+             nil => parse (table, rest, action, stack, reds + 1)
+           | top :: below =>
+               parse (table, rest, (top + action) mod 11, below, reds + 1))
+        else parse (table, rest, (state + action) mod 11, stack, reds)
+      end
+
+fun mkInput (0, acc) = acc
+  | mkInput (k, acc) = mkInput (k - 1, (k * 13 + 5) mod 8 :: acc)
+
+fun iter (0, table, acc) = acc
+  | iter (k, table, acc) =
+      let val (depth, reds) = parse (table, mkInput (160, nil), 0, nil, 0)
+      in iter (k - 1, table, acc + depth + reds) end
+
+fun main () = iter (40, mkTable 11, 0)
+)ML";
+
+// --- Simple: hydrodynamics-flavoured float-array relaxation ---
+const char *SimpleSrc = R"ML(
+fun mkGrid n =
+  let val a = array (n, 0.0)
+      fun fill i =
+        if i >= n then a
+        else (aupdate (a, i, real i * 0.5); fill (i + 1))
+  in fill 0 end
+
+fun relaxStep (a, n) =
+  let fun go (i, acc : real) =
+        if i >= n - 1 then acc
+        else
+          let val v = (asub (a, i - 1) + 2.0 * asub (a, i)
+                       + asub (a, i + 1)) * 0.25
+          in (aupdate (a, i, v); go (i + 1, acc + v)) end
+  in go (1, 0.0) end
+
+fun pressure (u : real, v : real, rho) =
+  let val q = rho * (u * u + v * v) * 0.5
+  in (q, q * 1.4, q * 0.4) end
+
+fun sumP (i, n, acc : real) =
+  if i >= n then acc
+  else
+    let val (p1, p2, p3) = pressure (real i * 0.01, real (n - i) * 0.02,
+                                     1.0 + real (i mod 7) * 0.1)
+    in sumP (i + 1, n, acc + p1 + p2 - p3) end
+
+fun iter (0, a, n, acc : real) = acc
+  | iter (k, a, n, acc) =
+      iter (k - 1, a, n, acc + relaxStep (a, n) + sumP (0, 48, 0.0))
+
+fun main () = floor (iter (30, mkGrid 120, 120, 0.0))
+)ML";
+
+// --- Ray: sphere intersection and shading over float-tuple vectors ---
+const char *RaySrc = R"ML(
+fun dot ((ax : real, ay : real, az : real), (bx, by, bz)) =
+  ax * bx + ay * by + az * bz
+fun vsub ((ax : real, ay : real, az : real), (bx, by, bz)) =
+  (ax - bx, ay - by, az - bz)
+fun vscale (s : real, (x, y, z)) = (s * x, s * y, s * z)
+fun vnorm v = let val d = sqrt (dot (v, v)) in vscale (1.0 / d, v) end
+
+fun hit (orig, dir, center, radius : real) =
+  let val oc = vsub (orig, center)
+      val b = 2.0 * dot (oc, dir)
+      val c = dot (oc, oc) - radius * radius
+      val disc = b * b - 4.0 * c
+  in if disc < 0.0 then 1000000.0
+     else let val t = (0.0 - b - sqrt disc) * 0.5
+          in if t > 0.001 then t else 1000000.0 end
+  end
+
+(* The best-hit accumulator rides in the argument tuple: flat float
+   components under representation analysis. *)
+fun closest (orig, dir, spheres) =
+  let fun go (sl, bt : real, bx : real, by : real, bz : real) =
+        case sl of
+          nil => (bt, bx, by, bz)
+        | (c, r) :: rest =>
+            let val t = hit (orig, dir, c, r)
+            in if t < bt
+               then let val (cx, cy, cz) = c
+                    in go (rest, t, cx, cy, cz) end
+               else go (rest, bt, bx, by, bz)
+            end
+  in go (spheres, 1000000.0, 0.0, 0.0, 0.0) end
+
+fun shade (orig, dir, spheres) =
+  let val (t, cx, cy, cz) = closest (orig, dir, spheres)
+  in if t > 999999.0 then 0.1
+     else
+       let val p = vscale (t, dir)
+           val n = vnorm (vsub (p, (cx, cy, cz)))
+           val l = vnorm (0.6, 0.8, 0.5)
+           val d = dot (n, l)
+           val base = if d > 0.0 then 0.1 + 0.7 * d else 0.1
+           val h = vnorm (vsub (l, dir))
+           val sp = dot (n, h)
+           val spec = if sp > 0.0 then sp * sp * sp * sp * 0.3 else 0.0
+       in base + spec end
+  end
+
+fun scene () =
+  [((0.0, 0.0, 5.0), 1.0),
+   ((1.5, 0.8, 6.0), 0.7),
+   ((0.0 - 1.2, 0.0 - 0.4, 4.0), 0.5),
+   ((0.4, 0.0 - 1.0, 7.0), 1.2)]
+
+fun render (w, h) =
+  let val spheres = scene ()
+      fun px (x, y) =
+        let val dx = (real x - real w * 0.5) / real w
+            val dy = (real y - real h * 0.5) / real h
+            val dir = vnorm (dx, dy, 1.0)
+        in shade ((0.0, 0.0, 0.0), dir, spheres) end
+      fun go (x, y, acc : real) =
+        if y >= h then acc
+        else if x >= w then go (0, y + 1, acc)
+        else go (x + 1, y, acc + px (x, y))
+  in go (0, 0, 0.0) end
+
+fun main () = floor (render (24, 24) * 10.0)
+)ML";
+
+// --- Life: the MTD anecdote — polymorphic-equality membership in a loop ---
+const char *LifeSrc = R"ML(
+structure Main : sig val main : unit -> int end = struct
+  fun member (c, l) =
+    case l of
+      nil => false
+    | x :: r => x = c orelse member (c, r)
+
+  fun neighbors ((x, y), board) =
+    let fun occ d = if member (d, board) then 1 else 0
+    in occ (x - 1, y - 1) + occ (x, y - 1) + occ (x + 1, y - 1)
+       + occ (x - 1, y) + occ (x + 1, y)
+       + occ (x - 1, y + 1) + occ (x, y + 1) + occ (x + 1, y + 1)
+    end
+
+  fun survivors (board, all) =
+    filter (fn c => let val n = neighbors (c, all)
+                    in n = 2 orelse n = 3 end) board
+
+  fun births (board, (xmin, xmax)) =
+    let fun cells (x, y, acc) =
+          if y > xmax then acc
+          else if x > xmax then cells (xmin, y + 1, acc)
+          else if member ((x, y), board) then cells (x + 1, y, acc)
+          else if neighbors ((x, y), board) = 3
+          then cells (x + 1, y, (x, y) :: acc)
+          else cells (x + 1, y, acc)
+    in cells (xmin, xmin, nil) end
+
+  fun gen (board, bounds) =
+    survivors (board, board) @ births (board, bounds)
+
+  fun run (board, bounds, 0) = board
+    | run (board, bounds, k) = run (gen (board, bounds), bounds, k - 1)
+
+  fun main () =
+    let val glider = [(1, 0), (2, 1), (0, 2), (1, 2), (2, 2)]
+        val blinker = [(6, 5), (6, 6), (6, 7)]
+        val final = run (glider @ blinker, (0, 10), 10)
+    in length final * 100
+       + foldl (fn ((x, y), a) => a + x + y) 0 final
+    end
+end
+)ML";
+
+// --- MBrot: mandelbrot iteration, pure float arithmetic ---
+const char *MBrotSrc = R"ML(
+fun escapes (cx : real, cy : real) =
+  let fun go (zx, zy, i) =
+        if i >= 50 then 50
+        else
+          let val zx2 = zx * zx
+              val zy2 = zy * zy
+          in if zx2 + zy2 > 4.0 then i
+             else go (zx2 - zy2 + cx, 2.0 * zx * zy + cy, i + 1)
+          end
+  in go (0.0, 0.0, 0) end
+
+fun grid (w, h) =
+  let fun go (x, y, acc) =
+        if y >= h then acc
+        else if x >= w then go (0, y + 1, acc)
+        else
+          let val cx = real x * 3.0 / real w - 2.0
+              val cy = real y * 2.4 / real h - 1.2
+          in go (x + 1, y, acc + escapes (cx, cy)) end
+  in go (0, 0, 0) end
+
+fun main () = grid (36, 36)
+)ML";
+
+// --- Nucleic: 3D transforms over float tuples, pruning by distance ---
+const char *NucleicSrc = R"ML(
+fun tfm (((a : real, b : real, c : real),
+          (d : real, e : real, f : real),
+          (g : real, h : real, i : real),
+          (tx : real, ty : real, tz : real)),
+         (x : real, y : real, z : real)) =
+  (a * x + b * y + c * z + tx,
+   d * x + e * y + f * z + ty,
+   g * x + h * y + i * z + tz)
+
+fun rotZ (t : real) =
+  ((cos t, 0.0 - sin t, 0.0),
+   (sin t, cos t, 0.0),
+   (0.0, 0.0, 1.0),
+   (0.1, 0.02, 0.3))
+
+fun dist2 ((x1 : real, y1 : real, z1 : real), (x2, y2, z2)) =
+  let val dx = x1 - x2
+      val dy = y1 - y2
+      val dz = z1 - z2
+  in dx * dx + dy * dy + dz * dz end
+
+fun mkCloud n =
+  tabulate (n, fn i =>
+    let val r = real i
+    in (sin (r * 0.7) * 3.0, cos (r * 0.9) * 2.0, r * 0.05) end)
+
+fun applyChain (p, 0) = p
+  | applyChain (p, k) = applyChain (tfm (rotZ (real k * 0.21), p), k - 1)
+
+fun countNear (cloud, anchor, cut : real) =
+  length (filter (fn p => dist2 (p, anchor) < cut) cloud)
+
+fun main () =
+  let val cloud = map (fn p => applyChain (p, 12)) (mkCloud 120)
+      val a = countNear (cloud, (0.0, 0.0, 0.0), 4.0)
+      val b = countNear (cloud, (1.0, 1.0, 1.0), 9.0)
+      val s = foldl (fn ((x, _, _), acc : real) => acc + x) 0.0 cloud
+  in a * 1000 + b * 10 + (floor s) mod 10 end
+)ML";
+
+// --- VLIW: greedy instruction scheduling with higher-order predicates ---
+const char *VliwSrc = R"ML(
+fun conflicts ((d1, s1, _), (d2, s2, _)) =
+  d1 = d2 orelse d1 = s2 orelse d2 = s1
+
+fun canIssue (instr, slot) = not (exists (fn i => conflicts (i, instr)) slot)
+
+fun schedule (nil, slots, cur) = rev (cur :: slots)
+  | schedule (i :: rest, slots, cur) =
+      if length cur < 4 andalso canIssue (i, cur)
+      then schedule (rest, slots, i :: cur)
+      else schedule (rest, cur :: slots, [i])
+
+fun mkInstrs (0, acc) = rev acc
+  | mkInstrs (n, acc) =
+      mkInstrs (n - 1, ((n * 7) mod 13, (n * 11) mod 13, n) :: acc)
+
+fun score slots =
+  foldl (fn (slot, a) => a + length slot * length slot) 0 slots
+
+fun iter (0, acc) = acc
+  | iter (k, acc) =
+      iter (k - 1, acc + score (schedule (mkInstrs (90, nil), nil, nil)))
+
+fun main () = iter (45, 0)
+)ML";
+
+} // namespace
+
+const std::vector<BenchmarkProgram> &smltc::benchmarkCorpus() {
+  static const std::vector<BenchmarkProgram> Corpus = {
+      {"BHut", BHutSrc, 0, true},       {"Boyer", BoyerSrc, 0, false},
+      {"Sieve", SieveSrc, 0, false},    {"KB-C", KbSrc, 0, false},
+      {"Lexgen", LexgenSrc, 0, false},  {"Yacc", YaccSrc, 0, false},
+      {"Simple", SimpleSrc, 0, true},   {"Ray", RaySrc, 0, true},
+      {"Life", LifeSrc, 0, false},      {"VLIW", VliwSrc, 0, false},
+      {"MBrot", MBrotSrc, 0, true},     {"Nucleic", NucleicSrc, 0, true},
+  };
+  return Corpus;
+}
+
+const BenchmarkProgram *smltc::findBenchmark(const std::string &Name) {
+  for (const BenchmarkProgram &B : benchmarkCorpus())
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,40 @@
+//===- corpus/Corpus.h - The twelve-benchmark corpus --------------------------------===//
+///
+/// \file
+/// MiniML stand-ins for the paper's twelve SML benchmarks (Section 6).
+/// Each program defines `main : unit -> int` and returns a checksum the
+/// harness verifies, so every variant must compute the same answer.
+/// Profiles match the paper's description: MBrot, Nucleic, Simple, Ray and
+/// BHut are float-intensive; Sieve uses first-class continuations; KB-Comp
+/// uses exceptions and higher-order functions; VLIW and KB-Comp are
+/// closure-heavy; Boyer is datatype-heavy; Life tests set membership with
+/// polymorphic equality in a tight loop (the MTD 10x anecdote); Lexgen is
+/// string-heavy; Yacc is table/list-heavy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_CORPUS_CORPUS_H
+#define SMLTC_CORPUS_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smltc {
+
+struct BenchmarkProgram {
+  const char *Name;
+  const char *Source;
+  int64_t ExpectedResult;
+  bool FloatIntensive;
+};
+
+/// The twelve benchmarks, in the paper's Figure 7 order.
+const std::vector<BenchmarkProgram> &benchmarkCorpus();
+
+/// Finds a benchmark by name (nullptr if absent).
+const BenchmarkProgram *findBenchmark(const std::string &Name);
+
+} // namespace smltc
+
+#endif // SMLTC_CORPUS_CORPUS_H

@@ -1,0 +1,269 @@
+//===- cps/Cps.cpp - CPS IR helpers --------------------------------------------===//
+
+#include "cps/Cps.h"
+
+#include <sstream>
+
+using namespace smltc;
+
+Cexp *CpsBuilder::record(RecordKind RK, const std::vector<CField> &Fields,
+                         CVar W, Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::Record);
+  E->RK = RK;
+  E->Fields = Span<CField>::copy(A, Fields);
+  E->W = W;
+  E->WTy = Cty::ptr(static_cast<int>(Fields.size()));
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::select(int Idx, bool IsFloat, CValue V, CVar W, Cty T,
+                         Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::Select);
+  E->Idx = Idx;
+  E->IsFloat = IsFloat;
+  E->F = V;
+  E->W = W;
+  E->WTy = T;
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::app(CValue F, const std::vector<CValue> &Args) {
+  Cexp *E = make(Cexp::Kind::App);
+  E->F = F;
+  E->Args = Span<CValue>::copy(A, Args);
+  return E;
+}
+
+Cexp *CpsBuilder::fix(const std::vector<CFun *> &Funs, Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::Fix);
+  E->Funs = Span<CFun *>::copy(A, Funs);
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::branch(BranchOp Op, const std::vector<CValue> &Args,
+                         Cexp *Then, Cexp *Else) {
+  Cexp *E = make(Cexp::Kind::Branch);
+  E->BOp = Op;
+  E->Args = Span<CValue>::copy(A, Args);
+  E->C1 = Then;
+  E->C2 = Else;
+  return E;
+}
+
+Cexp *CpsBuilder::arith(CpsOp Op, const std::vector<CValue> &Args, CVar W,
+                        Cty T, Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::Arith);
+  E->Op = Op;
+  E->Args = Span<CValue>::copy(A, Args);
+  E->W = W;
+  E->WTy = T;
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::pure(CpsOp Op, const std::vector<CValue> &Args, CVar W,
+                       Cty T, Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::Pure);
+  E->Op = Op;
+  E->Args = Span<CValue>::copy(A, Args);
+  E->W = W;
+  E->WTy = T;
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::looker(CpsOp Op, const std::vector<CValue> &Args, CVar W,
+                         Cty T, Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::Looker);
+  E->Op = Op;
+  E->Args = Span<CValue>::copy(A, Args);
+  E->W = W;
+  E->WTy = T;
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::setter(CpsOp Op, const std::vector<CValue> &Args,
+                         Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::Setter);
+  E->Op = Op;
+  E->Args = Span<CValue>::copy(A, Args);
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::ccall(CpsOp Op, const std::vector<CValue> &Args, CVar W,
+                        Cty T, Cexp *Cont) {
+  Cexp *E = make(Cexp::Kind::CCall);
+  E->Op = Op;
+  E->Args = Span<CValue>::copy(A, Args);
+  E->W = W;
+  E->WTy = T;
+  E->C1 = Cont;
+  return E;
+}
+
+Cexp *CpsBuilder::halt(CValue V) {
+  Cexp *E = make(Cexp::Kind::Halt);
+  E->F = V;
+  return E;
+}
+
+CFun *CpsBuilder::fun(CFun::Kind K, CVar Name,
+                      const std::vector<CVar> &Params,
+                      const std::vector<Cty> &ParamTys, Cexp *Body) {
+  CFun *F = A.create<CFun>();
+  F->K = K;
+  F->Name = Name;
+  F->Params = Span<CVar>::copy(A, Params);
+  F->ParamTys = Span<Cty>::copy(A, ParamTys);
+  F->Body = Body;
+  return F;
+}
+
+namespace {
+
+void emitValue(std::ostringstream &OS, const CValue &V) {
+  switch (V.K) {
+  case CValue::Kind::Var:
+    OS << 'v' << V.V;
+    return;
+  case CValue::Kind::Int:
+    OS << V.I;
+    return;
+  case CValue::Kind::Real:
+    OS << V.R << 'f';
+    return;
+  case CValue::Kind::String:
+    OS << '"' << V.S.str() << '"';
+    return;
+  case CValue::Kind::Label:
+    OS << 'L' << V.I;
+    return;
+  }
+}
+
+void emit(std::ostringstream &OS, const Cexp *E, int Depth) {
+  auto Indent = [&] {
+    OS << '\n';
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  };
+  Indent();
+  switch (E->K) {
+  case Cexp::Kind::Record:
+    OS << "(record v" << E->W << " [";
+    for (size_t I = 0; I < E->Fields.size(); ++I) {
+      if (I)
+        OS << ' ';
+      emitValue(OS, E->Fields[I].V);
+      if (E->Fields[I].IsFloat)
+        OS << ":f";
+    }
+    OS << ']';
+    emit(OS, E->C1, Depth);
+    OS << ')';
+    return;
+  case Cexp::Kind::Select:
+    OS << "(select v" << E->W << " = ";
+    emitValue(OS, E->F);
+    OS << '[' << E->Idx << (E->IsFloat ? ":f" : "") << ']';
+    emit(OS, E->C1, Depth);
+    OS << ')';
+    return;
+  case Cexp::Kind::App:
+    OS << "(app ";
+    emitValue(OS, E->F);
+    for (const CValue &V : E->Args) {
+      OS << ' ';
+      emitValue(OS, V);
+    }
+    OS << ')';
+    return;
+  case Cexp::Kind::Fix:
+    OS << "(fix";
+    for (const CFun *F : E->Funs) {
+      Indent();
+      OS << " (" << (F->K == CFun::Kind::Cont
+                         ? "cont"
+                         : F->K == CFun::Kind::Known ? "known" : "fun")
+         << " v" << F->Name << " (";
+      for (size_t I = 0; I < F->Params.size(); ++I) {
+        if (I)
+          OS << ' ';
+        OS << 'v' << F->Params[I];
+      }
+      OS << ')';
+      emit(OS, F->Body, Depth + 1);
+      OS << ')';
+    }
+    emit(OS, E->C1, Depth);
+    OS << ')';
+    return;
+  case Cexp::Kind::Branch:
+    OS << "(branch " << static_cast<int>(E->BOp);
+    for (const CValue &V : E->Args) {
+      OS << ' ';
+      emitValue(OS, V);
+    }
+    emit(OS, E->C1, Depth + 1);
+    emit(OS, E->C2, Depth + 1);
+    OS << ')';
+    return;
+  case Cexp::Kind::Arith:
+  case Cexp::Kind::Pure:
+  case Cexp::Kind::Looker:
+  case Cexp::Kind::CCall: {
+    const char *N = E->K == Cexp::Kind::Arith
+                        ? "arith"
+                        : E->K == Cexp::Kind::Pure
+                              ? "pure"
+                              : E->K == Cexp::Kind::Looker ? "looker"
+                                                           : "ccall";
+    OS << '(' << N << " v" << E->W << " = " << static_cast<int>(E->Op);
+    for (const CValue &V : E->Args) {
+      OS << ' ';
+      emitValue(OS, V);
+    }
+    emit(OS, E->C1, Depth);
+    OS << ')';
+    return;
+  }
+  case Cexp::Kind::Setter:
+    OS << "(setter " << static_cast<int>(E->Op);
+    for (const CValue &V : E->Args) {
+      OS << ' ';
+      emitValue(OS, V);
+    }
+    emit(OS, E->C1, Depth);
+    OS << ')';
+    return;
+  case Cexp::Kind::Halt:
+    OS << "(halt ";
+    emitValue(OS, E->F);
+    OS << ')';
+    return;
+  }
+}
+
+} // namespace
+
+std::string smltc::printCps(const Cexp *E) {
+  std::ostringstream OS;
+  emit(OS, E, 0);
+  return OS.str();
+}
+
+size_t smltc::countCpsNodes(const Cexp *E) {
+  if (!E)
+    return 0;
+  size_t N = 1;
+  N += countCpsNodes(E->C1);
+  N += countCpsNodes(E->C2);
+  for (const CFun *F : E->Funs)
+    N += countCpsNodes(F->Body);
+  return N;
+}

@@ -1,0 +1,102 @@
+//===- cps/CpsCheck.cpp - CPS well-formedness checking ---------------------------===//
+
+#include "cps/CpsCheck.h"
+
+#include <unordered_set>
+
+using namespace smltc;
+
+namespace {
+
+class Checker {
+public:
+  CpsCheckResult Result;
+
+  void bindVar(CVar V) {
+    if (!Bound.insert(V).second)
+      fail("variable v" + std::to_string(V) + " bound twice");
+  }
+
+  void useValue(const CValue &V) {
+    if (V.isVar() && !Bound.count(V.V))
+      fail("variable v" + std::to_string(V.V) + " used before binding");
+  }
+
+  void check(const Cexp *E) {
+    if (!Result.Ok || !E)
+      return;
+    ++Result.NodesChecked;
+    switch (E->K) {
+    case Cexp::Kind::Record:
+      for (const CField &F : E->Fields)
+        useValue(F.V);
+      bindVar(E->W);
+      check(E->C1);
+      return;
+    case Cexp::Kind::Select:
+      useValue(E->F);
+      bindVar(E->W);
+      check(E->C1);
+      return;
+    case Cexp::Kind::App:
+      useValue(E->F);
+      for (const CValue &V : E->Args)
+        useValue(V);
+      return;
+    case Cexp::Kind::Fix:
+      for (const CFun *F : E->Funs)
+        bindVar(F->Name);
+      for (const CFun *F : E->Funs) {
+        if (F->Params.size() != F->ParamTys.size()) {
+          fail("function param/type arity mismatch");
+          return;
+        }
+        for (CVar P : F->Params)
+          bindVar(P);
+        check(F->Body);
+      }
+      check(E->C1);
+      return;
+    case Cexp::Kind::Branch:
+      for (const CValue &V : E->Args)
+        useValue(V);
+      check(E->C1);
+      check(E->C2);
+      return;
+    case Cexp::Kind::Arith:
+    case Cexp::Kind::Pure:
+    case Cexp::Kind::Looker:
+    case Cexp::Kind::CCall:
+      for (const CValue &V : E->Args)
+        useValue(V);
+      bindVar(E->W);
+      check(E->C1);
+      return;
+    case Cexp::Kind::Setter:
+      for (const CValue &V : E->Args)
+        useValue(V);
+      check(E->C1);
+      return;
+    case Cexp::Kind::Halt:
+      useValue(E->F);
+      return;
+    }
+  }
+
+private:
+  void fail(std::string Msg) {
+    if (Result.Ok) {
+      Result.Ok = false;
+      Result.Error = std::move(Msg);
+    }
+  }
+  std::unordered_set<CVar> Bound;
+};
+
+} // namespace
+
+CpsCheckResult smltc::checkCps(const Cexp *Program) {
+  Checker C;
+  C.check(Program);
+  return C.Result;
+}

@@ -1,0 +1,28 @@
+//===- cps/CpsCheck.h - CPS well-formedness checking ----------------------------===//
+///
+/// \file
+/// Verifies CPS invariants between phases: every variable is bound before
+/// use, binders are unique, and applications have consistent shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_CPS_CPSCHECK_H
+#define SMLTC_CPS_CPSCHECK_H
+
+#include "cps/Cps.h"
+
+#include <string>
+
+namespace smltc {
+
+struct CpsCheckResult {
+  bool Ok = true;
+  std::string Error;
+  size_t NodesChecked = 0;
+};
+
+CpsCheckResult checkCps(const Cexp *Program);
+
+} // namespace smltc
+
+#endif // SMLTC_CPS_CPSCHECK_H

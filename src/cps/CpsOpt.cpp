@@ -1,0 +1,876 @@
+//===- cps/CpsOpt.cpp - CPS optimizer --------------------------------------------===//
+
+#include "cps/CpsOpt.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace smltc;
+
+namespace {
+
+/// Census information gathered per round.
+struct Census {
+  std::unordered_map<CVar, int> Use;        ///< value uses
+  std::unordered_map<CVar, int> CallCount;  ///< uses in App-function position
+  std::unordered_map<CVar, const CFun *> FnOf;
+  std::unordered_set<CVar> EscapingFns;     ///< fn name used as a value
+  std::unordered_set<CVar> SelfRecursive;
+  /// Param vars that are only used as bases of non-float Selects.
+  std::unordered_map<CVar, bool> OnlyWordSelected;
+  std::unordered_map<CVar, Cty> VarTy;
+
+  void value(const CValue &V) {
+    if (V.isVar())
+      ++Use[V.V];
+  }
+
+  void walk(const Cexp *E, const CFun *Owner) {
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record:
+        for (const CField &F : E->Fields) {
+          value(F.V);
+          if (F.V.isVar())
+            OnlyWordSelected[F.V.V] = false;
+        }
+        VarTy[E->W] = E->WTy;
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Select:
+        value(E->F);
+        if (E->F.isVar() && E->IsFloat)
+          OnlyWordSelected[E->F.V] = false;
+        VarTy[E->W] = E->WTy;
+        E = E->C1;
+        continue;
+      case Cexp::Kind::App: {
+        if (E->F.isVar()) {
+          ++Use[E->F.V];
+          ++CallCount[E->F.V];
+          OnlyWordSelected[E->F.V] = false;
+          if (Owner && E->F.V == Owner->Name)
+            SelfRecursive.insert(Owner->Name);
+        }
+        for (const CValue &V : E->Args) {
+          value(V);
+          if (V.isVar()) {
+            OnlyWordSelected[V.V] = false;
+            if (FnOf.count(V.V))
+              EscapingFns.insert(V.V);
+          }
+        }
+        return;
+      }
+      case Cexp::Kind::Fix:
+        for (const CFun *F : E->Funs) {
+          FnOf[F->Name] = F;
+          for (size_t I = 0; I < F->Params.size(); ++I) {
+            VarTy[F->Params[I]] = F->ParamTys[I];
+            // Optimistically true until another use kind is seen.
+            if (!OnlyWordSelected.count(F->Params[I]))
+              OnlyWordSelected[F->Params[I]] = true;
+          }
+        }
+        for (const CFun *F : E->Funs)
+          walk(F->Body, F);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Branch:
+        for (const CValue &V : E->Args) {
+          value(V);
+          if (V.isVar())
+            OnlyWordSelected[V.V] = false;
+        }
+        walk(E->C1, Owner);
+        E = E->C2;
+        continue;
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+      case Cexp::Kind::CCall:
+        for (const CValue &V : E->Args) {
+          value(V);
+          if (V.isVar())
+            OnlyWordSelected[V.V] = false;
+        }
+        VarTy[E->W] = E->WTy;
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Setter:
+        for (const CValue &V : E->Args) {
+          value(V);
+          if (V.isVar())
+            OnlyWordSelected[V.V] = false;
+        }
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Halt:
+        value(E->F);
+        if (E->F.isVar())
+          OnlyWordSelected[E->F.V] = false;
+        return;
+      }
+    }
+  }
+
+  // Escape marking for values in Record fields / Setter args was done via
+  // OnlyWordSelected; function escape needs Record/Setter/CCall args too.
+  void markEscapes(const Cexp *E) {
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record:
+        for (const CField &F : E->Fields)
+          if (F.V.isVar() && FnOf.count(F.V.V))
+            EscapingFns.insert(F.V.V);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Select:
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+      case Cexp::Kind::CCall:
+      case Cexp::Kind::Setter:
+        for (const CValue &V : E->Args)
+          if (V.isVar() && FnOf.count(V.V))
+            EscapingFns.insert(V.V);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Fix:
+        for (const CFun *F : E->Funs)
+          markEscapes(F->Body);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Branch:
+        markEscapes(E->C1);
+        E = E->C2;
+        continue;
+      case Cexp::Kind::App:
+        for (const CValue &V : E->Args)
+          if (V.isVar() && FnOf.count(V.V))
+            EscapingFns.insert(V.V);
+        return;
+      case Cexp::Kind::Halt:
+        if (E->F.isVar() && FnOf.count(E->F.V))
+          EscapingFns.insert(E->F.V);
+        return;
+      }
+    }
+  }
+};
+
+/// A scoped map with an undo trail (bindings dominate uses in CPS, but
+/// sibling branches must not see each other's bindings).
+template <typename V> class ScopedMap {
+public:
+  void set(CVar K, V Val) {
+    Trail.push_back(K);
+    Map[K] = Val;
+  }
+  const V *get(CVar K) const {
+    auto It = Map.find(K);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+  size_t mark() const { return Trail.size(); }
+  void popTo(size_t M) {
+    while (Trail.size() > M) {
+      Map.erase(Trail.back());
+      Trail.pop_back();
+    }
+  }
+
+private:
+  std::unordered_map<CVar, V> Map;
+  std::vector<CVar> Trail;
+};
+
+struct SelectInfo {
+  CVar Base;
+  int Idx;
+  bool IsFloat;
+};
+
+class Optimizer {
+public:
+  Optimizer(Arena &A, const CompilerOptions &Opts, CVar &MaxVar,
+            CpsOptStats &Stats)
+      : A(A), Opts(Opts), B(A, MaxVar), MaxVar(MaxVar), Stats(Stats) {}
+
+  Cexp *run(Cexp *Program) {
+    for (int Round = 0; Round < 10; ++Round) {
+      Changed = false;
+      Cen = Census();
+      Cen.walk(Program, nullptr);
+      Cen.markEscapes(Program);
+      planInlining();
+      Subst.clear();
+      RoundStartVar = B.maxVar(); // vars cloned this round lack census data
+      Program = rewrite(Program);
+      ++Stats.Rounds;
+      if (!Changed)
+        break;
+    }
+    MaxVar = B.maxVar();
+    return Program;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Inline planning
+  //===--------------------------------------------------------------------===//
+
+  static size_t bodySize(const Cexp *E) {
+    if (!E)
+      return 0;
+    size_t N = 1 + bodySize(E->C1) + bodySize(E->C2);
+    for (const CFun *F : E->Funs)
+      N += bodySize(F->Body);
+    return N;
+  }
+
+  void planInlining() {
+    InlineOnce.clear();
+    InlineSmall.clear();
+    Flatten.clear();
+    for (auto &[Name, F] : Cen.FnOf) {
+      int Uses = Cen.Use.count(Name) ? Cen.Use.at(Name) : 0;
+      int Calls = Cen.CallCount.count(Name) ? Cen.CallCount.at(Name) : 0;
+      bool Escapes = Cen.EscapingFns.count(Name) != 0;
+      bool SelfRec = Cen.SelfRecursive.count(Name) != 0;
+      if (Uses == 0)
+        continue; // dead; dropped at its Fix
+      if (!Escapes && Calls == Uses && Calls == 1 && !SelfRec) {
+        InlineOnce.insert(Name);
+        continue;
+      }
+      if (Opts.InlineSmallFns && !Escapes && Calls == Uses && !SelfRec &&
+          bodySize(F->Body) <= 10 && Calls <= 6) {
+        InlineSmall.insert(Name);
+        continue;
+      }
+      // (flattening candidates are handled below)
+      // Kranz-style known-function argument flattening (sml.fag): a known
+      // function whose single record argument is only taken apart with
+      // word selects gets its components passed directly.
+      if (Opts.KnownFnFlattening && !Escapes && Calls == Uses &&
+          F->K != CFun::Kind::Cont && F->Params.size() == 2) {
+        Cty PT = F->ParamTys[0];
+        if (PT.K == CtyKind::PtrKnown && PT.Len >= 2 &&
+            PT.Len <= Opts.MaxSpreadArgs) {
+          auto It = Cen.OnlyWordSelected.find(F->Params[0]);
+          if (It != Cen.OnlyWordSelected.end() && It->second)
+            Flatten[Name] = PT.Len;
+        }
+      }
+    }
+    pruneInlineCycles();
+  }
+
+  /// Collects the inline-candidate functions referenced anywhere in E.
+  void candidateRefs(const Cexp *E, std::unordered_set<CVar> &Out) {
+    if (!E)
+      return;
+    auto Val = [&](const CValue &V) {
+      if (V.isVar() && (InlineOnce.count(V.V) || InlineSmall.count(V.V)))
+        Out.insert(V.V);
+    };
+    Val(E->F);
+    for (const CValue &V : E->Args)
+      Val(V);
+    for (const CField &F : E->Fields)
+      Val(F.V);
+    for (const CFun *F : E->Funs)
+      candidateRefs(F->Body, Out);
+    candidateRefs(E->C1, Out);
+    candidateRefs(E->C2, Out);
+  }
+
+  /// Inlining mutually recursive candidates would never terminate; remove
+  /// every candidate that participates in a reference cycle (Kahn-style
+  /// elimination: whatever cannot be topologically ordered is cyclic).
+  void pruneInlineCycles() {
+    std::unordered_map<CVar, std::unordered_set<CVar>> Refs;
+    auto Candidates = [&]() {
+      std::vector<CVar> Out;
+      for (CVar V : InlineOnce)
+        Out.push_back(V);
+      for (CVar V : InlineSmall)
+        Out.push_back(V);
+      return Out;
+    };
+    for (CVar V : Candidates())
+      candidateRefs(Cen.FnOf.at(V)->Body, Refs[V]);
+    bool Progress = true;
+    std::unordered_set<CVar> Alive(Refs.size());
+    for (auto &[V, _] : Refs)
+      Alive.insert(V);
+    while (Progress) {
+      Progress = false;
+      for (auto It = Alive.begin(); It != Alive.end();) {
+        bool HasLiveRef = false;
+        for (CVar R : Refs[*It])
+          if (R != *It && Alive.count(R)) {
+            HasLiveRef = true;
+            break;
+          }
+        if (!HasLiveRef) {
+          It = Alive.erase(It);
+          Progress = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    // Whatever is still "alive" is part of (or depends on) a cycle.
+    for (CVar V : Alive) {
+      InlineOnce.erase(V);
+      InlineSmall.erase(V);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rewriting
+  //===--------------------------------------------------------------------===//
+
+  CValue resolve(CValue V) const {
+    while (V.isVar()) {
+      auto It = Subst.find(V.V);
+      if (It == Subst.end())
+        return V;
+      V = It->second;
+    }
+    return V;
+  }
+
+  std::vector<CValue> resolveAll(Span<CValue> Vs) const {
+    std::vector<CValue> Out;
+    for (const CValue &V : Vs)
+      Out.push_back(resolve(V));
+    return Out;
+  }
+
+  bool used(CVar W) const {
+    if (W >= RoundStartVar)
+      return true; // introduced by cloning this round; no census data
+    auto It = Cen.Use.find(W);
+    return It != Cen.Use.end() && It->second > 0;
+  }
+
+  Cexp *rewrite(const Cexp *E) {
+    switch (E->K) {
+    case Cexp::Kind::Record: {
+      std::vector<CField> Fields;
+      for (const CField &F : E->Fields)
+        Fields.push_back(CField{resolve(F.V), F.IsFloat});
+      // Float boxes are only visible to the optimizer in the type-based
+      // compilers (Section 5.2); the old compilers' float arithmetic boxed
+      // implicitly and unconditionally.
+      bool FloatBoxOpt =
+          E->RK != RecordKind::FloatBox || Opts.CpsWrapCancel;
+      if (!used(E->W) && E->RK != RecordKind::Ref && FloatBoxOpt) {
+        ++Stats.DeadRemoved;
+        Changed = true;
+        return rewrite(E->C1);
+      }
+      // Wrap/unwrap cancellation: re-boxing a float that was just unboxed
+      // from an existing box yields the original box.
+      if (Opts.CpsWrapCancel && E->RK == RecordKind::FloatBox &&
+          Fields.size() == 1 && Fields[0].V.isVar()) {
+        if (const SelectInfo *SI = SelDefs.get(Fields[0].V.V)) {
+          if (SI->IsFloat && SI->Idx == 0) {
+            if (const Cexp *const *BoxDef = RecDefs.get(SI->Base)) {
+              if ((*BoxDef)->RK == RecordKind::FloatBox) {
+                ++Stats.FloatBoxesReused;
+                Changed = true;
+                Subst[E->W] = CValue::var(SI->Base);
+                return rewrite(E->C1);
+              }
+            }
+          }
+        }
+      }
+      // Record copy elimination: building a record from in-order selects
+      // of a same-sized record is the identity (Section 5.2).
+      if (Opts.CpsRecordCopyElim && E->RK != RecordKind::Ref &&
+          !Fields.empty()) {
+        CVar Base = 0;
+        bool AllSelects = true;
+        for (size_t I = 0; I < Fields.size() && AllSelects; ++I) {
+          if (!Fields[I].V.isVar()) {
+            AllSelects = false;
+            break;
+          }
+          const SelectInfo *SI = SelDefs.get(Fields[I].V.V);
+          if (!SI || SI->Idx != static_cast<int>(I) ||
+              SI->IsFloat != Fields[I].IsFloat) {
+            AllSelects = false;
+            break;
+          }
+          if (I == 0)
+            Base = SI->Base;
+          else if (SI->Base != Base)
+            AllSelects = false;
+        }
+        if (AllSelects && Base != 0) {
+          auto It = Cen.VarTy.find(Base);
+          if (It != Cen.VarTy.end() && It->second.K == CtyKind::PtrKnown &&
+              It->second.Len == static_cast<int>(Fields.size())) {
+            ++Stats.RecordsCopyEliminated;
+            Changed = true;
+            Subst[E->W] = CValue::var(Base);
+            return rewrite(E->C1);
+          }
+        }
+      }
+      Cexp *N = B.record(E->RK, Fields, E->W, nullptr);
+      N->WTy = E->WTy;
+      size_t M = RecDefs.mark();
+      if (E->RK != RecordKind::Ref && FloatBoxOpt)
+        RecDefs.set(E->W, N);
+      N->C1 = rewrite(E->C1);
+      RecDefs.popTo(M);
+      return N;
+    }
+
+    case Cexp::Kind::Select: {
+      CValue Base = resolve(E->F);
+      if (Base.isVar()) {
+        if (const Cexp *const *RD = RecDefs.get(Base.V)) {
+          const Cexp *R = *RD;
+          if (E->Idx < static_cast<int>(R->Fields.size())) {
+            ++Stats.SelectsFolded;
+            Changed = true;
+            Subst[E->W] = resolve(R->Fields[E->Idx].V);
+            return rewrite(E->C1);
+          }
+        }
+      }
+      if (!used(E->W)) {
+        // A Select from a known-immutable record cannot trap; checked
+        // loads are Lookers, so this is safe to drop.
+        ++Stats.DeadRemoved;
+        Changed = true;
+        return rewrite(E->C1);
+      }
+      Cexp *N = B.select(E->Idx, E->IsFloat, Base, E->W, E->WTy, nullptr);
+      size_t M = SelDefs.mark();
+      if (Base.isVar())
+        SelDefs.set(E->W, SelectInfo{Base.V, E->Idx, E->IsFloat});
+      N->C1 = rewrite(E->C1);
+      SelDefs.popTo(M);
+      return N;
+    }
+
+    case Cexp::Kind::App: {
+      CValue F = resolve(E->F);
+      std::vector<CValue> Args = resolveAll(E->Args);
+      if (F.isVar()) {
+        if ((InlineOnce.count(F.V) || InlineSmall.count(F.V)) &&
+            !InlineStack.count(F.V)) {
+          const CFun *Fn = Cen.FnOf.at(F.V);
+          bool Once = InlineOnce.count(F.V) != 0;
+          (Once ? Stats.InlinedOnce : Stats.InlinedSmall)++;
+          Changed = true;
+          InlineStack.insert(F.V);
+          Cexp *R = inlineCall(Fn, Args, /*NeedsRenaming=*/!Once);
+          InlineStack.erase(F.V);
+          return R;
+        }
+        auto FlIt = Flatten.find(F.V);
+        if (FlIt != Flatten.end()) {
+          // Rewrite the call to pass the record's components.
+          int N = FlIt->second;
+          std::vector<CValue> NewArgs;
+          std::vector<CVar> Sels;
+          for (int I = 0; I < N; ++I) {
+            CVar S = B.fresh();
+            Sels.push_back(S);
+            NewArgs.push_back(CValue::var(S));
+          }
+          NewArgs.push_back(Args[1]); // return continuation
+          Cexp *Call = B.app(F, NewArgs);
+          for (int I = N; I-- > 0;)
+            Call = B.select(I, false, Args[0], Sels[I],
+                            Cty::ptrUnknown(), Call);
+          Changed = true;
+          return Call;
+        }
+      }
+      return B.app(F, Args);
+    }
+
+    case Cexp::Kind::Fix: {
+      std::vector<CFun *> Funs;
+      for (CFun *F : E->Funs) {
+        if (!used(F->Name)) {
+          ++Stats.DeadRemoved;
+          Changed = true;
+          continue;
+        }
+        // Inline candidates keep their definitions this round (calls may
+        // decline to inline when a cycle is detected at rewrite time);
+        // once all uses are gone, dead-function removal reaps them.
+        // Eta: cont k(x) = j(x) ==> k := j.
+        if (F->K == CFun::Kind::Cont && F->Params.size() == 1 &&
+            F->Body->K == Cexp::Kind::App && F->Body->Args.size() == 1 &&
+            F->Body->Args[0].isVar() &&
+            F->Body->Args[0].V == F->Params[0] && F->Body->F.isVar() &&
+            F->Body->F.V != F->Name &&
+            // Redirecting uses to the target would invalidate this
+            // round's single-use inlining plan for it.
+            !InlineOnce.count(F->Body->F.V) &&
+            !InlineSmall.count(F->Body->F.V)) {
+          ++Stats.EtaConts;
+          Changed = true;
+          Subst[F->Name] = resolve(F->Body->F);
+          continue;
+        }
+        Funs.push_back(F);
+      }
+      std::vector<CFun *> NewFuns;
+      for (CFun *F : Funs) {
+        // Recompute known-ness from this round's census in both
+        // directions: contractions can reveal that all call sites are
+        // known, and substitutions can surface new value (escaping) uses.
+        CFun::Kind K = F->K;
+        if (K != CFun::Kind::Cont)
+          K = Cen.EscapingFns.count(F->Name) ? CFun::Kind::Escape
+                                             : CFun::Kind::Known;
+        auto FlIt = Flatten.find(F->Name);
+        if (FlIt != Flatten.end()) {
+          // Flattened entry: fresh component params, rebuild the record
+          // (contracted away next round when only selects remain).
+          int N = FlIt->second;
+          ++Stats.KnownFnsFlattened;
+          Changed = true;
+          std::vector<CVar> Params;
+          std::vector<Cty> Tys;
+          std::vector<CField> Fields;
+          for (int I = 0; I < N; ++I) {
+            CVar P = B.fresh();
+            Params.push_back(P);
+            Tys.push_back(Cty::ptrUnknown());
+            Fields.push_back(CField{CValue::var(P), false});
+          }
+          Params.push_back(F->Params[1]);
+          Tys.push_back(F->ParamTys[1]);
+          Cexp *Body = B.record(RecordKind::Std, Fields, F->Params[0],
+                                rewrite(F->Body));
+          NewFuns.push_back(B.fun(CFun::Kind::Known, F->Name, Params, Tys,
+                                  Body));
+          continue;
+        }
+        std::vector<CVar> Params(F->Params.begin(), F->Params.end());
+        std::vector<Cty> Tys(F->ParamTys.begin(), F->ParamTys.end());
+        size_t MR = RecDefs.mark(), MS = SelDefs.mark();
+        Cexp *Body = rewrite(F->Body);
+        RecDefs.popTo(MR);
+        SelDefs.popTo(MS);
+        NewFuns.push_back(B.fun(K, F->Name, Params, Tys, Body));
+      }
+      Cexp *Cont = rewrite(E->C1);
+      if (NewFuns.empty())
+        return Cont;
+      return B.fix(NewFuns, Cont);
+    }
+
+    case Cexp::Kind::Branch: {
+      std::vector<CValue> Args = resolveAll(E->Args);
+      // Constant folding.
+      if (E->BOp == BranchOp::IsBoxed && !Args[0].isVar()) {
+        ++Stats.BranchesFolded;
+        Changed = true;
+        bool Boxed = Args[0].K != CValue::Kind::Int;
+        return rewrite(Boxed ? E->C1 : E->C2);
+      }
+      if (Args.size() == 2 && Args[0].K == CValue::Kind::Int &&
+          Args[1].K == CValue::Kind::Int) {
+        int64_t X = Args[0].I, Y = Args[1].I;
+        bool T;
+        bool Known = true;
+        switch (E->BOp) {
+        case BranchOp::Ieq: T = X == Y; break;
+        case BranchOp::Ine: T = X != Y; break;
+        case BranchOp::Ilt: T = X < Y; break;
+        case BranchOp::Ile: T = X <= Y; break;
+        case BranchOp::Igt: T = X > Y; break;
+        case BranchOp::Ige: T = X >= Y; break;
+        case BranchOp::Ult:
+          T = static_cast<uint64_t>(X) < static_cast<uint64_t>(Y);
+          break;
+        default:
+          Known = false;
+          T = false;
+        }
+        if (Known) {
+          ++Stats.BranchesFolded;
+          Changed = true;
+          return rewrite(T ? E->C1 : E->C2);
+        }
+      }
+      size_t MR = RecDefs.mark(), MS = SelDefs.mark();
+      Cexp *Then = rewrite(E->C1);
+      RecDefs.popTo(MR);
+      SelDefs.popTo(MS);
+      Cexp *Else = rewrite(E->C2);
+      RecDefs.popTo(MR);
+      SelDefs.popTo(MS);
+      return B.branch(E->BOp, Args, Then, Else);
+    }
+
+    case Cexp::Kind::Arith: {
+      std::vector<CValue> Args = resolveAll(E->Args);
+      bool CanTrap = E->Op == CpsOp::IDiv || E->Op == CpsOp::IMod;
+      if (!used(E->W) && !CanTrap) {
+        ++Stats.DeadRemoved;
+        Changed = true;
+        return rewrite(E->C1);
+      }
+      // Integer constant folding.
+      if (Args.size() == 2 && Args[0].K == CValue::Kind::Int &&
+          Args[1].K == CValue::Kind::Int) {
+        int64_t X = Args[0].I, Y = Args[1].I;
+        int64_t R;
+        bool Known = true;
+        switch (E->Op) {
+        case CpsOp::IAdd: R = X + Y; break;
+        case CpsOp::ISub: R = X - Y; break;
+        case CpsOp::IMul: R = X * Y; break;
+        case CpsOp::IDiv:
+        case CpsOp::IMod: {
+          // SML div/mod round toward negative infinity (match the VM).
+          Known = Y != 0;
+          if (!Known) {
+            R = 0;
+            break;
+          }
+          int64_t Q = X / Y;
+          int64_t Rm = X % Y;
+          if (Rm != 0 && ((Rm < 0) != (Y < 0))) {
+            Q -= 1;
+            Rm += Y;
+          }
+          R = E->Op == CpsOp::IDiv ? Q : Rm;
+          break;
+        }
+        default: Known = false; R = 0;
+        }
+        if (Known) {
+          ++Stats.ConstantsFolded;
+          Changed = true;
+          Subst[E->W] = CValue::intC(R);
+          return rewrite(E->C1);
+        }
+      }
+      if (Args.size() == 1 && Args[0].K == CValue::Kind::Int &&
+          (E->Op == CpsOp::INeg || E->Op == CpsOp::IAbs)) {
+        int64_t X = Args[0].I;
+        ++Stats.ConstantsFolded;
+        Changed = true;
+        Subst[E->W] = CValue::intC(E->Op == CpsOp::INeg ? -X
+                                                        : (X < 0 ? -X : X));
+        return rewrite(E->C1);
+      }
+      Cexp *N = B.arith(E->Op, Args, E->W, E->WTy, nullptr);
+      N->C1 = rewrite(E->C1);
+      return N;
+    }
+
+    case Cexp::Kind::Pure: {
+      std::vector<CValue> Args = resolveAll(E->Args);
+      if (E->Op == CpsOp::Copy) {
+        Changed = true;
+        Subst[E->W] = Args[0];
+        return rewrite(E->C1);
+      }
+      if (!used(E->W)) {
+        ++Stats.DeadRemoved;
+        Changed = true;
+        return rewrite(E->C1);
+      }
+      Cexp *N = B.pure(E->Op, Args, E->W, E->WTy, nullptr);
+      N->C1 = rewrite(E->C1);
+      return N;
+    }
+
+    case Cexp::Kind::Looker: {
+      std::vector<CValue> Args = resolveAll(E->Args);
+      bool CanTrap =
+          E->Op == CpsOp::LoadCell || E->Op == CpsOp::LoadByte;
+      if (!used(E->W) && !CanTrap) {
+        ++Stats.DeadRemoved;
+        Changed = true;
+        return rewrite(E->C1);
+      }
+      Cexp *N = B.looker(E->Op, Args, E->W, E->WTy, nullptr);
+      N->C1 = rewrite(E->C1);
+      return N;
+    }
+
+    case Cexp::Kind::Setter: {
+      Cexp *N = B.setter(E->Op, resolveAll(E->Args), nullptr);
+      N->C1 = rewrite(E->C1);
+      return N;
+    }
+
+    case Cexp::Kind::CCall: {
+      Cexp *N = B.ccall(E->Op, resolveAll(E->Args), E->W, E->WTy, nullptr);
+      N->C1 = rewrite(E->C1);
+      return N;
+    }
+
+    case Cexp::Kind::Halt: {
+      Cexp *N = B.halt(resolve(E->F));
+      N->Idx = E->Idx;
+      return N;
+    }
+    }
+    assert(false && "unknown CPS node");
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Inlining
+  //===--------------------------------------------------------------------===//
+
+  Cexp *inlineCall(const CFun *Fn, const std::vector<CValue> &Args,
+                   bool NeedsRenaming) {
+    assert(Fn->Params.size() == Args.size() && "inline arity mismatch");
+    // Renaming is needed even for once-used functions: the call site may
+    // itself live inside cloned (multi-inlined) code, in which case the
+    // body would otherwise be spliced twice with the same binders.
+    (void)NeedsRenaming;
+    std::unordered_map<CVar, CValue> Rename;
+    for (size_t I = 0; I < Args.size(); ++I)
+      Rename[Fn->Params[I]] = Args[I];
+    Cexp *Cloned = clone(Fn->Body, Rename);
+    return rewrite(Cloned);
+  }
+
+  CValue renameValue(const CValue &V,
+                     const std::unordered_map<CVar, CValue> &Rn) {
+    if (!V.isVar())
+      return V;
+    auto It = Rn.find(V.V);
+    return It == Rn.end() ? V : It->second;
+  }
+
+  CVar freshBinder(CVar Old, std::unordered_map<CVar, CValue> &Rn) {
+    CVar N = B.fresh();
+    Rn[Old] = CValue::var(N);
+    return N;
+  }
+
+  /// Alpha-renaming deep copy (for multi-site inlining).
+  Cexp *clone(const Cexp *E, std::unordered_map<CVar, CValue> &Rn) {
+    switch (E->K) {
+    case Cexp::Kind::Record: {
+      std::vector<CField> Fields;
+      for (const CField &F : E->Fields)
+        Fields.push_back(CField{renameValue(F.V, Rn), F.IsFloat});
+      CVar W = freshBinder(E->W, Rn);
+      Cexp *N = B.record(E->RK, Fields, W, nullptr);
+      N->WTy = E->WTy;
+      N->C1 = clone(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::Select: {
+      CValue Base = renameValue(E->F, Rn);
+      CVar W = freshBinder(E->W, Rn);
+      Cexp *N = B.select(E->Idx, E->IsFloat, Base, W, E->WTy, nullptr);
+      N->C1 = clone(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::App: {
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args)
+        Args.push_back(renameValue(V, Rn));
+      return B.app(renameValue(E->F, Rn), Args);
+    }
+    case Cexp::Kind::Fix: {
+      std::vector<CFun *> Funs;
+      for (const CFun *F : E->Funs)
+        freshBinder(F->Name, Rn);
+      for (const CFun *F : E->Funs) {
+        std::vector<CVar> Params;
+        std::vector<Cty> Tys(F->ParamTys.begin(), F->ParamTys.end());
+        for (CVar P : F->Params)
+          Params.push_back(freshBinder(P, Rn));
+        Cexp *Body = clone(F->Body, Rn);
+        Funs.push_back(
+            B.fun(F->K, Rn.at(F->Name).V, Params, Tys, Body));
+      }
+      return B.fix(Funs, clone(E->C1, Rn));
+    }
+    case Cexp::Kind::Branch: {
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args)
+        Args.push_back(renameValue(V, Rn));
+      Cexp *Then = clone(E->C1, Rn);
+      Cexp *Else = clone(E->C2, Rn);
+      return B.branch(E->BOp, Args, Then, Else);
+    }
+    case Cexp::Kind::Arith:
+    case Cexp::Kind::Pure:
+    case Cexp::Kind::Looker:
+    case Cexp::Kind::CCall: {
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args)
+        Args.push_back(renameValue(V, Rn));
+      CVar W = freshBinder(E->W, Rn);
+      Cexp *N;
+      if (E->K == Cexp::Kind::Arith)
+        N = B.arith(E->Op, Args, W, E->WTy, nullptr);
+      else if (E->K == Cexp::Kind::Pure)
+        N = B.pure(E->Op, Args, W, E->WTy, nullptr);
+      else if (E->K == Cexp::Kind::Looker)
+        N = B.looker(E->Op, Args, W, E->WTy, nullptr);
+      else
+        N = B.ccall(E->Op, Args, W, E->WTy, nullptr);
+      N->C1 = clone(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::Setter: {
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args)
+        Args.push_back(renameValue(V, Rn));
+      Cexp *N = B.setter(E->Op, Args, nullptr);
+      N->C1 = clone(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::Halt: {
+      Cexp *N = B.halt(renameValue(E->F, Rn));
+      N->Idx = E->Idx;
+      return N;
+    }
+    }
+    assert(false && "unknown CPS node in clone");
+    return nullptr;
+  }
+
+  Arena &A;
+  const CompilerOptions &Opts;
+  CpsBuilder B;
+  CVar &MaxVar;
+  CpsOptStats &Stats;
+  Census Cen;
+  CVar RoundStartVar = 0;
+  bool Changed = false;
+  std::unordered_map<CVar, CValue> Subst;
+  ScopedMap<const Cexp *> RecDefs;
+  ScopedMap<SelectInfo> SelDefs;
+  std::unordered_set<CVar> InlineOnce;
+  std::unordered_set<CVar> InlineSmall;
+  std::unordered_set<CVar> InlineStack; ///< functions being inlined now
+  std::unordered_map<CVar, int> Flatten;
+};
+
+} // namespace
+
+Cexp *smltc::optimizeCps(Arena &A, const CompilerOptions &Opts,
+                         Cexp *Program, CVar &MaxVar, CpsOptStats &Stats) {
+  Optimizer O(A, Opts, MaxVar, Stats);
+  return O.run(Program);
+}

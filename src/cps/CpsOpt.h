@@ -1,0 +1,45 @@
+//===- cps/CpsOpt.h - CPS optimizer ---------------------------------------------===//
+///
+/// \file
+/// The CPS optimizer (paper Section 5.2 and Appel's book): contractions
+/// (dead code, constant folding, select-from-known-record), beta reduction
+/// of once-used functions, eta reduction of continuations, inline expansion
+/// of small functions, and the two new type-enabled optimizations the paper
+/// adds: cancellation of wrapper/unwrapper pairs and record-copy
+/// elimination (possible because record sizes are now known from CTYs).
+/// Also implements Kranz-style argument flattening for known functions
+/// (the sml.fag configuration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_CPS_CPSOPT_H
+#define SMLTC_CPS_CPSOPT_H
+
+#include "cps/Cps.h"
+#include "driver/Options.h"
+
+namespace smltc {
+
+struct CpsOptStats {
+  int Rounds = 0;
+  size_t DeadRemoved = 0;
+  size_t SelectsFolded = 0;
+  size_t RecordsCopyEliminated = 0;
+  size_t FloatBoxesReused = 0; ///< wrap/unwrap pairs cancelled
+  size_t BranchesFolded = 0;
+  size_t ConstantsFolded = 0;
+  size_t InlinedOnce = 0;
+  size_t InlinedSmall = 0;
+  size_t EtaConts = 0;
+  size_t KnownFnsFlattened = 0;
+};
+
+/// Optimizes a CPS program in place (functionally: returns the new root).
+/// \p MaxVar is the exclusive upper bound of variable ids, updated as the
+/// optimizer introduces fresh variables.
+Cexp *optimizeCps(Arena &A, const CompilerOptions &Opts, Cexp *Program,
+                  CVar &MaxVar, CpsOptStats &Stats);
+
+} // namespace smltc
+
+#endif // SMLTC_CPS_CPSOPT_H

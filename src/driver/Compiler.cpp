@@ -1,0 +1,203 @@
+//===- driver/Compiler.cpp - The full compiler pipeline ------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "ast/Parser.h"
+#include "closure/Closure.h"
+#include "cps/CpsCheck.h"
+#include "cps/CpsConvert.h"
+#include "elab/Elaborator.h"
+#include "lexp/LexpCheck.h"
+#include "lexp/Translate.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <chrono>
+#include <functional>
+#include <pthread.h>
+
+using namespace smltc;
+
+namespace {
+
+/// CPS trees for whole programs are deep and the optimizer's rewriting is
+/// recursive; run compilation on a thread with a generous stack.
+void runWithBigStack(const std::function<void()> &Fn) {
+  pthread_attr_t Attr;
+  pthread_attr_init(&Attr);
+  pthread_attr_setstacksize(&Attr, 1ull << 30); // 1 GiB
+  struct Ctx {
+    const std::function<void()> *Fn;
+  } C{&Fn};
+  pthread_t Tid;
+  auto Trampoline = [](void *P) -> void * {
+    (*static_cast<Ctx *>(P)->Fn)();
+    return nullptr;
+  };
+  if (pthread_create(&Tid, &Attr, Trampoline, &C) == 0) {
+    pthread_join(Tid, nullptr);
+  } else {
+    Fn(); // fall back to the current stack
+  }
+  pthread_attr_destroy(&Attr);
+}
+
+} // namespace
+
+const char *Compiler::prelude() {
+  return R"PRELUDE(
+fun not b = if b then false else true
+fun rev l = let fun re (nil, a) = a | re (x :: r, a) = re (r, x :: a)
+            in re (l, nil) end
+fun map f l = case l of nil => nil | x :: r => f x :: map f r
+fun app f l = case l of nil => () | x :: r => (f x; app f r)
+fun foldl f b l = case l of nil => b | x :: r => foldl f (f (x, b)) r
+fun foldr f b l = case l of nil => b | x :: r => f (x, foldr f b r)
+fun length l = let fun n (nil, k) = k | n (_ :: r, k) = n (r, k + 1)
+               in n (l, 0) end
+fun exists p l = case l of nil => false
+                         | x :: r => if p x then true else exists p r
+fun all p l = case l of nil => true
+                      | x :: r => if p x then all p r else false
+fun filter p l = case l of nil => nil
+                         | x :: r => if p x then x :: filter p r
+                                     else filter p r
+fun hd l = case l of x :: _ => x | nil => raise Match
+fun tl l = case l of _ :: r => r | nil => raise Match
+fun null l = case l of nil => true | _ => false
+fun op @ (l1, l2) = case l1 of nil => l2 | x :: r => x :: (r @ l2)
+fun op o (f, g) = fn x => f (g x)
+fun tabulate (n, f) =
+  let fun go i = if i >= n then nil else f i :: go (i + 1) in go 0 end
+fun nth (l, n) = if n = 0 then hd l else nth (tl l, n - 1)
+)PRELUDE";
+}
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+} // namespace
+
+CompileOutput Compiler::compile(const std::string &Source,
+                                const CompilerOptions &Opts,
+                                bool WithPrelude) {
+  CompileOutput Out;
+  runWithBigStack([&]() { Out = compileImpl(Source, Opts, WithPrelude); });
+  return Out;
+}
+
+CompileOutput Compiler::compileImpl(const std::string &Source,
+                                    const CompilerOptions &Opts,
+                                    bool WithPrelude) {
+  CompileOutput Out;
+  auto TStart = std::chrono::steady_clock::now();
+
+  Arena A;
+  StringInterner Interner;
+  DiagnosticEngine Diags;
+  TypeContext Types(A, Interner);
+
+  std::string Full = WithPrelude ? std::string(prelude()) + Source : Source;
+
+  // --- Front end: parse + elaborate (+ MTD) ---
+  auto TFront = std::chrono::steady_clock::now();
+  Parser P(Full, A, Interner, Diags);
+  ast::Program Raw = P.parseProgram();
+  Elaborator Elab(A, Types, Interner, Diags);
+  AProgram Prog = Elab.elaborate(Raw);
+  if (Diags.hasErrors()) {
+    Out.Errors = Diags.render();
+    return Out;
+  }
+  if (Opts.Mtd)
+    Out.Metrics.Mtd = runMtd(Prog, Types, A);
+  Out.Metrics.FrontSec = secondsSince(TFront);
+
+  // --- Middle end: Absyn -> LEXP ---
+  auto TTrans = std::chrono::steady_clock::now();
+  LtyContext LC(A, Opts.HashConsLty);
+  BuiltinExns Exns;
+  Exns.Match = Elab.MatchExn;
+  Exns.Bind = Elab.BindExn;
+  Exns.Div = Elab.DivExn;
+  Exns.Subscript = Elab.SubscriptExn;
+  Exns.Size = Elab.SizeExn;
+  Exns.Overflow = Elab.OverflowExn;
+  Exns.Chr = Elab.ChrExn;
+  Translator Trans(A, Types, LC, Opts, Exns, Diags);
+  Lexp *Lambda = Trans.translate(Prog);
+  if (Diags.hasErrors()) {
+    Out.Errors = Diags.render();
+    return Out;
+  }
+  Out.Metrics.TranslateSec = secondsSince(TTrans);
+  Out.Metrics.LexpNodes = countLexpNodes(Lambda);
+  Out.Metrics.LtyInterned = LC.internedCount();
+  Out.Metrics.LtyAllocated = LC.allocatedCount();
+  Out.Metrics.CoerceMemoHits = Trans.coercer().memoHits();
+  Out.Metrics.CoerceMemoMisses = Trans.coercer().memoMisses();
+
+  if (Opts.KeepDumps)
+    Out.LexpDump = printLexp(Lambda);
+
+  LexpCheckResult LCheck = checkLexp(Lambda, LC);
+  if (!LCheck.Ok) {
+    Out.Errors = "internal: LEXP check failed: " + LCheck.Error;
+    return Out;
+  }
+
+  // --- Back end: CPS -> optimize -> closure -> code ---
+  auto TBack = std::chrono::steady_clock::now();
+  CpsConvertResult Cps = convertToCps(A, LC, Opts, Lambda);
+  Out.Metrics.CpsNodesBeforeOpt = countCpsNodes(Cps.Program);
+  CpsCheckResult CCheck = checkCps(Cps.Program);
+  if (!CCheck.Ok) {
+    Out.Errors = "internal: CPS check failed: " + CCheck.Error;
+    return Out;
+  }
+  CVar MaxVar = Cps.MaxVar;
+  Cexp *Optimized =
+      optimizeCps(A, Opts, Cps.Program, MaxVar, Out.Metrics.Opt);
+  Out.Metrics.CpsNodesAfterOpt = countCpsNodes(Optimized);
+  if (Opts.KeepDumps)
+    Out.CpsDump = printCps(Optimized);
+  CCheck = checkCps(Optimized);
+  if (!CCheck.Ok) {
+    Out.Errors = "internal: CPS check failed after optimization: " +
+                 CCheck.Error;
+    return Out;
+  }
+  ClosureResult Closed = closureConvert(A, Opts, Optimized, MaxVar);
+  Out.Metrics.ClosuresBuilt = Closed.ClosuresBuilt;
+  Out.Program = generateCode(Closed, Out.Metrics.Codegen);
+  Out.Metrics.CodeSize = Out.Program.codeSize();
+  Out.Metrics.BackSec = secondsSince(TBack);
+  Out.Metrics.TotalSec = secondsSince(TStart);
+  Out.Ok = true;
+  return Out;
+}
+
+ExecResult Compiler::compileAndRun(const std::string &Source,
+                                   const CompilerOptions &Opts,
+                                   bool WithPrelude, VmOptions VmOpts) {
+  CompileOutput C = compile(Source, Opts, WithPrelude);
+  if (!C.Ok) {
+    ExecResult R;
+    R.Trapped = true;
+    R.TrapMessage = C.Errors;
+    return R;
+  }
+  VmOpts.UnalignedFloats = Opts.UnalignedFloats;
+  return execute(C.Program, VmOpts);
+}
+
+const CompilerOptions *CompilerOptions::allVariants(size_t &Count) {
+  static const CompilerOptions Variants[6] = {nrp(), fag(), rep(),
+                                              mtd(), ffb(), fp3()};
+  Count = 6;
+  return Variants;
+}

@@ -1,0 +1,85 @@
+//===- driver/Compiler.h - The full compiler pipeline ------------------------------===//
+///
+/// \file
+/// Wires the phases of Figure 3 together: parse -> elaborate/type-check
+/// [-> minimum typing derivations] -> translate to LEXP with coercions ->
+/// CPS convert -> CPS optimize -> closure convert -> generate TM code.
+/// Collects per-phase compile-time and size metrics (the paper's Figure 8
+/// compile-time row and the Section 4.5 ablations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_DRIVER_COMPILER_H
+#define SMLTC_DRIVER_COMPILER_H
+
+#include "codegen/CodeGen.h"
+#include "codegen/Machine.h"
+#include "cps/CpsOpt.h"
+#include "driver/Options.h"
+#include "elab/Mtd.h"
+#include "vm/Vm.h"
+
+#include <memory>
+#include <string>
+
+namespace smltc {
+
+struct CompileMetrics {
+  double TotalSec = 0;
+  double FrontSec = 0;     ///< parse + elaborate (+ MTD)
+  double TranslateSec = 0; ///< Absyn -> LEXP
+  double BackSec = 0;      ///< CPS convert + optimize + closure + codegen
+
+  size_t LexpNodes = 0;
+  size_t CpsNodesBeforeOpt = 0;
+  size_t CpsNodesAfterOpt = 0;
+  size_t CodeSize = 0; ///< TM instructions (the paper's code-size metric)
+
+  MtdStats Mtd;
+  CpsOptStats Opt;
+  CodeGenStats Codegen;
+  size_t LtyInterned = 0;
+  size_t LtyAllocated = 0;
+  size_t CoerceMemoHits = 0;
+  size_t CoerceMemoMisses = 0;
+  size_t ClosuresBuilt = 0;
+};
+
+struct CompileOutput {
+  bool Ok = false;
+  std::string Errors;
+  TmProgram Program;
+  CompileMetrics Metrics;
+  /// Filled when CompilerOptions::KeepDumps is set: the typed lambda
+  /// program and the optimized CPS program, rendered as s-expressions.
+  std::string LexpDump;
+  std::string CpsDump;
+};
+
+class Compiler {
+public:
+  /// The standard prelude (list utilities etc.), compiled with every
+  /// program, written in MiniML itself.
+  static const char *prelude();
+
+  /// Compiles a MiniML source program under the given compiler variant.
+  /// When \p WithPrelude, the prelude is prepended.
+  static CompileOutput compile(const std::string &Source,
+                               const CompilerOptions &Opts,
+                               bool WithPrelude = true);
+
+  /// Convenience: compile and execute.
+  static ExecResult compileAndRun(const std::string &Source,
+                                  const CompilerOptions &Opts,
+                                  bool WithPrelude = true,
+                                  VmOptions VmOpts = VmOptions());
+
+private:
+  static CompileOutput compileImpl(const std::string &Source,
+                                   const CompilerOptions &Opts,
+                                   bool WithPrelude);
+};
+
+} // namespace smltc
+
+#endif // SMLTC_DRIVER_COMPILER_H

@@ -1,0 +1,1319 @@
+//===- elab/Elaborator.cpp - Core-language elaboration ---------------------===//
+
+#include "elab/Elaborator.h"
+
+#include "elab/Internal.h"
+
+#include <cassert>
+
+using namespace smltc;
+
+Elaborator::Elaborator(Arena &A, TypeContext &Types, StringInterner &Interner,
+                       DiagnosticEngine &Diags)
+    : A(A), Types(Types), Interner(Interner), Diags(Diags),
+      E(std::make_shared<Env>()) {
+  SymMain = Interner.intern("main");
+  setupBuiltins();
+}
+
+ValInfo *Elaborator::makeValInfo(Symbol Name, Type *Ty) {
+  ValInfo *V = A.create<ValInfo>();
+  V->Name = Name;
+  V->Scheme = TypeScheme{Span<Type *>(), Ty};
+  V->Id = NextValId++;
+  return V;
+}
+
+ExnInfo *Elaborator::makeExn(Symbol Name, Type *Payload, bool Builtin) {
+  ExnInfo *X = A.create<ExnInfo>();
+  X->Name = Name;
+  X->Payload = Payload;
+  X->Id = NextExnId++;
+  X->Builtin = Builtin;
+  return X;
+}
+
+void Elaborator::unifyOrDiag(Type *T1, Type *T2, SourceLoc Loc,
+                             const char *Ctx) {
+  UnifyResult R = unify(Types, T1, T2);
+  if (!R.Ok)
+    Diags.error(Loc, std::string(Ctx) + ": " + R.Message);
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins
+//===----------------------------------------------------------------------===//
+
+void Elaborator::setupBuiltins() {
+  Env &Env = *E;
+  Env.bindTycon(Interner.intern("int"), Types.IntTycon);
+  Env.bindTycon(Interner.intern("real"), Types.RealTycon);
+  Env.bindTycon(Interner.intern("string"), Types.StringTycon);
+  Env.bindTycon(Interner.intern("unit"), Types.UnitTycon);
+  Env.bindTycon(Interner.intern("bool"), Types.BoolTycon);
+  Env.bindTycon(Interner.intern("list"), Types.ListTycon);
+  Env.bindTycon(Interner.intern("ref"), Types.RefTycon);
+  Env.bindTycon(Interner.intern("array"), Types.ArrayTycon);
+  Env.bindTycon(Interner.intern("exn"), Types.ExnTycon);
+  Env.bindTycon(Interner.intern("cont"), Types.ContTycon);
+
+  Env.bindCon(Interner.intern("true"), Types.TrueCon);
+  Env.bindCon(Interner.intern("false"), Types.FalseCon);
+  Env.bindCon(Interner.intern("nil"), Types.NilCon);
+  Env.bindCon(Interner.intern("::"), Types.ConsCon);
+  Env.bindCon(Interner.intern("ref"), Types.RefCon);
+
+  // Helper: a 1-bound-var scheme. The bound var is created flagged IsBound.
+  auto BV = [&](bool IsEq = false) {
+    Type *V = Types.freshVar(0, IsEq);
+    V->IsBound = true;
+    return V;
+  };
+  auto Scheme0 = [&](Type *Body) {
+    return TypeScheme{Span<Type *>(), Body};
+  };
+  auto Scheme1 = [&](Type *V, Type *Body) {
+    Type **Mem = A.copyArray(&V, 1);
+    return TypeScheme{Span<Type *>(Mem, 1), Body};
+  };
+  auto Scheme2 = [&](Type *V1, Type *V2, Type *Body) {
+    Type *Vs[2] = {V1, V2};
+    return TypeScheme{Span<Type *>(A.copyArray(Vs, 2), 2), Body};
+  };
+  auto Bind = [&](const char *Name, PrimId Id, TypeScheme S) {
+    Env.bindPrim(Interner.intern(Name), PrimDesc{Id, S, OverloadClass::None});
+  };
+  auto BindOv = [&](const char *Name, PrimId Placeholder, OverloadClass C) {
+    Env.bindPrim(Interner.intern(Name),
+                 PrimDesc{Placeholder, TypeScheme(), C});
+  };
+
+  Type *I = Types.IntType, *R = Types.RealType, *S = Types.StringType,
+       *U = Types.UnitType, *B = Types.BoolType;
+
+  BindOv("+", PrimId::OvAdd, OverloadClass::Arith2);
+  BindOv("-", PrimId::OvSub, OverloadClass::Arith2);
+  BindOv("*", PrimId::OvMul, OverloadClass::Arith2);
+  BindOv("<", PrimId::OvLt, OverloadClass::Cmp2);
+  BindOv("<=", PrimId::OvLe, OverloadClass::Cmp2);
+  BindOv(">", PrimId::OvGt, OverloadClass::Cmp2);
+  BindOv(">=", PrimId::OvGe, OverloadClass::Cmp2);
+  BindOv("~", PrimId::OvNeg, OverloadClass::Neg);
+  BindOv("abs", PrimId::OvAbs, OverloadClass::Neg);
+
+  Bind("/", PrimId::FDiv, Scheme0(Types.arrow(Types.tuple({R, R}), R)));
+  Bind("div", PrimId::IDiv, Scheme0(Types.arrow(Types.tuple({I, I}), I)));
+  Bind("mod", PrimId::IMod, Scheme0(Types.arrow(Types.tuple({I, I}), I)));
+
+  {
+    Type *V = BV(/*IsEq=*/true);
+    Bind("=", PrimId::GenericEq,
+         Scheme1(V, Types.arrow(Types.tuple({V, V}), B)));
+  }
+  {
+    Type *V = BV(/*IsEq=*/true);
+    Bind("<>", PrimId::GenericNe,
+         Scheme1(V, Types.arrow(Types.tuple({V, V}), B)));
+  }
+  {
+    Type *V = BV();
+    Bind(":=", PrimId::Assign,
+         Scheme1(V, Types.arrow(Types.tuple({Types.refOf(V), V}), U)));
+  }
+  {
+    Type *V = BV();
+    Bind("!", PrimId::Deref, Scheme1(V, Types.arrow(Types.refOf(V), V)));
+  }
+
+  Bind("print", PrimId::Print, Scheme0(Types.arrow(S, U)));
+  Bind("size", PrimId::StrSize, Scheme0(Types.arrow(S, I)));
+  Bind("strsub", PrimId::StrSub,
+       Scheme0(Types.arrow(Types.tuple({S, I}), I)));
+  Bind("^", PrimId::StrConcat,
+       Scheme0(Types.arrow(Types.tuple({S, S}), S)));
+  Bind("substring", PrimId::Substring,
+       Scheme0(Types.arrow(Types.tuple({S, I, I}), S)));
+  Bind("strcmp", PrimId::StrCmp,
+       Scheme0(Types.arrow(Types.tuple({S, S}), I)));
+  Bind("chr", PrimId::Chr, Scheme0(Types.arrow(I, S)));
+  Bind("ord", PrimId::Ord, Scheme0(Types.arrow(S, I)));
+  Bind("itos", PrimId::IntToString, Scheme0(Types.arrow(I, S)));
+  Bind("rtos", PrimId::RealToString, Scheme0(Types.arrow(R, S)));
+  Bind("real", PrimId::RealFromInt, Scheme0(Types.arrow(I, R)));
+  Bind("floor", PrimId::Floor, Scheme0(Types.arrow(R, I)));
+  Bind("sqrt", PrimId::Sqrt, Scheme0(Types.arrow(R, R)));
+  Bind("sin", PrimId::Sin, Scheme0(Types.arrow(R, R)));
+  Bind("cos", PrimId::Cos, Scheme0(Types.arrow(R, R)));
+  Bind("atan", PrimId::Atan, Scheme0(Types.arrow(R, R)));
+  Bind("exp", PrimId::Exp, Scheme0(Types.arrow(R, R)));
+  Bind("ln", PrimId::Ln, Scheme0(Types.arrow(R, R)));
+
+  {
+    Type *V = BV();
+    Bind("array", PrimId::ArrayMake,
+         Scheme1(V, Types.arrow(Types.tuple({I, V}), Types.arrayOf(V))));
+  }
+  {
+    Type *V = BV();
+    Bind("asub", PrimId::ArraySub,
+         Scheme1(V, Types.arrow(Types.tuple({Types.arrayOf(V), I}), V)));
+  }
+  {
+    Type *V = BV();
+    Bind("aupdate", PrimId::ArrayUpdate,
+         Scheme1(V,
+                 Types.arrow(Types.tuple({Types.arrayOf(V), I, V}), U)));
+  }
+  {
+    Type *V = BV();
+    Bind("alength", PrimId::ArrayLength,
+         Scheme1(V, Types.arrow(Types.arrayOf(V), I)));
+  }
+  {
+    Type *V = BV();
+    Bind("callcc", PrimId::Callcc,
+         Scheme1(V, Types.arrow(Types.arrow(Types.contOf(V), V), V)));
+  }
+  {
+    Type *V1 = BV(), *V2 = BV();
+    Bind("throw", PrimId::Throw,
+         Scheme2(V1, V2,
+                 Types.arrow(Types.contOf(V1), Types.arrow(V1, V2))));
+  }
+
+  // Builtin exceptions.
+  MatchExn = makeExn(Interner.intern("Match"), nullptr, true);
+  BindExn = makeExn(Interner.intern("Bind"), nullptr, true);
+  DivExn = makeExn(Interner.intern("Div"), nullptr, true);
+  OverflowExn = makeExn(Interner.intern("Overflow"), nullptr, true);
+  SubscriptExn = makeExn(Interner.intern("Subscript"), nullptr, true);
+  SizeExn = makeExn(Interner.intern("Size"), nullptr, true);
+  ChrExn = makeExn(Interner.intern("Chr"), nullptr, true);
+  for (ExnInfo *X :
+       {MatchExn, BindExn, DivExn, OverflowExn, SubscriptExn, SizeExn,
+        ChrExn})
+    E->bindExn(X->Name, X);
+}
+
+//===----------------------------------------------------------------------===//
+// Identifier resolution
+//===----------------------------------------------------------------------===//
+
+ResolvedVal Elaborator::resolveLongVal(const ast::LongId &Id,
+                                       SourceLoc Loc) {
+  ResolvedVal R;
+  if (!Id.isQualified()) {
+    ValBinding B = E->lookupVal(Id.name());
+    if (!B.isValid())
+      return R;
+    switch (B.K) {
+    case ValBinding::Kind::Val:
+      R.K = ResolvedVal::Kind::LocalVal;
+      break;
+    case ValBinding::Kind::Con:
+      R.K = ResolvedVal::Kind::LocalCon;
+      R.Con = B.Con;
+      break;
+    case ValBinding::Kind::Exn:
+      R.K = ResolvedVal::Kind::LocalExn;
+      R.Exn = B.Exn;
+      R.ExnPayload = B.Exn->Payload;
+      break;
+    case ValBinding::Kind::Prim:
+      R.K = ResolvedVal::Kind::LocalPrim;
+      break;
+    case ValBinding::Kind::None:
+      break;
+    }
+    R.Local = B;
+    return R;
+  }
+
+  // Qualified: walk the structure path.
+  StrInfo *Root = E->lookupStr(Id.Parts[0]);
+  if (!Root) {
+    Diags.error(Loc, "unbound structure '" +
+                         std::string(Id.Parts[0].str()) + "'");
+    return R;
+  }
+  const StrStatic *Cur = Root->Static;
+  std::vector<int> Slots;
+  for (size_t I = 1; I + 1 < Id.Parts.size(); ++I) {
+    const StrComp *C = Cur->findComp(Id.Parts[I]);
+    if (!C || C->K != StrComp::Kind::Str) {
+      Diags.error(Loc, "unbound substructure '" +
+                           std::string(Id.Parts[I].str()) + "'");
+      return R;
+    }
+    Slots.push_back(C->Slot);
+    Cur = C->Str;
+  }
+  Symbol Last = Id.name();
+  if (const StrConComp *CC = Cur->findCon(Last)) {
+    R.K = ResolvedVal::Kind::LocalCon; // constructors are static
+    R.Con = CC->Con;
+    return R;
+  }
+  const StrComp *C = Cur->findComp(Last);
+  if (!C) {
+    Diags.error(Loc, "unbound component '" + std::string(Last.str()) + "'");
+    return R;
+  }
+  Slots.push_back(C->Slot);
+  if (C->K == StrComp::Kind::Val) {
+    R.K = ResolvedVal::Kind::PathVal;
+    R.Root = Root;
+    R.Slots = std::move(Slots);
+    R.PathScheme = C->Scheme;
+    return R;
+  }
+  if (C->K == StrComp::Kind::Exn) {
+    R.K = ResolvedVal::Kind::PathExn;
+    R.Root = Root;
+    R.Slots = std::move(Slots);
+    R.ExnPayload = C->ExnPayload;
+    return R;
+  }
+  Diags.error(Loc, "'" + std::string(Last.str()) +
+                       "' is a structure, not a value");
+  return R;
+}
+
+TyCon *Elaborator::resolveLongTycon(const ast::LongId &Id, SourceLoc Loc) {
+  if (!Id.isQualified()) {
+    TyCon *T = E->lookupTycon(Id.name());
+    if (!T)
+      Diags.error(Loc, "unbound type constructor '" +
+                           std::string(Id.name().str()) + "'");
+    return T;
+  }
+  StrInfo *Root = E->lookupStr(Id.Parts[0]);
+  if (!Root) {
+    Diags.error(Loc, "unbound structure '" +
+                         std::string(Id.Parts[0].str()) + "'");
+    return nullptr;
+  }
+  const StrStatic *Cur = Root->Static;
+  for (size_t I = 1; I + 1 < Id.Parts.size(); ++I) {
+    const StrComp *C = Cur->findComp(Id.Parts[I]);
+    if (!C || C->K != StrComp::Kind::Str) {
+      Diags.error(Loc, "unbound substructure '" +
+                           std::string(Id.Parts[I].str()) + "'");
+      return nullptr;
+    }
+    Cur = C->Str;
+  }
+  const StrTyComp *TC = Cur->findTy(Id.name());
+  if (!TC) {
+    Diags.error(Loc, "unbound type component '" +
+                         std::string(Id.name().str()) + "'");
+    return nullptr;
+  }
+  return TC->Tycon;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+Type *Elaborator::elabTy(const ast::Ty *T, TyVarMap *TyVars) {
+  switch (T->K) {
+  case ast::Ty::Kind::Var: {
+    if (!TyVars) {
+      Diags.error(T->Loc, "type variable not allowed here");
+      return Types.freshVar(Depth);
+    }
+    auto It = TyVars->find(T->VarName);
+    if (It != TyVars->end())
+      return It->second;
+    Type *V = Types.freshVar(Depth, T->IsEqVar);
+    (*TyVars)[T->VarName] = V;
+    return V;
+  }
+  case ast::Ty::Kind::Con: {
+    TyCon *TC = resolveLongTycon(T->ConName, T->Loc);
+    if (!TC)
+      return Types.freshVar(Depth);
+    if (static_cast<int>(T->Args.size()) != TC->Arity) {
+      Diags.error(T->Loc, "type constructor '" +
+                              std::string(TC->Name.str()) + "' expects " +
+                              std::to_string(TC->Arity) + " argument(s)");
+      return Types.freshVar(Depth);
+    }
+    std::vector<Type *> Args;
+    for (const ast::Ty *Arg : T->Args)
+      Args.push_back(elabTy(Arg, TyVars));
+    return Types.con(TC, std::move(Args));
+  }
+  case ast::Ty::Kind::Tuple: {
+    std::vector<Type *> Elems;
+    for (const ast::Ty *El : T->Elems)
+      Elems.push_back(elabTy(El, TyVars));
+    return Types.tuple(std::move(Elems));
+  }
+  case ast::Ty::Kind::Arrow:
+    return Types.arrow(elabTy(T->From, TyVars), elabTy(T->To, TyVars));
+  }
+  return Types.freshVar(Depth);
+}
+
+//===----------------------------------------------------------------------===//
+// Occurrences
+//===----------------------------------------------------------------------===//
+
+AExp *Elaborator::varOccurrence(ValInfo *V, SourceLoc Loc) {
+  AExp *X = A.create<AExp>();
+  X->K = AExp::Kind::Var;
+  X->Loc = Loc;
+  X->Var = V;
+  if (V->Scheme.isMonomorphic()) {
+    X->Ty = V->Scheme.Body;
+    return X;
+  }
+  std::vector<Type *> InstVars;
+  X->Ty = Types.instantiate(V->Scheme, Depth, InstVars);
+  X->TypeArgs = Span<Type *>::copy(A, InstVars);
+  return X;
+}
+
+AExp *Elaborator::pathOccurrence(StrInfo *Root, const std::vector<int> &Slots,
+                                 const TypeScheme &S, SourceLoc Loc) {
+  AExp *X = A.create<AExp>();
+  X->K = AExp::Kind::Path;
+  X->Loc = Loc;
+  X->Root = Root;
+  X->Slots = Span<int>::copy(A, Slots);
+  X->PathScheme = S;
+  std::vector<Type *> InstVars;
+  X->Ty = Types.instantiate(S, Depth, InstVars);
+  X->TypeArgs = Span<Type *>::copy(A, InstVars);
+  return X;
+}
+
+AExp *Elaborator::conOccurrence(DataCon *C, SourceLoc Loc) {
+  AExp *X = A.create<AExp>();
+  X->K = AExp::Kind::Con;
+  X->Loc = Loc;
+  X->Con = C;
+  TyCon *Owner = C->Owner;
+  std::vector<Type *> Fresh;
+  for (size_t I = 0; I < Owner->Formals.size(); ++I)
+    Fresh.push_back(Types.freshVar(Depth));
+  Span<Type *> FreshSpan = Span<Type *>::copy(A, Fresh);
+  X->TypeArgs = FreshSpan;
+  Type *DT = Types.con(Owner, FreshSpan);
+  if (C->Payload) {
+    Type *Payload = Types.substitute(C->Payload, Owner->Formals, FreshSpan);
+    X->Ty = Types.arrow(Payload, DT);
+  } else {
+    X->Ty = DT;
+  }
+  return X;
+}
+
+AExp *Elaborator::primOccurrence(const PrimDesc &P, SourceLoc Loc) {
+  AExp *X = A.create<AExp>();
+  X->K = AExp::Kind::Prim;
+  X->Loc = Loc;
+  X->Prim = P.Id;
+  Type *B = Types.BoolType;
+  switch (P.Overload) {
+  case OverloadClass::None: {
+    std::vector<Type *> InstVars;
+    X->Ty = Types.instantiate(P.Scheme, Depth, InstVars);
+    X->TypeArgs = Span<Type *>::copy(A, InstVars);
+    return X;
+  }
+  case OverloadClass::Arith2: {
+    Type *V = Types.freshOverloadVar(Depth);
+    X->Ty = Types.arrow(Types.tuple({V, V}), V);
+    Type **Mem = A.copyArray(&V, 1);
+    X->TypeArgs = Span<Type *>(Mem, 1);
+    PendingOverloads.push_back(X);
+    return X;
+  }
+  case OverloadClass::Cmp2: {
+    Type *V = Types.freshOverloadVar(Depth);
+    X->Ty = Types.arrow(Types.tuple({V, V}), B);
+    Type **Mem = A.copyArray(&V, 1);
+    X->TypeArgs = Span<Type *>(Mem, 1);
+    PendingOverloads.push_back(X);
+    return X;
+  }
+  case OverloadClass::Neg: {
+    Type *V = Types.freshOverloadVar(Depth);
+    X->Ty = Types.arrow(V, V);
+    Type **Mem = A.copyArray(&V, 1);
+    X->TypeArgs = Span<Type *>(Mem, 1);
+    PendingOverloads.push_back(X);
+    return X;
+  }
+  }
+  return X;
+}
+
+AExp *Elaborator::exnConExp(AExp *TagExp, Type *Payload, SourceLoc Loc) {
+  AExp *X = A.create<AExp>();
+  X->K = AExp::Kind::ExnCon;
+  X->Loc = Loc;
+  X->TagExp = TagExp;
+  X->ExnPayload = Payload;
+  X->Ty = Payload ? Types.arrow(Payload, Types.ExnType) : Types.ExnType;
+  return X;
+}
+
+void Elaborator::resolveOverloads(size_t From) {
+  for (size_t I = From; I < PendingOverloads.size(); ++I) {
+    AExp *X = PendingOverloads[I];
+    assert(X->K == AExp::Kind::Prim && !X->TypeArgs.empty());
+    Type *V = Types.headNormalize(X->TypeArgs[0]);
+    bool IsReal =
+        V->K == Type::Kind::Con && V->Con == Types.RealTycon;
+    if (V->K == Type::Kind::Var) {
+      // Default to int.
+      unifyOrDiag(V, Types.IntType, X->Loc, "overload defaulting");
+      IsReal = false;
+    } else if (!IsReal &&
+               !(V->K == Type::Kind::Con && V->Con == Types.IntTycon)) {
+      Diags.error(X->Loc, "overloaded operator used at type " +
+                              Types.toString(V));
+    }
+    switch (X->Prim) {
+    case PrimId::OvAdd: X->Prim = IsReal ? PrimId::FAdd : PrimId::IAdd; break;
+    case PrimId::OvSub: X->Prim = IsReal ? PrimId::FSub : PrimId::ISub; break;
+    case PrimId::OvMul: X->Prim = IsReal ? PrimId::FMul : PrimId::IMul; break;
+    case PrimId::OvNeg: X->Prim = IsReal ? PrimId::FNeg : PrimId::INeg; break;
+    case PrimId::OvAbs: X->Prim = IsReal ? PrimId::FAbs : PrimId::IAbs; break;
+    case PrimId::OvLt: X->Prim = IsReal ? PrimId::FLt : PrimId::ILt; break;
+    case PrimId::OvLe: X->Prim = IsReal ? PrimId::FLe : PrimId::ILe; break;
+    case PrimId::OvGt: X->Prim = IsReal ? PrimId::FGt : PrimId::IGt; break;
+    case PrimId::OvGe: X->Prim = IsReal ? PrimId::FGe : PrimId::IGe; break;
+    default:
+      break;
+    }
+  }
+  PendingOverloads.resize(From);
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+APat *Elaborator::elabPat(const ast::Pat *P, std::vector<ValInfo *> &Bound) {
+  APat *R = A.create<APat>();
+  R->Loc = P->Loc;
+  switch (P->K) {
+  case ast::Pat::Kind::Wild:
+    R->K = APat::Kind::Wild;
+    R->Ty = Types.freshVar(Depth);
+    return R;
+  case ast::Pat::Kind::Int:
+    R->K = APat::Kind::Int;
+    R->IntValue = P->IntValue;
+    R->Ty = Types.IntType;
+    return R;
+  case ast::Pat::Kind::String:
+    R->K = APat::Kind::String;
+    R->StrValue = P->StrValue;
+    R->Ty = Types.StringType;
+    return R;
+  case ast::Pat::Kind::Tuple: {
+    R->K = APat::Kind::Tuple;
+    std::vector<APat *> Elems;
+    std::vector<Type *> Tys;
+    for (const ast::Pat *El : P->Elems) {
+      APat *AE = elabPat(El, Bound);
+      Elems.push_back(AE);
+      Tys.push_back(AE->Ty);
+    }
+    R->Elems = Span<APat *>::copy(A, Elems);
+    R->Ty = Tys.empty() ? Types.UnitType : Types.tuple(std::move(Tys));
+    return R;
+  }
+  case ast::Pat::Kind::Ident: {
+    ResolvedVal RV = resolveLongVal(P->Name, P->Loc);
+    if (RV.K == ResolvedVal::Kind::LocalCon) {
+      DataCon *C = RV.Con;
+      if (C->Payload) {
+        Diags.error(P->Loc, "constructor '" + std::string(C->Name.str()) +
+                                "' requires an argument pattern");
+      }
+      R->K = APat::Kind::Con;
+      R->Con = C;
+      std::vector<Type *> Fresh;
+      for (size_t I = 0; I < C->Owner->Formals.size(); ++I)
+        Fresh.push_back(Types.freshVar(Depth));
+      R->TypeArgs = Span<Type *>::copy(A, Fresh);
+      R->Ty = Types.con(C->Owner, R->TypeArgs);
+      return R;
+    }
+    if (RV.K == ResolvedVal::Kind::LocalExn ||
+        RV.K == ResolvedVal::Kind::PathExn) {
+      if (RV.ExnPayload)
+        Diags.error(P->Loc, "exception constructor requires an argument "
+                            "pattern");
+      R->K = APat::Kind::ExnCon;
+      R->ExnPayload = nullptr;
+      if (RV.K == ResolvedVal::Kind::LocalExn) {
+        AExp *Tag = A.create<AExp>();
+        Tag->K = AExp::Kind::ExnTag;
+        Tag->Loc = P->Loc;
+        Tag->Exn = RV.Exn;
+        Tag->Ty = Types.ExnType;
+        R->ExnTag = Tag;
+      } else {
+        R->ExnTag = pathOccurrence(
+            RV.Root, RV.Slots,
+            TypeScheme{Span<Type *>(), Types.ExnType}, P->Loc);
+      }
+      R->Ty = Types.ExnType;
+      return R;
+    }
+    if (P->Name.isQualified()) {
+      Diags.error(P->Loc, "qualified identifier in pattern is not a "
+                          "constructor");
+      R->K = APat::Kind::Wild;
+      R->Ty = Types.freshVar(Depth);
+      return R;
+    }
+    // A fresh variable binding.
+    R->K = APat::Kind::Var;
+    R->Ty = Types.freshVar(Depth);
+    R->Var = makeValInfo(P->Name.name(), R->Ty);
+    Bound.push_back(R->Var);
+    return R;
+  }
+  case ast::Pat::Kind::App: {
+    ResolvedVal RV = resolveLongVal(P->Name, P->Loc);
+    if (RV.K == ResolvedVal::Kind::LocalCon && RV.Con->Payload) {
+      DataCon *C = RV.Con;
+      R->K = APat::Kind::Con;
+      R->Con = C;
+      std::vector<Type *> Fresh;
+      for (size_t I = 0; I < C->Owner->Formals.size(); ++I)
+        Fresh.push_back(Types.freshVar(Depth));
+      R->TypeArgs = Span<Type *>::copy(A, Fresh);
+      Type *Payload =
+          Types.substitute(C->Payload, C->Owner->Formals, R->TypeArgs);
+      R->Arg = elabPat(P->Arg, Bound);
+      unifyOrDiag(R->Arg->Ty, Payload, P->Loc, "constructor pattern");
+      R->Ty = Types.con(C->Owner, R->TypeArgs);
+      return R;
+    }
+    if ((RV.K == ResolvedVal::Kind::LocalExn ||
+         RV.K == ResolvedVal::Kind::PathExn) &&
+        RV.ExnPayload) {
+      R->K = APat::Kind::ExnCon;
+      R->ExnPayload = RV.ExnPayload;
+      if (RV.K == ResolvedVal::Kind::LocalExn) {
+        AExp *Tag = A.create<AExp>();
+        Tag->K = AExp::Kind::ExnTag;
+        Tag->Loc = P->Loc;
+        Tag->Exn = RV.Exn;
+        Tag->Ty = Types.ExnType;
+        R->ExnTag = Tag;
+      } else {
+        R->ExnTag = pathOccurrence(
+            RV.Root, RV.Slots,
+            TypeScheme{Span<Type *>(), Types.ExnType}, P->Loc);
+      }
+      R->Arg = elabPat(P->Arg, Bound);
+      unifyOrDiag(R->Arg->Ty, RV.ExnPayload, P->Loc, "exception pattern");
+      R->Ty = Types.ExnType;
+      return R;
+    }
+    Diags.error(P->Loc, "'" + std::string(P->Name.name().str()) +
+                            "' is not a value-carrying constructor");
+    R->K = APat::Kind::Wild;
+    R->Ty = Types.freshVar(Depth);
+    return R;
+  }
+  case ast::Pat::Kind::Typed: {
+    APat *Inner = elabPat(P->Arg, Bound);
+    TyVarMap Local;
+    Type *T = elabTy(P->Annot, &Local);
+    unifyOrDiag(Inner->Ty, T, P->Loc, "pattern type annotation");
+    return Inner;
+  }
+  case ast::Pat::Kind::Layered: {
+    R->K = APat::Kind::Layered;
+    R->Arg = elabPat(P->Arg, Bound);
+    R->Ty = R->Arg->Ty;
+    R->Var = makeValInfo(P->AsVar, R->Ty);
+    Bound.push_back(R->Var);
+    return R;
+  }
+  }
+  R->K = APat::Kind::Wild;
+  R->Ty = Types.freshVar(Depth);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+AExp *Elaborator::elabExp(const ast::Exp *Ex) {
+  AExp *X = A.create<AExp>();
+  X->Loc = Ex->Loc;
+  switch (Ex->K) {
+  case ast::Exp::Kind::Int:
+    X->K = AExp::Kind::Int;
+    X->IntValue = Ex->IntValue;
+    X->Ty = Types.IntType;
+    return X;
+  case ast::Exp::Kind::Real:
+    X->K = AExp::Kind::Real;
+    X->RealValue = Ex->RealValue;
+    X->Ty = Types.RealType;
+    return X;
+  case ast::Exp::Kind::String:
+    X->K = AExp::Kind::String;
+    X->StrValue = Ex->StrValue;
+    X->Ty = Types.StringType;
+    return X;
+  case ast::Exp::Kind::Ident: {
+    ResolvedVal RV = resolveLongVal(Ex->Name, Ex->Loc);
+    switch (RV.K) {
+    case ResolvedVal::Kind::LocalVal:
+      return varOccurrence(RV.Local.Val, Ex->Loc);
+    case ResolvedVal::Kind::LocalCon:
+      return conOccurrence(RV.Con, Ex->Loc);
+    case ResolvedVal::Kind::LocalPrim:
+      return primOccurrence(RV.Local.Prim, Ex->Loc);
+    case ResolvedVal::Kind::PathVal:
+      return pathOccurrence(RV.Root, RV.Slots, RV.PathScheme, Ex->Loc);
+    case ResolvedVal::Kind::LocalExn: {
+      AExp *Tag = A.create<AExp>();
+      Tag->K = AExp::Kind::ExnTag;
+      Tag->Loc = Ex->Loc;
+      Tag->Exn = RV.Exn;
+      Tag->Ty = Types.ExnType;
+      return exnConExp(Tag, RV.ExnPayload, Ex->Loc);
+    }
+    case ResolvedVal::Kind::PathExn: {
+      AExp *Tag = pathOccurrence(
+          RV.Root, RV.Slots, TypeScheme{Span<Type *>(), Types.ExnType},
+          Ex->Loc);
+      return exnConExp(Tag, RV.ExnPayload, Ex->Loc);
+    }
+    case ResolvedVal::Kind::None:
+      Diags.error(Ex->Loc, "unbound identifier '" +
+                               std::string(Ex->Name.name().str()) + "'");
+      X->K = AExp::Kind::Int;
+      X->Ty = Types.freshVar(Depth);
+      return X;
+    }
+    break;
+  }
+  case ast::Exp::Kind::Tuple: {
+    X->K = AExp::Kind::Tuple;
+    std::vector<AExp *> Elems;
+    std::vector<Type *> Tys;
+    for (const ast::Exp *El : Ex->Elems) {
+      AExp *AE = elabExp(El);
+      Elems.push_back(AE);
+      Tys.push_back(AE->Ty);
+    }
+    X->Elems = Span<AExp *>::copy(A, Elems);
+    X->Ty = Tys.empty() ? Types.UnitType : Types.tuple(std::move(Tys));
+    return X;
+  }
+  case ast::Exp::Kind::Select: {
+    AExp *Arg = elabExp(Ex->Arg);
+    Type *T = Types.headNormalize(Arg->Ty);
+    int Index = Ex->SelectIndex - 1;
+    if (T->K != Type::Kind::Tuple ||
+        Index < 0 || Index >= static_cast<int>(T->Elems.size())) {
+      Diags.error(Ex->Loc, "#" + std::to_string(Ex->SelectIndex) +
+                               " applied to non-tuple type " +
+                               Types.toString(T));
+      X->K = AExp::Kind::Int;
+      X->Ty = Types.freshVar(Depth);
+      return X;
+    }
+    X->K = AExp::Kind::Select;
+    X->SelectIndex = Index;
+    X->Arg = Arg;
+    X->Ty = T->Elems[Index];
+    return X;
+  }
+  case ast::Exp::Kind::App: {
+    AExp *Fun = elabExp(Ex->Fun);
+    AExp *Arg = elabExp(Ex->Arg);
+    // Merge constructor applications so the translator can inject directly.
+    if (Fun->K == AExp::Kind::Con && !Fun->Arg && Fun->Con->Payload) {
+      Type *FT = Types.headNormalize(Fun->Ty);
+      assert(FT->K == Type::Kind::Arrow);
+      unifyOrDiag(FT->From, Arg->Ty, Ex->Loc, "constructor application");
+      Fun->Arg = Arg;
+      Fun->Ty = FT->To;
+      return Fun;
+    }
+    if (Fun->K == AExp::Kind::ExnCon && !Fun->Arg && Fun->ExnPayload) {
+      unifyOrDiag(Fun->ExnPayload, Arg->Ty, Ex->Loc,
+                  "exception application");
+      Fun->Arg = Arg;
+      Fun->Ty = Types.ExnType;
+      return Fun;
+    }
+    X->K = AExp::Kind::App;
+    X->Fun = Fun;
+    X->Arg = Arg;
+    Type *Res = Types.freshVar(Depth);
+    unifyOrDiag(Fun->Ty, Types.arrow(Arg->Ty, Res), Ex->Loc,
+                "function application");
+    X->Ty = Res;
+    return X;
+  }
+  case ast::Exp::Kind::Fn: {
+    X->K = AExp::Kind::Fn;
+    Type *ArgTy = Types.freshVar(Depth);
+    Type *ResTy = Types.freshVar(Depth);
+    std::vector<ARule> Rules;
+    for (const ast::Rule &R : Ex->Rules) {
+      E->push();
+      std::vector<ValInfo *> Bound;
+      APat *P = elabPat(R.P, Bound);
+      unifyOrDiag(P->Ty, ArgTy, R.P->Loc, "fn parameter");
+      for (ValInfo *V : Bound)
+        E->bindVar(V->Name, V);
+      AExp *Body = elabExp(R.E);
+      unifyOrDiag(Body->Ty, ResTy, R.E->Loc, "fn body");
+      E->pop();
+      Rules.push_back(ARule{P, Body});
+    }
+    X->Rules = Span<ARule>::copy(A, Rules);
+    X->Ty = Types.arrow(ArgTy, ResTy);
+    return X;
+  }
+  case ast::Exp::Kind::Case: {
+    X->K = AExp::Kind::Case;
+    X->Scrut = elabExp(Ex->Scrut);
+    Type *ResTy = Types.freshVar(Depth);
+    std::vector<ARule> Rules;
+    for (const ast::Rule &R : Ex->Rules) {
+      E->push();
+      std::vector<ValInfo *> Bound;
+      APat *P = elabPat(R.P, Bound);
+      unifyOrDiag(P->Ty, X->Scrut->Ty, R.P->Loc, "case pattern");
+      for (ValInfo *V : Bound)
+        E->bindVar(V->Name, V);
+      AExp *Body = elabExp(R.E);
+      unifyOrDiag(Body->Ty, ResTy, R.E->Loc, "case arm");
+      E->pop();
+      Rules.push_back(ARule{P, Body});
+    }
+    X->Rules = Span<ARule>::copy(A, Rules);
+    X->Ty = ResTy;
+    return X;
+  }
+  case ast::Exp::Kind::If:
+  case ast::Exp::Kind::Andalso:
+  case ast::Exp::Kind::Orelse: {
+    // Desugar to a case on bool.
+    X->K = AExp::Kind::Case;
+    AExp *Cond;
+    AExp *ThenE;
+    AExp *ElseE;
+    if (Ex->K == ast::Exp::Kind::If) {
+      Cond = elabExp(Ex->Scrut);
+      ThenE = elabExp(Ex->Then);
+      ElseE = elabExp(Ex->Else);
+    } else if (Ex->K == ast::Exp::Kind::Andalso) {
+      // a andalso b ==> case a of true => b | false => false
+      Cond = elabExp(Ex->Then);
+      ThenE = elabExp(Ex->Else);
+      ElseE = conOccurrence(Types.FalseCon, Ex->Loc);
+    } else {
+      // a orelse b ==> case a of true => true | false => b
+      Cond = elabExp(Ex->Then);
+      ThenE = conOccurrence(Types.TrueCon, Ex->Loc);
+      ElseE = elabExp(Ex->Else);
+    }
+    unifyOrDiag(Cond->Ty, Types.BoolType, Ex->Loc, "condition");
+    unifyOrDiag(ThenE->Ty, ElseE->Ty, Ex->Loc, "conditional branches");
+    auto MakeBoolPat = [&](DataCon *C) {
+      APat *P = A.create<APat>();
+      P->K = APat::Kind::Con;
+      P->Loc = Ex->Loc;
+      P->Con = C;
+      P->Ty = Types.BoolType;
+      return P;
+    };
+    ARule Rules[2] = {ARule{MakeBoolPat(Types.TrueCon), ThenE},
+                      ARule{MakeBoolPat(Types.FalseCon), ElseE}};
+    X->Scrut = Cond;
+    X->Rules = Span<ARule>(A.copyArray(Rules, 2), 2);
+    X->Ty = ThenE->Ty;
+    return X;
+  }
+  case ast::Exp::Kind::Let: {
+    X->K = AExp::Kind::Let;
+    E->push();
+    ++LetDepth;
+    std::vector<ADec *> Decs;
+    for (const ast::Dec *D : Ex->Decs)
+      elabDec(D, Decs, nullptr);
+    --LetDepth;
+    AExp *Body;
+    if (Ex->Elems.size() == 1) {
+      Body = elabExp(Ex->Elems[0]);
+    } else {
+      Body = A.create<AExp>();
+      Body->K = AExp::Kind::Seq;
+      Body->Loc = Ex->Loc;
+      std::vector<AExp *> Elems;
+      for (const ast::Exp *El : Ex->Elems)
+        Elems.push_back(elabExp(El));
+      Body->Elems = Span<AExp *>::copy(A, Elems);
+      Body->Ty = Elems.back()->Ty;
+    }
+    E->pop();
+    X->Decs = Span<ADec *>::copy(A, Decs);
+    X->Body = Body;
+    X->Ty = Body->Ty;
+    return X;
+  }
+  case ast::Exp::Kind::Seq: {
+    X->K = AExp::Kind::Seq;
+    std::vector<AExp *> Elems;
+    for (const ast::Exp *El : Ex->Elems)
+      Elems.push_back(elabExp(El));
+    X->Elems = Span<AExp *>::copy(A, Elems);
+    X->Ty = Elems.back()->Ty;
+    return X;
+  }
+  case ast::Exp::Kind::Raise: {
+    X->K = AExp::Kind::Raise;
+    X->Arg = elabExp(Ex->Arg);
+    unifyOrDiag(X->Arg->Ty, Types.ExnType, Ex->Loc, "raise");
+    X->Ty = Types.freshVar(Depth);
+    return X;
+  }
+  case ast::Exp::Kind::Handle: {
+    X->K = AExp::Kind::Handle;
+    X->Arg = elabExp(Ex->Arg);
+    std::vector<ARule> Rules;
+    for (const ast::Rule &R : Ex->Rules) {
+      E->push();
+      std::vector<ValInfo *> Bound;
+      APat *P = elabPat(R.P, Bound);
+      unifyOrDiag(P->Ty, Types.ExnType, R.P->Loc, "handler pattern");
+      for (ValInfo *V : Bound)
+        E->bindVar(V->Name, V);
+      AExp *Body = elabExp(R.E);
+      unifyOrDiag(Body->Ty, X->Arg->Ty, R.E->Loc, "handler arm");
+      E->pop();
+      Rules.push_back(ARule{P, Body});
+    }
+    X->Rules = Span<ARule>::copy(A, Rules);
+    X->Ty = X->Arg->Ty;
+    return X;
+  }
+  case ast::Exp::Kind::Typed: {
+    AExp *Inner = elabExp(Ex->Arg);
+    TyVarMap Local;
+    Type *T = elabTy(Ex->Annot, &Local);
+    unifyOrDiag(Inner->Ty, T, Ex->Loc, "type annotation");
+    return Inner;
+  }
+  }
+  X->K = AExp::Kind::Int;
+  X->Ty = Types.IntType;
+  return X;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Elaborator::isSyntacticValue(const ast::Exp *Ex) {
+  switch (Ex->K) {
+  case ast::Exp::Kind::Int:
+  case ast::Exp::Kind::Real:
+  case ast::Exp::Kind::String:
+  case ast::Exp::Kind::Ident:
+  case ast::Exp::Kind::Fn:
+    return true;
+  case ast::Exp::Kind::Tuple:
+    for (const ast::Exp *El : Ex->Elems)
+      if (!isSyntacticValue(El))
+        return false;
+    return true;
+  case ast::Exp::Kind::Typed:
+    return isSyntacticValue(Ex->Arg);
+  default:
+    return false;
+  }
+}
+
+void Elaborator::finishGeneralize(
+    std::vector<std::pair<ValInfo *, Type *>> &Binds, bool CanGeneralize) {
+  if (!CanGeneralize) {
+    for (auto &[V, T] : Binds)
+      V->Scheme = TypeScheme{Span<Type *>(), T};
+    return;
+  }
+  // Collect generalizable variables across all bindings at once (they may
+  // share variables), then give each binding a scheme quantifying them all;
+  // unused quantified variables are harmless.
+  if (Binds.empty())
+    return;
+  std::vector<Type *> AllTys;
+  for (auto &[V, T] : Binds)
+    AllTys.push_back(T);
+  Type *Combined =
+      AllTys.size() == 1 ? AllTys[0] : Types.tuple(std::move(AllTys));
+  TypeScheme S = Types.generalize(Combined, Depth);
+  for (auto &[V, T] : Binds) {
+    if (S.BoundVars.empty())
+      V->Scheme = TypeScheme{Span<Type *>(), T};
+    else
+      V->Scheme = TypeScheme{S.BoundVars, T};
+  }
+}
+
+void Elaborator::elabValRec(Span<Symbol> Names, Span<ast::Exp *> Exps,
+                            SourceLoc Loc, std::vector<ADec *> &Out,
+                            CompCollector *CC) {
+  size_t OvMark = PendingOverloads.size();
+  ++Depth;
+  std::vector<ValInfo *> Vars;
+  std::vector<Type *> Tys;
+  for (Symbol N : Names) {
+    Type *T = Types.freshVar(Depth);
+    ValInfo *V = makeValInfo(N, T);
+    V->Exported = LetDepth == 0;
+    Vars.push_back(V);
+    Tys.push_back(T);
+    E->bindVar(N, V);
+  }
+  std::vector<AExp *> Bodies;
+  for (size_t I = 0; I < Exps.size(); ++I) {
+    if (Exps[I]->K != ast::Exp::Kind::Fn)
+      Diags.error(Exps[I]->Loc, "val rec right-hand side must be a fn "
+                                "expression");
+    AExp *B = elabExp(Exps[I]);
+    unifyOrDiag(Tys[I], B->Ty, Exps[I]->Loc, "val rec binding");
+    Bodies.push_back(B);
+  }
+  // Overloads default at the outermost declaration, once the whole
+  // declaration's constraints are known (nested lets must not force int).
+  if (LetDepth == 0)
+    resolveOverloads(OvMark);
+  --Depth;
+  std::vector<std::pair<ValInfo *, Type *>> Binds;
+  for (size_t I = 0; I < Vars.size(); ++I)
+    Binds.emplace_back(Vars[I], Tys[I]);
+  finishGeneralize(Binds, /*CanGeneralize=*/true);
+  // Rebind with the generalized schemes (same ValInfo objects).
+  for (ValInfo *V : Vars)
+    E->bindVar(V->Name, V);
+  if (CC)
+    for (ValInfo *V : Vars)
+      CC->addVal(V->Name, V);
+
+  ADec *D = A.create<ADec>();
+  D->K = ADec::Kind::ValRec;
+  D->Loc = Loc;
+  D->RecVars = Span<ValInfo *>::copy(A, Vars);
+  D->RecExps = Span<AExp *>::copy(A, Bodies);
+  Out.push_back(D);
+}
+
+void Elaborator::elabFunDec(const ast::Dec *D, std::vector<ADec *> &Out,
+                            CompCollector *CC) {
+  // Desugar clausal function bindings into val rec of nested fn/case.
+  std::vector<Symbol> Names;
+  std::vector<ast::Exp *> Exps;
+  for (const ast::FunBind &FB : D->FunBinds) {
+    Names.push_back(FB.Name);
+    size_t NumParams = FB.Clauses[0].Params.size();
+    for (const ast::FunClause &C : FB.Clauses)
+      if (C.Params.size() != NumParams)
+        Diags.error(FB.Loc, "clauses of '" + std::string(FB.Name.str()) +
+                                "' have different numbers of parameters");
+
+    auto MakeFn = [&](ast::Pat *P, ast::Exp *Body) {
+      ast::Exp *Fn = A.create<ast::Exp>();
+      Fn->K = ast::Exp::Kind::Fn;
+      Fn->Loc = FB.Loc;
+      ast::Rule R{P, Body};
+      Fn->Rules = Span<ast::Rule>(A.copyArray(&R, 1), 1);
+      return Fn;
+    };
+    auto Annotate = [&](ast::Exp *Body, ast::Ty *T) -> ast::Exp * {
+      if (!T)
+        return Body;
+      ast::Exp *X = A.create<ast::Exp>();
+      X->K = ast::Exp::Kind::Typed;
+      X->Loc = Body->Loc;
+      X->Arg = Body;
+      X->Annot = T;
+      return X;
+    };
+
+    ast::Exp *FnExp;
+    if (FB.Clauses.size() == 1) {
+      const ast::FunClause &C = FB.Clauses[0];
+      ast::Exp *Body = Annotate(C.Body, C.ResultAnnot);
+      for (size_t I = C.Params.size(); I-- > 0;)
+        Body = MakeFn(C.Params[I], Body);
+      FnExp = Body;
+    } else {
+      // fn a1 => ... => case (a1,...,an) of (p11,...,p1n) => e1 | ...
+      std::vector<Symbol> ArgNames;
+      for (size_t I = 0; I < NumParams; ++I) {
+        std::string Nm = "a$" + std::to_string(NextValId) + "$" +
+                         std::to_string(I);
+        ArgNames.push_back(Interner.intern(Nm));
+      }
+      auto IdentE = [&](Symbol S) {
+        ast::Exp *X = A.create<ast::Exp>();
+        X->K = ast::Exp::Kind::Ident;
+        X->Loc = FB.Loc;
+        Symbol *Mem = A.copyArray(&S, 1);
+        X->Name = ast::LongId{Span<Symbol>(Mem, 1)};
+        return X;
+      };
+      ast::Exp *Scrut;
+      if (NumParams == 1) {
+        Scrut = IdentE(ArgNames[0]);
+      } else {
+        Scrut = A.create<ast::Exp>();
+        Scrut->K = ast::Exp::Kind::Tuple;
+        Scrut->Loc = FB.Loc;
+        std::vector<ast::Exp *> Elems;
+        for (Symbol S : ArgNames)
+          Elems.push_back(IdentE(S));
+        Scrut->Elems = Span<ast::Exp *>::copy(A, Elems);
+      }
+      std::vector<ast::Rule> Rules;
+      for (const ast::FunClause &C : FB.Clauses) {
+        ast::Pat *P;
+        if (NumParams == 1) {
+          P = C.Params[0];
+        } else {
+          P = A.create<ast::Pat>();
+          P->K = ast::Pat::Kind::Tuple;
+          P->Loc = FB.Loc;
+          P->Elems = C.Params;
+        }
+        Rules.push_back(ast::Rule{P, Annotate(C.Body, C.ResultAnnot)});
+      }
+      ast::Exp *CaseE = A.create<ast::Exp>();
+      CaseE->K = ast::Exp::Kind::Case;
+      CaseE->Loc = FB.Loc;
+      CaseE->Scrut = Scrut;
+      CaseE->Rules = Span<ast::Rule>::copy(A, Rules);
+      ast::Exp *Body = CaseE;
+      for (size_t I = NumParams; I-- > 0;) {
+        ast::Pat *VP = A.create<ast::Pat>();
+        VP->K = ast::Pat::Kind::Ident;
+        VP->Loc = FB.Loc;
+        Symbol S = ArgNames[I];
+        Symbol *Mem = A.copyArray(&S, 1);
+        VP->Name = ast::LongId{Span<Symbol>(Mem, 1)};
+        Body = MakeFn(VP, Body);
+      }
+      FnExp = Body;
+    }
+    Exps.push_back(FnExp);
+  }
+  elabValRec(Span<Symbol>::copy(A, Names), Span<ast::Exp *>::copy(A, Exps),
+             D->Loc, Out, CC);
+}
+
+void Elaborator::elabDatatypeDec(const ast::Dec *D, CompCollector *CC) {
+  elabDatBinds(D->DatBinds, CC);
+}
+
+void Elaborator::elabDatBinds(Span<ast::DatBind> DatBinds,
+                              CompCollector *CC) {
+  // First create all tycons (so mutually recursive payloads resolve).
+  std::vector<TyCon *> Tycons;
+  for (const ast::DatBind &DB : DatBinds) {
+    TyCon *TC = Types.makeDatatype(DB.Name,
+                                   static_cast<int>(DB.TyVars.size()));
+    std::vector<Type *> Formals;
+    for (size_t I = 0; I < DB.TyVars.size(); ++I) {
+      Type *F = Types.freshVar(0);
+      F->IsBound = true;
+      Formals.push_back(F);
+    }
+    TC->Formals = Span<Type *>::copy(A, Formals);
+    Tycons.push_back(TC);
+    E->bindTycon(DB.Name, TC);
+    if (CC)
+      CC->addTycon(DB.Name, TC);
+  }
+  // Then the constructors.
+  for (size_t BI = 0; BI < DatBinds.size(); ++BI) {
+    const ast::DatBind &DB = DatBinds[BI];
+    TyCon *TC = Tycons[BI];
+    TyVarMap Formals;
+    for (size_t I = 0; I < DB.TyVars.size(); ++I)
+      Formals[DB.TyVars[I]] = TC->Formals[I];
+    std::vector<DataCon *> Cons;
+    for (size_t CI = 0; CI < DB.Cons.size(); ++CI) {
+      const ast::ConBind &CB = DB.Cons[CI];
+      DataCon *DC = A.create<DataCon>();
+      DC->Name = CB.Name;
+      DC->Owner = TC;
+      DC->Index = static_cast<int>(CI);
+      DC->Payload = CB.OfTy ? elabTy(CB.OfTy, &Formals) : nullptr;
+      Cons.push_back(DC);
+    }
+    TC->Cons = Span<DataCon *>::copy(A, Cons);
+    Types.assignConReps(TC);
+    for (DataCon *DC : Cons) {
+      E->bindCon(DC->Name, DC);
+      if (CC)
+        CC->addCon(DC->Name, DC);
+    }
+  }
+  // Equality admission: optimistic, then a fixpoint over the group.
+  for (int Iter = 0; Iter < 2; ++Iter) {
+    for (TyCon *TC : Tycons) {
+      bool Eq = true;
+      for (DataCon *DC : TC->Cons)
+        if (DC->Payload && !Types.admitsEquality(DC->Payload))
+          Eq = false;
+      TC->AdmitsEq = Eq;
+    }
+  }
+}
+
+void Elaborator::elabDec(const ast::Dec *D, std::vector<ADec *> &Out,
+                         CompCollector *CC) {
+  switch (D->K) {
+  case ast::Dec::Kind::Val: {
+    size_t OvMark = PendingOverloads.size();
+    ++Depth;
+    AExp *RHS = elabExp(D->ValExp);
+    std::vector<ValInfo *> Bound;
+    APat *P = elabPat(D->ValPat, Bound);
+    unifyOrDiag(P->Ty, RHS->Ty, D->Loc, "val binding");
+    if (LetDepth == 0)
+      resolveOverloads(OvMark);
+    --Depth;
+    std::vector<std::pair<ValInfo *, Type *>> Binds;
+    for (ValInfo *V : Bound) {
+      V->Exported = LetDepth == 0;
+      Binds.emplace_back(V, V->Scheme.Body);
+    }
+    finishGeneralize(Binds, isSyntacticValue(D->ValExp));
+    for (ValInfo *V : Bound)
+      E->bindVar(V->Name, V);
+    if (CC)
+      for (ValInfo *V : Bound)
+        CC->addVal(V->Name, V);
+    ADec *AD = A.create<ADec>();
+    AD->K = ADec::Kind::Val;
+    AD->Loc = D->Loc;
+    AD->Pat = P;
+    AD->Exp = RHS;
+    Out.push_back(AD);
+    return;
+  }
+  case ast::Dec::Kind::ValRec:
+    elabValRec(D->RecNames, D->RecExps, D->Loc, Out, CC);
+    return;
+  case ast::Dec::Kind::Fun:
+    elabFunDec(D, Out, CC);
+    return;
+  case ast::Dec::Kind::Datatype:
+    elabDatatypeDec(D, CC);
+    return;
+  case ast::Dec::Kind::TypeAbbrev: {
+    TyVarMap Formals;
+    std::vector<Type *> FormalVars;
+    for (Symbol S : D->TyVars) {
+      Type *F = Types.freshVar(0);
+      F->IsBound = true;
+      Formals[S] = F;
+      FormalVars.push_back(F);
+    }
+    Type *Body = elabTy(D->TypeBody, &Formals);
+    TyCon *TC = Types.makeAbbrev(D->TypeName,
+                                 Span<Type *>::copy(A, FormalVars), Body);
+    E->bindTycon(D->TypeName, TC);
+    if (CC)
+      CC->addTycon(D->TypeName, TC);
+    return;
+  }
+  case ast::Dec::Kind::Exception: {
+    Type *Payload = nullptr;
+    if (D->ExnOfTy)
+      Payload = elabTy(D->ExnOfTy, nullptr);
+    ExnInfo *X = makeExn(D->ExnName, Payload);
+    E->bindExn(D->ExnName, X);
+    if (CC)
+      CC->addExn(D->ExnName, X);
+    ADec *AD = A.create<ADec>();
+    AD->K = ADec::Kind::Exception;
+    AD->Loc = D->Loc;
+    AD->Exn = X;
+    Out.push_back(AD);
+    return;
+  }
+  case ast::Dec::Kind::Structure:
+    elabStructureDec(D, Out, CC);
+    return;
+  case ast::Dec::Kind::Signature: {
+    auto Info = std::make_shared<SigInfo>();
+    Info->Name = D->SigName;
+    Info->Def = D->SigBody;
+    Info->DefEnv = std::make_shared<Env>(*E);
+    E->bindSig(D->SigName, std::move(Info));
+    return;
+  }
+  case ast::Dec::Kind::Functor:
+    elabFunctorDec(D, Out, CC);
+    return;
+  case ast::Dec::Kind::Open:
+    Diags.error(D->Loc, "'open' is not supported");
+    return;
+  }
+}
+
+AProgram Elaborator::elaborate(const ast::Program &P) {
+  std::vector<ADec *> Decs;
+  for (const ast::Dec *D : P.Decs)
+    elabDec(D, Decs, nullptr);
+
+  AProgram Prog;
+  Prog.Decs = Span<ADec *>::copy(A, Decs);
+  Prog.Result = nullptr;
+
+  // Convention: if the program defines `main : unit -> int` at top level
+  // (or `Main.main`), the program's value is `main ()`.
+  ValBinding B = E->lookupVal(SymMain);
+  AExp *MainFn = nullptr;
+  SourceLoc Loc;
+  if (B.K == ValBinding::Kind::Val) {
+    MainFn = varOccurrence(B.Val, Loc);
+  } else if (StrInfo *S = E->lookupStr(Interner.intern("Main"))) {
+    if (const StrComp *C = S->Static->findComp(SymMain)) {
+      if (C->K == StrComp::Kind::Val)
+        MainFn = pathOccurrence(S, {C->Slot}, C->Scheme, Loc);
+    }
+  }
+  if (MainFn) {
+    AExp *Unit = A.create<AExp>();
+    Unit->K = AExp::Kind::Tuple;
+    Unit->Ty = Types.UnitType;
+    AExp *Call = A.create<AExp>();
+    Call->K = AExp::Kind::App;
+    Call->Fun = MainFn;
+    Call->Arg = Unit;
+    Type *Res = Types.freshVar(0);
+    unifyOrDiag(MainFn->Ty, Types.arrow(Types.UnitType, Res), Loc,
+                "main must have type unit -> int");
+    unifyOrDiag(Res, Types.IntType, Loc, "main must return int");
+    Call->Ty = Types.IntType;
+    Prog.Result = Call;
+  }
+  return Prog;
+}

@@ -1,0 +1,164 @@
+//===- elab/Elaborator.h - Elaboration and type checking -------------------===//
+///
+/// \file
+/// The Elaborator/Type-checker: Damas-Milner inference for the core
+/// language plus module elaboration (signatures, structures, functors).
+/// Produces typed Absyn where every polymorphic occurrence carries its
+/// instantiation and every module abstraction/instantiation carries a
+/// thinning function — the inputs the paper's Lambda Translator needs
+/// (Sections 3 and 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_ELAB_ELABORATOR_H
+#define SMLTC_ELAB_ELABORATOR_H
+
+#include "ast/Ast.h"
+#include "elab/Absyn.h"
+#include "elab/Env.h"
+#include "support/Diagnostics.h"
+#include "types/Type.h"
+#include "types/Unify.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace smltc {
+
+/// Resolution of a (possibly qualified) value identifier.
+struct ResolvedVal {
+  enum class Kind : uint8_t {
+    None,
+    LocalVal,
+    LocalCon,
+    LocalExn,
+    LocalPrim,
+    PathVal, ///< value component reached through structure slots
+    PathExn, ///< exception component reached through structure slots
+  };
+  Kind K = Kind::None;
+  ValBinding Local;            // Local*
+  DataCon *Con = nullptr;      // LocalCon (also for path-resolved cons)
+  StrInfo *Root = nullptr;     // Path*
+  std::vector<int> Slots;      // Path*
+  TypeScheme PathScheme;       // PathVal
+  Type *ExnPayload = nullptr;  // PathExn / LocalExn
+  ExnInfo *Exn = nullptr;      // LocalExn
+};
+
+class Elaborator {
+public:
+  Elaborator(Arena &A, TypeContext &Types, StringInterner &Interner,
+             DiagnosticEngine &Diags);
+
+  /// Elaborates a program (prelude declarations should be part of it).
+  AProgram elaborate(const ast::Program &P);
+
+  // Builtin exceptions (referenced by the translator for match failure,
+  // division by zero, and array bounds).
+  ExnInfo *MatchExn;
+  ExnInfo *BindExn;
+  ExnInfo *DivExn;
+  ExnInfo *OverflowExn;
+  ExnInfo *SubscriptExn;
+  ExnInfo *SizeExn;
+  ExnInfo *ChrExn;
+
+  TypeContext &types() { return Types; }
+
+private:
+  friend struct CompCollector;
+
+  using TyVarMap = std::unordered_map<Symbol, Type *>;
+
+  // --- core expressions/patterns/declarations (Elaborator.cpp) ---
+  AExp *elabExp(const ast::Exp *E);
+  APat *elabPat(const ast::Pat *P, std::vector<ValInfo *> &Bound);
+  void elabDec(const ast::Dec *D, std::vector<ADec *> &Out,
+               struct CompCollector *CC);
+  Type *elabTy(const ast::Ty *T, TyVarMap *TyVars);
+
+  ResolvedVal resolveLongVal(const ast::LongId &Id, SourceLoc Loc);
+  TyCon *resolveLongTycon(const ast::LongId &Id, SourceLoc Loc);
+
+  AExp *varOccurrence(ValInfo *V, SourceLoc Loc);
+  AExp *pathOccurrence(StrInfo *Root, const std::vector<int> &Slots,
+                       const TypeScheme &S, SourceLoc Loc);
+  AExp *conOccurrence(DataCon *C, SourceLoc Loc);
+  AExp *primOccurrence(const PrimDesc &P, SourceLoc Loc);
+  AExp *exnConExp(AExp *TagExp, Type *Payload, SourceLoc Loc);
+
+  void elabDatatypeDec(const ast::Dec *D, CompCollector *CC);
+  void elabDatBinds(Span<ast::DatBind> Binds, CompCollector *CC);
+  void elabFunDec(const ast::Dec *D, std::vector<ADec *> &Out,
+                  CompCollector *CC);
+  void elabValRec(Span<Symbol> Names, Span<ast::Exp *> Exps, SourceLoc Loc,
+                  std::vector<ADec *> &Out, CompCollector *CC);
+
+  /// Generalizes the given (ValInfo, type) pairs at the current depth.
+  void finishGeneralize(std::vector<std::pair<ValInfo *, Type *>> &Binds,
+                        bool CanGeneralize);
+  void resolveOverloads(size_t From);
+  bool isSyntacticValue(const ast::Exp *E);
+
+  void unifyOrDiag(Type *T1, Type *T2, SourceLoc Loc, const char *Ctx);
+
+  ValInfo *makeValInfo(Symbol Name, Type *Ty);
+  ExnInfo *makeExn(Symbol Name, Type *Payload, bool Builtin = false);
+
+  // --- modules (ElabModule.cpp) ---
+  AStrExp *elabStrExp(const ast::StrExp *S);
+  /// Elaborates a signature to fresh ("most abstract") statics: type specs
+  /// become flexible tycons, datatype specs fresh datatypes.
+  StrStatic *elabSigStatic(const ast::SigExp *S);
+  StrStatic *elabSigStaticInEnv(const ast::SigExp *S, Env &E);
+  void elabSpecs(Span<ast::Spec *> Specs, Env &SigEnv,
+                 struct CompCollector &CC);
+  /// Matches Source against Target (an elaborated signature's statics),
+  /// accumulating the realization of Target's flexible tycons and building
+  /// the thinning function.
+  Thinning *matchAgainstStatic(const StrStatic *Source,
+                               const StrStatic *Target,
+                               std::unordered_map<TyCon *, TyCon *> &Real,
+                               SourceLoc Loc);
+  /// Substitutes realized tycons throughout a statics tree.
+  StrStatic *realizeStatic(const StrStatic *S,
+                           const std::unordered_map<TyCon *, TyCon *> &Real);
+  Type *realizeType(Type *T,
+                    const std::unordered_map<TyCon *, TyCon *> &Real);
+  TypeScheme realizeScheme(const TypeScheme &S,
+                           const std::unordered_map<TyCon *, TyCon *> &Real);
+  Thinning *
+  realizeThinningDst(const Thinning *T,
+                     const std::unordered_map<TyCon *, TyCon *> &Real);
+  void elabStructureDec(const ast::Dec *D, std::vector<ADec *> &Out,
+                        CompCollector *CC);
+  void elabFunctorDec(const ast::Dec *D, std::vector<ADec *> &Out,
+                      CompCollector *CC);
+  /// Demotes Exported on source bindings hidden by the thinning (for MTD).
+  void demoteHidden(const StrStatic *Source, const Thinning *Thin);
+
+  void setupBuiltins();
+
+  Arena &A;
+  TypeContext &Types;
+  StringInterner &Interner;
+  DiagnosticEngine &Diags;
+  std::shared_ptr<Env> E; ///< shared so signatures can snapshot it
+  int Depth = 0;
+  /// Nesting depth of `let` expressions: bindings made at LetDepth > 0 are
+  /// non-exported (minimum-typing-derivation candidates).
+  int LetDepth = 0;
+  int NextValId = 1;
+  int NextExnId = 1;
+  int NextStrId = 1;
+  int NextFctId = 1;
+  std::vector<AExp *> PendingOverloads;
+
+  Symbol SymMain;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_ELAB_ELABORATOR_H

@@ -1,0 +1,50 @@
+//===- elab/Env.cpp - Static environments ----------------------------------===//
+
+#include "elab/Env.h"
+
+using namespace smltc;
+
+ValBinding Env::lookupVal(Symbol S) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto F = It->Vals.find(S);
+    if (F != It->Vals.end())
+      return F->second;
+  }
+  return ValBinding();
+}
+
+TyCon *Env::lookupTycon(Symbol S) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto F = It->Tycons.find(S);
+    if (F != It->Tycons.end())
+      return F->second;
+  }
+  return nullptr;
+}
+
+StrInfo *Env::lookupStr(Symbol S) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto F = It->Strs.find(S);
+    if (F != It->Strs.end())
+      return F->second;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<SigInfo> Env::lookupSig(Symbol S) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto F = It->Sigs.find(S);
+    if (F != It->Sigs.end())
+      return F->second;
+  }
+  return nullptr;
+}
+
+FctInfo *Env::lookupFct(Symbol S) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto F = It->Fcts.find(S);
+    if (F != It->Fcts.end())
+      return F->second;
+  }
+  return nullptr;
+}

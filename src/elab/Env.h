@@ -1,0 +1,120 @@
+//===- elab/Env.h - Static environments ------------------------------------===//
+///
+/// \file
+/// Scoped static environments for elaboration: value identifiers (variables,
+/// data constructors, exception constructors, primitives), type
+/// constructors, structures, signatures, and functors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_ELAB_ENV_H
+#define SMLTC_ELAB_ENV_H
+
+#include "ast/Ast.h"
+#include "elab/Absyn.h"
+#include "types/Type.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace smltc {
+
+/// The overload family of a builtin operator occurrence (resolved to a
+/// concrete PrimId after the enclosing top-level declaration).
+enum class OverloadClass : uint8_t {
+  None,
+  Arith2, ///< v * v -> v      (+ - *)
+  Cmp2,   ///< v * v -> bool   (< <= > >=)
+  Neg,    ///< v -> v          (~ abs)
+};
+
+/// A builtin primitive's environment entry.
+struct PrimDesc {
+  PrimId Id;
+  TypeScheme Scheme;          ///< ignored for overloaded entries
+  OverloadClass Overload = OverloadClass::None;
+};
+
+/// What a value identifier denotes.
+struct ValBinding {
+  enum class Kind : uint8_t { None, Val, Con, Exn, Prim };
+  Kind K = Kind::None;
+  ValInfo *Val = nullptr;
+  DataCon *Con = nullptr;
+  ExnInfo *Exn = nullptr;
+  PrimDesc Prim;
+
+  bool isValid() const { return K != Kind::None; }
+};
+
+/// A named signature: elaborated lazily at each use to get generative
+/// semantics; captures its definition environment.
+struct SigInfo {
+  Symbol Name;
+  const ast::SigExp *Def = nullptr;
+  /// Snapshot of the environment the signature was declared in.
+  std::shared_ptr<class Env> DefEnv;
+};
+
+/// A lexically scoped environment. Scopes are pushed/popped as a stack;
+/// copying an Env snapshots it (used for signature definitions).
+class Env {
+public:
+  Env() { push(); }
+
+  void push() { Scopes.emplace_back(); }
+  void pop() { Scopes.pop_back(); }
+
+  void bindVal(Symbol S, ValBinding B) { Scopes.back().Vals[S] = B; }
+  void bindVar(Symbol S, ValInfo *V) {
+    ValBinding B;
+    B.K = ValBinding::Kind::Val;
+    B.Val = V;
+    bindVal(S, B);
+  }
+  void bindCon(Symbol S, DataCon *C) {
+    ValBinding B;
+    B.K = ValBinding::Kind::Con;
+    B.Con = C;
+    bindVal(S, B);
+  }
+  void bindExn(Symbol S, ExnInfo *E) {
+    ValBinding B;
+    B.K = ValBinding::Kind::Exn;
+    B.Exn = E;
+    bindVal(S, B);
+  }
+  void bindPrim(Symbol S, PrimDesc P) {
+    ValBinding B;
+    B.K = ValBinding::Kind::Prim;
+    B.Prim = P;
+    bindVal(S, B);
+  }
+  void bindTycon(Symbol S, TyCon *T) { Scopes.back().Tycons[S] = T; }
+  void bindStr(Symbol S, StrInfo *I) { Scopes.back().Strs[S] = I; }
+  void bindSig(Symbol S, std::shared_ptr<SigInfo> I) {
+    Scopes.back().Sigs[S] = std::move(I);
+  }
+  void bindFct(Symbol S, FctInfo *F) { Scopes.back().Fcts[S] = F; }
+
+  ValBinding lookupVal(Symbol S) const;
+  TyCon *lookupTycon(Symbol S) const;
+  StrInfo *lookupStr(Symbol S) const;
+  std::shared_ptr<SigInfo> lookupSig(Symbol S) const;
+  FctInfo *lookupFct(Symbol S) const;
+
+private:
+  struct Scope {
+    std::unordered_map<Symbol, ValBinding> Vals;
+    std::unordered_map<Symbol, TyCon *> Tycons;
+    std::unordered_map<Symbol, StrInfo *> Strs;
+    std::unordered_map<Symbol, std::shared_ptr<SigInfo>> Sigs;
+    std::unordered_map<Symbol, FctInfo *> Fcts;
+  };
+  std::vector<Scope> Scopes;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_ELAB_ENV_H

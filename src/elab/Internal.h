@@ -1,0 +1,126 @@
+//===- elab/Internal.h - Elaborator private helpers ------------------------===//
+///
+/// \file
+/// Private helpers shared between Elaborator.cpp and ElabModule.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_ELAB_INTERNAL_H
+#define SMLTC_ELAB_INTERNAL_H
+
+#include "elab/Absyn.h"
+#include "support/Arena.h"
+
+#include <vector>
+
+namespace smltc {
+
+/// Accumulates the components of a structure body as its declarations are
+/// elaborated; later converted into a StrStatic plus the slot references
+/// needed to build the runtime record.
+struct CompCollector {
+  std::vector<StrComp> Comps;
+  std::vector<StrTyComp> TyComps;
+  std::vector<StrConComp> ConComps;
+  std::vector<SlotRef> Slots;
+
+  void addVal(Symbol Name, ValInfo *V) {
+    StrComp C;
+    C.K = StrComp::Kind::Val;
+    C.Name = Name;
+    C.Slot = static_cast<int>(Comps.size());
+    C.Scheme = V->Scheme;
+    C.Val = V;
+    Comps.push_back(C);
+    SlotRef R;
+    R.K = StrComp::Kind::Val;
+    R.Val = V;
+    R.CompScheme = V->Scheme;
+    Slots.push_back(R);
+  }
+
+  void addExn(Symbol Name, ExnInfo *X) {
+    StrComp C;
+    C.K = StrComp::Kind::Exn;
+    C.Name = Name;
+    C.Slot = static_cast<int>(Comps.size());
+    C.Exn = X;
+    C.ExnPayload = X->Payload;
+    Comps.push_back(C);
+    SlotRef R;
+    R.K = StrComp::Kind::Exn;
+    R.Exn = X;
+    Slots.push_back(R);
+  }
+
+  void addStr(Symbol Name, StrInfo *S) {
+    StrComp C;
+    C.K = StrComp::Kind::Str;
+    C.Name = Name;
+    C.Slot = static_cast<int>(Comps.size());
+    C.Str = S->Static;
+    Comps.push_back(C);
+    SlotRef R;
+    R.K = StrComp::Kind::Str;
+    R.Str = S;
+    Slots.push_back(R);
+  }
+
+  // Spec variants (signature elaboration): no runtime bindings exist, so
+  // the slot references are placeholders.
+  void addValScheme(Symbol Name, TypeScheme S) {
+    StrComp C;
+    C.K = StrComp::Kind::Val;
+    C.Name = Name;
+    C.Slot = static_cast<int>(Comps.size());
+    C.Scheme = S;
+    Comps.push_back(C);
+    SlotRef R;
+    R.K = StrComp::Kind::Val;
+    R.CompScheme = S;
+    Slots.push_back(R);
+  }
+
+  void addExnSpec(Symbol Name, Type *Payload) {
+    StrComp C;
+    C.K = StrComp::Kind::Exn;
+    C.Name = Name;
+    C.Slot = static_cast<int>(Comps.size());
+    C.ExnPayload = Payload;
+    Comps.push_back(C);
+    SlotRef R;
+    R.K = StrComp::Kind::Exn;
+    Slots.push_back(R);
+  }
+
+  void addStrSpec(Symbol Name, StrStatic *S) {
+    StrComp C;
+    C.K = StrComp::Kind::Str;
+    C.Name = Name;
+    C.Slot = static_cast<int>(Comps.size());
+    C.Str = S;
+    Comps.push_back(C);
+    SlotRef R;
+    R.K = StrComp::Kind::Str;
+    Slots.push_back(R);
+  }
+
+  void addTycon(Symbol Name, TyCon *T) {
+    TyComps.push_back(StrTyComp{Name, T});
+  }
+  void addCon(Symbol Name, DataCon *C) {
+    ConComps.push_back(StrConComp{Name, C});
+  }
+
+  StrStatic *finish(Arena &A) const {
+    StrStatic *S = A.create<StrStatic>();
+    S->Comps = Span<StrComp>::copy(A, Comps);
+    S->TyComps = Span<StrTyComp>::copy(A, TyComps);
+    S->ConComps = Span<StrConComp>::copy(A, ConComps);
+    return S;
+  }
+};
+
+} // namespace smltc
+
+#endif // SMLTC_ELAB_INTERNAL_H

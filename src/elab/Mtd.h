@@ -1,0 +1,34 @@
+//===- elab/Mtd.h - Minimum typing derivations ------------------------------===//
+///
+/// \file
+/// Minimum typing derivations (paper Section 3.1, after Bjorner's algorithm
+/// M): non-exported polymorphic bindings are re-assigned the least general
+/// type scheme that generalizes all of their recorded instantiations. When
+/// every use of a bound variable resolves to the same ground monotype, the
+/// variable is instantiated in place, monomorphizing the binding's body —
+/// which lets the translator use, e.g., primitive equality instead of the
+/// slow polymorphic equality (the paper's 10x Life anecdote).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_ELAB_MTD_H
+#define SMLTC_ELAB_MTD_H
+
+#include "elab/Absyn.h"
+#include "support/Arena.h"
+#include "types/Type.h"
+
+namespace smltc {
+
+struct MtdStats {
+  unsigned VarsGrounded = 0;   ///< scheme variables instantiated in place
+  unsigned BindingsNarrowed = 0; ///< bindings whose scheme lost variables
+};
+
+/// Runs minimum typing derivations over an elaborated program, mutating
+/// type schemes in place. Returns statistics for reporting.
+MtdStats runMtd(AProgram &Prog, TypeContext &Types, Arena &A);
+
+} // namespace smltc
+
+#endif // SMLTC_ELAB_MTD_H

@@ -1,0 +1,158 @@
+//===- lexp/Coerce.cpp - Representation coercions -----------------------------===//
+
+#include "lexp/Coerce.h"
+
+#include <cassert>
+
+using namespace smltc;
+
+bool Coercer::isIdentity(const Lty *From, const Lty *To) {
+  if (LC.equal(From, To))
+    return true;
+  if (From->kind() != To->kind())
+    return false;
+  switch (From->kind()) {
+  case LtyKind::Record:
+  case LtyKind::SRecord: {
+    if (From->fields().size() != To->fields().size())
+      return false;
+    for (size_t I = 0; I < From->fields().size(); ++I)
+      if (!isIdentity(From->fields()[I], To->fields()[I]))
+        return false;
+    return true;
+  }
+  case LtyKind::Arrow:
+    return isIdentity(To->from(), From->from()) &&
+           isIdentity(From->to(), To->to());
+  default:
+    return false;
+  }
+}
+
+Lexp *Coercer::coerce(const Lty *From, const Lty *To, Lexp *E) {
+  // Fast path: with hash-consed LTYs this is a pointer comparison
+  // (paper Section 4.5: "coerce(u, t) is an identity function in the
+  // common case that u = t").
+  if (LC.equal(From, To) || isIdentity(From, To))
+    return E;
+
+  // BOXED: shallow one-word wrapping.
+  if (To->kind() == LtyKind::Boxed)
+    return B.wrap(From, E, LC.boxedTy());
+  if (From->kind() == LtyKind::Boxed)
+    return B.unwrap(To, E);
+
+  // RBOXED: recursive wrapping through dup (paper Section 4.2).
+  if (To->kind() == LtyKind::RBoxed) {
+    const Lty *D = LC.dup(From);
+    if (D->kind() == LtyKind::Boxed)
+      return B.wrap(From, E, LC.rboxedTy());
+    Lexp *Inner = coerce(From, D, E);
+    return B.wrap(D, Inner, LC.rboxedTy());
+  }
+  if (From->kind() == LtyKind::RBoxed) {
+    const Lty *D = LC.dup(To);
+    if (D->kind() == LtyKind::Boxed)
+      return B.unwrap(To, E);
+    Lexp *Inner = B.unwrap(D, E);
+    return coerce(D, To, Inner);
+  }
+
+  return coerceStructural(From, To, E);
+}
+
+Lexp *Coercer::recordCoercion(const Lty *From, const Lty *To, Lexp *E) {
+  assert(From->fields().size() == To->fields().size() &&
+         "record coercion size mismatch");
+  LVar X = B.fresh();
+  std::vector<Lexp *> Fields;
+  for (size_t I = 0; I < From->fields().size(); ++I)
+    Fields.push_back(coerce(From->fields()[I], To->fields()[I],
+                            B.select(static_cast<int>(I), B.var(X))));
+  return B.let(X, E, B.record(Fields, To));
+}
+
+Lexp *Coercer::coerceStructural(const Lty *From, const Lty *To, Lexp *E) {
+  // Records (same arity, guaranteed by the ML type system).
+  if (From->isRecordLike() && To->isRecordLike()) {
+    bool ModuleLevel = From->kind() == LtyKind::SRecord &&
+                       To->kind() == LtyKind::SRecord;
+    if (ModuleLevel && Memo) {
+      auto Key = std::make_pair(From, To);
+      auto It = MemoTable.find(Key);
+      if (It != MemoTable.end()) {
+        ++MemoHits;
+        return B.app(B.var(It->second), E);
+      }
+      ++MemoMisses;
+      LVar FnName = B.fresh();
+      MemoTable.emplace(Key, FnName); // before building, for recursion
+      LVar Param = B.fresh();
+      Lexp *Body = recordCoercion(From, To, B.var(Param));
+      FixDef D;
+      D.Name = FnName;
+      D.Param = Param;
+      D.ParamLty = From;
+      D.RetLty = To;
+      D.Body = Body;
+      SharedDefs.push_back(D);
+      return B.app(B.var(FnName), E);
+    }
+    return recordCoercion(From, To, E);
+  }
+
+  // Partial records: fetch the shared subset by index.
+  if (From->kind() == LtyKind::PRecord || To->kind() == LtyKind::PRecord) {
+    LVar X = B.fresh();
+    auto FieldOf = [&](const Lty *T, int Index) -> const Lty * {
+      if (T->kind() == LtyKind::PRecord) {
+        for (const PField &F : T->pfields())
+          if (F.Index == Index)
+            return F.Ty;
+        return nullptr;
+      }
+      if (Index < static_cast<int>(T->fields().size()))
+        return T->fields()[Index];
+      return nullptr;
+    };
+    std::vector<Lexp *> Fields;
+    bool Ok = true;
+    if (To->kind() == LtyKind::PRecord) {
+      for (const PField &F : To->pfields()) {
+        const Lty *FF = FieldOf(From, F.Index);
+        if (!FF) {
+          Ok = false;
+          break;
+        }
+        Fields.push_back(coerce(FF, F.Ty, B.select(F.Index, B.var(X))));
+      }
+    } else {
+      for (size_t I = 0; I < To->fields().size(); ++I) {
+        const Lty *FF = FieldOf(From, static_cast<int>(I));
+        if (!FF) {
+          Ok = false;
+          break;
+        }
+        Fields.push_back(coerce(FF, To->fields()[I],
+                                B.select(static_cast<int>(I), B.var(X))));
+      }
+    }
+    assert(Ok && "partial-record coercion: missing field");
+    (void)Ok;
+    return B.let(X, E, B.record(Fields, To));
+  }
+
+  // Functions: coerce the argument backwards and the result forwards.
+  if (From->kind() == LtyKind::Arrow && To->kind() == LtyKind::Arrow) {
+    LVar F = B.fresh();
+    LVar X = B.fresh();
+    Lexp *Arg = coerce(To->from(), From->from(), B.var(X));
+    Lexp *Res = coerce(From->to(), To->to(), B.app(B.var(F), Arg));
+    return B.let(F, E, B.fn(X, To->from(), To->to(), Res));
+  }
+
+  // INT <-> tagged-word views (e.g. INT to/from RBOXED went through the
+  // cases above; anything left is an internal inconsistency).
+  assert(false && "coerce: incompatible LTYs");
+  return E;
+}

@@ -1,0 +1,61 @@
+//===- lexp/Coerce.h - Representation coercions (paper Section 4.2) ---------===//
+///
+/// \file
+/// coerce(t1, t2) builds a LEXP expression converting a value from LTY t1
+/// to LTY t2, generalizing Leroy's wrap/unwrap: unlike Leroy's, it does not
+/// require one type to be an instantiation of the other, which is what lets
+/// it translate the ML module language (thinning functions).
+///
+/// Module-level (SRECORD) coercions can be memo-ized and emitted as shared
+/// top-level functions (paper Section 4.5): shared coercions are not
+/// inlined, which avoids code explosion; core-level coercions stay inline
+/// so the CPS optimizer can cancel them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_LEXP_COERCE_H
+#define SMLTC_LEXP_COERCE_H
+
+#include "lexp/Lexp.h"
+#include "lty/Lty.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace smltc {
+
+class Coercer {
+public:
+  Coercer(LtyContext &LC, LexpBuilder &B, bool MemoModuleCoercions)
+      : LC(LC), B(B), Memo(MemoModuleCoercions) {}
+
+  /// Returns an expression of LTY \p To given \p E of LTY \p From.
+  Lexp *coerce(const Lty *From, const Lty *To, Lexp *E);
+
+  /// True if coercing From to To is a no-op (same representations).
+  bool isIdentity(const Lty *From, const Lty *To);
+
+  /// Shared module-coercion functions created so far; the translator wraps
+  /// the whole program in a FIX of these.
+  const std::vector<FixDef> &sharedDefs() const { return SharedDefs; }
+
+  size_t memoHits() const { return MemoHits; }
+  size_t memoMisses() const { return MemoMisses; }
+
+private:
+  Lexp *coerceStructural(const Lty *From, const Lty *To, Lexp *E);
+  Lexp *recordCoercion(const Lty *From, const Lty *To, Lexp *E);
+
+  LtyContext &LC;
+  LexpBuilder &B;
+  bool Memo;
+  std::map<std::pair<const Lty *, const Lty *>, LVar> MemoTable;
+  std::vector<FixDef> SharedDefs;
+  size_t MemoHits = 0;
+  size_t MemoMisses = 0;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_LEXP_COERCE_H

@@ -1,0 +1,299 @@
+//===- lexp/Lexp.cpp - The typed lambda language LEXP ------------------------===//
+
+#include "lexp/Lexp.h"
+
+#include <sstream>
+
+using namespace smltc;
+
+Lexp *LexpBuilder::var(LVar V) {
+  Lexp *E = make(Lexp::Kind::Var);
+  E->Var = V;
+  return E;
+}
+
+Lexp *LexpBuilder::intConst(int64_t V) {
+  Lexp *E = make(Lexp::Kind::Int);
+  E->IntVal = V;
+  return E;
+}
+
+Lexp *LexpBuilder::realConst(double V) {
+  Lexp *E = make(Lexp::Kind::Real);
+  E->RealVal = V;
+  return E;
+}
+
+Lexp *LexpBuilder::strConst(Symbol S) {
+  Lexp *E = make(Lexp::Kind::String);
+  E->StrVal = S;
+  return E;
+}
+
+Lexp *LexpBuilder::fn(LVar Param, const Lty *ParamLty, const Lty *RetLty,
+                      Lexp *Body) {
+  Lexp *E = make(Lexp::Kind::Fn);
+  E->Var = Param;
+  E->Ty = ParamLty;
+  E->Ty2 = RetLty;
+  E->A1 = Body;
+  return E;
+}
+
+Lexp *LexpBuilder::fix(Span<FixDef> Defs, Lexp *Body) {
+  Lexp *E = make(Lexp::Kind::Fix);
+  E->Defs = Defs;
+  E->A1 = Body;
+  return E;
+}
+
+Lexp *LexpBuilder::app(Lexp *Fun, Lexp *Arg) {
+  Lexp *E = make(Lexp::Kind::App);
+  E->A1 = Fun;
+  E->A2 = Arg;
+  return E;
+}
+
+Lexp *LexpBuilder::let(LVar V, Lexp *Rhs, Lexp *Body) {
+  Lexp *E = make(Lexp::Kind::Let);
+  E->Var = V;
+  E->A1 = Rhs;
+  E->A2 = Body;
+  return E;
+}
+
+Lexp *LexpBuilder::record(Span<Lexp *> Elems, const Lty *RecLty) {
+  Lexp *E = make(Lexp::Kind::Record);
+  E->Elems = Elems;
+  E->Ty = RecLty;
+  return E;
+}
+
+Lexp *LexpBuilder::record(const std::vector<Lexp *> &Elems,
+                          const Lty *RecLty) {
+  return record(Span<Lexp *>::copy(A, Elems), RecLty);
+}
+
+Lexp *LexpBuilder::select(int Index, Lexp *Arg) {
+  Lexp *E = make(Lexp::Kind::Select);
+  E->Index = Index;
+  E->A1 = Arg;
+  return E;
+}
+
+Lexp *LexpBuilder::conExp(DataCon *DC, Lexp *Payload) {
+  Lexp *E = make(Lexp::Kind::Con);
+  E->DC = DC;
+  E->A1 = Payload;
+  return E;
+}
+
+Lexp *LexpBuilder::decon(DataCon *DC, Lexp *Arg) {
+  Lexp *E = make(Lexp::Kind::Decon);
+  E->DC = DC;
+  E->A1 = Arg;
+  return E;
+}
+
+Lexp *LexpBuilder::prim(PrimId P, const std::vector<Lexp *> &Args) {
+  Lexp *E = make(Lexp::Kind::Prim);
+  E->Prim = P;
+  E->Elems = Span<Lexp *>::copy(A, Args);
+  return E;
+}
+
+Lexp *LexpBuilder::wrap(const Lty *Contents, Lexp *Arg, const Lty *Result) {
+  Lexp *E = make(Lexp::Kind::Wrap);
+  E->Ty = Contents;
+  E->Ty2 = Result;
+  E->A1 = Arg;
+  return E;
+}
+
+Lexp *LexpBuilder::unwrap(const Lty *Contents, Lexp *Arg) {
+  Lexp *E = make(Lexp::Kind::Unwrap);
+  E->Ty = Contents;
+  E->A1 = Arg;
+  return E;
+}
+
+Lexp *LexpBuilder::raise(Lexp *Arg, const Lty *ResultLty) {
+  Lexp *E = make(Lexp::Kind::Raise);
+  E->A1 = Arg;
+  E->Ty = ResultLty;
+  return E;
+}
+
+Lexp *LexpBuilder::handle(Lexp *Body, Lexp *Handler) {
+  Lexp *E = make(Lexp::Kind::Handle);
+  E->A1 = Body;
+  E->A2 = Handler;
+  return E;
+}
+
+Lexp *LexpBuilder::switchExp(Lexp *Scrut, SwitchKind SK,
+                             const std::vector<SwitchCase> &Cases,
+                             Lexp *Default) {
+  Lexp *E = make(Lexp::Kind::Switch);
+  E->A1 = Scrut;
+  E->SK = SK;
+  E->Cases = Span<SwitchCase>::copy(A, Cases);
+  E->Default = Default;
+  return E;
+}
+
+namespace {
+
+void emit(std::ostringstream &OS, const Lexp *E) {
+  switch (E->K) {
+  case Lexp::Kind::Var:
+    OS << 'v' << E->Var;
+    return;
+  case Lexp::Kind::Int:
+    OS << E->IntVal;
+    return;
+  case Lexp::Kind::Real:
+    OS << E->RealVal;
+    return;
+  case Lexp::Kind::String:
+    OS << '"' << E->StrVal.str() << '"';
+    return;
+  case Lexp::Kind::Fn:
+    OS << "(fn v" << E->Var << ' ';
+    emit(OS, E->A1);
+    OS << ')';
+    return;
+  case Lexp::Kind::Fix:
+    OS << "(fix";
+    for (const FixDef &D : E->Defs) {
+      OS << " (v" << D.Name << " v" << D.Param << ' ';
+      emit(OS, D.Body);
+      OS << ')';
+    }
+    OS << " in ";
+    emit(OS, E->A1);
+    OS << ')';
+    return;
+  case Lexp::Kind::App:
+    OS << "(app ";
+    emit(OS, E->A1);
+    OS << ' ';
+    emit(OS, E->A2);
+    OS << ')';
+    return;
+  case Lexp::Kind::Let:
+    OS << "(let v" << E->Var << ' ';
+    emit(OS, E->A1);
+    OS << ' ';
+    emit(OS, E->A2);
+    OS << ')';
+    return;
+  case Lexp::Kind::Record:
+    OS << "(record";
+    for (const Lexp *X : E->Elems) {
+      OS << ' ';
+      emit(OS, X);
+    }
+    OS << ')';
+    return;
+  case Lexp::Kind::Select:
+    OS << "(select " << E->Index << ' ';
+    emit(OS, E->A1);
+    OS << ')';
+    return;
+  case Lexp::Kind::Con:
+    OS << "(con " << E->DC->Name.str();
+    if (E->A1) {
+      OS << ' ';
+      emit(OS, E->A1);
+    }
+    OS << ')';
+    return;
+  case Lexp::Kind::Decon:
+    OS << "(decon " << E->DC->Name.str() << ' ';
+    emit(OS, E->A1);
+    OS << ')';
+    return;
+  case Lexp::Kind::Switch:
+    OS << "(switch ";
+    emit(OS, E->A1);
+    for (const SwitchCase &C : E->Cases) {
+      OS << " (";
+      switch (E->SK) {
+      case SwitchKind::Con:
+        OS << C.Con->Name.str();
+        break;
+      case SwitchKind::Int:
+        OS << C.IntKey;
+        break;
+      case SwitchKind::Str:
+        OS << '"' << C.StrKey.str() << '"';
+        break;
+      }
+      OS << " => ";
+      emit(OS, C.Body);
+      OS << ')';
+    }
+    if (E->Default) {
+      OS << " (default => ";
+      emit(OS, E->Default);
+      OS << ')';
+    }
+    OS << ')';
+    return;
+  case Lexp::Kind::Prim:
+    OS << "(prim " << static_cast<int>(E->Prim);
+    for (const Lexp *X : E->Elems) {
+      OS << ' ';
+      emit(OS, X);
+    }
+    OS << ')';
+    return;
+  case Lexp::Kind::Wrap:
+    OS << "(wrap ";
+    emit(OS, E->A1);
+    OS << ')';
+    return;
+  case Lexp::Kind::Unwrap:
+    OS << "(unwrap ";
+    emit(OS, E->A1);
+    OS << ')';
+    return;
+  case Lexp::Kind::Raise:
+    OS << "(raise ";
+    emit(OS, E->A1);
+    OS << ')';
+    return;
+  case Lexp::Kind::Handle:
+    OS << "(handle ";
+    emit(OS, E->A1);
+    OS << ' ';
+    emit(OS, E->A2);
+    OS << ')';
+    return;
+  }
+}
+
+} // namespace
+
+std::string smltc::printLexp(const Lexp *E) {
+  std::ostringstream OS;
+  emit(OS, E);
+  return OS.str();
+}
+
+size_t smltc::countLexpNodes(const Lexp *E) {
+  if (!E)
+    return 0;
+  size_t N = 1;
+  N += countLexpNodes(E->A1);
+  N += countLexpNodes(E->A2);
+  for (const Lexp *X : E->Elems)
+    N += countLexpNodes(X);
+  for (const FixDef &D : E->Defs)
+    N += countLexpNodes(D.Body);
+  for (const SwitchCase &C : E->Cases)
+    N += countLexpNodes(C.Body);
+  N += countLexpNodes(E->Default);
+  return N;
+}

@@ -1,0 +1,143 @@
+//===- lexp/Lexp.h - The typed lambda language LEXP -------------------------===//
+///
+/// \file
+/// The typed call-by-value lambda language of the paper's Section 4.1: a
+/// simply-typed lambda calculus with lambda, application, constants, tuple
+/// and selection operators, datatype injection/projection, switches,
+/// exceptions, type-annotated prim-ops, and the WRAP/UNWRAP coercion
+/// operators introduced for representation analysis.
+///
+/// Representation decisions (constructor layouts, record layouts, argument
+/// spreading) are *not* taken here; the CPS converter takes them by
+/// consulting the LTY annotations, as in the paper's Section 5.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_LEXP_LEXP_H
+#define SMLTC_LEXP_LEXP_H
+
+#include "elab/Absyn.h"
+#include "lty/Lty.h"
+#include "support/Arena.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+
+namespace smltc {
+
+/// Lambda variables are dense integers (the translator assigns them).
+using LVar = int32_t;
+
+struct Lexp;
+
+/// One function of a mutually recursive FIX bundle.
+struct FixDef {
+  LVar Name = 0;
+  LVar Param = 0;
+  const Lty *ParamLty = nullptr;
+  const Lty *RetLty = nullptr;
+  Lexp *Body = nullptr;
+};
+
+/// One arm of a SWITCH.
+struct SwitchCase {
+  DataCon *Con = nullptr; ///< CaseKind::Con
+  int64_t IntKey = 0;     ///< CaseKind::Int
+  Symbol StrKey;          ///< CaseKind::Str
+  Lexp *Body = nullptr;
+};
+
+enum class SwitchKind : uint8_t { Con, Int, Str };
+
+struct Lexp {
+  enum class Kind : uint8_t {
+    Var,
+    Int,
+    Real,
+    String,
+    Fn,     ///< fn Var : Ty => A1
+    Fix,    ///< fix Defs in A1
+    App,    ///< A1 A2
+    Let,    ///< let Var = A1 in A2
+    Record, ///< record/srecord of Elems; Ty is the record LTY
+    Select, ///< Select Index from A1
+    Con,    ///< inject DC (A1 is the RBOXED payload, or null)
+    Decon,  ///< project DC payload from A1 (result RBOXED)
+    Switch, ///< switch on A1 over Cases, with optional Default
+    Prim,   ///< saturated primitive application over Elems
+    Wrap,   ///< box a value of contents type Ty into one word (Ty2)
+    Unwrap, ///< unbox a one-word value into contents type Ty
+    Raise,  ///< raise A1; Ty is the result LTY
+    Handle, ///< A1 handle A2 (A2 is a fn from exn)
+  };
+  Kind K;
+
+  LVar Var = 0;            // Var, Fn param, Let binder
+  int64_t IntVal = 0;      // Int
+  double RealVal = 0;      // Real
+  Symbol StrVal;           // String
+  const Lty *Ty = nullptr; // Fn param lty; Record lty; Wrap/Unwrap contents
+                           // lty; Raise result lty
+  const Lty *Ty2 = nullptr; // Fn return lty; Wrap result (BOXED or RBOXED)
+  Lexp *A1 = nullptr;
+  Lexp *A2 = nullptr;
+  Span<Lexp *> Elems;      // Record fields, Prim args
+  Span<FixDef> Defs;       // Fix
+  DataCon *DC = nullptr;   // Con, Decon
+  PrimId Prim = PrimId::PolyEq;
+  SwitchKind SK = SwitchKind::Con;
+  Span<SwitchCase> Cases;
+  Lexp *Default = nullptr; // Switch
+  int Index = 0;           // Select
+};
+
+/// Convenience constructors over an arena, with a fresh-variable supply.
+class LexpBuilder {
+public:
+  explicit LexpBuilder(Arena &A) : A(A) {}
+
+  Arena &arena() { return A; }
+  LVar fresh() { return NextVar++; }
+  LVar maxVar() const { return NextVar; }
+
+  Lexp *var(LVar V);
+  Lexp *intConst(int64_t V);
+  Lexp *realConst(double V);
+  Lexp *strConst(Symbol S);
+  Lexp *fn(LVar Param, const Lty *ParamLty, const Lty *RetLty, Lexp *Body);
+  Lexp *fix(Span<FixDef> Defs, Lexp *Body);
+  Lexp *app(Lexp *Fun, Lexp *Arg);
+  Lexp *let(LVar V, Lexp *Rhs, Lexp *Body);
+  Lexp *record(Span<Lexp *> Elems, const Lty *RecLty);
+  Lexp *record(const std::vector<Lexp *> &Elems, const Lty *RecLty);
+  Lexp *select(int Index, Lexp *Arg);
+  Lexp *conExp(DataCon *DC, Lexp *Payload);
+  Lexp *decon(DataCon *DC, Lexp *Arg);
+  Lexp *prim(PrimId P, const std::vector<Lexp *> &Args);
+  Lexp *wrap(const Lty *Contents, Lexp *Arg, const Lty *Result);
+  Lexp *unwrap(const Lty *Contents, Lexp *Arg);
+  Lexp *raise(Lexp *Arg, const Lty *ResultLty);
+  Lexp *handle(Lexp *Body, Lexp *Handler);
+  Lexp *switchExp(Lexp *Scrut, SwitchKind SK,
+                  const std::vector<SwitchCase> &Cases, Lexp *Default);
+
+private:
+  Lexp *make(Lexp::Kind K) {
+    Lexp *E = A.create<Lexp>();
+    E->K = K;
+    return E;
+  }
+  Arena &A;
+  LVar NextVar = 1;
+};
+
+/// Renders a LEXP tree as an s-expression (tests and debugging).
+std::string printLexp(const Lexp *E);
+
+/// Counts nodes (compile-effort metric for the ablation benches).
+size_t countLexpNodes(const Lexp *E);
+
+} // namespace smltc
+
+#endif // SMLTC_LEXP_LEXP_H

@@ -1,0 +1,275 @@
+//===- lexp/LexpCheck.cpp - LEXP invariant checking ----------------------------===//
+
+#include "lexp/LexpCheck.h"
+
+#include "lexp/PrimRep.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace smltc;
+
+namespace {
+
+/// One-word (pointer or tagged word) LTY kinds.
+bool isWord(const Lty *T) {
+  switch (T->kind()) {
+  case LtyKind::Int:
+  case LtyKind::Boxed:
+  case LtyKind::RBoxed:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// "A value of type A may flow where B is expected." Boxed/record/arrow
+/// confusion is tolerated (all are one-word pointers at runtime); REAL is
+/// not: raw floats must be wrapped explicitly.
+bool compat(const Lty *A, const Lty *B) {
+  if (!A || !B)
+    return true; // bottom (from raise)
+  if (A == B)
+    return true;
+  if (A->kind() == LtyKind::Real || B->kind() == LtyKind::Real)
+    return false;
+  if (isWord(A) || isWord(B)) {
+    // One side is an opaque word: anything non-REAL can inhabit it
+    // (records and functions are pointers; INT is a tagged word).
+    return true;
+  }
+  if (A->isRecordLike() && B->isRecordLike()) {
+    if (A->fields().size() != B->fields().size())
+      return false;
+    for (size_t I = 0; I < A->fields().size(); ++I)
+      if (!compat(A->fields()[I], B->fields()[I]))
+        return false;
+    return true;
+  }
+  if (A->kind() == LtyKind::Arrow && B->kind() == LtyKind::Arrow)
+    return compat(B->from(), A->from()) && compat(A->to(), B->to());
+  if (A->kind() == LtyKind::PRecord || B->kind() == LtyKind::PRecord)
+    return true; // partial views are checked at coercion build time
+  return false;
+}
+
+class Checker {
+public:
+  explicit Checker(LtyContext &LC) : LC(LC) {}
+
+  LexpCheckResult Result;
+
+  const Lty *check(const Lexp *E) {
+    if (!Result.Ok)
+      return nullptr;
+    ++Result.NodesChecked;
+    switch (E->K) {
+    case Lexp::Kind::Var: {
+      auto It = Env.find(E->Var);
+      if (It == Env.end())
+        return fail("unbound LEXP variable v" + std::to_string(E->Var));
+      return It->second;
+    }
+    case Lexp::Kind::Int:
+      return LC.intTy();
+    case Lexp::Kind::Real:
+      return LC.realTy();
+    case Lexp::Kind::String:
+      return LC.boxedTy();
+    case Lexp::Kind::Fn: {
+      Env[E->Var] = E->Ty;
+      const Lty *BodyTy = check(E->A1);
+      if (Result.Ok && !compat(BodyTy, E->Ty2))
+        return fail("fn body type mismatch");
+      return LC.arrow(E->Ty, E->Ty2);
+    }
+    case Lexp::Kind::Fix: {
+      for (const FixDef &D : E->Defs)
+        Env[D.Name] = LC.arrow(D.ParamLty, D.RetLty);
+      for (const FixDef &D : E->Defs) {
+        Env[D.Param] = D.ParamLty;
+        const Lty *BodyTy = check(D.Body);
+        if (Result.Ok && !compat(BodyTy, D.RetLty))
+          return fail("fix body type mismatch");
+      }
+      return check(E->A1);
+    }
+    case Lexp::Kind::App: {
+      const Lty *F = check(E->A1);
+      const Lty *Arg = check(E->A2);
+      if (!Result.Ok)
+        return nullptr;
+      if (!F)
+        return nullptr; // bottom
+      if (F->kind() != LtyKind::Arrow) {
+        if (isWord(F))
+          return LC.rboxedTy(); // coerced/unknown function
+        return fail("application of a non-function");
+      }
+      if (!compat(Arg, F->from()))
+        return fail("argument representation mismatch: " +
+                    LC.toString(Arg) + " vs " + LC.toString(F->from()));
+      return F->to();
+    }
+    case Lexp::Kind::Let: {
+      const Lty *Rhs = check(E->A1);
+      Env[E->Var] = Rhs;
+      return check(E->A2);
+    }
+    case Lexp::Kind::Record: {
+      if (E->Ty && E->Ty->isRecordLike() &&
+          E->Ty->fields().size() != E->Elems.size())
+        return fail("record arity disagrees with its LTY");
+      for (size_t I = 0; I < E->Elems.size(); ++I) {
+        const Lty *F = check(E->Elems[I]);
+        if (!Result.Ok)
+          return nullptr;
+        if (E->Ty && E->Ty->isRecordLike() &&
+            !compat(F, E->Ty->fields()[I]))
+          return fail("record field " + std::to_string(I) +
+                      " representation mismatch: " + LC.toString(F) +
+                      " vs " + LC.toString(E->Ty->fields()[I]));
+      }
+      return E->Ty;
+    }
+    case Lexp::Kind::Select: {
+      const Lty *Arg = check(E->A1);
+      if (!Result.Ok)
+        return nullptr;
+      if (!Arg)
+        return nullptr;
+      if (Arg->isRecordLike()) {
+        if (E->Index < 0 ||
+            E->Index >= static_cast<int>(Arg->fields().size()))
+          return fail("select index out of range");
+        return Arg->fields()[E->Index];
+      }
+      if (Arg->kind() == LtyKind::PRecord) {
+        for (const PField &F : Arg->pfields())
+          if (F.Index == E->Index)
+            return F.Ty;
+        return fail("select index not in partial record");
+      }
+      if (isWord(Arg))
+        return LC.rboxedTy(); // standard boxed contents
+      return fail("select from a non-record");
+    }
+    case Lexp::Kind::Con: {
+      if (E->A1) {
+        const Lty *Pay = check(E->A1);
+        if (Result.Ok && !compat(Pay, LC.rboxedTy()))
+          return fail("constructor payload must be standard boxed");
+      }
+      return LC.boxedTy();
+    }
+    case Lexp::Kind::Decon: {
+      const Lty *Arg = check(E->A1);
+      if (Result.Ok && !compat(Arg, LC.boxedTy()))
+        return fail("decon of a non-boxed value");
+      return LC.rboxedTy();
+    }
+    case Lexp::Kind::Switch: {
+      const Lty *Scrut = check(E->A1);
+      if (!Result.Ok)
+        return nullptr;
+      if (E->SK == SwitchKind::Int) {
+        if (!compat(Scrut, LC.intTy()))
+          return fail("int switch scrutinee is not an int");
+      } else if (!compat(Scrut, LC.boxedTy())) {
+        return fail("switch scrutinee is not boxed");
+      }
+      const Lty *Res = nullptr;
+      for (const SwitchCase &C : E->Cases) {
+        const Lty *T = check(C.Body);
+        if (!Result.Ok)
+          return nullptr;
+        if (!Res)
+          Res = T;
+        else if (!compat(T, Res) && !compat(Res, T))
+          return fail("switch arms disagree in representation");
+      }
+      if (E->Default) {
+        const Lty *T = check(E->Default);
+        if (!Result.Ok)
+          return nullptr;
+        if (!Res)
+          Res = T;
+        else if (!compat(T, Res) && !compat(Res, T))
+          return fail("switch default disagrees in representation");
+      }
+      return Res;
+    }
+    case Lexp::Kind::Prim: {
+      int N = primArity(E->Prim);
+      if (static_cast<int>(E->Elems.size()) != N)
+        return fail("prim arity mismatch");
+      for (int I = 0; I < N; ++I) {
+        const Lty *Arg = check(E->Elems[I]);
+        if (!Result.Ok)
+          return nullptr;
+        if (!compat(Arg, primArgLty(LC, E->Prim, I)))
+          return fail("prim argument representation mismatch");
+      }
+      return primResLty(LC, E->Prim);
+    }
+    case Lexp::Kind::Wrap: {
+      const Lty *Arg = check(E->A1);
+      if (Result.Ok && !compat(Arg, E->Ty))
+        return fail("wrap contents mismatch");
+      if (E->Ty2 && E->Ty2->kind() == LtyKind::RBoxed &&
+          !LC.isRecursivelyBoxed(E->Ty) &&
+          E->Ty->kind() != LtyKind::Real &&
+          E->Ty->kind() != LtyKind::Int &&
+          E->Ty->kind() != LtyKind::Boxed)
+        return fail("wrap to RBOXED of non-recursively-boxed contents: " +
+                    LC.toString(E->Ty));
+      return E->Ty2 ? E->Ty2 : LC.boxedTy();
+    }
+    case Lexp::Kind::Unwrap: {
+      const Lty *Arg = check(E->A1);
+      if (Result.Ok && !compat(Arg, LC.boxedTy()))
+        return fail("unwrap of a non-word value");
+      return E->Ty;
+    }
+    case Lexp::Kind::Raise: {
+      const Lty *Arg = check(E->A1);
+      if (Result.Ok && !compat(Arg, LC.boxedTy()))
+        return fail("raise of a non-exn value");
+      return nullptr; // bottom
+    }
+    case Lexp::Kind::Handle: {
+      const Lty *Body = check(E->A1);
+      const Lty *H = check(E->A2);
+      if (!Result.Ok)
+        return nullptr;
+      if (H && H->kind() == LtyKind::Arrow) {
+        if (Body && !compat(H->to(), Body) && !compat(Body, H->to()))
+          return fail("handler result disagrees with body");
+        return Body ? Body : H->to();
+      }
+      return Body;
+    }
+    }
+    return fail("unknown LEXP node");
+  }
+
+private:
+  const Lty *fail(std::string Msg) {
+    if (Result.Ok) {
+      Result.Ok = false;
+      Result.Error = std::move(Msg);
+    }
+    return nullptr;
+  }
+
+  LtyContext &LC;
+  std::unordered_map<LVar, const Lty *> Env;
+};
+
+} // namespace
+
+LexpCheckResult smltc::checkLexp(const Lexp *Program, LtyContext &LC) {
+  Checker C(LC);
+  C.check(Program);
+  return C.Result;
+}

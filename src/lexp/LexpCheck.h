@@ -1,0 +1,33 @@
+//===- lexp/LexpCheck.h - LEXP invariant checking -----------------------------===//
+///
+/// \file
+/// A representation-shape checker for LEXP ("all the intermediate
+/// optimizations must preserve type consistency" — paper Section 1). It
+/// verifies variable scoping, record arities, and most importantly that raw
+/// floating-point values (REALty) never flow into one-word (boxed/integer)
+/// positions without an explicit WRAP — the invariant representation
+/// analysis depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_LEXP_LEXPCHECK_H
+#define SMLTC_LEXP_LEXPCHECK_H
+
+#include "lexp/Lexp.h"
+#include "lty/Lty.h"
+
+#include <string>
+
+namespace smltc {
+
+struct LexpCheckResult {
+  bool Ok = true;
+  std::string Error;
+  size_t NodesChecked = 0;
+};
+
+LexpCheckResult checkLexp(const Lexp *Program, LtyContext &LC);
+
+} // namespace smltc
+
+#endif // SMLTC_LEXP_LEXPCHECK_H

@@ -1,0 +1,343 @@
+//===- lexp/MatchComp.cpp - Pattern-match compilation -------------------------===//
+
+#include "lexp/MatchComp.h"
+
+#include <cassert>
+
+using namespace smltc;
+
+namespace {
+
+/// True when two exception-tag expressions statically denote the same tag.
+bool sameTag(const AExp *A, const AExp *B) {
+  if (A->K != B->K)
+    return false;
+  if (A->K == AExp::Kind::ExnTag)
+    return A->Exn == B->Exn;
+  if (A->K == AExp::Kind::Path) {
+    if (A->Root != B->Root || A->Slots.size() != B->Slots.size())
+      return false;
+    for (size_t I = 0; I < A->Slots.size(); ++I)
+      if (A->Slots[I] != B->Slots[I])
+        return false;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+void MatchCompiler::normalizeRow(const std::vector<Col> &Cols, IRow &R) {
+  for (size_t J = 0; J < R.Pats.size(); ++J) {
+    APat *P = R.Pats[J];
+    for (;;) {
+      if (!P) {
+        break;
+      }
+      if (P->K == APat::Kind::Layered) {
+        R.Binds.emplace_back(P->Var, Cols[J].V, Cols[J].Std);
+        P = P->Arg;
+        continue;
+      }
+      if (P->K == APat::Kind::Var) {
+        R.Binds.emplace_back(P->Var, Cols[J].V, Cols[J].Std);
+        P = nullptr;
+        continue;
+      }
+      if (P->K == APat::Kind::Wild) {
+        P = nullptr;
+        continue;
+      }
+      break;
+    }
+    R.Pats[J] = P; // null means Wild
+  }
+}
+
+Lexp *MatchCompiler::leaf(const IRow &R) {
+  // Bind the pattern variables, coercing out of standard boxed form where
+  // the column holds an RBOXED value but the variable's type wants the
+  // typed representation.
+  std::vector<std::pair<ValInfo *, LVar>> Final;
+  std::vector<std::pair<LVar, Lexp *>> Lets;
+  for (const auto &[V, ColV, Std] : R.Binds) {
+    const Lty *Want = Low.lowerScheme(V->Scheme);
+    if (Std && !C.isIdentity(Low.ltyContext().rboxedTy(), Want)) {
+      LVar BV = B.fresh();
+      Lets.emplace_back(
+          BV, C.coerce(Low.ltyContext().rboxedTy(), Want, B.var(ColV)));
+      Final.emplace_back(V, BV);
+    } else {
+      Final.emplace_back(V, ColV);
+    }
+  }
+  Lexp *Body = R.Src->Emit(Final);
+  for (size_t I = Lets.size(); I-- > 0;)
+    Body = B.let(Lets[I].first, Lets[I].second, Body);
+  return Body;
+}
+
+Lexp *MatchCompiler::compile(std::vector<Col> Cols,
+                             const std::vector<Row> &Rows, FailFn Fail) {
+  std::vector<IRow> IRows;
+  for (const Row &R : Rows) {
+    IRow IR;
+    IR.Pats = R.Pats;
+    IR.Src = &R;
+    IRows.push_back(std::move(IR));
+  }
+  return compileRec(std::move(Cols), std::move(IRows), std::move(Fail));
+}
+
+Lexp *MatchCompiler::compileRec(std::vector<Col> Cols, std::vector<IRow> Rows,
+                                FailFn Fail) {
+  if (Rows.empty())
+    return Fail();
+  for (IRow &R : Rows)
+    normalizeRow(Cols, R);
+
+  IRow &R0 = Rows[0];
+  size_t J = 0;
+  while (J < R0.Pats.size() && R0.Pats[J] == nullptr)
+    ++J;
+  if (J == R0.Pats.size())
+    return leaf(R0);
+
+  APat *P0 = R0.Pats[J];
+  const Col ColJ = Cols[J];
+
+  switch (P0->K) {
+  case APat::Kind::Tuple: {
+    // Expand column J into one column per tuple field for every row.
+    size_t N = P0->Elems.size();
+    // Fresh column variables bound to the selects.
+    std::vector<std::pair<LVar, Lexp *>> Lets;
+    std::vector<Col> NewCols;
+    for (size_t K = 0; K < Cols.size(); ++K) {
+      if (K != J) {
+        NewCols.push_back(Cols[K]);
+        continue;
+      }
+      for (size_t F = 0; F < N; ++F) {
+        LVar FV = B.fresh();
+        Lets.emplace_back(FV, B.select(static_cast<int>(F), B.var(ColJ.V)));
+        Col NC;
+        NC.V = FV;
+        NC.Std = ColJ.Std;
+        NC.Ty = P0->Elems[F]->Ty;
+        NewCols.push_back(NC);
+      }
+    }
+    std::vector<IRow> NewRows;
+    for (IRow &R : Rows) {
+      IRow NR;
+      NR.Binds = R.Binds;
+      NR.Src = R.Src;
+      for (size_t K = 0; K < R.Pats.size(); ++K) {
+        if (K != J) {
+          NR.Pats.push_back(R.Pats[K]);
+          continue;
+        }
+        APat *P = R.Pats[K];
+        if (!P) {
+          for (size_t F = 0; F < N; ++F)
+            NR.Pats.push_back(nullptr);
+        } else {
+          assert(P->K == APat::Kind::Tuple && P->Elems.size() == N &&
+                 "tuple pattern arity mismatch");
+          for (size_t F = 0; F < N; ++F)
+            NR.Pats.push_back(P->Elems[F]);
+        }
+      }
+      NewRows.push_back(std::move(NR));
+    }
+    Lexp *Body = compileRec(std::move(NewCols), std::move(NewRows), Fail);
+    for (size_t I = Lets.size(); I-- > 0;)
+      Body = B.let(Lets[I].first, Lets[I].second, Body);
+    return Body;
+  }
+
+  case APat::Kind::Con: {
+    TyCon *DT = P0->Con->Owner;
+    // Partition rows per constructor; var/wild rows flow everywhere.
+    std::vector<SwitchCase> Cases;
+    bool AllCovered = true;
+    std::vector<IRow> DefaultRows;
+    for (IRow &R : Rows)
+      if (!R.Pats[J])
+        DefaultRows.push_back(R);
+
+    for (DataCon *DC : DT->Cons) {
+      std::vector<IRow> Sub;
+      bool Any = false;
+      for (IRow &R : Rows) {
+        APat *P = R.Pats[J];
+        if (P && (P->K != APat::Kind::Con || P->Con != DC))
+          continue;
+        if (P)
+          Any = true;
+        IRow NR = R;
+        NR.Pats[J] = P ? P->Arg : nullptr; // payload pattern (may be null)
+        Sub.push_back(std::move(NR));
+      }
+      if (!Any) {
+        AllCovered = false;
+        continue;
+      }
+      Lexp *Body;
+      if (DC->Payload) {
+        // Bind the (standard boxed) payload and match against it.
+        LVar PV = B.fresh();
+        std::vector<Col> SubCols = Cols;
+        // Find a row with a real payload pattern to get the payload type.
+        Type *PayTy = nullptr;
+        for (IRow &R : Sub)
+          if (R.Pats[J]) {
+            PayTy = R.Pats[J]->Ty;
+            break;
+          }
+        SubCols[J].V = PV;
+        SubCols[J].Std = true;
+        SubCols[J].Ty = PayTy ? PayTy : Types.UnitType;
+        Lexp *Inner = compileRec(std::move(SubCols), std::move(Sub), Fail);
+        Body = B.let(PV, B.decon(DC, B.var(ColJ.V)), Inner);
+      } else {
+        std::vector<Col> SubCols = Cols;
+        for (IRow &R : Sub)
+          R.Pats[J] = nullptr;
+        Body = compileRec(std::move(SubCols), std::move(Sub), Fail);
+      }
+      SwitchCase SC;
+      SC.Con = DC;
+      SC.Body = Body;
+      Cases.push_back(SC);
+    }
+    Lexp *Default = nullptr;
+    if (!AllCovered || Cases.size() < DT->Cons.size()) {
+      if (!DefaultRows.empty()) {
+        std::vector<Col> SubCols = Cols;
+        Default = compileRec(std::move(SubCols), std::move(DefaultRows),
+                             Fail);
+      } else {
+        Default = Fail();
+      }
+    }
+    return B.switchExp(B.var(ColJ.V), SwitchKind::Con, Cases, Default);
+  }
+
+  case APat::Kind::Int:
+  case APat::Kind::String: {
+    bool IsInt = P0->K == APat::Kind::Int;
+    Lexp *Scrut = B.var(ColJ.V);
+    if (IsInt && ColJ.Std)
+      Scrut = B.unwrap(Low.ltyContext().intTy(), Scrut);
+    // Collect distinct keys in row order.
+    std::vector<SwitchCase> Cases;
+    std::vector<IRow> DefaultRows;
+    for (IRow &R : Rows)
+      if (!R.Pats[J])
+        DefaultRows.push_back(R);
+    auto HasKey = [&](const APat *P) {
+      for (const SwitchCase &C2 : Cases) {
+        if (IsInt ? C2.IntKey == P->IntValue : C2.StrKey == P->StrValue)
+          return true;
+      }
+      return false;
+    };
+    for (IRow &RK : Rows) {
+      APat *PK = RK.Pats[J];
+      if (!PK || HasKey(PK))
+        continue;
+      std::vector<IRow> Sub;
+      for (IRow &R : Rows) {
+        APat *P = R.Pats[J];
+        if (P) {
+          bool Match = IsInt ? (P->K == APat::Kind::Int &&
+                                P->IntValue == PK->IntValue)
+                             : (P->K == APat::Kind::String &&
+                                P->StrValue == PK->StrValue);
+          if (!Match)
+            continue;
+        }
+        IRow NR = R;
+        NR.Pats[J] = nullptr;
+        Sub.push_back(std::move(NR));
+      }
+      SwitchCase SC;
+      if (IsInt)
+        SC.IntKey = PK->IntValue;
+      else
+        SC.StrKey = PK->StrValue;
+      std::vector<Col> SubCols = Cols;
+      SC.Body = compileRec(std::move(SubCols), std::move(Sub), Fail);
+      Cases.push_back(SC);
+    }
+    Lexp *Default;
+    if (!DefaultRows.empty()) {
+      std::vector<Col> SubCols = Cols;
+      Default = compileRec(std::move(SubCols), std::move(DefaultRows), Fail);
+    } else {
+      Default = Fail();
+    }
+    return B.switchExp(Scrut, IsInt ? SwitchKind::Int : SwitchKind::Str,
+                       Cases, Default);
+  }
+
+  case APat::Kind::ExnCon: {
+    // Exception tags are first-class values; compile to an equality test
+    // on the tag word, then match the payload.
+    Lexp *TagOfScrut = B.select(0, B.var(ColJ.V));
+    Lexp *WantedTag = TransExp(P0->ExnTag);
+    Lexp *Cond = B.prim(PrimId::PtrEq, {TagOfScrut, WantedTag});
+
+    // Then-branch: rows with the same tag (payload pattern) + var/wild.
+    std::vector<IRow> ThenRows;
+    std::vector<IRow> ElseRows;
+    for (IRow &R : Rows) {
+      APat *P = R.Pats[J];
+      if (!P) {
+        ThenRows.push_back(R);
+        ElseRows.push_back(R);
+        continue;
+      }
+      if (P->K == APat::Kind::ExnCon && sameTag(P->ExnTag, P0->ExnTag)) {
+        IRow NR = R;
+        NR.Pats[J] = P->Arg; // payload pattern or null
+        ThenRows.push_back(std::move(NR));
+      } else {
+        ElseRows.push_back(R);
+      }
+    }
+    Lexp *ThenBody;
+    if (P0->ExnPayload) {
+      LVar PV = B.fresh();
+      std::vector<Col> SubCols = Cols;
+      SubCols[J].V = PV;
+      SubCols[J].Std = true;
+      SubCols[J].Ty = P0->ExnPayload;
+      Lexp *Inner = compileRec(std::move(SubCols), std::move(ThenRows),
+                               Fail);
+      ThenBody = B.let(PV, B.select(1, B.var(ColJ.V)), Inner);
+    } else {
+      for (IRow &R : ThenRows)
+        R.Pats[J] = nullptr;
+      std::vector<Col> SubCols = Cols;
+      ThenBody = compileRec(std::move(SubCols), std::move(ThenRows), Fail);
+    }
+    std::vector<Col> ElseCols = Cols;
+    Lexp *ElseBody = compileRec(std::move(ElseCols), std::move(ElseRows),
+                                Fail);
+
+    std::vector<SwitchCase> Cases(2);
+    Cases[0].Con = Types.TrueCon;
+    Cases[0].Body = ThenBody;
+    Cases[1].Con = Types.FalseCon;
+    Cases[1].Body = ElseBody;
+    return B.switchExp(Cond, SwitchKind::Con, Cases, nullptr);
+  }
+
+  default:
+    assert(false && "unexpected pattern kind in match compilation");
+    return Fail();
+  }
+}

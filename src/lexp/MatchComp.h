@@ -1,0 +1,78 @@
+//===- lexp/MatchComp.h - Pattern-match compilation --------------------------===//
+///
+/// \file
+/// Compiles typed Absyn pattern matches into LEXP decision trees of SWITCH
+/// expressions (paper Figure 3: "compilation of pattern matches" happens in
+/// the Lambda Translator). The compiler is representation-aware: values
+/// fetched out of datatype payloads are in standard boxed form, and
+/// coercions to the typed representation are inserted only where a variable
+/// is actually bound — so walking an int list costs nothing extra, while
+/// binding a flat float pair out of a list performs the (paid-for) Leroy
+/// coercion the paper describes in Section 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_LEXP_MATCHCOMP_H
+#define SMLTC_LEXP_MATCHCOMP_H
+
+#include "elab/Absyn.h"
+#include "lexp/Coerce.h"
+#include "lexp/Lexp.h"
+#include "lty/TypeToLty.h"
+#include "types/Type.h"
+
+#include <functional>
+#include <vector>
+
+namespace smltc {
+
+class MatchCompiler {
+public:
+  /// Emits a match arm's body given the variable bindings (already at the
+  /// representation of each variable's type).
+  using EmitFn =
+      std::function<Lexp *(const std::vector<std::pair<ValInfo *, LVar>> &)>;
+  using FailFn = std::function<Lexp *()>;
+  /// Translates an exception-tag expression (AExp::ExnTag or AExp::Path).
+  using TransExpFn = std::function<Lexp *(AExp *)>;
+
+  struct Col {
+    LVar V;
+    Type *Ty;
+    bool Std; ///< value is in standard boxed (RBOXED) form
+  };
+  struct Row {
+    std::vector<APat *> Pats;
+    EmitFn Emit;
+  };
+
+  MatchCompiler(LexpBuilder &B, TypeLowering &Low, Coercer &C,
+                TypeContext &Types, TransExpFn TransExp)
+      : B(B), Low(Low), C(C), Types(Types), TransExp(std::move(TransExp)) {}
+
+  Lexp *compile(std::vector<Col> Cols, const std::vector<Row> &Rows,
+                FailFn Fail);
+
+private:
+  struct IRow {
+    std::vector<APat *> Pats;
+    std::vector<std::tuple<ValInfo *, LVar, bool>> Binds; // (var, col, std)
+    const Row *Src;
+  };
+
+  Lexp *compileRec(std::vector<Col> Cols, std::vector<IRow> Rows,
+                   FailFn Fail);
+  void normalizeRow(const std::vector<Col> &Cols, IRow &R);
+  Lexp *leaf(const IRow &R);
+  Lexp *fetchStd(const Col &C) { return B.var(C.V); }
+
+  LexpBuilder &B;
+  TypeLowering &Low;
+  Coercer &C;
+  TypeContext &Types;
+  TransExpFn TransExp;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_LEXP_MATCHCOMP_H

@@ -1,0 +1,31 @@
+//===- lexp/PrimRep.h - Primitive representation types -----------------------===//
+///
+/// \file
+/// The fixed representation types of the primitive operators: what LTYs a
+/// prim consumes and produces. Coercions at each occurrence adapt the
+/// instance representation to these (e.g. FAdd always computes on raw
+/// REALs; under boxed-float modes the operands are unwrapped first, which
+/// is exactly the boxing traffic the paper's sml.ffb eliminates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_LEXP_PRIMREP_H
+#define SMLTC_LEXP_PRIMREP_H
+
+#include "elab/Absyn.h"
+#include "lty/Lty.h"
+
+namespace smltc {
+
+/// Number of (unbundled) arguments the primitive takes.
+int primArity(PrimId P);
+
+/// The LTY of argument \p I.
+const Lty *primArgLty(LtyContext &LC, PrimId P, int I);
+
+/// The result LTY.
+const Lty *primResLty(LtyContext &LC, PrimId P);
+
+} // namespace smltc
+
+#endif // SMLTC_LEXP_PRIMREP_H

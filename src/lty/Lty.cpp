@@ -1,0 +1,208 @@
+//===- lty/Lty.cpp - Lambda types (LTY) --------------------------------------===//
+
+#include "lty/Lty.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace smltc;
+
+size_t LtyContext::hashOf(LtyKind K, const std::vector<const Lty *> &Fields,
+                          const std::vector<PField> &PFields,
+                          const Lty *From, const Lty *To) const {
+  size_t H = static_cast<size_t>(K) * 0x9e3779b97f4a7c15ULL;
+  auto Mix = [&H](size_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  };
+  for (const Lty *F : Fields)
+    Mix(F->id() + 1);
+  for (const PField &F : PFields) {
+    Mix(static_cast<size_t>(F.Index) * 31);
+    Mix(F.Ty->id() + 1);
+  }
+  if (From)
+    Mix(From->id() + 1);
+  if (To)
+    Mix(To->id() + 1);
+  return H;
+}
+
+const Lty *LtyContext::alloc(LtyKind K, std::vector<const Lty *> Fields,
+                             std::vector<PField> PFields, const Lty *From,
+                             const Lty *To) {
+  if (HashCons) {
+    size_t H = hashOf(K, Fields, PFields, From, To);
+    auto [Lo, Hi] = Table.equal_range(H);
+    for (auto It = Lo; It != Hi; ++It) {
+      const Lty *C = It->second;
+      if (C->kind() != K || C->from() != From || C->to() != To)
+        continue;
+      if (C->fields().size() != Fields.size() ||
+          C->pfields().size() != PFields.size())
+        continue;
+      bool Same = true;
+      for (size_t I = 0; I < Fields.size() && Same; ++I)
+        Same = C->fields()[I] == Fields[I];
+      for (size_t I = 0; I < PFields.size() && Same; ++I)
+        Same = C->pfields()[I].Index == PFields[I].Index &&
+               C->pfields()[I].Ty == PFields[I].Ty;
+      if (Same)
+        return C;
+    }
+    Lty *N = A.create<Lty>();
+    N->K = K;
+    N->Fields = Span<const Lty *>::copy(A, Fields);
+    N->PFields = Span<PField>::copy(A, PFields);
+    N->From = From;
+    N->To = To;
+    N->Id = NextId++;
+    Table.emplace(H, N);
+    return N;
+  }
+  Lty *N = A.create<Lty>();
+  N->K = K;
+  N->Fields = Span<const Lty *>::copy(A, Fields);
+  N->PFields = Span<PField>::copy(A, PFields);
+  N->From = From;
+  N->To = To;
+  N->Id = NextId++;
+  return N;
+}
+
+const Lty *LtyContext::record(const std::vector<const Lty *> &Fields) {
+  return alloc(LtyKind::Record, Fields, {}, nullptr, nullptr);
+}
+
+const Lty *LtyContext::srecord(const std::vector<const Lty *> &Fields) {
+  return alloc(LtyKind::SRecord, Fields, {}, nullptr, nullptr);
+}
+
+const Lty *LtyContext::precord(const std::vector<PField> &Fields) {
+  return alloc(LtyKind::PRecord, {}, Fields, nullptr, nullptr);
+}
+
+const Lty *LtyContext::arrow(const Lty *From, const Lty *To) {
+  return alloc(LtyKind::Arrow, {}, {}, From, To);
+}
+
+bool LtyContext::equal(const Lty *X, const Lty *Y) const {
+  if (X == Y)
+    return true;
+  if (HashCons)
+    return false; // interning makes pointer equality complete
+  if (X->kind() != Y->kind())
+    return false;
+  switch (X->kind()) {
+  case LtyKind::Int:
+  case LtyKind::Real:
+  case LtyKind::Boxed:
+  case LtyKind::RBoxed:
+    return true;
+  case LtyKind::Record:
+  case LtyKind::SRecord: {
+    if (X->fields().size() != Y->fields().size())
+      return false;
+    for (size_t I = 0; I < X->fields().size(); ++I)
+      if (!equal(X->fields()[I], Y->fields()[I]))
+        return false;
+    return true;
+  }
+  case LtyKind::PRecord: {
+    if (X->pfields().size() != Y->pfields().size())
+      return false;
+    for (size_t I = 0; I < X->pfields().size(); ++I) {
+      if (X->pfields()[I].Index != Y->pfields()[I].Index ||
+          !equal(X->pfields()[I].Ty, Y->pfields()[I].Ty))
+        return false;
+    }
+    return true;
+  }
+  case LtyKind::Arrow:
+    return equal(X->from(), Y->from()) && equal(X->to(), Y->to());
+  }
+  return false;
+}
+
+const Lty *LtyContext::dup(const Lty *T) {
+  switch (T->kind()) {
+  case LtyKind::Record:
+  case LtyKind::SRecord: {
+    std::vector<const Lty *> Fields(T->fields().size(), RBoxedTy);
+    return T->kind() == LtyKind::Record ? record(Fields) : srecord(Fields);
+  }
+  case LtyKind::PRecord: {
+    std::vector<PField> Fields;
+    for (const PField &F : T->pfields())
+      Fields.push_back(PField{F.Index, RBoxedTy});
+    return precord(Fields);
+  }
+  case LtyKind::Arrow:
+    return arrow(RBoxedTy, RBoxedTy);
+  default:
+    return BoxedTy;
+  }
+}
+
+bool LtyContext::isRecursivelyBoxed(const Lty *T) const {
+  switch (T->kind()) {
+  case LtyKind::Int: // tagged integers are valid standard-boxed words
+  case LtyKind::RBoxed:
+    return true;
+  case LtyKind::Record:
+  case LtyKind::SRecord: {
+    for (const Lty *F : T->fields())
+      if (!isRecursivelyBoxed(F))
+        return false;
+    return true;
+  }
+  case LtyKind::Arrow:
+    return isRecursivelyBoxed(T->from()) && isRecursivelyBoxed(T->to());
+  default:
+    return false;
+  }
+}
+
+std::string LtyContext::toString(const Lty *T) const {
+  std::ostringstream OS;
+  switch (T->kind()) {
+  case LtyKind::Int:
+    OS << "INT";
+    break;
+  case LtyKind::Real:
+    OS << "REAL";
+    break;
+  case LtyKind::Boxed:
+    OS << "BOXED";
+    break;
+  case LtyKind::RBoxed:
+    OS << "RBOXED";
+    break;
+  case LtyKind::Record:
+  case LtyKind::SRecord: {
+    OS << (T->kind() == LtyKind::Record ? "RECORD[" : "SRECORD[");
+    for (size_t I = 0; I < T->fields().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << toString(T->fields()[I]);
+    }
+    OS << ']';
+    break;
+  }
+  case LtyKind::PRecord: {
+    OS << "PRECORD[";
+    for (size_t I = 0; I < T->pfields().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << '(' << T->pfields()[I].Index << ", "
+         << toString(T->pfields()[I].Ty) << ')';
+    }
+    OS << ']';
+    break;
+  }
+  case LtyKind::Arrow:
+    OS << "ARROW(" << toString(T->from()) << ", " << toString(T->to())
+       << ')';
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,143 @@
+//===- lty/Lty.h - Lambda types (LTY) ---------------------------------------===//
+///
+/// \file
+/// The lambda types of the typed intermediate language LEXP (paper Section
+/// 4.1):
+///
+///   INTty | REALty | BOXEDty | RBOXEDty
+///   | RECORDty [t1, ..., tn]        -- core records, field-typed
+///   | SRECORDty [t1, ..., tn]       -- module (structure) records
+///   | PRECORDty [(i1,t1), ...]      -- partial view of an external structure
+///   | ARROWty (t1, t2)
+///
+/// BOXEDty is a one-word pointer whose target's fields may or may not be
+/// boxed (shallow wrapping). RBOXEDty is a one-word pointer to a
+/// *recursively* boxed object — the standard boxed representation used by
+/// non-type-based compilers and, following Leroy, by all recursive datatype
+/// contents.
+///
+/// LTYs are globally hash-consed (paper Section 4.5): equality is pointer
+/// equality, which makes the coerce fast path O(1). Hash-consing can be
+/// disabled to reproduce the paper's compile-time ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_LTY_LTY_H
+#define SMLTC_LTY_LTY_H
+
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smltc {
+
+enum class LtyKind : uint8_t {
+  Int,
+  Real,
+  Boxed,
+  RBoxed,
+  Record,
+  SRecord,
+  PRecord,
+  Arrow,
+};
+
+/// A partial-record field: (index in the full record, field type).
+struct PField {
+  int Index;
+  const class Lty *Ty;
+};
+
+class Lty {
+public:
+  LtyKind kind() const { return K; }
+  Span<const Lty *> fields() const { return Fields; }
+  Span<PField> pfields() const { return PFields; }
+  const Lty *from() const { return From; }
+  const Lty *to() const { return To; }
+  unsigned id() const { return Id; }
+
+  bool isRecordLike() const {
+    return K == LtyKind::Record || K == LtyKind::SRecord;
+  }
+
+private:
+  friend class LtyContext;
+  LtyKind K;
+  Span<const Lty *> Fields;
+  Span<PField> PFields;
+  const Lty *From = nullptr;
+  const Lty *To = nullptr;
+  unsigned Id = 0;
+};
+
+/// Creation context: owns the hash-cons table. With hash-consing on,
+/// structural equality is pointer equality; with it off, use equal().
+class LtyContext {
+public:
+  explicit LtyContext(Arena &A, bool HashCons = true)
+      : A(A), HashCons(HashCons) {
+    IntTy = alloc(LtyKind::Int, {}, {}, nullptr, nullptr);
+    RealTy = alloc(LtyKind::Real, {}, {}, nullptr, nullptr);
+    BoxedTy = alloc(LtyKind::Boxed, {}, {}, nullptr, nullptr);
+    RBoxedTy = alloc(LtyKind::RBoxed, {}, {}, nullptr, nullptr);
+  }
+
+  const Lty *intTy() const { return IntTy; }
+  const Lty *realTy() const { return RealTy; }
+  const Lty *boxedTy() const { return BoxedTy; }
+  const Lty *rboxedTy() const { return RBoxedTy; }
+
+  const Lty *record(const std::vector<const Lty *> &Fields);
+  const Lty *srecord(const std::vector<const Lty *> &Fields);
+  const Lty *precord(const std::vector<PField> &Fields);
+  const Lty *arrow(const Lty *From, const Lty *To);
+
+  /// Structural equality. O(1) under hash-consing.
+  bool equal(const Lty *A, const Lty *B) const;
+
+  /// The paper's dup operation: the standard-boxed view of a type.
+  ///   dup(RECORD [t1..tn]) = RECORD [RBOXED, ..., RBOXED]
+  ///   dup(ARROW (t1, t2))  = ARROW (RBOXED, RBOXED)
+  ///   dup(t)               = BOXED otherwise
+  const Lty *dup(const Lty *T);
+
+  /// True if a value of type T is already in recursively boxed form (safe
+  /// to hand to the runtime's polymorphic equality / GC-walking code).
+  bool isRecursivelyBoxed(const Lty *T) const;
+
+  /// Number of live (interned) nodes — used by the hash-consing ablation.
+  size_t internedCount() const { return Table.size(); }
+  size_t allocatedCount() const { return NextId; }
+  bool hashConsing() const { return HashCons; }
+
+  /// Drops every interned entry (the weak-pointer staleness substitute:
+  /// SML/NJ used GC weak pointers; we purge between compilation units).
+  void purge() { Table.clear(); }
+
+  std::string toString(const Lty *T) const;
+
+private:
+  const Lty *alloc(LtyKind K, std::vector<const Lty *> Fields,
+                   std::vector<PField> PFields, const Lty *From,
+                   const Lty *To);
+  size_t hashOf(LtyKind K, const std::vector<const Lty *> &Fields,
+                const std::vector<PField> &PFields, const Lty *From,
+                const Lty *To) const;
+
+  Arena &A;
+  bool HashCons;
+  unsigned NextId = 0;
+  std::unordered_multimap<size_t, const Lty *> Table;
+  const Lty *IntTy;
+  const Lty *RealTy;
+  const Lty *BoxedTy;
+  const Lty *RBoxedTy;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_LTY_LTY_H

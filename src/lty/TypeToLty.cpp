@@ -1,0 +1,116 @@
+//===- lty/TypeToLty.cpp - ML types to LTY -----------------------------------===//
+
+#include "lty/TypeToLty.h"
+
+using namespace smltc;
+
+void TypeLowering::markVars(Type *T, bool InCon,
+                            std::unordered_set<const Type *> &Marked) {
+  T = Types.headNormalize(T);
+  switch (T->K) {
+  case Type::Kind::Var:
+    if (InCon || T->IsEq)
+      Marked.insert(T);
+    return;
+  case Type::Kind::Con:
+    // Record and function type constructors are not "constructor types"
+    // (paper footnote 2); every other tycon application marks the
+    // variables below it.
+    for (Type *Arg : T->Args)
+      markVars(Arg, /*InCon=*/true, Marked);
+    return;
+  case Type::Kind::Tuple:
+    for (Type *E : T->Elems)
+      markVars(E, InCon, Marked);
+    return;
+  case Type::Kind::Arrow:
+    markVars(T->From, InCon, Marked);
+    markVars(T->To, InCon, Marked);
+    return;
+  }
+}
+
+const Lty *TypeLowering::lowerRec(
+    Type *T, const std::unordered_set<const Type *> &Marked) {
+  T = Types.headNormalize(T);
+
+  if (Mode == ReprMode::Standard) {
+    // Non-type-based compilers: standard boxed representations everywhere.
+    // Record and arrow arity is still structural (SELECTs exist in the
+    // untyped compiler too), but every field/argument is one word.
+    switch (T->K) {
+    case Type::Kind::Var:
+      return LC.rboxedTy();
+    case Type::Kind::Con:
+      if (T->Con == Types.IntTycon || T->Con == Types.UnitTycon)
+        return LC.intTy();
+      return LC.rboxedTy();
+    case Type::Kind::Tuple: {
+      if (T->Elems.empty())
+        return LC.intTy();
+      std::vector<const Lty *> Fields(T->Elems.size(), LC.rboxedTy());
+      return LC.record(Fields);
+    }
+    case Type::Kind::Arrow:
+      return LC.arrow(LC.rboxedTy(), LC.rboxedTy());
+    }
+    return LC.rboxedTy();
+  }
+
+  switch (T->K) {
+  case Type::Kind::Var:
+    return Marked.count(T) ? LC.rboxedTy() : LC.boxedTy();
+  case Type::Kind::Con: {
+    TyCon *C = T->Con;
+    if (C == Types.IntTycon || C == Types.UnitTycon)
+      return LC.intTy();
+    if (C == Types.RealTycon)
+      return Mode == ReprMode::FullFloat ? LC.realTy() : LC.boxedTy();
+    if (C->K == TyCon::Kind::Flexible)
+      return LC.rboxedTy();
+    // All rigid constructor types (string, list, ref, array, exn, cont,
+    // bool, user datatypes) are one-word pointers/words.
+    return LC.boxedTy();
+  }
+  case Type::Kind::Tuple: {
+    if (T->Elems.empty())
+      return LC.intTy();
+    std::vector<const Lty *> Fields;
+    for (Type *E : T->Elems)
+      Fields.push_back(lowerRec(E, Marked));
+    return LC.record(Fields);
+  }
+  case Type::Kind::Arrow:
+    return LC.arrow(lowerRec(T->From, Marked), lowerRec(T->To, Marked));
+  }
+  return LC.boxedTy();
+}
+
+const Lty *TypeLowering::lower(Type *T) {
+  std::unordered_set<const Type *> Marked;
+  if (Mode != ReprMode::Standard)
+    markVars(T, /*InCon=*/false, Marked);
+  return lowerRec(T, Marked);
+}
+
+const Lty *TypeLowering::lowerScheme(const TypeScheme &S) {
+  return lower(S.Body);
+}
+
+const Lty *TypeLowering::lowerStatic(const StrStatic *S) {
+  std::vector<const Lty *> Fields;
+  for (const StrComp &C : S->Comps) {
+    switch (C.K) {
+    case StrComp::Kind::Val:
+      Fields.push_back(lowerScheme(C.Scheme));
+      break;
+    case StrComp::Kind::Exn:
+      Fields.push_back(LC.boxedTy()); // the runtime tag
+      break;
+    case StrComp::Kind::Str:
+      Fields.push_back(lowerStatic(C.Str));
+      break;
+    }
+  }
+  return LC.srecord(Fields);
+}

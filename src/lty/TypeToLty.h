@@ -1,0 +1,61 @@
+//===- lty/TypeToLty.h - ML types to LTY (paper Figure 6) -------------------===//
+///
+/// \file
+/// Translates semantic ML types, type schemes, and structure statics into
+/// LTYs. Implements the paper's Figure 6 algorithm: type variables that
+/// appear inside (rigid) constructor types are recursively boxed (RBOXED);
+/// other type variables are BOXED; rigid constructor types are BOXED;
+/// flexible (abstract) constructor types are RBOXED. Equality type
+/// variables are also RBOXED so the runtime polymorphic equality can walk
+/// their values.
+///
+/// Three representation modes mirror the measured compilers:
+///   Standard    (sml.nrp / sml.fag): everything standard boxed
+///   RecordsOnly (sml.rep / sml.mtd): typed records, floats still boxed
+///   FullFloat   (sml.ffb / sml.fp3): floats unboxed (REALty)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_LTY_TYPETOLTY_H
+#define SMLTC_LTY_TYPETOLTY_H
+
+#include "elab/Absyn.h"
+#include "lty/Lty.h"
+#include "types/Type.h"
+
+#include <unordered_set>
+
+namespace smltc {
+
+enum class ReprMode : uint8_t { Standard, RecordsOnly, FullFloat };
+
+class TypeLowering {
+public:
+  TypeLowering(LtyContext &LC, TypeContext &Types, ReprMode Mode)
+      : LC(LC), Types(Types), Mode(Mode) {}
+
+  ReprMode mode() const { return Mode; }
+  LtyContext &ltyContext() { return LC; }
+
+  /// Lowers a monotype occurrence.
+  const Lty *lower(Type *T);
+  /// Lowers a type scheme (quantifiers ignored; bound vars lower as BOXED
+  /// or RBOXED per the marking rules).
+  const Lty *lowerScheme(const TypeScheme &S);
+  /// Lowers structure statics to an SRECORDty.
+  const Lty *lowerStatic(const StrStatic *S);
+
+private:
+  const Lty *lowerRec(Type *T,
+                      const std::unordered_set<const Type *> &Marked);
+  void markVars(Type *T, bool InCon,
+                std::unordered_set<const Type *> &Marked);
+
+  LtyContext &LC;
+  TypeContext &Types;
+  ReprMode Mode;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_LTY_TYPETOLTY_H

@@ -1,0 +1,15 @@
+//===- support/Arena.cpp - Bump-pointer arena allocator -------------------===//
+
+#include "support/Arena.h"
+
+#include <algorithm>
+
+using namespace smltc;
+
+void Arena::newSlab(size_t AtLeast) {
+  size_t Size = std::max(NextSlabSize, AtLeast);
+  NextSlabSize = std::min<size_t>(NextSlabSize * 2, 1 << 22);
+  Slabs.push_back(std::make_unique<char[]>(Size));
+  Cur = reinterpret_cast<uintptr_t>(Slabs.back().get());
+  End = Cur + Size;
+}

@@ -1,0 +1,116 @@
+//===- support/Arena.h - Bump-pointer arena allocator ---------------------===//
+//
+// Part of the smltc project: a reproduction of Shao & Appel, "A Type-Based
+// Compiler for Standard ML" (PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena. All IR nodes (AST, Absyn, LEXP, CPS) are
+/// allocated here and freed wholesale when the arena dies, which matches the
+/// per-compilation-unit lifetime of compiler IRs and avoids per-node
+/// ownership bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_SUPPORT_ARENA_H
+#define SMLTC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smltc {
+
+/// A bump-pointer arena allocating from geometrically growing slabs.
+///
+/// Objects allocated with create<T>() must be trivially destructible (their
+/// destructors are never run); this is asserted at compile time. IR node
+/// types therefore hold only scalars, pointers, and arena-allocated arrays.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    size_t P = (Cur + Align - 1) & ~(Align - 1);
+    if (P + Size > End) {
+      newSlab(Size + Align);
+      P = (Cur + Align - 1) & ~(Align - 1);
+    }
+    Cur = P + Size;
+    BytesUsed += Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Constructs a T in the arena. T must be trivially destructible.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(As)...);
+  }
+
+  /// Copies [Begin, Begin+N) into a fresh arena array; returns its start.
+  template <typename T> T *copyArray(const T *Begin, size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena arrays are never destroyed");
+    if (N == 0)
+      return nullptr;
+    T *Mem = static_cast<T *>(allocate(sizeof(T) * N, alignof(T)));
+    for (size_t I = 0; I != N; ++I)
+      new (Mem + I) T(Begin[I]);
+    return Mem;
+  }
+
+  template <typename T> T *copyArray(const std::vector<T> &V) {
+    return copyArray(V.data(), V.size());
+  }
+
+  /// Total payload bytes handed out (excludes slab slack).
+  size_t bytesAllocated() const { return BytesUsed; }
+
+private:
+  void newSlab(size_t AtLeast);
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t NextSlabSize = 1 << 14;
+  size_t BytesUsed = 0;
+};
+
+/// A lightweight (pointer, length) view over an arena-allocated array.
+/// Mirrors llvm::ArrayRef in spirit: cheap to copy, never owns.
+template <typename T> class Span {
+public:
+  Span() = default;
+  Span(const T *Data, size_t Size) : Data(Data), Count(Size) {}
+
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Count; }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  const T &operator[](size_t I) const { return Data[I]; }
+  const T &front() const { return Data[0]; }
+  const T &back() const { return Data[Count - 1]; }
+
+  /// Materializes a Span from a vector, copying into \p A.
+  static Span<T> copy(Arena &A, const std::vector<T> &V) {
+    return Span<T>(A.copyArray(V), V.size());
+  }
+
+private:
+  const T *Data = nullptr;
+  size_t Count = 0;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_SUPPORT_ARENA_H

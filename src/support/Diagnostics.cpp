@@ -1,0 +1,28 @@
+//===- support/Diagnostics.cpp - Diagnostic collection --------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace smltc;
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ':' << D.Loc.Col << ": ";
+    switch (D.Severity) {
+    case Diagnostic::Level::Error:
+      OS << "error: ";
+      break;
+    case Diagnostic::Level::Warning:
+      OS << "warning: ";
+      break;
+    case Diagnostic::Level::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << '\n';
+  }
+  return OS.str();
+}

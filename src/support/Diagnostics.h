@@ -1,0 +1,56 @@
+//===- support/Diagnostics.h - Diagnostic collection ----------------------===//
+///
+/// \file
+/// A diagnostic engine collecting errors with source locations. Library code
+/// never throws or exits; phases report here and callers check hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_SUPPORT_DIAGNOSTICS_H
+#define SMLTC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace smltc {
+
+/// One reported problem. Messages follow the LLVM style: start lowercase,
+/// no trailing period.
+struct Diagnostic {
+  enum class Level { Error, Warning, Note };
+  Level Severity;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Level::Error, Loc, std::move(Msg)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Level::Warning, Loc, std::move(Msg)});
+  }
+  void note(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Level::Note, Loc, std::move(Msg)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: level: message\n".
+  std::string render() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,29 @@
+//===- support/SourceLoc.h - Source locations -----------------------------===//
+///
+/// \file
+/// Line/column source locations for diagnostics. Compilation units in this
+/// reproduction are single in-memory strings, so a location is just a
+/// (line, column) pair plus a byte offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_SUPPORT_SOURCELOC_H
+#define SMLTC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace smltc {
+
+/// A position in the source text. Line and column are 1-based; a zero line
+/// means "unknown location" (used for synthesized nodes).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  uint32_t Offset = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+} // namespace smltc
+
+#endif // SMLTC_SUPPORT_SOURCELOC_H

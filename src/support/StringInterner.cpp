@@ -1,0 +1,10 @@
+//===- support/StringInterner.cpp - Interned identifiers ------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace smltc;
+
+Symbol StringInterner::intern(std::string_view S) {
+  auto It = Table.emplace(S).first;
+  return Symbol(&*It);
+}

@@ -1,0 +1,64 @@
+//===- support/StringInterner.h - Interned identifiers --------------------===//
+///
+/// \file
+/// Identifiers are interned once per compiler instance; a Symbol is a stable
+/// pointer to the unique copy, so symbol equality is pointer equality. This
+/// is the same trick the paper applies to LTYs (hash-consing) applied to
+/// names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_SUPPORT_STRINGINTERNER_H
+#define SMLTC_SUPPORT_STRINGINTERNER_H
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace smltc {
+
+/// An interned identifier. Compare with ==; the empty Symbol() is "no name".
+class Symbol {
+public:
+  Symbol() = default;
+
+  std::string_view str() const { return Ptr ? *Ptr : std::string_view(); }
+  bool empty() const { return Ptr == nullptr; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Ptr == B.Ptr; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Ptr != B.Ptr; }
+  friend bool operator<(Symbol A, Symbol B) {
+    // Deterministic order: lexicographic on the text, not the pointer.
+    if (A.Ptr == B.Ptr)
+      return false;
+    if (!A.Ptr)
+      return true;
+    if (!B.Ptr)
+      return false;
+    return *A.Ptr < *B.Ptr;
+  }
+
+  size_t hash() const { return std::hash<const std::string *>()(Ptr); }
+
+private:
+  friend class StringInterner;
+  explicit Symbol(const std::string *P) : Ptr(P) {}
+  const std::string *Ptr = nullptr;
+};
+
+/// The intern table. One per Compiler; Symbols are valid for its lifetime.
+class StringInterner {
+public:
+  Symbol intern(std::string_view S);
+
+private:
+  std::unordered_set<std::string> Table;
+};
+
+} // namespace smltc
+
+template <> struct std::hash<smltc::Symbol> {
+  size_t operator()(smltc::Symbol S) const { return S.hash(); }
+};
+
+#endif // SMLTC_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,222 @@
+//===- types/Type.h - ML semantic types ------------------------------------===//
+///
+/// \file
+/// Semantic types for the elaborator: a mutable type graph with union-find
+/// type variables (Damas-Milner style), type constructors (primitive,
+/// datatype, abbreviation, and *flexible* — i.e. abstract types arising from
+/// signature matching and functor parameters, which the paper's Section 4.3
+/// treats specially), data constructors with their runtime representations,
+/// and type schemes with rank-based generalization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_TYPES_TYPE_H
+#define SMLTC_TYPES_TYPE_H
+
+#include "support/Arena.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smltc {
+
+struct TyCon;
+struct DataCon;
+
+/// Runtime representation of a data constructor, decided at declaration
+/// time from the shape of the constructor list (Section 5: "concrete data
+/// types are compiled into tagged data records or constants").
+enum class ConRepKind : uint8_t {
+  Constant,    ///< constant constructor: a tagged small integer
+  Transparent, ///< sole value-carrying constructor whose payload is
+               ///< statically boxed (a tuple): represented by the payload
+               ///< pointer itself (like ::)
+  TaggedBox,   ///< heap record [tag, payload]
+  Ref,         ///< the builtin ref/array constructors (mutable cell)
+};
+
+struct ConRep {
+  ConRepKind K = ConRepKind::Constant;
+  int Tag = 0;
+};
+
+/// A semantic type. Nodes are arena-allocated and mutated by unification
+/// (Var nodes carry union-find links).
+struct Type {
+  enum class Kind : uint8_t { Var, Con, Tuple, Arrow };
+  Kind K;
+
+  // --- Var ---
+  int VarId = 0;
+  bool IsEq = false;     ///< equality type variable (''a)
+  bool IsBound = false;  ///< generalized into a scheme; never unified
+  bool IsOverload = false; ///< overloaded-operator variable {int, real}
+  int Depth = 0;         ///< let-depth (rank) for generalization
+  Type *Link = nullptr;  ///< instantiation (union-find)
+
+  // --- Con ---
+  TyCon *Con = nullptr;
+  Span<Type *> Args;
+
+  // --- Tuple ---
+  Span<Type *> Elems;
+
+  // --- Arrow ---
+  Type *From = nullptr;
+  Type *To = nullptr;
+
+  bool isVar() const { return K == Kind::Var; }
+};
+
+/// A polymorphic type scheme: forall BoundVars. Body. BoundVars are the
+/// original Var nodes, flagged IsBound; instantiation substitutes fresh
+/// variables for them via a copy of Body.
+struct TypeScheme {
+  Span<Type *> BoundVars;
+  Type *Body = nullptr;
+
+  bool isMonomorphic() const { return BoundVars.empty(); }
+};
+
+/// A type constructor.
+struct TyCon {
+  enum class Kind : uint8_t {
+    Prim,     ///< int, real, string, bool(datatype-ish but primitive rep),
+              ///< unit, ref, array, exn, cont
+    Datatype, ///< user (or builtin list/bool) datatype
+    Abbrev,   ///< type abbreviation
+    Flexible, ///< abstract: from an opaque signature match or a functor
+              ///< parameter; paper Section 4.3 forces RBOXED representations
+  };
+  Kind K;
+  Symbol Name;
+  int Arity = 0;
+  bool AdmitsEq = true;
+  int Stamp = 0; ///< unique identity for datatypes/flexible tycons
+
+  // Datatype: constructor descriptors (indexes match declaration order).
+  Span<DataCon *> Cons;
+  /// Formal parameter variables used in constructor payload templates.
+  Span<Type *> Formals;
+
+  // Abbrev: Formals + Body.
+  Type *AbbrevBody = nullptr;
+
+  // Flexible: when a functor is applied or an abstraction is analyzed, the
+  // *translator* consults the realization recorded in the thinning; the
+  // tycon itself stays abstract.
+};
+
+/// A data constructor belonging to a datatype TyCon.
+struct DataCon {
+  Symbol Name;
+  TyCon *Owner = nullptr;
+  int Index = 0;
+  /// Payload type in terms of Owner->Formals; null for constants.
+  Type *Payload = nullptr;
+  ConRep Rep;
+};
+
+/// Creation and interning context for semantic types. Owns the builtin
+/// type constructors.
+class TypeContext {
+public:
+  TypeContext(Arena &A, StringInterner &Interner);
+
+  Arena &arena() { return A; }
+
+  // --- construction ---
+  Type *freshVar(int Depth, bool IsEq = false);
+  Type *freshOverloadVar(int Depth);
+  Type *con(TyCon *TC, Span<Type *> Args = {});
+  Type *con(TyCon *TC, std::vector<Type *> Args);
+  Type *tuple(std::vector<Type *> Elems);
+  Type *arrow(Type *From, Type *To);
+
+  /// Follows union-find links (with path compression).
+  static Type *resolve(Type *T);
+
+  /// Expands top-level abbreviations (after resolve).
+  Type *headNormalize(Type *T);
+
+  /// Substitutes Formals[i] |-> Actuals[i] in T (used to instantiate
+  /// datatype constructor payloads and abbreviation bodies).
+  Type *substitute(Type *T, Span<Type *> Formals, Span<Type *> Actuals);
+
+  /// Instantiates a scheme with fresh variables at \p Depth; the fresh
+  /// variables (one per bound var) are appended to \p InstVars.
+  Type *instantiate(const TypeScheme &S, int Depth,
+                    std::vector<Type *> &InstVars);
+
+  /// Generalizes variables of depth > Depth occurring in T. The affected
+  /// var nodes are flagged IsBound.
+  TypeScheme generalize(Type *T, int Depth);
+
+  /// True if T admits equality (for equality type variables).
+  bool admitsEquality(Type *T);
+
+  /// Structural equality of two resolved types (no unification).
+  bool sameType(Type *T1, Type *T2);
+
+  /// Creates a fresh datatype tycon (constructors attached by caller).
+  TyCon *makeDatatype(Symbol Name, int Arity);
+  /// Creates a fresh flexible (abstract) tycon.
+  TyCon *makeFlexible(Symbol Name, int Arity, bool AdmitsEq);
+  /// Creates a type abbreviation.
+  TyCon *makeAbbrev(Symbol Name, Span<Type *> Formals, Type *Body);
+
+  /// Decides constructor representations for a datatype whose constructors
+  /// are attached. Mirrors SML/NJ's policy (see DESIGN.md Section 5).
+  void assignConReps(TyCon *Datatype);
+
+  /// Renders a type for diagnostics.
+  std::string toString(Type *T);
+  std::string toString(const TypeScheme &S);
+
+  // --- builtins ---
+  TyCon *IntTycon;
+  TyCon *RealTycon;
+  TyCon *StringTycon;
+  TyCon *UnitTycon;
+  TyCon *BoolTycon;
+  TyCon *ListTycon;
+  TyCon *RefTycon;
+  TyCon *ArrayTycon;
+  TyCon *ExnTycon;
+  TyCon *ContTycon;
+
+  DataCon *TrueCon;
+  DataCon *FalseCon;
+  DataCon *NilCon;
+  DataCon *ConsCon;
+  DataCon *RefCon;
+
+  Type *IntType;
+  Type *RealType;
+  Type *StringType;
+  Type *UnitType;
+  Type *BoolType;
+  Type *ExnType;
+
+  Type *listOf(Type *Elem);
+  Type *refOf(Type *Elem);
+  Type *arrayOf(Type *Elem);
+  Type *contOf(Type *Elem);
+
+private:
+  /// True if payload type is statically always a pointer (tuple with >= 1
+  /// fields, or string); decides Transparent eligibility.
+  bool isStaticallyBoxed(Type *T);
+
+  Arena &A;
+  StringInterner &Interner;
+  int NextVarId = 1;
+  int NextStamp = 1;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_TYPES_TYPE_H

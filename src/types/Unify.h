@@ -1,0 +1,36 @@
+//===- types/Unify.h - Unification -----------------------------------------===//
+///
+/// \file
+/// Destructive unification over the mutable type graph, with occurs check,
+/// rank (depth) propagation for sound generalization, equality-variable
+/// constraints, and overloaded-variable constraints ({int, real}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_TYPES_UNIFY_H
+#define SMLTC_TYPES_UNIFY_H
+
+#include "types/Type.h"
+
+#include <string>
+
+namespace smltc {
+
+/// Result of a unification attempt. On failure, Message describes the
+/// mismatch.
+struct UnifyResult {
+  bool Ok = true;
+  std::string Message;
+
+  static UnifyResult success() { return UnifyResult{}; }
+  static UnifyResult failure(std::string Msg) {
+    return UnifyResult{false, std::move(Msg)};
+  }
+};
+
+/// Unifies T1 and T2 in place. Expands abbreviations as needed.
+UnifyResult unify(TypeContext &Ctx, Type *T1, Type *T2);
+
+} // namespace smltc
+
+#endif // SMLTC_TYPES_UNIFY_H

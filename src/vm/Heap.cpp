@@ -1,0 +1,106 @@
+//===- vm/Heap.cpp - Tagged heap with a Cheney two-space collector ------------------===//
+
+#include "vm/Heap.h"
+
+#include <cassert>
+
+using namespace smltc;
+
+Heap::Heap(size_t SemiWords) : SemiWords(SemiWords) {
+  Mem.resize(SemiWords, 0);
+  FromSpace.resize(SemiWords, 0);
+}
+
+size_t Heap::objectWords(Word Desc) {
+  switch (descKind(Desc)) {
+  case ObjKind::Record:
+    return 1 + descLen1(Desc) + descLen2(Desc);
+  case ObjKind::Bytes:
+    return 1 + (descLen1(Desc) + 7) / 8;
+  case ObjKind::Cell:
+    return 2;
+  case ObjKind::Array:
+    return 1 + descLen2(Desc);
+  case ObjKind::Forward:
+    return 1;
+  }
+  return 1;
+}
+
+size_t Heap::allocRaw(size_t PayloadWords) {
+  size_t Need = 1 + PayloadWords;
+  if (HP + Need > SemiWords) {
+    collect();
+    while (HP + Need > SemiWords) {
+      // Grow both semispaces and re-collect into the bigger space.
+      SemiWords *= 2;
+      FromSpace.assign(SemiWords, 0);
+      collect();
+    }
+  }
+  size_t At = HP;
+  HP += Need;
+  ++AllocatedObjects;
+  return At;
+}
+
+Word Heap::forward(Word P, std::vector<Word> &To, size_t &Scan) {
+  (void)Scan;
+  if (!isPointer(P))
+    return P;
+  size_t Idx = pointerIndex(P);
+  Word Desc = FromSpace[Idx];
+  if (descKind(Desc) == ObjKind::Forward)
+    return FromSpace[Idx + 1];
+  size_t N = objectWords(Desc);
+  size_t NewIdx = HP;
+  for (size_t I = 0; I < N; ++I)
+    To[NewIdx + I] = FromSpace[Idx + I];
+  HP += N;
+  CopiedWords += N;
+  Word NewPtr = makePointer(NewIdx);
+  FromSpace[Idx] = makeDesc(ObjKind::Forward, 0, 0);
+  FromSpace[Idx + 1] = NewPtr;
+  return NewPtr;
+}
+
+void Heap::collect() {
+  ++Collections;
+  std::swap(Mem, FromSpace);
+  if (Mem.size() != SemiWords)
+    Mem.assign(SemiWords, 0);
+  HP = 1;
+  size_t Scan = 1;
+  for (RootRange &R : RootRanges)
+    for (size_t I = 0; I < R.Count; ++I)
+      R.Begin[I] = forward(R.Begin[I], Mem, Scan);
+  // Cheney scan.
+  while (Scan < HP) {
+    Word Desc = Mem[Scan];
+    size_t N = objectWords(Desc);
+    switch (descKind(Desc)) {
+    case ObjKind::Record: {
+      size_t Floats = descLen1(Desc);
+      size_t Words = descLen2(Desc);
+      for (size_t I = 0; I < Words; ++I) {
+        size_t Slot = Scan + 1 + Floats + I;
+        Mem[Slot] = forward(Mem[Slot], Mem, Scan);
+      }
+      break;
+    }
+    case ObjKind::Cell:
+    case ObjKind::Array: {
+      size_t Words = descKind(Desc) == ObjKind::Cell ? 1 : descLen2(Desc);
+      for (size_t I = 0; I < Words; ++I) {
+        size_t Slot = Scan + 1 + I;
+        Mem[Slot] = forward(Mem[Slot], Mem, Scan);
+      }
+      break;
+    }
+    case ObjKind::Bytes:
+    case ObjKind::Forward:
+      break;
+    }
+    Scan += N;
+  }
+}

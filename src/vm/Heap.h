@@ -1,0 +1,120 @@
+//===- vm/Heap.h - Tagged heap with a Cheney two-space collector -------------------===//
+///
+/// \file
+/// The runtime heap. Values are 64-bit words: tagged integers are odd
+/// ((n << 1) | 1); heap pointers are even (word index << 3). Floats live
+/// untagged in float registers and occupy one 64-bit heap word (counted as
+/// two 32-bit words in the allocation statistics, matching the paper's
+/// 32-bit target).
+///
+/// Every object carries one descriptor word (kind, len1, len2):
+///   Record (len1 = raw floats stored first, len2 = words after) — the
+///     paper's Figure 1c "two short integers" descriptor;
+///   Bytes  (len1 = byte count) — strings;
+///   Cell   (1 mutable word) — refs and exception tags;
+///   Array  (len2 = mutable words).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_VM_HEAP_H
+#define SMLTC_VM_HEAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smltc {
+
+using Word = uint64_t;
+
+inline Word tagInt(int64_t N) {
+  return (static_cast<uint64_t>(N) << 1) | 1;
+}
+inline int64_t untagInt(Word W) { return static_cast<int64_t>(W) >> 1; }
+inline bool isTaggedInt(Word W) { return (W & 1) != 0; }
+inline bool isPointer(Word W) { return W != 0 && (W & 1) == 0; }
+inline Word makePointer(size_t WordIndex) {
+  return static_cast<Word>(WordIndex) << 3;
+}
+inline size_t pointerIndex(Word W) { return static_cast<size_t>(W >> 3); }
+
+enum class ObjKind : uint8_t {
+  Record = 1,
+  Bytes = 2,
+  Cell = 3,
+  Array = 4,
+  Forward = 7, ///< GC forwarding marker
+};
+
+inline Word makeDesc(ObjKind K, uint32_t Len1, uint32_t Len2) {
+  return (static_cast<Word>(K) << 56) |
+         (static_cast<Word>(Len1 & 0xFFFFFFF) << 28) |
+         static_cast<Word>(Len2 & 0xFFFFFFF);
+}
+inline ObjKind descKind(Word D) {
+  return static_cast<ObjKind>(D >> 56);
+}
+inline uint32_t descLen1(Word D) {
+  return static_cast<uint32_t>((D >> 28) & 0xFFFFFFF);
+}
+inline uint32_t descLen2(Word D) {
+  return static_cast<uint32_t>(D & 0xFFFFFFF);
+}
+
+/// A two-space heap. Allocation is pointer bumping; collection copies the
+/// live graph reachable from the registered roots.
+class Heap {
+public:
+  explicit Heap(size_t SemiWords = 1 << 20);
+
+  /// Allocates an object of 1 + Payload words; returns its word index.
+  /// Never fails: collects, then grows, as needed. RootsBegin/RootsEnd
+  /// and extra root vectors must be registered beforehand.
+  size_t allocRaw(size_t PayloadWords);
+
+  Word &at(size_t Index) {
+    assert(Index < Mem.size() && "heap access out of bounds");
+    return Mem[Index];
+  }
+  Word at(size_t Index) const {
+    assert(Index < Mem.size() && "heap access out of bounds");
+    return Mem[Index];
+  }
+
+  /// Registers a root range (scanned and updated by GC).
+  void addRootRange(Word *Begin, size_t Count) {
+    RootRanges.push_back({Begin, Count});
+  }
+  void clearRootRanges() { RootRanges.clear(); }
+
+  /// Words copied by all collections so far (GC cost metric).
+  uint64_t copiedWords() const { return CopiedWords; }
+  uint64_t collections() const { return Collections; }
+  uint64_t allocatedObjects() const { return AllocatedObjects; }
+
+  /// Total payload size (in 64-bit words, incl. descriptor) of an object.
+  static size_t objectWords(Word Desc);
+
+private:
+  void collect();
+  Word forward(Word P, std::vector<Word> &To, size_t &Scan);
+
+  struct RootRange {
+    Word *Begin;
+    size_t Count;
+  };
+
+  std::vector<Word> FromSpace;
+  std::vector<Word> Mem; ///< active semispace
+  size_t HP = 1;         ///< word 0 reserved (null)
+  size_t SemiWords;
+  std::vector<RootRange> RootRanges;
+  uint64_t CopiedWords = 0;
+  uint64_t Collections = 0;
+  uint64_t AllocatedObjects = 0;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_VM_HEAP_H

@@ -1,0 +1,52 @@
+//===- vm/Vm.h - The TM execution engine --------------------------------------------===//
+///
+/// \file
+/// Executes TM programs with a DECstation-5000-flavoured cost model and
+/// full metric accounting: cycles, heap allocation in 32-bit words
+/// (floats = 2, descriptors = 1), instruction counts, and GC work.
+/// The substitution for the paper's hardware measurements: absolute
+/// numbers differ from a real MIPS, but the costs the six compiler
+/// variants trade against each other (boxing, memory traffic, allocation,
+/// GC) are modeled directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_VM_VM_H
+#define SMLTC_VM_VM_H
+
+#include "codegen/Machine.h"
+#include "vm/Heap.h"
+
+#include <cstdint>
+#include <string>
+
+namespace smltc {
+
+struct VmOptions {
+  bool UnalignedFloats = true; ///< float loads cost two word loads
+  size_t HeapSemiWords = 1 << 20;
+  uint64_t MaxCycles = 40ull * 1000 * 1000 * 1000;
+};
+
+struct ExecResult {
+  bool Ok = false;
+  bool UncaughtException = false;
+  bool Trapped = false; ///< VM-level failure (cycle budget, internal)
+  std::string TrapMessage;
+  int64_t Result = 0;
+  std::string Output; ///< everything `print`ed
+
+  // Metrics.
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t AllocWords32 = 0; ///< 32-bit words allocated (paper's metric)
+  uint64_t AllocObjects = 0;
+  uint64_t GcCopiedWords = 0;
+  uint64_t Collections = 0;
+};
+
+ExecResult execute(const TmProgram &Program, const VmOptions &Opts);
+
+} // namespace smltc
+
+#endif // SMLTC_VM_VM_H

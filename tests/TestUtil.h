@@ -1,0 +1,82 @@
+//===- tests/TestUtil.h - Shared test fixtures --------------------------------===//
+
+#ifndef SMLTC_TESTS_TESTUTIL_H
+#define SMLTC_TESTS_TESTUTIL_H
+
+#include "ast/Parser.h"
+#include "driver/Options.h"
+#include "elab/Elaborator.h"
+#include "elab/Mtd.h"
+#include "lexp/LexpCheck.h"
+#include "lexp/Translate.h"
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+#include "types/Type.h"
+
+#include <memory>
+#include <string>
+
+namespace smltc {
+namespace testutil {
+
+/// Runs the front end (parse + elaborate) over a source snippet.
+struct Front {
+  Arena A;
+  StringInterner Interner;
+  DiagnosticEngine Diags;
+  TypeContext Types;
+  std::unique_ptr<Elaborator> Elab;
+  AProgram Prog;
+
+  explicit Front(const std::string &Source) : Types(A, Interner) {
+    Parser P(Source, A, Interner, Diags);
+    ast::Program RawProg = P.parseProgram();
+    Elab = std::make_unique<Elaborator>(A, Types, Interner, Diags);
+    Prog = Elab->elaborate(RawProg);
+  }
+
+  bool ok() const { return !Diags.hasErrors(); }
+  std::string errors() const { return Diags.render(); }
+};
+
+/// Front end plus translation to LEXP under the given options.
+struct ToLexp {
+  Front F;
+  LtyContext LC;
+  std::unique_ptr<Translator> Trans;
+  Lexp *Program = nullptr;
+
+  explicit ToLexp(const std::string &Source,
+                  CompilerOptions Opts = CompilerOptions::ffb())
+      : F(Source), LC(F.A, Opts.HashConsLty) {
+    if (!F.ok())
+      return;
+    if (Opts.Mtd)
+      runMtd(F.Prog, F.Types, F.A);
+    BuiltinExns Exns;
+    Exns.Match = F.Elab->MatchExn;
+    Exns.Bind = F.Elab->BindExn;
+    Exns.Div = F.Elab->DivExn;
+    Exns.Subscript = F.Elab->SubscriptExn;
+    Exns.Size = F.Elab->SizeExn;
+    Exns.Overflow = F.Elab->OverflowExn;
+    Exns.Chr = F.Elab->ChrExn;
+    OptsStore = Opts;
+    Trans = std::make_unique<Translator>(F.A, F.Types, LC, OptsStore, Exns,
+                                         F.Diags);
+    Program = Trans->translate(F.Prog);
+  }
+
+  bool ok() const { return F.ok() && Program; }
+
+  LexpCheckResult check() { return checkLexp(Program, LC); }
+
+private:
+  CompilerOptions OptsStore;
+};
+
+} // namespace testutil
+} // namespace smltc
+
+#endif // SMLTC_TESTS_TESTUTIL_H

@@ -1,0 +1,153 @@
+//===- tests/test_coerce.cpp - coerce() unit tests (paper Section 4.2) -----------===//
+
+#include "lexp/Coerce.h"
+#include "lty/Lty.h"
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+namespace {
+
+struct CoerceFixture : ::testing::Test {
+  Arena A;
+  LtyContext LC{A};
+  LexpBuilder B{A};
+  Coercer C{LC, B, /*MemoModuleCoercions=*/true};
+
+  Lexp *val() { return B.var(B.fresh()); }
+};
+
+} // namespace
+
+TEST_F(CoerceFixture, IdentityOnEqualTypes) {
+  const Lty *T = LC.record({LC.intTy(), LC.realTy()});
+  Lexp *E = val();
+  EXPECT_EQ(C.coerce(T, T, E), E);
+  EXPECT_TRUE(C.isIdentity(T, T));
+}
+
+TEST_F(CoerceFixture, IdentityIsStructural) {
+  // Equal field-wise coercions collapse to the identity even for distinct
+  // record kinds' nodes (without hash-consing they would be different
+  // pointers).
+  const Lty *T1 = LC.record({LC.intTy(), LC.boxedTy()});
+  const Lty *T2 = LC.record({LC.intTy(), LC.boxedTy()});
+  EXPECT_TRUE(C.isIdentity(T1, T2));
+  EXPECT_FALSE(C.isIdentity(LC.realTy(), LC.boxedTy()));
+  EXPECT_FALSE(C.isIdentity(LC.record({LC.realTy()}),
+                            LC.record({LC.boxedTy()})));
+}
+
+TEST_F(CoerceFixture, BoxedWrapsAndUnwraps) {
+  // coerce(t, BOXED) = WRAP; coerce(BOXED, t) = UNWRAP (paper 4.2).
+  Lexp *E1 = C.coerce(LC.realTy(), LC.boxedTy(), val());
+  ASSERT_EQ(E1->K, Lexp::Kind::Wrap);
+  EXPECT_EQ(E1->Ty, LC.realTy());
+
+  Lexp *E2 = C.coerce(LC.boxedTy(), LC.realTy(), val());
+  ASSERT_EQ(E2->K, Lexp::Kind::Unwrap);
+  EXPECT_EQ(E2->Ty, LC.realTy());
+}
+
+TEST_F(CoerceFixture, RBoxedGoesThroughDup) {
+  // coerce(RECORD[REAL,INT], RBOXED) wraps each field and re-wraps the
+  // record: the result is a WRAP of a RECORD whose fields are wrapped.
+  const Lty *Flat = LC.record({LC.realTy(), LC.intTy()});
+  Lexp *E = C.coerce(Flat, LC.rboxedTy(), val());
+  ASSERT_EQ(E->K, Lexp::Kind::Wrap);
+  EXPECT_EQ(E->Ty2, LC.rboxedTy());
+  // Contents: the dup'd record.
+  ASSERT_EQ(E->A1->K, Lexp::Kind::Let); // let x = v in record [...]
+}
+
+TEST_F(CoerceFixture, RBoxedUnwrapsStructurally) {
+  const Lty *Flat = LC.record({LC.realTy(), LC.intTy()});
+  Lexp *E = C.coerce(LC.rboxedTy(), Flat, val());
+  // unwrap to the dup view, then rebuild field-wise.
+  ASSERT_EQ(E->K, Lexp::Kind::Let);
+}
+
+TEST_F(CoerceFixture, ScalarRBoxedIsDirectWrap) {
+  // dup(REAL) = BOXED, so REAL -> RBOXED is a single wrap.
+  Lexp *E = C.coerce(LC.realTy(), LC.rboxedTy(), val());
+  ASSERT_EQ(E->K, Lexp::Kind::Wrap);
+  EXPECT_EQ(E->Ty, LC.realTy());
+  EXPECT_EQ(E->Ty2, LC.rboxedTy());
+}
+
+TEST_F(CoerceFixture, ArrowBuildsEtaWrapper) {
+  // The paper's introduction example: real->real used as BOXED->BOXED.
+  const Lty *Mono = LC.arrow(LC.realTy(), LC.realTy());
+  const Lty *Poly = LC.arrow(LC.boxedTy(), LC.boxedTy());
+  Lexp *E = C.coerce(Mono, Poly, val());
+  ASSERT_EQ(E->K, Lexp::Kind::Let);
+  Lexp *Fn = E->A2;
+  ASSERT_EQ(Fn->K, Lexp::Kind::Fn);
+  EXPECT_EQ(Fn->Ty, LC.boxedTy()); // wrapper takes the boxed argument
+  // Body: wrap(f(unwrap x)).
+  ASSERT_EQ(Fn->A1->K, Lexp::Kind::Wrap);
+}
+
+TEST_F(CoerceFixture, RecordCoercionIsFieldwise) {
+  const Lty *From = LC.record({LC.realTy(), LC.intTy()});
+  const Lty *To = LC.record({LC.boxedTy(), LC.intTy()});
+  Lexp *E = C.coerce(From, To, val());
+  ASSERT_EQ(E->K, Lexp::Kind::Let);
+  Lexp *R = E->A2;
+  ASSERT_EQ(R->K, Lexp::Kind::Record);
+  ASSERT_EQ(R->Elems.size(), 2u);
+  EXPECT_EQ(R->Elems[0]->K, Lexp::Kind::Wrap);   // real boxed
+  EXPECT_EQ(R->Elems[1]->K, Lexp::Kind::Select); // int copied
+}
+
+TEST_F(CoerceFixture, ModuleCoercionsAreMemoized) {
+  const Lty *From = LC.srecord({LC.arrow(LC.realTy(), LC.realTy())});
+  const Lty *To = LC.srecord({LC.arrow(LC.boxedTy(), LC.boxedTy())});
+  Lexp *E1 = C.coerce(From, To, val());
+  Lexp *E2 = C.coerce(From, To, val());
+  // Both sites call the same shared function.
+  ASSERT_EQ(E1->K, Lexp::Kind::App);
+  ASSERT_EQ(E2->K, Lexp::Kind::App);
+  EXPECT_EQ(E1->A1->Var, E2->A1->Var);
+  EXPECT_EQ(C.sharedDefs().size(), 1u);
+  EXPECT_EQ(C.memoHits(), 1u);
+  EXPECT_EQ(C.memoMisses(), 1u);
+}
+
+TEST_F(CoerceFixture, CoreRecordsAreNotMemoized) {
+  // Only module (SRECORD) coercions are outlined (paper Section 4.5).
+  const Lty *From = LC.record({LC.realTy()});
+  const Lty *To = LC.record({LC.boxedTy()});
+  Lexp *E = C.coerce(From, To, val());
+  EXPECT_NE(E->K, Lexp::Kind::App);
+  EXPECT_TRUE(C.sharedDefs().empty());
+}
+
+TEST_F(CoerceFixture, PartialRecordFetchesByIndex) {
+  // PRECORD[(3, INT)] from a full record selects slot 3 (Section 4.5's
+  // external-structure import types).
+  const Lty *Full = LC.srecord(
+      {LC.intTy(), LC.intTy(), LC.intTy(), LC.intTy(), LC.intTy()});
+  const Lty *Part = LC.precord({{3, LC.intTy()}});
+  Lexp *E = C.coerce(Full, Part, val());
+  ASSERT_EQ(E->K, Lexp::Kind::Let);
+  Lexp *R = E->A2;
+  ASSERT_EQ(R->K, Lexp::Kind::Record);
+  ASSERT_EQ(R->Elems.size(), 1u);
+  ASSERT_EQ(R->Elems[0]->K, Lexp::Kind::Select);
+  EXPECT_EQ(R->Elems[0]->Index, 3);
+}
+
+TEST_F(CoerceFixture, NoHashConsStillCoerces) {
+  Arena A2;
+  LtyContext LC2(A2, /*HashCons=*/false);
+  LexpBuilder B2(A2);
+  Coercer C2(LC2, B2, true);
+  const Lty *T1 = LC2.record({LC2.intTy()});
+  const Lty *T2 = LC2.record({LC2.intTy()});
+  EXPECT_NE(T1, T2); // not interned
+  Lexp *V = B2.var(B2.fresh());
+  EXPECT_EQ(C2.coerce(T1, T2, V), V); // structural equality still works
+}

@@ -1,0 +1,74 @@
+//===- tests/test_corpus.cpp - Benchmark corpus validation ----------------------===//
+//
+// Every corpus program must compile and run under all six compiler
+// variants, and all variants must agree on the result — the paper's
+// benchmarks are only meaningful if the optimizations are semantics-
+// preserving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+namespace {
+
+class CorpusTest : public ::testing::TestWithParam<size_t> {};
+
+} // namespace
+
+TEST_P(CorpusTest, AllVariantsAgree) {
+  const BenchmarkProgram &B = benchmarkCorpus()[GetParam()];
+  size_t N;
+  const CompilerOptions *Vs = CompilerOptions::allVariants(N);
+  int64_t First = 0;
+  uint64_t FirstCycles = 0;
+  for (size_t I = 0; I < N; ++I) {
+    ExecResult R = Compiler::compileAndRun(B.Source, Vs[I]);
+    ASSERT_TRUE(R.Ok) << B.Name << " under " << Vs[I].VariantName << ": "
+                      << R.TrapMessage;
+    ASSERT_FALSE(R.UncaughtException)
+        << B.Name << " under " << Vs[I].VariantName;
+    if (I == 0) {
+      First = R.Result;
+      FirstCycles = R.Cycles;
+      // A benchmark must do *some* work.
+      EXPECT_GT(R.Cycles, 10000u) << B.Name;
+    } else {
+      EXPECT_EQ(R.Result, First)
+          << B.Name << ": " << Vs[I].VariantName << " disagrees";
+    }
+  }
+  (void)FirstCycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusTest, ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = benchmarkCorpus()[Info.param].Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(CorpusStress, SurvivesTinyHeapWithManyCollections) {
+  // GC soak: the whole corpus under a tiny semispace must produce the
+  // same answers as with a roomy heap, exercising the collector on real
+  // object graphs (closures, spill records, strings, float records).
+  for (const BenchmarkProgram &B : benchmarkCorpus()) {
+    CompileOutput C = Compiler::compile(B.Source, CompilerOptions::ffb());
+    ASSERT_TRUE(C.Ok) << B.Name;
+    VmOptions Roomy;
+    ExecResult R1 = execute(C.Program, Roomy);
+    VmOptions Tiny;
+    Tiny.HeapSemiWords = 1 << 12;
+    ExecResult R2 = execute(C.Program, Tiny);
+    ASSERT_TRUE(R1.Ok && R2.Ok) << B.Name << ": " << R2.TrapMessage;
+    EXPECT_EQ(R1.Result, R2.Result) << B.Name << " changes under GC";
+    EXPECT_EQ(R1.UncaughtException, R2.UncaughtException) << B.Name;
+  }
+}

@@ -1,0 +1,253 @@
+//===- tests/test_cpsopt.cpp - CPS optimizer unit tests ---------------------------===//
+
+#include "cps/Cps.h"
+#include "cps/CpsCheck.h"
+#include "cps/CpsOpt.h"
+#include "driver/Options.h"
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+namespace {
+
+struct CpsOptFixture : ::testing::Test {
+  Arena A;
+  CpsBuilder B{A};
+  CpsOptStats Stats;
+
+  Cexp *optimize(Cexp *E, CompilerOptions O = CompilerOptions::ffb()) {
+    CVar MaxVar = B.maxVar();
+    Cexp *R = optimizeCps(A, O, E, MaxVar, Stats);
+    EXPECT_TRUE(checkCps(R).Ok);
+    return R;
+  }
+};
+
+} // namespace
+
+TEST_F(CpsOptFixture, ConstantFoldsArithmetic) {
+  CVar W = B.fresh();
+  Cexp *P = B.arith(CpsOp::IAdd, {CValue::intC(2), CValue::intC(3)}, W,
+                    Cty::intTy(), B.halt(CValue::var(W)));
+  Cexp *R = optimize(P);
+  ASSERT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_EQ(R->F.K, CValue::Kind::Int);
+  EXPECT_EQ(R->F.I, 5);
+  EXPECT_GE(Stats.ConstantsFolded, 1u);
+}
+
+TEST_F(CpsOptFixture, DoesNotFoldDivisionByZero) {
+  CVar W = B.fresh();
+  Cexp *P = B.arith(CpsOp::IDiv, {CValue::intC(1), CValue::intC(0)}, W,
+                    Cty::intTy(), B.halt(CValue::var(W)));
+  Cexp *R = optimize(P);
+  EXPECT_EQ(R->K, Cexp::Kind::Arith); // must trap at runtime, not fold
+}
+
+TEST_F(CpsOptFixture, RemovesDeadRecords) {
+  CVar W = B.fresh();
+  Cexp *P = B.record(RecordKind::Std,
+                     {{CValue::intC(1), false}, {CValue::intC(2), false}},
+                     W, B.halt(CValue::intC(0)));
+  Cexp *R = optimize(P);
+  EXPECT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_GE(Stats.DeadRemoved, 1u);
+}
+
+TEST_F(CpsOptFixture, KeepsDeadRefCells) {
+  // A ref allocation is observable through aliasing; never removed.
+  CVar W = B.fresh();
+  Cexp *P = B.record(RecordKind::Ref, {{CValue::intC(1), false}}, W,
+                     B.halt(CValue::intC(0)));
+  Cexp *R = optimize(P);
+  EXPECT_EQ(R->K, Cexp::Kind::Record);
+}
+
+TEST_F(CpsOptFixture, FoldsSelectFromKnownRecord) {
+  CVar W = B.fresh(), S = B.fresh();
+  Cexp *P = B.record(
+      RecordKind::Std,
+      {{CValue::intC(10), false}, {CValue::intC(20), false}}, W,
+      B.select(1, false, CValue::var(W), S, Cty::intTy(),
+               B.halt(CValue::var(S))));
+  Cexp *R = optimize(P);
+  ASSERT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_EQ(R->F.I, 20);
+  EXPECT_GE(Stats.SelectsFolded, 1u);
+}
+
+TEST_F(CpsOptFixture, FoldsBranchesOnConstants) {
+  Cexp *P = B.branch(BranchOp::Ilt, {CValue::intC(1), CValue::intC(2)},
+                     B.halt(CValue::intC(111)), B.halt(CValue::intC(222)));
+  Cexp *R = optimize(P);
+  ASSERT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_EQ(R->F.I, 111);
+}
+
+TEST_F(CpsOptFixture, IsBoxedFoldsOnIntConstant) {
+  Cexp *P = B.branch(BranchOp::IsBoxed, {CValue::intC(7)},
+                     B.halt(CValue::intC(1)), B.halt(CValue::intC(0)));
+  Cexp *R = optimize(P);
+  ASSERT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_EQ(R->F.I, 0); // tagged ints are not boxed
+}
+
+TEST_F(CpsOptFixture, CancelsFloatReboxing) {
+  // y = unbox(x); z = box(y)  ==>  z := x  (when x is a known box).
+  CVar Box = B.fresh(), Raw = B.fresh(), Rebox = B.fresh();
+  Cexp *P = B.record(
+      RecordKind::FloatBox, {{CValue::realC(1.5), true}}, Box,
+      B.select(0, true, CValue::var(Box), Raw, Cty::fltTy(),
+               B.record(RecordKind::FloatBox, {{CValue::var(Raw), true}},
+                        Rebox, B.halt(CValue::var(Rebox)))));
+  CompilerOptions O = CompilerOptions::ffb();
+  ASSERT_TRUE(O.CpsWrapCancel);
+  Cexp *R = optimize(P, O);
+  // One box remains; the rebox reuses it.
+  ASSERT_EQ(R->K, Cexp::Kind::Record);
+  EXPECT_EQ(R->C1->K, Cexp::Kind::Halt);
+  EXPECT_GE(Stats.FloatBoxesReused + Stats.SelectsFolded, 1u);
+}
+
+TEST_F(CpsOptFixture, OldCompilerKeepsFloatBoxes) {
+  // With CpsWrapCancel off (sml.nrp), the same program keeps both the
+  // select and the re-box.
+  CVar Box = B.fresh(), Raw = B.fresh(), Rebox = B.fresh();
+  Cexp *P = B.record(
+      RecordKind::FloatBox, {{CValue::realC(1.5), true}}, Box,
+      B.select(0, true, CValue::var(Box), Raw, Cty::fltTy(),
+               B.record(RecordKind::FloatBox, {{CValue::var(Raw), true}},
+                        Rebox, B.halt(CValue::var(Rebox)))));
+  CompilerOptions O = CompilerOptions::nrp();
+  ASSERT_FALSE(O.CpsWrapCancel);
+  Cexp *R = optimize(P, O);
+  ASSERT_EQ(R->K, Cexp::Kind::Record);
+  ASSERT_EQ(R->C1->K, Cexp::Kind::Select);
+  EXPECT_EQ(R->C1->C1->K, Cexp::Kind::Record);
+}
+
+TEST_F(CpsOptFixture, RecordCopyElimination) {
+  // Inside a function whose parameter is a known-length record, building
+  // a record from its in-order selects is the identity (Section 5.2).
+  CVar F = B.fresh(), P1 = B.fresh(), K = B.fresh();
+  CVar S0 = B.fresh(), S1 = B.fresh(), Copy = B.fresh();
+  Cexp *Body = B.select(
+      0, false, CValue::var(P1), S0, Cty::ptrUnknown(),
+      B.select(1, false, CValue::var(P1), S1, Cty::ptrUnknown(),
+               B.record(RecordKind::Std,
+                        {{CValue::var(S0), false}, {CValue::var(S1), false}},
+                        Copy, B.app(CValue::var(K), {CValue::var(Copy)}))));
+  CFun *Fn = B.fun(CFun::Kind::Escape, F, {P1, K},
+                   {Cty::ptr(2), Cty::cntTy()}, Body);
+  // Keep F alive by escaping it.
+  CVar W = B.fresh();
+  Cexp *P = B.fix({Fn}, B.record(RecordKind::Std,
+                                 {{CValue::var(F), false}}, W,
+                                 B.halt(CValue::var(W))));
+  CompilerOptions O = CompilerOptions::ffb();
+  Cexp *R = optimize(P, O);
+  (void)R;
+  EXPECT_GE(Stats.RecordsCopyEliminated, 1u);
+}
+
+TEST_F(CpsOptFixture, EtaReducesForwardingConts) {
+  // cont k(x) = j(x) ==> uses of k become j.
+  CVar J = B.fresh(), JX = B.fresh();
+  CVar K = B.fresh(), KX = B.fresh();
+  CFun *JFn = B.fun(CFun::Kind::Cont, J, {JX}, {Cty::intTy()},
+                    B.halt(CValue::var(JX)));
+  CFun *KFn = B.fun(CFun::Kind::Cont, K, {KX}, {Cty::intTy()},
+                    B.app(CValue::var(J), {CValue::var(KX)}));
+  Cexp *P =
+      B.fix({JFn}, B.fix({KFn}, B.app(CValue::var(K), {CValue::intC(9)})));
+  Cexp *R = optimize(P);
+  // Everything should contract down to Halt(9).
+  ASSERT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_EQ(R->F.I, 9);
+}
+
+TEST_F(CpsOptFixture, InlinesSingleUseFunctions) {
+  CVar F = B.fresh(), X = B.fresh(), K = B.fresh();
+  CVar W = B.fresh(), RK = B.fresh(), RX = B.fresh();
+  CFun *Fn =
+      B.fun(CFun::Kind::Escape, F, {X, K}, {Cty::intTy(), Cty::cntTy()},
+            B.arith(CpsOp::IMul, {CValue::var(X), CValue::intC(3)}, W,
+                    Cty::intTy(), B.app(CValue::var(K), {CValue::var(W)})));
+  CFun *Ret = B.fun(CFun::Kind::Cont, RK, {RX}, {Cty::intTy()},
+                    B.halt(CValue::var(RX)));
+  Cexp *P = B.fix(
+      {Fn}, B.fix({Ret}, B.app(CValue::var(F),
+                               {CValue::intC(14), CValue::var(RK)})));
+  Cexp *R = optimize(P);
+  ASSERT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_EQ(R->F.I, 42);
+  EXPECT_GE(Stats.InlinedOnce + Stats.InlinedSmall, 1u);
+}
+
+TEST_F(CpsOptFixture, DropsDeadFunctions) {
+  CVar F = B.fresh(), X = B.fresh(), K = B.fresh();
+  CFun *Fn = B.fun(CFun::Kind::Escape, F, {X, K},
+                   {Cty::intTy(), Cty::cntTy()},
+                   B.app(CValue::var(K), {CValue::var(X)}));
+  Cexp *P = B.fix({Fn}, B.halt(CValue::intC(0)));
+  Cexp *R = optimize(P);
+  EXPECT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_GE(Stats.DeadRemoved, 1u);
+}
+
+TEST_F(CpsOptFixture, FlattensKnownFunctionArguments) {
+  // A known function taking a 2-record that it only selects from gets its
+  // components spread (sml.fag's Kranz optimization).
+  CVar F = B.fresh(), P1 = B.fresh(), K = B.fresh();
+  CVar S0 = B.fresh(), W = B.fresh();
+  Cexp *Body =
+      B.select(0, false, CValue::var(P1), S0, Cty::intTy(),
+               B.arith(CpsOp::IAdd, {CValue::var(S0), CValue::intC(1)}, W,
+                       Cty::intTy(), B.app(CValue::var(K),
+                                           {CValue::var(W)})));
+  CFun *Fn = B.fun(CFun::Kind::Known, F, {P1, K},
+                   {Cty::ptr(2), Cty::cntTy()}, Body);
+
+  // Two call sites so the function is not simply inlined away.
+  CVar RK = B.fresh(), RX = B.fresh();
+  CVar Arg1 = B.fresh(), Arg2 = B.fresh();
+  CFun *Ret = B.fun(CFun::Kind::Cont, RK, {RX}, {Cty::intTy()},
+                    B.app(CValue::var(F), {CValue::var(Arg2),
+                                           CValue::var(RK)}));
+  auto MakeArg = [&](CVar V, Cexp *Cont) {
+    return B.record(RecordKind::Std,
+                    {{CValue::intC(5), false}, {CValue::intC(6), false}},
+                    V, Cont);
+  };
+  Cexp *P = MakeArg(
+      Arg1,
+      MakeArg(Arg2,
+              B.fix({Fn}, B.fix({Ret},
+                                B.app(CValue::var(F),
+                                      {CValue::var(Arg1),
+                                       CValue::var(RK)})))));
+  CompilerOptions O = CompilerOptions::fag();
+  // Disable inlining so flattening is observable.
+  O.InlineSmallFns = false;
+  Cexp *R = optimize(P, O);
+  (void)R;
+  EXPECT_GE(Stats.KnownFnsFlattened, 1u);
+}
+
+TEST_F(CpsOptFixture, PreservesSideEffectOrder) {
+  // Setter / CCall nodes are never removed or reordered.
+  CVar W = B.fresh(), Cell = B.fresh();
+  Cexp *P = B.record(
+      RecordKind::Ref, {{CValue::intC(0), false}}, Cell,
+      B.setter(CpsOp::StoreCell,
+               {CValue::var(Cell), CValue::intC(0), CValue::intC(5)},
+               B.looker(CpsOp::LoadCell,
+                        {CValue::var(Cell), CValue::intC(0)}, W,
+                        Cty::intTy(), B.halt(CValue::var(W)))));
+  Cexp *R = optimize(P);
+  ASSERT_EQ(R->K, Cexp::Kind::Record);
+  ASSERT_EQ(R->C1->K, Cexp::Kind::Setter);
+  ASSERT_EQ(R->C1->C1->K, Cexp::Kind::Looker);
+}

@@ -1,0 +1,297 @@
+//===- tests/test_elab.cpp - Elaborator tests ----------------------------------===//
+
+#include "TestUtil.h"
+#include "elab/Mtd.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+using testutil::Front;
+
+namespace {
+
+/// Returns the rendered scheme of the last Val/ValRec binding named Name.
+std::string schemeOf(Front &F, const std::string &Name) {
+  const ValInfo *Found = nullptr;
+  std::function<void(Span<ADec *>)> WalkDecs;
+  std::function<void(const AExp *)> WalkExp;
+  std::function<void(const APat *)> WalkPat = [&](const APat *P) {
+    if (!P)
+      return;
+    if ((P->K == APat::Kind::Var || P->K == APat::Kind::Layered) &&
+        P->Var->Name.str() == Name)
+      Found = P->Var;
+    for (const APat *E : P->Elems)
+      WalkPat(E);
+    if (P->Arg)
+      WalkPat(P->Arg);
+  };
+  WalkExp = [&](const AExp *E) {
+    if (!E)
+      return;
+    WalkExp(E->TagExp);
+    WalkExp(E->Fun);
+    WalkExp(E->Arg);
+    WalkExp(E->Scrut);
+    WalkExp(E->Body);
+    for (const AExp *X : E->Elems)
+      WalkExp(X);
+    for (const ARule &R : E->Rules) {
+      WalkPat(R.P);
+      WalkExp(R.E);
+    }
+    WalkDecs(E->Decs);
+  };
+  WalkDecs = [&](Span<ADec *> Decs) {
+    for (ADec *D : Decs) {
+      if (D->K == ADec::Kind::Val) {
+        WalkPat(D->Pat);
+        WalkExp(D->Exp);
+      }
+      if (D->K == ADec::Kind::ValRec) {
+        for (ValInfo *V : D->RecVars)
+          if (V->Name.str() == Name)
+            Found = V;
+        for (AExp *E : D->RecExps)
+          WalkExp(E);
+      }
+      if (D->K == ADec::Kind::Structure &&
+          D->StrExp->K == AStrExp::Kind::Struct)
+        WalkDecs(D->StrExp->Decs);
+    }
+  };
+  WalkDecs(F.Prog.Decs);
+  if (!Found)
+    return "<not found>";
+  return F.Types.toString(Found->Scheme);
+}
+
+} // namespace
+
+TEST(Elab, SimpleValBinding) {
+  Front F("val x = 42 val y = 3.14 val s = \"hi\"");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "x"), "int");
+  EXPECT_EQ(schemeOf(F, "y"), "real");
+  EXPECT_EQ(schemeOf(F, "s"), "string");
+}
+
+TEST(Elab, PolymorphicIdentity) {
+  Front F("val id = fn x => x");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "id"), "forall 'a. ('a -> 'a)");
+}
+
+TEST(Elab, FunDesugarsAndInfers) {
+  Front F("fun add (x, y) = x + y");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "add"), "((int * int) -> int)");
+}
+
+TEST(Elab, OverloadDefaultsToInt) {
+  Front F("fun double x = x + x");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "double"), "(int -> int)");
+}
+
+TEST(Elab, OverloadResolvesToReal) {
+  Front F("fun scale x = x * 2.0");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "scale"), "(real -> real)");
+}
+
+TEST(Elab, RecursionAndLists) {
+  Front F("fun len l = case l of nil => 0 | _ :: r => 1 + len r");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "len"), "forall 'a. ('a list -> int)");
+}
+
+TEST(Elab, MutualRecursion) {
+  Front F("fun isEven 0 = true | isEven n = isOdd (n - 1) "
+          "and isOdd 0 = false | isOdd n = isEven (n - 1)");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "isEven"), "(int -> bool)");
+}
+
+TEST(Elab, ValueRestriction) {
+  // `ref nil` is not a syntactic value: no generalization.
+  Front F("val r = ref nil");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "r").find("forall"), std::string::npos);
+}
+
+TEST(Elab, TypeErrorsAreReported) {
+  EXPECT_FALSE(Front("val x = 1 + \"no\"").ok());
+  EXPECT_FALSE(Front("val x = if 1 then 2 else 3").ok());
+  EXPECT_FALSE(Front("val f = fn x => x x").ok());
+  EXPECT_FALSE(Front("val x = undefined_name").ok());
+}
+
+TEST(Elab, EqualityTypeChecking) {
+  EXPECT_TRUE(Front("val b = (1, 2) = (3, 4)").ok());
+  EXPECT_FALSE(Front("val b = (fn x => x) = (fn y => y)").ok());
+}
+
+TEST(Elab, DatatypeAndCase) {
+  Front F("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree "
+          "fun depth t = case t of Leaf => 0 "
+          "| Node (l, _, r) => 1 + (let val a = depth l val b = depth r in "
+          "if a < b then b else a end)");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "depth"), "forall 'a. ('a tree -> int)");
+}
+
+TEST(Elab, ExceptionDeclarationAndHandle) {
+  Front F("exception Bad of int "
+          "fun f x = if x < 0 then raise Bad x else x "
+          "val y = f 3 handle Bad n => n");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "y"), "int");
+}
+
+TEST(Elab, RefsAndAssignment) {
+  Front F("val r = ref 0 val _ = r := 3 val v = !r");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "v"), "int");
+}
+
+TEST(Elab, StructureAndQualifiedAccess) {
+  Front F("structure S = struct val x = 1 fun f y = y + x end "
+          "val z = S.f S.x");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "z"), "int");
+}
+
+TEST(Elab, SignatureMatchingThins) {
+  Front F("signature SIG = sig val f : int -> int end "
+          "structure S : SIG = struct "
+          "  val hidden = 10 fun f x = x + hidden end "
+          "val r = S.f 1");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "r"), "int");
+  // The hidden component must not be visible.
+  EXPECT_FALSE(Front("signature SIG = sig val f : int -> int end "
+                     "structure S : SIG = struct "
+                     "  val hidden = 10 fun f x = x + hidden end "
+                     "val bad = S.hidden")
+                   .ok());
+}
+
+TEST(Elab, SignatureMatchingChecksInstances) {
+  // Paper Figure 5: a polymorphic source value matches a monomorphic spec.
+  Front F("signature SIG = sig val f : int -> int end "
+          "structure S : SIG = struct fun f x = x end "
+          "val r = S.f 5");
+  EXPECT_TRUE(F.ok()) << F.errors();
+  // The reverse (spec more general than the binding) must fail.
+  EXPECT_FALSE(Front("signature SIG = sig val f : 'a -> 'a end "
+                     "structure S : SIG = struct fun f (x : int) = x end")
+                   .ok());
+}
+
+TEST(Elab, OpaqueAbstractionHidesType) {
+  // Transparent: t = int leaks; using S.inj 1 directly as int works.
+  Front FT("signature SIG = sig type t val inj : int -> t "
+           "val out : t -> int end "
+           "structure S : SIG = struct type t = int "
+           "fun inj x = x fun out x = x end "
+           "val n = S.out (S.inj 3) + (S.inj 4)");
+  EXPECT_TRUE(FT.ok()) << FT.errors();
+  // Opaque: t is abstract; S.inj 4 is not an int.
+  EXPECT_FALSE(Front("signature SIG = sig type t val inj : int -> t "
+                     "val out : t -> int end "
+                     "structure S :> SIG = struct type t = int "
+                     "fun inj x = x fun out x = x end "
+                     "val n = S.out (S.inj 3) + (S.inj 4)")
+                   .ok());
+  // But going through the abstract interface is fine.
+  EXPECT_TRUE(Front("signature SIG = sig type t val inj : int -> t "
+                    "val out : t -> int end "
+                    "structure S :> SIG = struct type t = int "
+                    "fun inj x = x fun out x = x end "
+                    "val n = S.out (S.inj 3) + 1")
+                  .ok());
+}
+
+TEST(Elab, FunctorApplication) {
+  Front F("signature ORD = sig type t val le : t * t -> bool end "
+          "functor Sorter (O : ORD) = struct "
+          "  fun min (a, b) = if O.le (a, b) then a else b end "
+          "structure IntOrd = struct type t = int "
+          "  fun le (a : int, b) = a <= b end "
+          "structure S = Sorter (IntOrd) "
+          "val m = S.min (3, 4)");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "m"), "int");
+}
+
+TEST(Elab, FunctorWithDatatypeSpec) {
+  Front F("signature Q = sig datatype 'a opt = None | Some of 'a * 'a end "
+          "functor F (X : Q) = struct "
+          "  fun get d = case d of X.None => 0 | X.Some _ => 1 end "
+          "structure A = struct datatype 'a opt = None | Some of 'a * 'a "
+          "end "
+          "structure R = F (A) "
+          "val k = R.get (A.Some (1, 2))");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "k"), "int");
+}
+
+TEST(Elab, MainConvention) {
+  Front F("fun main () = 42");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  ASSERT_NE(F.Prog.Result, nullptr);
+}
+
+TEST(Elab, MtdNarrowsLocalPolymorphism) {
+  // Paper Section 3.1: h is local and only used at one ground type, so MTD
+  // re-assigns the least scheme (monomorphic here).
+  Front F("fun g (a : real, b : real) = "
+          "let fun h (x, y, z) = (x = y) andalso (z = 0.0) "
+          "in h (a, 1.0, b) end");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_NE(schemeOf(F, "h").find("forall"), std::string::npos);
+  MtdStats S = runMtd(F.Prog, F.Types, F.A);
+  EXPECT_GE(S.VarsGrounded, 1u);
+  EXPECT_EQ(schemeOf(F, "h").find("forall"), std::string::npos);
+}
+
+TEST(Elab, MtdKeepsTrulyPolymorphicBindings) {
+  Front F("fun g () = let fun id x = x in (id 1, id \"s\") end");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  runMtd(F.Prog, F.Types, F.A);
+  EXPECT_NE(schemeOf(F, "id").find("forall"), std::string::npos);
+}
+
+TEST(Elab, MtdKeepsExportedBindings) {
+  // Exported (top-level / structure component) bindings keep their
+  // polymorphism even if used at a single type.
+  Front F("fun id x = x val u = id 7");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  runMtd(F.Prog, F.Types, F.A);
+  EXPECT_NE(schemeOf(F, "id").find("forall"), std::string::npos);
+}
+
+TEST(Elab, SelectFromTuple) {
+  Front F("val p = (1, 2.0, \"x\") val a = #1 p val b = #2 p");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "a"), "int");
+  EXPECT_EQ(schemeOf(F, "b"), "real");
+}
+
+TEST(Elab, ArraysAndStrings) {
+  Front F("val a = array (10, 0.0) "
+          "val _ = aupdate (a, 3, 2.5) "
+          "val x = asub (a, 3) "
+          "val n = size \"hello\" + strsub (\"abc\", 1)");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "x"), "real");
+  EXPECT_EQ(schemeOf(F, "n"), "int");
+}
+
+TEST(Elab, CallccTypes) {
+  Front F("val k = callcc (fn k => 1 + 2) "
+          "val e = callcc (fn k => if true then throw k 5 else 9)");
+  ASSERT_TRUE(F.ok()) << F.errors();
+  EXPECT_EQ(schemeOf(F, "e"), "int");
+}

@@ -1,0 +1,154 @@
+//===- tests/test_lexer.cpp - Lexer tests --------------------------------------===//
+
+#include "ast/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace smltc;
+
+namespace {
+
+StringInterner &interner() {
+  static StringInterner I; // outlives the returned tokens' Symbols
+  return I;
+}
+
+std::vector<Token> lexAll(const std::string &Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, interner(), Diags);
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = L.next();
+    if (T.Kind == TokKind::Eof)
+      break;
+    Out.push_back(T);
+  }
+  return Out;
+}
+
+std::vector<Token> lexAll(const std::string &Src) {
+  DiagnosticEngine D;
+  return lexAll(Src, D);
+}
+
+} // namespace
+
+TEST(Lexer, IntegerLiterals) {
+  auto T = lexAll("42 ~17 0");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Kind, TokKind::IntLit);
+  EXPECT_EQ(T[0].IntValue, 42);
+  EXPECT_EQ(T[1].IntValue, -17);
+  EXPECT_EQ(T[2].IntValue, 0);
+}
+
+TEST(Lexer, RealLiterals) {
+  auto T = lexAll("3.14 ~0.5 1e3 2.5e~2");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Kind, TokKind::RealLit);
+  EXPECT_DOUBLE_EQ(T[0].RealValue, 3.14);
+  EXPECT_DOUBLE_EQ(T[1].RealValue, -0.5);
+  EXPECT_DOUBLE_EQ(T[2].RealValue, 1000.0);
+  EXPECT_DOUBLE_EQ(T[3].RealValue, 0.025);
+}
+
+TEST(Lexer, TildeAloneIsIdentifier) {
+  auto T = lexAll("~ x");
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T[0].Kind, TokKind::Ident);
+  EXPECT_EQ(T[0].Text.str(), "~");
+}
+
+TEST(Lexer, StringLiteralsAndEscapes) {
+  auto T = lexAll("\"hello\\nworld\" \"a\\\"b\"");
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T[0].Kind, TokKind::StringLit);
+  EXPECT_EQ(T[0].StrValue, "hello\nworld");
+  EXPECT_EQ(T[1].StrValue, "a\"b");
+}
+
+TEST(Lexer, Keywords) {
+  auto T = lexAll("val fun let in end fn case of datatype structure "
+                  "signature functor abstraction");
+  ASSERT_EQ(T.size(), 13u);
+  EXPECT_EQ(T[0].Kind, TokKind::KwVal);
+  EXPECT_EQ(T[1].Kind, TokKind::KwFun);
+  EXPECT_EQ(T[12].Kind, TokKind::KwAbstraction);
+}
+
+TEST(Lexer, SymbolicIdentsAndReserved) {
+  auto T = lexAll(":: := <= => -> = : :> | + <>");
+  ASSERT_EQ(T.size(), 11u);
+  EXPECT_EQ(T[0].Kind, TokKind::Ident);
+  EXPECT_EQ(T[0].Text.str(), "::");
+  EXPECT_EQ(T[1].Text.str(), ":=");
+  EXPECT_EQ(T[2].Text.str(), "<=");
+  EXPECT_EQ(T[3].Kind, TokKind::DArrow);
+  EXPECT_EQ(T[4].Kind, TokKind::Arrow);
+  EXPECT_EQ(T[5].Kind, TokKind::Equal);
+  EXPECT_EQ(T[6].Kind, TokKind::Colon);
+  EXPECT_EQ(T[7].Kind, TokKind::ColonGt);
+  EXPECT_EQ(T[8].Kind, TokKind::Bar);
+  EXPECT_EQ(T[9].Text.str(), "+");
+  EXPECT_EQ(T[10].Text.str(), "<>");
+}
+
+TEST(Lexer, TypeVariables) {
+  auto T = lexAll("'a ''eq 'b2");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Kind, TokKind::TyVar);
+  EXPECT_EQ(T[0].Text.str(), "a");
+  EXPECT_EQ(T[1].Kind, TokKind::EqTyVar);
+  EXPECT_EQ(T[1].Text.str(), "eq");
+  EXPECT_EQ(T[2].Text.str(), "b2");
+}
+
+TEST(Lexer, NestedComments) {
+  auto T = lexAll("a (* outer (* inner *) still *) b");
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T[0].Text.str(), "a");
+  EXPECT_EQ(T[1].Text.str(), "b");
+}
+
+TEST(Lexer, UnterminatedCommentReportsError) {
+  DiagnosticEngine D;
+  lexAll("a (* never closed", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  DiagnosticEngine D;
+  lexAll("\"no close", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, QualifiedNamesLexAsDotSeparated) {
+  auto T = lexAll("S.x");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text.str(), "S");
+  EXPECT_EQ(T[1].Kind, TokKind::Dot);
+  EXPECT_EQ(T[2].Text.str(), "x");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  DiagnosticEngine D;
+  StringInterner I;
+  Lexer L("a\nb\n  c", I, D);
+  Token A = L.next();
+  Token B = L.next();
+  Token C = L.next();
+  EXPECT_EQ(A.Loc.Line, 1u);
+  EXPECT_EQ(B.Loc.Line, 2u);
+  EXPECT_EQ(C.Loc.Line, 3u);
+  EXPECT_EQ(C.Loc.Col, 3u);
+}
+
+TEST(Lexer, HashToken) {
+  auto T = lexAll("#1 x");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Kind, TokKind::Hash);
+  EXPECT_EQ(T[1].Kind, TokKind::IntLit);
+}

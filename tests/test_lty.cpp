@@ -1,0 +1,177 @@
+//===- tests/test_lty.cpp - LTY hash-consing / lowering tests -------------------===//
+
+#include "lty/Lty.h"
+#include "lty/TypeToLty.h"
+#include "support/Arena.h"
+#include "support/StringInterner.h"
+#include "types/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+TEST(Lty, HashConsingGivesPointerEquality) {
+  Arena A;
+  LtyContext LC(A, /*HashCons=*/true);
+  const Lty *R1 = LC.record({LC.intTy(), LC.realTy()});
+  const Lty *R2 = LC.record({LC.intTy(), LC.realTy()});
+  EXPECT_EQ(R1, R2);
+  const Lty *A1 = LC.arrow(R1, LC.boxedTy());
+  const Lty *A2 = LC.arrow(R2, LC.boxedTy());
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(R1, LC.record({LC.realTy(), LC.intTy()}));
+}
+
+TEST(Lty, WithoutHashConsingEqualIsStructural) {
+  Arena A;
+  LtyContext LC(A, /*HashCons=*/false);
+  const Lty *R1 = LC.record({LC.intTy(), LC.realTy()});
+  const Lty *R2 = LC.record({LC.intTy(), LC.realTy()});
+  EXPECT_NE(R1, R2); // distinct nodes
+  EXPECT_TRUE(LC.equal(R1, R2));
+  EXPECT_FALSE(LC.equal(R1, LC.record({LC.realTy(), LC.intTy()})));
+}
+
+TEST(Lty, SRecordIsDistinctFromRecord) {
+  Arena A;
+  LtyContext LC(A);
+  const Lty *R = LC.record({LC.intTy()});
+  const Lty *S = LC.srecord({LC.intTy()});
+  EXPECT_NE(R, S);
+  EXPECT_FALSE(LC.equal(R, S));
+}
+
+TEST(Lty, DupMatchesPaperDefinition) {
+  Arena A;
+  LtyContext LC(A);
+  // dup(RECORD[t1..tn]) = RECORD[RBOXED...]
+  const Lty *R = LC.record({LC.intTy(), LC.realTy()});
+  const Lty *D = LC.dup(R);
+  ASSERT_EQ(D->kind(), LtyKind::Record);
+  EXPECT_EQ(D->fields()[0], LC.rboxedTy());
+  EXPECT_EQ(D->fields()[1], LC.rboxedTy());
+  // dup(ARROW) = ARROW(RBOXED, RBOXED)
+  const Lty *F = LC.dup(LC.arrow(LC.realTy(), LC.realTy()));
+  EXPECT_EQ(F, LC.arrow(LC.rboxedTy(), LC.rboxedTy()));
+  // dup(t) = BOXED otherwise
+  EXPECT_EQ(LC.dup(LC.realTy()), LC.boxedTy());
+  EXPECT_EQ(LC.dup(LC.intTy()), LC.boxedTy());
+}
+
+TEST(Lty, PRecordFieldsAndInterning) {
+  Arena A;
+  LtyContext LC(A);
+  const Lty *P1 = LC.precord({{3, LC.intTy()}, {7, LC.boxedTy()}});
+  const Lty *P2 = LC.precord({{3, LC.intTy()}, {7, LC.boxedTy()}});
+  EXPECT_EQ(P1, P2);
+  EXPECT_EQ(LC.toString(P1), "PRECORD[(3, INT), (7, BOXED)]");
+}
+
+TEST(Lty, IsRecursivelyBoxed) {
+  Arena A;
+  LtyContext LC(A);
+  EXPECT_TRUE(LC.isRecursivelyBoxed(LC.rboxedTy()));
+  EXPECT_TRUE(LC.isRecursivelyBoxed(LC.intTy()));
+  EXPECT_TRUE(LC.isRecursivelyBoxed(
+      LC.record({LC.rboxedTy(), LC.intTy()})));
+  EXPECT_FALSE(LC.isRecursivelyBoxed(LC.realTy()));
+  EXPECT_FALSE(
+      LC.isRecursivelyBoxed(LC.record({LC.realTy(), LC.rboxedTy()})));
+}
+
+TEST(Lty, PurgeEmptiesTable) {
+  Arena A;
+  LtyContext LC(A);
+  LC.record({LC.intTy(), LC.intTy()});
+  size_t Before = LC.internedCount();
+  EXPECT_GT(Before, 0u);
+  LC.purge();
+  EXPECT_EQ(LC.internedCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Type lowering (paper Figure 6)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct LowerFixture : ::testing::Test {
+  Arena A;
+  StringInterner I;
+  TypeContext Ctx{A, I};
+  LtyContext LC{A};
+};
+
+} // namespace
+
+TEST_F(LowerFixture, StandardModeBoxesEverything) {
+  TypeLowering Low(LC, Ctx, ReprMode::Standard);
+  EXPECT_EQ(Low.lower(Ctx.RealType), LC.rboxedTy());
+  EXPECT_EQ(Low.lower(Ctx.IntType), LC.intTy());
+  const Lty *T = Low.lower(Ctx.tuple({Ctx.RealType, Ctx.IntType}));
+  ASSERT_EQ(T->kind(), LtyKind::Record);
+  EXPECT_EQ(T->fields()[0], LC.rboxedTy());
+  EXPECT_EQ(T->fields()[1], LC.rboxedTy());
+  const Lty *F = Low.lower(Ctx.arrow(Ctx.RealType, Ctx.RealType));
+  EXPECT_EQ(F, LC.arrow(LC.rboxedTy(), LC.rboxedTy()));
+}
+
+TEST_F(LowerFixture, RecordsOnlyModeKeepsFloatsBoxed) {
+  TypeLowering Low(LC, Ctx, ReprMode::RecordsOnly);
+  EXPECT_EQ(Low.lower(Ctx.RealType), LC.boxedTy());
+  const Lty *T = Low.lower(Ctx.tuple({Ctx.RealType, Ctx.IntType}));
+  EXPECT_EQ(T->fields()[0], LC.boxedTy());
+  EXPECT_EQ(T->fields()[1], LC.intTy());
+}
+
+TEST_F(LowerFixture, FullFloatModeUnboxesReals) {
+  TypeLowering Low(LC, Ctx, ReprMode::FullFloat);
+  EXPECT_EQ(Low.lower(Ctx.RealType), LC.realTy());
+  const Lty *T = Low.lower(Ctx.tuple({Ctx.RealType, Ctx.RealType}));
+  EXPECT_EQ(T->fields()[0], LC.realTy());
+  // Figure 1b: flat float records.
+}
+
+TEST_F(LowerFixture, PlainTyVarIsBoxed) {
+  TypeLowering Low(LC, Ctx, ReprMode::FullFloat);
+  Type *V = Ctx.freshVar(0);
+  const Lty *F = Low.lower(Ctx.arrow(V, V));
+  EXPECT_EQ(F, LC.arrow(LC.boxedTy(), LC.boxedTy()));
+}
+
+TEST_F(LowerFixture, TyVarInConstructorTypeIsRBoxed) {
+  // Paper Figure 6: 'a in ('a * 'a list) -> 'a list is marked because it
+  // occurs under the list constructor.
+  TypeLowering Low(LC, Ctx, ReprMode::FullFloat);
+  Type *V = Ctx.freshVar(0);
+  const Lty *F =
+      Low.lower(Ctx.arrow(Ctx.tuple({V, Ctx.listOf(V)}), Ctx.listOf(V)));
+  ASSERT_EQ(F->kind(), LtyKind::Arrow);
+  EXPECT_EQ(F->from()->fields()[0], LC.rboxedTy());
+  EXPECT_EQ(F->from()->fields()[1], LC.boxedTy()); // the list itself
+}
+
+TEST_F(LowerFixture, EqualityTyVarIsRBoxed) {
+  TypeLowering Low(LC, Ctx, ReprMode::FullFloat);
+  Type *V = Ctx.freshVar(0, /*IsEq=*/true);
+  const Lty *F = Low.lower(Ctx.arrow(Ctx.tuple({V, V}), Ctx.BoolType));
+  EXPECT_EQ(F->from()->fields()[0], LC.rboxedTy());
+}
+
+TEST_F(LowerFixture, FlexibleTyconIsRBoxed) {
+  TypeLowering Low(LC, Ctx, ReprMode::FullFloat);
+  TyCon *T = Ctx.makeFlexible(I.intern("t"), 0, false);
+  EXPECT_EQ(Low.lower(Ctx.con(T)), LC.rboxedTy());
+}
+
+TEST_F(LowerFixture, RigidDatatypeIsBoxed) {
+  TypeLowering Low(LC, Ctx, ReprMode::FullFloat);
+  EXPECT_EQ(Low.lower(Ctx.listOf(Ctx.RealType)), LC.boxedTy());
+  EXPECT_EQ(Low.lower(Ctx.StringType), LC.boxedTy());
+  EXPECT_EQ(Low.lower(Ctx.BoolType), LC.boxedTy());
+}
+
+TEST_F(LowerFixture, UnitIsInt) {
+  TypeLowering Low(LC, Ctx, ReprMode::FullFloat);
+  EXPECT_EQ(Low.lower(Ctx.UnitType), LC.intTy());
+}

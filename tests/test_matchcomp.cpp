@@ -1,0 +1,216 @@
+//===- tests/test_matchcomp.cpp - Pattern-match compilation coverage --------------===//
+//
+// End-to-end behaviour of the match compiler's decision trees: nested
+// constructor patterns, constant dispatch, default flow-through,
+// exhaustiveness, Match/Bind failures, layered patterns, and the
+// representation-aware payload coercions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+namespace {
+
+int64_t runAll(const std::string &Src, bool *Uncaught = nullptr) {
+  size_t N;
+  const CompilerOptions *Vs = CompilerOptions::allVariants(N);
+  int64_t First = 0;
+  bool FirstUncaught = false;
+  for (size_t I = 0; I < N; ++I) {
+    ExecResult R = Compiler::compileAndRun(Src, Vs[I]);
+    EXPECT_TRUE(R.Ok) << Vs[I].VariantName << ": " << R.TrapMessage;
+    if (I == 0) {
+      First = R.Result;
+      FirstUncaught = R.UncaughtException;
+    } else {
+      EXPECT_EQ(R.Result, First) << Vs[I].VariantName;
+      EXPECT_EQ(R.UncaughtException, FirstUncaught) << Vs[I].VariantName;
+    }
+  }
+  if (Uncaught)
+    *Uncaught = FirstUncaught;
+  return First;
+}
+
+} // namespace
+
+TEST(Match, NestedConstructorPatterns) {
+  EXPECT_EQ(runAll("datatype 'a opt = None | Some of 'a * 'a "
+                   "fun f x = case x of "
+                   "    Some (Some (a, _), None) => a "
+                   "  | Some (None, Some (_, b)) => b + 100 "
+                   "  | Some (_, _) => 1000 "
+                   "  | None => 10000 "
+                   "fun main () = "
+                   "  f (Some (Some (7, 8), None)) + "
+                   "  f (Some (None, Some (1, 2))) + "
+                   "  f (Some (None, None)) + f None"),
+            7 + 102 + 1000 + 10000);
+}
+
+TEST(Match, IntConstantDispatchWithDefault) {
+  EXPECT_EQ(runAll("fun digit 0 = 100 | digit 1 = 200 | digit 7 = 300 "
+                   "  | digit _ = 400 "
+                   "fun main () = digit 0 + digit 1 + digit 7 + "
+                   "digit 5"),
+            1000);
+}
+
+TEST(Match, NegativeIntPatterns) {
+  EXPECT_EQ(runAll("fun sign n = case n of ~1 => 10 | 0 => 20 | _ => 30 "
+                   "fun main () = sign (0 - 1) + sign 0 + sign 9"),
+            60);
+}
+
+TEST(Match, StringPatternDispatch) {
+  EXPECT_EQ(runAll("fun kw s = case s of "
+                   "    \"let\" => 1 | \"in\" => 2 | \"end\" => 3 "
+                   "  | _ => 0 "
+                   "fun main () = kw \"let\" * 1000 + kw \"in\" * 100 + "
+                   "kw \"end\" * 10 + kw \"fun\""),
+            1230);
+}
+
+TEST(Match, ListPatternsAndOrdering) {
+  // First matching rule wins.
+  EXPECT_EQ(runAll("fun f l = case l of "
+                   "    [x] => x "
+                   "  | x :: _ :: _ => x * 10 "
+                   "  | nil => 0 - 1 "
+                   "fun main () = f [5] + f [3, 9] + f nil"),
+            5 + 30 - 1);
+}
+
+TEST(Match, LayeredPatternsBindWhole) {
+  EXPECT_EQ(runAll("fun f l = case l of "
+                   "    all as (x :: _) => x + length all "
+                   "  | nil => 0 "
+                   "fun main () = f [10, 20, 30]"),
+            13);
+}
+
+TEST(Match, WildcardsInterleaveWithConstants) {
+  EXPECT_EQ(runAll("fun f (0, _) = 1 "
+                   "  | f (_, 0) = 2 "
+                   "  | f (a, b) = a + b "
+                   "fun main () = f (0, 9) * 100 + f (9, 0) * 10 + "
+                   "f (3, 4)"),
+            127);
+}
+
+TEST(Match, BoolPatternsViaConstants) {
+  EXPECT_EQ(runAll("fun f (true, false) = 1 "
+                   "  | f (false, true) = 2 "
+                   "  | f (true, true) = 3 "
+                   "  | f (false, false) = 4 "
+                   "fun main () = f (true, false) * 1000 + "
+                   "f (false, true) * 100 + f (true, true) * 10 + "
+                   "f (false, false)"),
+            1234);
+}
+
+TEST(Match, NonExhaustiveRaisesMatch) {
+  bool Uncaught = false;
+  runAll("fun f 1 = 10 fun main () = f 2", &Uncaught);
+  EXPECT_TRUE(Uncaught);
+  EXPECT_EQ(runAll("fun f 1 = 10 "
+                   "fun main () = f 2 handle Match => 77"),
+            77);
+}
+
+TEST(Match, RefutableValBindingRaisesBind) {
+  EXPECT_EQ(runAll("fun main () = "
+                   "  (let val (x :: _) = nil : int list in x end) "
+                   "  handle Bind => 55"),
+            55);
+  EXPECT_EQ(runAll("fun main () = "
+                   "  let val (x :: _) = [3, 4] in x end"),
+            3);
+}
+
+TEST(Match, ExceptionPatternsSelectByTagThenPayload) {
+  EXPECT_EQ(runAll("exception A of int "
+                   "exception B of int "
+                   "fun probe e = (raise e) handle "
+                   "    A 0 => 1 "
+                   "  | A n => n "
+                   "  | B n => n * 100 "
+                   "fun main () = probe (A 0) + probe (A 7) + "
+                   "probe (B 3)"),
+            1 + 7 + 300);
+}
+
+TEST(Match, GenerativeExceptionsDistinguishInstances) {
+  // Two evaluations of the same exception declaration create distinct
+  // tags (exception generativity).
+  EXPECT_EQ(runAll("fun mk () = "
+                   "  let exception Local "
+                   "  in (fn () => raise Local, "
+                   "      fn f => (f () ; 0) handle Local => 1) end "
+                   "fun main () = "
+                   "  let val (raise1, catch1) = mk () "
+                   "      val (raise2, catch2) = mk () "
+                   "  in catch1 raise1 * 10 + "
+                   "     ((catch1 raise2) handle _ => 5) end"),
+            15);
+}
+
+TEST(Match, FloatPayloadsCoerceAtLeaves) {
+  // Extracting a flat float pair out of a datatype pays the documented
+  // coercion but must produce correct values in all representations.
+  EXPECT_EQ(runAll("datatype shape = Circle of real "
+                   "               | Rect of real * real "
+                   "fun area s = case s of "
+                   "    Circle r => 3.0 * r * r "
+                   "  | Rect (w, h) => w * h "
+                   "fun main () = floor (area (Circle 2.0) + "
+                   "area (Rect (2.5, 4.0)))"),
+            22);
+}
+
+TEST(Match, TransparentConstructorRoundTrip) {
+  // Single-carrier datatypes use the payload pointer directly; matching
+  // must still discriminate against the constant constructors.
+  EXPECT_EQ(runAll("datatype t = Nothing | Pair of int * int "
+                   "fun f Nothing = 0 | f (Pair (a, b)) = a * b "
+                   "fun main () = f Nothing + f (Pair (6, 7))"),
+            42);
+}
+
+TEST(Match, TaggedConstructorsWithSameArity) {
+  EXPECT_EQ(runAll("datatype e = Add of e * e | Mul of e * e | C of int "
+                   "fun eval (C n) = n "
+                   "  | eval (Add (a, b)) = eval a + eval b "
+                   "  | eval (Mul (a, b)) = eval a * eval b "
+                   "fun main () = eval (Add (Mul (C 3, C 4), C 5))"),
+            17);
+}
+
+TEST(Match, CaseOnComparisonFusesToBranch) {
+  // `if a < b ...` is one BRANCH, not a materialized bool; semantics
+  // must be identical either way.
+  EXPECT_EQ(runAll("fun max3 (a, b, c) = "
+                   "  if a < b then (if b < c then c else b) "
+                   "  else (if a < c then c else a) "
+                   "fun main () = max3 (3, 9, 5) + max3 (9, 3, 5) * 10 "
+                   "+ max3 (1, 2, 30)"),
+            9 + 90 + 30);
+}
+
+TEST(Match, DeepTupleExpansion) {
+  EXPECT_EQ(runAll("fun f ((a, b), (c, (d, e))) = a + b * c + d * e "
+                   "fun main () = f ((1, 2), (3, (4, 5)))"),
+            27);
+}
+
+TEST(Match, MatchInsideHandlerReRaises) {
+  bool Uncaught = false;
+  runAll("exception A exception B "
+         "fun main () = (raise B) handle A => 1",
+         &Uncaught);
+  EXPECT_TRUE(Uncaught); // unhandled B escapes through the A handler
+}

@@ -1,0 +1,221 @@
+//===- tests/test_modules.cpp - Module-system end-to-end coverage -----------------===//
+//
+// Deeper coverage of the paper's Section 3/4 machinery: thinning
+// functions, opaque abstraction, functor application coercions, nested
+// structures, and the interaction with minimum typing derivations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+namespace {
+
+int64_t runAll(const std::string &Src) {
+  size_t N;
+  const CompilerOptions *Vs = CompilerOptions::allVariants(N);
+  int64_t First = 0;
+  for (size_t I = 0; I < N; ++I) {
+    ExecResult R = Compiler::compileAndRun(Src, Vs[I]);
+    EXPECT_TRUE(R.Ok) << Vs[I].VariantName << ": " << R.TrapMessage;
+    EXPECT_FALSE(R.UncaughtException) << Vs[I].VariantName;
+    if (I == 0)
+      First = R.Result;
+    else
+      EXPECT_EQ(R.Result, First) << Vs[I].VariantName;
+  }
+  return First;
+}
+
+bool compiles(const std::string &Src) {
+  return Compiler::compile(Src, CompilerOptions::ffb()).Ok;
+}
+
+} // namespace
+
+TEST(Modules, NestedStructuresAndPaths) {
+  EXPECT_EQ(runAll("structure A = struct "
+                   "  structure B = struct "
+                   "    structure C = struct val deep = 7 end "
+                   "    val mid = 5 end "
+                   "  val top = 3 end "
+                   "fun main () = A.B.C.deep * 100 + A.B.mid * 10 + "
+                   "A.top"),
+            753);
+}
+
+TEST(Modules, SubstructureSpecsThinRecursively) {
+  EXPECT_EQ(runAll("signature INNER = sig val x : int end "
+                   "signature OUTER = sig "
+                   "  structure I : INNER "
+                   "  val y : int end "
+                   "structure Impl : OUTER = struct "
+                   "  structure I = struct val x = 4 val hidden = 9 end "
+                   "  val y = 2 "
+                   "  val alsoHidden = 8 end "
+                   "fun main () = Impl.I.x * 10 + Impl.y"),
+            42);
+  // Thinned-away components are inaccessible at both levels.
+  EXPECT_FALSE(compiles("signature INNER = sig val x : int end "
+                        "signature OUTER = sig structure I : INNER end "
+                        "structure Impl : OUTER = struct "
+                        "  structure I = struct val x = 4 val h = 9 end "
+                        "end "
+                        "fun main () = Impl.I.h"));
+}
+
+TEST(Modules, SignatureByNameIsGenerative) {
+  // The same named signature used opaquely twice produces two abstract
+  // types that do not mix.
+  EXPECT_FALSE(compiles(
+      "signature S = sig type t val inj : int -> t val out : t -> int "
+      "end "
+      "structure A :> S = struct type t = int fun inj x = x fun out x = "
+      "x end "
+      "structure B :> S = struct type t = int fun inj x = x fun out x = "
+      "x end "
+      "fun main () = B.out (A.inj 1)"));
+}
+
+TEST(Modules, TransparentMatchingKeepsTypesConcrete) {
+  EXPECT_EQ(runAll("signature S = sig type t val inj : int -> t end "
+                   "structure A : S = struct type t = int "
+                   "  fun inj x = x + 1 end "
+                   "fun main () = A.inj 3 + 10"), // t = int visible
+            14);
+}
+
+TEST(Modules, PolymorphicValueMatchedAtMonotype) {
+  // Paper Figure 5: forall a. a -> a matched against int -> int; uses
+  // through the signature view are monomorphic.
+  EXPECT_EQ(runAll("signature S = sig val id : int -> int end "
+                   "structure A : S = struct fun id x = x end "
+                   "fun main () = A.id 42"),
+            42);
+}
+
+TEST(Modules, FunctorBodyCompiledOnceWorksAtManyInstances) {
+  EXPECT_EQ(
+      runAll("signature EQ = sig type t val eq : t * t -> bool end "
+             "functor Finder (E : EQ) = struct "
+             "  fun find (x, nil) = 0 "
+             "    | find (x, y :: r) = "
+             "        if E.eq (x, y) then 1 else find (x, r) end "
+             "structure IntEq = struct type t = int "
+             "  fun eq (a : int, b) = a = b end "
+             "structure RealEq = struct type t = real "
+             "  fun eq (a : real, b) = a = b end "
+             "structure FI = Finder (IntEq) "
+             "structure FR = Finder (RealEq) "
+             "fun main () = FI.find (3, [1, 2, 3]) * 10 "
+             "            + FR.find (2.5, [1.0, 2.5])"),
+      11);
+}
+
+TEST(Modules, FunctorResultCoercionOnFloats) {
+  // The realized result type contains reals: the functor-result coercion
+  // must adapt from abstract (RBOXED) to concrete float representations.
+  EXPECT_EQ(runAll("signature NUM = sig type t "
+                   "  val add : t * t -> t val fromInt : int -> t "
+                   "  val toInt : t -> int end "
+                   "functor Summer (N : NUM) = struct "
+                   "  fun sum3 (a, b, c) = N.add (N.add (a, b), c) "
+                   "  val one = N.fromInt 1 end "
+                   "structure RealNum = struct type t = real "
+                   "  fun add (a : real, b) = a + b "
+                   "  fun fromInt n = real n "
+                   "  fun toInt (x : real) = floor x end "
+                   "structure S = Summer (RealNum) "
+                   "fun main () = RealNum.toInt "
+                   "  (S.sum3 (S.one, RealNum.fromInt 2, 0.5))"),
+            3);
+}
+
+TEST(Modules, FunctorWithExceptionSpec) {
+  EXPECT_EQ(runAll("signature FAIL = sig exception Nope of int "
+                   "  val check : int -> int end "
+                   "structure F : FAIL = struct "
+                   "  exception Nope of int "
+                   "  fun check x = if x < 0 then raise Nope (0 - x) "
+                   "                else x end "
+                   "fun main () = F.check (0 - 5) handle F.Nope n => n"),
+            5);
+}
+
+TEST(Modules, AbstractionHidesEquality) {
+  // `type t` specs do not admit equality through the abstraction.
+  EXPECT_FALSE(compiles(
+      "signature S = sig type t val inj : int -> t end "
+      "abstraction A : S = struct type t = int fun inj x = x end "
+      "fun main () = if A.inj 1 = A.inj 1 then 1 else 0"));
+}
+
+TEST(Modules, DatatypeSpecKeepsConstructorsUsable) {
+  EXPECT_EQ(runAll("signature S = sig "
+                   "  datatype color = Red | Green | Blue of int "
+                   "  val pick : int -> color end "
+                   "structure C : S = struct "
+                   "  datatype color = Red | Green | Blue of int "
+                   "  fun pick 0 = Red | pick 1 = Green "
+                   "    | pick n = Blue n end "
+                   "fun main () = case C.pick 7 of "
+                   "  C.Red => 1 | C.Green => 2 | C.Blue n => n"),
+            7);
+}
+
+TEST(Modules, FunctorParameterDatatypeSpec) {
+  // Section 4.3's FOO example: constructors of a datatype specified in
+  // the functor parameter signature are injected/projected through the
+  // recursively boxed representation.
+  EXPECT_EQ(runAll(
+      "signature Q = sig datatype 'a box = Empty | Full of 'a * 'a "
+      "end "
+      "functor Sum (X : Q) = struct "
+      "  fun get b = case b of X.Empty => 0.0 "
+      "                      | X.Full (a, c) => a + c end "
+      "structure B = struct datatype 'a box = Empty | Full of 'a * 'a "
+      "end "
+      "structure S = Sum (B) "
+      "fun main () = floor (S.get (B.Full (1.25, 2.25)))"),
+      3);
+}
+
+TEST(Modules, StructureAliasingSharesRuntimeRecord) {
+  EXPECT_EQ(runAll("structure A = struct val r = ref 0 "
+                   "  fun bump () = (r := !r + 1; !r) end "
+                   "structure B = A "
+                   "fun main () = (A.bump (); B.bump (); A.bump ())"),
+            3);
+}
+
+TEST(Modules, MtdRespectsSignatureExports) {
+  // A polymorphic function *exported* through a signature must keep its
+  // polymorphism under MTD even if used at one type internally.
+  EXPECT_EQ(runAll("signature S = sig val id : 'a -> 'a end "
+                   "structure A : S = struct fun id x = x "
+                   "  val internal = id 3 end "
+                   "fun main () = A.id 5 + hd (A.id [2])"),
+            7);
+}
+
+TEST(Modules, LocalStructuresInsideLet) {
+  EXPECT_EQ(runAll("fun main () = "
+                   "  let structure Tmp = struct val v = 21 end "
+                   "  in Tmp.v * 2 end"),
+            42);
+}
+
+TEST(Modules, SignatureMatchingErrors) {
+  EXPECT_FALSE(compiles("signature S = sig val x : int end "
+                        "structure A : S = struct val y = 1 end"));
+  EXPECT_FALSE(compiles("signature S = sig val x : int end "
+                        "structure A : S = struct val x = 1.5 end"));
+  EXPECT_FALSE(compiles("signature S = sig type t val x : t end "
+                        "structure A : S = struct val x = 1 end"));
+  EXPECT_FALSE(
+      compiles("signature S = sig datatype d = X | Y end "
+               "structure A : S = struct datatype d = X end"));
+}

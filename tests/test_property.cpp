@@ -1,0 +1,245 @@
+//===- tests/test_property.cpp - Property-style sweeps ----------------------------===//
+//
+// Parameterized properties over randomly generated programs and size
+// sweeps: every compiler variant must agree with a host-side reference
+// evaluation, and semantic laws (rev . rev = id, etc.) must hold at every
+// size — in particular around the argument-spreading threshold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace smltc;
+
+namespace {
+
+int64_t runNoPrelude(const std::string &Src, const CompilerOptions &O) {
+  ExecResult R = Compiler::compileAndRun(Src, O, /*WithPrelude=*/false);
+  EXPECT_TRUE(R.Ok) << O.VariantName << ": " << R.TrapMessage;
+  EXPECT_FALSE(R.UncaughtException) << O.VariantName;
+  return R.Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Random integer expressions: compiled result == host evaluation
+//===----------------------------------------------------------------------===//
+
+struct GenExp {
+  std::string Src;
+  int64_t Value;
+};
+
+/// Generates an expression tree over + - * and let-bound subexpressions;
+/// values stay small enough to avoid overflow concerns.
+GenExp genExp(std::mt19937 &Rng, int Depth, std::vector<GenExp> &Lets) {
+  std::uniform_int_distribution<int> Lit(-20, 20);
+  std::uniform_int_distribution<int> Choice(0, 3 + (Lets.empty() ? 0 : 1));
+  if (Depth == 0 || Choice(Rng) == 0) {
+    int V = Lit(Rng);
+    if (V < 0)
+      return {"(0 - " + std::to_string(-V) + ")", V};
+    return {std::to_string(V), V};
+  }
+  int C = Choice(Rng);
+  if (C == 4) {
+    std::uniform_int_distribution<size_t> Pick(0, Lets.size() - 1);
+    size_t I = Pick(Rng);
+    return {"v" + std::to_string(I), Lets[I].Value};
+  }
+  GenExp L = genExp(Rng, Depth - 1, Lets);
+  GenExp R = genExp(Rng, Depth - 1, Lets);
+  switch (C % 3) {
+  case 0:
+    return {"(" + L.Src + " + " + R.Src + ")", L.Value + R.Value};
+  case 1:
+    return {"(" + L.Src + " - " + R.Src + ")", L.Value - R.Value};
+  default:
+    return {"(" + L.Src + " * " + R.Src + ")", L.Value * R.Value};
+  }
+}
+
+class RandomArithTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomArithTest, AllVariantsMatchHostEvaluation) {
+  std::mt19937 Rng(static_cast<unsigned>(GetParam()) * 7919 + 13);
+  std::vector<GenExp> Lets;
+  std::ostringstream OS;
+  OS << "fun main () =\n  let\n";
+  for (int I = 0; I < 4; ++I) {
+    GenExp E = genExp(Rng, 3, Lets);
+    OS << "    val v" << Lets.size() << " = " << E.Src << "\n";
+    Lets.push_back(E);
+  }
+  GenExp Final = genExp(Rng, 4, Lets);
+  OS << "  in " << Final.Src << " end\n";
+
+  size_t N;
+  const CompilerOptions *Vs = CompilerOptions::allVariants(N);
+  for (size_t V = 0; V < N; V += 2) // nrp, rep, ffb
+    EXPECT_EQ(runNoPrelude(OS.str(), Vs[V]), Final.Value)
+        << Vs[V].VariantName << "\n" << OS.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomArithTest,
+                         ::testing::Range(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Tuple arity sweep (crosses the 10-register spreading threshold)
+//===----------------------------------------------------------------------===//
+
+class TupleAritySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TupleAritySweep, SpreadAndUnspreadCallsAgree) {
+  int N = GetParam();
+  // f (x1, ..., xn) = x1 + 2*x2 + ... + n*xn, called with (1, ..., n).
+  std::ostringstream OS;
+  OS << "fun f (";
+  for (int I = 1; I <= N; ++I)
+    OS << (I > 1 ? ", " : "") << "x" << I << " : int";
+  OS << ") = ";
+  int64_t Expected = 0;
+  for (int I = 1; I <= N; ++I) {
+    OS << (I > 1 ? " + " : "") << I << " * x" << I;
+    Expected += static_cast<int64_t>(I) * I;
+  }
+  OS << "\nfun main () = f (";
+  for (int I = 1; I <= N; ++I)
+    OS << (I > 1 ? ", " : "") << I;
+  OS << ")\n";
+  for (auto Mk : {CompilerOptions::nrp, CompilerOptions::rep,
+                  CompilerOptions::ffb})
+    EXPECT_EQ(runNoPrelude(OS.str(), Mk()), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, TupleAritySweep,
+                         ::testing::Values(2, 3, 8, 9, 10, 11, 13));
+
+//===----------------------------------------------------------------------===//
+// Mixed float/word tuple sweep (Figure 1c layouts at every shape)
+//===----------------------------------------------------------------------===//
+
+class MixedTupleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixedTupleSweep, ReorderedLayoutsReadBack) {
+  // Build a tuple with floats and ints interleaved by a bitmask and read
+  // every field back.
+  int Mask = GetParam();
+  int N = 6;
+  std::ostringstream OS;
+  OS << "val t = (";
+  double FloatSum = 0;
+  int64_t IntSum = 0;
+  for (int I = 0; I < N; ++I) {
+    if (I)
+      OS << ", ";
+    if (Mask & (1 << I)) {
+      OS << I << ".5";
+      FloatSum += I + 0.5;
+    } else {
+      OS << I + 1;
+      IntSum += I + 1;
+    }
+  }
+  OS << ")\nfun main () = ";
+  bool First = true;
+  std::ostringstream FloatPart;
+  for (int I = 0; I < N; ++I) {
+    if (Mask & (1 << I))
+      continue;
+    OS << (First ? "" : " + ") << "#" << I + 1 << " t";
+    First = false;
+  }
+  if (First)
+    OS << "0";
+  OS << " + floor (0.0";
+  for (int I = 0; I < N; ++I)
+    if (Mask & (1 << I))
+      OS << " + #" << I + 1 << " t";
+  OS << ")\n";
+  int64_t Expected =
+      IntSum + static_cast<int64_t>(std::floor(FloatSum));
+  for (auto Mk : {CompilerOptions::nrp, CompilerOptions::rep,
+                  CompilerOptions::ffb, CompilerOptions::fp3})
+    EXPECT_EQ(runNoPrelude(OS.str(), Mk()), Expected) << OS.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, MixedTupleSweep,
+                         ::testing::Values(0, 1, 2, 21, 42, 63, 37, 26));
+
+//===----------------------------------------------------------------------===//
+// List laws at several sizes
+//===----------------------------------------------------------------------===//
+
+class ListLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(ListLaws, ReverseAndAppendLaws) {
+  int N = GetParam();
+  std::ostringstream OS;
+  OS << "fun upto (i, n) = if i > n then nil else i :: upto (i + 1, n)\n"
+     << "fun main () =\n"
+     << "  let val l = upto (1, " << N << ")\n"
+     << "      val ok1 = rev (rev l) = l\n"
+     << "      val ok2 = length (l @ l) = 2 * length l\n"
+     << "      val ok3 = rev (l @ l) = (rev l @ rev l)\n"
+     << "      val ok4 = foldl (fn (x, a) => a + x) 0 l = "
+        "foldr (fn (x, a) => a + x) 0 l\n"
+     << "  in (if ok1 then 1 else 0) + (if ok2 then 10 else 0)\n"
+     << "     + (if ok3 then 100 else 0) + (if ok4 then 1000 else 0) "
+        "end\n";
+  ExecResult R =
+      Compiler::compileAndRun(OS.str(), CompilerOptions::ffb());
+  ASSERT_TRUE(R.Ok) << R.TrapMessage;
+  EXPECT_EQ(R.Result, 1111) << "N=" << N;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ListLaws,
+                         ::testing::Values(0, 1, 2, 7, 31));
+
+//===----------------------------------------------------------------------===//
+// Coercion round-trips through polymorphic identity
+//===----------------------------------------------------------------------===//
+
+TEST(CoercionRoundTrip, ValuesSurvivePolymorphicPassage) {
+  // Passing every kind of value through the BOXED world and back must be
+  // the identity (wrap/unwrap round trips).
+  const char *Src =
+      "fun id x = x "
+      "fun twice f x = f (f x) "
+      "fun main () = "
+      "  let val a = id 42 "
+      "      val b = floor (id 2.5 * 2.0) "
+      "      val c = #1 (id (7, 8)) "
+      "      val d = if id true then 1 else 0 "
+      "      val e = hd (id [9]) "
+      "      val f = floor (twice (fn x : real => x * x) 2.0) "
+      "      val g = size (id \"xyz\") "
+      "  in a + b + c + d + e + f + g end";
+  for (auto Mk : {CompilerOptions::nrp, CompilerOptions::rep,
+                  CompilerOptions::ffb}) {
+    ExecResult R = Compiler::compileAndRun(Src, Mk());
+    ASSERT_TRUE(R.Ok) << R.TrapMessage;
+    EXPECT_EQ(R.Result, 42 + 5 + 7 + 1 + 9 + 16 + 3);
+  }
+}
+
+TEST(CoercionRoundTrip, EqualityTypeVariablesStayWalkable) {
+  // ''a values must reach the runtime equality in recursively boxed form
+  // even when their concrete representation is flat.
+  const char *Src =
+      "fun eqpoly (x, y) = x = y "
+      "fun main () = "
+      "  (if eqpoly ((1.5, 2.5), (1.5, 2.5)) then 1 else 0) + "
+      "  (if eqpoly ((1.5, 2.5), (1.5, 9.9)) then 10 else 20)";
+  for (auto Mk : {CompilerOptions::nrp, CompilerOptions::ffb}) {
+    ExecResult R = Compiler::compileAndRun(Src, Mk());
+    ASSERT_TRUE(R.Ok) << R.TrapMessage;
+    EXPECT_EQ(R.Result, 21);
+  }
+}
+
+} // namespace

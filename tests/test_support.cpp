@@ -1,0 +1,95 @@
+//===- tests/test_support.cpp - Arena / interner / diagnostics tests ----------===//
+
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+TEST(Arena, AllocatesAligned) {
+  Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P2 = A.allocate(8, 8);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+}
+
+TEST(Arena, CreateAndCopyArray) {
+  Arena A;
+  int *X = A.create<int>(42);
+  EXPECT_EQ(*X, 42);
+  int Src[3] = {1, 2, 3};
+  int *Copy = A.copyArray(Src, 3);
+  EXPECT_EQ(Copy[0], 1);
+  EXPECT_EQ(Copy[2], 3);
+}
+
+TEST(Arena, GrowsAcrossSlabs) {
+  Arena A;
+  // Allocate more than the first slab to force growth.
+  for (int I = 0; I < 10000; ++I) {
+    int *P = A.create<int>(I);
+    ASSERT_EQ(*P, I);
+  }
+  EXPECT_GE(A.bytesAllocated(), 10000 * sizeof(int));
+}
+
+TEST(Arena, LargeSingleAllocation) {
+  Arena A;
+  void *P = A.allocate(1 << 20, 16);
+  EXPECT_NE(P, nullptr);
+}
+
+TEST(Span, CopyFromVector) {
+  Arena A;
+  std::vector<int> V{5, 6, 7};
+  Span<int> S = Span<int>::copy(A, V);
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0], 5);
+  EXPECT_EQ(S.back(), 7);
+  Span<int> Empty = Span<int>::copy(A, {});
+  EXPECT_TRUE(Empty.empty());
+}
+
+TEST(StringInterner, PointerEquality) {
+  StringInterner I;
+  Symbol A = I.intern("foo");
+  Symbol B = I.intern("foo");
+  Symbol C = I.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.str(), "foo");
+}
+
+TEST(StringInterner, EmptySymbolIsDistinct) {
+  StringInterner I;
+  Symbol S;
+  EXPECT_TRUE(S.empty());
+  Symbol E = I.intern("");
+  EXPECT_FALSE(E.empty());
+  EXPECT_NE(S, E);
+}
+
+TEST(StringInterner, OrderingIsLexicographic) {
+  StringInterner I;
+  Symbol A = I.intern("aardvark");
+  Symbol Z = I.intern("zebra");
+  EXPECT_TRUE(A < Z);
+  EXPECT_FALSE(Z < A);
+  EXPECT_FALSE(A < A);
+}
+
+TEST(Diagnostics, CollectsAndRenders) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning({1, 2, 0}, "something odd");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({3, 4, 0}, "something bad");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string R = D.render();
+  EXPECT_NE(R.find("1:2: warning: something odd"), std::string::npos);
+  EXPECT_NE(R.find("3:4: error: something bad"), std::string::npos);
+}

@@ -1,0 +1,189 @@
+//===- tests/test_types.cpp - Semantic type / unification tests ----------------===//
+
+#include "support/Arena.h"
+#include "support/StringInterner.h"
+#include "types/Type.h"
+#include "types/Unify.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+namespace {
+
+struct TypesFixture : ::testing::Test {
+  Arena A;
+  StringInterner I;
+  TypeContext Ctx{A, I};
+};
+
+} // namespace
+
+TEST_F(TypesFixture, UnifyVarWithCon) {
+  Type *V = Ctx.freshVar(0);
+  EXPECT_TRUE(unify(Ctx, V, Ctx.IntType).Ok);
+  EXPECT_EQ(TypeContext::resolve(V), Ctx.IntType);
+}
+
+TEST_F(TypesFixture, UnifyMismatchFails) {
+  EXPECT_FALSE(unify(Ctx, Ctx.IntType, Ctx.RealType).Ok);
+  Type *T1 = Ctx.tuple({Ctx.IntType, Ctx.IntType});
+  Type *T2 = Ctx.tuple({Ctx.IntType, Ctx.IntType, Ctx.IntType});
+  EXPECT_FALSE(unify(Ctx, T1, T2).Ok);
+}
+
+TEST_F(TypesFixture, OccursCheck) {
+  Type *V = Ctx.freshVar(0);
+  Type *L = Ctx.listOf(V);
+  EXPECT_FALSE(unify(Ctx, V, L).Ok);
+}
+
+TEST_F(TypesFixture, UnifyStructural) {
+  Type *V1 = Ctx.freshVar(0);
+  Type *V2 = Ctx.freshVar(0);
+  Type *T1 = Ctx.arrow(V1, Ctx.IntType);
+  Type *T2 = Ctx.arrow(Ctx.RealType, V2);
+  EXPECT_TRUE(unify(Ctx, T1, T2).Ok);
+  EXPECT_EQ(TypeContext::resolve(V1), Ctx.RealType);
+  EXPECT_EQ(TypeContext::resolve(V2), Ctx.IntType);
+}
+
+TEST_F(TypesFixture, DepthPropagation) {
+  Type *Shallow = Ctx.freshVar(1);
+  Type *Deep = Ctx.freshVar(5);
+  EXPECT_TRUE(unify(Ctx, Shallow, Ctx.listOf(Deep)).Ok);
+  // Deep's rank must drop to Shallow's so it is not over-generalized.
+  EXPECT_EQ(Deep->Depth, 1);
+}
+
+TEST_F(TypesFixture, GeneralizeAndInstantiate) {
+  Type *V = Ctx.freshVar(1);
+  Type *T = Ctx.arrow(V, V);
+  TypeScheme S = Ctx.generalize(T, 0);
+  ASSERT_EQ(S.BoundVars.size(), 1u);
+  EXPECT_TRUE(S.BoundVars[0]->IsBound);
+
+  std::vector<Type *> Inst;
+  Type *T1 = Ctx.instantiate(S, 0, Inst);
+  ASSERT_EQ(Inst.size(), 1u);
+  EXPECT_TRUE(unify(Ctx, T1, Ctx.arrow(Ctx.IntType, Ctx.IntType)).Ok);
+  // A second instantiation is independent.
+  std::vector<Type *> Inst2;
+  Type *T2 = Ctx.instantiate(S, 0, Inst2);
+  EXPECT_TRUE(unify(Ctx, T2, Ctx.arrow(Ctx.RealType, Ctx.RealType)).Ok);
+}
+
+TEST_F(TypesFixture, BoundVarsDoNotUnify) {
+  Type *V = Ctx.freshVar(1);
+  Ctx.generalize(V, 0);
+  EXPECT_FALSE(unify(Ctx, V, Ctx.IntType).Ok);
+}
+
+TEST_F(TypesFixture, EqualityVarRejectsArrow) {
+  Type *EqV = Ctx.freshVar(0, /*IsEq=*/true);
+  Type *FnTy = Ctx.arrow(Ctx.IntType, Ctx.IntType);
+  EXPECT_FALSE(unify(Ctx, EqV, FnTy).Ok);
+  EXPECT_TRUE(unify(Ctx, EqV, Ctx.tuple({Ctx.IntType, Ctx.StringType})).Ok);
+}
+
+TEST_F(TypesFixture, EqualityPropagatesToVars) {
+  Type *EqV = Ctx.freshVar(0, /*IsEq=*/true);
+  Type *Plain = Ctx.freshVar(0);
+  EXPECT_TRUE(unify(Ctx, EqV, Ctx.listOf(Plain)).Ok);
+  EXPECT_TRUE(Plain->IsEq);
+}
+
+TEST_F(TypesFixture, OverloadVarOnlyIntOrReal) {
+  Type *Ov = Ctx.freshOverloadVar(0);
+  EXPECT_FALSE(unify(Ctx, Ov, Ctx.StringType).Ok);
+  Type *Ov2 = Ctx.freshOverloadVar(0);
+  EXPECT_TRUE(unify(Ctx, Ov2, Ctx.RealType).Ok);
+}
+
+TEST_F(TypesFixture, AbbrevExpansion) {
+  // type point = real * real
+  Type *Body = Ctx.tuple({Ctx.RealType, Ctx.RealType});
+  TyCon *Point = Ctx.makeAbbrev(I.intern("point"), {}, Body);
+  Type *P = Ctx.con(Point);
+  EXPECT_TRUE(unify(Ctx, P, Ctx.tuple({Ctx.RealType, Ctx.RealType})).Ok);
+}
+
+TEST_F(TypesFixture, SameTypeStructural) {
+  Type *T1 = Ctx.arrow(Ctx.IntType, Ctx.listOf(Ctx.RealType));
+  Type *T2 = Ctx.arrow(Ctx.IntType, Ctx.listOf(Ctx.RealType));
+  EXPECT_TRUE(Ctx.sameType(T1, T2));
+  Type *T3 = Ctx.arrow(Ctx.IntType, Ctx.listOf(Ctx.IntType));
+  EXPECT_FALSE(Ctx.sameType(T1, T3));
+}
+
+TEST_F(TypesFixture, ConRepsAllConstant) {
+  // bool: two constants.
+  EXPECT_EQ(Ctx.TrueCon->Rep.K, ConRepKind::Constant);
+  EXPECT_EQ(Ctx.FalseCon->Rep.K, ConRepKind::Constant);
+  EXPECT_EQ(Ctx.FalseCon->Rep.Tag, 0);
+  EXPECT_EQ(Ctx.TrueCon->Rep.Tag, 1);
+}
+
+TEST_F(TypesFixture, ConRepsListIsTransparent) {
+  // :: carries a pair (statically boxed), nil is a constant, so the list
+  // constructor is transparent (the cons cell is the payload pointer).
+  EXPECT_EQ(Ctx.NilCon->Rep.K, ConRepKind::Constant);
+  EXPECT_EQ(Ctx.ConsCon->Rep.K, ConRepKind::Transparent);
+}
+
+TEST_F(TypesFixture, ConRepsTaggedBox) {
+  // datatype t = A | B of int | C of int: two carriers with unboxed
+  // payloads use tagged boxes.
+  TyCon *T = Ctx.makeDatatype(I.intern("t"), 0);
+  auto MakeCon = [&](const char *Name, int Idx, Type *Pay) {
+    DataCon *DC = A.create<DataCon>();
+    DC->Name = I.intern(Name);
+    DC->Owner = T;
+    DC->Index = Idx;
+    DC->Payload = Pay;
+    return DC;
+  };
+  DataCon *Cons[3] = {MakeCon("A", 0, nullptr),
+                      MakeCon("B", 1, Ctx.IntType),
+                      MakeCon("C", 2, Ctx.IntType)};
+  T->Cons = Span<DataCon *>(A.copyArray(Cons, 3), 3);
+  Ctx.assignConReps(T);
+  EXPECT_EQ(Cons[0]->Rep.K, ConRepKind::Constant);
+  EXPECT_EQ(Cons[1]->Rep.K, ConRepKind::TaggedBox);
+  EXPECT_EQ(Cons[2]->Rep.K, ConRepKind::TaggedBox);
+  EXPECT_NE(Cons[1]->Rep.Tag, Cons[2]->Rep.Tag);
+}
+
+TEST_F(TypesFixture, SingleCarrierUnboxedPayloadIsTagged) {
+  // datatype t = A | B of int: B's payload is not statically boxed, so it
+  // cannot be transparent (it would collide with constant tags).
+  TyCon *T = Ctx.makeDatatype(I.intern("t2"), 0);
+  DataCon *DA = A.create<DataCon>();
+  DA->Name = I.intern("A");
+  DA->Owner = T;
+  DA->Index = 0;
+  DataCon *DB = A.create<DataCon>();
+  DB->Name = I.intern("B");
+  DB->Owner = T;
+  DB->Index = 1;
+  DB->Payload = Ctx.IntType;
+  DataCon *Cons[2] = {DA, DB};
+  T->Cons = Span<DataCon *>(A.copyArray(Cons, 2), 2);
+  Ctx.assignConReps(T);
+  EXPECT_EQ(DB->Rep.K, ConRepKind::TaggedBox);
+}
+
+TEST_F(TypesFixture, ToStringRendersTypes) {
+  Type *T = Ctx.arrow(Ctx.tuple({Ctx.IntType, Ctx.RealType}),
+                      Ctx.listOf(Ctx.StringType));
+  EXPECT_EQ(Ctx.toString(T), "((int * real) -> string list)");
+}
+
+TEST_F(TypesFixture, AdmitsEquality) {
+  EXPECT_TRUE(Ctx.admitsEquality(Ctx.IntType));
+  EXPECT_TRUE(Ctx.admitsEquality(Ctx.tuple({Ctx.IntType, Ctx.StringType})));
+  EXPECT_FALSE(Ctx.admitsEquality(Ctx.arrow(Ctx.IntType, Ctx.IntType)));
+  // ref admits equality regardless of the content type.
+  EXPECT_TRUE(
+      Ctx.admitsEquality(Ctx.refOf(Ctx.arrow(Ctx.IntType, Ctx.IntType))));
+}

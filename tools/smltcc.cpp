@@ -1,0 +1,151 @@
+//===- tools/smltcc.cpp - Command-line compiler driver ----------------------------===//
+//
+// smltcc: compile and run a MiniML (.sml) file under a chosen compiler
+// variant, printing the program's output, result, and metrics.
+//
+//   smltcc [options] file.sml
+//     --variant=nrp|fag|rep|mtd|ffb|fp3   (default: ffb)
+//     --all            run under all six variants and compare
+//     --no-prelude     do not prepend the standard prelude
+//     --metrics        print compile- and run-time metrics
+//     --expr 'src'     compile the given source text instead of a file
+//     --dump-lexp      print the typed lambda (LEXP) program
+//     --dump-cps       print the optimized CPS program
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace smltc;
+
+namespace {
+
+const CompilerOptions *variantByName(const std::string &Name) {
+  size_t N;
+  const CompilerOptions *Vs = CompilerOptions::allVariants(N);
+  for (size_t I = 0; I < N; ++I)
+    if (Name == Vs[I].VariantName + 4) // drop "sml."
+      return &Vs[I];
+  return nullptr;
+}
+
+int runOne(const std::string &Source, CompilerOptions O,
+           bool WithPrelude, bool Metrics, bool Quiet, bool DumpLexp,
+           bool DumpCps) {
+  O.KeepDumps = DumpLexp || DumpCps;
+  CompileOutput C = Compiler::compile(Source, O, WithPrelude);
+  if (!C.Ok) {
+    std::fprintf(stderr, "%s\n", C.Errors.c_str());
+    return 2;
+  }
+  if (DumpLexp)
+    std::printf("=== LEXP ===\n%s\n", C.LexpDump.c_str());
+  if (DumpCps)
+    std::printf("=== CPS ===\n%s\n", C.CpsDump.c_str());
+  VmOptions V;
+  V.UnalignedFloats = O.UnalignedFloats;
+  ExecResult R = execute(C.Program, V);
+  if (R.Trapped) {
+    std::fprintf(stderr, "runtime trap: %s\n", R.TrapMessage.c_str());
+    return 3;
+  }
+  if (!Quiet)
+    std::fputs(R.Output.c_str(), stdout);
+  if (R.UncaughtException) {
+    std::fprintf(stderr, "uncaught exception\n");
+    return 1;
+  }
+  if (Metrics || Quiet) {
+    std::printf("%-8s result=%-10lld cycles=%-12llu alloc32=%-10llu "
+                "code=%-6zu gc=%llu compile=%.1fms\n",
+                O.VariantName + 4, static_cast<long long>(R.Result),
+                static_cast<unsigned long long>(R.Cycles),
+                static_cast<unsigned long long>(R.AllocWords32),
+                C.Metrics.CodeSize,
+                static_cast<unsigned long long>(R.Collections),
+                C.Metrics.TotalSec * 1000);
+  } else {
+    std::printf("result = %lld\n", static_cast<long long>(R.Result));
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string VariantName = "ffb";
+  std::string File;
+  std::string Expr;
+  bool All = false, WithPrelude = true, Metrics = false;
+  bool DumpLexp = false, DumpCps = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--variant=", 0) == 0) {
+      VariantName = A.substr(10);
+    } else if (A == "--all") {
+      All = true;
+    } else if (A == "--no-prelude") {
+      WithPrelude = false;
+    } else if (A == "--metrics") {
+      Metrics = true;
+    } else if (A == "--dump-lexp") {
+      DumpLexp = true;
+    } else if (A == "--dump-cps") {
+      DumpCps = true;
+    } else if (A == "--expr" && I + 1 < Argc) {
+      Expr = Argv[++I];
+    } else if (A == "--help" || A == "-h") {
+      std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
+                  "[--all] [--metrics] [--no-prelude] "
+                  "(file.sml | --expr 'src')\n");
+      return 0;
+    } else if (!A.empty() && A[0] != '-') {
+      File = A;
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (try --help)\n",
+                   A.c_str());
+      return 64;
+    }
+  }
+
+  std::string Source;
+  if (!Expr.empty()) {
+    Source = Expr;
+  } else if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", File.c_str());
+      return 66;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  } else {
+    std::fprintf(stderr, "no input (try --help)\n");
+    return 64;
+  }
+
+  if (All) {
+    size_t N;
+    const CompilerOptions *Vs = CompilerOptions::allVariants(N);
+    int Rc = 0;
+    for (size_t I = 0; I < N; ++I)
+      Rc |= runOne(Source, Vs[I], WithPrelude, true, /*Quiet=*/true,
+                   DumpLexp, DumpCps);
+    return Rc;
+  }
+  const CompilerOptions *O = variantByName(VariantName);
+  if (!O) {
+    std::fprintf(stderr, "unknown variant '%s'\n", VariantName.c_str());
+    return 64;
+  }
+  return runOne(Source, *O, WithPrelude, Metrics, false, DumpLexp,
+                DumpCps);
+}
