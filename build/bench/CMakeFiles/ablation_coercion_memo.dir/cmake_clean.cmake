@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coercion_memo.dir/ablation_coercion_memo.cpp.o"
+  "CMakeFiles/ablation_coercion_memo.dir/ablation_coercion_memo.cpp.o.d"
+  "ablation_coercion_memo"
+  "ablation_coercion_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coercion_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hashcons.dir/ablation_hashcons.cpp.o"
+  "CMakeFiles/ablation_hashcons.dir/ablation_hashcons.cpp.o.d"
+  "ablation_hashcons"
+  "ablation_hashcons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hashcons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mtd.dir/ablation_mtd.cpp.o"
+  "CMakeFiles/ablation_mtd.dir/ablation_mtd.cpp.o.d"
+  "ablation_mtd"
+  "ablation_mtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wrapcancel.dir/ablation_wrapcancel.cpp.o"
+  "CMakeFiles/ablation_wrapcancel.dir/ablation_wrapcancel.cpp.o.d"
+  "ablation_wrapcancel"
+  "ablation_wrapcancel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wrapcancel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_summary.dir/fig8_summary.cpp.o"
+  "CMakeFiles/fig8_summary.dir/fig8_summary.cpp.o.d"
+  "fig8_summary"
+  "fig8_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

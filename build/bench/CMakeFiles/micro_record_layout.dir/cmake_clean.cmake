@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_record_layout.dir/micro_record_layout.cpp.o"
+  "CMakeFiles/micro_record_layout.dir/micro_record_layout.cpp.o.d"
+  "micro_record_layout"
+  "micro_record_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_record_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

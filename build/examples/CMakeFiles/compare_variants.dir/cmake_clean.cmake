@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_variants.dir/compare_variants.cpp.o"
+  "CMakeFiles/compare_variants.dir/compare_variants.cpp.o.d"
+  "compare_variants"
+  "compare_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

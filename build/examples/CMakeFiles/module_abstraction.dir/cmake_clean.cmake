@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_abstraction.dir/module_abstraction.cpp.o"
+  "CMakeFiles/module_abstraction.dir/module_abstraction.cpp.o.d"
+  "module_abstraction"
+  "module_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

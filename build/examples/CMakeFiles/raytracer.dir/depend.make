@@ -1,0 +1,2 @@
+# Empty dependencies file for raytracer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/AstPrinter.cpp" "src/CMakeFiles/smltc.dir/ast/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/ast/AstPrinter.cpp.o.d"
+  "/root/repo/src/ast/Lexer.cpp" "src/CMakeFiles/smltc.dir/ast/Lexer.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/ast/Lexer.cpp.o.d"
+  "/root/repo/src/ast/Parser.cpp" "src/CMakeFiles/smltc.dir/ast/Parser.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/ast/Parser.cpp.o.d"
+  "/root/repo/src/closure/Closure.cpp" "src/CMakeFiles/smltc.dir/closure/Closure.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/closure/Closure.cpp.o.d"
+  "/root/repo/src/closure/Spill.cpp" "src/CMakeFiles/smltc.dir/closure/Spill.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/closure/Spill.cpp.o.d"
+  "/root/repo/src/codegen/CodeGen.cpp" "src/CMakeFiles/smltc.dir/codegen/CodeGen.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/codegen/CodeGen.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/CMakeFiles/smltc.dir/corpus/Corpus.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/corpus/Corpus.cpp.o.d"
+  "/root/repo/src/cps/Cps.cpp" "src/CMakeFiles/smltc.dir/cps/Cps.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/cps/Cps.cpp.o.d"
+  "/root/repo/src/cps/CpsCheck.cpp" "src/CMakeFiles/smltc.dir/cps/CpsCheck.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/cps/CpsCheck.cpp.o.d"
+  "/root/repo/src/cps/CpsConvert.cpp" "src/CMakeFiles/smltc.dir/cps/CpsConvert.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/cps/CpsConvert.cpp.o.d"
+  "/root/repo/src/cps/CpsOpt.cpp" "src/CMakeFiles/smltc.dir/cps/CpsOpt.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/cps/CpsOpt.cpp.o.d"
+  "/root/repo/src/driver/Compiler.cpp" "src/CMakeFiles/smltc.dir/driver/Compiler.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/driver/Compiler.cpp.o.d"
+  "/root/repo/src/elab/ElabModule.cpp" "src/CMakeFiles/smltc.dir/elab/ElabModule.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/elab/ElabModule.cpp.o.d"
+  "/root/repo/src/elab/Elaborator.cpp" "src/CMakeFiles/smltc.dir/elab/Elaborator.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/elab/Elaborator.cpp.o.d"
+  "/root/repo/src/elab/Env.cpp" "src/CMakeFiles/smltc.dir/elab/Env.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/elab/Env.cpp.o.d"
+  "/root/repo/src/elab/Mtd.cpp" "src/CMakeFiles/smltc.dir/elab/Mtd.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/elab/Mtd.cpp.o.d"
+  "/root/repo/src/lexp/Coerce.cpp" "src/CMakeFiles/smltc.dir/lexp/Coerce.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/lexp/Coerce.cpp.o.d"
+  "/root/repo/src/lexp/Lexp.cpp" "src/CMakeFiles/smltc.dir/lexp/Lexp.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/lexp/Lexp.cpp.o.d"
+  "/root/repo/src/lexp/LexpCheck.cpp" "src/CMakeFiles/smltc.dir/lexp/LexpCheck.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/lexp/LexpCheck.cpp.o.d"
+  "/root/repo/src/lexp/MatchComp.cpp" "src/CMakeFiles/smltc.dir/lexp/MatchComp.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/lexp/MatchComp.cpp.o.d"
+  "/root/repo/src/lexp/Translate.cpp" "src/CMakeFiles/smltc.dir/lexp/Translate.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/lexp/Translate.cpp.o.d"
+  "/root/repo/src/lty/Lty.cpp" "src/CMakeFiles/smltc.dir/lty/Lty.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/lty/Lty.cpp.o.d"
+  "/root/repo/src/lty/TypeToLty.cpp" "src/CMakeFiles/smltc.dir/lty/TypeToLty.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/lty/TypeToLty.cpp.o.d"
+  "/root/repo/src/support/Arena.cpp" "src/CMakeFiles/smltc.dir/support/Arena.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/support/Arena.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/smltc.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/CMakeFiles/smltc.dir/support/StringInterner.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/support/StringInterner.cpp.o.d"
+  "/root/repo/src/types/Type.cpp" "src/CMakeFiles/smltc.dir/types/Type.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/types/Type.cpp.o.d"
+  "/root/repo/src/types/Unify.cpp" "src/CMakeFiles/smltc.dir/types/Unify.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/types/Unify.cpp.o.d"
+  "/root/repo/src/vm/Heap.cpp" "src/CMakeFiles/smltc.dir/vm/Heap.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/vm/Heap.cpp.o.d"
+  "/root/repo/src/vm/Vm.cpp" "src/CMakeFiles/smltc.dir/vm/Vm.cpp.o" "gcc" "src/CMakeFiles/smltc.dir/vm/Vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coerce.cpp" "tests/CMakeFiles/smltc_tests.dir/test_coerce.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_coerce.cpp.o.d"
+  "/root/repo/tests/test_corpus.cpp" "tests/CMakeFiles/smltc_tests.dir/test_corpus.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_corpus.cpp.o.d"
+  "/root/repo/tests/test_cpsopt.cpp" "tests/CMakeFiles/smltc_tests.dir/test_cpsopt.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_cpsopt.cpp.o.d"
+  "/root/repo/tests/test_elab.cpp" "tests/CMakeFiles/smltc_tests.dir/test_elab.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_elab.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/smltc_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_lty.cpp" "tests/CMakeFiles/smltc_tests.dir/test_lty.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_lty.cpp.o.d"
+  "/root/repo/tests/test_matchcomp.cpp" "tests/CMakeFiles/smltc_tests.dir/test_matchcomp.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_matchcomp.cpp.o.d"
+  "/root/repo/tests/test_modules.cpp" "tests/CMakeFiles/smltc_tests.dir/test_modules.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_modules.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/smltc_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/smltc_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/smltc_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/smltc_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_translate.cpp" "tests/CMakeFiles/smltc_tests.dir/test_translate.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_translate.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/smltc_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_types.cpp.o.d"
+  "/root/repo/tests/test_vm.cpp" "tests/CMakeFiles/smltc_tests.dir/test_vm.cpp.o" "gcc" "tests/CMakeFiles/smltc_tests.dir/test_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smltc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smltc_tests.dir/test_coerce.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_coerce.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_corpus.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_corpus.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_cpsopt.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_cpsopt.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_elab.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_elab.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_lexer.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_lexer.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_lty.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_lty.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_matchcomp.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_matchcomp.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_modules.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_modules.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_parser.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_parser.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_pipeline.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_property.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_support.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_support.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_translate.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_translate.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_types.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_types.cpp.o.d"
+  "CMakeFiles/smltc_tests.dir/test_vm.cpp.o"
+  "CMakeFiles/smltc_tests.dir/test_vm.cpp.o.d"
+  "smltc_tests"
+  "smltc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smltc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smltcc.dir/smltcc.cpp.o"
+  "CMakeFiles/smltcc.dir/smltcc.cpp.o.d"
+  "smltcc"
+  "smltcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smltcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
