@@ -4,6 +4,7 @@
 #define SMLTC_BENCH_BENCHUTIL_H
 
 #include "corpus/Corpus.h"
+#include "driver/Batch.h"
 #include "driver/Compiler.h"
 
 #include <cstdio>
@@ -47,6 +48,50 @@ inline Measurement measure(const std::string &Source,
   M.AllocWords = R.AllocWords32;
   M.Result = R.Result;
   return M;
+}
+
+/// Executes an already-compiled program, filling in the run metrics.
+inline Measurement runCompiled(const CompileOutput &C,
+                               const CompilerOptions &Opts,
+                               const char *BenchName = "") {
+  Measurement M;
+  if (!C.Ok) {
+    std::fprintf(stderr, "compile failed (%s %s): %s\n", BenchName,
+                 Opts.VariantName, C.Errors.c_str());
+    return M;
+  }
+  M.CompileSec = C.Metrics.TotalSec;
+  M.CodeSize = C.Metrics.CodeSize;
+  VmOptions V;
+  V.UnalignedFloats = Opts.UnalignedFloats;
+  ExecResult R = execute(C.Program, V);
+  if (!R.Ok || R.UncaughtException) {
+    std::fprintf(stderr, "run failed (%s %s): %s\n", BenchName,
+                 Opts.VariantName, R.TrapMessage.c_str());
+    return M;
+  }
+  M.Ok = true;
+  M.Cycles = R.Cycles;
+  M.AllocWords = R.AllocWords32;
+  M.Result = R.Result;
+  return M;
+}
+
+/// The full Figure 7/8 compile matrix: every corpus benchmark under every
+/// variant, benchmark-major (job index = bench * NumVariants + variant).
+inline std::vector<CompileJob> corpusMatrixJobs() {
+  size_t NumVariants;
+  const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
+  std::vector<CompileJob> Jobs;
+  Jobs.reserve(benchmarkCorpus().size() * NumVariants);
+  for (const BenchmarkProgram &B : benchmarkCorpus())
+    for (size_t V = 0; V < NumVariants; ++V) {
+      CompileJob J;
+      J.Source = B.Source;
+      J.Opts = Variants[V];
+      Jobs.push_back(std::move(J));
+    }
+  return Jobs;
 }
 
 inline double geomean(const std::vector<double> &Xs) {

@@ -1,0 +1,107 @@
+//===- bench/compile_throughput.cpp - Batch-compilation scaling -----------------===//
+//
+// Measures the batch engine on the full Figure 7/8 workload: the twelve
+// corpus benchmarks compiled under all six variants (72 jobs).
+//
+//   1. sequential baseline   (--jobs 1, cache off)
+//   2. parallel              (--jobs N, cache off)  -> wall-clock speedup,
+//      with every generated program verified bit-identical to pass 1
+//   3. cold + warm cache     (--jobs N, shared CompileCache) -> hit rate
+//
+// Usage: compile_throughput [N]   (default: hardware concurrency, min 4)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace smltc;
+using namespace smltc::bench;
+
+int main(int Argc, char **Argv) {
+  size_t NumJobs = 0;
+  if (Argc > 1)
+    NumJobs = static_cast<size_t>(std::atoi(Argv[1]));
+  if (NumJobs == 0) {
+    NumJobs = std::thread::hardware_concurrency();
+    if (NumJobs < 4)
+      NumJobs = 4;
+  }
+
+  std::vector<CompileJob> Jobs = corpusMatrixJobs();
+  std::printf("compile_throughput: %zu jobs "
+              "(12 benchmarks x 6 variants)\n\n",
+              Jobs.size());
+
+  // --- Pass 1: sequential baseline, no cache ---
+  BatchOptions Seq;
+  Seq.NumThreads = 1;
+  BatchCompiler SeqBatch(Seq);
+  std::vector<CompileOutput> SeqOut = SeqBatch.compileAll(Jobs);
+  BatchMetrics SeqM = SeqBatch.lastBatch();
+  std::printf("sequential (1 thread):   %6.2fs wall, %5.1f programs/sec\n",
+              SeqM.WallSec, SeqM.programsPerSec());
+
+  // --- Pass 2: parallel, no cache ---
+  BatchOptions Par;
+  Par.NumThreads = NumJobs;
+  BatchCompiler ParBatch(Par);
+  std::vector<CompileOutput> ParOut = ParBatch.compileAll(Jobs);
+  BatchMetrics ParM = ParBatch.lastBatch();
+  std::printf("parallel   (%zu threads): %6.2fs wall, %5.1f programs/sec\n",
+              ParBatch.numThreads(), ParM.WallSec, ParM.programsPerSec());
+
+  size_t Mismatches = 0, Failures = 0;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    if (!SeqOut[I].Ok || !ParOut[I].Ok) {
+      ++Failures;
+      continue;
+    }
+    if (programBytes(SeqOut[I].Program) != programBytes(ParOut[I].Program))
+      ++Mismatches;
+  }
+  double Speedup = ParM.WallSec > 0 ? SeqM.WallSec / ParM.WallSec : 0;
+  std::printf("speedup:                 %6.2fx wall-clock, "
+              "code bytes %s (%zu mismatches, %zu failures)\n\n",
+              Speedup, Mismatches == 0 && Failures == 0 ? "IDENTICAL" : "DIFFER",
+              Mismatches, Failures);
+
+  // --- Pass 3: content-addressed cache, cold then warm ---
+  CompileCache Cache;
+  BatchOptions Cached;
+  Cached.NumThreads = NumJobs;
+  Cached.Cache = &Cache;
+  BatchCompiler CachedBatch(Cached);
+  CachedBatch.compileAll(Jobs);
+  BatchMetrics Cold = CachedBatch.lastBatch();
+  std::vector<CompileOutput> WarmOut = CachedBatch.compileAll(Jobs);
+  BatchMetrics Warm = CachedBatch.lastBatch();
+  double HitRate =
+      Warm.Jobs > 0 ? 100.0 * static_cast<double>(Warm.CacheHits) /
+                          static_cast<double>(Warm.Jobs)
+                    : 0;
+  std::printf("cache cold:              %6.2fs wall, %zu hits / %zu jobs\n",
+              Cold.WallSec, Cold.CacheHits, Cold.Jobs);
+  std::printf("cache warm:              %6.2fs wall, %zu hits / %zu jobs "
+              "(hit rate %.0f%%)\n",
+              Warm.WallSec, Warm.CacheHits, Warm.Jobs, HitRate);
+
+  size_t WarmMismatches = 0;
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    if (SeqOut[I].Ok && WarmOut[I].Ok &&
+        programBytes(SeqOut[I].Program) != programBytes(WarmOut[I].Program))
+      ++WarmMismatches;
+  std::printf("warm outputs vs baseline: %s\n\n",
+              WarmMismatches == 0 ? "IDENTICAL" : "DIFFER");
+
+  std::printf("sequential %s\n", SeqM.toJson().c_str());
+  std::printf("parallel   %s\n", ParM.toJson().c_str());
+  std::printf("warm-cache %s\n", Warm.toJson().c_str());
+
+  bool Ok = Mismatches == 0 && Failures == 0 && WarmMismatches == 0 &&
+            Warm.CacheHits > 0;
+  return Ok ? 0 : 1;
+}

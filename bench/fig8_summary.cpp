@@ -21,16 +21,26 @@ int main() {
   std::vector<std::vector<double>> Time(NumVariants), Alloc(NumVariants),
       Code(NumVariants), Compile(NumVariants);
 
+  // Compile the whole 12x6 matrix through the batch engine. Compile time
+  // is noisy; run the matrix three times (no cache, so every pass really
+  // compiles) and keep the best per-cell time.
+  std::vector<CompileJob> Jobs = corpusMatrixJobs();
+  BatchCompiler Batch;
+  std::vector<CompileOutput> Compiled = Batch.compileAll(Jobs);
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    std::vector<CompileOutput> Again = Batch.compileAll(Jobs);
+    for (size_t I = 0; I < Compiled.size(); ++I)
+      if (Again[I].Ok &&
+          Again[I].Metrics.TotalSec < Compiled[I].Metrics.TotalSec)
+        Compiled[I].Metrics.TotalSec = Again[I].Metrics.TotalSec;
+  }
+
+  size_t BenchIdx = 0;
   for (const BenchmarkProgram &B : benchmarkCorpus()) {
     Measurement Base;
     for (size_t V = 0; V < NumVariants; ++V) {
-      // Compile time is noisy; take the best of three.
-      Measurement M = measure(B.Source, Variants[V]);
-      for (int Rep = 0; Rep < 2; ++Rep) {
-        Measurement M2 = measure(B.Source, Variants[V]);
-        if (M2.Ok && M2.CompileSec < M.CompileSec)
-          M.CompileSec = M2.CompileSec;
-      }
+      Measurement M = runCompiled(Compiled[BenchIdx * NumVariants + V],
+                                  Variants[V], B.Name);
       if (!M.Ok)
         continue;
       if (V == 0)
@@ -41,6 +51,7 @@ int main() {
       Code[V].push_back(static_cast<double>(M.CodeSize) / Base.CodeSize);
       Compile[V].push_back(M.CompileSec / Base.CompileSec);
     }
+    ++BenchIdx;
   }
 
   std::printf("Figure 8: summary comparisons of resource usage "

@@ -1,0 +1,218 @@
+//===- driver/Batch.cpp - Parallel batch-compilation engine ------------------===//
+
+#include "driver/Batch.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace smltc;
+
+std::string BatchMetrics::toJson() const {
+  char Buf[640];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"jobs\":%zu,\"succeeded\":%zu,\"failed\":%zu,"
+      "\"cache_hits\":%zu,\"cache_misses\":%zu,\"threads\":%zu,"
+      "\"wall_sec\":%.6f,\"total_compile_sec\":%.6f,"
+      "\"front_sec\":%.6f,\"translate_sec\":%.6f,\"back_sec\":%.6f,"
+      "\"queue_wait_sec\":%.6f,\"programs_per_sec\":%.2f,"
+      "\"speedup_vs_serial\":%.2f}",
+      Jobs, Succeeded, Failed, CacheHits, CacheMisses, Threads, WallSec,
+      TotalCompileSec, FrontSec, TranslateSec, BackSec, QueueWaitSec,
+      programsPerSec(), speedupVsSerial());
+  return Buf;
+}
+
+std::string smltc::compileMetricsJson(const CompileMetrics &M) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"total_sec\":%.6f,\"front_sec\":%.6f,\"translate_sec\":%.6f,"
+      "\"back_sec\":%.6f,\"queue_wait_sec\":%.6f,\"worker_id\":%d,"
+      "\"cache_hit\":%s,\"big_stack_unavailable\":%s,"
+      "\"lexp_nodes\":%zu,\"cps_nodes_before_opt\":%zu,"
+      "\"cps_nodes_after_opt\":%zu,\"code_size\":%zu,"
+      "\"lty_interned\":%zu,\"lty_allocated\":%zu,\"closures_built\":%zu}",
+      M.TotalSec, M.FrontSec, M.TranslateSec, M.BackSec, M.QueueWaitSec,
+      M.WorkerId, M.CacheHit ? "true" : "false",
+      M.BigStackUnavailable ? "true" : "false", M.LexpNodes,
+      M.CpsNodesBeforeOpt, M.CpsNodesAfterOpt, M.CodeSize, M.LtyInterned,
+      M.LtyAllocated, M.ClosuresBuilt);
+  return Buf;
+}
+
+BatchCompiler::BatchCompiler(BatchOptions Options)
+    : StackBytes(Options.StackBytes), Cache(Options.Cache) {
+  NThreads = Options.NumThreads;
+  if (NThreads == 0) {
+    NThreads = std::thread::hardware_concurrency();
+    if (NThreads == 0)
+      NThreads = 1;
+  }
+  // WorkerBigStack is sized once here and never resized again: running
+  // workers read their own slot, so any later reallocation would race.
+  WorkerBigStack.assign(NThreads, 1);
+  Workers.reserve(NThreads);
+
+  struct StartCtx {
+    BatchCompiler *Self;
+    size_t WorkerId;
+  };
+  auto Entry = [](void *P) -> void * {
+    StartCtx *C = static_cast<StartCtx *>(P);
+    BatchCompiler *Self = C->Self;
+    size_t Id = C->WorkerId;
+    delete C;
+    Self->workerLoop(Id);
+    return nullptr;
+  };
+
+  for (size_t I = 0; I < NThreads; ++I) {
+    pthread_attr_t Attr;
+    pthread_attr_init(&Attr);
+    pthread_attr_setstacksize(&Attr, StackBytes);
+    StartCtx *C = new StartCtx{this, I};
+    pthread_t Tid;
+    if (pthread_create(&Tid, &Attr, Entry, C) != 0) {
+      // Big stack unavailable (e.g. RLIMIT_AS): run this worker on a
+      // default-sized stack and record the degradation per-job.
+      WorkerBigStack[I] = 0;
+      pthread_attr_destroy(&Attr);
+      pthread_attr_init(&Attr);
+      if (pthread_create(&Tid, &Attr, Entry, C) != 0) {
+        delete C;
+        pthread_attr_destroy(&Attr);
+        break;
+      }
+    }
+    Workers.push_back(Tid);
+    pthread_attr_destroy(&Attr);
+  }
+  // The effective pool is whatever actually started; if not even one
+  // worker could be created, compileAll compiles inline on the caller.
+  NThreads = Workers.size();
+}
+
+BatchCompiler::~BatchCompiler() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (pthread_t T : Workers)
+    pthread_join(T, nullptr);
+}
+
+void BatchCompiler::workerLoop(size_t WorkerId) {
+  for (;;) {
+    size_t JobIdx;
+    double QueueWait;
+    const CompileJob *Job;
+    std::vector<CompileOutput> *Results;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      WorkReady.wait(Lock, [&] {
+        return ShuttingDown || (CurJobs && NextJob < CurJobs->size());
+      });
+      if (ShuttingDown)
+        return;
+      JobIdx = NextJob++;
+      Job = &(*CurJobs)[JobIdx];
+      Results = CurResults;
+      QueueWait = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - EnqueueTime)
+                      .count();
+    }
+
+    CompileOutput Out;
+    if (Cache) {
+      if (std::shared_ptr<const CompileOutput> Hit =
+              Cache->lookup(Job->Source, Job->Opts, Job->WithPrelude)) {
+        Out = *Hit;
+        Out.Metrics.CacheHit = true;
+      } else {
+        Out = Compiler::compileOnThisThread(Job->Source, Job->Opts,
+                                            Job->WithPrelude);
+        Cache->insert(Job->Source, Job->Opts, Job->WithPrelude,
+                      std::make_shared<CompileOutput>(Out));
+      }
+    } else {
+      Out = Compiler::compileOnThisThread(Job->Source, Job->Opts,
+                                          Job->WithPrelude);
+    }
+    Out.Metrics.WorkerId = static_cast<int>(WorkerId);
+    Out.Metrics.QueueWaitSec = QueueWait;
+    if (!WorkerBigStack[WorkerId])
+      Out.Metrics.BigStackUnavailable = true;
+    (*Results)[JobIdx] = std::move(Out);
+
+    bool Done;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      Done = ++Completed == CurJobs->size();
+    }
+    if (Done)
+      BatchDone.notify_all();
+  }
+}
+
+std::vector<CompileOutput>
+BatchCompiler::compileAll(const std::vector<CompileJob> &Jobs) {
+  std::vector<CompileOutput> Results(Jobs.size());
+  auto T0 = std::chrono::steady_clock::now();
+
+  if (Jobs.empty()) {
+    Last = BatchMetrics();
+    Last.Threads = NThreads;
+    return Results;
+  }
+
+  if (Workers.empty()) {
+    // Degenerate fallback: no worker threads — compile inline (still via
+    // the big-stack trampoline of Compiler::compile).
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Results[I] =
+          Compiler::compile(Jobs[I].Source, Jobs[I].Opts, Jobs[I].WithPrelude);
+  } else {
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      CurJobs = &Jobs;
+      CurResults = &Results;
+      EnqueueTime = T0;
+      NextJob = 0;
+      Completed = 0;
+    }
+    WorkReady.notify_all();
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      BatchDone.wait(Lock, [&] { return Completed == Jobs.size(); });
+      CurJobs = nullptr;
+      CurResults = nullptr;
+    }
+  }
+
+  BatchMetrics M;
+  M.Jobs = Jobs.size();
+  M.Threads = NThreads ? NThreads : 1;
+  M.WallSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  for (const CompileOutput &Out : Results) {
+    if (Out.Ok)
+      ++M.Succeeded;
+    else
+      ++M.Failed;
+    M.QueueWaitSec += Out.Metrics.QueueWaitSec;
+    if (Out.Metrics.CacheHit) {
+      ++M.CacheHits;
+      continue; // phase work was paid for by the original compile
+    }
+    ++M.CacheMisses;
+    M.TotalCompileSec += Out.Metrics.TotalSec;
+    M.FrontSec += Out.Metrics.FrontSec;
+    M.TranslateSec += Out.Metrics.TranslateSec;
+    M.BackSec += Out.Metrics.BackSec;
+  }
+  Last = M;
+  return Results;
+}

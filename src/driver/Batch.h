@@ -1,0 +1,142 @@
+//===- driver/Batch.h - Parallel batch-compilation engine --------------------===//
+///
+/// \file
+/// A fixed pool of persistent worker threads, each created once with a
+/// large stack (replacing the per-compile 1 GiB pthread spawned by
+/// `Compiler::compile`), pulling `CompileJob`s off a shared queue and
+/// producing `CompileOutput`s in deterministic input order. Each
+/// `compileImpl` run is shared-nothing (its own Arena, StringInterner,
+/// TypeContext, LtyContext), so jobs parallelize without any compiler-side
+/// locking; the only shared state is the work queue and the optional
+/// content-addressed `CompileCache`.
+///
+/// This is the substrate for everything batch-shaped in the repo: the
+/// Figure 7/8 benches compile their 12-benchmark x 6-variant matrix
+/// through it, `smltcc --all --jobs N` fans the six variants out over it,
+/// and `bench/compile_throughput` measures its scaling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_DRIVER_BATCH_H
+#define SMLTC_DRIVER_BATCH_H
+
+#include "driver/CompileCache.h"
+#include "driver/Compiler.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <pthread.h>
+#include <string>
+#include <vector>
+
+namespace smltc {
+
+/// One unit of batch work: a source program compiled under one variant.
+struct CompileJob {
+  std::string Source;
+  CompilerOptions Opts;
+  bool WithPrelude = true;
+};
+
+/// Aggregate metrics for one `compileAll` batch — the phase-level
+/// throughput numbers the driver reports (programs/sec, where the wall
+/// time went, how much the cache saved, and the implied speedup over a
+/// serial run).
+struct BatchMetrics {
+  size_t Jobs = 0;
+  size_t Succeeded = 0;
+  size_t Failed = 0;
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0; ///< jobs compiled for real (cache off counts here)
+  size_t Threads = 0;
+
+  double WallSec = 0; ///< batch wall-clock time
+  /// Phase seconds summed over the jobs that actually compiled (cache
+  /// hits contribute nothing — their work was already paid for).
+  double TotalCompileSec = 0;
+  double FrontSec = 0;
+  double TranslateSec = 0;
+  double BackSec = 0;
+  double QueueWaitSec = 0; ///< total time jobs sat queued before a worker
+
+  double programsPerSec() const {
+    return WallSec > 0 ? static_cast<double>(Jobs) / WallSec : 0;
+  }
+  /// CPU seconds of compilation retired per wall second — the effective
+  /// parallel speedup versus running the same compiles back-to-back on
+  /// one thread.
+  double speedupVsSerial() const {
+    return WallSec > 0 ? TotalCompileSec / WallSec : 0;
+  }
+
+  /// Renders the aggregate as a single JSON object (no trailing newline).
+  std::string toJson() const;
+};
+
+/// Renders one job's CompileMetrics as a single JSON object — the
+/// per-program companion to BatchMetrics::toJson.
+std::string compileMetricsJson(const CompileMetrics &M);
+
+struct BatchOptions {
+  /// Worker count; 0 means std::thread::hardware_concurrency().
+  size_t NumThreads = 0;
+  /// Per-worker stack size. CPS trees for whole programs are deep and
+  /// the optimizer's rewriting is recursive, so workers get the same
+  /// generous stack `Compiler::compile` uses.
+  size_t StackBytes = 1ull << 30;
+  /// Optional content-addressed cache consulted before compiling and
+  /// populated after. May be shared across batches and BatchCompilers.
+  CompileCache *Cache = nullptr;
+};
+
+class BatchCompiler {
+public:
+  explicit BatchCompiler(BatchOptions Options = BatchOptions());
+  ~BatchCompiler();
+  BatchCompiler(const BatchCompiler &) = delete;
+  BatchCompiler &operator=(const BatchCompiler &) = delete;
+
+  /// Compiles every job, in parallel, returning outputs in input order
+  /// (Results[i] corresponds to Jobs[i] regardless of completion order).
+  /// Not reentrant: one compileAll at a time per BatchCompiler.
+  std::vector<CompileOutput> compileAll(const std::vector<CompileJob> &Jobs);
+
+  /// Metrics for the most recent compileAll.
+  const BatchMetrics &lastBatch() const { return Last; }
+
+  size_t numThreads() const { return NThreads; }
+
+private:
+  static void *workerEntry(void *Self);
+  void workerLoop(size_t WorkerId);
+
+  size_t NThreads = 0;
+  size_t StackBytes = 0;
+  CompileCache *Cache = nullptr;
+
+  std::vector<pthread_t> Workers;
+  /// Per-worker: 0 when the big-stack pthread could not be created and
+  /// this worker runs on a default-sized stack; recorded into each job's
+  /// CompileMetrics::BigStackUnavailable. Written before the worker
+  /// starts, read-only afterwards.
+  std::vector<char> WorkerBigStack;
+
+  // Queue state (guarded by QueueMutex).
+  std::mutex QueueMutex;
+  std::condition_variable WorkReady;  ///< workers wait for jobs / shutdown
+  std::condition_variable BatchDone;  ///< compileAll waits for completion
+  const std::vector<CompileJob> *CurJobs = nullptr;
+  std::vector<CompileOutput> *CurResults = nullptr;
+  std::chrono::steady_clock::time_point EnqueueTime; ///< batch submit stamp
+  size_t NextJob = 0;
+  size_t Completed = 0;
+  bool ShuttingDown = false;
+
+  BatchMetrics Last;
+};
+
+} // namespace smltc
+
+#endif // SMLTC_DRIVER_BATCH_H

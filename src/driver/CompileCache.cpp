@@ -1,0 +1,138 @@
+//===- driver/CompileCache.cpp - Content-addressed compile cache -------------===//
+
+#include "driver/CompileCache.h"
+
+#include <cstring>
+#include <type_traits>
+
+using namespace smltc;
+
+uint64_t smltc::fnv1a64(const std::string &Bytes) {
+  uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+namespace {
+
+void appendRaw(std::string &Key, const void *P, size_t N) {
+  Key.append(static_cast<const char *>(P), N);
+}
+
+template <typename T> void appendPod(std::string &Key, T V) {
+  static_assert(std::is_trivially_copyable<T>::value, "POD only");
+  appendRaw(Key, &V, sizeof(V));
+}
+
+} // namespace
+
+std::string smltc::canonicalJobKey(const std::string &Source,
+                                   const CompilerOptions &Opts,
+                                   bool WithPrelude) {
+  std::string Key;
+  Key.reserve(Source.size() + 64);
+  // Every field of CompilerOptions that can influence the generated
+  // program (or the retained dumps) is serialized explicitly — the
+  // struct is never memcpy'd wholesale, so padding bytes and the
+  // VariantName pointer can't leak into the key.
+  appendPod(Key, static_cast<uint8_t>(WithPrelude));
+  appendPod(Key, static_cast<uint8_t>(Opts.Repr));
+  appendPod(Key, static_cast<uint8_t>(Opts.Mtd));
+  appendPod(Key, static_cast<uint8_t>(Opts.KnownFnFlattening));
+  appendPod(Key, static_cast<uint8_t>(Opts.TypedArgSpreading));
+  appendPod(Key, static_cast<int32_t>(Opts.FloatCalleeSaves));
+  appendPod(Key, static_cast<uint8_t>(Opts.HashConsLty));
+  appendPod(Key, static_cast<uint8_t>(Opts.MemoCoercions));
+  appendPod(Key, static_cast<uint8_t>(Opts.CpsWrapCancel));
+  appendPod(Key, static_cast<uint8_t>(Opts.CpsRecordCopyElim));
+  appendPod(Key, static_cast<uint8_t>(Opts.InlineSmallFns));
+  appendPod(Key, static_cast<uint8_t>(Opts.UnalignedFloats));
+  appendPod(Key, static_cast<uint8_t>(Opts.KeepDumps));
+  appendPod(Key, static_cast<int32_t>(Opts.MaxSpreadArgs));
+  appendPod(Key, static_cast<int32_t>(Opts.GpCalleeSaves));
+  Key += '\0';
+  Key += Source;
+  return Key;
+}
+
+std::string smltc::programBytes(const TmProgram &Program) {
+  std::string Bytes;
+  appendPod(Bytes, static_cast<uint64_t>(Program.Funs.size()));
+  for (const TmFunction &F : Program.Funs) {
+    appendPod(Bytes, static_cast<int32_t>(F.NumWordParams));
+    appendPod(Bytes, static_cast<int32_t>(F.NumFloatParams));
+    appendPod(Bytes, static_cast<uint64_t>(F.Code.size()));
+    for (const Insn &I : F.Code) {
+      appendPod(Bytes, static_cast<uint8_t>(I.Op));
+      appendPod(Bytes, I.Rd);
+      appendPod(Bytes, I.Rs1);
+      appendPod(Bytes, I.Rs2);
+      appendPod(Bytes, I.Imm);
+      appendPod(Bytes, I.IVal);
+      appendPod(Bytes, I.FVal);
+      appendPod(Bytes, static_cast<uint8_t>(I.Cond));
+      appendPod(Bytes, static_cast<uint8_t>(I.Rt));
+      appendPod(Bytes, static_cast<uint8_t>(I.RK));
+    }
+  }
+  appendPod(Bytes, static_cast<uint64_t>(Program.StringPool.size()));
+  for (const std::string &S : Program.StringPool) {
+    appendPod(Bytes, static_cast<uint64_t>(S.size()));
+    Bytes += S;
+  }
+  return Bytes;
+}
+
+std::shared_ptr<const CompileOutput>
+CompileCache::lookup(const std::string &Source, const CompilerOptions &Opts,
+                     bool WithPrelude) {
+  std::string Key = canonicalJobKey(Source, Opts, WithPrelude);
+  uint64_t H = fnv1a64(Key);
+  Shard &S = Shards[H % NumShards];
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(H);
+    if (It != S.Map.end() && It->second.first == Key) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second.second;
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void CompileCache::insert(const std::string &Source,
+                          const CompilerOptions &Opts, bool WithPrelude,
+                          std::shared_ptr<const CompileOutput> Out) {
+  std::string Key = canonicalJobKey(Source, Opts, WithPrelude);
+  uint64_t H = fnv1a64(Key);
+  Shard &S = Shards[H % NumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Map.emplace(H, std::make_pair(std::move(Key), std::move(Out)));
+}
+
+void CompileCache::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.clear();
+  }
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+}
+
+size_t CompileCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Map.size();
+  }
+  return N;
+}
+
+CompileCache &CompileCache::global() {
+  static CompileCache C;
+  return C;
+}

@@ -1,0 +1,100 @@
+//===- driver/CompileCache.h - Content-addressed compile cache ---------------===//
+///
+/// \file
+/// A thread-safe, content-addressed cache of compilation results. The key
+/// is a 64-bit FNV-1a hash of the full source text plus every
+/// `CompilerOptions` field (canonicalized into a byte string, which is also
+/// stored and compared on lookup so hash collisions cannot alias two
+/// different jobs). The value is the complete `CompileOutput`, including
+/// the generated `TmProgram`. Re-compiles of an identical (source, variant)
+/// pair — which the ablation benches and the test suite perform constantly —
+/// become a hash lookup instead of a full pipeline run.
+///
+/// Internally the map is sharded 16 ways by key hash so concurrent batch
+/// workers rarely contend on the same mutex. Hit/miss counters are atomics
+/// and may be read while compiles are in flight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_DRIVER_COMPILECACHE_H
+#define SMLTC_DRIVER_COMPILECACHE_H
+
+#include "driver/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace smltc {
+
+/// Serializes every semantically relevant field of a compile job into a
+/// deterministic byte string. Two jobs with equal canonical keys are
+/// guaranteed to produce identical `CompileOutput`s.
+std::string canonicalJobKey(const std::string &Source,
+                            const CompilerOptions &Opts, bool WithPrelude);
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+uint64_t fnv1a64(const std::string &Bytes);
+
+/// Serializes a generated TM program (code bytes and string pool) into a
+/// deterministic byte string — used by tests and benches to assert that
+/// two compiles produced bit-identical code.
+std::string programBytes(const TmProgram &Program);
+
+class CompileCache {
+public:
+  CompileCache() = default;
+  CompileCache(const CompileCache &) = delete;
+  CompileCache &operator=(const CompileCache &) = delete;
+
+  /// Returns the cached output for the job, or nullptr on miss.
+  /// Counts one hit or one miss.
+  std::shared_ptr<const CompileOutput>
+  lookup(const std::string &Source, const CompilerOptions &Opts,
+         bool WithPrelude);
+
+  /// Inserts a compile result. First insertion wins; a concurrent
+  /// duplicate insert of the same key is dropped (both are identical by
+  /// construction of the canonical key).
+  void insert(const std::string &Source, const CompilerOptions &Opts,
+              bool WithPrelude, std::shared_ptr<const CompileOutput> Out);
+
+  /// Drops every entry and resets the hit/miss counters.
+  void clear();
+
+  uint64_t hitCount() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t missCount() const {
+    return Misses.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+
+  /// A process-wide cache instance, shared by any consumer that wants
+  /// cross-batch reuse (the benches and `smltcc --all` use their own
+  /// local instances; the global one is for library embedders).
+  static CompileCache &global();
+
+private:
+  static constexpr size_t NumShards = 16;
+
+  struct Shard {
+    mutable std::mutex M;
+    /// key-hash -> (canonical key, cached output). The canonical key is
+    /// re-compared on lookup so a 64-bit hash collision degrades to a
+    /// miss, never to a wrong program.
+    std::unordered_map<uint64_t,
+                       std::pair<std::string,
+                                 std::shared_ptr<const CompileOutput>>>
+        Map;
+  };
+
+  Shard Shards[NumShards];
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace smltc
+
+#endif // SMLTC_DRIVER_COMPILECACHE_H

@@ -21,8 +21,10 @@ using namespace smltc;
 namespace {
 
 /// CPS trees for whole programs are deep and the optimizer's rewriting is
-/// recursive; run compilation on a thread with a generous stack.
-void runWithBigStack(const std::function<void()> &Fn) {
+/// recursive; run compilation on a thread with a generous stack. Returns
+/// false when the big-stack thread could not be created and \p Fn ran on
+/// the caller's own stack instead.
+bool runWithBigStack(const std::function<void()> &Fn) {
   pthread_attr_t Attr;
   pthread_attr_init(&Attr);
   pthread_attr_setstacksize(&Attr, 1ull << 30); // 1 GiB
@@ -34,12 +36,13 @@ void runWithBigStack(const std::function<void()> &Fn) {
     (*static_cast<Ctx *>(P)->Fn)();
     return nullptr;
   };
-  if (pthread_create(&Tid, &Attr, Trampoline, &C) == 0) {
+  bool BigStack = pthread_create(&Tid, &Attr, Trampoline, &C) == 0;
+  if (BigStack)
     pthread_join(Tid, nullptr);
-  } else {
+  else
     Fn(); // fall back to the current stack
-  }
   pthread_attr_destroy(&Attr);
+  return BigStack;
 }
 
 } // namespace
@@ -86,8 +89,17 @@ CompileOutput Compiler::compile(const std::string &Source,
                                 const CompilerOptions &Opts,
                                 bool WithPrelude) {
   CompileOutput Out;
-  runWithBigStack([&]() { Out = compileImpl(Source, Opts, WithPrelude); });
+  bool BigStack =
+      runWithBigStack([&]() { Out = compileImpl(Source, Opts, WithPrelude); });
+  if (!BigStack)
+    Out.Metrics.BigStackUnavailable = true;
   return Out;
+}
+
+CompileOutput Compiler::compileOnThisThread(const std::string &Source,
+                                            const CompilerOptions &Opts,
+                                            bool WithPrelude) {
+  return compileImpl(Source, Opts, WithPrelude);
 }
 
 CompileOutput Compiler::compileImpl(const std::string &Source,
@@ -111,6 +123,8 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   AProgram Prog = Elab.elaborate(Raw);
   if (Diags.hasErrors()) {
     Out.Errors = Diags.render();
+    Out.Metrics.FrontSec = secondsSince(TFront);
+    Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
   if (Opts.Mtd)
@@ -132,6 +146,8 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   Lexp *Lambda = Trans.translate(Prog);
   if (Diags.hasErrors()) {
     Out.Errors = Diags.render();
+    Out.Metrics.TranslateSec = secondsSince(TTrans);
+    Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
   Out.Metrics.TranslateSec = secondsSince(TTrans);
@@ -147,6 +163,7 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   LexpCheckResult LCheck = checkLexp(Lambda, LC);
   if (!LCheck.Ok) {
     Out.Errors = "internal: LEXP check failed: " + LCheck.Error;
+    Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
 
@@ -157,6 +174,8 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   CpsCheckResult CCheck = checkCps(Cps.Program);
   if (!CCheck.Ok) {
     Out.Errors = "internal: CPS check failed: " + CCheck.Error;
+    Out.Metrics.BackSec = secondsSince(TBack);
+    Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
   CVar MaxVar = Cps.MaxVar;
@@ -169,6 +188,8 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   if (!CCheck.Ok) {
     Out.Errors = "internal: CPS check failed after optimization: " +
                  CCheck.Error;
+    Out.Metrics.BackSec = secondsSince(TBack);
+    Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
   ClosureResult Closed = closureConvert(A, Opts, Optimized, MaxVar);

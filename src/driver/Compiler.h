@@ -43,6 +43,14 @@ struct CompileMetrics {
   size_t CoerceMemoHits = 0;
   size_t CoerceMemoMisses = 0;
   size_t ClosuresBuilt = 0;
+
+  // --- batch-engine accounting (driver/Batch.h) ---
+  double QueueWaitSec = 0; ///< time the job sat queued before a worker
+  int WorkerId = -1;       ///< batch worker that ran the job (-1: direct)
+  bool CacheHit = false;   ///< output came from the CompileCache
+  /// The 1 GiB compile stack could not be created and compilation fell
+  /// back to the caller's (or a default-sized worker's) stack.
+  bool BigStackUnavailable = false;
 };
 
 struct CompileOutput {
@@ -73,6 +81,14 @@ public:
                                   const CompilerOptions &Opts,
                                   bool WithPrelude = true,
                                   VmOptions VmOpts = VmOptions());
+
+  /// Runs the pipeline directly on the calling thread, with no big-stack
+  /// trampoline. Callers (the batch engine's persistent workers) must
+  /// guarantee a generous stack themselves: CPS trees for whole programs
+  /// are deep and the optimizer recurses over them.
+  static CompileOutput compileOnThisThread(const std::string &Source,
+                                           const CompilerOptions &Opts,
+                                           bool WithPrelude = true);
 
 private:
   static CompileOutput compileImpl(const std::string &Source,

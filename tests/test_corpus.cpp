@@ -37,6 +37,8 @@ TEST_P(CorpusTest, AllVariantsAgree) {
       FirstCycles = R.Cycles;
       // A benchmark must do *some* work.
       EXPECT_GT(R.Cycles, 10000u) << B.Name;
+      EXPECT_EQ(R.Result, B.ExpectedResult)
+          << B.Name << ": checksum drifted from the recorded expectation";
     } else {
       EXPECT_EQ(R.Result, First)
           << B.Name << ": " << Vs[I].VariantName << " disagrees";

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+#===- tools/check.sh - Tier-1 verify + TSan batch-engine race check ---------===#
+#
+# 1. Configure, build, and run the full test suite (the tier-1 gate).
+# 2. Rebuild the tests under ThreadSanitizer and run the batch-engine and
+#    compile-cache tests, so data races in the worker pool are caught
+#    mechanically rather than by flaky failures.
+#
+# Usage: tools/check.sh [--no-tsan]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_TSAN=1
+[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+
+echo "== tier-1: build + ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j"$JOBS"
+(cd "$ROOT/build" && ctest --output-on-failure -j"$JOBS")
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== tsan: batch engine race check =="
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSMLTC_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j"$JOBS" --target smltc_tests
+  "$ROOT/build-tsan/tests/smltc_tests" \
+    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*'
+fi
+
+echo "== check.sh: all green =="

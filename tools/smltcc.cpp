@@ -6,17 +6,21 @@
 //   smltcc [options] file.sml
 //     --variant=nrp|fag|rep|mtd|ffb|fp3   (default: ffb)
 //     --all            run under all six variants and compare
+//     --jobs=N         compile the --all variants on N batch workers
 //     --no-prelude     do not prepend the standard prelude
 //     --metrics        print compile- and run-time metrics
+//     --metrics-json   print per-compile and batch metrics as JSON
 //     --expr 'src'     compile the given source text instead of a file
 //     --dump-lexp      print the typed lambda (LEXP) program
 //     --dump-cps       print the optimized CPS program
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Batch.h"
 #include "driver/Compiler.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -35,11 +39,10 @@ const CompilerOptions *variantByName(const std::string &Name) {
   return nullptr;
 }
 
-int runOne(const std::string &Source, CompilerOptions O,
-           bool WithPrelude, bool Metrics, bool Quiet, bool DumpLexp,
-           bool DumpCps) {
-  O.KeepDumps = DumpLexp || DumpCps;
-  CompileOutput C = Compiler::compile(Source, O, WithPrelude);
+/// Executes and reports one already-compiled program.
+int runCompiled(const CompileOutput &C, const CompilerOptions &O,
+                bool Metrics, bool MetricsJson, bool Quiet, bool DumpLexp,
+                bool DumpCps) {
   if (!C.Ok) {
     std::fprintf(stderr, "%s\n", C.Errors.c_str());
     return 2;
@@ -61,7 +64,16 @@ int runOne(const std::string &Source, CompilerOptions O,
     std::fprintf(stderr, "uncaught exception\n");
     return 1;
   }
-  if (Metrics || Quiet) {
+  if (MetricsJson) {
+    std::printf("{\"variant\":\"%s\",\"result\":%lld,\"cycles\":%llu,"
+                "\"alloc_words32\":%llu,\"gc_collections\":%llu,"
+                "\"compile\":%s}\n",
+                O.VariantName, static_cast<long long>(R.Result),
+                static_cast<unsigned long long>(R.Cycles),
+                static_cast<unsigned long long>(R.AllocWords32),
+                static_cast<unsigned long long>(R.Collections),
+                compileMetricsJson(C.Metrics).c_str());
+  } else if (Metrics || Quiet) {
     std::printf("%-8s result=%-10lld cycles=%-12llu alloc32=%-10llu "
                 "code=%-6zu gc=%llu compile=%.1fms\n",
                 O.VariantName + 4, static_cast<long long>(R.Result),
@@ -83,7 +95,9 @@ int main(int Argc, char **Argv) {
   std::string File;
   std::string Expr;
   bool All = false, WithPrelude = true, Metrics = false;
+  bool MetricsJson = false;
   bool DumpLexp = false, DumpCps = false;
+  size_t Jobs = 1;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -91,10 +105,16 @@ int main(int Argc, char **Argv) {
       VariantName = A.substr(10);
     } else if (A == "--all") {
       All = true;
+    } else if (A.rfind("--jobs=", 0) == 0) {
+      Jobs = static_cast<size_t>(std::atoi(A.c_str() + 7));
+    } else if (A == "--jobs" && I + 1 < Argc) {
+      Jobs = static_cast<size_t>(std::atoi(Argv[++I]));
     } else if (A == "--no-prelude") {
       WithPrelude = false;
     } else if (A == "--metrics") {
       Metrics = true;
+    } else if (A == "--metrics-json") {
+      MetricsJson = true;
     } else if (A == "--dump-lexp") {
       DumpLexp = true;
     } else if (A == "--dump-cps") {
@@ -103,8 +123,8 @@ int main(int Argc, char **Argv) {
       Expr = Argv[++I];
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
-                  "[--all] [--metrics] [--no-prelude] "
-                  "(file.sml | --expr 'src')\n");
+                  "[--all] [--jobs=N] [--metrics] [--metrics-json] "
+                  "[--no-prelude] (file.sml | --expr 'src')\n");
       return 0;
     } else if (!A.empty() && A[0] != '-') {
       File = A;
@@ -133,12 +153,28 @@ int main(int Argc, char **Argv) {
   }
 
   if (All) {
+    // Fan the six variants out over the batch engine.
     size_t N;
     const CompilerOptions *Vs = CompilerOptions::allVariants(N);
+    std::vector<CompileJob> BatchJobs(N);
+    for (size_t I = 0; I < N; ++I) {
+      BatchJobs[I].Source = Source;
+      BatchJobs[I].Opts = Vs[I];
+      BatchJobs[I].Opts.KeepDumps = DumpLexp || DumpCps;
+      BatchJobs[I].WithPrelude = WithPrelude;
+    }
+    CompileCache Cache;
+    BatchOptions BO;
+    BO.NumThreads = Jobs;
+    BO.Cache = &Cache;
+    BatchCompiler Batch(BO);
+    std::vector<CompileOutput> Outs = Batch.compileAll(BatchJobs);
     int Rc = 0;
     for (size_t I = 0; I < N; ++I)
-      Rc |= runOne(Source, Vs[I], WithPrelude, true, /*Quiet=*/true,
-                   DumpLexp, DumpCps);
+      Rc |= runCompiled(Outs[I], Vs[I], true, MetricsJson, /*Quiet=*/true,
+                        DumpLexp, DumpCps);
+    if (MetricsJson)
+      std::printf("%s\n", Batch.lastBatch().toJson().c_str());
     return Rc;
   }
   const CompilerOptions *O = variantByName(VariantName);
@@ -146,6 +182,9 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "unknown variant '%s'\n", VariantName.c_str());
     return 64;
   }
-  return runOne(Source, *O, WithPrelude, Metrics, false, DumpLexp,
-                DumpCps);
+  CompilerOptions Opts = *O;
+  Opts.KeepDumps = DumpLexp || DumpCps;
+  CompileOutput C = Compiler::compile(Source, Opts, WithPrelude);
+  return runCompiled(C, Opts, Metrics, MetricsJson, false, DumpLexp,
+                     DumpCps);
 }
