@@ -18,14 +18,20 @@ namespace bench {
 struct Measurement {
   bool Ok = false;
   uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
   uint64_t AllocWords = 0;
+  uint64_t CopiedWords = 0;      ///< total GC-copied words (minor + major)
+  uint64_t MajorCopiedWords = 0; ///< words copied by major collections only
+  uint64_t MaxPauseWords = 0;    ///< largest single collection, in words
   size_t CodeSize = 0;
   double CompileSec = 0;
+  double ExecSec = 0; ///< wall time inside the dispatch loop
   int64_t Result = 0;
 };
 
 inline Measurement measure(const std::string &Source,
-                           const CompilerOptions &Opts) {
+                           const CompilerOptions &Opts,
+                           const VmOptions &VmBase = VmOptions()) {
   Measurement M;
   CompileOutput C = Compiler::compile(Source, Opts);
   if (!C.Ok) {
@@ -35,7 +41,7 @@ inline Measurement measure(const std::string &Source,
   }
   M.CompileSec = C.Metrics.TotalSec;
   M.CodeSize = C.Metrics.CodeSize;
-  VmOptions V;
+  VmOptions V = VmBase;
   V.UnalignedFloats = Opts.UnalignedFloats;
   ExecResult R = execute(C.Program, V);
   if (!R.Ok || R.UncaughtException) {
@@ -45,7 +51,14 @@ inline Measurement measure(const std::string &Source,
   }
   M.Ok = true;
   M.Cycles = R.Cycles;
+  M.Instructions = R.Instructions;
   M.AllocWords = R.AllocWords32;
+  M.CopiedWords = R.GcCopiedWords;
+  M.MajorCopiedWords = R.Metrics.MajorCopiedWords;
+  M.MaxPauseWords = R.Metrics.MaxMinorPauseWords > R.Metrics.MaxMajorPauseWords
+                        ? R.Metrics.MaxMinorPauseWords
+                        : R.Metrics.MaxMajorPauseWords;
+  M.ExecSec = R.Metrics.ExecSec;
   M.Result = R.Result;
   return M;
 }
@@ -53,7 +66,8 @@ inline Measurement measure(const std::string &Source,
 /// Executes an already-compiled program, filling in the run metrics.
 inline Measurement runCompiled(const CompileOutput &C,
                                const CompilerOptions &Opts,
-                               const char *BenchName = "") {
+                               const char *BenchName = "",
+                               const VmOptions &VmBase = VmOptions()) {
   Measurement M;
   if (!C.Ok) {
     std::fprintf(stderr, "compile failed (%s %s): %s\n", BenchName,
@@ -62,7 +76,7 @@ inline Measurement runCompiled(const CompileOutput &C,
   }
   M.CompileSec = C.Metrics.TotalSec;
   M.CodeSize = C.Metrics.CodeSize;
-  VmOptions V;
+  VmOptions V = VmBase;
   V.UnalignedFloats = Opts.UnalignedFloats;
   ExecResult R = execute(C.Program, V);
   if (!R.Ok || R.UncaughtException) {
@@ -72,7 +86,14 @@ inline Measurement runCompiled(const CompileOutput &C,
   }
   M.Ok = true;
   M.Cycles = R.Cycles;
+  M.Instructions = R.Instructions;
   M.AllocWords = R.AllocWords32;
+  M.CopiedWords = R.GcCopiedWords;
+  M.MajorCopiedWords = R.Metrics.MajorCopiedWords;
+  M.MaxPauseWords = R.Metrics.MaxMinorPauseWords > R.Metrics.MaxMajorPauseWords
+                        ? R.Metrics.MaxMinorPauseWords
+                        : R.Metrics.MaxMajorPauseWords;
+  M.ExecSec = R.Metrics.ExecSec;
   M.Result = R.Result;
   return M;
 }

@@ -1,42 +1,90 @@
-//===- vm/Heap.cpp - Tagged heap with a Cheney two-space collector ------------------===//
+//===- vm/Heap.cpp - Tagged heap: nursery + Cheney two-space major space -----------===//
 
 #include "vm/Heap.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace smltc;
 
-Heap::Heap(size_t SemiWords) : SemiWords(SemiWords) {
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+} // namespace
+
+Heap::Heap(size_t SemiWords, size_t NurseryWords)
+    : SemiWords(SemiWords), NurseryWords(NurseryWords) {
+  // The major space must always hold NurseryWords of promotion headroom
+  // (see allocMajor); cap the nursery so a tiny test heap keeps room to
+  // make progress.
+  if (this->NurseryWords > SemiWords / 4)
+    this->NurseryWords = SemiWords / 4;
   Mem.resize(SemiWords, 0);
   FromSpace.resize(SemiWords, 0);
+  Nursery.resize(this->NurseryWords, 0);
 }
 
 size_t Heap::objectWords(Word Desc) {
+  size_t N;
   switch (descKind(Desc)) {
   case ObjKind::Record:
-    return 1 + descLen1(Desc) + descLen2(Desc);
+    N = 1 + descLen1(Desc) + descLen2(Desc);
+    break;
   case ObjKind::Bytes:
-    return 1 + (descLen1(Desc) + 7) / 8;
+    N = 1 + (descLen1(Desc) + 7) / 8;
+    break;
   case ObjKind::Cell:
-    return 2;
+    N = 2;
+    break;
   case ObjKind::Array:
-    return 1 + descLen2(Desc);
+    N = 1 + descLen2(Desc);
+    break;
   case ObjKind::Forward:
     return 1;
+  default:
+    N = 1;
+    break;
   }
-  return 1;
+  // Forwarding needs two words in place (marker + new address).
+  return N < 2 ? 2 : N;
 }
 
 size_t Heap::allocRaw(size_t PayloadWords) {
+  // Match objectWords: every object occupies at least 2 words so the
+  // collector's forwarding pair fits without clobbering a neighbor.
+  if (PayloadWords == 0)
+    PayloadWords = 1;
   size_t Need = 1 + PayloadWords;
-  if (HP + Need > SemiWords) {
-    collect();
-    while (HP + Need > SemiWords) {
-      // Grow both semispaces and re-collect into the bigger space.
-      SemiWords *= 2;
-      FromSpace.assign(SemiWords, 0);
-      collect();
+  // Small objects go to the nursery; anything over a quarter of it goes
+  // straight to the major space (it would evict everything else anyway).
+  if (NurseryWords != 0 && Need * 4 <= NurseryWords) {
+    if (NurseryHP + Need > NurseryWords) {
+      minorCollect();
+      // Promotion may have eaten the major headroom; restore the
+      // invariant now, while the nursery is guaranteed empty.
+      if (HP + NurseryWords > SemiWords)
+        majorCollectAndGrow(0);
     }
+    size_t At = NurseryBase + NurseryHP;
+    NurseryHP += Need;
+    ++AllocatedObjects;
+    ++Stats.NurseryAllocObjects;
+    return At;
+  }
+  return allocMajor(Need);
+}
+
+size_t Heap::allocMajor(size_t Need) {
+  // Reserve NurseryWords of headroom so a minor scavenge always has room
+  // to promote every nursery survivor.
+  if (HP + Need + NurseryWords > SemiWords) {
+    minorCollect();
+    majorCollectAndGrow(Need);
   }
   size_t At = HP;
   HP += Need;
@@ -44,18 +92,115 @@ size_t Heap::allocRaw(size_t PayloadWords) {
   return At;
 }
 
-Word Heap::forward(Word P, std::vector<Word> &To, size_t &Scan) {
-  (void)Scan;
+void Heap::majorCollectAndGrow(size_t Need) {
+  collect();
+  while (HP + Need + NurseryWords > SemiWords) {
+    // Grow both semispaces and re-collect into the bigger space.
+    SemiWords *= 2;
+    FromSpace.assign(SemiWords, 0);
+    collect();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Minor collection: scavenge the nursery into the major space.
+//===----------------------------------------------------------------------===//
+
+Word Heap::forwardMinor(Word P) {
   if (!isPointer(P))
     return P;
   size_t Idx = pointerIndex(P);
+  if (Idx < NurseryBase)
+    return P; // already old
+  size_t NIdx = Idx - NurseryBase;
+  Word Desc = Nursery[NIdx];
+  if (descKind(Desc) == ObjKind::Forward)
+    return Nursery[NIdx + 1];
+  size_t N = objectWords(Desc);
+  size_t NewIdx = HP;
+  assert(NewIdx + N <= SemiWords && "promotion headroom violated");
+  for (size_t I = 0; I < N; ++I)
+    Mem[NewIdx + I] = Nursery[NIdx + I];
+  HP += N;
+  CopiedWords += N;
+  Word NewPtr = makePointer(NewIdx);
+  Nursery[NIdx] = makeDesc(ObjKind::Forward, 0, 0);
+  Nursery[NIdx + 1] = NewPtr;
+  return NewPtr;
+}
+
+void Heap::scanPromoted(size_t Scan) {
+  while (Scan < HP) {
+    Word Desc = Mem[Scan];
+    size_t N = objectWords(Desc);
+    switch (descKind(Desc)) {
+    case ObjKind::Record: {
+      size_t Floats = descLen1(Desc);
+      size_t Words = descLen2(Desc);
+      for (size_t I = 0; I < Words; ++I) {
+        size_t Slot = Scan + 1 + Floats + I;
+        Mem[Slot] = forwardMinor(Mem[Slot]);
+      }
+      break;
+    }
+    case ObjKind::Cell:
+    case ObjKind::Array: {
+      size_t Words = descKind(Desc) == ObjKind::Cell ? 1 : descLen2(Desc);
+      for (size_t I = 0; I < Words; ++I) {
+        size_t Slot = Scan + 1 + I;
+        Mem[Slot] = forwardMinor(Mem[Slot]);
+      }
+      break;
+    }
+    case ObjKind::Bytes:
+    case ObjKind::Forward:
+      break;
+    }
+    Scan += N;
+  }
+}
+
+void Heap::minorCollect() {
+  if (NurseryHP == 0) {
+    StoreList.clear();
+    return;
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  ++Stats.MinorCollections;
+  size_t PromoteStart = HP;
+  for (RootRange &R : RootRanges)
+    for (size_t I = 0, E = R.count(); I < E; ++I)
+      R.Begin[I] = forwardMinor(R.Begin[I]);
+  // Old-to-young pointers recorded by the write barrier.
+  for (size_t Slot : StoreList)
+    Mem[Slot] = forwardMinor(Mem[Slot]);
+  // Transitively promote everything the survivors reach.
+  scanPromoted(PromoteStart);
+  uint64_t Promoted = HP - PromoteStart;
+  Stats.PromotedWords += Promoted;
+  if (Promoted > Stats.MaxMinorPauseWords)
+    Stats.MaxMinorPauseWords = Promoted;
+  NurseryHP = 0;
+  StoreList.clear();
+  Stats.GcSec += secondsSince(T0);
+}
+
+//===----------------------------------------------------------------------===//
+// Major collection: classic two-space Cheney copy.
+//===----------------------------------------------------------------------===//
+
+Word Heap::forward(Word P) {
+  if (!isPointer(P))
+    return P;
+  size_t Idx = pointerIndex(P);
+  assert(Idx < NurseryBase && "nursery pointer reached the major GC");
   Word Desc = FromSpace[Idx];
   if (descKind(Desc) == ObjKind::Forward)
     return FromSpace[Idx + 1];
   size_t N = objectWords(Desc);
   size_t NewIdx = HP;
   for (size_t I = 0; I < N; ++I)
-    To[NewIdx + I] = FromSpace[Idx + I];
+    Mem[NewIdx + I] = FromSpace[Idx + I];
   HP += N;
   CopiedWords += N;
   Word NewPtr = makePointer(NewIdx);
@@ -65,15 +210,19 @@ Word Heap::forward(Word P, std::vector<Word> &To, size_t &Scan) {
 }
 
 void Heap::collect() {
-  ++Collections;
+  assert(NurseryHP == 0 && StoreList.empty() &&
+         "major collection requires an empty nursery (minorCollect first)");
+  auto T0 = std::chrono::steady_clock::now();
+  ++Stats.MajorCollections;
+  uint64_t CopiedBefore = CopiedWords;
   std::swap(Mem, FromSpace);
   if (Mem.size() != SemiWords)
     Mem.assign(SemiWords, 0);
   HP = 1;
   size_t Scan = 1;
   for (RootRange &R : RootRanges)
-    for (size_t I = 0; I < R.Count; ++I)
-      R.Begin[I] = forward(R.Begin[I], Mem, Scan);
+    for (size_t I = 0, E = R.count(); I < E; ++I)
+      R.Begin[I] = forward(R.Begin[I]);
   // Cheney scan.
   while (Scan < HP) {
     Word Desc = Mem[Scan];
@@ -84,7 +233,7 @@ void Heap::collect() {
       size_t Words = descLen2(Desc);
       for (size_t I = 0; I < Words; ++I) {
         size_t Slot = Scan + 1 + Floats + I;
-        Mem[Slot] = forward(Mem[Slot], Mem, Scan);
+        Mem[Slot] = forward(Mem[Slot]);
       }
       break;
     }
@@ -93,7 +242,7 @@ void Heap::collect() {
       size_t Words = descKind(Desc) == ObjKind::Cell ? 1 : descLen2(Desc);
       for (size_t I = 0; I < Words; ++I) {
         size_t Slot = Scan + 1 + I;
-        Mem[Slot] = forward(Mem[Slot], Mem, Scan);
+        Mem[Slot] = forward(Mem[Slot]);
       }
       break;
     }
@@ -103,4 +252,9 @@ void Heap::collect() {
     }
     Scan += N;
   }
+  uint64_t Pause = CopiedWords - CopiedBefore;
+  Stats.MajorCopiedWords += Pause;
+  if (Pause > Stats.MaxMajorPauseWords)
+    Stats.MaxMajorPauseWords = Pause;
+  Stats.GcSec += secondsSince(T0);
 }

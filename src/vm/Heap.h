@@ -1,4 +1,4 @@
-//===- vm/Heap.h - Tagged heap with a Cheney two-space collector -------------------===//
+//===- vm/Heap.h - Tagged heap: nursery + Cheney two-space major space -------------===//
 ///
 /// \file
 /// The runtime heap. Values are 64-bit words: tagged integers are odd
@@ -13,6 +13,16 @@
 ///   Bytes  (len1 = byte count) — strings;
 ///   Cell   (1 mutable word) — refs and exception tags;
 ///   Array  (len2 = mutable words).
+///
+/// Generational layout: small objects are bump-allocated in a nursery
+/// (word indices offset by NurseryBase so a pointer's generation is one
+/// compare). When the nursery fills, a minor Cheney scavenge promotes the
+/// survivors into the major space; old-to-young pointers created by
+/// Cell/Array mutation are tracked in a store list by `storeField` (the
+/// write barrier). The major space is the original two-space copying
+/// collector and always reserves NurseryWords of headroom so promotion
+/// can never fail mid-scavenge. A nursery of 0 words restores the plain
+/// two-space behavior bit for bit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,57 +72,131 @@ inline uint32_t descLen2(Word D) {
   return static_cast<uint32_t>(D & 0xFFFFFFF);
 }
 
-/// A two-space heap. Allocation is pointer bumping; collection copies the
-/// live graph reachable from the registered roots.
+/// Per-heap GC statistics, split by generation. "Pause" is measured in
+/// copied words — the deterministic proxy for stop-the-world time under
+/// the cost model (3 cycles per copied word) — alongside wall seconds.
+struct HeapStats {
+  uint64_t MinorCollections = 0;
+  uint64_t MajorCollections = 0;
+  uint64_t PromotedWords = 0;   ///< nursery words that survived a minor GC
+  uint64_t MajorCopiedWords = 0;
+  uint64_t MaxMinorPauseWords = 0; ///< largest single minor scavenge
+  uint64_t MaxMajorPauseWords = 0; ///< largest single major collection
+  uint64_t NurseryAllocObjects = 0;
+  uint64_t BarrierStores = 0; ///< old-to-young stores recorded
+  double GcSec = 0;           ///< wall time inside collections
+};
+
+/// A generational heap: bump-allocated nursery in front of a two-space
+/// Cheney-collected major space. Allocation never fails: minor-collects,
+/// major-collects, then grows, as needed. Root ranges must be registered
+/// beforehand.
 class Heap {
 public:
-  explicit Heap(size_t SemiWords = 1 << 20);
+  /// Nursery word indices live at NurseryBase + [0, NurseryWords) so that
+  /// `Idx >= NurseryBase` is the generation test. Major indices stay
+  /// small (semispaces grow by doubling from ~1M words), so the ranges
+  /// cannot collide.
+  static constexpr size_t NurseryBase = size_t(1) << 32;
+
+  explicit Heap(size_t SemiWords = 1 << 20, size_t NurseryWords = 0);
 
   /// Allocates an object of 1 + Payload words; returns its word index.
-  /// Never fails: collects, then grows, as needed. RootsBegin/RootsEnd
-  /// and extra root vectors must be registered beforehand.
+  /// Objects are always at least 2 words so a (Forward, new-address)
+  /// pair fits in place during collection.
   size_t allocRaw(size_t PayloadWords);
 
   Word &at(size_t Index) {
+    if (Index >= NurseryBase) {
+      assert(Index - NurseryBase < Nursery.size() &&
+             "nursery access out of bounds");
+      return Nursery[Index - NurseryBase];
+    }
     assert(Index < Mem.size() && "heap access out of bounds");
     return Mem[Index];
   }
   Word at(size_t Index) const {
-    assert(Index < Mem.size() && "heap access out of bounds");
-    return Mem[Index];
+    return const_cast<Heap *>(this)->at(Index);
+  }
+
+  bool inNursery(size_t Index) const { return Index >= NurseryBase; }
+
+  /// Mutating store with the generational write barrier: records the
+  /// slot when an old-space slot is set to point at a nursery object.
+  /// Initializing stores into fresh objects do not need it; Cell/Array
+  /// mutation (Store/StoreIdx) must go through it.
+  void storeField(size_t Slot, Word V) {
+    at(Slot) = V;
+    if (Slot < NurseryBase && isPointer(V) &&
+        pointerIndex(V) >= NurseryBase) {
+      // Cheap dedup for tight update loops hammering one slot.
+      if (StoreList.empty() || StoreList.back() != Slot)
+        StoreList.push_back(Slot);
+      ++Stats.BarrierStores;
+    }
   }
 
   /// Registers a root range (scanned and updated by GC).
   void addRootRange(Word *Begin, size_t Count) {
-    RootRanges.push_back({Begin, Count});
+    RootRanges.push_back({Begin, Count, nullptr});
+  }
+  /// Root range whose live length is read through *Count at each
+  /// collection — used for the register file, where only the prefix up
+  /// to the current function's watermark holds live values (the rest
+  /// would scan as tagged zeros anyway).
+  void addRootRange(Word *Begin, const size_t *Count) {
+    RootRanges.push_back({Begin, 0, Count});
   }
   void clearRootRanges() { RootRanges.clear(); }
 
-  /// Words copied by all collections so far (GC cost metric).
+  /// Words copied by all collections so far (GC cost metric): minor
+  /// promotions plus major-space copies.
   uint64_t copiedWords() const { return CopiedWords; }
-  uint64_t collections() const { return Collections; }
+  /// Total collections, both generations (back-compat aggregate).
+  uint64_t collections() const {
+    return Stats.MinorCollections + Stats.MajorCollections;
+  }
   uint64_t allocatedObjects() const { return AllocatedObjects; }
+  const HeapStats &stats() const { return Stats; }
+  size_t nurseryWords() const { return NurseryWords; }
+  size_t semiWords() const { return SemiWords; }
 
   /// Total payload size (in 64-bit words, incl. descriptor) of an object.
+  /// Never less than 2 for allocatable kinds: the collector overwrites
+  /// the first two words with a forwarding pair, so a descriptor-only
+  /// object (empty string, empty record) must still occupy two words —
+  /// the seed's 1-word empty objects let forwarding corrupt the next
+  /// object's descriptor.
   static size_t objectWords(Word Desc);
 
 private:
+  size_t allocMajor(size_t Need);
+  void minorCollect();
+  void majorCollectAndGrow(size_t Need);
   void collect();
-  Word forward(Word P, std::vector<Word> &To, size_t &Scan);
+  Word forward(Word P);
+  Word forwardMinor(Word P);
+  void scanPromoted(size_t Scan);
 
   struct RootRange {
     Word *Begin;
     size_t Count;
+    const size_t *DynCount; ///< overrides Count when non-null
+    size_t count() const { return DynCount ? *DynCount : Count; }
   };
 
   std::vector<Word> FromSpace;
-  std::vector<Word> Mem; ///< active semispace
-  size_t HP = 1;         ///< word 0 reserved (null)
+  std::vector<Word> Mem;     ///< active major semispace
+  std::vector<Word> Nursery; ///< bump-allocated young generation
+  size_t HP = 1;             ///< major alloc cursor; word 0 reserved (null)
+  size_t NurseryHP = 0;      ///< nursery alloc cursor
   size_t SemiWords;
+  size_t NurseryWords; ///< 0 disables the nursery
   std::vector<RootRange> RootRanges;
+  std::vector<size_t> StoreList; ///< major slots holding nursery pointers
   uint64_t CopiedWords = 0;
-  uint64_t Collections = 0;
   uint64_t AllocatedObjects = 0;
+  HeapStats Stats;
 };
 
 } // namespace smltc

@@ -1,799 +1,835 @@
-//===- vm/Vm.cpp - The TM execution engine -------------------------------------------===//
+//===- vm/Vm.cpp - Machine services, legacy dispatch loop, and run() ---------------===//
+//
+// The shared runtime services (heap helpers, exceptions, CCallRt, polyEq)
+// and the original undecoded interpreter, kept as VmDispatch::Legacy: it
+// is the baseline bench/exec_throughput measures against and the
+// differential oracle the decoded loops must match cycle for cycle.
+// The pre-decoded switch/threaded loops live in Interp.cpp.
+//
+//===----------------------------------------------------------------------===//
 
-#include "vm/Vm.h"
+#include "vm/VmInternal.h"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 
 using namespace smltc;
+using namespace smltc::vmdetail;
 
-namespace {
+Machine::Machine(const TmProgram &P, const VmOptions &Opts)
+    : P(P), Opts(Opts),
+      Hp(Opts.HeapSemiWords, Opts.NurseryKb * 1024 / sizeof(Word)) {
+  std::memset(W, 0, sizeof(W));
+  std::memset(F, 0, sizeof(F));
+  std::memset(ArgW, 0, sizeof(ArgW));
+  std::memset(ArgF, 0, sizeof(ArgF));
+  std::memset(Tags, 0, sizeof(Tags));
+  Handler = tagInt(0);
+  ProfileOps = Opts.ProfileOpcodes;
+  Hp.addRootRange(W, &WLive);
+  Hp.addRootRange(ArgW, MaxArgs);
+  Hp.addRootRange(&Handler, 1);
+  Hp.addRootRange(Tags, NumBuiltinTags);
+  internStrings();
+  Hp.addRootRange(StrPtrs.data(), StrPtrs.size());
+}
 
-constexpr int NumWordRegs = 256;
-constexpr int NumFloatRegs = 64;
-constexpr int FastWordRegs = 32;
-constexpr int FastFloatRegs = 16;
-constexpr int MaxArgs = 64;
+//===----------------------------------------------------------------------===//
+// Heap helpers
+//===----------------------------------------------------------------------===//
 
-/// Builtin exception tag indices (must match BuiltinExns::all() order in
-/// the translator prologue: Match, Bind, Div, Subscript, Size, Overflow,
-/// Chr; ids are 1-based).
-enum BuiltinTag {
-  TagMatch = 1,
-  TagBind = 2,
-  TagDiv = 3,
-  TagSubscript = 4,
-  TagSize = 5,
-  TagOverflow = 6,
-  TagChr = 7,
-  NumBuiltinTags = 8,
-};
+size_t Machine::allocObject(ObjKind K, uint32_t Len1, uint32_t Len2,
+                            size_t PayloadWords) {
+  uint64_t CopiedBefore = Hp.copiedWords();
+  size_t At = Hp.allocRaw(PayloadWords);
+  // GC cost: 3 cycles per copied 64-bit word (promotions included).
+  R.Cycles += 3 * (Hp.copiedWords() - CopiedBefore);
+  Hp.at(At) = makeDesc(K, Len1, Len2);
+  return At;
+}
 
-class Machine {
-public:
-  Machine(const TmProgram &P, const VmOptions &Opts)
-      : P(P), Opts(Opts), Hp(Opts.HeapSemiWords) {
-    std::memset(W, 0, sizeof(W));
-    std::memset(F, 0, sizeof(F));
-    std::memset(ArgW, 0, sizeof(ArgW));
-    std::memset(ArgF, 0, sizeof(ArgF));
-    std::memset(Tags, 0, sizeof(Tags));
-    Handler = tagInt(0);
-    Hp.addRootRange(W, NumWordRegs);
-    Hp.addRootRange(ArgW, MaxArgs);
-    Hp.addRootRange(&Handler, 1);
-    Hp.addRootRange(Tags, NumBuiltinTags);
-    internStrings();
-    Hp.addRootRange(StrPtrs.data(), StrPtrs.size());
+Word Machine::allocBytes(const char *Data, size_t N) {
+  size_t Payload = (N + 7) / 8;
+  size_t At =
+      allocObject(ObjKind::Bytes, static_cast<uint32_t>(N), 0, Payload);
+  char *Dst = reinterpret_cast<char *>(&Hp.at(At + 1));
+  std::memcpy(Dst, Data, N);
+  AllocWords32 += 1 + (N + 3) / 4;
+  return makePointer(At);
+}
+
+const char *Machine::bytesData(Word P, size_t &N) {
+  size_t Idx = pointerIndex(P);
+  Word D = Hp.at(Idx);
+  N = descLen1(D);
+  return reinterpret_cast<const char *>(&Hp.at(Idx + 1));
+}
+
+void Machine::internStrings() {
+  for (const std::string &S : P.StringPool)
+    StrPtrs.push_back(allocBytes(S.data(), S.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Control
+//===----------------------------------------------------------------------===//
+
+void Machine::jumpInto(int Label, int NW, int NF) {
+  if (Label < 0 || Label >= static_cast<int>(P.Funs.size())) {
+    trap("jump to invalid label");
+    return;
+  }
+  const TmFunction &Target = P.Funs[Label];
+  // Stage arguments into the register file.
+  for (int I = 0; I < Target.NumWordParams; ++I)
+    W[1 + I] = I < NW ? ArgW[I] : tagInt(0);
+  for (int I = 0; I < Target.NumFloatParams; ++I)
+    F[1 + I] = I < NF ? ArgF[I] : 0.0;
+  // Clear dead registers so the GC roots stay precise.
+  for (int I = 1 + Target.NumWordParams; I < NumWordRegs; ++I)
+    W[I] = tagInt(0);
+  WLive = NumWordRegs;
+  Fn = Label;
+  Pc = 0;
+}
+
+void Machine::jumpIntoDecoded(const DecodedProgram &DP, int Label, int NW,
+                              int NF) {
+  if (Label < 0 || Label >= static_cast<int>(DP.Funs.size())) {
+    trap("jump to invalid label");
+    return;
+  }
+  const DecodedFunction &Target = DP.Funs[Label];
+  for (int I = 0; I < Target.NumWordParams; ++I)
+    W[1 + I] = I < NW ? ArgW[I] : tagInt(0);
+  for (int I = 0; I < Target.NumFloatParams; ++I)
+    F[1 + I] = I < NF ? ArgF[I] : 0.0;
+  // Clear only up to the callee's watermark and shrink the GC scan to
+  // it: the registers above would be tagged zeros under the legacy
+  // interpreter's full clear, so the visible root set is unchanged.
+  for (int I = 1 + Target.NumWordParams; I < Target.NumRegsUsed; ++I)
+    W[I] = tagInt(0);
+  WLive = static_cast<size_t>(Target.NumRegsUsed);
+  Fn = Label;
+  Pc = 0;
+}
+
+void Machine::trap(const std::string &Msg) {
+  R.Trapped = true;
+  R.TrapMessage = Msg;
+  Done = true;
+}
+
+/// Raises a builtin exception through the handler register.
+void Machine::raiseBuiltin(int TagIdx) {
+  cost(12);
+  Word Tag = Tags[TagIdx];
+  // exn = [tag, unit]
+  size_t At = allocObject(ObjKind::Record, 0, 2, 2);
+  Hp.at(At + 1) = Tag;
+  Hp.at(At + 2) = tagInt(0);
+  AllocWords32 += 3;
+  Word Exn = makePointer(At);
+  invokeHandler(Exn);
+}
+
+void Machine::invokeHandler(Word Exn) {
+  Word H = Handler;
+  if (!isPointer(H)) {
+    trap("exception raised with no handler installed");
+    return;
+  }
+  size_t Idx = pointerIndex(H);
+  Word Code = Hp.at(Idx + 1); // closure slot 0 (after descriptor)
+  ArgW[0] = H;
+  ArgW[1] = Exn;
+  for (int I = 2; I < 8; ++I)
+    ArgW[I] = tagInt(0);
+  for (int I = 0; I < 8; ++I)
+    ArgF[I] = 0.0;
+  if (!isTaggedInt(Code)) {
+    trap("handler closure has no code pointer");
+    return;
+  }
+  jumpInto(static_cast<int>(untagInt(Code)), 8, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime services
+//===----------------------------------------------------------------------===//
+
+bool Machine::polyEq(Word A, Word B, uint64_t &Nodes) {
+  if (++Nodes > 1000000)
+    return A == B;
+  if (A == B)
+    return true;
+  if (!isPointer(A) || !isPointer(B))
+    return false;
+  size_t IA = pointerIndex(A), IB = pointerIndex(B);
+  Word DA = Hp.at(IA), DB = Hp.at(IB);
+  if (descKind(DA) != descKind(DB))
+    return false;
+  switch (descKind(DA)) {
+  case ObjKind::Bytes: {
+    size_t NA = descLen1(DA), NB = descLen1(DB);
+    if (NA != NB)
+      return false;
+    return std::memcmp(&Hp.at(IA + 1), &Hp.at(IB + 1), NA) == 0;
+  }
+  case ObjKind::Cell:
+  case ObjKind::Array:
+    return false; // identity compared above
+  case ObjKind::Record: {
+    uint32_t FA = descLen1(DA), WA = descLen2(DA);
+    if (FA != descLen1(DB) || WA != descLen2(DB))
+      return false;
+    for (uint32_t I = 0; I < FA; ++I)
+      if (Hp.at(IA + 1 + I) != Hp.at(IB + 1 + I))
+        return false;
+    for (uint32_t I = 0; I < WA; ++I)
+      if (!polyEq(Hp.at(IA + 1 + FA + I), Hp.at(IB + 1 + FA + I), Nodes))
+        return false;
+    return true;
+  }
+  case ObjKind::Forward:
+    return false;
+  }
+  return false;
+}
+
+void Machine::runtimeCall(CpsOp Rt, Reg Rd) {
+  cost(10);
+  switch (Rt) {
+  case CpsOp::RtPolyEq: {
+    // The runtime structural equality dispatches on descriptor tags at
+    // every node (the paper's "slow polymorphic equality").
+    uint64_t Nodes = 0;
+    bool Eq = polyEq(ArgW[0], ArgW[1], Nodes);
+    cost(15 + 12 * Nodes);
+    W[Rd] = tagInt(Eq ? 1 : 0);
+    return;
+  }
+  case CpsOp::RtStrEq:
+  case CpsOp::RtStrCmp: {
+    size_t NA, NB;
+    const char *A = bytesData(ArgW[0], NA);
+    const char *B = bytesData(ArgW[1], NB);
+    size_t M = NA < NB ? NA : NB;
+    int C = std::memcmp(A, B, M);
+    if (C == 0)
+      C = NA < NB ? -1 : (NA > NB ? 1 : 0);
+    else
+      C = C < 0 ? -1 : 1;
+    cost(M);
+    if (Rt == CpsOp::RtStrEq)
+      W[Rd] = tagInt(C == 0 ? 1 : 0);
+    else
+      W[Rd] = tagInt(C);
+    return;
+  }
+  case CpsOp::RtConcat: {
+    size_t NA, NB;
+    const char *A = bytesData(ArgW[0], NA);
+    std::string Buf(A, NA);
+    const char *B = bytesData(ArgW[1], NB);
+    Buf.append(B, NB);
+    cost(NA + NB);
+    W[Rd] = allocBytes(Buf.data(), Buf.size());
+    return;
+  }
+  case CpsOp::RtSubstring: {
+    size_t N;
+    const char *A = bytesData(ArgW[0], N);
+    int64_t Start = untagInt(ArgW[1]);
+    int64_t Len = untagInt(ArgW[2]);
+    if (Start < 0 || Len < 0 || static_cast<size_t>(Start + Len) > N) {
+      raiseBuiltin(TagSubscript);
+      return;
+    }
+    std::string Buf(A + Start, static_cast<size_t>(Len));
+    cost(static_cast<uint64_t>(Len));
+    W[Rd] = allocBytes(Buf.data(), Buf.size());
+    return;
+  }
+  case CpsOp::RtChr: {
+    int64_t C = untagInt(ArgW[0]);
+    if (C < 0 || C > 255) {
+      raiseBuiltin(TagChr);
+      return;
+    }
+    char Ch = static_cast<char>(C);
+    W[Rd] = allocBytes(&Ch, 1);
+    return;
+  }
+  case CpsOp::RtItos: {
+    char Buf[32];
+    int N = std::snprintf(Buf, sizeof(Buf), "%lld",
+                          static_cast<long long>(untagInt(ArgW[0])));
+    cost(20);
+    W[Rd] = allocBytes(Buf, static_cast<size_t>(N));
+    return;
+  }
+  case CpsOp::RtRtos: {
+    char Buf[48];
+    int N = std::snprintf(Buf, sizeof(Buf), "%g", ArgF[0]);
+    cost(30);
+    W[Rd] = allocBytes(Buf, static_cast<size_t>(N));
+    return;
+  }
+  case CpsOp::RtPrint: {
+    size_t N;
+    const char *A = bytesData(ArgW[0], N);
+    R.Output.append(A, N);
+    cost(N);
+    W[Rd] = tagInt(0);
+    return;
+  }
+  case CpsOp::RtMakeTag: {
+    int64_t BuiltinIdx = untagInt(ArgW[0]);
+    size_t At = allocObject(ObjKind::Cell, 0, 1, 1);
+    Hp.at(At + 1) = tagInt(BuiltinIdx);
+    AllocWords32 += 2;
+    Word Ptr = makePointer(At);
+    if (BuiltinIdx > 0 && BuiltinIdx < NumBuiltinTags)
+      Tags[BuiltinIdx] = Ptr;
+    W[Rd] = Ptr;
+    return;
+  }
+  case CpsOp::RtArrayMake: {
+    int64_t N = untagInt(ArgW[0]);
+    Word Init = ArgW[1];
+    if (N < 0) {
+      raiseBuiltin(TagSize);
+      return;
+    }
+    size_t At = allocObject(ObjKind::Array, 0, static_cast<uint32_t>(N),
+                            static_cast<size_t>(N));
+    for (int64_t K = 0; K < N; ++K)
+      Hp.at(At + 1 + K) = Init;
+    AllocWords32 += 1 + static_cast<uint64_t>(N);
+    cost(static_cast<uint64_t>(N));
+    W[Rd] = makePointer(At);
+    return;
+  }
+  default:
+    trap("unknown runtime call");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Conditions
+//===----------------------------------------------------------------------===//
+
+bool Machine::condHolds(TmCond C, int64_t A, int64_t B) {
+  switch (C) {
+  case TmCond::Eq: return A == B;
+  case TmCond::Ne: return A != B;
+  case TmCond::Lt: return A < B;
+  case TmCond::Le: return A <= B;
+  case TmCond::Gt: return A > B;
+  case TmCond::Ge: return A >= B;
+  case TmCond::Ult:
+    return static_cast<uint64_t>(A) < static_cast<uint64_t>(B);
+  }
+  return false;
+}
+
+bool Machine::condHoldsF(TmCond C, double A, double B) {
+  switch (C) {
+  case TmCond::Eq: return A == B;
+  case TmCond::Ne: return A != B;
+  case TmCond::Lt: return A < B;
+  case TmCond::Le: return A <= B;
+  case TmCond::Gt: return A > B;
+  case TmCond::Ge: return A >= B;
+  case TmCond::Ult:
+    // No unsigned ordering on floats; BrF sites trap before asking.
+    break;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy interpreter step (the seed baseline, preserved bit for bit)
+//===----------------------------------------------------------------------===//
+
+void Machine::stepLegacy() {
+  const TmFunction &CurFn = P.Funs[Fn];
+  if (Pc >= CurFn.Code.size()) {
+    trap("fell off the end of a function");
+    return;
+  }
+  const Insn &I = CurFn.Code[Pc++];
+  ++R.Instructions;
+  if (ProfileOps)
+    ++OpCounts[static_cast<int>(I.Op)];
+  switch (I.Op) {
+  case TmOp::MovI:
+    W[I.Rd] = tagInt(I.IVal);
+    cost(1);
+    regCost(I.Rd);
+    return;
+  case TmOp::MovR:
+    W[I.Rd] = W[I.Rs1];
+    cost(1);
+    regCost(I.Rd, I.Rs1);
+    return;
+  case TmOp::MovFI:
+    F[I.Rd] = I.FVal;
+    cost(1);
+    fregCost(I.Rd);
+    return;
+  case TmOp::MovFR:
+    F[I.Rd] = F[I.Rs1];
+    cost(1);
+    fregCost(I.Rd, I.Rs1);
+    return;
+  case TmOp::LoadLabel:
+    W[I.Rd] = tagInt(I.Imm);
+    cost(1);
+    regCost(I.Rd);
+    return;
+  case TmOp::LoadStr:
+    W[I.Rd] = StrPtrs[static_cast<size_t>(I.Imm)];
+    cost(1);
+    regCost(I.Rd);
+    return;
+
+  case TmOp::Add:
+    W[I.Rd] = tagInt(untagInt(W[I.Rs1]) + untagInt(W[I.Rs2]));
+    cost(1);
+    regCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  case TmOp::Sub:
+    W[I.Rd] = tagInt(untagInt(W[I.Rs1]) - untagInt(W[I.Rs2]));
+    cost(1);
+    regCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  case TmOp::Mul:
+    W[I.Rd] = tagInt(untagInt(W[I.Rs1]) * untagInt(W[I.Rs2]));
+    cost(5);
+    regCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  case TmOp::Div:
+  case TmOp::Mod: {
+    int64_t D = untagInt(W[I.Rs2]);
+    if (D == 0) {
+      raiseBuiltin(TagDiv);
+      return;
+    }
+    int64_t N = untagInt(W[I.Rs1]);
+    // SML div/mod round toward negative infinity.
+    int64_t Q = N / D;
+    int64_t Rm = N % D;
+    if (Rm != 0 && ((Rm < 0) != (D < 0))) {
+      Q -= 1;
+      Rm += D;
+    }
+    W[I.Rd] = tagInt(I.Op == TmOp::Div ? Q : Rm);
+    cost(12);
+    regCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  }
+  case TmOp::Neg:
+    W[I.Rd] = tagInt(-untagInt(W[I.Rs1]));
+    cost(1);
+    regCost(I.Rd, I.Rs1);
+    return;
+  case TmOp::Abs: {
+    int64_t V = untagInt(W[I.Rs1]);
+    W[I.Rd] = tagInt(V < 0 ? -V : V);
+    cost(1);
+    regCost(I.Rd, I.Rs1);
+    return;
   }
 
-  ExecResult run() {
+  case TmOp::FAdd:
+    F[I.Rd] = F[I.Rs1] + F[I.Rs2];
+    cost(2);
+    fregCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  case TmOp::FSub:
+    F[I.Rd] = F[I.Rs1] - F[I.Rs2];
+    cost(2);
+    fregCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  case TmOp::FMul:
+    F[I.Rd] = F[I.Rs1] * F[I.Rs2];
+    cost(2);
+    fregCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  case TmOp::FDiv:
+    F[I.Rd] = F[I.Rs1] / F[I.Rs2];
+    cost(12);
+    fregCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  case TmOp::FNeg:
+    F[I.Rd] = -F[I.Rs1];
+    cost(1);
+    fregCost(I.Rd, I.Rs1);
+    return;
+  case TmOp::FAbs:
+    F[I.Rd] = std::fabs(F[I.Rs1]);
+    cost(1);
+    fregCost(I.Rd, I.Rs1);
+    return;
+  case TmOp::FSqrt:
+    F[I.Rd] = std::sqrt(F[I.Rs1]);
+    cost(15);
+    fregCost(I.Rd, I.Rs1);
+    return;
+  case TmOp::FSin:
+    F[I.Rd] = std::sin(F[I.Rs1]);
+    cost(30);
+    return;
+  case TmOp::FCos:
+    F[I.Rd] = std::cos(F[I.Rs1]);
+    cost(30);
+    return;
+  case TmOp::FAtan:
+    F[I.Rd] = std::atan(F[I.Rs1]);
+    cost(30);
+    return;
+  case TmOp::FExp:
+    F[I.Rd] = std::exp(F[I.Rs1]);
+    cost(30);
+    return;
+  case TmOp::FLn:
+    F[I.Rd] = std::log(F[I.Rs1]);
+    cost(30);
+    return;
+  case TmOp::Floor:
+    W[I.Rd] = tagInt(static_cast<int64_t>(std::floor(F[I.Rs1])));
+    cost(2);
+    return;
+  case TmOp::IToF:
+    F[I.Rd] = static_cast<double>(untagInt(W[I.Rs1]));
+    cost(2);
+    return;
+
+  case TmOp::Br: {
+    bool T = condHolds(I.Cond, static_cast<int64_t>(W[I.Rs1]),
+                       static_cast<int64_t>(W[I.Rs2]));
+    cost(T ? 2 : 1);
+    regCost(I.Rs1, I.Rs2);
+    if (T)
+      Pc = static_cast<size_t>(I.Imm);
+    return;
+  }
+  case TmOp::BrF: {
+    if (I.Cond == TmCond::Ult) {
+      trap(dtrapMessage(DTrapFloatUnsignedCompare));
+      return;
+    }
+    bool T = condHoldsF(I.Cond, F[I.Rs1], F[I.Rs2]);
+    cost(T ? 2 : 1);
+    if (T)
+      Pc = static_cast<size_t>(I.Imm);
+    return;
+  }
+  case TmOp::BrBoxed: {
+    bool T = isPointer(W[I.Rs1]);
+    cost(T ? 2 : 1);
+    regCost(I.Rs1);
+    if (T)
+      Pc = static_cast<size_t>(I.Imm);
+    return;
+  }
+  case TmOp::Jmp:
+    cost(2);
+    Pc = static_cast<size_t>(I.Imm);
+    return;
+
+  case TmOp::Load: {
+    Word Base = W[I.Rs1];
+    if (!isPointer(Base)) {
+      trap("load from a non-pointer (fn " + std::to_string(Fn) + " pc " +
+           std::to_string(Pc - 1) + ")");
+      return;
+    }
+    W[I.Rd] = Hp.at(pointerIndex(Base) + 1 + I.Imm);
+    cost(2);
+    regCost(I.Rd, I.Rs1);
+    return;
+  }
+  case TmOp::Store: {
+    Word Base = W[I.Rs1];
+    if (!isPointer(Base)) {
+      trap("store to a non-pointer");
+      return;
+    }
+    Hp.storeField(pointerIndex(Base) + 1 + I.Imm, W[I.Rd]);
+    cost(1);
+    return;
+  }
+  case TmOp::LoadF: {
+    Word Base = W[I.Rs1];
+    if (!isPointer(Base)) {
+      trap("float load from a non-pointer");
+      return;
+    }
+    Word Bits = Hp.at(pointerIndex(Base) + 1 + I.Imm);
+    std::memcpy(&F[I.Rd], &Bits, 8);
+    cost(Opts.UnalignedFloats ? 4 : 2);
+    fregCost(I.Rd);
+    regCost(0, I.Rs1);
+    return;
+  }
+  case TmOp::LoadIdx: {
+    Word Base = W[I.Rs1];
+    if (!isPointer(Base)) {
+      trap("indexed load from a non-pointer");
+      return;
+    }
+    int64_t Idx = untagInt(W[I.Rs2]);
+    size_t BI = pointerIndex(Base);
+    Word D = Hp.at(BI);
+    int64_t Len = descKind(D) == ObjKind::Cell
+                      ? 1
+                      : static_cast<int64_t>(descLen2(D));
+    if (Idx < 0 || Idx >= Len) {
+      raiseBuiltin(TagSubscript);
+      return;
+    }
+    W[I.Rd] = Hp.at(BI + 1 + Idx);
+    cost(3); // descriptor check + load
+    regCost(I.Rd, I.Rs1, I.Rs2);
+    return;
+  }
+  case TmOp::StoreIdx: {
+    Word Base = W[I.Rs1];
+    if (!isPointer(Base)) {
+      trap("indexed store to a non-pointer");
+      return;
+    }
+    int64_t Idx = untagInt(W[I.Rs2]);
+    size_t BI = pointerIndex(Base);
+    Word D = Hp.at(BI);
+    int64_t Len = descKind(D) == ObjKind::Cell
+                      ? 1
+                      : static_cast<int64_t>(descLen2(D));
+    if (Idx < 0 || Idx >= Len) {
+      raiseBuiltin(TagSubscript);
+      return;
+    }
+    Hp.storeField(BI + 1 + Idx, W[I.Rd]);
+    cost(2);
+    return;
+  }
+  case TmOp::LoadByte: {
+    size_t N;
+    const char *Data = bytesData(W[I.Rs1], N);
+    int64_t Idx = untagInt(W[I.Rs2]);
+    if (Idx < 0 || static_cast<size_t>(Idx) >= N) {
+      raiseBuiltin(TagSubscript);
+      return;
+    }
+    W[I.Rd] = tagInt(static_cast<unsigned char>(Data[Idx]));
+    cost(2);
+    return;
+  }
+  case TmOp::SizeOfOp: {
+    size_t BI = pointerIndex(W[I.Rs1]);
+    Word D = Hp.at(BI);
+    int64_t N;
+    switch (descKind(D)) {
+    case ObjKind::Bytes: N = descLen1(D); break;
+    case ObjKind::Array: N = descLen2(D); break;
+    case ObjKind::Cell: N = 1; break;
+    default: N = descLen1(D) + descLen2(D); break;
+    }
+    W[I.Rd] = tagInt(N);
+    cost(2);
+    return;
+  }
+
+  case TmOp::AllocStart: {
+    PendingFloats = I.Rs2;
+    PendingWords = I.Rs1;
+    size_t Payload = static_cast<size_t>(PendingWords) + PendingFloats;
+    PendingAt =
+        allocObject(ObjKind::Record, PendingFloats, PendingWords, Payload);
+    if (I.RK == RecordKind::Ref)
+      Hp.at(PendingAt) = makeDesc(ObjKind::Cell, 0, 1);
+    PendingCursor = PendingAt + 1;
+    AllocWords32 += 1 + PendingWords + 2 * PendingFloats;
+    cost(1);
+    return;
+  }
+  case TmOp::AllocWord:
+    Hp.at(PendingCursor++) = W[I.Rs1];
+    cost(1);
+    regCost(0, I.Rs1);
+    return;
+  case TmOp::AllocFloat: {
+    Word Bits;
+    std::memcpy(&Bits, &F[I.Rs1], 8);
+    Hp.at(PendingCursor++) = Bits;
+    cost(2); // two single-word stores
+    return;
+  }
+  case TmOp::AllocEnd:
+    W[I.Rd] = makePointer(PendingAt);
+    cost(1);
+    regCost(I.Rd);
+    return;
+
+  case TmOp::GetHdlr:
+    W[I.Rd] = Handler;
+    cost(1);
+    regCost(I.Rd);
+    return;
+  case TmOp::SetHdlr:
+    Handler = W[I.Rs1];
+    cost(1);
+    regCost(0, I.Rs1);
+    return;
+
+  case TmOp::SetArg:
+    ArgW[I.Imm] = W[I.Rs1];
+    if (I.Imm > MaxWSeen)
+      MaxWSeen = I.Imm;
+    cost(1);
+    regCost(0, I.Rs1);
+    return;
+  case TmOp::SetArgF:
+    ArgF[I.Imm] = F[I.Rs1];
+    if (I.Imm > MaxFSeen)
+      MaxFSeen = I.Imm;
+    cost(1);
+    return;
+  case TmOp::CallL:
+    cost(2);
+    jumpInto(I.Imm, MaxWSeen + 1, MaxFSeen + 1);
+    MaxWSeen = MaxFSeen = -1;
+    return;
+  case TmOp::CallR: {
+    Word Code = W[I.Rs1];
+    cost(2);
+    regCost(0, I.Rs1);
+    if (!isTaggedInt(Code)) {
+      trap("indirect call through a non-label value (fn " +
+           std::to_string(Fn) + " pc " + std::to_string(Pc - 1) + " reg " +
+           std::to_string(I.Rs1) + ")");
+      return;
+    }
+    jumpInto(static_cast<int>(untagInt(Code)), MaxWSeen + 1, MaxFSeen + 1);
+    MaxWSeen = MaxFSeen = -1;
+    return;
+  }
+
+  case TmOp::CCallRt:
+    runtimeCall(I.Rt, I.Rd);
+    MaxWSeen = MaxFSeen = -1;
+    return;
+
+  case TmOp::HaltOp:
+    R.Result = untagInt(W[I.Rs1]);
+    Done = true;
+    return;
+  case TmOp::HaltExnOp:
+    R.UncaughtException = true;
+    R.Result = -1;
+    Done = true;
+    return;
+  }
+  trap("unknown instruction");
+}
+
+void Machine::runLegacy() {
+  while (!Done) {
+    if (R.Cycles > Opts.MaxCycles) {
+      R.Trapped = true;
+      R.TrapMessage = "cycle budget exhausted";
+      break;
+    }
+    stepLegacy();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+ExecResult Machine::run() {
+  using Clock = std::chrono::steady_clock;
+  auto Sec = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double>(B - A).count();
+  };
+
+  VmDispatch Mode = Opts.Dispatch;
+  if (Mode == VmDispatch::Threaded && !threadedDispatchAvailable())
+    Mode = VmDispatch::Switch;
+
+  // Load-time structural check, identical in every mode: an out-of-range
+  // register must trap, never index past a register file.
+  if (const char *Err = validateRegisters(P)) {
+    R.Metrics.Dispatch = Mode == VmDispatch::Legacy    ? "legacy"
+                         : Mode == VmDispatch::Switch ? "switch"
+                                                      : "threaded";
+    trap(Err);
+  } else {
+    DecodedProgram DP;
+    if (Mode != VmDispatch::Legacy) {
+      auto T0 = Clock::now();
+      DP = decodeProgram(P, Opts.UnalignedFloats);
+      R.Metrics.DecodeSec = Sec(T0, Clock::now());
+    }
+
     Fn = 0;
     Pc = 0;
     jumpInto(0, 0, 0);
-    while (!Done) {
-      if (R.Cycles > Opts.MaxCycles) {
-        R.Trapped = true;
-        R.TrapMessage = "cycle budget exhausted";
-        break;
-      }
-      step();
+    auto T0 = Clock::now();
+    switch (Mode) {
+    case VmDispatch::Legacy:
+      R.Metrics.Dispatch = "legacy";
+      runLegacy();
+      break;
+    case VmDispatch::Switch:
+      R.Metrics.Dispatch = "switch";
+      runDecodedSwitch(DP);
+      break;
+    case VmDispatch::Threaded:
+      R.Metrics.Dispatch = "threaded";
+      runDecodedThreaded(DP);
+      break;
     }
-    R.Ok = !R.Trapped;
-    R.AllocWords32 = AllocWords32;
-    R.AllocObjects = Hp.allocatedObjects();
-    R.GcCopiedWords = Hp.copiedWords();
-    R.Collections = Hp.collections();
-    return R;
+    R.Metrics.ExecSec = Sec(T0, Clock::now());
   }
 
-private:
-  //===--------------------------------------------------------------------===//
-  // Costs
-  //===--------------------------------------------------------------------===//
+  R.Ok = !R.Trapped;
+  R.AllocWords32 = AllocWords32;
+  R.AllocObjects = Hp.allocatedObjects();
+  R.GcCopiedWords = Hp.copiedWords();
+  R.Collections = Hp.collections();
 
-  void cost(uint64_t C) { R.Cycles += C; }
-  void regCost(Reg Word1, Reg Word2 = 0, Reg Word3 = 0) {
-    // Registers beyond the fast file model spilled values.
-    if (Word1 >= FastWordRegs)
-      R.Cycles += 2;
-    if (Word2 >= FastWordRegs)
-      R.Cycles += 2;
-    if (Word3 >= FastWordRegs)
-      R.Cycles += 2;
+  const HeapStats &HS = Hp.stats();
+  VmMetrics &M = R.Metrics;
+  M.NurseryKb = Hp.nurseryWords() * sizeof(Word) / 1024;
+  M.GcSec = HS.GcSec;
+  M.Instructions = R.Instructions;
+  M.Cycles = R.Cycles;
+  M.AllocObjects = Hp.allocatedObjects();
+  M.NurseryAllocObjects = HS.NurseryAllocObjects;
+  M.AllocWords32 = AllocWords32;
+  M.MinorCollections = HS.MinorCollections;
+  M.MajorCollections = HS.MajorCollections;
+  M.CopiedWords = Hp.copiedWords();
+  M.PromotedWords = HS.PromotedWords;
+  M.MajorCopiedWords = HS.MajorCopiedWords;
+  M.MaxMinorPauseWords = HS.MaxMinorPauseWords;
+  M.MaxMajorPauseWords = HS.MaxMajorPauseWords;
+  M.BarrierStores = HS.BarrierStores;
+  if (ProfileOps) {
+    M.HasOpCounts = true;
+    std::memcpy(M.OpCounts, OpCounts, sizeof(OpCounts));
   }
-  void fregCost(Reg F1, Reg F2 = 0, Reg F3 = 0) {
-    if (F1 >= FastFloatRegs)
-      R.Cycles += 2;
-    if (F2 >= FastFloatRegs)
-      R.Cycles += 2;
-    if (F3 >= FastFloatRegs)
-      R.Cycles += 2;
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Heap helpers
-  //===--------------------------------------------------------------------===//
-
-  size_t allocObject(ObjKind K, uint32_t Len1, uint32_t Len2,
-                     size_t PayloadWords) {
-    uint64_t CopiedBefore = Hp.copiedWords();
-    size_t At = Hp.allocRaw(PayloadWords);
-    // GC cost: 3 cycles per copied 64-bit word.
-    R.Cycles += 3 * (Hp.copiedWords() - CopiedBefore);
-    Hp.at(At) = makeDesc(K, Len1, Len2);
-    return At;
-  }
-
-  Word allocBytes(const char *Data, size_t N) {
-    size_t Payload = (N + 7) / 8;
-    size_t At = allocObject(ObjKind::Bytes, static_cast<uint32_t>(N), 0,
-                            Payload);
-    char *Dst = reinterpret_cast<char *>(&Hp.at(At + 1));
-    std::memcpy(Dst, Data, N);
-    AllocWords32 += 1 + (N + 3) / 4;
-    return makePointer(At);
-  }
-
-  const char *bytesData(Word P, size_t &N) {
-    size_t Idx = pointerIndex(P);
-    Word D = Hp.at(Idx);
-    N = descLen1(D);
-    return reinterpret_cast<const char *>(&Hp.at(Idx + 1));
-  }
-
-  void internStrings() {
-    for (const std::string &S : P.StringPool)
-      StrPtrs.push_back(allocBytes(S.data(), S.size()));
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Control
-  //===--------------------------------------------------------------------===//
-
-  void jumpInto(int Label, int NW, int NF) {
-    if (Label < 0 || Label >= static_cast<int>(P.Funs.size())) {
-      trap("jump to invalid label");
-      return;
-    }
-    const TmFunction &Target = P.Funs[Label];
-    // Stage arguments into the register file.
-    for (int I = 0; I < Target.NumWordParams; ++I)
-      W[1 + I] = I < NW ? ArgW[I] : tagInt(0);
-    for (int I = 0; I < Target.NumFloatParams; ++I)
-      F[1 + I] = I < NF ? ArgF[I] : 0.0;
-    // Clear dead registers so the GC roots stay precise.
-    for (int I = 1 + Target.NumWordParams; I < NumWordRegs; ++I)
-      W[I] = tagInt(0);
-    Fn = Label;
-    Pc = 0;
-  }
-
-  void trap(const std::string &Msg) {
-    R.Trapped = true;
-    R.TrapMessage = Msg;
-    Done = true;
-  }
-
-  /// Raises a builtin exception through the handler register.
-  void raiseBuiltin(int TagIdx) {
-    cost(12);
-    Word Tag = Tags[TagIdx];
-    // exn = [tag, unit]
-    size_t At = allocObject(ObjKind::Record, 0, 2, 2);
-    Hp.at(At + 1) = Tag;
-    Hp.at(At + 2) = tagInt(0);
-    AllocWords32 += 3;
-    Word Exn = makePointer(At);
-    invokeHandler(Exn);
-  }
-
-  void invokeHandler(Word Exn) {
-    Word H = Handler;
-    if (!isPointer(H)) {
-      trap("exception raised with no handler installed");
-      return;
-    }
-    size_t Idx = pointerIndex(H);
-    Word Code = Hp.at(Idx + 1); // closure slot 0 (after descriptor)
-    ArgW[0] = H;
-    ArgW[1] = Exn;
-    for (int I = 2; I < 8; ++I)
-      ArgW[I] = tagInt(0);
-    for (int I = 0; I < 8; ++I)
-      ArgF[I] = 0.0;
-    if (!isTaggedInt(Code)) {
-      trap("handler closure has no code pointer");
-      return;
-    }
-    jumpInto(static_cast<int>(untagInt(Code)), 8, 8);
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Runtime services
-  //===--------------------------------------------------------------------===//
-
-  bool polyEq(Word A, Word B, uint64_t &Nodes) {
-    if (++Nodes > 1000000)
-      return A == B;
-    if (A == B)
-      return true;
-    if (!isPointer(A) || !isPointer(B))
-      return false;
-    size_t IA = pointerIndex(A), IB = pointerIndex(B);
-    Word DA = Hp.at(IA), DB = Hp.at(IB);
-    if (descKind(DA) != descKind(DB))
-      return false;
-    switch (descKind(DA)) {
-    case ObjKind::Bytes: {
-      size_t NA = descLen1(DA), NB = descLen1(DB);
-      if (NA != NB)
-        return false;
-      return std::memcmp(&Hp.at(IA + 1), &Hp.at(IB + 1), NA) == 0;
-    }
-    case ObjKind::Cell:
-    case ObjKind::Array:
-      return false; // identity compared above
-    case ObjKind::Record: {
-      uint32_t FA = descLen1(DA), WA = descLen2(DA);
-      if (FA != descLen1(DB) || WA != descLen2(DB))
-        return false;
-      for (uint32_t I = 0; I < FA; ++I)
-        if (Hp.at(IA + 1 + I) != Hp.at(IB + 1 + I))
-          return false;
-      for (uint32_t I = 0; I < WA; ++I)
-        if (!polyEq(Hp.at(IA + 1 + FA + I), Hp.at(IB + 1 + FA + I),
-                    Nodes))
-          return false;
-      return true;
-    }
-    case ObjKind::Forward:
-      return false;
-    }
-    return false;
-  }
-
-  void runtimeCall(const Insn &I) {
-    cost(10);
-    switch (I.Rt) {
-    case CpsOp::RtPolyEq: {
-      // The runtime structural equality dispatches on descriptor tags at
-      // every node (the paper's "slow polymorphic equality").
-      uint64_t Nodes = 0;
-      bool Eq = polyEq(ArgW[0], ArgW[1], Nodes);
-      cost(15 + 12 * Nodes);
-      W[I.Rd] = tagInt(Eq ? 1 : 0);
-      return;
-    }
-    case CpsOp::RtStrEq:
-    case CpsOp::RtStrCmp: {
-      size_t NA, NB;
-      const char *A = bytesData(ArgW[0], NA);
-      const char *B = bytesData(ArgW[1], NB);
-      size_t M = NA < NB ? NA : NB;
-      int C = std::memcmp(A, B, M);
-      if (C == 0)
-        C = NA < NB ? -1 : (NA > NB ? 1 : 0);
-      else
-        C = C < 0 ? -1 : 1;
-      cost(M);
-      if (I.Rt == CpsOp::RtStrEq)
-        W[I.Rd] = tagInt(C == 0 ? 1 : 0);
-      else
-        W[I.Rd] = tagInt(C);
-      return;
-    }
-    case CpsOp::RtConcat: {
-      size_t NA, NB;
-      const char *A = bytesData(ArgW[0], NA);
-      std::string Buf(A, NA);
-      const char *B = bytesData(ArgW[1], NB);
-      Buf.append(B, NB);
-      cost(NA + NB);
-      W[I.Rd] = allocBytes(Buf.data(), Buf.size());
-      return;
-    }
-    case CpsOp::RtSubstring: {
-      size_t N;
-      const char *A = bytesData(ArgW[0], N);
-      int64_t Start = untagInt(ArgW[1]);
-      int64_t Len = untagInt(ArgW[2]);
-      if (Start < 0 || Len < 0 ||
-          static_cast<size_t>(Start + Len) > N) {
-        raiseBuiltin(TagSubscript);
-        return;
-      }
-      std::string Buf(A + Start, static_cast<size_t>(Len));
-      cost(static_cast<uint64_t>(Len));
-      W[I.Rd] = allocBytes(Buf.data(), Buf.size());
-      return;
-    }
-    case CpsOp::RtChr: {
-      int64_t C = untagInt(ArgW[0]);
-      if (C < 0 || C > 255) {
-        raiseBuiltin(TagChr);
-        return;
-      }
-      char Ch = static_cast<char>(C);
-      W[I.Rd] = allocBytes(&Ch, 1);
-      return;
-    }
-    case CpsOp::RtItos: {
-      char Buf[32];
-      int N = std::snprintf(Buf, sizeof(Buf), "%lld",
-                            static_cast<long long>(untagInt(ArgW[0])));
-      cost(20);
-      W[I.Rd] = allocBytes(Buf, static_cast<size_t>(N));
-      return;
-    }
-    case CpsOp::RtRtos: {
-      char Buf[48];
-      int N = std::snprintf(Buf, sizeof(Buf), "%g", ArgF[0]);
-      cost(30);
-      W[I.Rd] = allocBytes(Buf, static_cast<size_t>(N));
-      return;
-    }
-    case CpsOp::RtPrint: {
-      size_t N;
-      const char *A = bytesData(ArgW[0], N);
-      R.Output.append(A, N);
-      cost(N);
-      W[I.Rd] = tagInt(0);
-      return;
-    }
-    case CpsOp::RtMakeTag: {
-      int64_t BuiltinIdx = untagInt(ArgW[0]);
-      size_t At = allocObject(ObjKind::Cell, 0, 1, 1);
-      Hp.at(At + 1) = tagInt(BuiltinIdx);
-      AllocWords32 += 2;
-      Word Ptr = makePointer(At);
-      if (BuiltinIdx > 0 && BuiltinIdx < NumBuiltinTags)
-        Tags[BuiltinIdx] = Ptr;
-      W[I.Rd] = Ptr;
-      return;
-    }
-    case CpsOp::RtArrayMake: {
-      int64_t N = untagInt(ArgW[0]);
-      Word Init = ArgW[1];
-      if (N < 0) {
-        raiseBuiltin(TagSize);
-        return;
-      }
-      size_t At = allocObject(ObjKind::Array, 0,
-                              static_cast<uint32_t>(N),
-                              static_cast<size_t>(N));
-      for (int64_t K = 0; K < N; ++K)
-        Hp.at(At + 1 + K) = Init;
-      AllocWords32 += 1 + static_cast<uint64_t>(N);
-      cost(static_cast<uint64_t>(N));
-      W[I.Rd] = makePointer(At);
-      return;
-    }
-    default:
-      trap("unknown runtime call");
-      return;
-    }
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Interpreter step
-  //===--------------------------------------------------------------------===//
-
-  bool condHolds(TmCond C, int64_t A, int64_t B) {
-    switch (C) {
-    case TmCond::Eq: return A == B;
-    case TmCond::Ne: return A != B;
-    case TmCond::Lt: return A < B;
-    case TmCond::Le: return A <= B;
-    case TmCond::Gt: return A > B;
-    case TmCond::Ge: return A >= B;
-    case TmCond::Ult:
-      return static_cast<uint64_t>(A) < static_cast<uint64_t>(B);
-    }
-    return false;
-  }
-  bool condHoldsF(TmCond C, double A, double B) {
-    switch (C) {
-    case TmCond::Eq: return A == B;
-    case TmCond::Ne: return A != B;
-    case TmCond::Lt: return A < B;
-    case TmCond::Le: return A <= B;
-    case TmCond::Gt: return A > B;
-    case TmCond::Ge: return A >= B;
-    case TmCond::Ult: return A < B;
-    }
-    return false;
-  }
-
-  void step() {
-    const TmFunction &CurFn = P.Funs[Fn];
-    if (Pc >= CurFn.Code.size()) {
-      trap("fell off the end of a function");
-      return;
-    }
-    const Insn &I = CurFn.Code[Pc++];
-    ++R.Instructions;
-    switch (I.Op) {
-    case TmOp::MovI:
-      W[I.Rd] = tagInt(I.IVal);
-      cost(1);
-      regCost(I.Rd);
-      return;
-    case TmOp::MovR:
-      W[I.Rd] = W[I.Rs1];
-      cost(1);
-      regCost(I.Rd, I.Rs1);
-      return;
-    case TmOp::MovFI:
-      F[I.Rd] = I.FVal;
-      cost(1);
-      fregCost(I.Rd);
-      return;
-    case TmOp::MovFR:
-      F[I.Rd] = F[I.Rs1];
-      cost(1);
-      fregCost(I.Rd, I.Rs1);
-      return;
-    case TmOp::LoadLabel:
-      W[I.Rd] = tagInt(I.Imm);
-      cost(1);
-      regCost(I.Rd);
-      return;
-    case TmOp::LoadStr:
-      W[I.Rd] = StrPtrs[static_cast<size_t>(I.Imm)];
-      cost(1);
-      regCost(I.Rd);
-      return;
-
-    case TmOp::Add:
-      W[I.Rd] = tagInt(untagInt(W[I.Rs1]) + untagInt(W[I.Rs2]));
-      cost(1);
-      regCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    case TmOp::Sub:
-      W[I.Rd] = tagInt(untagInt(W[I.Rs1]) - untagInt(W[I.Rs2]));
-      cost(1);
-      regCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    case TmOp::Mul:
-      W[I.Rd] = tagInt(untagInt(W[I.Rs1]) * untagInt(W[I.Rs2]));
-      cost(5);
-      regCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    case TmOp::Div:
-    case TmOp::Mod: {
-      int64_t D = untagInt(W[I.Rs2]);
-      if (D == 0) {
-        raiseBuiltin(TagDiv);
-        return;
-      }
-      int64_t N = untagInt(W[I.Rs1]);
-      // SML div/mod round toward negative infinity.
-      int64_t Q = N / D;
-      int64_t Rm = N % D;
-      if (Rm != 0 && ((Rm < 0) != (D < 0))) {
-        Q -= 1;
-        Rm += D;
-      }
-      W[I.Rd] = tagInt(I.Op == TmOp::Div ? Q : Rm);
-      cost(12);
-      regCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    }
-    case TmOp::Neg:
-      W[I.Rd] = tagInt(-untagInt(W[I.Rs1]));
-      cost(1);
-      regCost(I.Rd, I.Rs1);
-      return;
-    case TmOp::Abs: {
-      int64_t V = untagInt(W[I.Rs1]);
-      W[I.Rd] = tagInt(V < 0 ? -V : V);
-      cost(1);
-      regCost(I.Rd, I.Rs1);
-      return;
-    }
-
-    case TmOp::FAdd:
-      F[I.Rd] = F[I.Rs1] + F[I.Rs2];
-      cost(2);
-      fregCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    case TmOp::FSub:
-      F[I.Rd] = F[I.Rs1] - F[I.Rs2];
-      cost(2);
-      fregCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    case TmOp::FMul:
-      F[I.Rd] = F[I.Rs1] * F[I.Rs2];
-      cost(2);
-      fregCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    case TmOp::FDiv:
-      F[I.Rd] = F[I.Rs1] / F[I.Rs2];
-      cost(12);
-      fregCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    case TmOp::FNeg:
-      F[I.Rd] = -F[I.Rs1];
-      cost(1);
-      fregCost(I.Rd, I.Rs1);
-      return;
-    case TmOp::FAbs:
-      F[I.Rd] = std::fabs(F[I.Rs1]);
-      cost(1);
-      fregCost(I.Rd, I.Rs1);
-      return;
-    case TmOp::FSqrt:
-      F[I.Rd] = std::sqrt(F[I.Rs1]);
-      cost(15);
-      fregCost(I.Rd, I.Rs1);
-      return;
-    case TmOp::FSin:
-      F[I.Rd] = std::sin(F[I.Rs1]);
-      cost(30);
-      return;
-    case TmOp::FCos:
-      F[I.Rd] = std::cos(F[I.Rs1]);
-      cost(30);
-      return;
-    case TmOp::FAtan:
-      F[I.Rd] = std::atan(F[I.Rs1]);
-      cost(30);
-      return;
-    case TmOp::FExp:
-      F[I.Rd] = std::exp(F[I.Rs1]);
-      cost(30);
-      return;
-    case TmOp::FLn:
-      F[I.Rd] = std::log(F[I.Rs1]);
-      cost(30);
-      return;
-    case TmOp::Floor:
-      W[I.Rd] = tagInt(static_cast<int64_t>(std::floor(F[I.Rs1])));
-      cost(2);
-      return;
-    case TmOp::IToF:
-      F[I.Rd] = static_cast<double>(untagInt(W[I.Rs1]));
-      cost(2);
-      return;
-
-    case TmOp::Br: {
-      bool T = condHolds(I.Cond, static_cast<int64_t>(W[I.Rs1]),
-                         static_cast<int64_t>(W[I.Rs2]));
-      cost(T ? 2 : 1);
-      regCost(I.Rs1, I.Rs2);
-      if (T)
-        Pc = static_cast<size_t>(I.Imm);
-      return;
-    }
-    case TmOp::BrF: {
-      bool T = condHoldsF(I.Cond, F[I.Rs1], F[I.Rs2]);
-      cost(T ? 2 : 1);
-      if (T)
-        Pc = static_cast<size_t>(I.Imm);
-      return;
-    }
-    case TmOp::BrBoxed: {
-      bool T = isPointer(W[I.Rs1]);
-      cost(T ? 2 : 1);
-      regCost(I.Rs1);
-      if (T)
-        Pc = static_cast<size_t>(I.Imm);
-      return;
-    }
-    case TmOp::Jmp:
-      cost(2);
-      Pc = static_cast<size_t>(I.Imm);
-      return;
-
-    case TmOp::Load: {
-      Word Base = W[I.Rs1];
-      if (!isPointer(Base)) {
-        trap("load from a non-pointer (fn " + std::to_string(Fn) +
-             " pc " + std::to_string(Pc - 1) + ")");
-        return;
-      }
-      W[I.Rd] = Hp.at(pointerIndex(Base) + 1 + I.Imm);
-      cost(2);
-      regCost(I.Rd, I.Rs1);
-      return;
-    }
-    case TmOp::Store: {
-      Word Base = W[I.Rs1];
-      if (!isPointer(Base)) {
-        trap("store to a non-pointer");
-        return;
-      }
-      Hp.at(pointerIndex(Base) + 1 + I.Imm) = W[I.Rd];
-      cost(1);
-      return;
-    }
-    case TmOp::LoadF: {
-      Word Base = W[I.Rs1];
-      if (!isPointer(Base)) {
-        trap("float load from a non-pointer");
-        return;
-      }
-      Word Bits = Hp.at(pointerIndex(Base) + 1 + I.Imm);
-      std::memcpy(&F[I.Rd], &Bits, 8);
-      cost(Opts.UnalignedFloats ? 4 : 2);
-      fregCost(I.Rd);
-      regCost(0, I.Rs1);
-      return;
-    }
-    case TmOp::LoadIdx: {
-      Word Base = W[I.Rs1];
-      if (!isPointer(Base)) {
-        trap("indexed load from a non-pointer");
-        return;
-      }
-      int64_t Idx = untagInt(W[I.Rs2]);
-      size_t BI = pointerIndex(Base);
-      Word D = Hp.at(BI);
-      int64_t Len = descKind(D) == ObjKind::Cell
-                        ? 1
-                        : static_cast<int64_t>(descLen2(D));
-      if (Idx < 0 || Idx >= Len) {
-        raiseBuiltin(TagSubscript);
-        return;
-      }
-      W[I.Rd] = Hp.at(BI + 1 + Idx);
-      cost(3); // descriptor check + load
-      regCost(I.Rd, I.Rs1, I.Rs2);
-      return;
-    }
-    case TmOp::StoreIdx: {
-      Word Base = W[I.Rs1];
-      if (!isPointer(Base)) {
-        trap("indexed store to a non-pointer");
-        return;
-      }
-      int64_t Idx = untagInt(W[I.Rs2]);
-      size_t BI = pointerIndex(Base);
-      Word D = Hp.at(BI);
-      int64_t Len = descKind(D) == ObjKind::Cell
-                        ? 1
-                        : static_cast<int64_t>(descLen2(D));
-      if (Idx < 0 || Idx >= Len) {
-        raiseBuiltin(TagSubscript);
-        return;
-      }
-      Hp.at(BI + 1 + Idx) = W[I.Rd];
-      cost(2);
-      return;
-    }
-    case TmOp::LoadByte: {
-      size_t N;
-      const char *Data = bytesData(W[I.Rs1], N);
-      int64_t Idx = untagInt(W[I.Rs2]);
-      if (Idx < 0 || static_cast<size_t>(Idx) >= N) {
-        raiseBuiltin(TagSubscript);
-        return;
-      }
-      W[I.Rd] = tagInt(static_cast<unsigned char>(Data[Idx]));
-      cost(2);
-      return;
-    }
-    case TmOp::SizeOfOp: {
-      size_t BI = pointerIndex(W[I.Rs1]);
-      Word D = Hp.at(BI);
-      int64_t N;
-      switch (descKind(D)) {
-      case ObjKind::Bytes: N = descLen1(D); break;
-      case ObjKind::Array: N = descLen2(D); break;
-      case ObjKind::Cell: N = 1; break;
-      default: N = descLen1(D) + descLen2(D); break;
-      }
-      W[I.Rd] = tagInt(N);
-      cost(2);
-      return;
-    }
-
-    case TmOp::AllocStart: {
-      PendingFloats = I.Rs2;
-      PendingWords = I.Rs1;
-      size_t Payload =
-          static_cast<size_t>(PendingWords) + PendingFloats;
-      PendingAt = allocObject(ObjKind::Record, PendingFloats,
-                              PendingWords, Payload);
-      if (I.RK == RecordKind::Ref)
-        Hp.at(PendingAt) = makeDesc(ObjKind::Cell, 0, 1);
-      PendingCursor = PendingAt + 1;
-      AllocWords32 += 1 + PendingWords + 2 * PendingFloats;
-      cost(1);
-      return;
-    }
-    case TmOp::AllocWord:
-      Hp.at(PendingCursor++) = W[I.Rs1];
-      cost(1);
-      regCost(0, I.Rs1);
-      return;
-    case TmOp::AllocFloat: {
-      Word Bits;
-      std::memcpy(&Bits, &F[I.Rs1], 8);
-      Hp.at(PendingCursor++) = Bits;
-      cost(2); // two single-word stores
-      return;
-    }
-    case TmOp::AllocEnd:
-      W[I.Rd] = makePointer(PendingAt);
-      cost(1);
-      regCost(I.Rd);
-      return;
-
-    case TmOp::GetHdlr:
-      W[I.Rd] = Handler;
-      cost(1);
-      regCost(I.Rd);
-      return;
-    case TmOp::SetHdlr:
-      Handler = W[I.Rs1];
-      cost(1);
-      regCost(0, I.Rs1);
-      return;
-
-    case TmOp::SetArg:
-      ArgW[I.Imm] = W[I.Rs1];
-      if (I.Imm > MaxWSeen)
-        MaxWSeen = I.Imm;
-      cost(1);
-      regCost(0, I.Rs1);
-      return;
-    case TmOp::SetArgF:
-      ArgF[I.Imm] = F[I.Rs1];
-      if (I.Imm > MaxFSeen)
-        MaxFSeen = I.Imm;
-      cost(1);
-      return;
-    case TmOp::CallL:
-      cost(2);
-      jumpInto(I.Imm, MaxWSeen + 1, MaxFSeen + 1);
-      MaxWSeen = MaxFSeen = -1;
-      return;
-    case TmOp::CallR: {
-      Word Code = W[I.Rs1];
-      cost(2);
-      regCost(0, I.Rs1);
-      if (!isTaggedInt(Code)) {
-        trap("indirect call through a non-label value (fn " +
-             std::to_string(Fn) + " pc " + std::to_string(Pc - 1) +
-             " reg " + std::to_string(I.Rs1) + ")");
-        return;
-      }
-      jumpInto(static_cast<int>(untagInt(Code)), MaxWSeen + 1,
-               MaxFSeen + 1);
-      MaxWSeen = MaxFSeen = -1;
-      return;
-    }
-
-    case TmOp::CCallRt:
-      runtimeCall(I);
-      MaxWSeen = MaxFSeen = -1;
-      return;
-
-    case TmOp::HaltOp:
-      R.Result = untagInt(W[I.Rs1]);
-      Done = true;
-      return;
-    case TmOp::HaltExnOp:
-      R.UncaughtException = true;
-      R.Result = -1;
-      Done = true;
-      return;
-    }
-    trap("unknown instruction");
-  }
-
-  const TmProgram &P;
-  VmOptions Opts;
-  Heap Hp;
-  ExecResult R;
-
-  Word W[NumWordRegs];
-  double F[NumFloatRegs];
-  Word ArgW[MaxArgs];
-  double ArgF[MaxArgs];
-  Word Handler;
-  Word Tags[NumBuiltinTags];
-  std::vector<Word> StrPtrs;
-
-  int Fn = 0;
-  size_t Pc = 0;
-  bool Done = false;
-  int MaxWSeen = -1;
-  int MaxFSeen = -1;
-
-  size_t PendingAt = 0;
-  size_t PendingCursor = 0;
-  uint32_t PendingWords = 0;
-  uint32_t PendingFloats = 0;
-
-  uint64_t AllocWords32 = 0;
-};
-
-} // namespace
+  return R;
+}
 
 ExecResult smltc::execute(const TmProgram &Program, const VmOptions &Opts) {
   Machine M(Program, Opts);

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-#===- tools/check.sh - Tier-1 verify + TSan batch-engine race check ---------===#
+#===- tools/check.sh - Tier-1 verify + sanitizer and smoke checks -----------===#
 #
 # 1. Configure, build, and run the full test suite (the tier-1 gate).
-# 2. Rebuild the tests under ThreadSanitizer and run the batch-engine and
-#    compile-cache tests, so data races in the worker pool are caught
-#    mechanically rather than by flaky failures.
+# 2. Smoke-run the execution-throughput benchmark (1 iteration): the
+#    three dispatch engines must agree bit-for-bit across the corpus.
+# 3. Rebuild under ThreadSanitizer and run the batch-engine tests, so
+#    data races in the worker pool are caught mechanically.
+# 4. Rebuild under AddressSanitizer and run the full suite, so heap/GC
+#    bugs (forwarding overruns, register-file overflows) are caught at
+#    the first bad access rather than as downstream corruption.
 #
-# Usage: tools/check.sh [--no-tsan]
+# Usage: tools/check.sh [--no-tsan] [--no-asan]
 #
 #===----------------------------------------------------------------------===#
 set -euo pipefail
@@ -14,12 +18,23 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=1
-[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+RUN_ASAN=1
+for Arg in "$@"; do
+  case "$Arg" in
+    --no-tsan) RUN_TSAN=0 ;;
+    --no-asan) RUN_ASAN=0 ;;
+    *) echo "unknown option '$Arg'" >&2; exit 64 ;;
+  esac
+done
 
 echo "== tier-1: build + ctest =="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j"$JOBS"
 (cd "$ROOT/build" && ctest --output-on-failure -j"$JOBS")
+
+echo "== smoke: exec_throughput (1 iteration, correctness gates) =="
+(cd "$ROOT/build" && ./bench/exec_throughput --smoke \
+  --out="$ROOT/build/BENCH_exec_smoke.json")
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: batch engine race check =="
@@ -27,6 +42,13 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build "$ROOT/build-tsan" -j"$JOBS" --target smltc_tests
   "$ROOT/build-tsan/tests/smltc_tests" \
     --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*'
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== asan: full suite under AddressSanitizer =="
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DSMLTC_SANITIZE=address
+  cmake --build "$ROOT/build-asan" -j"$JOBS" --target smltc_tests
+  "$ROOT/build-asan/tests/smltc_tests"
 fi
 
 echo "== check.sh: all green =="

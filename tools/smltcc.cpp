@@ -10,6 +10,9 @@
 //     --no-prelude     do not prepend the standard prelude
 //     --metrics        print compile- and run-time metrics
 //     --metrics-json   print per-compile and batch metrics as JSON
+//     --vm-dispatch=threaded|switch|legacy   execution engine (default: threaded)
+//     --vm-nursery-kb=N   nursery size in KiB; 0 = plain two-space GC
+//     --vm-metrics-json   print runtime metrics (incl. per-opcode counts) as JSON
 //     --expr 'src'     compile the given source text instead of a file
 //     --dump-lexp      print the typed lambda (LEXP) program
 //     --dump-cps       print the optimized CPS program
@@ -41,7 +44,8 @@ const CompilerOptions *variantByName(const std::string &Name) {
 
 /// Executes and reports one already-compiled program.
 int runCompiled(const CompileOutput &C, const CompilerOptions &O,
-                bool Metrics, bool MetricsJson, bool Quiet, bool DumpLexp,
+                const VmOptions &VmBase, bool Metrics, bool MetricsJson,
+                bool VmMetricsJson, bool Quiet, bool DumpLexp,
                 bool DumpCps) {
   if (!C.Ok) {
     std::fprintf(stderr, "%s\n", C.Errors.c_str());
@@ -51,7 +55,7 @@ int runCompiled(const CompileOutput &C, const CompilerOptions &O,
     std::printf("=== LEXP ===\n%s\n", C.LexpDump.c_str());
   if (DumpCps)
     std::printf("=== CPS ===\n%s\n", C.CpsDump.c_str());
-  VmOptions V;
+  VmOptions V = VmBase;
   V.UnalignedFloats = O.UnalignedFloats;
   ExecResult R = execute(C.Program, V);
   if (R.Trapped) {
@@ -85,6 +89,8 @@ int runCompiled(const CompileOutput &C, const CompilerOptions &O,
   } else {
     std::printf("result = %lld\n", static_cast<long long>(R.Result));
   }
+  if (VmMetricsJson)
+    std::printf("%s\n", R.Metrics.toJson().c_str());
   return 0;
 }
 
@@ -95,14 +101,34 @@ int main(int Argc, char **Argv) {
   std::string File;
   std::string Expr;
   bool All = false, WithPrelude = true, Metrics = false;
-  bool MetricsJson = false;
+  bool MetricsJson = false, VmMetricsJson = false;
   bool DumpLexp = false, DumpCps = false;
   size_t Jobs = 1;
+  VmOptions VmBase;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A.rfind("--variant=", 0) == 0) {
       VariantName = A.substr(10);
+    } else if (A.rfind("--vm-dispatch=", 0) == 0) {
+      std::string D = A.substr(14);
+      if (D == "threaded")
+        VmBase.Dispatch = VmDispatch::Threaded;
+      else if (D == "switch")
+        VmBase.Dispatch = VmDispatch::Switch;
+      else if (D == "legacy")
+        VmBase.Dispatch = VmDispatch::Legacy;
+      else {
+        std::fprintf(stderr,
+                     "unknown dispatch '%s' (threaded|switch|legacy)\n",
+                     D.c_str());
+        return 64;
+      }
+    } else if (A.rfind("--vm-nursery-kb=", 0) == 0) {
+      VmBase.NurseryKb = static_cast<size_t>(std::atol(A.c_str() + 16));
+    } else if (A == "--vm-metrics-json") {
+      VmMetricsJson = true;
+      VmBase.ProfileOpcodes = true;
     } else if (A == "--all") {
       All = true;
     } else if (A.rfind("--jobs=", 0) == 0) {
@@ -124,6 +150,8 @@ int main(int Argc, char **Argv) {
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
                   "[--all] [--jobs=N] [--metrics] [--metrics-json] "
+                  "[--vm-dispatch=threaded|switch|legacy] "
+                  "[--vm-nursery-kb=N] [--vm-metrics-json] "
                   "[--no-prelude] (file.sml | --expr 'src')\n");
       return 0;
     } else if (!A.empty() && A[0] != '-') {
@@ -171,8 +199,8 @@ int main(int Argc, char **Argv) {
     std::vector<CompileOutput> Outs = Batch.compileAll(BatchJobs);
     int Rc = 0;
     for (size_t I = 0; I < N; ++I)
-      Rc |= runCompiled(Outs[I], Vs[I], true, MetricsJson, /*Quiet=*/true,
-                        DumpLexp, DumpCps);
+      Rc |= runCompiled(Outs[I], Vs[I], VmBase, true, MetricsJson,
+                        VmMetricsJson, /*Quiet=*/true, DumpLexp, DumpCps);
     if (MetricsJson)
       std::printf("%s\n", Batch.lastBatch().toJson().c_str());
     return Rc;
@@ -185,6 +213,6 @@ int main(int Argc, char **Argv) {
   CompilerOptions Opts = *O;
   Opts.KeepDumps = DumpLexp || DumpCps;
   CompileOutput C = Compiler::compile(Source, Opts, WithPrelude);
-  return runCompiled(C, Opts, Metrics, MetricsJson, false, DumpLexp,
-                     DumpCps);
+  return runCompiled(C, Opts, VmBase, Metrics, MetricsJson, VmMetricsJson,
+                     false, DumpLexp, DumpCps);
 }
