@@ -1,0 +1,305 @@
+//===- bench/server_throughput.cpp - Compile-server latency tiers ---------------===//
+//
+// Measures the compile server end to end over its Unix-domain socket on
+// the full Figure 7/8 workload (12 benchmarks x 6 variants = 72 unique
+// compile requests), one phase per cache tier:
+//
+//   1. cold        fresh daemon, empty disk cache: every request is a
+//                  true compile (tier counters must read 72 misses)
+//   2. warm-memory same daemon, repeat the workload: every request is an
+//                  in-memory hit
+//   3. warm-disk   daemon restarted over the same cache directory (the
+//                  in-memory tier is empty again): every repeat request
+//                  must be served from the persistent tier — this is the
+//                  restart guarantee, verified by the tier counters in
+//                  BENCH_server.json
+//
+// Reports requests/sec plus p50/p99 client-observed latency per phase,
+// and exits nonzero unless (a) the tier counters are exactly as above,
+// (b) every response is byte-identical to a local compile, and (c) the
+// warm-disk tier is at least 10x faster than cold at the p50 — the
+// latency ratio, not requests/sec, so the gate measures the per-request
+// cost of each tier rather than how many cores the machine happens to
+// parallelize cold compiles across.
+//
+// Usage: server_throughput [--smoke] [--clients=N] [--iters=N] [--out=PATH]
+//   --smoke   one warm-memory iteration (CI smoke run); all gates stay on
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "server/Client.h"
+#include "server/Server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <ftw.h>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+
+using namespace smltc;
+using namespace smltc::bench;
+using namespace smltc::server;
+
+namespace {
+
+int rmOne(const char *Path, const struct stat *, int, struct FTW *) {
+  return ::remove(Path);
+}
+
+struct PhaseStats {
+  double WallSec = 0;
+  std::vector<double> LatMs;
+  size_t Miss = 0, Memory = 0, Disk = 0;
+  size_t Mismatches = 0, Errors = 0;
+
+  double rps() const {
+    return WallSec > 0 ? static_cast<double>(LatMs.size()) / WallSec : 0;
+  }
+  double pct(double P) {
+    if (LatMs.empty())
+      return 0;
+    std::sort(LatMs.begin(), LatMs.end());
+    size_t I = static_cast<size_t>(P * static_cast<double>(LatMs.size() - 1));
+    return LatMs[I];
+  }
+};
+
+/// Runs one pass of the 72-job matrix through `Clients` concurrent
+/// connections (round-robin partition, so every key is requested exactly
+/// once) and tallies latency, tier, and byte-identity per response.
+PhaseStats runPhase(const std::string &Sock,
+                    const std::vector<CompileJob> &Jobs,
+                    const std::vector<std::string> &Expected,
+                    size_t Clients) {
+  PhaseStats S;
+  std::vector<PhaseStats> Per(Clients);
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Ts;
+  for (size_t C = 0; C < Clients; ++C)
+    Ts.emplace_back([&, C] {
+      PhaseStats &P = Per[C];
+      Client Cl;
+      std::string Err;
+      if (!Cl.connect(Sock, Err)) {
+        P.Errors = Jobs.size(); // count the whole slice as failed
+        return;
+      }
+      for (size_t I = C; I < Jobs.size(); I += Clients) {
+        CompileRequest Req;
+        Req.Opts = Jobs[I].Opts;
+        Req.Source = Jobs[I].Source;
+        Req.WithPrelude = Jobs[I].WithPrelude;
+        CompileResponse Resp;
+        auto R0 = std::chrono::steady_clock::now();
+        bool Ok = Cl.compile(Req, Resp, Err);
+        auto R1 = std::chrono::steady_clock::now();
+        if (!Ok || Resp.St != Status::Ok) {
+          ++P.Errors;
+          continue;
+        }
+        P.LatMs.push_back(
+            std::chrono::duration<double, std::milli>(R1 - R0).count());
+        switch (Resp.Tier) {
+        case WireTier::Miss:
+          ++P.Miss;
+          break;
+        case WireTier::Memory:
+          ++P.Memory;
+          break;
+        case WireTier::Disk:
+          ++P.Disk;
+          break;
+        }
+        if (programBytes(Resp.Program) != Expected[I])
+          ++P.Mismatches;
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  S.WallSec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            T0)
+                  .count();
+  for (PhaseStats &P : Per) {
+    S.LatMs.insert(S.LatMs.end(), P.LatMs.begin(), P.LatMs.end());
+    S.Miss += P.Miss;
+    S.Memory += P.Memory;
+    S.Disk += P.Disk;
+    S.Mismatches += P.Mismatches;
+    S.Errors += P.Errors;
+  }
+  return S;
+}
+
+std::string phaseJson(const char *Name, PhaseStats &S) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "\"%s\":{\"requests\":%zu,\"errors\":%zu,"
+                "\"mismatches\":%zu,\"wall_sec\":%.4f,\"rps\":%.1f,"
+                "\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+                "\"tiers\":{\"miss\":%zu,\"memory\":%zu,\"disk\":%zu}}",
+                Name, S.LatMs.size(), S.Errors, S.Mismatches, S.WallSec,
+                S.rps(), S.pct(0.50), S.pct(0.99), S.Miss, S.Memory,
+                S.Disk);
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  // One client per core up to 4: enough concurrency to exercise the
+  // poll loop without manufacturing queueing delay on small machines.
+  size_t Clients = std::thread::hardware_concurrency();
+  if (Clients < 1)
+    Clients = 1;
+  if (Clients > 4)
+    Clients = 4;
+  int WarmIters = 3;
+  std::string OutPath = "BENCH_server.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(Argv[I], "--clients=", 10) == 0)
+      Clients = static_cast<size_t>(std::atoi(Argv[I] + 10));
+    else if (std::strncmp(Argv[I], "--iters=", 8) == 0)
+      WarmIters = std::atoi(Argv[I] + 8);
+    else if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      OutPath = Argv[I] + 6;
+  }
+  if (Smoke)
+    WarmIters = 1;
+  if (Clients < 1)
+    Clients = 1;
+  if (WarmIters < 1)
+    WarmIters = 1;
+
+  std::vector<CompileJob> Jobs = corpusMatrixJobs();
+  std::printf("server_throughput: %zu jobs, %zu clients%s\n\n", Jobs.size(),
+              Clients, Smoke ? " (smoke)" : "");
+
+  // Local baseline: the byte-identity reference for every phase.
+  std::vector<std::string> Expected(Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    CompileOutput C =
+        Compiler::compile(Jobs[I].Source, Jobs[I].Opts, Jobs[I].WithPrelude);
+    if (!C.Ok) {
+      std::fprintf(stderr, "baseline compile %zu failed: %s\n", I,
+                   C.Errors.c_str());
+      return 1;
+    }
+    Expected[I] = programBytes(C.Program);
+  }
+
+  char DirBuf[] = "/tmp/smltc_bench_cache_XXXXXX";
+  const char *CacheDir = ::mkdtemp(DirBuf);
+  if (!CacheDir) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  std::string Sock = std::string("/tmp/smltc_bench_") +
+                     std::to_string(::getpid()) + ".sock";
+
+  auto MakeServer = [&]() -> std::unique_ptr<CompileServer> {
+    ServerOptions SO;
+    SO.SocketPath = Sock;
+    SO.DiskCachePath = CacheDir;
+    SO.MaxQueue = Jobs.size() + Clients; // admission never the bottleneck
+    auto S = std::make_unique<CompileServer>(SO);
+    std::string Err;
+    if (!S->start(Err)) {
+      std::fprintf(stderr, "server start failed: %s\n", Err.c_str());
+      return nullptr;
+    }
+    return S;
+  };
+
+  // --- Phase 1+2: cold, then warm-memory, on the first daemon ---
+  PhaseStats Cold, WarmMem;
+  {
+    std::unique_ptr<CompileServer> Srv = MakeServer();
+    if (!Srv)
+      return 1;
+    std::thread Th([&] { Srv->run(); });
+    Cold = runPhase(Sock, Jobs, Expected, Clients);
+    std::printf("cold        %6.1f req/s  p50 %7.3fms  p99 %7.3fms  "
+                "(miss %zu / mem %zu / disk %zu)\n",
+                Cold.rps(), Cold.pct(0.5), Cold.pct(0.99), Cold.Miss,
+                Cold.Memory, Cold.Disk);
+    for (int It = 0; It < WarmIters; ++It) {
+      PhaseStats W = runPhase(Sock, Jobs, Expected, Clients);
+      if (It == 0 || W.rps() > WarmMem.rps())
+        WarmMem = std::move(W);
+    }
+    std::printf("warm-memory %6.1f req/s  p50 %7.3fms  p99 %7.3fms  "
+                "(miss %zu / mem %zu / disk %zu)\n",
+                WarmMem.rps(), WarmMem.pct(0.5), WarmMem.pct(0.99),
+                WarmMem.Miss, WarmMem.Memory, WarmMem.Disk);
+    Srv->requestStop();
+    Th.join();
+  }
+
+  // --- Phase 3: restart over the same cache directory ---
+  PhaseStats WarmDisk;
+  {
+    std::unique_ptr<CompileServer> Srv = MakeServer();
+    if (!Srv)
+      return 1;
+    std::thread Th([&] { Srv->run(); });
+    WarmDisk = runPhase(Sock, Jobs, Expected, Clients);
+    std::printf("warm-disk   %6.1f req/s  p50 %7.3fms  p99 %7.3fms  "
+                "(miss %zu / mem %zu / disk %zu)\n\n",
+                WarmDisk.rps(), WarmDisk.pct(0.5), WarmDisk.pct(0.99),
+                WarmDisk.Miss, WarmDisk.Memory, WarmDisk.Disk);
+    Srv->requestStop();
+    Th.join();
+  }
+  ::nftw(CacheDir, rmOne, 16, FTW_DEPTH | FTW_PHYS);
+
+  // --- Gates ---
+  size_t N = Jobs.size();
+  bool NoErrors = Cold.Errors + WarmMem.Errors + WarmDisk.Errors == 0 &&
+                  Cold.Mismatches + WarmMem.Mismatches +
+                          WarmDisk.Mismatches ==
+                      0;
+  bool TiersExact = Cold.Miss == N && WarmMem.Memory == N &&
+                    WarmDisk.Disk == N; // 100% from disk after restart
+  double RpsRatio = Cold.rps() > 0 ? WarmDisk.rps() / Cold.rps() : 0;
+  double ColdP50 = Cold.pct(0.5), DiskP50 = WarmDisk.pct(0.5);
+  double Speedup = DiskP50 > 0 ? ColdP50 / DiskP50 : 0;
+  bool FastEnough = Speedup >= 10.0;
+  std::printf("warm-disk vs cold: %.1fx at p50 (gate: >= 10x), %.1fx "
+              "req/s  tiers %s  outputs %s\n",
+              Speedup, RpsRatio, TiersExact ? "EXACT" : "WRONG",
+              NoErrors ? "IDENTICAL" : "DIFFER");
+
+  std::string Json = "{\"benchmark\":\"server_throughput\",\"jobs\":" +
+                     std::to_string(N) + ",\"clients\":" +
+                     std::to_string(Clients) + "," + phaseJson("cold", Cold) +
+                     "," + phaseJson("warm_memory", WarmMem) + "," +
+                     phaseJson("warm_disk", WarmDisk) + ",";
+  char Tail[320];
+  std::snprintf(Tail, sizeof(Tail),
+                "\"warm_disk_speedup_vs_cold_p50\":%.2f,"
+                "\"warm_disk_speedup_vs_cold_rps\":%.2f,"
+                "\"gates\":{\"tiers_exact\":%s,"
+                "\"outputs_identical\":%s,"
+                "\"warm_disk_10x_cold\":%s},\"ok\":%s}",
+                Speedup, RpsRatio, TiersExact ? "true" : "false",
+                NoErrors ? "true" : "false", FastEnough ? "true" : "false",
+                TiersExact && NoErrors && FastEnough ? "true" : "false");
+  Json += Tail;
+
+  if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
+    std::fprintf(F, "%s\n", Json.c_str());
+    std::fclose(F);
+    std::printf("wrote %s\n", OutPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+
+  return TiersExact && NoErrors && FastEnough ? 0 : 1;
+}

@@ -8,33 +8,35 @@
 using namespace smltc;
 
 std::string BatchMetrics::toJson() const {
-  char Buf[640];
+  char Buf[704];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"jobs\":%zu,\"succeeded\":%zu,\"failed\":%zu,"
-      "\"cache_hits\":%zu,\"cache_misses\":%zu,\"threads\":%zu,"
+      "\"cache_hits\":%zu,\"cache_disk_hits\":%zu,\"cache_misses\":%zu,"
+      "\"threads\":%zu,"
       "\"wall_sec\":%.6f,\"total_compile_sec\":%.6f,"
       "\"front_sec\":%.6f,\"translate_sec\":%.6f,\"back_sec\":%.6f,"
       "\"queue_wait_sec\":%.6f,\"programs_per_sec\":%.2f,"
       "\"speedup_vs_serial\":%.2f}",
-      Jobs, Succeeded, Failed, CacheHits, CacheMisses, Threads, WallSec,
-      TotalCompileSec, FrontSec, TranslateSec, BackSec, QueueWaitSec,
-      programsPerSec(), speedupVsSerial());
+      Jobs, Succeeded, Failed, CacheHits, CacheDiskHits, CacheMisses,
+      Threads, WallSec, TotalCompileSec, FrontSec, TranslateSec, BackSec,
+      QueueWaitSec, programsPerSec(), speedupVsSerial());
   return Buf;
 }
 
 std::string smltc::compileMetricsJson(const CompileMetrics &M) {
-  char Buf[512];
+  char Buf[576];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"total_sec\":%.6f,\"front_sec\":%.6f,\"translate_sec\":%.6f,"
       "\"back_sec\":%.6f,\"queue_wait_sec\":%.6f,\"worker_id\":%d,"
-      "\"cache_hit\":%s,\"big_stack_unavailable\":%s,"
+      "\"cache_hit\":%s,\"cache_disk_hit\":%s,\"big_stack_unavailable\":%s,"
       "\"lexp_nodes\":%zu,\"cps_nodes_before_opt\":%zu,"
       "\"cps_nodes_after_opt\":%zu,\"code_size\":%zu,"
       "\"lty_interned\":%zu,\"lty_allocated\":%zu,\"closures_built\":%zu}",
       M.TotalSec, M.FrontSec, M.TranslateSec, M.BackSec, M.QueueWaitSec,
       M.WorkerId, M.CacheHit ? "true" : "false",
+      M.CacheDiskHit ? "true" : "false",
       M.BigStackUnavailable ? "true" : "false", M.LexpNodes,
       M.CpsNodesBeforeOpt, M.CpsNodesAfterOpt, M.CodeSize, M.LtyInterned,
       M.LtyAllocated, M.ClosuresBuilt);
@@ -42,7 +44,8 @@ std::string smltc::compileMetricsJson(const CompileMetrics &M) {
 }
 
 BatchCompiler::BatchCompiler(BatchOptions Options)
-    : StackBytes(Options.StackBytes), Cache(Options.Cache) {
+    : StackBytes(Options.StackBytes), Cache(Options.Cache),
+      MaxQueue(Options.MaxQueue) {
   NThreads = Options.NumThreads;
   if (NThreads == 0) {
     NThreads = std::thread::hardware_concurrency();
@@ -99,61 +102,100 @@ BatchCompiler::~BatchCompiler() {
     ShuttingDown = true;
   }
   WorkReady.notify_all();
+  // Workers drain the queue before exiting, so every accepted async
+  // job's Done callback fires even through a shutdown.
   for (pthread_t T : Workers)
     pthread_join(T, nullptr);
 }
 
+void BatchCompiler::runItem(WorkItem &Item, int WorkerId, bool BigStack) {
+  auto Now = std::chrono::steady_clock::now();
+  double QueueWait =
+      std::chrono::duration<double>(Now - Item.Enqueued).count();
+  const CompileJob &Job = Item.Job;
+
+  AsyncCompileResult R;
+  if (Item.HasDeadline && Now >= Item.Deadline) {
+    // Expired while queued: don't burn a worker on a result nobody can
+    // use any more.
+    R.DeadlineExpired = true;
+    R.Out.Ok = false;
+    R.Out.Errors = "compile deadline exceeded while queued";
+  } else if (Cache) {
+    CacheTier Tier = CacheTier::Miss;
+    if (std::shared_ptr<const CompileOutput> Hit =
+            Cache->lookup(Job.Source, Job.Opts, Job.WithPrelude, Tier)) {
+      R.Out = *Hit;
+      R.Out.Metrics.CacheHit = true;
+      R.Out.Metrics.CacheDiskHit = Tier == CacheTier::Disk;
+    } else {
+      R.Out = WorkerId < 0
+                  ? Compiler::compile(Job.Source, Job.Opts, Job.WithPrelude)
+                  : Compiler::compileOnThisThread(Job.Source, Job.Opts,
+                                                  Job.WithPrelude);
+      Cache->insert(Job.Source, Job.Opts, Job.WithPrelude,
+                    std::make_shared<CompileOutput>(R.Out));
+    }
+  } else {
+    // WorkerId < 0 is the inline (no-pool) path: use the big-stack
+    // trampoline of Compiler::compile since the caller's stack is small.
+    R.Out = WorkerId < 0
+                ? Compiler::compile(Job.Source, Job.Opts, Job.WithPrelude)
+                : Compiler::compileOnThisThread(Job.Source, Job.Opts,
+                                                Job.WithPrelude);
+  }
+  R.Out.Metrics.WorkerId = WorkerId;
+  R.Out.Metrics.QueueWaitSec = QueueWait;
+  if (WorkerId >= 0 && !BigStack)
+    R.Out.Metrics.BigStackUnavailable = true;
+  Item.Done(std::move(R));
+}
+
 void BatchCompiler::workerLoop(size_t WorkerId) {
   for (;;) {
-    size_t JobIdx;
-    double QueueWait;
-    const CompileJob *Job;
-    std::vector<CompileOutput> *Results;
+    WorkItem Item;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
-      WorkReady.wait(Lock, [&] {
-        return ShuttingDown || (CurJobs && NextJob < CurJobs->size());
-      });
-      if (ShuttingDown)
-        return;
-      JobIdx = NextJob++;
-      Job = &(*CurJobs)[JobIdx];
-      Results = CurResults;
-      QueueWait = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - EnqueueTime)
-                      .count();
+      WorkReady.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down and fully drained
+      Item = std::move(Queue.front());
+      Queue.pop_front();
     }
-
-    CompileOutput Out;
-    if (Cache) {
-      if (std::shared_ptr<const CompileOutput> Hit =
-              Cache->lookup(Job->Source, Job->Opts, Job->WithPrelude)) {
-        Out = *Hit;
-        Out.Metrics.CacheHit = true;
-      } else {
-        Out = Compiler::compileOnThisThread(Job->Source, Job->Opts,
-                                            Job->WithPrelude);
-        Cache->insert(Job->Source, Job->Opts, Job->WithPrelude,
-                      std::make_shared<CompileOutput>(Out));
-      }
-    } else {
-      Out = Compiler::compileOnThisThread(Job->Source, Job->Opts,
-                                          Job->WithPrelude);
-    }
-    Out.Metrics.WorkerId = static_cast<int>(WorkerId);
-    Out.Metrics.QueueWaitSec = QueueWait;
-    if (!WorkerBigStack[WorkerId])
-      Out.Metrics.BigStackUnavailable = true;
-    (*Results)[JobIdx] = std::move(Out);
-
-    bool Done;
-    {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      Done = ++Completed == CurJobs->size();
-    }
-    if (Done)
-      BatchDone.notify_all();
+    runItem(Item, static_cast<int>(WorkerId), WorkerBigStack[WorkerId] != 0);
   }
+}
+
+SubmitStatus BatchCompiler::submitJob(CompileJob Job, CompileDoneFn Done,
+                                      uint32_t DeadlineMs) {
+  WorkItem W;
+  W.Job = std::move(Job);
+  W.Done = std::move(Done);
+  W.Enqueued = std::chrono::steady_clock::now();
+  if (DeadlineMs) {
+    W.HasDeadline = true;
+    W.Deadline = W.Enqueued + std::chrono::milliseconds(DeadlineMs);
+  }
+  if (Workers.empty()) {
+    // Degenerate 0-worker pool: run synchronously on the caller.
+    runItem(W, /*WorkerId=*/-1, /*BigStack=*/false);
+    return SubmitStatus::Accepted;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (ShuttingDown)
+      return SubmitStatus::ShuttingDown;
+    if (MaxQueue && Queue.size() >= MaxQueue)
+      return SubmitStatus::QueueFull;
+    Queue.push_back(std::move(W));
+  }
+  WorkReady.notify_one();
+  return SubmitStatus::Accepted;
+}
+
+size_t BatchCompiler::pendingJobs() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Queue.size();
 }
 
 std::vector<CompileOutput>
@@ -176,18 +218,30 @@ BatchCompiler::compileAll(const std::vector<CompileJob> &Jobs) {
   } else {
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
-      CurJobs = &Jobs;
-      CurResults = &Results;
-      EnqueueTime = T0;
-      NextJob = 0;
-      Completed = 0;
+      BatchRemaining = Jobs.size();
+      for (size_t I = 0; I < Jobs.size(); ++I) {
+        WorkItem W;
+        W.Job = Jobs[I];
+        W.Enqueued = T0;
+        // Batch jobs bypass the MaxQueue admission cap on purpose: the
+        // caller is synchronous and bounded by construction.
+        W.Done = [this, &Results, I](AsyncCompileResult R) {
+          Results[I] = std::move(R.Out);
+          bool AllDone;
+          {
+            std::lock_guard<std::mutex> L(QueueMutex);
+            AllDone = --BatchRemaining == 0;
+          }
+          if (AllDone)
+            BatchDone.notify_all();
+        };
+        Queue.push_back(std::move(W));
+      }
     }
     WorkReady.notify_all();
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
-      BatchDone.wait(Lock, [&] { return Completed == Jobs.size(); });
-      CurJobs = nullptr;
-      CurResults = nullptr;
+      BatchDone.wait(Lock, [&] { return BatchRemaining == 0; });
     }
   }
 
@@ -205,6 +259,8 @@ BatchCompiler::compileAll(const std::vector<CompileJob> &Jobs) {
     M.QueueWaitSec += Out.Metrics.QueueWaitSec;
     if (Out.Metrics.CacheHit) {
       ++M.CacheHits;
+      if (Out.Metrics.CacheDiskHit)
+        ++M.CacheDiskHits;
       continue; // phase work was paid for by the original compile
     }
     ++M.CacheMisses;

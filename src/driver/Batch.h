@@ -25,6 +25,8 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <pthread.h>
@@ -40,6 +42,27 @@ struct CompileJob {
   bool WithPrelude = true;
 };
 
+/// Completion of an asynchronously submitted job (`submitJob`).
+struct AsyncCompileResult {
+  CompileOutput Out;
+  /// The job's deadline expired while it was still queued; the compile
+  /// was never run (Out.Ok is false, Out.Errors explains). Jobs that
+  /// *start* before their deadline run to completion — callers decide
+  /// what to do with a late result.
+  bool DeadlineExpired = false;
+};
+
+/// Invoked on a worker thread when an async job finishes. Must not block
+/// for long (it occupies a compile worker) and must not re-enter the
+/// BatchCompiler.
+using CompileDoneFn = std::function<void(AsyncCompileResult)>;
+
+enum class SubmitStatus : uint8_t {
+  Accepted = 0,
+  QueueFull,     ///< admission control: MaxQueue jobs already waiting
+  ShuttingDown,  ///< the pool is being destroyed
+};
+
 /// Aggregate metrics for one `compileAll` batch — the phase-level
 /// throughput numbers the driver reports (programs/sec, where the wall
 /// time went, how much the cache saved, and the implied speedup over a
@@ -49,6 +72,7 @@ struct BatchMetrics {
   size_t Succeeded = 0;
   size_t Failed = 0;
   size_t CacheHits = 0;
+  size_t CacheDiskHits = 0; ///< hits served by the persistent store
   size_t CacheMisses = 0; ///< jobs compiled for real (cache off counts here)
   size_t Threads = 0;
 
@@ -89,6 +113,12 @@ struct BatchOptions {
   /// Optional content-addressed cache consulted before compiling and
   /// populated after. May be shared across batches and BatchCompilers.
   CompileCache *Cache = nullptr;
+  /// Admission cap for `submitJob`: when this many async jobs are
+  /// already queued (not yet picked up by a worker), further submissions
+  /// are rejected with SubmitStatus::QueueFull so callers (the compile
+  /// server) can push backpressure instead of queueing unboundedly.
+  /// 0 = unbounded. `compileAll` batches are never subject to the cap.
+  size_t MaxQueue = 0;
 };
 
 class BatchCompiler {
@@ -100,8 +130,23 @@ public:
 
   /// Compiles every job, in parallel, returning outputs in input order
   /// (Results[i] corresponds to Jobs[i] regardless of completion order).
-  /// Not reentrant: one compileAll at a time per BatchCompiler.
+  /// Not reentrant: one compileAll at a time per BatchCompiler. Async
+  /// jobs (`submitJob`) may be in flight concurrently; they share the
+  /// same workers and queue.
   std::vector<CompileOutput> compileAll(const std::vector<CompileJob> &Jobs);
+
+  /// Asynchronous single-job submission — the compile-server path.
+  /// `Done` is invoked exactly once, on a worker thread, when the job
+  /// completes (or when its deadline expires while still queued).
+  /// `DeadlineMs` of 0 means no deadline. Subject to the MaxQueue
+  /// admission cap; on QueueFull / ShuttingDown, `Done` is never called.
+  /// With no worker threads available the job runs synchronously on the
+  /// caller before submitJob returns.
+  SubmitStatus submitJob(CompileJob Job, CompileDoneFn Done,
+                         uint32_t DeadlineMs = 0);
+
+  /// Jobs sitting in the queue, not yet picked up by a worker.
+  size_t pendingJobs() const;
 
   /// Metrics for the most recent compileAll.
   const BatchMetrics &lastBatch() const { return Last; }
@@ -109,12 +154,26 @@ public:
   size_t numThreads() const { return NThreads; }
 
 private:
+  /// One queued unit of work; both compileAll and submitJob enqueue
+  /// these. `Done` receives the finished output on the worker thread.
+  struct WorkItem {
+    CompileJob Job;
+    CompileDoneFn Done;
+    std::chrono::steady_clock::time_point Enqueued;
+    std::chrono::steady_clock::time_point Deadline{};
+    bool HasDeadline = false;
+  };
+
   static void *workerEntry(void *Self);
   void workerLoop(size_t WorkerId);
+  /// Runs one item to completion on the current thread (cache lookup,
+  /// compile, bookkeeping, Done callback).
+  void runItem(WorkItem &Item, int WorkerId, bool BigStack);
 
   size_t NThreads = 0;
   size_t StackBytes = 0;
   CompileCache *Cache = nullptr;
+  size_t MaxQueue = 0;
 
   std::vector<pthread_t> Workers;
   /// Per-worker: 0 when the big-stack pthread could not be created and
@@ -124,14 +183,11 @@ private:
   std::vector<char> WorkerBigStack;
 
   // Queue state (guarded by QueueMutex).
-  std::mutex QueueMutex;
-  std::condition_variable WorkReady;  ///< workers wait for jobs / shutdown
+  mutable std::mutex QueueMutex;
+  std::condition_variable WorkReady;  ///< workers wait for items / shutdown
   std::condition_variable BatchDone;  ///< compileAll waits for completion
-  const std::vector<CompileJob> *CurJobs = nullptr;
-  std::vector<CompileOutput> *CurResults = nullptr;
-  std::chrono::steady_clock::time_point EnqueueTime; ///< batch submit stamp
-  size_t NextJob = 0;
-  size_t Completed = 0;
+  std::deque<WorkItem> Queue;
+  size_t BatchRemaining = 0; ///< outstanding jobs of the current compileAll
   bool ShuttingDown = false;
 
   BatchMetrics Last;

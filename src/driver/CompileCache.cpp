@@ -27,13 +27,31 @@ template <typename T> void appendPod(std::string &Key, T V) {
   appendRaw(Key, &V, sizeof(V));
 }
 
+/// Bump when canonicalJobKey gains, loses, or reorders a field — the
+/// salt is part of every key, so persisted entries written under the old
+/// layout can never alias entries under the new one.
+constexpr int kOptionsSchemaVersion = 2;
+/// Bump on releases that change generated code for identical inputs.
+constexpr const char *kCompilerVersion = "smltc-0.3.0";
+
 } // namespace
+
+const char *smltc::compileCacheSalt() {
+  static const std::string Salt = std::string(kCompilerVersion) +
+                                  ";optschema=" +
+                                  std::to_string(kOptionsSchemaVersion) + ";";
+  return Salt.c_str();
+}
 
 std::string smltc::canonicalJobKey(const std::string &Source,
                                    const CompilerOptions &Opts,
                                    bool WithPrelude) {
   std::string Key;
-  Key.reserve(Source.size() + 64);
+  Key.reserve(Source.size() + 96);
+  // Version + schema salt first: entries persisted by an older build (or
+  // an older key layout) can never be served by this one.
+  Key += compileCacheSalt();
+  Key += '\0';
   // Every field of CompilerOptions that can influence the generated
   // program (or the retained dumps) is serialized explicitly — the
   // struct is never memcpy'd wholesale, so padding bytes and the
@@ -89,6 +107,13 @@ std::string smltc::programBytes(const TmProgram &Program) {
 std::shared_ptr<const CompileOutput>
 CompileCache::lookup(const std::string &Source, const CompilerOptions &Opts,
                      bool WithPrelude) {
+  CacheTier Tier;
+  return lookup(Source, Opts, WithPrelude, Tier);
+}
+
+std::shared_ptr<const CompileOutput>
+CompileCache::lookup(const std::string &Source, const CompilerOptions &Opts,
+                     bool WithPrelude, CacheTier &Tier) {
   std::string Key = canonicalJobKey(Source, Opts, WithPrelude);
   uint64_t H = fnv1a64(Key);
   Shard &S = Shards[H % NumShards];
@@ -97,11 +122,29 @@ CompileCache::lookup(const std::string &Source, const CompilerOptions &Opts,
     auto It = S.Map.find(H);
     if (It != S.Map.end() && It->second.first == Key) {
       Hits.fetch_add(1, std::memory_order_relaxed);
+      Tier = CacheTier::Memory;
       return It->second.second;
     }
   }
+  if (CacheBackingStore *Store = Backing.load(std::memory_order_acquire)) {
+    if (std::shared_ptr<const CompileOutput> FromDisk = Store->load(H, Key)) {
+      insertMemory(H, std::move(Key), FromDisk);
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      DiskHits.fetch_add(1, std::memory_order_relaxed);
+      Tier = CacheTier::Disk;
+      return FromDisk;
+    }
+  }
   Misses.fetch_add(1, std::memory_order_relaxed);
+  Tier = CacheTier::Miss;
   return nullptr;
+}
+
+void CompileCache::insertMemory(uint64_t H, std::string Key,
+                                std::shared_ptr<const CompileOutput> Out) {
+  Shard &S = Shards[H % NumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Map.emplace(H, std::make_pair(std::move(Key), std::move(Out)));
 }
 
 void CompileCache::insert(const std::string &Source,
@@ -109,9 +152,9 @@ void CompileCache::insert(const std::string &Source,
                           std::shared_ptr<const CompileOutput> Out) {
   std::string Key = canonicalJobKey(Source, Opts, WithPrelude);
   uint64_t H = fnv1a64(Key);
-  Shard &S = Shards[H % NumShards];
-  std::lock_guard<std::mutex> Lock(S.M);
-  S.Map.emplace(H, std::make_pair(std::move(Key), std::move(Out)));
+  if (CacheBackingStore *Store = Backing.load(std::memory_order_acquire))
+    Store->store(H, Key, *Out);
+  insertMemory(H, std::move(Key), std::move(Out));
 }
 
 void CompileCache::clear() {
@@ -121,6 +164,7 @@ void CompileCache::clear() {
   }
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
+  DiskHits.store(0, std::memory_order_relaxed);
 }
 
 size_t CompileCache::size() const {

@@ -30,14 +30,43 @@
 
 namespace smltc {
 
+/// The version + options-schema salt mixed into every canonical job key.
+/// Cached outputs are only valid for the exact compiler build and
+/// options layout that produced them: bump `kOptionsSchemaVersion` (in
+/// CompileCache.cpp) whenever a field is added to / removed from /
+/// reordered in the canonical serialization, and the release version
+/// whenever codegen changes. A persistent store (server/DiskCache) keyed
+/// by the salted hash can therefore never serve an entry written by an
+/// older build — the key simply never matches.
+const char *compileCacheSalt();
+
 /// Serializes every semantically relevant field of a compile job into a
-/// deterministic byte string. Two jobs with equal canonical keys are
-/// guaranteed to produce identical `CompileOutput`s.
+/// deterministic byte string, prefixed with `compileCacheSalt()`. Two
+/// jobs with equal canonical keys are guaranteed to produce identical
+/// `CompileOutput`s under this compiler build.
 std::string canonicalJobKey(const std::string &Source,
                             const CompilerOptions &Opts, bool WithPrelude);
 
 /// 64-bit FNV-1a over an arbitrary byte string.
 uint64_t fnv1a64(const std::string &Bytes);
+
+/// Which layer of the cache hierarchy served a lookup.
+enum class CacheTier : uint8_t { Miss = 0, Memory = 1, Disk = 2 };
+
+/// A second-level store consulted on in-memory misses and written
+/// through on inserts (the compile server plugs `server::DiskCache` in
+/// here). Implementations must be safe to call from concurrent batch
+/// workers. `KeyHash` is fnv1a64 of the canonical key; `Key` is the full
+/// canonical key and must be stored and re-compared so a hash collision
+/// degrades to a miss, never to a wrong program.
+class CacheBackingStore {
+public:
+  virtual ~CacheBackingStore() = default;
+  virtual std::shared_ptr<const CompileOutput>
+  load(uint64_t KeyHash, const std::string &Key) = 0;
+  virtual void store(uint64_t KeyHash, const std::string &Key,
+                     const CompileOutput &Out) = 0;
+};
 
 /// Serializes a generated TM program (code bytes and string pool) into a
 /// deterministic byte string — used by tests and benches to assert that
@@ -56,18 +85,37 @@ public:
   lookup(const std::string &Source, const CompilerOptions &Opts,
          bool WithPrelude);
 
+  /// As above, but also reports which tier served the lookup: Memory,
+  /// Disk (backing store; the entry is promoted into memory), or Miss.
+  std::shared_ptr<const CompileOutput>
+  lookup(const std::string &Source, const CompilerOptions &Opts,
+         bool WithPrelude, CacheTier &Tier);
+
   /// Inserts a compile result. First insertion wins; a concurrent
   /// duplicate insert of the same key is dropped (both are identical by
-  /// construction of the canonical key).
+  /// construction of the canonical key). Written through to the backing
+  /// store when one is attached.
   void insert(const std::string &Source, const CompilerOptions &Opts,
               bool WithPrelude, std::shared_ptr<const CompileOutput> Out);
 
-  /// Drops every entry and resets the hit/miss counters.
+  /// Attaches / detaches the second-level store. Attach before handing
+  /// the cache to concurrent consumers; the store must outlive the cache
+  /// (or be detached first).
+  void setBackingStore(CacheBackingStore *Store) {
+    Backing.store(Store, std::memory_order_release);
+  }
+
+  /// Drops every in-memory entry and resets the hit/miss counters. The
+  /// backing store is not touched.
   void clear();
 
   uint64_t hitCount() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t missCount() const {
     return Misses.load(std::memory_order_relaxed);
+  }
+  /// Lookups served by the backing store (a subset of hitCount).
+  uint64_t diskHitCount() const {
+    return DiskHits.load(std::memory_order_relaxed);
   }
   size_t size() const;
 
@@ -90,9 +138,16 @@ private:
         Map;
   };
 
+  /// Inserts into the in-memory map only (promotion from the backing
+  /// store must not write the entry straight back out).
+  void insertMemory(uint64_t H, std::string Key,
+                    std::shared_ptr<const CompileOutput> Out);
+
   Shard Shards[NumShards];
+  std::atomic<CacheBackingStore *> Backing{nullptr};
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> DiskHits{0};
 };
 
 } // namespace smltc

@@ -48,6 +48,9 @@ struct CompileMetrics {
   double QueueWaitSec = 0; ///< time the job sat queued before a worker
   int WorkerId = -1;       ///< batch worker that ran the job (-1: direct)
   bool CacheHit = false;   ///< output came from the CompileCache
+  /// The hit was served by the persistent backing store (server disk
+  /// cache) rather than the in-memory map. Implies CacheHit.
+  bool CacheDiskHit = false;
   /// The 1 GiB compile stack could not be created and compilation fell
   /// back to the caller's (or a default-sized worker's) stack.
   bool BigStackUnavailable = false;

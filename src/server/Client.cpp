@@ -1,0 +1,198 @@
+//===- server/Client.cpp - Blocking compile-server client --------------------===//
+
+#include "server/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace smltc;
+using namespace smltc::server;
+
+Client::~Client() { close(); }
+
+Client::Client(Client &&Other) noexcept
+    : Fd(Other.Fd), In(std::move(Other.In)) {
+  Other.Fd = -1;
+}
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    In = std::move(Other.In);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  In.clear();
+}
+
+bool Client::connect(const std::string &SocketPath, std::string &Err) {
+  close();
+  sockaddr_un Addr;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "bad socket path";
+    return false;
+  }
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "connect '" + SocketPath + "': " + std::strerror(errno);
+    close();
+    return false;
+  }
+
+  HelloMsg H;
+  H.ClientName = "smltcc";
+  Frame Resp;
+  if (!roundTrip(MsgType::Hello, encodeHello(H), MsgType::HelloOk, Resp,
+                 Err)) {
+    close();
+    return false;
+  }
+  HelloOkMsg Ok;
+  if (!decodeHelloOk(Resp.Payload, Ok)) {
+    Err = "malformed hello-ok from server";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::sendRaw(const std::string &Bytes, std::string &Err) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Client::sendFrame(MsgType Type, const std::string &Payload,
+                       std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  return sendRaw(encodeFrame(Type, Payload), Err);
+}
+
+bool Client::recvFrame(Frame &F, std::string &Err) {
+  char Buf[65536];
+  for (;;) {
+    size_t Consumed = 0;
+    Status St;
+    std::string Msg;
+    ParseResult R = parseFrame(In.data(), In.size(), F, Consumed, St, Msg);
+    if (R == ParseResult::Ok) {
+      In.erase(0, Consumed);
+      return true;
+    }
+    if (R == ParseResult::Bad) {
+      Err = "protocol error from server: " + Msg;
+      return false;
+    }
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      In.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Err = N == 0 ? "server closed the connection"
+                 : std::string("recv: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+bool Client::roundTrip(MsgType ReqType, const std::string &Payload,
+                       MsgType Expect, Frame &Resp, std::string &Err) {
+  if (!sendFrame(ReqType, Payload, Err))
+    return false;
+  for (;;) {
+    if (!recvFrame(Resp, Err))
+      return false;
+    if (Resp.Type == Expect)
+      return true;
+    if (Resp.Type == MsgType::Error) {
+      ErrorMsg E;
+      if (decodeError(Resp.Payload, E))
+        Err = std::string("server error (") + statusName(E.St) +
+              "): " + E.Message;
+      else
+        Err = "malformed error frame from server";
+      return false;
+    }
+    // Any other frame type here is a protocol violation: the client
+    // sends one request at a time, so responses cannot interleave.
+    Err = "unexpected frame type " +
+          std::to_string(static_cast<unsigned>(Resp.Type));
+    return false;
+  }
+}
+
+bool Client::compile(const CompileRequest &Req, CompileResponse &Resp,
+                     std::string &Err) {
+  Frame F;
+  if (!roundTrip(MsgType::CompileReq, encodeCompileRequest(Req),
+                 MsgType::CompileResp, F, Err))
+    return false;
+  std::string DecodeErr;
+  if (!decodeCompileResponse(F.Payload, Resp, DecodeErr)) {
+    Err = "malformed compile response: " + DecodeErr;
+    return false;
+  }
+  return true;
+}
+
+bool Client::stats(std::string &Json, std::string &Err) {
+  Frame F;
+  if (!roundTrip(MsgType::StatsReq, std::string(), MsgType::StatsResp, F,
+                 Err))
+    return false;
+  WireReader R(F.Payload);
+  Json = R.str();
+  if (!R.atEndOk()) {
+    Err = "malformed stats response";
+    return false;
+  }
+  return true;
+}
+
+bool Client::ping(const std::string &Payload, std::string &Err) {
+  Frame F;
+  if (!roundTrip(MsgType::Ping, Payload, MsgType::Pong, F, Err))
+    return false;
+  if (F.Payload != Payload) {
+    Err = "pong payload mismatch";
+    return false;
+  }
+  return true;
+}
+
+bool Client::shutdownServer(std::string &Err) {
+  Frame F;
+  return roundTrip(MsgType::ShutdownReq, std::string(), MsgType::ShutdownOk,
+                   F, Err);
+}

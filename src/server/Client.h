@@ -1,0 +1,70 @@
+//===- server/Client.h - Blocking compile-server client ----------------------===//
+///
+/// \file
+/// The client half of the compile-server protocol: a blocking
+/// request/response connection over the daemon's Unix-domain socket.
+/// `connect()` performs the Hello/HelloOk version handshake; after
+/// that, each call sends one frame and reads frames until the matching
+/// response arrives. Used by `smltcc --connect` and the server tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_SERVER_CLIENT_H
+#define SMLTC_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+
+#include <string>
+
+namespace smltc {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+
+  /// Connects to the daemon socket and runs the version handshake.
+  bool connect(const std::string &SocketPath, std::string &Err);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// One compile round trip. Returns false only on transport/protocol
+  /// failure; compile-level outcomes (QueueFull, DeadlineExceeded,
+  /// CompileFailed, Draining) come back as `Resp.St`.
+  bool compile(const CompileRequest &Req, CompileResponse &Resp,
+               std::string &Err);
+
+  /// Fetches the server's metrics JSON.
+  bool stats(std::string &Json, std::string &Err);
+
+  /// Round-trips an opaque payload; true when the echo matches.
+  bool ping(const std::string &Payload, std::string &Err);
+
+  /// Asks the daemon to drain and exit. Returns once ShutdownOk arrives.
+  bool shutdownServer(std::string &Err);
+
+  /// Transport-level escape hatch for protocol tests: sends raw bytes
+  /// as-is (no framing) and reads one response frame.
+  bool sendRaw(const std::string &Bytes, std::string &Err);
+  bool recvFrame(Frame &F, std::string &Err);
+
+private:
+  bool sendFrame(MsgType Type, const std::string &Payload, std::string &Err);
+  /// Sends a request and reads frames until one of `Expect` or Error
+  /// arrives.
+  bool roundTrip(MsgType ReqType, const std::string &Payload,
+                 MsgType Expect, Frame &Resp, std::string &Err);
+
+  int Fd = -1;
+  std::string In; ///< received bytes not yet parsed into frames
+};
+
+} // namespace server
+} // namespace smltc
+
+#endif // SMLTC_SERVER_CLIENT_H

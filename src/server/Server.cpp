@@ -1,0 +1,625 @@
+//===- server/Server.cpp - The smltcc compile daemon -------------------------===//
+
+#include "server/Server.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace smltc;
+using namespace smltc::server;
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// Signal-handler target (process-global; installSignalHandlers).
+CompileServer *volatile GSignalServer = nullptr;
+
+void onStopSignal(int) {
+  if (CompileServer *S = GSignalServer)
+    S->requestStop();
+}
+
+} // namespace
+
+std::string ServerMetrics::toJson(size_t QueueDepthNow,
+                                  const DiskCache *Disk) const {
+  char Buf[1024];
+  int N = std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"connections\":%llu,\"connections_rejected\":%llu,"
+      "\"requests\":%llu,\"ping_requests\":%llu,"
+      "\"compile_requests\":%llu,\"stats_requests\":%llu,"
+      "\"shutdown_requests\":%llu,"
+      "\"compile_ok\":%llu,\"compile_errors\":%llu,"
+      "\"queue_full_rejects\":%llu,\"deadline_misses\":%llu,"
+      "\"draining_rejects\":%llu,\"protocol_errors\":%llu,"
+      "\"cache_memory_hits\":%llu,\"cache_disk_hits\":%llu,"
+      "\"cache_misses\":%llu,"
+      "\"bytes_in\":%llu,\"bytes_out\":%llu,"
+      "\"queue_depth\":%zu,\"queue_depth_peak\":%zu",
+      static_cast<unsigned long long>(Connections),
+      static_cast<unsigned long long>(ConnectionsRejected),
+      static_cast<unsigned long long>(Requests),
+      static_cast<unsigned long long>(PingRequests),
+      static_cast<unsigned long long>(CompileRequests),
+      static_cast<unsigned long long>(StatsRequests),
+      static_cast<unsigned long long>(ShutdownRequests),
+      static_cast<unsigned long long>(CompileOk),
+      static_cast<unsigned long long>(CompileErrors),
+      static_cast<unsigned long long>(QueueFullRejects),
+      static_cast<unsigned long long>(DeadlineMisses),
+      static_cast<unsigned long long>(DrainingRejects),
+      static_cast<unsigned long long>(ProtocolErrors),
+      static_cast<unsigned long long>(MemoryHits),
+      static_cast<unsigned long long>(DiskHits),
+      static_cast<unsigned long long>(CacheMisses),
+      static_cast<unsigned long long>(BytesIn),
+      static_cast<unsigned long long>(BytesOut), QueueDepthNow,
+      QueueDepthPeak);
+  std::string S(Buf, static_cast<size_t>(N));
+  if (Disk)
+    S += ",\"disk_cache\":" + Disk->statsJson();
+  S += "}";
+  return S;
+}
+
+CompileServer::CompileServer(ServerOptions Options)
+    : Opts(std::move(Options)) {}
+
+CompileServer::~CompileServer() {
+  for (auto &KV : Conns)
+    if (KV.second.Fd >= 0)
+      ::close(KV.second.Fd);
+  Conns.clear();
+  // The pool must die before the completion queue: its destructor joins
+  // the workers, after which no Done callback can touch `Completions`.
+  Pool.reset();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (WakePipe[0] >= 0)
+    ::close(WakePipe[0]);
+  if (WakePipe[1] >= 0)
+    ::close(WakePipe[1]);
+  if (Started && !Opts.SocketPath.empty())
+    ::unlink(Opts.SocketPath.c_str());
+}
+
+bool CompileServer::start(std::string &Err) {
+  if (Opts.SocketPath.empty()) {
+    Err = "server socket path is empty";
+    return false;
+  }
+  sockaddr_un Addr;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long (max " +
+          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes)";
+    return false;
+  }
+
+  Cache = std::make_unique<CompileCache>();
+  if (!Opts.DiskCachePath.empty()) {
+    DiskCacheOptions DO;
+    DO.Root = Opts.DiskCachePath;
+    DO.CapacityBytes = Opts.DiskCacheCapBytes;
+    Disk = std::make_unique<DiskCache>(DO);
+    if (!Disk->init(Err))
+      return false;
+    Cache->setBackingStore(Disk.get());
+  }
+  BatchOptions BO;
+  BO.NumThreads = Opts.NumWorkers;
+  BO.Cache = Cache.get();
+  BO.MaxQueue = Opts.MaxQueue;
+  Pool = std::make_unique<BatchCompiler>(BO);
+
+  if (::pipe(WakePipe) != 0) {
+    Err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  setNonBlocking(WakePipe[0]);
+  setNonBlocking(WakePipe[1]);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A previous daemon that crashed leaves a stale socket file behind;
+  // binding over it needs the unlink. A *live* daemon on the same path
+  // is the operator's error — first bind wins after the unlink.
+  ::unlink(Opts.SocketPath.c_str());
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    Err = "bind '" + Opts.SocketPath + "': " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(ListenFd, 64) != 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  setNonBlocking(ListenFd);
+  Started = true;
+  return true;
+}
+
+void CompileServer::requestStop() {
+  StopRequested.store(true, std::memory_order_release);
+  if (WakePipe[1] >= 0) {
+    char B = 's';
+    // Best effort: if the pipe is full the loop is waking up anyway.
+    (void)!::write(WakePipe[1], &B, 1);
+  }
+}
+
+void CompileServer::installSignalHandlers(CompileServer *S) {
+  GSignalServer = S;
+  struct sigaction Sa;
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sa_handler = onStopSignal;
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  ::sigaction(SIGINT, &Sa, nullptr);
+}
+
+std::string CompileServer::metricsJson() const {
+  return Metrics.toJson(Pool ? Pool->pendingJobs() : 0, Disk.get());
+}
+
+void CompileServer::send(Conn &C, MsgType Type, const std::string &Payload) {
+  std::string F = encodeFrame(Type, Payload);
+  Metrics.BytesOut += F.size();
+  C.OutBuf.append(F);
+  flushClient(C);
+}
+
+void CompileServer::sendError(Conn &C, Status St, const std::string &Msg) {
+  ErrorMsg E;
+  E.St = St;
+  E.Message = Msg;
+  send(C, MsgType::Error, encodeError(E));
+}
+
+void CompileServer::sendCompileStatus(Conn &C, Status St,
+                                      const std::string &Msg) {
+  CompileResponse Resp;
+  Resp.St = St;
+  Resp.Errors = Msg;
+  send(C, MsgType::CompileResp, encodeCompileResponse(Resp));
+}
+
+void CompileServer::beginDrain() {
+  if (Draining)
+    return;
+  Draining = true;
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}
+
+bool CompileServer::drainComplete() const {
+  if (InFlightTotal > 0)
+    return false;
+  for (const auto &KV : Conns)
+    if (KV.second.OutPos < KV.second.OutBuf.size())
+      return false;
+  return true;
+}
+
+void CompileServer::acceptClients() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN or transient error: poll again
+    if (Conns.size() >= Opts.MaxConnections) {
+      ++Metrics.ConnectionsRejected;
+      ::close(Fd);
+      continue;
+    }
+    setNonBlocking(Fd);
+    Conn C;
+    C.Fd = Fd;
+    C.Id = NextConnId++;
+    ++Metrics.Connections;
+    Conns.emplace(C.Id, std::move(C));
+  }
+}
+
+void CompileServer::closeConn(uint64_t Id) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  if (It->second.Fd >= 0)
+    ::close(It->second.Fd);
+  // Pending compile entries for this connection stay in `Pending`; the
+  // completion path drops their results on the floor when it finds the
+  // connection gone.
+  Conns.erase(It);
+}
+
+void CompileServer::handleCompile(Conn &C, const Frame &F) {
+  ++Metrics.CompileRequests;
+  CompileRequest Req;
+  std::string DecodeErr;
+  if (!decodeCompileRequest(F.Payload, Req, DecodeErr)) {
+    ++Metrics.ProtocolErrors;
+    sendError(C, Status::BadFrame, DecodeErr);
+    C.Closing = true;
+    return;
+  }
+  if (Draining) {
+    ++Metrics.DrainingRejects;
+    sendCompileStatus(C, Status::Draining, "server is draining");
+    return;
+  }
+
+  // Fast path: cache hits (memory or disk tier) are answered straight
+  // from the poll loop — no worker handoff, no admission charge. A disk
+  // probe is one bounded small-file read, cheap enough to keep inline;
+  // only true compiles go to the pool.
+  {
+    CacheTier Tier = CacheTier::Miss;
+    std::shared_ptr<const CompileOutput> Hit =
+        Cache->lookup(Req.Source, Req.Opts, Req.WithPrelude, Tier);
+    if (Hit) {
+      if (!Hit->Ok) {
+        ++Metrics.CompileErrors;
+        sendCompileStatus(C, Status::CompileFailed, Hit->Errors);
+        return;
+      }
+      ++Metrics.CompileOk;
+      if (Tier == CacheTier::Disk)
+        ++Metrics.DiskHits;
+      else
+        ++Metrics.MemoryHits;
+      CompileResponse Resp;
+      Resp.St = Status::Ok;
+      Resp.Tier =
+          Tier == CacheTier::Disk ? WireTier::Disk : WireTier::Memory;
+      send(C, MsgType::CompileResp,
+           encodeCompileResponse(Resp, Hit->Program));
+      return;
+    }
+  }
+
+  uint64_t ConnId = C.Id;
+  uint64_t Seq = C.NextSeq++;
+  CompileJob Job;
+  Job.Source = std::move(Req.Source);
+  Job.Opts = Req.Opts;
+  Job.WithPrelude = Req.WithPrelude;
+
+  SubmitStatus St = Pool->submitJob(
+      std::move(Job),
+      [this, ConnId, Seq](AsyncCompileResult R) {
+        {
+          std::lock_guard<std::mutex> Lock(CompMutex);
+          Completions.push_back(Completion{ConnId, Seq, std::move(R)});
+        }
+        char B = 'c';
+        (void)!::write(WakePipe[1], &B, 1);
+      },
+      Req.DeadlineMs);
+
+  if (St == SubmitStatus::QueueFull) {
+    ++Metrics.QueueFullRejects;
+    sendCompileStatus(C, Status::QueueFull,
+                      "compile queue at capacity; retry later");
+    return;
+  }
+  if (St == SubmitStatus::ShuttingDown) {
+    ++Metrics.DrainingRejects;
+    sendCompileStatus(C, Status::Draining, "server is shutting down");
+    return;
+  }
+
+  PendingReq P;
+  if (Req.DeadlineMs) {
+    P.HasDeadline = true;
+    P.Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Req.DeadlineMs);
+  }
+  Pending.emplace(std::make_pair(ConnId, Seq), P);
+  ++C.InFlight;
+  ++InFlightTotal;
+  size_t Depth = Pool->pendingJobs();
+  if (Depth > Metrics.QueueDepthPeak)
+    Metrics.QueueDepthPeak = Depth;
+}
+
+void CompileServer::handleFrame(Conn &C, const Frame &F) {
+  ++Metrics.Requests;
+  if (!C.GotHello && F.Type != MsgType::Hello) {
+    ++Metrics.ProtocolErrors;
+    sendError(C, Status::BadFrame, "expected hello handshake first");
+    C.Closing = true;
+    return;
+  }
+  switch (F.Type) {
+  case MsgType::Hello: {
+    HelloMsg H;
+    if (!decodeHello(F.Payload, H)) {
+      ++Metrics.ProtocolErrors;
+      sendError(C, Status::BadFrame, "malformed hello");
+      C.Closing = true;
+      return;
+    }
+    if (kProtocolVersion < H.MinVersion || kProtocolVersion > H.MaxVersion) {
+      ++Metrics.ProtocolErrors;
+      sendError(C, Status::BadVersion,
+                "server speaks protocol version " +
+                    std::to_string(kProtocolVersion));
+      C.Closing = true;
+      return;
+    }
+    C.GotHello = true;
+    HelloOkMsg Ok;
+    Ok.ServerName = "smltccd";
+    send(C, MsgType::HelloOk, encodeHelloOk(Ok));
+    return;
+  }
+  case MsgType::Ping: {
+    ++Metrics.PingRequests;
+    if (F.Payload.size() > kMaxPingPayload) {
+      ++Metrics.ProtocolErrors;
+      sendError(C, Status::BadFrame, "ping payload too large");
+      C.Closing = true;
+      return;
+    }
+    send(C, MsgType::Pong, F.Payload);
+    return;
+  }
+  case MsgType::CompileReq:
+    handleCompile(C, F);
+    return;
+  case MsgType::StatsReq: {
+    ++Metrics.StatsRequests;
+    WireWriter W;
+    W.str(metricsJson());
+    send(C, MsgType::StatsResp, W.take());
+    return;
+  }
+  case MsgType::ShutdownReq: {
+    ++Metrics.ShutdownRequests;
+    send(C, MsgType::ShutdownOk, std::string());
+    C.Closing = true;
+    beginDrain();
+    return;
+  }
+  default:
+    ++Metrics.ProtocolErrors;
+    sendError(C, Status::UnknownType,
+              "unknown message type " +
+                  std::to_string(static_cast<unsigned>(F.Type)));
+    C.Closing = true;
+    return;
+  }
+}
+
+void CompileServer::readClient(Conn &C) {
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Metrics.BytesIn += static_cast<uint64_t>(N);
+      C.In.append(Buf, static_cast<size_t>(N));
+      if (N < static_cast<ssize_t>(sizeof(Buf)))
+        break;
+      continue;
+    }
+    if (N == 0) {
+      // Peer closed: nothing more can be answered on this connection.
+      C.Closing = true;
+      C.OutBuf.clear();
+      C.OutPos = 0;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      break;
+    C.Closing = true; // hard error
+    C.OutBuf.clear();
+    C.OutPos = 0;
+    break;
+  }
+
+  while (!C.Closing && !C.In.empty()) {
+    Frame F;
+    size_t Consumed = 0;
+    Status Err;
+    std::string ErrMsg;
+    ParseResult R = parseFrame(C.In.data(), C.In.size(), F, Consumed, Err,
+                               ErrMsg);
+    if (R == ParseResult::NeedMore)
+      break;
+    if (R == ParseResult::Bad) {
+      ++Metrics.ProtocolErrors;
+      sendError(C, Err, ErrMsg);
+      C.Closing = true;
+      break;
+    }
+    C.In.erase(0, Consumed);
+    handleFrame(C, F);
+  }
+}
+
+void CompileServer::flushClient(Conn &C) {
+  while (C.OutPos < C.OutBuf.size()) {
+    ssize_t N = ::send(C.Fd, C.OutBuf.data() + C.OutPos,
+                       C.OutBuf.size() - C.OutPos, MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+      return; // poll for POLLOUT
+    // Hard write error: the peer is gone.
+    C.Closing = true;
+    C.OutBuf.clear();
+    C.OutPos = 0;
+    return;
+  }
+  C.OutBuf.clear();
+  C.OutPos = 0;
+}
+
+void CompileServer::drainCompletions() {
+  std::vector<Completion> Done;
+  {
+    std::lock_guard<std::mutex> Lock(CompMutex);
+    Done.swap(Completions);
+  }
+  for (Completion &Cm : Done) {
+    if (InFlightTotal > 0)
+      --InFlightTotal;
+    auto PIt = Pending.find(std::make_pair(Cm.ConnId, Cm.Seq));
+    bool AlreadyResponded = PIt != Pending.end() && PIt->second.Responded;
+    bool PastDeadline =
+        PIt != Pending.end() && PIt->second.HasDeadline &&
+        std::chrono::steady_clock::now() >= PIt->second.Deadline;
+    if (PIt != Pending.end())
+      Pending.erase(PIt);
+
+    auto CIt = Conns.find(Cm.ConnId);
+    if (CIt == Conns.end())
+      continue; // client went away; drop the result
+    Conn &C = CIt->second;
+    if (C.InFlight > 0)
+      --C.InFlight;
+    if (AlreadyResponded)
+      continue; // the deadline sweep answered this one
+
+    const CompileOutput &Out = Cm.R.Out;
+    if (Cm.R.DeadlineExpired || PastDeadline) {
+      ++Metrics.DeadlineMisses;
+      sendCompileStatus(C, Status::DeadlineExceeded,
+                        Cm.R.DeadlineExpired
+                            ? "deadline exceeded while queued"
+                            : "deadline exceeded during compilation");
+      continue;
+    }
+    if (!Out.Ok) {
+      ++Metrics.CompileErrors;
+      sendCompileStatus(C, Status::CompileFailed, Out.Errors);
+      continue;
+    }
+    ++Metrics.CompileOk;
+    if (Out.Metrics.CacheDiskHit)
+      ++Metrics.DiskHits;
+    else if (Out.Metrics.CacheHit)
+      ++Metrics.MemoryHits;
+    else
+      ++Metrics.CacheMisses;
+
+    CompileResponse Resp;
+    Resp.St = Status::Ok;
+    Resp.Tier = Out.Metrics.CacheDiskHit
+                    ? WireTier::Disk
+                    : (Out.Metrics.CacheHit ? WireTier::Memory
+                                            : WireTier::Miss);
+    Resp.CompileSec = Out.Metrics.CacheHit ? 0.0 : Out.Metrics.TotalSec;
+    Resp.Program = Out.Program;
+    send(C, MsgType::CompileResp, encodeCompileResponse(Resp));
+  }
+}
+
+void CompileServer::sweepDeadlines() {
+  auto Now = std::chrono::steady_clock::now();
+  for (auto &KV : Pending) {
+    PendingReq &P = KV.second;
+    if (P.Responded || !P.HasDeadline || Now < P.Deadline)
+      continue;
+    P.Responded = true;
+    ++Metrics.DeadlineMisses;
+    auto CIt = Conns.find(KV.first.first);
+    if (CIt == Conns.end())
+      continue;
+    // The job may still be queued or even mid-compile; the client gets
+    // its answer now and the eventual result is dropped.
+    sendCompileStatus(CIt->second, Status::DeadlineExceeded,
+                      "deadline exceeded");
+  }
+}
+
+uint64_t CompileServer::run() {
+  std::vector<pollfd> Fds;
+  std::vector<uint64_t> ConnIds;
+  while (true) {
+    if (StopRequested.load(std::memory_order_acquire))
+      beginDrain();
+    if (Draining && drainComplete())
+      break;
+
+    Fds.clear();
+    ConnIds.clear();
+    Fds.push_back(pollfd{WakePipe[0], POLLIN, 0});
+    if (ListenFd >= 0)
+      Fds.push_back(pollfd{ListenFd, POLLIN, 0});
+    size_t ConnBase = Fds.size();
+    for (auto &KV : Conns) {
+      short Ev = POLLIN;
+      if (KV.second.OutPos < KV.second.OutBuf.size())
+        Ev |= POLLOUT;
+      Fds.push_back(pollfd{KV.second.Fd, Ev, 0});
+      ConnIds.push_back(KV.first);
+    }
+
+    int PR = ::poll(Fds.data(), Fds.size(), Opts.PollIntervalMs);
+    if (PR < 0 && errno != EINTR)
+      break; // fatal
+
+    // Drain the wake pipe (completions and/or stop requests).
+    if (Fds[0].revents & POLLIN) {
+      char Sink[256];
+      while (::read(WakePipe[0], Sink, sizeof(Sink)) > 0) {
+      }
+    }
+    drainCompletions();
+    sweepDeadlines();
+
+    if (ListenFd >= 0 && Fds.size() > 1 && Fds[1].fd == ListenFd &&
+        (Fds[1].revents & POLLIN))
+      acceptClients();
+
+    for (size_t I = 0; I < ConnIds.size(); ++I) {
+      auto It = Conns.find(ConnIds[I]);
+      if (It == Conns.end())
+        continue;
+      Conn &C = It->second;
+      short Rev = Fds[ConnBase + I].revents;
+      if (Rev & (POLLIN | POLLHUP | POLLERR))
+        readClient(C);
+      if (!C.Closing && (Rev & POLLOUT))
+        flushClient(C);
+    }
+
+    // Close connections that asked to close and have flushed (or died).
+    std::vector<uint64_t> ToClose;
+    for (auto &KV : Conns)
+      if (KV.second.Closing && KV.second.OutPos >= KV.second.OutBuf.size())
+        ToClose.push_back(KV.first);
+    for (uint64_t Id : ToClose)
+      closeConn(Id);
+  }
+
+  // Drained: everything answered and flushed; drop remaining links.
+  std::vector<uint64_t> All;
+  for (auto &KV : Conns)
+    All.push_back(KV.first);
+  for (uint64_t Id : All)
+    closeConn(Id);
+  return Metrics.CompileRequests;
+}

@@ -1,0 +1,187 @@
+//===- server/Server.h - The smltcc compile daemon ---------------------------===//
+///
+/// \file
+/// A long-lived compile server: accepts concurrent clients on a
+/// Unix-domain socket, speaks the server/Protocol frame format, and
+/// dispatches compile requests onto the existing `BatchCompiler`
+/// persistent worker pool. The in-memory `CompileCache` is layered over
+/// an optional persistent `DiskCache`, so a daemon restart keeps a warm
+/// cache (memory/disk/miss hit tiers are reported per response and in
+/// the stats JSON).
+///
+/// Concurrency model: one poll(2) loop owns all sockets and every piece
+/// of per-connection state; compile workers never touch a socket. A
+/// finished job is handed back to the loop through a locked completion
+/// queue plus a self-pipe wakeup. Admission control is the batch
+/// engine's bounded queue: when it is full, the request is answered
+/// with `Status::QueueFull` instead of being buffered. Each request may
+/// carry a deadline; requests that exceed it (while queued or while
+/// compiling) are answered with `Status::DeadlineExceeded` — the sweep
+/// runs every poll tick, so a deadline response is never blocked behind
+/// the compile that is starving it.
+///
+/// Shutdown (SIGTERM/SIGINT via `installSignalHandlers`, or a client
+/// ShutdownReq) is drain-then-exit: stop accepting, reject new compiles
+/// with `Status::Draining`, let in-flight jobs finish, flush every
+/// response, then return from run().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_SERVER_SERVER_H
+#define SMLTC_SERVER_SERVER_H
+
+#include "driver/Batch.h"
+#include "server/DiskCache.h"
+#include "server/Protocol.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smltc {
+namespace server {
+
+struct ServerOptions {
+  std::string SocketPath;
+  /// Compile workers (BatchCompiler pool); 0 = hardware concurrency.
+  size_t NumWorkers = 0;
+  /// Admission cap: compile jobs queued (not yet running) before new
+  /// requests are rejected with Status::QueueFull.
+  size_t MaxQueue = 64;
+  /// Persistent cache directory; empty = in-memory cache only.
+  std::string DiskCachePath;
+  uint64_t DiskCacheCapBytes = 256ull << 20;
+  /// Poll-loop tick; bounds deadline-sweep latency.
+  int PollIntervalMs = 20;
+  size_t MaxConnections = 128;
+};
+
+/// Counters the daemon reports via StatsReq / `metricsJson()`. Owned by
+/// the poll thread; read externally only after run() returns.
+struct ServerMetrics {
+  uint64_t Connections = 0;
+  uint64_t ConnectionsRejected = 0;
+  uint64_t Requests = 0;
+  uint64_t PingRequests = 0;
+  uint64_t CompileRequests = 0;
+  uint64_t StatsRequests = 0;
+  uint64_t ShutdownRequests = 0;
+  uint64_t CompileOk = 0;
+  uint64_t CompileErrors = 0;
+  uint64_t QueueFullRejects = 0;
+  uint64_t DeadlineMisses = 0;
+  uint64_t DrainingRejects = 0;
+  uint64_t ProtocolErrors = 0;
+  uint64_t MemoryHits = 0; ///< compile responses served from memory tier
+  uint64_t DiskHits = 0;   ///< ... from the persistent disk tier
+  uint64_t CacheMisses = 0; ///< ... compiled for real
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+  size_t QueueDepthPeak = 0;
+
+  /// Renders the counters (plus live queue depth and disk-cache stats
+  /// when attached) as one JSON object.
+  std::string toJson(size_t QueueDepthNow,
+                     const DiskCache *Disk = nullptr) const;
+};
+
+class CompileServer {
+public:
+  explicit CompileServer(ServerOptions Options);
+  ~CompileServer();
+  CompileServer(const CompileServer &) = delete;
+  CompileServer &operator=(const CompileServer &) = delete;
+
+  /// Binds the socket and starts the worker pool + caches. On failure
+  /// returns false with a reason; run() must not be called.
+  bool start(std::string &Err);
+
+  /// Serves until a shutdown request, requestStop(), or a fatal socket
+  /// error. Returns the number of compile requests served.
+  uint64_t run();
+
+  /// Asks the poll loop to begin the graceful drain. Safe to call from
+  /// other threads and from signal handlers (lock-free: atomic flag +
+  /// self-pipe write).
+  void requestStop();
+
+  /// Routes SIGTERM/SIGINT to `requestStop` of this server. Call from
+  /// the daemon main() only (process-global).
+  static void installSignalHandlers(CompileServer *S);
+
+  /// Metrics snapshot; meaningful once run() has returned (the poll
+  /// thread owns the counters while running — use a StatsReq for live
+  /// numbers).
+  const ServerMetrics &metrics() const { return Metrics; }
+  std::string metricsJson() const;
+
+  const std::string &socketPath() const { return Opts.SocketPath; }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    uint64_t Id = 0;
+    std::string In;     ///< bytes received, not yet parsed
+    std::string OutBuf; ///< bytes queued to send
+    size_t OutPos = 0;
+    bool GotHello = false;
+    bool Closing = false; ///< close once OutBuf is flushed
+    size_t InFlight = 0;  ///< compile requests awaiting a response
+    uint64_t NextSeq = 0;
+  };
+
+  /// One compile request awaiting completion; keyed by (ConnId, Seq).
+  struct PendingReq {
+    std::chrono::steady_clock::time_point Deadline{};
+    bool HasDeadline = false;
+    bool Responded = false; ///< deadline sweep already answered it
+  };
+
+  /// A finished job travelling from a worker to the poll loop.
+  struct Completion {
+    uint64_t ConnId = 0;
+    uint64_t Seq = 0;
+    AsyncCompileResult R;
+  };
+
+  void acceptClients();
+  void readClient(Conn &C);
+  void handleFrame(Conn &C, const Frame &F);
+  void handleCompile(Conn &C, const Frame &F);
+  void drainCompletions();
+  void sweepDeadlines();
+  void flushClient(Conn &C);
+  void closeConn(uint64_t Id);
+  void send(Conn &C, MsgType Type, const std::string &Payload);
+  void sendError(Conn &C, Status St, const std::string &Msg);
+  void sendCompileStatus(Conn &C, Status St, const std::string &Msg);
+  void beginDrain();
+  bool drainComplete() const;
+
+  ServerOptions Opts;
+  ServerMetrics Metrics;
+  std::unique_ptr<CompileCache> Cache;
+  std::unique_ptr<DiskCache> Disk;
+  std::unique_ptr<BatchCompiler> Pool;
+
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+  bool Started = false;
+  bool Draining = false;
+  std::atomic<bool> StopRequested{false};
+
+  uint64_t NextConnId = 1;
+  std::unordered_map<uint64_t, Conn> Conns;
+  std::map<std::pair<uint64_t, uint64_t>, PendingReq> Pending;
+  size_t InFlightTotal = 0; ///< accepted compiles not yet completed
+
+  std::mutex CompMutex;
+  std::vector<Completion> Completions;
+};
+
+} // namespace server
+} // namespace smltc
+
+#endif // SMLTC_SERVER_SERVER_H

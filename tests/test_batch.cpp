@@ -185,6 +185,25 @@ TEST(CompileCacheTest, KeyDistinguishesOptionsSourceAndPrelude) {
   EXPECT_NE(Base, canonicalJobKey(Src, NoMemo, true));
 }
 
+TEST(CompileCacheTest, KeysAreSaltedWithCompilerVersionAndSchema) {
+  // Every canonical key must begin with the build salt, so a persistent
+  // store written by an older compiler (different version or options
+  // schema) can never satisfy a lookup from this one.
+  std::string Salt = compileCacheSalt();
+  ASSERT_FALSE(Salt.empty());
+  EXPECT_NE(Salt.find("smltc-"), std::string::npos)
+      << "salt must carry the compiler version";
+  EXPECT_NE(Salt.find("optschema="), std::string::npos)
+      << "salt must carry the options-schema version";
+  std::string Key =
+      canonicalJobKey("val it = 1", CompilerOptions::ffb(), true);
+  EXPECT_EQ(Key.rfind(Salt, 0), 0u) << "canonical keys must be salted";
+  // A different salt means a different key, which means a different
+  // fnv1a64 address in any content-addressed store.
+  EXPECT_NE(fnv1a64(Key),
+            fnv1a64("smltc-0.0.0;optschema=0;" + Key.substr(Salt.size())));
+}
+
 TEST(CompileCacheTest, LookupCountsMissesThenHits) {
   CompileCache Cache;
   CompilerOptions O = CompilerOptions::ffb();

@@ -4,11 +4,17 @@
 # 1. Configure, build, and run the full test suite (the tier-1 gate).
 # 2. Smoke-run the execution-throughput benchmark (1 iteration): the
 #    three dispatch engines must agree bit-for-bit across the corpus.
-# 3. Rebuild under ThreadSanitizer and run the batch-engine tests, so
-#    data races in the worker pool are caught mechanically.
-# 4. Rebuild under AddressSanitizer and run the full suite, so heap/GC
-#    bugs (forwarding overruns, register-file overflows) are caught at
-#    the first bad access rather than as downstream corruption.
+# 3. Smoke-run the compile-server benchmark: cold / warm-memory /
+#    warm-disk tier counters must be exact, responses byte-identical,
+#    and the warm-disk tier >= 10x faster than cold at the p50; then a
+#    daemon + --connect CLI round trip over a real socket.
+# 4. Rebuild under ThreadSanitizer and run the batch-engine and
+#    compile-server tests, so data races in the worker pool, poll loop,
+#    and disk cache are caught mechanically.
+# 5. Rebuild under AddressSanitizer and run the full suite (including
+#    the protocol frame fuzzer), so heap/GC bugs and codec over-reads
+#    are caught at the first bad access rather than as downstream
+#    corruption.
 #
 # Usage: tools/check.sh [--no-tsan] [--no-asan]
 #
@@ -36,12 +42,32 @@ echo "== smoke: exec_throughput (1 iteration, correctness gates) =="
 (cd "$ROOT/build" && ./bench/exec_throughput --smoke \
   --out="$ROOT/build/BENCH_exec_smoke.json")
 
+echo "== smoke: server_throughput (tier counters + 10x warm-disk gate) =="
+(cd "$ROOT/build" && ./bench/server_throughput --smoke \
+  --out="$ROOT/build/BENCH_server_smoke.json")
+
+echo "== smoke: compile-server CLI round trip =="
+SMLTCC="$ROOT/build/tools/smltcc"
+CHECK_SOCK="/tmp/smltcc-check-$$.sock"
+CHECK_CACHE="/tmp/smltcc-check-cache-$$"
+"$SMLTCC" --daemon --socket="$CHECK_SOCK" --cache-dir="$CHECK_CACHE" &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$CHECK_CACHE"' EXIT
+sleep 1
+"$SMLTCC" --connect="$CHECK_SOCK" --remote-ping
+"$SMLTCC" --connect="$CHECK_SOCK" --expr 'fun main () = 6 * 7' \
+  | grep -q 'result = 42'
+"$SMLTCC" --connect="$CHECK_SOCK" --remote-shutdown
+wait "$DAEMON_PID"
+trap - EXIT
+rm -rf "$CHECK_CACHE"
+
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "== tsan: batch engine race check =="
+  echo "== tsan: batch engine + compile server race check =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSMLTC_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j"$JOBS" --target smltc_tests
   "$ROOT/build-tsan/tests/smltc_tests" \
-    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*'
+    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*'
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

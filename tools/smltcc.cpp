@@ -17,10 +17,28 @@
 //     --dump-lexp      print the typed lambda (LEXP) program
 //     --dump-cps       print the optimized CPS program
 //
+// Compile-server modes:
+//     --daemon --socket=PATH    run as a compile server (alias: --server)
+//       --cache-dir=PATH        persistent disk cache directory
+//       --cache-cap-mb=N        disk cache size cap (default 256)
+//       --workers=N             compile workers (default: hardware)
+//       --max-queue=N           queued-compile admission cap (default 64)
+//     --connect=PATH            compile via a running daemon, then run
+//       --deadline-ms=N         fail the request after N ms (exit 75)
+//     --remote-stats            print the daemon's metrics JSON
+//     --remote-ping             handshake + ping round trip
+//     --remote-shutdown         ask the daemon to drain and exit
+//
+// Exit codes: 0 ok, 1 uncaught exception, 2 compile error, 3 VM trap,
+// 64 usage, 66 missing input, 69 cannot reach/protocol error against the
+// daemon, 75 transient server-side rejection (queue full / deadline).
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/Batch.h"
 #include "driver/Compiler.h"
+#include "server/Client.h"
+#include "server/Server.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -94,6 +112,36 @@ int runCompiled(const CompileOutput &C, const CompilerOptions &O,
   return 0;
 }
 
+/// Runs `smltcc --daemon`: serve until SIGTERM/SIGINT or a client
+/// shutdown request, then print the final metrics JSON when asked.
+int runDaemon(const server::ServerOptions &SO, bool MetricsJson) {
+  server::CompileServer Server(SO);
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "smltcc --daemon: %s\n", Err.c_str());
+    return 69;
+  }
+  server::CompileServer::installSignalHandlers(&Server);
+  std::fprintf(stderr, "smltccd: listening on %s\n",
+               Server.socketPath().c_str());
+  Server.run();
+  if (MetricsJson)
+    std::printf("%s\n", Server.metricsJson().c_str());
+  return 0;
+}
+
+/// Maps a transient server-side rejection to the conventional
+/// EX_TEMPFAIL-style exit code the tests assert on.
+int remoteRejectExit(server::Status St, const std::string &Errors) {
+  std::fprintf(stderr, "server rejected compile (%s): %s\n",
+               server::statusName(St), Errors.c_str());
+  return St == server::Status::QueueFull ||
+                 St == server::Status::DeadlineExceeded ||
+                 St == server::Status::Draining
+             ? 75
+             : 69;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -105,6 +153,11 @@ int main(int Argc, char **Argv) {
   bool DumpLexp = false, DumpCps = false;
   size_t Jobs = 1;
   VmOptions VmBase;
+  bool Daemon = false, RemoteStats = false, RemotePing = false;
+  bool RemoteShutdown = false;
+  std::string ConnectPath;
+  uint32_t DeadlineMs = 0;
+  server::ServerOptions SO;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -147,12 +200,40 @@ int main(int Argc, char **Argv) {
       DumpCps = true;
     } else if (A == "--expr" && I + 1 < Argc) {
       Expr = Argv[++I];
+    } else if (A == "--daemon" || A == "--server") {
+      Daemon = true;
+    } else if (A.rfind("--socket=", 0) == 0) {
+      SO.SocketPath = A.substr(9);
+    } else if (A.rfind("--cache-dir=", 0) == 0) {
+      SO.DiskCachePath = A.substr(12);
+    } else if (A.rfind("--cache-cap-mb=", 0) == 0) {
+      SO.DiskCacheCapBytes =
+          static_cast<uint64_t>(std::atoll(A.c_str() + 15)) << 20;
+    } else if (A.rfind("--workers=", 0) == 0) {
+      SO.NumWorkers = static_cast<size_t>(std::atoi(A.c_str() + 10));
+    } else if (A.rfind("--max-queue=", 0) == 0) {
+      SO.MaxQueue = static_cast<size_t>(std::atoi(A.c_str() + 12));
+    } else if (A.rfind("--connect=", 0) == 0) {
+      ConnectPath = A.substr(10);
+    } else if (A.rfind("--deadline-ms=", 0) == 0) {
+      DeadlineMs = static_cast<uint32_t>(std::atoi(A.c_str() + 14));
+    } else if (A == "--remote-stats") {
+      RemoteStats = true;
+    } else if (A == "--remote-ping") {
+      RemotePing = true;
+    } else if (A == "--remote-shutdown") {
+      RemoteShutdown = true;
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
                   "[--all] [--jobs=N] [--metrics] [--metrics-json] "
                   "[--vm-dispatch=threaded|switch|legacy] "
                   "[--vm-nursery-kb=N] [--vm-metrics-json] "
-                  "[--no-prelude] (file.sml | --expr 'src')\n");
+                  "[--no-prelude] (file.sml | --expr 'src')\n"
+                  "       smltcc --daemon --socket=PATH [--cache-dir=PATH] "
+                  "[--cache-cap-mb=N] [--workers=N] [--max-queue=N]\n"
+                  "       smltcc --connect=PATH [--deadline-ms=N] "
+                  "(file.sml | --expr 'src' | --remote-stats | "
+                  "--remote-ping | --remote-shutdown)\n");
       return 0;
     } else if (!A.empty() && A[0] != '-') {
       File = A;
@@ -161,6 +242,43 @@ int main(int Argc, char **Argv) {
                    A.c_str());
       return 64;
     }
+  }
+
+  if (Daemon) {
+    if (SO.SocketPath.empty()) {
+      std::fprintf(stderr, "--daemon requires --socket=PATH\n");
+      return 64;
+    }
+    return runDaemon(SO, MetricsJson);
+  }
+
+  if (RemoteStats || RemotePing || RemoteShutdown) {
+    if (ConnectPath.empty()) {
+      std::fprintf(stderr, "remote commands require --connect=PATH\n");
+      return 64;
+    }
+    server::Client Cl;
+    std::string Err;
+    if (!Cl.connect(ConnectPath, Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 69;
+    }
+    bool Ok = true;
+    if (RemotePing)
+      Ok = Cl.ping("smltcc-ping", Err);
+    if (Ok && RemoteStats) {
+      std::string Json;
+      Ok = Cl.stats(Json, Err);
+      if (Ok)
+        std::printf("%s\n", Json.c_str());
+    }
+    if (Ok && RemoteShutdown)
+      Ok = Cl.shutdownServer(Err);
+    if (!Ok) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 69;
+    }
+    return 0;
   }
 
   std::string Source;
@@ -178,6 +296,48 @@ int main(int Argc, char **Argv) {
   } else {
     std::fprintf(stderr, "no input (try --help)\n");
     return 64;
+  }
+
+  if (!ConnectPath.empty()) {
+    const CompilerOptions *O = variantByName(VariantName);
+    if (!O) {
+      std::fprintf(stderr, "unknown variant '%s'\n", VariantName.c_str());
+      return 64;
+    }
+    server::Client Cl;
+    std::string Err;
+    if (!Cl.connect(ConnectPath, Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 69;
+    }
+    server::CompileRequest Req;
+    Req.DeadlineMs = DeadlineMs;
+    Req.WithPrelude = WithPrelude;
+    Req.Opts = *O;
+    Req.Source = Source;
+    server::CompileResponse Resp;
+    if (!Cl.compile(Req, Resp, Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 69;
+    }
+    if (Resp.St == server::Status::CompileFailed) {
+      std::fprintf(stderr, "%s\n", Resp.Errors.c_str());
+      return 2;
+    }
+    if (Resp.St != server::Status::Ok)
+      return remoteRejectExit(Resp.St, Resp.Errors);
+    // Rebuild a CompileOutput so reporting matches the local path.
+    CompileOutput C;
+    C.Ok = true;
+    C.Program = std::move(Resp.Program);
+    C.Metrics.TotalSec = Resp.CompileSec;
+    C.Metrics.CacheHit = Resp.Tier != server::WireTier::Miss;
+    C.Metrics.CacheDiskHit = Resp.Tier == server::WireTier::Disk;
+    C.Metrics.CodeSize = 0;
+    for (const TmFunction &F : C.Program.Funs)
+      C.Metrics.CodeSize += F.Code.size();
+    return runCompiled(C, *O, VmBase, Metrics, MetricsJson, VmMetricsJson,
+                       false, /*DumpLexp=*/false, /*DumpCps=*/false);
   }
 
   if (All) {
