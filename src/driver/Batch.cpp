@@ -2,45 +2,63 @@
 
 #include "driver/Batch.h"
 
-#include <cstdio>
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
 #include <thread>
 
 using namespace smltc;
 
 std::string BatchMetrics::toJson() const {
-  char Buf[704];
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "{\"jobs\":%zu,\"succeeded\":%zu,\"failed\":%zu,"
-      "\"cache_hits\":%zu,\"cache_disk_hits\":%zu,\"cache_misses\":%zu,"
-      "\"threads\":%zu,"
-      "\"wall_sec\":%.6f,\"total_compile_sec\":%.6f,"
-      "\"front_sec\":%.6f,\"translate_sec\":%.6f,\"back_sec\":%.6f,"
-      "\"queue_wait_sec\":%.6f,\"programs_per_sec\":%.2f,"
-      "\"speedup_vs_serial\":%.2f}",
-      Jobs, Succeeded, Failed, CacheHits, CacheDiskHits, CacheMisses,
-      Threads, WallSec, TotalCompileSec, FrontSec, TranslateSec, BackSec,
-      QueueWaitSec, programsPerSec(), speedupVsSerial());
-  return Buf;
+  obs::JsonWriter W;
+  W.beginObject()
+      .field("jobs", Jobs)
+      .field("succeeded", Succeeded)
+      .field("failed", Failed)
+      .field("cache_hits", CacheHits)
+      .field("cache_disk_hits", CacheDiskHits)
+      .field("cache_misses", CacheMisses)
+      .field("threads", Threads)
+      .field("wall_sec", WallSec)
+      .field("total_compile_sec", TotalCompileSec)
+      .field("front_sec", FrontSec)
+      .field("translate_sec", TranslateSec)
+      .field("back_sec", BackSec)
+      .field("queue_wait_sec", QueueWaitSec)
+      .field("programs_per_sec", programsPerSec(), 2)
+      .field("speedup_vs_serial", speedupVsSerial(), 2)
+      .endObject();
+  return W.take();
 }
 
 std::string smltc::compileMetricsJson(const CompileMetrics &M) {
-  char Buf[576];
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "{\"total_sec\":%.6f,\"front_sec\":%.6f,\"translate_sec\":%.6f,"
-      "\"back_sec\":%.6f,\"queue_wait_sec\":%.6f,\"worker_id\":%d,"
-      "\"cache_hit\":%s,\"cache_disk_hit\":%s,\"big_stack_unavailable\":%s,"
-      "\"lexp_nodes\":%zu,\"cps_nodes_before_opt\":%zu,"
-      "\"cps_nodes_after_opt\":%zu,\"code_size\":%zu,"
-      "\"lty_interned\":%zu,\"lty_allocated\":%zu,\"closures_built\":%zu}",
-      M.TotalSec, M.FrontSec, M.TranslateSec, M.BackSec, M.QueueWaitSec,
-      M.WorkerId, M.CacheHit ? "true" : "false",
-      M.CacheDiskHit ? "true" : "false",
-      M.BigStackUnavailable ? "true" : "false", M.LexpNodes,
-      M.CpsNodesBeforeOpt, M.CpsNodesAfterOpt, M.CodeSize, M.LtyInterned,
-      M.LtyAllocated, M.ClosuresBuilt);
-  return Buf;
+  obs::JsonWriter W;
+  W.beginObject()
+      .field("total_sec", M.TotalSec)
+      .field("front_sec", M.FrontSec)
+      .field("translate_sec", M.TranslateSec)
+      .field("back_sec", M.BackSec)
+      .field("parse_sec", M.ParseSec)
+      .field("elab_sec", M.ElabSec)
+      .field("mtd_sec", M.MtdSec)
+      .field("cps_convert_sec", M.CpsConvertSec)
+      .field("cps_opt_sec", M.CpsOptSec)
+      .field("closure_sec", M.ClosureSec)
+      .field("codegen_sec", M.CodegenSec)
+      .field("queue_wait_sec", M.QueueWaitSec)
+      .field("worker_id", M.WorkerId)
+      .field("cache_hit", M.CacheHit)
+      .field("cache_disk_hit", M.CacheDiskHit)
+      .field("big_stack_unavailable", M.BigStackUnavailable)
+      .field("lexp_nodes", M.LexpNodes)
+      .field("cps_nodes_before_opt", M.CpsNodesBeforeOpt)
+      .field("cps_nodes_after_opt", M.CpsNodesAfterOpt)
+      .field("code_size", M.CodeSize)
+      .field("lty_interned", M.LtyInterned)
+      .field("lty_allocated", M.LtyAllocated)
+      .field("closures_built", M.ClosuresBuilt)
+      .endObject();
+  return W.take();
 }
 
 BatchCompiler::BatchCompiler(BatchOptions Options)
@@ -114,6 +132,19 @@ void BatchCompiler::runItem(WorkItem &Item, int WorkerId, bool BigStack) {
       std::chrono::duration<double>(Now - Item.Enqueued).count();
   const CompileJob &Job = Item.Job;
 
+  if (obs::Tracer::enabled()) {
+    // The span for the time the job sat queued, recorded retroactively on
+    // the worker that picked it up (the enqueuing thread has moved on).
+    obs::Tracer &T = obs::Tracer::instance();
+    T.emitComplete("queue_wait", "batch", T.toUs(Item.Enqueued),
+                   static_cast<uint64_t>(QueueWait * 1e6));
+  }
+  obs::Span JobSpan("compile_job", "batch");
+  JobSpan.arg("variant", Job.Opts.VariantName);
+  JobSpan.arg("worker_id", static_cast<int64_t>(WorkerId));
+  if (Job.TraceRequestId)
+    JobSpan.arg("request_id", Job.TraceRequestId);
+
   AsyncCompileResult R;
   if (Item.HasDeadline && Now >= Item.Deadline) {
     // Expired while queued: don't burn a worker on a result nobody can
@@ -148,10 +179,15 @@ void BatchCompiler::runItem(WorkItem &Item, int WorkerId, bool BigStack) {
   R.Out.Metrics.QueueWaitSec = QueueWait;
   if (WorkerId >= 0 && !BigStack)
     R.Out.Metrics.BigStackUnavailable = true;
+  JobSpan.arg("cache", R.DeadlineExpired          ? "expired"
+                       : R.Out.Metrics.CacheDiskHit ? "disk"
+                       : R.Out.Metrics.CacheHit     ? "memory"
+                                                    : "miss");
   Item.Done(std::move(R));
 }
 
 void BatchCompiler::workerLoop(size_t WorkerId) {
+  obs::Tracer::setThreadName("worker-" + std::to_string(WorkerId));
   for (;;) {
     WorkItem Item;
     {

@@ -40,6 +40,10 @@ struct CompileJob {
   std::string Source;
   CompilerOptions Opts;
   bool WithPrelude = true;
+  /// Client-assigned request id (compile-server jobs); 0 when the job
+  /// has no originating request. Carried into the job's trace span so a
+  /// server-side trace can be joined against client logs.
+  uint64_t TraceRequestId = 0;
 };
 
 /// Completion of an asynchronously submitted job (`submitJob`).

@@ -31,8 +31,10 @@ template <typename T> void appendPod(std::string &Key, T V) {
 /// salt is part of every key, so persisted entries written under the old
 /// layout can never alias entries under the new one.
 constexpr int kOptionsSchemaVersion = 2;
-/// Bump on releases that change generated code for identical inputs.
-constexpr const char *kCompilerVersion = "smltc-0.3.0";
+/// Bump on releases that change generated code for identical inputs, or
+/// the layout of the persisted CompileOutput blob (CompileMetrics is
+/// stored as a sized memcpy, so growing it invalidates old entries).
+constexpr const char *kCompilerVersion = "smltc-0.4.0";
 
 } // namespace
 

@@ -9,6 +9,7 @@
 #include "elab/Elaborator.h"
 #include "lexp/LexpCheck.h"
 #include "lexp/Translate.h"
+#include "obs/Trace.h"
 #include "support/Diagnostics.h"
 #include "support/StringInterner.h"
 
@@ -107,6 +108,8 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
                                     bool WithPrelude) {
   CompileOutput Out;
   auto TStart = std::chrono::steady_clock::now();
+  obs::Span PipelineSpan("compile", "compile");
+  PipelineSpan.arg("variant", Opts.VariantName);
 
   Arena A;
   StringInterner Interner;
@@ -118,17 +121,32 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   // --- Front end: parse + elaborate (+ MTD) ---
   auto TFront = std::chrono::steady_clock::now();
   Parser P(Full, A, Interner, Diags);
-  ast::Program Raw = P.parseProgram();
+  ast::Program Raw;
+  {
+    SMLTC_SPAN("parse", "compile");
+    Raw = P.parseProgram();
+  }
+  Out.Metrics.ParseSec = secondsSince(TFront);
+  auto TElab = std::chrono::steady_clock::now();
   Elaborator Elab(A, Types, Interner, Diags);
-  AProgram Prog = Elab.elaborate(Raw);
+  AProgram Prog;
+  {
+    SMLTC_SPAN("elaborate", "compile");
+    Prog = Elab.elaborate(Raw);
+  }
+  Out.Metrics.ElabSec = secondsSince(TElab);
   if (Diags.hasErrors()) {
     Out.Errors = Diags.render();
     Out.Metrics.FrontSec = secondsSince(TFront);
     Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
-  if (Opts.Mtd)
+  if (Opts.Mtd) {
+    auto TMtd = std::chrono::steady_clock::now();
+    SMLTC_SPAN("mtd", "compile");
     Out.Metrics.Mtd = runMtd(Prog, Types, A);
+    Out.Metrics.MtdSec = secondsSince(TMtd);
+  }
   Out.Metrics.FrontSec = secondsSince(TFront);
 
   // --- Middle end: Absyn -> LEXP ---
@@ -143,7 +161,11 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   Exns.Overflow = Elab.OverflowExn;
   Exns.Chr = Elab.ChrExn;
   Translator Trans(A, Types, LC, Opts, Exns, Diags);
-  Lexp *Lambda = Trans.translate(Prog);
+  Lexp *Lambda;
+  {
+    SMLTC_SPAN("translate", "compile");
+    Lambda = Trans.translate(Prog);
+  }
   if (Diags.hasErrors()) {
     Out.Errors = Diags.render();
     Out.Metrics.TranslateSec = secondsSince(TTrans);
@@ -169,9 +191,15 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
 
   // --- Back end: CPS -> optimize -> closure -> code ---
   auto TBack = std::chrono::steady_clock::now();
-  CpsConvertResult Cps = convertToCps(A, LC, Opts, Lambda);
-  Out.Metrics.CpsNodesBeforeOpt = countCpsNodes(Cps.Program);
-  CpsCheckResult CCheck = checkCps(Cps.Program);
+  CpsConvertResult Cps;
+  CpsCheckResult CCheck;
+  {
+    SMLTC_SPAN("cps_convert", "compile");
+    Cps = convertToCps(A, LC, Opts, Lambda);
+    Out.Metrics.CpsNodesBeforeOpt = countCpsNodes(Cps.Program);
+    CCheck = checkCps(Cps.Program);
+  }
+  Out.Metrics.CpsConvertSec = secondsSince(TBack);
   if (!CCheck.Ok) {
     Out.Errors = "internal: CPS check failed: " + CCheck.Error;
     Out.Metrics.BackSec = secondsSince(TBack);
@@ -179,12 +207,17 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
     return Out;
   }
   CVar MaxVar = Cps.MaxVar;
-  Cexp *Optimized =
-      optimizeCps(A, Opts, Cps.Program, MaxVar, Out.Metrics.Opt);
-  Out.Metrics.CpsNodesAfterOpt = countCpsNodes(Optimized);
-  if (Opts.KeepDumps)
-    Out.CpsDump = printCps(Optimized);
-  CCheck = checkCps(Optimized);
+  auto TOpt = std::chrono::steady_clock::now();
+  Cexp *Optimized;
+  {
+    SMLTC_SPAN("cps_opt", "compile");
+    Optimized = optimizeCps(A, Opts, Cps.Program, MaxVar, Out.Metrics.Opt);
+    Out.Metrics.CpsNodesAfterOpt = countCpsNodes(Optimized);
+    if (Opts.KeepDumps)
+      Out.CpsDump = printCps(Optimized);
+    CCheck = checkCps(Optimized);
+  }
+  Out.Metrics.CpsOptSec = secondsSince(TOpt);
   if (!CCheck.Ok) {
     Out.Errors = "internal: CPS check failed after optimization: " +
                  CCheck.Error;
@@ -192,10 +225,21 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
     Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
-  ClosureResult Closed = closureConvert(A, Opts, Optimized, MaxVar);
-  Out.Metrics.ClosuresBuilt = Closed.ClosuresBuilt;
-  Out.Program = generateCode(Closed, Out.Metrics.Codegen);
-  Out.Metrics.CodeSize = Out.Program.codeSize();
+  auto TClosure = std::chrono::steady_clock::now();
+  ClosureResult Closed;
+  {
+    SMLTC_SPAN("closure", "compile");
+    Closed = closureConvert(A, Opts, Optimized, MaxVar);
+    Out.Metrics.ClosuresBuilt = Closed.ClosuresBuilt;
+  }
+  Out.Metrics.ClosureSec = secondsSince(TClosure);
+  auto TCodegen = std::chrono::steady_clock::now();
+  {
+    SMLTC_SPAN("codegen", "compile");
+    Out.Program = generateCode(Closed, Out.Metrics.Codegen);
+    Out.Metrics.CodeSize = Out.Program.codeSize();
+  }
+  Out.Metrics.CodegenSec = secondsSince(TCodegen);
   Out.Metrics.BackSec = secondsSince(TBack);
   Out.Metrics.TotalSec = secondsSince(TStart);
   Out.Ok = true;

@@ -30,6 +30,17 @@ struct CompileMetrics {
   double TranslateSec = 0; ///< Absyn -> LEXP
   double BackSec = 0;      ///< CPS convert + optimize + closure + codegen
 
+  // Fine-grained phase seconds (the spans `--trace-json` records carry
+  // the same names). FrontSec and BackSec above stay as the lumped
+  // aggregates existing consumers read.
+  double ParseSec = 0;
+  double ElabSec = 0;
+  double MtdSec = 0;        ///< 0 when the variant runs without MTD
+  double CpsConvertSec = 0; ///< includes the post-convert CPS check
+  double CpsOptSec = 0;     ///< includes the post-optimize CPS check
+  double ClosureSec = 0;
+  double CodegenSec = 0;
+
   size_t LexpNodes = 0;
   size_t CpsNodesBeforeOpt = 0;
   size_t CpsNodesAfterOpt = 0;

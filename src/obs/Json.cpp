@@ -1,0 +1,179 @@
+//===- obs/Json.cpp - Shared JSON emission helpers ----------------------------===//
+
+#include "obs/Json.h"
+
+#include <cstdio>
+
+using namespace smltc;
+using namespace smltc::obs;
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string obs::jsonDouble(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+void JsonWriter::comma() {
+  if (NeedComma)
+    Out += ',';
+  NeedComma = false;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  comma();
+  Out += '{';
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out += '}';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  comma();
+  Out += '[';
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out += ']';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &Name) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(Name);
+  Out += "\":";
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Name, uint64_t V) {
+  key(Name);
+  Out += std::to_string(V);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Name, int64_t V) {
+  key(Name);
+  Out += std::to_string(V);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Name, int V) {
+  return field(Name, static_cast<int64_t>(V));
+}
+
+JsonWriter &JsonWriter::field(const std::string &Name, double V,
+                              int Precision) {
+  key(Name);
+  Out += jsonDouble(V, Precision);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Name, bool V) {
+  key(Name);
+  Out += V ? "true" : "false";
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Name,
+                              const std::string &V) {
+  key(Name);
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Name, const char *V) {
+  return field(Name, std::string(V ? V : ""));
+}
+
+JsonWriter &JsonWriter::fieldRaw(const std::string &Name,
+                                 const std::string &Json) {
+  key(Name);
+  Out += Json;
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  comma();
+  Out += std::to_string(V);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V, int Precision) {
+  comma();
+  Out += jsonDouble(V, Precision);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &V) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::valueRaw(const std::string &Json) {
+  comma();
+  Out += Json;
+  NeedComma = true;
+  return *this;
+}

@@ -1,0 +1,85 @@
+//===- obs/Json.h - Shared JSON emission helpers ------------------------------===//
+///
+/// \file
+/// The one JSON serializer every metrics emitter in the repo goes
+/// through. Before this existed, BatchMetrics, ServerMetrics, VmMetrics,
+/// and the bench writers each hand-rolled their own snprintf emitters —
+/// and every string they interpolated (error messages, file paths,
+/// variant names) went out unescaped, so one diagnostic containing a
+/// quote produced invalid JSON. `jsonEscape` is the single escaping
+/// routine; `JsonWriter` builds objects/arrays field by field with the
+/// exact numeric formats the existing emitters used (plain integers,
+/// fixed-precision doubles), so converted emitters stay byte-compatible
+/// with their previous output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_OBS_JSON_H
+#define SMLTC_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+
+namespace smltc {
+namespace obs {
+
+/// Escapes a string for inclusion inside JSON double quotes: `"` and
+/// `\` are backslash-escaped, the named control characters use their
+/// short forms (\n \r \t \b \f), and every other byte below 0x20 is
+/// emitted as \u00XX. Bytes >= 0x80 pass through untouched (UTF-8 is
+/// valid JSON as-is).
+std::string jsonEscape(const std::string &S);
+
+/// Incremental JSON builder. Values are appended in call order; commas
+/// and quoting are handled here, escaping goes through jsonEscape.
+/// Numeric formats are chosen to match the repo's historical emitters:
+/// integers render with std::to_string, doubles with a caller-chosen
+/// fixed precision (default 6, the old "%.6f").
+class JsonWriter {
+public:
+  /// Starts an object ({...}). Call at the top level or after key().
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits `"name":` inside an object; follow with a value call or a
+  /// begin*() for a nested container.
+  JsonWriter &key(const std::string &Name);
+
+  // Keyed scalar fields (object context).
+  // size_t is uint64_t on every platform this builds for; a separate
+  // overload would be a redefinition.
+  JsonWriter &field(const std::string &Name, uint64_t V);
+  JsonWriter &field(const std::string &Name, int64_t V);
+  JsonWriter &field(const std::string &Name, int V);
+  JsonWriter &field(const std::string &Name, double V, int Precision = 6);
+  JsonWriter &field(const std::string &Name, bool V);
+  JsonWriter &field(const std::string &Name, const std::string &V);
+  JsonWriter &field(const std::string &Name, const char *V);
+  /// Splices pre-rendered JSON as the value (for nested emitters that
+  /// already produce a complete object).
+  JsonWriter &fieldRaw(const std::string &Name, const std::string &Json);
+
+  // Unkeyed values (array context).
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(double V, int Precision = 6);
+  JsonWriter &value(const std::string &V);
+  JsonWriter &valueRaw(const std::string &Json);
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void comma();
+  std::string Out;
+  bool NeedComma = false;
+};
+
+/// Renders a double with fixed precision (the historical "%.Nf").
+std::string jsonDouble(double V, int Precision = 6);
+
+} // namespace obs
+} // namespace smltc
+
+#endif // SMLTC_OBS_JSON_H

@@ -1,0 +1,307 @@
+//===- obs/Metrics.cpp - Counter / gauge / histogram registry -----------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace smltc;
+using namespace smltc::obs;
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Buckets(Bounds.size() + 1) /* +Inf */ {
+  std::sort(Bounds.begin(), Bounds.end());
+}
+
+void Histogram::observe(double X) {
+  size_t I = 0;
+  while (I < Bounds.size() && X > Bounds[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add: not every libstdc++
+  // this builds against implements the C++20 floating-point overload.
+  double Old = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Old, Old + X,
+                                    std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::count() const {
+  return Count.load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucketCounts() const {
+  std::vector<uint64_t> Out(Buckets.size());
+  for (size_t I = 0; I < Buckets.size(); ++I)
+    Out[I] = Buckets[I].load(std::memory_order_relaxed);
+  return Out;
+}
+
+uint64_t Histogram::cumulative(size_t I) const {
+  uint64_t N = 0;
+  for (size_t J = 0; J <= I && J < Buckets.size(); ++J)
+    N += Buckets[J].load(std::memory_order_relaxed);
+  return N;
+}
+
+double Histogram::percentile(double Q) const {
+  std::vector<uint64_t> Cs = bucketCounts();
+  uint64_t Total = 0;
+  for (uint64_t C : Cs)
+    Total += C;
+  if (Total == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  double Rank = Q * static_cast<double>(Total);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Cs.size(); ++I) {
+    uint64_t Prev = Cum;
+    Cum += Cs[I];
+    if (static_cast<double>(Cum) < Rank || Cs[I] == 0)
+      continue;
+    if (I >= Bounds.size())
+      return Bounds.empty() ? 0 : Bounds.back(); // +Inf bucket: clamp
+    double Lo = I == 0 ? 0.0 : Bounds[I - 1];
+    double Hi = Bounds[I];
+    double Frac = (Rank - static_cast<double>(Prev)) /
+                  static_cast<double>(Cs[I]);
+    return Lo + (Hi - Lo) * Frac;
+  }
+  return Bounds.empty() ? 0 : Bounds.back();
+}
+
+std::vector<double> Histogram::latencyBuckets() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+          0.025,  0.05,    0.1,    0.25,  0.5,    1.0,   2.5,
+          5.0,    10.0};
+}
+
+namespace {
+
+std::string promNumber(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+std::string promLabel(const MetricEntry &E, const char *Extra = nullptr,
+                      const std::string &ExtraVal = std::string()) {
+  if (E.LabelKey.empty() && !Extra)
+    return "";
+  std::string S = "{";
+  bool First = true;
+  if (!E.LabelKey.empty()) {
+    S += E.LabelKey + "=\"" + E.LabelVal + "\"";
+    First = false;
+  }
+  if (Extra) {
+    if (!First)
+      S += ",";
+    S += std::string(Extra) + "=\"" + ExtraVal + "\"";
+  }
+  S += "}";
+  return S;
+}
+
+const char *kindType(MetricEntry::Kind K) {
+  switch (K) {
+  case MetricEntry::Kind::Counter:
+  case MetricEntry::Kind::CounterFn:
+    return "counter";
+  case MetricEntry::Kind::Gauge:
+  case MetricEntry::Kind::GaugeFn:
+    return "gauge";
+  case MetricEntry::Kind::Histogram:
+    return "histogram";
+  }
+  return "untyped";
+}
+
+} // namespace
+
+Counter &Registry::counter(const std::string &Name,
+                           const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &E : Entries)
+    if (E->K == MetricEntry::Kind::Counter && E->Name == Name)
+      return *E->C;
+  auto E = std::make_shared<MetricEntry>();
+  E->K = MetricEntry::Kind::Counter;
+  E->Name = Name;
+  E->Help = Help;
+  E->C = std::make_shared<Counter>();
+  Entries.push_back(E);
+  return *E->C;
+}
+
+Gauge &Registry::gauge(const std::string &Name, const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &E : Entries)
+    if (E->K == MetricEntry::Kind::Gauge && E->Name == Name)
+      return *E->G;
+  auto E = std::make_shared<MetricEntry>();
+  E->K = MetricEntry::Kind::Gauge;
+  E->Name = Name;
+  E->Help = Help;
+  E->G = std::make_shared<Gauge>();
+  Entries.push_back(E);
+  return *E->G;
+}
+
+Histogram &Registry::histogram(const std::string &Name,
+                               std::vector<double> Bounds,
+                               const std::string &Help,
+                               const std::string &LabelKey,
+                               const std::string &LabelVal) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &E : Entries)
+    if (E->K == MetricEntry::Kind::Histogram && E->Name == Name &&
+        E->LabelVal == LabelVal)
+      return *E->H;
+  auto E = std::make_shared<MetricEntry>();
+  E->K = MetricEntry::Kind::Histogram;
+  E->Name = Name;
+  E->Help = Help;
+  E->LabelKey = LabelKey;
+  E->LabelVal = LabelVal;
+  E->H = std::make_shared<Histogram>(std::move(Bounds));
+  Entries.push_back(E);
+  return *E->H;
+}
+
+void Registry::counterFn(const std::string &Name,
+                         std::function<uint64_t()> Fn,
+                         const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto E = std::make_shared<MetricEntry>();
+  E->K = MetricEntry::Kind::CounterFn;
+  E->Name = Name;
+  E->Help = Help;
+  E->CFn = std::move(Fn);
+  Entries.push_back(E);
+}
+
+void Registry::gaugeFn(const std::string &Name, std::function<double()> Fn,
+                       const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto E = std::make_shared<MetricEntry>();
+  E->K = MetricEntry::Kind::GaugeFn;
+  E->Name = Name;
+  E->Help = Help;
+  E->GFn = std::move(Fn);
+  Entries.push_back(E);
+}
+
+const Histogram *Registry::findHistogram(const std::string &Name,
+                                         const std::string &LabelVal) const {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &E : Entries)
+    if (E->K == MetricEntry::Kind::Histogram && E->Name == Name &&
+        (LabelVal.empty() || E->LabelVal == LabelVal))
+      return E->H.get();
+  return nullptr;
+}
+
+std::string Registry::renderPrometheus() const {
+  std::vector<std::shared_ptr<MetricEntry>> Es;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Es = Entries;
+  }
+  std::string Out;
+  std::string LastFamily;
+  for (const auto &EP : Es) {
+    const MetricEntry &E = *EP;
+    // One HELP/TYPE header per family; labelled histograms that share a
+    // name (the per-tier split) emit the header once.
+    if (E.Name != LastFamily) {
+      if (!E.Help.empty())
+        Out += "# HELP " + E.Name + " " + E.Help + "\n";
+      Out += "# TYPE " + E.Name + " " + std::string(kindType(E.K)) + "\n";
+      LastFamily = E.Name;
+    }
+    switch (E.K) {
+    case MetricEntry::Kind::Counter:
+      Out += E.Name + promLabel(E) + " " + std::to_string(E.C->value()) +
+             "\n";
+      break;
+    case MetricEntry::Kind::CounterFn:
+      Out += E.Name + promLabel(E) + " " + std::to_string(E.CFn()) + "\n";
+      break;
+    case MetricEntry::Kind::Gauge:
+      Out += E.Name + promLabel(E) + " " + promNumber(E.G->value()) + "\n";
+      break;
+    case MetricEntry::Kind::GaugeFn:
+      Out += E.Name + promLabel(E) + " " + promNumber(E.GFn()) + "\n";
+      break;
+    case MetricEntry::Kind::Histogram: {
+      const Histogram &H = *E.H;
+      std::vector<uint64_t> Cs = H.bucketCounts();
+      uint64_t Cum = 0;
+      for (size_t I = 0; I < H.bounds().size(); ++I) {
+        Cum += Cs[I];
+        Out += E.Name + "_bucket" +
+               promLabel(E, "le", promNumber(H.bounds()[I])) + " " +
+               std::to_string(Cum) + "\n";
+      }
+      Cum += Cs.back();
+      Out += E.Name + "_bucket" + promLabel(E, "le", "+Inf") + " " +
+             std::to_string(Cum) + "\n";
+      Out += E.Name + "_sum" + promLabel(E) + " " + promNumber(H.sum()) +
+             "\n";
+      Out += E.Name + "_count" + promLabel(E) + " " +
+             std::to_string(H.count()) + "\n";
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::string Registry::renderJson() const {
+  std::vector<std::shared_ptr<MetricEntry>> Es;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Es = Entries;
+  }
+  JsonWriter W;
+  W.beginObject();
+  for (const auto &EP : Es) {
+    const MetricEntry &E = *EP;
+    std::string Key =
+        E.LabelVal.empty() ? E.Name : E.Name + "." + E.LabelVal;
+    switch (E.K) {
+    case MetricEntry::Kind::Counter:
+      W.field(Key, E.C->value());
+      break;
+    case MetricEntry::Kind::CounterFn:
+      W.field(Key, E.CFn());
+      break;
+    case MetricEntry::Kind::Gauge:
+      W.field(Key, E.G->value());
+      break;
+    case MetricEntry::Kind::GaugeFn:
+      W.field(Key, E.GFn());
+      break;
+    case MetricEntry::Kind::Histogram:
+      W.key(Key)
+          .beginObject()
+          .field("count", E.H->count())
+          .field("sum", E.H->sum())
+          .field("p50", E.H->percentile(0.50))
+          .field("p90", E.H->percentile(0.90))
+          .field("p99", E.H->percentile(0.99))
+          .endObject();
+      break;
+    }
+  }
+  W.endObject();
+  return W.take();
+}

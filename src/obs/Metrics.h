@@ -1,0 +1,145 @@
+//===- obs/Metrics.h - Counter / gauge / histogram registry -------------------===//
+///
+/// \file
+/// A central registry of named metrics with two render targets: the
+/// Prometheus text exposition format (`# TYPE` lines, histogram
+/// `_bucket`/`_sum`/`_count` series — what `smltcc --remote-stats
+/// --format=prom` scrapes from the compile server) and one shared JSON
+/// serializer. Owned instruments (Counter, Gauge, Histogram) are
+/// thread-safe via atomics; callback instruments (counterFn/gaugeFn)
+/// let existing metrics structs — ServerMetrics and friends — publish
+/// their fields into the registry without restructuring their hot
+/// paths, instead of each growing another hand-rolled emitter.
+///
+/// Histograms use fixed upper-bound buckets (Prometheus `le`
+/// convention, +Inf implicit) with percentile extraction by linear
+/// interpolation inside the winning bucket — p50/p90/p99 for the
+/// server's per-tier request-latency split.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_OBS_METRICS_H
+#define SMLTC_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smltc {
+namespace obs {
+
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Fixed-bucket histogram. `Bounds` are inclusive upper bounds in
+/// ascending order; an implicit +Inf bucket catches the rest.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void observe(double X);
+
+  uint64_t count() const;
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Cumulative count at Bounds[I] (Prometheus `le` semantics).
+  uint64_t cumulative(size_t I) const;
+  const std::vector<double> &bounds() const { return Bounds; }
+  /// Bucket counts, one per bound plus the +Inf bucket.
+  std::vector<uint64_t> bucketCounts() const;
+
+  /// Quantile in [0,1] by linear interpolation within the winning
+  /// bucket (0 from the first bucket's lower edge of 0). Observations
+  /// landing beyond the last finite bound report that bound — the
+  /// histogram cannot resolve further. Returns 0 on an empty histogram.
+  double percentile(double Q) const;
+
+  /// The default request-latency bucket ladder, in seconds (100us to
+  /// 10s, roughly 2.5x steps).
+  static std::vector<double> latencyBuckets();
+
+private:
+  std::vector<double> Bounds;
+  std::vector<std::atomic<uint64_t>> Buckets; ///< Bounds.size() + 1 (+Inf)
+  std::atomic<double> Sum{0};
+  std::atomic<uint64_t> Count{0};
+};
+
+/// One registered metric family. Label support is a single optional
+/// key/value pair — enough for the server's `{tier="..."}` split
+/// without growing a full label model.
+struct MetricEntry {
+  enum class Kind : uint8_t { Counter, Gauge, Histogram, CounterFn, GaugeFn };
+  Kind K = Kind::Counter;
+  std::string Name;
+  std::string Help;
+  std::string LabelKey;
+  std::string LabelVal;
+  std::shared_ptr<Counter> C;
+  std::shared_ptr<Gauge> G;
+  std::shared_ptr<Histogram> H;
+  std::function<uint64_t()> CFn;
+  std::function<double()> GFn;
+};
+
+/// Named-metric registry. Registration returns stable references;
+/// rendering walks entries in registration order. Thread-safe for
+/// concurrent registration, updates, and rendering.
+class Registry {
+public:
+  Counter &counter(const std::string &Name, const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  Histogram &histogram(const std::string &Name, std::vector<double> Bounds,
+                       const std::string &Help = "",
+                       const std::string &LabelKey = "",
+                       const std::string &LabelVal = "");
+
+  /// Publishes an externally owned value under `Name`; `Fn` is invoked
+  /// at render time, so it must stay valid for the registry's lifetime
+  /// and be safe to call from the rendering thread.
+  void counterFn(const std::string &Name, std::function<uint64_t()> Fn,
+                 const std::string &Help = "");
+  void gaugeFn(const std::string &Name, std::function<double()> Fn,
+               const std::string &Help = "");
+
+  /// Prometheus text exposition (text/plain; version=0.0.4): `# HELP` /
+  /// `# TYPE` per family, `_bucket`/`_sum`/`_count` series for
+  /// histograms, `le` rendered with up to 6 significant decimals and
+  /// `+Inf` last.
+  std::string renderPrometheus() const;
+
+  /// The shared JSON rendering: {"name":value,...}; histograms render
+  /// as {"count":..,"sum":..,"p50":..,"p90":..,"p99":..}.
+  std::string renderJson() const;
+
+  /// Finds a registered histogram (label-qualified); nullptr if absent.
+  const Histogram *findHistogram(const std::string &Name,
+                                 const std::string &LabelVal = "") const;
+
+private:
+  mutable std::mutex M;
+  std::vector<std::shared_ptr<MetricEntry>> Entries;
+};
+
+} // namespace obs
+} // namespace smltc
+
+#endif // SMLTC_OBS_METRICS_H

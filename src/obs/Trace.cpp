@@ -1,0 +1,217 @@
+//===- obs/Trace.cpp - Low-overhead span tracer -------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <cstdio>
+
+using namespace smltc;
+using namespace smltc::obs;
+
+std::atomic<bool> Tracer::Enabled{false};
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+void Tracer::enable() { Enabled.store(true, std::memory_order_relaxed); }
+
+void Tracer::disable() { Enabled.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (auto &B : Buffers) {
+    std::lock_guard<std::mutex> BL(B->M);
+    B->Events.clear();
+  }
+}
+
+uint64_t Tracer::nowUs() const {
+  return toUs(std::chrono::steady_clock::now());
+}
+
+uint64_t Tracer::toUs(std::chrono::steady_clock::time_point T) const {
+  if (T <= Epoch)
+    return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(T - Epoch)
+          .count());
+}
+
+Tracer::ThreadBuf &Tracer::threadBuf() {
+  // The shared_ptr keeps the buffer alive in the registry after the
+  // thread exits, so late snapshots still see its events.
+  thread_local std::shared_ptr<ThreadBuf> Mine;
+  if (!Mine) {
+    Mine = std::make_shared<ThreadBuf>();
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    Mine->Tid = NextTid++;
+    Buffers.push_back(Mine);
+  }
+  return *Mine;
+}
+
+void Tracer::append(TraceEvent E) {
+  ThreadBuf &B = threadBuf();
+  std::lock_guard<std::mutex> Lock(B.M);
+  E.Tid = B.Tid;
+  B.Events.push_back(std::move(E));
+}
+
+void Tracer::emitComplete(const char *Name, const char *Cat, uint64_t TsUs,
+                          uint64_t DurUs, std::string Args) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.TsUs = TsUs;
+  E.DurUs = DurUs;
+  E.Args = std::move(Args);
+  append(std::move(E));
+}
+
+void Tracer::setThreadName(const std::string &Name) {
+  Tracer &T = instance();
+  ThreadBuf &B = T.threadBuf();
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Name = Name;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> Out;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BL(B->M);
+    Out.insert(Out.end(), B->Events.begin(), B->Events.end());
+  }
+  return Out;
+}
+
+size_t Tracer::eventCount() const {
+  size_t N = 0;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BL(B->M);
+    N += B->Events.size();
+  }
+  return N;
+}
+
+std::string Tracer::renderJson() const {
+  // Snapshot thread names + events under the locks, render outside.
+  std::vector<std::pair<uint32_t, std::string>> Names;
+  std::vector<TraceEvent> Events;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    for (const auto &B : Buffers) {
+      std::lock_guard<std::mutex> BL(B->M);
+      if (!B->Name.empty())
+        Names.emplace_back(B->Tid, B->Name);
+      Events.insert(Events.end(), B->Events.begin(), B->Events.end());
+    }
+  }
+
+  JsonWriter W;
+  W.beginObject().key("traceEvents").beginArray();
+  for (const auto &NM : Names) {
+    // Chrome metadata event labelling the thread track.
+    W.beginObject()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", static_cast<uint64_t>(NM.first))
+        .key("args")
+        .beginObject()
+        .field("name", NM.second)
+        .endObject()
+        .endObject();
+  }
+  for (const TraceEvent &E : Events) {
+    W.beginObject()
+        .field("name", E.Name)
+        .field("cat", E.Cat)
+        .field("ph", "X")
+        .field("ts", E.TsUs)
+        .field("dur", E.DurUs)
+        .field("pid", 1)
+        .field("tid", static_cast<uint64_t>(E.Tid));
+    if (!E.Args.empty())
+      W.fieldRaw("args", "{" + E.Args + "}");
+    W.endObject();
+  }
+  W.endArray().field("displayTimeUnit", "ms").endObject();
+  return W.take();
+}
+
+bool Tracer::writeFile(const std::string &Path, std::string &Err) const {
+  std::string Json = renderJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t N = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = N == Json.size() && std::fputc('\n', F) != EOF;
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Err = "short write to '" + Path + "'";
+  return Ok;
+}
+
+void Span::begin(const char *N, const char *C) {
+  Name = N;
+  Cat = C;
+  StartUs = Tracer::instance().nowUs();
+  Active = true;
+}
+
+void Span::end() {
+  Tracer &T = Tracer::instance();
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.TsUs = StartUs;
+  uint64_t Now = T.nowUs();
+  E.DurUs = Now > StartUs ? Now - StartUs : 0;
+  E.Args = std::move(Args);
+  T.append(std::move(E));
+  Active = false;
+}
+
+void Span::arg(const char *Key, const std::string &Val) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ',';
+  Args += '"';
+  Args += jsonEscape(Key);
+  Args += "\":\"";
+  Args += jsonEscape(Val);
+  Args += '"';
+}
+
+void Span::arg(const char *Key, uint64_t Val) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ',';
+  Args += '"';
+  Args += jsonEscape(Key);
+  Args += "\":";
+  Args += std::to_string(Val);
+}
+
+void Span::arg(const char *Key, int64_t Val) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ',';
+  Args += '"';
+  Args += jsonEscape(Key);
+  Args += "\":";
+  Args += std::to_string(Val);
+}

@@ -2,6 +2,7 @@
 
 #include "server/Client.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
@@ -154,8 +155,14 @@ bool Client::roundTrip(MsgType ReqType, const std::string &Payload,
 
 bool Client::compile(const CompileRequest &Req, CompileResponse &Resp,
                      std::string &Err) {
+  // Process-wide id sequence so concurrent clients in one process (the
+  // server bench, test fixtures) never collide.
+  static std::atomic<uint64_t> NextRequestId{1};
+  CompileRequest Sent = Req;
+  if (Sent.RequestId == 0)
+    Sent.RequestId = NextRequestId.fetch_add(1, std::memory_order_relaxed);
   Frame F;
-  if (!roundTrip(MsgType::CompileReq, encodeCompileRequest(Req),
+  if (!roundTrip(MsgType::CompileReq, encodeCompileRequest(Sent),
                  MsgType::CompileResp, F, Err))
     return false;
   std::string DecodeErr;
@@ -177,6 +184,23 @@ bool Client::stats(std::string &Json, std::string &Err) {
     Err = "malformed stats response";
     return false;
   }
+  return true;
+}
+
+bool Client::statsText(StatsFormat Format, std::string &Text,
+                       std::string &Err) {
+  StatsTextRequest Req;
+  Req.Format = Format;
+  Frame F;
+  if (!roundTrip(MsgType::StatsTextReq, encodeStatsTextRequest(Req),
+                 MsgType::StatsTextResp, F, Err))
+    return false;
+  StatsTextResponse Resp;
+  if (!decodeStatsTextResponse(F.Payload, Resp)) {
+    Err = "malformed stats-text response";
+    return false;
+  }
+  Text = Resp.Text;
   return true;
 }
 

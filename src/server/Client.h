@@ -35,12 +35,19 @@ public:
 
   /// One compile round trip. Returns false only on transport/protocol
   /// failure; compile-level outcomes (QueueFull, DeadlineExceeded,
-  /// CompileFailed, Draining) come back as `Resp.St`.
+  /// CompileFailed, Draining) come back as `Resp.St`. When
+  /// `Req.RequestId` is 0 the client assigns one (unique within this
+  /// process) before sending, so every request is traceable; the id
+  /// actually sent is echoed back in `Resp.RequestId` either way.
   bool compile(const CompileRequest &Req, CompileResponse &Resp,
                std::string &Err);
 
   /// Fetches the server's metrics JSON.
   bool stats(std::string &Json, std::string &Err);
+
+  /// Fetches the rendered stats page: Prometheus text exposition or the
+  /// human-readable summary (protocol v2).
+  bool statsText(StatsFormat Format, std::string &Text, std::string &Err);
 
   /// Round-trips an opaque payload; true when the echo matches.
   bool ping(const std::string &Payload, std::string &Err);

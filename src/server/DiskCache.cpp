@@ -2,6 +2,7 @@
 
 #include "server/DiskCache.h"
 
+#include "obs/Json.h"
 #include "server/Protocol.h"
 
 #include <algorithm>
@@ -241,16 +242,14 @@ void DiskCache::evictIfOver() {
 }
 
 std::string DiskCache::statsJson() const {
-  char Buf[256];
-  std::snprintf(Buf, sizeof(Buf),
-                "{\"loads\":%llu,\"hits\":%llu,\"corrupt_dropped\":%llu,"
-                "\"stores\":%llu,\"evicted_files\":%llu,"
-                "\"current_bytes\":%llu}",
-                static_cast<unsigned long long>(loadCalls()),
-                static_cast<unsigned long long>(loadHits()),
-                static_cast<unsigned long long>(corruptDropped()),
-                static_cast<unsigned long long>(storeCalls()),
-                static_cast<unsigned long long>(evictedFiles()),
-                static_cast<unsigned long long>(currentBytes()));
-  return Buf;
+  obs::JsonWriter W;
+  W.beginObject()
+      .field("loads", loadCalls())
+      .field("hits", loadHits())
+      .field("corrupt_dropped", corruptDropped())
+      .field("stores", storeCalls())
+      .field("evicted_files", evictedFiles())
+      .field("current_bytes", currentBytes())
+      .endObject();
+  return W.take();
 }

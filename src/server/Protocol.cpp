@@ -223,6 +223,41 @@ bool smltc::server::decodeError(const std::string &Payload, ErrorMsg &M) {
   return true;
 }
 
+std::string smltc::server::encodeStatsTextRequest(const StatsTextRequest &M) {
+  WireWriter W;
+  W.u8(static_cast<uint8_t>(M.Format));
+  return W.take();
+}
+
+bool smltc::server::decodeStatsTextRequest(const std::string &Payload,
+                                           StatsTextRequest &M) {
+  WireReader R(Payload);
+  uint8_t F = R.u8();
+  if (!R.atEndOk() || F > static_cast<uint8_t>(StatsFormat::Human))
+    return false;
+  M.Format = static_cast<StatsFormat>(F);
+  return true;
+}
+
+std::string
+smltc::server::encodeStatsTextResponse(const StatsTextResponse &M) {
+  WireWriter W;
+  W.u8(static_cast<uint8_t>(M.Format));
+  W.str(M.Text);
+  return W.take();
+}
+
+bool smltc::server::decodeStatsTextResponse(const std::string &Payload,
+                                            StatsTextResponse &M) {
+  WireReader R(Payload);
+  uint8_t F = R.u8();
+  M.Text = R.str(4u << 20);
+  if (!R.atEndOk() || F > static_cast<uint8_t>(StatsFormat::Human))
+    return false;
+  M.Format = static_cast<StatsFormat>(F);
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // CompilerOptions codec
 //===----------------------------------------------------------------------===//
@@ -303,6 +338,7 @@ bool decodeOptions(WireReader &R, CompilerOptions &O, std::string &Err) {
 
 std::string smltc::server::encodeCompileRequest(const CompileRequest &Req) {
   WireWriter W;
+  W.u64(Req.RequestId);
   W.u32(Req.DeadlineMs);
   W.u8(Req.WithPrelude);
   encodeOptions(W, Req.Opts);
@@ -314,6 +350,7 @@ bool smltc::server::decodeCompileRequest(const std::string &Payload,
                                          CompileRequest &Req,
                                          std::string &Err) {
   WireReader R(Payload);
+  Req.RequestId = R.u64();
   Req.DeadlineMs = R.u32();
   Req.WithPrelude = R.u8() != 0;
   if (R.failed()) {
@@ -339,6 +376,7 @@ std::string smltc::server::encodeCompileResponse(const CompileResponse &Resp,
   WireWriter W;
   W.u8(static_cast<uint8_t>(Resp.St));
   W.u8(static_cast<uint8_t>(Resp.Tier));
+  W.u64(Resp.RequestId);
   W.f64(Resp.CompileSec);
   W.str(Resp.Errors);
   if (Resp.St == Status::Ok)
@@ -352,6 +390,7 @@ bool smltc::server::decodeCompileResponse(const std::string &Payload,
   WireReader R(Payload);
   uint8_t St = R.u8();
   uint8_t Tier = R.u8();
+  Resp.RequestId = R.u64();
   Resp.CompileSec = R.f64();
   Resp.Errors = R.str(1u << 20);
   if (R.failed() || St > static_cast<uint8_t>(Status::Internal) ||

@@ -42,7 +42,11 @@ namespace smltc {
 namespace server {
 
 constexpr uint32_t kFrameMagic = 0x53544C43u;
-constexpr uint8_t kProtocolVersion = 1;
+/// v2: CompileReq/CompileResp carry a client-assigned request id
+/// (propagated into server-side trace spans), and StatsTextReq /
+/// StatsTextResp expose the metrics registry as Prometheus text or a
+/// human-readable summary.
+constexpr uint8_t kProtocolVersion = 2;
 constexpr size_t kFrameHeaderBytes = 12;
 /// Hard cap on any frame payload; a declared length above this is a
 /// protocol error before a single payload byte is read.
@@ -59,6 +63,7 @@ enum class MsgType : uint8_t {
   CompileReq = 3,
   StatsReq = 4,
   ShutdownReq = 5,
+  StatsTextReq = 6, ///< rendered stats (Prometheus / human text), v2
   // Responses (server -> client).
   HelloOk = 64,
   Pong = 65,
@@ -66,7 +71,11 @@ enum class MsgType : uint8_t {
   StatsResp = 67,
   ShutdownOk = 68,
   Error = 69,
+  StatsTextResp = 70,
 };
+
+/// Render format carried by StatsTextReq.
+enum class StatsFormat : uint8_t { Prometheus = 0, Human = 1 };
 
 /// Status codes carried by Error frames and CompileResp headers. These
 /// are the documented error codes the tests assert on.
@@ -186,6 +195,10 @@ struct HelloOkMsg {
 };
 
 struct CompileRequest {
+  /// Client-assigned id, echoed in the response and attached to every
+  /// server-side trace span for this request (0 = unassigned; the
+  /// client fills one in before sending).
+  uint64_t RequestId = 0;
   uint32_t DeadlineMs = 0; ///< 0 = no deadline
   bool WithPrelude = true;
   CompilerOptions Opts;
@@ -195,9 +208,19 @@ struct CompileRequest {
 struct CompileResponse {
   Status St = Status::Ok;
   WireTier Tier = WireTier::Miss;
+  uint64_t RequestId = 0; ///< echo of CompileRequest::RequestId
   double CompileSec = 0; ///< server-side compile seconds (0 on cache hit)
   std::string Errors;    ///< diagnostics when St != Ok
   TmProgram Program;     ///< valid only when St == Ok
+};
+
+struct StatsTextRequest {
+  StatsFormat Format = StatsFormat::Prometheus;
+};
+
+struct StatsTextResponse {
+  StatsFormat Format = StatsFormat::Prometheus;
+  std::string Text;
 };
 
 struct ErrorMsg {
@@ -227,6 +250,12 @@ bool decodeCompileResponse(const std::string &Payload, CompileResponse &Resp,
 
 std::string encodeError(const ErrorMsg &M);
 bool decodeError(const std::string &Payload, ErrorMsg &M);
+
+std::string encodeStatsTextRequest(const StatsTextRequest &M);
+bool decodeStatsTextRequest(const std::string &Payload, StatsTextRequest &M);
+std::string encodeStatsTextResponse(const StatsTextResponse &M);
+bool decodeStatsTextResponse(const std::string &Payload,
+                             StatsTextResponse &M);
 
 //===----------------------------------------------------------------------===//
 // TmProgram / CompileOutput codecs (shared with server/DiskCache)

@@ -2,6 +2,9 @@
 
 #include "server/Server.h"
 
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -34,44 +37,34 @@ void onStopSignal(int) {
 
 std::string ServerMetrics::toJson(size_t QueueDepthNow,
                                   const DiskCache *Disk) const {
-  char Buf[1024];
-  int N = std::snprintf(
-      Buf, sizeof(Buf),
-      "{\"connections\":%llu,\"connections_rejected\":%llu,"
-      "\"requests\":%llu,\"ping_requests\":%llu,"
-      "\"compile_requests\":%llu,\"stats_requests\":%llu,"
-      "\"shutdown_requests\":%llu,"
-      "\"compile_ok\":%llu,\"compile_errors\":%llu,"
-      "\"queue_full_rejects\":%llu,\"deadline_misses\":%llu,"
-      "\"draining_rejects\":%llu,\"protocol_errors\":%llu,"
-      "\"cache_memory_hits\":%llu,\"cache_disk_hits\":%llu,"
-      "\"cache_misses\":%llu,"
-      "\"bytes_in\":%llu,\"bytes_out\":%llu,"
-      "\"queue_depth\":%zu,\"queue_depth_peak\":%zu",
-      static_cast<unsigned long long>(Connections),
-      static_cast<unsigned long long>(ConnectionsRejected),
-      static_cast<unsigned long long>(Requests),
-      static_cast<unsigned long long>(PingRequests),
-      static_cast<unsigned long long>(CompileRequests),
-      static_cast<unsigned long long>(StatsRequests),
-      static_cast<unsigned long long>(ShutdownRequests),
-      static_cast<unsigned long long>(CompileOk),
-      static_cast<unsigned long long>(CompileErrors),
-      static_cast<unsigned long long>(QueueFullRejects),
-      static_cast<unsigned long long>(DeadlineMisses),
-      static_cast<unsigned long long>(DrainingRejects),
-      static_cast<unsigned long long>(ProtocolErrors),
-      static_cast<unsigned long long>(MemoryHits),
-      static_cast<unsigned long long>(DiskHits),
-      static_cast<unsigned long long>(CacheMisses),
-      static_cast<unsigned long long>(BytesIn),
-      static_cast<unsigned long long>(BytesOut), QueueDepthNow,
-      QueueDepthPeak);
-  std::string S(Buf, static_cast<size_t>(N));
+  // Field names, order, and numeric formats are frozen: existing
+  // `--remote-stats` consumers parse this shape byte for byte.
+  obs::JsonWriter W;
+  W.beginObject()
+      .field("connections", Connections)
+      .field("connections_rejected", ConnectionsRejected)
+      .field("requests", Requests)
+      .field("ping_requests", PingRequests)
+      .field("compile_requests", CompileRequests)
+      .field("stats_requests", StatsRequests)
+      .field("shutdown_requests", ShutdownRequests)
+      .field("compile_ok", CompileOk)
+      .field("compile_errors", CompileErrors)
+      .field("queue_full_rejects", QueueFullRejects)
+      .field("deadline_misses", DeadlineMisses)
+      .field("draining_rejects", DrainingRejects)
+      .field("protocol_errors", ProtocolErrors)
+      .field("cache_memory_hits", MemoryHits)
+      .field("cache_disk_hits", DiskHits)
+      .field("cache_misses", CacheMisses)
+      .field("bytes_in", BytesIn)
+      .field("bytes_out", BytesOut)
+      .field("queue_depth", QueueDepthNow)
+      .field("queue_depth_peak", QueueDepthPeak);
   if (Disk)
-    S += ",\"disk_cache\":" + Disk->statsJson();
-  S += "}";
-  return S;
+    W.fieldRaw("disk_cache", Disk->statsJson());
+  W.endObject();
+  return W.take();
 }
 
 CompileServer::CompileServer(ServerOptions Options)
@@ -153,8 +146,150 @@ bool CompileServer::start(std::string &Err) {
     return false;
   }
   setNonBlocking(ListenFd);
+  StartTime = std::chrono::steady_clock::now();
+  registerMetrics();
   Started = true;
   return true;
+}
+
+void CompileServer::registerMetrics() {
+  auto C = [this](const char *Name, const uint64_t &Field,
+                  const char *Help) {
+    Reg.counterFn(Name, [&Field] { return Field; }, Help);
+  };
+  C("smltcc_server_connections_total", Metrics.Connections,
+    "Client connections accepted");
+  C("smltcc_server_connections_rejected_total", Metrics.ConnectionsRejected,
+    "Connections refused at the MaxConnections cap");
+  C("smltcc_server_requests_total", Metrics.Requests,
+    "Frames handled, all message types");
+  C("smltcc_server_compile_requests_total", Metrics.CompileRequests,
+    "Compile requests received");
+  C("smltcc_server_compile_ok_total", Metrics.CompileOk,
+    "Compile requests answered with a program");
+  C("smltcc_server_compile_errors_total", Metrics.CompileErrors,
+    "Compile requests whose program failed to compile");
+  C("smltcc_server_queue_full_rejects_total", Metrics.QueueFullRejects,
+    "Compile requests rejected by admission control");
+  C("smltcc_server_deadline_misses_total", Metrics.DeadlineMisses,
+    "Compile requests answered past their deadline");
+  C("smltcc_server_draining_rejects_total", Metrics.DrainingRejects,
+    "Compile requests rejected during shutdown drain");
+  C("smltcc_server_protocol_errors_total", Metrics.ProtocolErrors,
+    "Malformed or out-of-order frames");
+  C("smltcc_server_cache_memory_hits_total", Metrics.MemoryHits,
+    "Compile responses served from the in-memory cache");
+  C("smltcc_server_cache_disk_hits_total", Metrics.DiskHits,
+    "Compile responses served from the persistent disk cache");
+  C("smltcc_server_cache_misses_total", Metrics.CacheMisses,
+    "Compile responses that required a real compile");
+  C("smltcc_server_bytes_in_total", Metrics.BytesIn,
+    "Bytes received from clients");
+  C("smltcc_server_bytes_out_total", Metrics.BytesOut,
+    "Bytes sent to clients");
+
+  Reg.gaugeFn(
+      "smltcc_server_uptime_seconds",
+      [this] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - StartTime)
+            .count();
+      },
+      "Seconds since the server started");
+  Reg.gaugeFn(
+      "smltcc_server_queue_depth",
+      [this] {
+        return Pool ? static_cast<double>(Pool->pendingJobs()) : 0.0;
+      },
+      "Compile jobs queued, not yet picked up by a worker");
+  Reg.gaugeFn(
+      "smltcc_server_queue_depth_peak",
+      [this] { return static_cast<double>(Metrics.QueueDepthPeak); },
+      "High-water mark of the compile queue");
+
+  // The three tier series share one family name, so they must be
+  // registered back to back (renderPrometheus emits one header per
+  // consecutive family run).
+  static const char *const Tiers[3] = {"memory", "disk", "miss"};
+  for (int I = 0; I < 3; ++I)
+    TierHist[I] = &Reg.histogram(
+        "smltcc_server_request_seconds", obs::Histogram::latencyBuckets(),
+        "Compile request latency from frame decode to response, by cache "
+        "tier",
+        "tier", Tiers[I]);
+}
+
+void CompileServer::recordRequestDone(
+    std::chrono::steady_clock::time_point Arrival, uint64_t RequestId,
+    const char *Tier) {
+  auto Now = std::chrono::steady_clock::now();
+  double Sec = std::chrono::duration<double>(Now - Arrival).count();
+  int TierIdx = std::strcmp(Tier, "memory") == 0 ? 0
+                : std::strcmp(Tier, "disk") == 0 ? 1
+                                                 : 2;
+  if (TierHist[TierIdx])
+    TierHist[TierIdx]->observe(Sec);
+  if (obs::Tracer::enabled()) {
+    obs::Tracer &T = obs::Tracer::instance();
+    std::string Args = "\"request_id\":" + std::to_string(RequestId) +
+                       ",\"tier\":\"" + Tier + "\"";
+    T.emitComplete("request", "server", T.toUs(Arrival),
+                   static_cast<uint64_t>(Sec * 1e6), std::move(Args));
+  }
+}
+
+std::string CompileServer::renderHumanStats() const {
+  const ServerMetrics &M = Metrics;
+  double Uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - StartTime)
+                      .count();
+  size_t Depth = Pool ? Pool->pendingJobs() : 0;
+  char Buf[512];
+  std::string S = "smltcc compile server\n";
+  std::snprintf(Buf, sizeof(Buf), "  uptime_sec:        %.1f\n", Uptime);
+  S += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  queue_depth:       %zu (peak %zu)\n", Depth,
+                M.QueueDepthPeak);
+  S += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  connections:       %llu (%llu rejected)\n",
+                static_cast<unsigned long long>(M.Connections),
+                static_cast<unsigned long long>(M.ConnectionsRejected));
+  S += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  compile_requests:  %llu (ok %llu, errors %llu)\n",
+                static_cast<unsigned long long>(M.CompileRequests),
+                static_cast<unsigned long long>(M.CompileOk),
+                static_cast<unsigned long long>(M.CompileErrors));
+  S += Buf;
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "  rejects:           queue_full %llu, deadline %llu, draining "
+      "%llu\n",
+      static_cast<unsigned long long>(M.QueueFullRejects),
+      static_cast<unsigned long long>(M.DeadlineMisses),
+      static_cast<unsigned long long>(M.DrainingRejects));
+  S += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  cache:             memory %llu, disk %llu, miss %llu\n",
+                static_cast<unsigned long long>(M.MemoryHits),
+                static_cast<unsigned long long>(M.DiskHits),
+                static_cast<unsigned long long>(M.CacheMisses));
+  S += Buf;
+  S += "  request latency (sec, by cache tier):\n";
+  static const char *const Tiers[3] = {"memory", "disk", "miss"};
+  for (int I = 0; I < 3; ++I) {
+    const obs::Histogram *H = TierHist[I];
+    if (!H)
+      continue;
+    std::snprintf(Buf, sizeof(Buf),
+                  "    %-7s count=%llu p50=%.6f p99=%.6f\n", Tiers[I],
+                  static_cast<unsigned long long>(H->count()),
+                  H->percentile(0.50), H->percentile(0.99));
+    S += Buf;
+  }
+  return S;
 }
 
 void CompileServer::requestStop() {
@@ -194,9 +329,11 @@ void CompileServer::sendError(Conn &C, Status St, const std::string &Msg) {
 }
 
 void CompileServer::sendCompileStatus(Conn &C, Status St,
-                                      const std::string &Msg) {
+                                      const std::string &Msg,
+                                      uint64_t RequestId) {
   CompileResponse Resp;
   Resp.St = St;
+  Resp.RequestId = RequestId;
   Resp.Errors = Msg;
   send(C, MsgType::CompileResp, encodeCompileResponse(Resp));
 }
@@ -253,6 +390,7 @@ void CompileServer::closeConn(uint64_t Id) {
 
 void CompileServer::handleCompile(Conn &C, const Frame &F) {
   ++Metrics.CompileRequests;
+  auto Arrival = std::chrono::steady_clock::now();
   CompileRequest Req;
   std::string DecodeErr;
   if (!decodeCompileRequest(F.Payload, Req, DecodeErr)) {
@@ -263,7 +401,8 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
   }
   if (Draining) {
     ++Metrics.DrainingRejects;
-    sendCompileStatus(C, Status::Draining, "server is draining");
+    sendCompileStatus(C, Status::Draining, "server is draining",
+                      Req.RequestId);
     return;
   }
 
@@ -276,9 +415,12 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
     std::shared_ptr<const CompileOutput> Hit =
         Cache->lookup(Req.Source, Req.Opts, Req.WithPrelude, Tier);
     if (Hit) {
+      const char *TierName = Tier == CacheTier::Disk ? "disk" : "memory";
       if (!Hit->Ok) {
         ++Metrics.CompileErrors;
-        sendCompileStatus(C, Status::CompileFailed, Hit->Errors);
+        sendCompileStatus(C, Status::CompileFailed, Hit->Errors,
+                          Req.RequestId);
+        recordRequestDone(Arrival, Req.RequestId, TierName);
         return;
       }
       ++Metrics.CompileOk;
@@ -290,8 +432,10 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
       Resp.St = Status::Ok;
       Resp.Tier =
           Tier == CacheTier::Disk ? WireTier::Disk : WireTier::Memory;
+      Resp.RequestId = Req.RequestId;
       send(C, MsgType::CompileResp,
            encodeCompileResponse(Resp, Hit->Program));
+      recordRequestDone(Arrival, Req.RequestId, TierName);
       return;
     }
   }
@@ -302,6 +446,7 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
   Job.Source = std::move(Req.Source);
   Job.Opts = Req.Opts;
   Job.WithPrelude = Req.WithPrelude;
+  Job.TraceRequestId = Req.RequestId;
 
   SubmitStatus St = Pool->submitJob(
       std::move(Job),
@@ -318,16 +463,20 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
   if (St == SubmitStatus::QueueFull) {
     ++Metrics.QueueFullRejects;
     sendCompileStatus(C, Status::QueueFull,
-                      "compile queue at capacity; retry later");
+                      "compile queue at capacity; retry later",
+                      Req.RequestId);
     return;
   }
   if (St == SubmitStatus::ShuttingDown) {
     ++Metrics.DrainingRejects;
-    sendCompileStatus(C, Status::Draining, "server is shutting down");
+    sendCompileStatus(C, Status::Draining, "server is shutting down",
+                      Req.RequestId);
     return;
   }
 
   PendingReq P;
+  P.Arrival = Arrival;
+  P.RequestId = Req.RequestId;
   if (Req.DeadlineMs) {
     P.HasDeadline = true;
     P.Deadline = std::chrono::steady_clock::now() +
@@ -391,6 +540,23 @@ void CompileServer::handleFrame(Conn &C, const Frame &F) {
     WireWriter W;
     W.str(metricsJson());
     send(C, MsgType::StatsResp, W.take());
+    return;
+  }
+  case MsgType::StatsTextReq: {
+    ++Metrics.StatsRequests;
+    StatsTextRequest Req;
+    if (!decodeStatsTextRequest(F.Payload, Req)) {
+      ++Metrics.ProtocolErrors;
+      sendError(C, Status::BadFrame, "malformed stats-text request");
+      C.Closing = true;
+      return;
+    }
+    StatsTextResponse Resp;
+    Resp.Format = Req.Format;
+    Resp.Text = Req.Format == StatsFormat::Prometheus
+                    ? Reg.renderPrometheus()
+                    : renderHumanStats();
+    send(C, MsgType::StatsTextResp, encodeStatsTextResponse(Resp));
     return;
   }
   case MsgType::ShutdownReq: {
@@ -490,6 +656,10 @@ void CompileServer::drainCompletions() {
     bool PastDeadline =
         PIt != Pending.end() && PIt->second.HasDeadline &&
         std::chrono::steady_clock::now() >= PIt->second.Deadline;
+    uint64_t RequestId = PIt != Pending.end() ? PIt->second.RequestId : 0;
+    auto Arrival = PIt != Pending.end()
+                       ? PIt->second.Arrival
+                       : std::chrono::steady_clock::now();
     if (PIt != Pending.end())
       Pending.erase(PIt);
 
@@ -508,12 +678,17 @@ void CompileServer::drainCompletions() {
       sendCompileStatus(C, Status::DeadlineExceeded,
                         Cm.R.DeadlineExpired
                             ? "deadline exceeded while queued"
-                            : "deadline exceeded during compilation");
+                            : "deadline exceeded during compilation",
+                        RequestId);
       continue;
     }
+    const char *TierName = Out.Metrics.CacheDiskHit ? "disk"
+                           : Out.Metrics.CacheHit   ? "memory"
+                                                    : "miss";
     if (!Out.Ok) {
       ++Metrics.CompileErrors;
-      sendCompileStatus(C, Status::CompileFailed, Out.Errors);
+      sendCompileStatus(C, Status::CompileFailed, Out.Errors, RequestId);
+      recordRequestDone(Arrival, RequestId, TierName);
       continue;
     }
     ++Metrics.CompileOk;
@@ -530,9 +705,11 @@ void CompileServer::drainCompletions() {
                     ? WireTier::Disk
                     : (Out.Metrics.CacheHit ? WireTier::Memory
                                             : WireTier::Miss);
+    Resp.RequestId = RequestId;
     Resp.CompileSec = Out.Metrics.CacheHit ? 0.0 : Out.Metrics.TotalSec;
     Resp.Program = Out.Program;
     send(C, MsgType::CompileResp, encodeCompileResponse(Resp));
+    recordRequestDone(Arrival, RequestId, TierName);
   }
 }
 
@@ -550,11 +727,12 @@ void CompileServer::sweepDeadlines() {
     // The job may still be queued or even mid-compile; the client gets
     // its answer now and the eventual result is dropped.
     sendCompileStatus(CIt->second, Status::DeadlineExceeded,
-                      "deadline exceeded");
+                      "deadline exceeded", P.RequestId);
   }
 }
 
 uint64_t CompileServer::run() {
+  obs::Tracer::setThreadName("server-poll");
   std::vector<pollfd> Fds;
   std::vector<uint64_t> ConnIds;
   while (true) {

@@ -31,6 +31,7 @@
 #define SMLTC_SERVER_SERVER_H
 
 #include "driver/Batch.h"
+#include "obs/Metrics.h"
 #include "server/DiskCache.h"
 #include "server/Protocol.h"
 
@@ -134,7 +135,9 @@ private:
 
   /// One compile request awaiting completion; keyed by (ConnId, Seq).
   struct PendingReq {
+    std::chrono::steady_clock::time_point Arrival{};
     std::chrono::steady_clock::time_point Deadline{};
+    uint64_t RequestId = 0; ///< client-assigned; echoed in the response
     bool HasDeadline = false;
     bool Responded = false; ///< deadline sweep already answered it
   };
@@ -156,15 +159,36 @@ private:
   void closeConn(uint64_t Id);
   void send(Conn &C, MsgType Type, const std::string &Payload);
   void sendError(Conn &C, Status St, const std::string &Msg);
-  void sendCompileStatus(Conn &C, Status St, const std::string &Msg);
+  void sendCompileStatus(Conn &C, Status St, const std::string &Msg,
+                         uint64_t RequestId = 0);
   void beginDrain();
   bool drainComplete() const;
+
+  /// Publishes the counters, uptime/queue gauges, and per-tier latency
+  /// histograms into `Reg` (start() calls this once).
+  void registerMetrics();
+  /// Records one answered compile request: latency histogram for its
+  /// cache tier plus a "request" trace span carrying the request id.
+  void recordRequestDone(std::chrono::steady_clock::time_point Arrival,
+                         uint64_t RequestId, const char *Tier);
+  /// The human-readable stats page (StatsTextReq, format=human).
+  std::string renderHumanStats() const;
 
   ServerOptions Opts;
   ServerMetrics Metrics;
   std::unique_ptr<CompileCache> Cache;
   std::unique_ptr<DiskCache> Disk;
   std::unique_ptr<BatchCompiler> Pool;
+
+  /// Prometheus/JSON metric registry (StatsTextReq). Callback
+  /// instruments read the ServerMetrics counters; rendering happens on
+  /// the poll thread, which also owns every counter write, so the
+  /// callbacks never race. The per-tier histograms are atomic.
+  obs::Registry Reg;
+  std::chrono::steady_clock::time_point StartTime{};
+  /// Request-latency histograms split by cache tier; indexed memory=0,
+  /// disk=1, miss=2. Owned by `Reg`.
+  obs::Histogram *TierHist[3] = {nullptr, nullptr, nullptr};
 
   int ListenFd = -1;
   int WakePipe[2] = {-1, -1};

@@ -2,6 +2,8 @@
 
 #include "vm/Heap.h"
 
+#include "obs/Trace.h"
+
 #include <cassert>
 #include <chrono>
 
@@ -166,6 +168,7 @@ void Heap::minorCollect() {
     return;
   }
   auto T0 = std::chrono::steady_clock::now();
+  obs::Span GcSpan("minor_gc", "gc");
   ++Stats.MinorCollections;
   size_t PromoteStart = HP;
   for (RootRange &R : RootRanges)
@@ -182,6 +185,7 @@ void Heap::minorCollect() {
     Stats.MaxMinorPauseWords = Promoted;
   NurseryHP = 0;
   StoreList.clear();
+  GcSpan.arg("promoted_words", Promoted);
   Stats.GcSec += secondsSince(T0);
 }
 
@@ -213,6 +217,7 @@ void Heap::collect() {
   assert(NurseryHP == 0 && StoreList.empty() &&
          "major collection requires an empty nursery (minorCollect first)");
   auto T0 = std::chrono::steady_clock::now();
+  obs::Span GcSpan("major_gc", "gc");
   ++Stats.MajorCollections;
   uint64_t CopiedBefore = CopiedWords;
   std::swap(Mem, FromSpace);
@@ -256,5 +261,6 @@ void Heap::collect() {
   Stats.MajorCopiedWords += Pause;
   if (Pause > Stats.MaxMajorPauseWords)
     Stats.MaxMajorPauseWords = Pause;
+  GcSpan.arg("copied_words", Pause);
   Stats.GcSec += secondsSince(T0);
 }

@@ -10,6 +10,8 @@
 
 #include "vm/VmInternal.h"
 
+#include "obs/Trace.h"
+
 #include <cassert>
 #include <chrono>
 #include <cmath>
@@ -761,6 +763,8 @@ ExecResult Machine::run() {
     return std::chrono::duration<double>(B - A).count();
   };
 
+  obs::Span RunSpan("vm_run", "vm");
+
   VmDispatch Mode = Opts.Dispatch;
   if (Mode == VmDispatch::Threaded && !threadedDispatchAvailable())
     Mode = VmDispatch::Switch;
@@ -828,6 +832,8 @@ ExecResult Machine::run() {
     M.HasOpCounts = true;
     std::memcpy(M.OpCounts, OpCounts, sizeof(OpCounts));
   }
+  RunSpan.arg("dispatch", std::string(M.Dispatch));
+  RunSpan.arg("instructions", M.Instructions);
   return R;
 }
 

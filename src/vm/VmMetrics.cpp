@@ -2,47 +2,41 @@
 
 #include "vm/Vm.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include "obs/Json.h"
 
 using namespace smltc;
 
 std::string VmMetrics::toJson() const {
-  char Buf[1024];
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "{\"dispatch\":\"%s\",\"nursery_kb\":%zu,"
-      "\"decode_sec\":%.6f,\"exec_sec\":%.6f,\"gc_sec\":%.6f,"
-      "\"instructions\":%" PRIu64 ",\"cycles\":%" PRIu64 ","
-      "\"instructions_per_sec\":%.0f,"
-      "\"alloc_objects\":%" PRIu64 ",\"nursery_alloc_objects\":%" PRIu64
-      ",\"alloc_words32\":%" PRIu64 ","
-      "\"minor_collections\":%" PRIu64 ",\"major_collections\":%" PRIu64
-      ",\"copied_words\":%" PRIu64 ",\"promoted_words\":%" PRIu64
-      ",\"major_copied_words\":%" PRIu64
-      ",\"max_minor_pause_words\":%" PRIu64
-      ",\"max_major_pause_words\":%" PRIu64 ",\"barrier_stores\":%" PRIu64,
-      Dispatch, NurseryKb, DecodeSec, ExecSec, GcSec, Instructions, Cycles,
-      instructionsPerSec(), AllocObjects, NurseryAllocObjects, AllocWords32,
-      MinorCollections, MajorCollections, CopiedWords, PromotedWords,
-      MajorCopiedWords, MaxMinorPauseWords, MaxMajorPauseWords,
-      BarrierStores);
-  std::string Out = Buf;
+  obs::JsonWriter W;
+  W.beginObject()
+      .field("dispatch", Dispatch)
+      .field("nursery_kb", NurseryKb)
+      .field("decode_sec", DecodeSec)
+      .field("exec_sec", ExecSec)
+      .field("gc_sec", GcSec)
+      .field("instructions", Instructions)
+      .field("cycles", Cycles)
+      .field("instructions_per_sec", instructionsPerSec(), 0)
+      .field("alloc_objects", AllocObjects)
+      .field("nursery_alloc_objects", NurseryAllocObjects)
+      .field("alloc_words32", AllocWords32)
+      .field("minor_collections", MinorCollections)
+      .field("major_collections", MajorCollections)
+      .field("copied_words", CopiedWords)
+      .field("promoted_words", PromotedWords)
+      .field("major_copied_words", MajorCopiedWords)
+      .field("max_minor_pause_words", MaxMinorPauseWords)
+      .field("max_major_pause_words", MaxMajorPauseWords)
+      .field("barrier_stores", BarrierStores);
   if (HasOpCounts) {
-    Out += ",\"op_counts\":{";
-    bool First = true;
+    W.key("op_counts").beginObject();
     for (int I = 0; I < NumDOps; ++I) {
       if (OpCounts[I] == 0)
         continue;
-      char Item[64];
-      std::snprintf(Item, sizeof(Item), "%s\"%s\":%" PRIu64,
-                    First ? "" : ",", dopName(static_cast<DOp>(I)),
-                    OpCounts[I]);
-      Out += Item;
-      First = false;
+      W.field(dopName(static_cast<DOp>(I)), OpCounts[I]);
     }
-    Out += "}";
+    W.endObject();
   }
-  Out += "}";
-  return Out;
+  W.endObject();
+  return W.take();
 }

@@ -1,0 +1,433 @@
+//===- tests/test_obs.cpp - Tracing, metrics registry, JSON helpers -------------===//
+//
+// The observability layer's contracts: jsonEscape must make any string
+// safe inside JSON quotes; spans must nest correctly on one thread and
+// keep distinct track ids across threads; the exported trace must be
+// structurally valid Chrome trace-event JSON; histogram bucket and
+// percentile math must be exact on known inputs; the registry must
+// survive concurrent updates, registration, and rendering (the TSan job
+// runs this suite); and a compile server must echo the client's request
+// id both in the response and in the recorded request span.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "server/Client.h"
+#include "server/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace smltc;
+using namespace smltc::obs;
+
+namespace {
+
+/// Restores the global tracer to "disabled, empty" however a test exits.
+struct ScopedTracing {
+  ScopedTracing() {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+    Tracer::instance().enable();
+  }
+  ~ScopedTracing() {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+};
+
+/// Minimal structural validator for a JSON document: quotes/escapes are
+/// honoured while checking that braces and brackets balance. Not a full
+/// parser — just enough to catch unescaped quotes and truncation, which
+/// are exactly the bugs hand-rolled emitters had.
+bool jsonBalanced(const std::string &S) {
+  int Depth = 0;
+  bool InStr = false;
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (InStr) {
+      if (C == '\\')
+        ++I; // skip the escaped character
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    if (C == '"')
+      InStr = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']') {
+      if (--Depth < 0)
+        return false;
+    }
+  }
+  return Depth == 0 && !InStr;
+}
+
+size_t countOccurrences(const std::string &S, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t P = S.find(Needle); P != std::string::npos;
+       P = S.find(Needle, P + Needle.size()))
+    ++N;
+  return N;
+}
+
+std::string uniqueSocketPath() {
+  static int Counter = 0;
+  return "/tmp/smltc_obs_" + std::to_string(::getpid()) + "_" +
+         std::to_string(Counter++) + ".sock";
+}
+
+struct TestServer {
+  explicit TestServer(server::ServerOptions SO) : Srv(std::move(SO)) {
+    std::string Err;
+    Ok = Srv.start(Err);
+    EXPECT_TRUE(Ok) << Err;
+    if (Ok)
+      Th = std::thread([this] { Srv.run(); });
+  }
+  ~TestServer() { stop(); }
+  void stop() {
+    if (Th.joinable()) {
+      Srv.requestStop();
+      Th.join();
+    }
+  }
+  server::CompileServer Srv;
+  std::thread Th;
+  bool Ok = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// jsonEscape / JsonWriter
+//===----------------------------------------------------------------------===//
+
+TEST(ObsJsonTest, EscapeCoversQuotesBackslashesControlsAndUtf8) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(jsonEscape("\b\f"), "\\b\\f");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+  // UTF-8 passes through byte-for-byte.
+  EXPECT_EQ(jsonEscape("\xce\xbb"), "\xce\xbb");
+  // Embedded NUL is a control character, not a terminator.
+  EXPECT_EQ(jsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(ObsJsonTest, WriterBuildsNestedObjectsWithHistoricalNumberFormats) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("n", static_cast<uint64_t>(42));
+  W.field("neg", static_cast<int64_t>(-7));
+  W.field("rate", 2.5, 2);
+  W.field("flag", true);
+  W.field("msg", "say \"hi\"");
+  W.key("nested").beginObject().field("k", static_cast<uint64_t>(1)).endObject();
+  W.key("xs").beginArray().value(static_cast<uint64_t>(1)).value(2.0, 0).endArray();
+  W.fieldRaw("raw", "{\"pre\":1}");
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            "{\"n\":42,\"neg\":-7,\"rate\":2.50,\"flag\":true,"
+            "\"msg\":\"say \\\"hi\\\"\",\"nested\":{\"k\":1},"
+            "\"xs\":[1,2],\"raw\":{\"pre\":1}}");
+  EXPECT_TRUE(jsonBalanced(W.str()));
+}
+
+//===----------------------------------------------------------------------===//
+// Span tracing
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTraceTest, DisabledTracerRecordsNothing) {
+  Tracer::instance().disable();
+  Tracer::instance().clear();
+  {
+    obs::Span S("ignored", "test");
+    S.arg("k", std::string("v"));
+  }
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+  // A span alive across enable() stays inert: it never read the clock.
+  {
+    obs::Span S("half_measured", "test");
+    Tracer::instance().enable();
+  }
+  Tracer::instance().disable();
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+  Tracer::instance().clear();
+}
+
+TEST(ObsTraceTest, SpansNestAndCloseInOrderOnOneThread) {
+  ScopedTracing Tr;
+  {
+    obs::Span Outer("outer", "test");
+    {
+      obs::Span Inner("inner", "test");
+    }
+  }
+  std::vector<TraceEvent> Evs = Tracer::instance().snapshot();
+  ASSERT_EQ(Evs.size(), 2u);
+  // Spans record at destruction: inner closes (and lands) first.
+  EXPECT_STREQ(Evs[0].Name, "inner");
+  EXPECT_STREQ(Evs[1].Name, "outer");
+  EXPECT_EQ(Evs[0].Tid, Evs[1].Tid);
+  // Interval containment: outer starts no later and ends no earlier.
+  EXPECT_LE(Evs[1].TsUs, Evs[0].TsUs);
+  EXPECT_GE(Evs[1].TsUs + Evs[1].DurUs, Evs[0].TsUs + Evs[0].DurUs);
+}
+
+TEST(ObsTraceTest, ThreadsGetDistinctTidsAndNamedTracks) {
+  ScopedTracing Tr;
+  const size_t NumThreads = 4, SpansEach = 100;
+  std::vector<std::thread> Ths;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Ths.emplace_back([T] {
+      Tracer::setThreadName("obs-test-" + std::to_string(T));
+      for (size_t I = 0; I < SpansEach; ++I) {
+        obs::Span S("worker_span", "test");
+        S.arg("i", static_cast<uint64_t>(I));
+      }
+    });
+  // Concurrent snapshots must be safe while spans are still landing
+  // (this is what the TSan job exercises).
+  for (int I = 0; I < 5; ++I)
+    (void)Tracer::instance().snapshot();
+  for (std::thread &Th : Ths)
+    Th.join();
+
+  std::vector<TraceEvent> Evs = Tracer::instance().snapshot();
+  ASSERT_EQ(Evs.size(), NumThreads * SpansEach);
+  std::vector<uint32_t> Tids;
+  for (const TraceEvent &E : Evs)
+    if (std::find(Tids.begin(), Tids.end(), E.Tid) == Tids.end())
+      Tids.push_back(E.Tid);
+  EXPECT_EQ(Tids.size(), NumThreads);
+
+  std::string Json = Tracer::instance().renderJson();
+  for (size_t T = 0; T < NumThreads; ++T)
+    EXPECT_NE(Json.find("obs-test-" + std::to_string(T)), std::string::npos);
+  // Thread buffers (and their names) persist for the process lifetime —
+  // earlier tests' worker threads legitimately add metadata rows too.
+  EXPECT_GE(countOccurrences(Json, "\"thread_name\""), NumThreads);
+}
+
+TEST(ObsTraceTest, RenderedTraceIsStructurallyValidChromeJson) {
+  ScopedTracing Tr;
+  Tracer::setThreadName("schema-test");
+  {
+    obs::Span S("phase_a", "test");
+    S.arg("path", std::string("dir/\"quoted\"\\name"));
+    S.arg("count", static_cast<uint64_t>(3));
+  }
+  {
+    obs::Span S("phase_b", "test");
+  }
+  std::string Json = Tracer::instance().renderJson();
+
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_TRUE(jsonBalanced(Json)) << Json;
+  // Two complete events, each carrying the full Chrome schema.
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(countOccurrences(Json, "\"dur\":"), 2u);
+  EXPECT_GE(countOccurrences(Json, "\"ts\":"), 2u);
+  EXPECT_GE(countOccurrences(Json, "\"pid\":1"), 2u);
+  EXPECT_GE(countOccurrences(Json, "\"tid\":"), 2u);
+  // The quoted arg survived escaping.
+  EXPECT_NE(Json.find("dir/\\\"quoted\\\"\\\\name"), std::string::npos);
+  EXPECT_NE(Json.find("\"count\":3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram / registry math
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetricsTest, HistogramBucketsFollowPrometheusLeSemantics) {
+  Histogram H({1.0, 2.0, 4.0});
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(0.5), 0.0); // empty histogram
+
+  H.observe(0.5);
+  H.observe(1.0); // on the bound: le is inclusive
+  H.observe(1.5);
+  H.observe(3.0);
+  H.observe(8.0); // beyond the last bound: +Inf bucket
+  std::vector<uint64_t> Cs = H.bucketCounts();
+  ASSERT_EQ(Cs.size(), 4u);
+  EXPECT_EQ(Cs[0], 2u);
+  EXPECT_EQ(Cs[1], 1u);
+  EXPECT_EQ(Cs[2], 1u);
+  EXPECT_EQ(Cs[3], 1u);
+  EXPECT_EQ(H.cumulative(0), 2u);
+  EXPECT_EQ(H.cumulative(2), 4u);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_DOUBLE_EQ(H.sum(), 14.0);
+}
+
+TEST(ObsMetricsTest, PercentilesInterpolateWithinTheWinningBucket) {
+  Histogram H({1.0, 2.0, 4.0});
+  H.observe(0.5);
+  H.observe(1.5);
+  H.observe(3.0);
+  H.observe(8.0);
+  // rank 1 of 4 lands exactly on bucket [0,1]'s single observation.
+  EXPECT_DOUBLE_EQ(H.percentile(0.25), 1.0);
+  // rank 2 fills bucket (1,2] completely -> its upper bound.
+  EXPECT_DOUBLE_EQ(H.percentile(0.50), 2.0);
+  // rank 3.96 lands in +Inf, which clamps to the last finite bound.
+  EXPECT_DOUBLE_EQ(H.percentile(0.99), 4.0);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(H.percentile(-1.0), H.percentile(0.0));
+  EXPECT_DOUBLE_EQ(H.percentile(2.0), H.percentile(1.0));
+}
+
+TEST(ObsMetricsTest, PrometheusRenderingEmitsOneHeaderPerFamily) {
+  Registry R;
+  Counter &C = R.counter("test_ops_total", "Operations");
+  C.inc(3);
+  R.gauge("test_depth", "Depth").set(2.5);
+  Histogram &H1 = R.histogram("test_latency_seconds", {0.1, 1.0},
+                              "Latency", "tier", "memory");
+  Histogram &H2 = R.histogram("test_latency_seconds", {0.1, 1.0},
+                              "Latency", "tier", "miss");
+  H1.observe(0.05);
+  H2.observe(0.5);
+  H2.observe(5.0);
+  R.counterFn("test_cb_total", [] { return uint64_t(9); }, "Callback");
+
+  std::string P = R.renderPrometheus();
+  EXPECT_NE(P.find("# HELP test_ops_total Operations\n"), std::string::npos);
+  EXPECT_NE(P.find("# TYPE test_ops_total counter\n"), std::string::npos);
+  EXPECT_NE(P.find("test_ops_total 3\n"), std::string::npos);
+  EXPECT_NE(P.find("# TYPE test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(P.find("test_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(P.find("test_cb_total 9\n"), std::string::npos);
+  // The two labelled histograms share one family header...
+  EXPECT_EQ(countOccurrences(P, "# TYPE test_latency_seconds histogram"), 1u);
+  // ...and each renders cumulative buckets with +Inf last, then sum/count.
+  EXPECT_NE(P.find("test_latency_seconds_bucket{tier=\"memory\",le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("test_latency_seconds_bucket{tier=\"memory\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("test_latency_seconds_bucket{tier=\"miss\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("test_latency_seconds_bucket{tier=\"miss\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("test_latency_seconds_count{tier=\"miss\"} 2\n"),
+            std::string::npos);
+
+  std::string J = R.renderJson();
+  EXPECT_TRUE(jsonBalanced(J)) << J;
+  EXPECT_NE(J.find("\"test_ops_total\":3"), std::string::npos);
+  EXPECT_NE(J.find("\"test_latency_seconds.miss\":{\"count\":2"),
+            std::string::npos);
+
+  EXPECT_EQ(R.findHistogram("test_latency_seconds", "memory"), &H1);
+  EXPECT_EQ(R.findHistogram("test_latency_seconds", "miss"), &H2);
+  EXPECT_EQ(R.findHistogram("absent"), nullptr);
+}
+
+TEST(ObsMetricsTest, RegistrySurvivesConcurrentUpdatesAndRendering) {
+  Registry R;
+  Counter &C = R.counter("cc_total");
+  Histogram &H = R.histogram("cc_seconds", Histogram::latencyBuckets());
+  const size_t NumThreads = 8, OpsEach = 5000;
+  std::vector<std::thread> Ths;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Ths.emplace_back([&, T] {
+      for (size_t I = 0; I < OpsEach; ++I) {
+        C.inc();
+        H.observe(0.001 * static_cast<double>(I % 100));
+        if (I % 1000 == 0) {
+          // Registration and rendering race against the updates.
+          R.counter("cc_extra_" + std::to_string(T)).inc();
+          (void)R.renderPrometheus();
+          (void)R.renderJson();
+        }
+      }
+    });
+  for (std::thread &Th : Ths)
+    Th.join();
+  EXPECT_EQ(C.value(), NumThreads * OpsEach);
+  EXPECT_EQ(H.count(), NumThreads * OpsEach);
+  EXPECT_TRUE(jsonBalanced(R.renderJson()));
+}
+
+//===----------------------------------------------------------------------===//
+// Server request ids: echoed in the reply and stamped on the trace
+//===----------------------------------------------------------------------===//
+
+TEST(ObsServerTest, RequestIdsReachTheReplyAndTheRequestSpan) {
+  ScopedTracing Tr;
+  server::ServerOptions SO;
+  SO.SocketPath = uniqueSocketPath();
+  SO.NumWorkers = 1;
+  SO.PollIntervalMs = 5;
+  TestServer TS(SO);
+  ASSERT_TRUE(TS.Ok);
+
+  server::Client Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect(SO.SocketPath, Err)) << Err;
+
+  server::CompileRequest Req;
+  Req.Opts = CompilerOptions::ffb();
+  Req.Source = "fun main () = 6 * 7";
+  Req.RequestId = 777;
+  server::CompileResponse Resp;
+  ASSERT_TRUE(Cl.compile(Req, Resp, Err)) << Err;
+  ASSERT_EQ(Resp.St, server::Status::Ok);
+  EXPECT_EQ(Resp.RequestId, 777u);
+
+  // With RequestId left at 0 the client assigns a nonzero one.
+  Req.RequestId = 0;
+  Req.Source = "fun main () = 6 * 7 + 0";
+  ASSERT_TRUE(Cl.compile(Req, Resp, Err)) << Err;
+  ASSERT_EQ(Resp.St, server::Status::Ok);
+  EXPECT_NE(Resp.RequestId, 0u);
+
+  // The Prometheus and human stats pages render from the live registry.
+  std::string Prom;
+  ASSERT_TRUE(Cl.statsText(server::StatsFormat::Prometheus, Prom, Err))
+      << Err;
+  EXPECT_NE(Prom.find("# TYPE smltcc_server_compile_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("smltcc_server_compile_requests_total 2"),
+            std::string::npos);
+  EXPECT_NE(
+      Prom.find("# TYPE smltcc_server_request_seconds histogram"),
+      std::string::npos);
+  EXPECT_NE(Prom.find("smltcc_server_request_seconds_bucket{tier=\"miss\""),
+            std::string::npos);
+  std::string Human;
+  ASSERT_TRUE(Cl.statsText(server::StatsFormat::Human, Human, Err)) << Err;
+  EXPECT_NE(Human.find("smltcc compile server"), std::string::npos);
+  EXPECT_NE(Human.find("compile_requests:  2"), std::string::npos);
+
+  TS.stop();
+
+  // Both request spans landed in the trace with their ids.
+  std::vector<TraceEvent> Evs = Tracer::instance().snapshot();
+  size_t RequestSpans = 0;
+  bool Saw777 = false;
+  for (const TraceEvent &E : Evs) {
+    if (std::string(E.Name) != "request")
+      continue;
+    ++RequestSpans;
+    if (E.Args.find("\"request_id\":777") != std::string::npos)
+      Saw777 = true;
+  }
+  EXPECT_EQ(RequestSpans, 2u);
+  EXPECT_TRUE(Saw777);
+  std::string Json = Tracer::instance().renderJson();
+  EXPECT_TRUE(jsonBalanced(Json));
+  EXPECT_NE(Json.find("\"request_id\":777"), std::string::npos);
+}

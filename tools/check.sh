@@ -8,10 +8,14 @@
 #    warm-disk tier counters must be exact, responses byte-identical,
 #    and the warm-disk tier >= 10x faster than cold at the p50; then a
 #    daemon + --connect CLI round trip over a real socket.
-# 4. Rebuild under ThreadSanitizer and run the batch-engine and
-#    compile-server tests, so data races in the worker pool, poll loop,
-#    and disk cache are caught mechanically.
-# 5. Rebuild under AddressSanitizer and run the full suite (including
+# 4. Smoke the observability layer: the disabled-tracer overhead gate
+#    (obs_overhead) plus a real --trace-json export validated to contain
+#    one span per pipeline phase.
+# 5. Rebuild under ThreadSanitizer and run the batch-engine,
+#    compile-server, and observability tests, so data races in the
+#    worker pool, poll loop, disk cache, and trace/metric registries are
+#    caught mechanically.
+# 6. Rebuild under AddressSanitizer and run the full suite (including
 #    the protocol frame fuzzer), so heap/GC bugs and codec over-reads
 #    are caught at the first bad access rather than as downstream
 #    corruption.
@@ -57,17 +61,37 @@ sleep 1
 "$SMLTCC" --connect="$CHECK_SOCK" --remote-ping
 "$SMLTCC" --connect="$CHECK_SOCK" --expr 'fun main () = 6 * 7' \
   | grep -q 'result = 42'
+"$SMLTCC" --connect="$CHECK_SOCK" --remote-stats --format=prom \
+  | grep -q '^# TYPE smltcc_server_requests_total counter'
+"$SMLTCC" --connect="$CHECK_SOCK" --remote-stats --format=human \
+  | grep -q 'smltcc compile server'
 "$SMLTCC" --connect="$CHECK_SOCK" --remote-shutdown
 wait "$DAEMON_PID"
 trap - EXIT
 rm -rf "$CHECK_CACHE"
+
+echo "== smoke: observability (overhead gate + trace export) =="
+(cd "$ROOT/build" && ./bench/obs_overhead --smoke \
+  --out="$ROOT/build/BENCH_obs.json")
+CHECK_TRACE="/tmp/smltcc-check-trace-$$.json"
+"$SMLTCC" --trace-json="$CHECK_TRACE" --expr 'fun main () = 6 * 7' \
+  | grep -q 'result = 42'
+python3 - "$CHECK_TRACE" <<'PYEOF'
+import json, sys
+evs = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e["name"] for e in evs if e["ph"] == "X"}
+missing = {"parse", "elaborate", "translate", "cps_convert", "cps_opt",
+           "closure", "codegen", "compile", "vm_run"} - names
+assert not missing, f"trace missing phase spans: {missing}"
+PYEOF
+rm -f "$CHECK_TRACE"
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: batch engine + compile server race check =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSMLTC_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j"$JOBS" --target smltc_tests
   "$ROOT/build-tsan/tests/smltc_tests" \
-    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*'
+    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*:Obs*'
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

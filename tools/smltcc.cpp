@@ -16,6 +16,8 @@
 //     --expr 'src'     compile the given source text instead of a file
 //     --dump-lexp      print the typed lambda (LEXP) program
 //     --dump-cps       print the optimized CPS program
+//     --trace-json=FILE   write a Chrome trace-event file covering the
+//                      whole run (works in every mode, incl. --daemon)
 //
 // Compile-server modes:
 //     --daemon --socket=PATH    run as a compile server (alias: --server)
@@ -26,6 +28,7 @@
 //     --connect=PATH            compile via a running daemon, then run
 //       --deadline-ms=N         fail the request after N ms (exit 75)
 //     --remote-stats            print the daemon's metrics JSON
+//       --format=json|prom|human  stats flavour (default: json)
 //     --remote-ping             handshake + ping round trip
 //     --remote-shutdown         ask the daemon to drain and exit
 //
@@ -37,6 +40,7 @@
 
 #include "driver/Batch.h"
 #include "driver/Compiler.h"
+#include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Server.h"
 
@@ -142,6 +146,20 @@ int remoteRejectExit(server::Status St, const std::string &Errors) {
              : 69;
 }
 
+/// Writes the collected trace on every exit path (`--trace-json=FILE`).
+/// Declared after argument parsing so its destructor runs after every
+/// span in the run has closed.
+struct TraceExport {
+  std::string Path;
+  ~TraceExport() {
+    if (Path.empty())
+      return;
+    std::string Err;
+    if (!obs::Tracer::instance().writeFile(Path, Err))
+      std::fprintf(stderr, "smltcc: --trace-json: %s\n", Err.c_str());
+  }
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -157,6 +175,8 @@ int main(int Argc, char **Argv) {
   bool RemoteShutdown = false;
   std::string ConnectPath;
   uint32_t DeadlineMs = 0;
+  std::string TraceJsonPath;
+  std::string StatsFormat = "json";
   server::ServerOptions SO;
 
   for (int I = 1; I < Argc; ++I) {
@@ -217,6 +237,20 @@ int main(int Argc, char **Argv) {
       ConnectPath = A.substr(10);
     } else if (A.rfind("--deadline-ms=", 0) == 0) {
       DeadlineMs = static_cast<uint32_t>(std::atoi(A.c_str() + 14));
+    } else if (A.rfind("--trace-json=", 0) == 0) {
+      TraceJsonPath = A.substr(13);
+      if (TraceJsonPath.empty()) {
+        std::fprintf(stderr, "--trace-json needs a file path\n");
+        return 64;
+      }
+    } else if (A.rfind("--format=", 0) == 0) {
+      StatsFormat = A.substr(9);
+      if (StatsFormat != "json" && StatsFormat != "prom" &&
+          StatsFormat != "human") {
+        std::fprintf(stderr, "unknown stats format '%s' (json|prom|human)\n",
+                     StatsFormat.c_str());
+        return 64;
+      }
     } else if (A == "--remote-stats") {
       RemoteStats = true;
     } else if (A == "--remote-ping") {
@@ -232,8 +266,11 @@ int main(int Argc, char **Argv) {
                   "       smltcc --daemon --socket=PATH [--cache-dir=PATH] "
                   "[--cache-cap-mb=N] [--workers=N] [--max-queue=N]\n"
                   "       smltcc --connect=PATH [--deadline-ms=N] "
-                  "(file.sml | --expr 'src' | --remote-stats | "
-                  "--remote-ping | --remote-shutdown)\n");
+                  "(file.sml | --expr 'src' | "
+                  "--remote-stats [--format=json|prom|human] | "
+                  "--remote-ping | --remote-shutdown)\n"
+                  "       any mode: --trace-json=FILE writes a Chrome "
+                  "trace-event file\n");
       return 0;
     } else if (!A.empty() && A[0] != '-') {
       File = A;
@@ -242,6 +279,13 @@ int main(int Argc, char **Argv) {
                    A.c_str());
       return 64;
     }
+  }
+
+  TraceExport Trace;
+  if (!TraceJsonPath.empty()) {
+    obs::Tracer::instance().enable();
+    obs::Tracer::setThreadName("main");
+    Trace.Path = TraceJsonPath;
   }
 
   if (Daemon) {
@@ -267,10 +311,20 @@ int main(int Argc, char **Argv) {
     if (RemotePing)
       Ok = Cl.ping("smltcc-ping", Err);
     if (Ok && RemoteStats) {
-      std::string Json;
-      Ok = Cl.stats(Json, Err);
-      if (Ok)
-        std::printf("%s\n", Json.c_str());
+      if (StatsFormat == "json") {
+        std::string Json;
+        Ok = Cl.stats(Json, Err);
+        if (Ok)
+          std::printf("%s\n", Json.c_str());
+      } else {
+        std::string Text;
+        Ok = Cl.statsText(StatsFormat == "prom"
+                              ? server::StatsFormat::Prometheus
+                              : server::StatsFormat::Human,
+                          Text, Err);
+        if (Ok)
+          std::fputs(Text.c_str(), stdout);
+      }
     }
     if (Ok && RemoteShutdown)
       Ok = Cl.shutdownServer(Err);
