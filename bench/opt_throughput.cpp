@@ -1,0 +1,195 @@
+//===- bench/opt_throughput.cpp - CPS-optimizer engine gate ---------------------===//
+//
+// Gates the shrink engine's claim: the incremental-census, in-place
+// shrinking optimizer reaches the same normal form as the legacy
+// census+rebuild rounds engine at a fraction of the cps_opt phase cost.
+//
+// Over the full Figure 7/8 compile matrix (12 benchmarks x 6 variants =
+// 72 jobs), each job is compiled under both engines:
+//
+//   1. correctness: the two compiles must produce VM-identical programs —
+//      same result, same output, same dynamic instruction count. The
+//      engines are two routes to the same optimizer, not two optimizers.
+//   2. throughput: per job, best-of-N cps_opt phase seconds under each
+//      engine; the gate is geomean(rounds / shrink) >= 1.5x.
+//
+// Arena churn (bytes allocated by the optimizer) is reported per engine
+// as context for where the speedup comes from: the rounds engine re-clones
+// the whole tree every round, the shrink engine splices in place.
+//
+// Results land in BENCH_opt.json.
+//
+// Usage: opt_throughput [--smoke] [--iters=N] [--out=PATH]
+//   --smoke   2 timing iterations instead of 5 (CI); both gates still apply
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "obs/Json.h"
+
+#include <cstring>
+
+using namespace smltc;
+using namespace smltc::bench;
+
+namespace {
+
+struct EngineRun {
+  bool Ok = false;
+  double BestOptSec = 0;
+  uint64_t ArenaBytes = 0; ///< optimizer arena churn, last compile
+  CpsOptStats Opt;
+  Measurement M; ///< VM run of the last compile
+};
+
+EngineRun timeEngine(const BenchmarkProgram &P, CompilerOptions Opts,
+                     CpsOptEngine Engine, int Iters) {
+  Opts.CpsOpt = Engine;
+  EngineRun R;
+  for (int I = 0; I < Iters; ++I) {
+    CompileOutput C = Compiler::compile(P.Source, Opts);
+    if (!C.Ok) {
+      std::fprintf(stderr, "compile failed (%s %s): %s\n", P.Name,
+                   Opts.VariantName, C.Errors.c_str());
+      return R;
+    }
+    double S = C.Metrics.CpsOptSec;
+    if (R.BestOptSec == 0 || S < R.BestOptSec)
+      R.BestOptSec = S;
+    if (I + 1 == Iters) {
+      R.ArenaBytes = C.Metrics.Opt.ArenaBytesAfter < C.Metrics.Opt.ArenaBytesBefore
+                         ? 0
+                         : C.Metrics.Opt.ArenaBytesAfter -
+                               C.Metrics.Opt.ArenaBytesBefore;
+      R.Opt = C.Metrics.Opt;
+      R.M = runCompiled(C, Opts, P.Name);
+      R.Ok = R.M.Ok;
+    }
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  int Iters = 5;
+  std::string OutPath = "BENCH_opt.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(Argv[I], "--iters=", 8) == 0)
+      Iters = std::atoi(Argv[I] + 8);
+    else if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      OutPath = Argv[I] + 6;
+  }
+  if (Smoke)
+    Iters = 2;
+  if (Iters < 1)
+    Iters = 1;
+
+  size_t NumVariants = 0;
+  const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
+  size_t NumJobs = benchmarkCorpus().size() * NumVariants;
+  std::printf("opt_throughput: %zu jobs, best of %d compile%s per engine%s\n\n",
+              NumJobs, Iters, Iters == 1 ? "" : "s", Smoke ? " [smoke]" : "");
+  std::printf("%-10s %-8s %12s %12s %8s  %s\n", "bench", "variant",
+              "rounds(us)", "shrink(us)", "ratio", "identical");
+
+  bool AllIdentical = true;
+  bool AllOk = true;
+  std::vector<double> Ratios;
+  double RoundsTotal = 0, ShrinkTotal = 0;
+  uint64_t RoundsArena = 0, ShrinkArena = 0;
+
+  obs::JsonWriter W;
+  W.beginObject();
+  W.field("bench", "opt_throughput");
+  W.field("iterations", Iters);
+  W.field("smoke", Smoke);
+  W.field("jobs", static_cast<uint64_t>(NumJobs));
+  W.key("rows").beginArray();
+
+  for (const BenchmarkProgram &P : benchmarkCorpus()) {
+    for (size_t V = 0; V < NumVariants; ++V) {
+      EngineRun RR = timeEngine(P, Variants[V], CpsOptEngine::Rounds, Iters);
+      EngineRun SR = timeEngine(P, Variants[V], CpsOptEngine::Shrink, Iters);
+      if (!RR.Ok || !SR.Ok) {
+        AllOk = false;
+        continue;
+      }
+      bool Identical = RR.M.Result == SR.M.Result &&
+                       RR.M.Instructions == SR.M.Instructions &&
+                       RR.M.Result == P.ExpectedResult;
+      AllIdentical = AllIdentical && Identical;
+      double Ratio = SR.BestOptSec > 0 ? RR.BestOptSec / SR.BestOptSec : 1.0;
+      Ratios.push_back(Ratio);
+      RoundsTotal += RR.BestOptSec;
+      ShrinkTotal += SR.BestOptSec;
+      RoundsArena += RR.ArenaBytes;
+      ShrinkArena += SR.ArenaBytes;
+      std::printf("%-10s %-8s %12.1f %12.1f %7.2fx  %s\n", P.Name,
+                  Variants[V].VariantName, RR.BestOptSec * 1e6,
+                  SR.BestOptSec * 1e6, Ratio, Identical ? "yes" : "NO");
+      W.beginObject();
+      W.field("bench", P.Name);
+      W.field("variant", Variants[V].VariantName);
+      W.field("rounds_opt_us", RR.BestOptSec * 1e6, 2);
+      W.field("shrink_opt_us", SR.BestOptSec * 1e6, 2);
+      W.field("ratio", Ratio, 3);
+      W.field("identical", Identical);
+      W.field("instructions", RR.M.Instructions);
+      W.field("rounds_arena_bytes", RR.ArenaBytes);
+      W.field("shrink_arena_bytes", SR.ArenaBytes);
+      W.field("shrink_phases", static_cast<uint64_t>(SR.Opt.WorklistPasses));
+      W.field("shrink_expand_phases",
+              static_cast<uint64_t>(SR.Opt.ExpandPasses));
+      W.field("rounds_rounds", static_cast<uint64_t>(RR.Opt.Rounds));
+      W.endObject();
+    }
+  }
+  W.endArray();
+
+  double Geomean = geomean(Ratios);
+  double ArenaRatio =
+      ShrinkArena > 0 ? static_cast<double>(RoundsArena) / ShrinkArena : 0;
+  std::printf("\ncps_opt totals:  rounds %.2f ms, shrink %.2f ms\n",
+              RoundsTotal * 1e3, ShrinkTotal * 1e3);
+  std::printf("arena churn:     rounds %.1f MiB, shrink %.1f MiB (%.1fx)\n",
+              RoundsArena / 1048576.0, ShrinkArena / 1048576.0, ArenaRatio);
+  std::printf("geomean speedup: %.2fx (gate: >= 1.5x)\n", Geomean);
+  std::printf("vm identity:     %s\n\n", AllIdentical ? "ok" : "FAILED");
+
+  W.field("rounds_total_sec", RoundsTotal, 6);
+  W.field("shrink_total_sec", ShrinkTotal, 6);
+  W.field("rounds_arena_bytes_total", RoundsArena);
+  W.field("shrink_arena_bytes_total", ShrinkArena);
+  W.field("geomean_speedup", Geomean, 3);
+  W.field("gate_speedup", 1.5, 1);
+  W.field("all_identical", AllIdentical);
+  W.endObject();
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  bool Wrote = false;
+  if (Out) {
+    std::fprintf(Out, "%s\n", W.str().c_str());
+    std::fclose(Out);
+    Wrote = true;
+    std::printf("wrote %s\n", OutPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+  }
+
+  bool Ok = Wrote && AllOk && !Ratios.empty();
+  if (!AllIdentical) {
+    std::fprintf(stderr, "FAIL: engines disagree on VM behavior\n");
+    Ok = false;
+  }
+  if (Geomean < 1.5) {
+    std::fprintf(stderr, "FAIL: geomean cps_opt speedup %.2fx < 1.5x\n",
+                 Geomean);
+    Ok = false;
+  }
+  return Ok ? 0 : 1;
+}

@@ -17,10 +17,13 @@
 // Reports requests/sec plus p50/p99 client-observed latency per phase,
 // and exits nonzero unless (a) the tier counters are exactly as above,
 // (b) every response is byte-identical to a local compile, and (c) the
-// warm-disk tier is at least 10x faster than cold at the p50 — the
+// warm-disk tier is at least 6x faster than cold at the p50 — the
 // latency ratio, not requests/sec, so the gate measures the per-request
 // cost of each tier rather than how many cores the machine happens to
-// parallelize cold compiles across.
+// parallelize cold compiles across. (The gate was 10x through PR 4;
+// the PR 5 optimizer rearchitecture cut cold-compile latency enough
+// that the ratio settled near 8x with the warm path unchanged, so the
+// threshold moved to 6x to keep headroom for machine noise.)
 //
 // Usage: server_throughput [--smoke] [--clients=N] [--iters=N] [--out=PATH]
 //   --smoke   one warm-memory iteration (CI smoke run); all gates stay on
@@ -269,8 +272,8 @@ int main(int Argc, char **Argv) {
   double RpsRatio = Cold.rps() > 0 ? WarmDisk.rps() / Cold.rps() : 0;
   double ColdP50 = Cold.pct(0.5), DiskP50 = WarmDisk.pct(0.5);
   double Speedup = DiskP50 > 0 ? ColdP50 / DiskP50 : 0;
-  bool FastEnough = Speedup >= 10.0;
-  std::printf("warm-disk vs cold: %.1fx at p50 (gate: >= 10x), %.1fx "
+  bool FastEnough = Speedup >= 6.0;
+  std::printf("warm-disk vs cold: %.1fx at p50 (gate: >= 6x), %.1fx "
               "req/s  tiers %s  outputs %s\n",
               Speedup, RpsRatio, TiersExact ? "EXACT" : "WRONG",
               NoErrors ? "IDENTICAL" : "DIFFER");
@@ -286,7 +289,7 @@ int main(int Argc, char **Argv) {
                 "\"warm_disk_speedup_vs_cold_rps\":%.2f,"
                 "\"gates\":{\"tiers_exact\":%s,"
                 "\"outputs_identical\":%s,"
-                "\"warm_disk_10x_cold\":%s},\"ok\":%s}",
+                "\"warm_disk_6x_cold\":%s},\"ok\":%s}",
                 Speedup, RpsRatio, TiersExact ? "true" : "false",
                 NoErrors ? "true" : "false", FastEnough ? "true" : "false",
                 TiersExact && NoErrors && FastEnough ? "true" : "false");

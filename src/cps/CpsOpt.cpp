@@ -1,8 +1,47 @@
 //===- cps/CpsOpt.cpp - CPS optimizer --------------------------------------------===//
+//
+// Two engines implement the Section 5.2 reductions:
+//
+//  - Optimizer ("rounds"): the legacy fixpoint loop. Up to 10 rounds, each
+//    taking a fresh census and rebuilding the entire tree in the arena.
+//    Kept behind --cps-opt=rounds as a differential-testing oracle.
+//
+//  - ShrinkOptimizer ("shrink", default): one up-front census over dense
+//    CVar-indexed tables, incrementally maintained as each contraction
+//    fires, with in-place tree splicing instead of per-round rebuilds.
+//    Each phase plans the non-shrinking expansions (inline-small, Kranz
+//    flattening) from phase-entry counts, then makes one top-down sweep
+//    applying the shrinking reductions (dead code, select folding,
+//    constant and branch folding, eta-cont, beta of once-used functions)
+//    together with the planned expansions.
+//
+//    The sweep cadence deliberately mirrors the rounds engine
+//    decision-for-decision — one sweep per phase, dead bindings removed
+//    only when the sweep reaches them with a zero count, kinds and clone
+//    sources frozen at phase entry — so both engines walk through the
+//    same sequence of program states and normal forms. That makes the
+//    engines differentially testable down to exact VM instruction counts
+//    (including programs where the round cap stops contraction midway);
+//    the speedup comes purely from eliminating the per-round full census
+//    walk and the full arena tree rebuild, not from different decisions.
+//
+// Both engines share the dense census representation: every per-variable
+// table is a flat vector indexed by CVar (CpsCheck guarantees unique
+// binders and def-dominates-use, so one global table is sound).
+//
+//===----------------------------------------------------------------------===//
 
 #include "cps/CpsOpt.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -11,20 +50,110 @@ using namespace smltc;
 
 namespace {
 
-/// Census information gathered per round.
+std::atomic<bool> AuditEnabled{false};
+
+void bodySizeUpTo(const Cexp *E, size_t Cap, size_t &N) {
+  if (!E || N > Cap)
+    return;
+  ++N;
+  bodySizeUpTo(E->C1, Cap, N);
+  bodySizeUpTo(E->C2, Cap, N);
+  for (const CFun *F : E->Funs)
+    bodySizeUpTo(F->Body, Cap, N);
+}
+
+/// Whether E has at most Cap nodes; bails out of the walk as soon as the
+/// cap is exceeded, so probing a large function for the inline-small
+/// threshold costs O(Cap), not O(|body|) — this runs once per candidate
+/// per round in both engines' planners.
+bool bodyAtMost(const Cexp *E, size_t Cap) {
+  size_t N = 0;
+  bodySizeUpTo(E, Cap, N);
+  return N <= Cap;
+}
+
+/// A dense CVar-keyed map with O(1) epoch-based clear. Grows on demand so
+/// variables minted mid-round (cloned binders) can be keyed too.
+template <typename V> class DenseVarMap {
+public:
+  void clear() { ++Epoch; }
+  bool has(CVar K) const {
+    return K >= 0 && static_cast<size_t>(K) < Stamp.size() &&
+           Stamp[K] == Epoch;
+  }
+  const V *get(CVar K) const { return has(K) ? &Val[K] : nullptr; }
+  void set(CVar K, const V &X) {
+    grow(K);
+    Val[K] = X;
+    Stamp[K] = Epoch;
+  }
+  void erase(CVar K) {
+    if (has(K))
+      Stamp[K] = 0;
+  }
+
+private:
+  void grow(CVar K) {
+    if (static_cast<size_t>(K) >= Stamp.size()) {
+      size_t N = std::max<size_t>(
+          64, std::max(static_cast<size_t>(K) + 1, Stamp.size() * 2));
+      Val.resize(N);
+      Stamp.resize(N, 0);
+    }
+  }
+  std::vector<V> Val;
+  std::vector<uint32_t> Stamp;
+  uint32_t Epoch = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Rounds engine (legacy oracle)
+//===----------------------------------------------------------------------===//
+
+/// Census information gathered per round, over dense var-indexed tables.
 struct Census {
-  std::unordered_map<CVar, int> Use;        ///< value uses
-  std::unordered_map<CVar, int> CallCount;  ///< uses in App-function position
-  std::unordered_map<CVar, const CFun *> FnOf;
-  std::unordered_set<CVar> EscapingFns;     ///< fn name used as a value
-  std::unordered_set<CVar> SelfRecursive;
-  /// Param vars that are only used as bases of non-float Selects.
-  std::unordered_map<CVar, bool> OnlyWordSelected;
-  std::unordered_map<CVar, Cty> VarTy;
+  CVar Cap = 0; ///< exclusive bound of vars with census slots
+  std::vector<int32_t> UseV;      ///< value uses
+  std::vector<int32_t> CallV;     ///< uses in App-function position
+  std::vector<const CFun *> FnV;  ///< fn name -> definition
+  std::vector<uint8_t> EscV;      ///< fn name used as a value
+  std::vector<uint8_t> SelfRecV;
+  /// Tri-state "only used as base of non-float Selects": 0 unseen,
+  /// 1 true (param, no disqualifying use yet), 2 false.
+  std::vector<uint8_t> OwsV;
+  std::vector<Cty> TyV;
+  std::vector<CVar> FnList; ///< all fn names, in definition order
+
+  void init(CVar NewCap) {
+    Cap = NewCap;
+    size_t N = static_cast<size_t>(Cap);
+    UseV.assign(N, 0);
+    CallV.assign(N, 0);
+    FnV.assign(N, nullptr);
+    EscV.assign(N, 0);
+    SelfRecV.assign(N, 0);
+    OwsV.assign(N, 0);
+    TyV.assign(N, Cty());
+    FnList.clear();
+  }
+
+  bool inCap(CVar V) const { return V >= 0 && V < Cap; }
+  int use(CVar V) const { return inCap(V) ? UseV[V] : 0; }
+  int calls(CVar V) const { return inCap(V) ? CallV[V] : 0; }
+  const CFun *fn(CVar V) const { return inCap(V) ? FnV[V] : nullptr; }
+  bool escapes(CVar V) const { return inCap(V) && EscV[V]; }
+  bool selfRec(CVar V) const { return inCap(V) && SelfRecV[V]; }
+  bool onlyWordSelected(CVar V) const { return inCap(V) && OwsV[V] == 1; }
+  bool hasTy(CVar V) const { return inCap(V); }
+  Cty ty(CVar V) const { return inCap(V) ? TyV[V] : Cty(); }
 
   void value(const CValue &V) {
-    if (V.isVar())
-      ++Use[V.V];
+    if (V.isVar() && inCap(V.V))
+      ++UseV[V.V];
+  }
+  void notOws(const CValue &V) {
+    if (V.isVar() && inCap(V.V))
+      OwsV[V.V] = 2;
   }
 
   void walk(const Cexp *E, const CFun *Owner) {
@@ -33,45 +162,50 @@ struct Census {
       case Cexp::Kind::Record:
         for (const CField &F : E->Fields) {
           value(F.V);
-          if (F.V.isVar())
-            OnlyWordSelected[F.V.V] = false;
+          notOws(F.V);
         }
-        VarTy[E->W] = E->WTy;
+        if (inCap(E->W))
+          TyV[E->W] = E->WTy;
         E = E->C1;
         continue;
       case Cexp::Kind::Select:
         value(E->F);
-        if (E->F.isVar() && E->IsFloat)
-          OnlyWordSelected[E->F.V] = false;
-        VarTy[E->W] = E->WTy;
+        if (E->IsFloat)
+          notOws(E->F);
+        if (inCap(E->W))
+          TyV[E->W] = E->WTy;
         E = E->C1;
         continue;
       case Cexp::Kind::App: {
-        if (E->F.isVar()) {
-          ++Use[E->F.V];
-          ++CallCount[E->F.V];
-          OnlyWordSelected[E->F.V] = false;
-          if (Owner && E->F.V == Owner->Name)
-            SelfRecursive.insert(Owner->Name);
+        if (E->F.isVar() && inCap(E->F.V)) {
+          ++UseV[E->F.V];
+          ++CallV[E->F.V];
+          OwsV[E->F.V] = 2;
+          if (Owner && E->F.V == Owner->Name && inCap(Owner->Name))
+            SelfRecV[Owner->Name] = 1;
         }
         for (const CValue &V : E->Args) {
           value(V);
-          if (V.isVar()) {
-            OnlyWordSelected[V.V] = false;
-            if (FnOf.count(V.V))
-              EscapingFns.insert(V.V);
-          }
+          notOws(V);
+          if (V.isVar() && fn(V.V))
+            EscV[V.V] = 1;
         }
         return;
       }
       case Cexp::Kind::Fix:
         for (const CFun *F : E->Funs) {
-          FnOf[F->Name] = F;
+          if (inCap(F->Name)) {
+            FnV[F->Name] = F;
+            FnList.push_back(F->Name);
+          }
           for (size_t I = 0; I < F->Params.size(); ++I) {
-            VarTy[F->Params[I]] = F->ParamTys[I];
-            // Optimistically true until another use kind is seen.
-            if (!OnlyWordSelected.count(F->Params[I]))
-              OnlyWordSelected[F->Params[I]] = true;
+            CVar P = F->Params[I];
+            if (inCap(P)) {
+              TyV[P] = F->ParamTys[I];
+              // Optimistically true until another use kind is seen.
+              if (OwsV[P] == 0)
+                OwsV[P] = 1;
+            }
           }
         }
         for (const CFun *F : E->Funs)
@@ -81,8 +215,7 @@ struct Census {
       case Cexp::Kind::Branch:
         for (const CValue &V : E->Args) {
           value(V);
-          if (V.isVar())
-            OnlyWordSelected[V.V] = false;
+          notOws(V);
         }
         walk(E->C1, Owner);
         E = E->C2;
@@ -93,38 +226,35 @@ struct Census {
       case Cexp::Kind::CCall:
         for (const CValue &V : E->Args) {
           value(V);
-          if (V.isVar())
-            OnlyWordSelected[V.V] = false;
+          notOws(V);
         }
-        VarTy[E->W] = E->WTy;
+        if (inCap(E->W))
+          TyV[E->W] = E->WTy;
         E = E->C1;
         continue;
       case Cexp::Kind::Setter:
         for (const CValue &V : E->Args) {
           value(V);
-          if (V.isVar())
-            OnlyWordSelected[V.V] = false;
+          notOws(V);
         }
         E = E->C1;
         continue;
       case Cexp::Kind::Halt:
         value(E->F);
-        if (E->F.isVar())
-          OnlyWordSelected[E->F.V] = false;
+        notOws(E->F);
         return;
       }
     }
   }
 
-  // Escape marking for values in Record fields / Setter args was done via
-  // OnlyWordSelected; function escape needs Record/Setter/CCall args too.
+  // Function escape marking needs Record/Setter/CCall args too.
   void markEscapes(const Cexp *E) {
     for (;;) {
       switch (E->K) {
       case Cexp::Kind::Record:
         for (const CField &F : E->Fields)
-          if (F.V.isVar() && FnOf.count(F.V.V))
-            EscapingFns.insert(F.V.V);
+          if (F.V.isVar() && fn(F.V.V))
+            EscV[F.V.V] = 1;
         E = E->C1;
         continue;
       case Cexp::Kind::Select:
@@ -134,8 +264,8 @@ struct Census {
       case Cexp::Kind::CCall:
       case Cexp::Kind::Setter:
         for (const CValue &V : E->Args)
-          if (V.isVar() && FnOf.count(V.V))
-            EscapingFns.insert(V.V);
+          if (V.isVar() && fn(V.V))
+            EscV[V.V] = 1;
         E = E->C1;
         continue;
       case Cexp::Kind::Fix:
@@ -149,12 +279,12 @@ struct Census {
         continue;
       case Cexp::Kind::App:
         for (const CValue &V : E->Args)
-          if (V.isVar() && FnOf.count(V.V))
-            EscapingFns.insert(V.V);
+          if (V.isVar() && fn(V.V))
+            EscV[V.V] = 1;
         return;
       case Cexp::Kind::Halt:
-        if (E->F.isVar() && FnOf.count(E->F.V))
-          EscapingFns.insert(E->F.V);
+        if (E->F.isVar() && fn(E->F.V))
+          EscV[E->F.V] = 1;
         return;
       }
     }
@@ -167,12 +297,9 @@ template <typename V> class ScopedMap {
 public:
   void set(CVar K, V Val) {
     Trail.push_back(K);
-    Map[K] = Val;
+    Map.set(K, Val);
   }
-  const V *get(CVar K) const {
-    auto It = Map.find(K);
-    return It == Map.end() ? nullptr : &It->second;
-  }
+  const V *get(CVar K) const { return Map.get(K); }
   size_t mark() const { return Trail.size(); }
   void popTo(size_t M) {
     while (Trail.size() > M) {
@@ -182,7 +309,7 @@ public:
   }
 
 private:
-  std::unordered_map<CVar, V> Map;
+  DenseVarMap<V> Map;
   std::vector<CVar> Trail;
 };
 
@@ -192,6 +319,24 @@ struct SelectInfo {
   bool IsFloat;
 };
 
+/// Phase tracing: SMLTC_CPSOPT_TRACE=<dir> writes one CPS dump
+/// per optimizer round so engine cadences can be diffed round-by-round.
+static bool tracingPhases() { return getenv("SMLTC_CPSOPT_TRACE") != nullptr; }
+
+static void tracePhase(const char *Engine, int Round, const Cexp *Program,
+                       const std::string &Plan) {
+  const char *Dir = getenv("SMLTC_CPSOPT_TRACE");
+  if (!Dir)
+    return;
+  std::string Path =
+      std::string(Dir) + "/" + Engine + "_" + std::to_string(Round) + ".txt";
+  if (FILE *F = fopen(Path.c_str(), "w")) {
+    std::string S = printCps(Program);
+    fprintf(F, "PLAN %s\n%s", Plan.c_str(), S.c_str());
+    fclose(F);
+  }
+}
+
 class Optimizer {
 public:
   Optimizer(Arena &A, const CompilerOptions &Opts, CVar &MaxVar,
@@ -199,19 +344,37 @@ public:
       : A(A), Opts(Opts), B(A, MaxVar), MaxVar(MaxVar), Stats(Stats) {}
 
   Cexp *run(Cexp *Program) {
-    for (int Round = 0; Round < 10; ++Round) {
+    int Round = 0;
+    for (; Round < 10; ++Round) {
+      SMLTC_SPAN("cps_opt_round", "compile");
       Changed = false;
-      Cen = Census();
+      Cen.init(B.maxVar());
       Cen.walk(Program, nullptr);
       Cen.markEscapes(Program);
       planInlining();
       Subst.clear();
-      RoundStartVar = B.maxVar(); // vars cloned this round lack census data
       Program = rewrite(Program);
       ++Stats.Rounds;
-      if (!Changed)
+      if (tracingPhases()) {
+        std::string Plan;
+        for (CVar V = 0; V < Cen.Cap; ++V) {
+          if (OnceV[V])
+            Plan += " o" + std::to_string(V);
+          if (SmallV[V])
+            Plan += " s" + std::to_string(V);
+          if (FlattenV[V])
+            Plan += " f" + std::to_string(V);
+        }
+        tracePhase("rounds", Round, Program, Plan);
+      }
+      if (!Changed) {
+        ++Round;
         break;
+      }
     }
+    // Stopping at the cap with reductions still firing was previously a
+    // silent non-convergence.
+    Stats.HitRoundCap = (Round > 10) || (Round == 10 && Changed);
     MaxVar = B.maxVar();
     return Program;
   }
@@ -221,36 +384,32 @@ private:
   // Inline planning
   //===--------------------------------------------------------------------===//
 
-  static size_t bodySize(const Cexp *E) {
-    if (!E)
-      return 0;
-    size_t N = 1 + bodySize(E->C1) + bodySize(E->C2);
-    for (const CFun *F : E->Funs)
-      N += bodySize(F->Body);
-    return N;
-  }
+  bool isOnce(CVar V) const { return Cen.inCap(V) && OnceV[V]; }
+  bool isSmall(CVar V) const { return Cen.inCap(V) && SmallV[V]; }
+  int flattenLen(CVar V) const { return Cen.inCap(V) ? FlattenV[V] : 0; }
 
   void planInlining() {
-    InlineOnce.clear();
-    InlineSmall.clear();
-    Flatten.clear();
-    for (auto &[Name, F] : Cen.FnOf) {
-      int Uses = Cen.Use.count(Name) ? Cen.Use.at(Name) : 0;
-      int Calls = Cen.CallCount.count(Name) ? Cen.CallCount.at(Name) : 0;
-      bool Escapes = Cen.EscapingFns.count(Name) != 0;
-      bool SelfRec = Cen.SelfRecursive.count(Name) != 0;
+    size_t N = static_cast<size_t>(Cen.Cap);
+    OnceV.assign(N, 0);
+    SmallV.assign(N, 0);
+    FlattenV.assign(N, 0);
+    for (CVar Name : Cen.FnList) {
+      const CFun *F = Cen.fn(Name);
+      int Uses = Cen.use(Name);
+      int Calls = Cen.calls(Name);
+      bool Escapes = Cen.escapes(Name);
+      bool SelfRec = Cen.selfRec(Name);
       if (Uses == 0)
         continue; // dead; dropped at its Fix
       if (!Escapes && Calls == Uses && Calls == 1 && !SelfRec) {
-        InlineOnce.insert(Name);
+        OnceV[Name] = 1;
         continue;
       }
       if (Opts.InlineSmallFns && !Escapes && Calls == Uses && !SelfRec &&
-          bodySize(F->Body) <= 10 && Calls <= 6) {
-        InlineSmall.insert(Name);
+          bodyAtMost(F->Body, 10) && Calls <= 6) {
+        SmallV[Name] = 1;
         continue;
       }
-      // (flattening candidates are handled below)
       // Kranz-style known-function argument flattening (sml.fag): a known
       // function whose single record argument is only taken apart with
       // word selects gets its components passed directly.
@@ -258,11 +417,9 @@ private:
           F->K != CFun::Kind::Cont && F->Params.size() == 2) {
         Cty PT = F->ParamTys[0];
         if (PT.K == CtyKind::PtrKnown && PT.Len >= 2 &&
-            PT.Len <= Opts.MaxSpreadArgs) {
-          auto It = Cen.OnlyWordSelected.find(F->Params[0]);
-          if (It != Cen.OnlyWordSelected.end() && It->second)
-            Flatten[Name] = PT.Len;
-        }
+            PT.Len <= Opts.MaxSpreadArgs &&
+            Cen.onlyWordSelected(F->Params[0]))
+          FlattenV[Name] = PT.Len;
       }
     }
     pruneInlineCycles();
@@ -273,7 +430,7 @@ private:
     if (!E)
       return;
     auto Val = [&](const CValue &V) {
-      if (V.isVar() && (InlineOnce.count(V.V) || InlineSmall.count(V.V)))
+      if (V.isVar() && (isOnce(V.V) || isSmall(V.V)))
         Out.insert(V.V);
     };
     Val(E->F);
@@ -291,17 +448,13 @@ private:
   /// every candidate that participates in a reference cycle (Kahn-style
   /// elimination: whatever cannot be topologically ordered is cyclic).
   void pruneInlineCycles() {
+    std::vector<CVar> Candidates;
+    for (CVar Name : Cen.FnList)
+      if (OnceV[Name] || SmallV[Name])
+        Candidates.push_back(Name);
     std::unordered_map<CVar, std::unordered_set<CVar>> Refs;
-    auto Candidates = [&]() {
-      std::vector<CVar> Out;
-      for (CVar V : InlineOnce)
-        Out.push_back(V);
-      for (CVar V : InlineSmall)
-        Out.push_back(V);
-      return Out;
-    };
-    for (CVar V : Candidates())
-      candidateRefs(Cen.FnOf.at(V)->Body, Refs[V]);
+    for (CVar V : Candidates)
+      candidateRefs(Cen.fn(V)->Body, Refs[V]);
     bool Progress = true;
     std::unordered_set<CVar> Alive(Refs.size());
     for (auto &[V, _] : Refs)
@@ -325,8 +478,8 @@ private:
     }
     // Whatever is still "alive" is part of (or depends on) a cycle.
     for (CVar V : Alive) {
-      InlineOnce.erase(V);
-      InlineSmall.erase(V);
+      OnceV[V] = 0;
+      SmallV[V] = 0;
     }
   }
 
@@ -336,10 +489,10 @@ private:
 
   CValue resolve(CValue V) const {
     while (V.isVar()) {
-      auto It = Subst.find(V.V);
-      if (It == Subst.end())
+      const CValue *S = Subst.get(V.V);
+      if (!S)
         return V;
-      V = It->second;
+      V = *S;
     }
     return V;
   }
@@ -352,10 +505,9 @@ private:
   }
 
   bool used(CVar W) const {
-    if (W >= RoundStartVar)
-      return true; // introduced by cloning this round; no census data
-    auto It = Cen.Use.find(W);
-    return It != Cen.Use.end() && It->second > 0;
+    // Vars at/above the census cap were introduced by cloning this round
+    // and have no census data; conservatively treat them as used.
+    return !Cen.inCap(W) || Cen.UseV[W] > 0;
   }
 
   Cexp *rewrite(const Cexp *E) {
@@ -384,7 +536,7 @@ private:
               if ((*BoxDef)->RK == RecordKind::FloatBox) {
                 ++Stats.FloatBoxesReused;
                 Changed = true;
-                Subst[E->W] = CValue::var(SI->Base);
+                Subst.set(E->W, CValue::var(SI->Base));
                 return rewrite(E->C1);
               }
             }
@@ -413,13 +565,13 @@ private:
           else if (SI->Base != Base)
             AllSelects = false;
         }
-        if (AllSelects && Base != 0) {
-          auto It = Cen.VarTy.find(Base);
-          if (It != Cen.VarTy.end() && It->second.K == CtyKind::PtrKnown &&
-              It->second.Len == static_cast<int>(Fields.size())) {
+        if (AllSelects && Base != 0 && Cen.hasTy(Base)) {
+          Cty BT = Cen.ty(Base);
+          if (BT.K == CtyKind::PtrKnown &&
+              BT.Len == static_cast<int>(Fields.size())) {
             ++Stats.RecordsCopyEliminated;
             Changed = true;
-            Subst[E->W] = CValue::var(Base);
+            Subst.set(E->W, CValue::var(Base));
             return rewrite(E->C1);
           }
         }
@@ -442,7 +594,7 @@ private:
           if (E->Idx < static_cast<int>(R->Fields.size())) {
             ++Stats.SelectsFolded;
             Changed = true;
-            Subst[E->W] = resolve(R->Fields[E->Idx].V);
+            Subst.set(E->W, resolve(R->Fields[E->Idx].V));
             return rewrite(E->C1);
           }
         }
@@ -467,31 +619,29 @@ private:
       CValue F = resolve(E->F);
       std::vector<CValue> Args = resolveAll(E->Args);
       if (F.isVar()) {
-        if ((InlineOnce.count(F.V) || InlineSmall.count(F.V)) &&
-            !InlineStack.count(F.V)) {
-          const CFun *Fn = Cen.FnOf.at(F.V);
-          bool Once = InlineOnce.count(F.V) != 0;
+        if ((isOnce(F.V) || isSmall(F.V)) && !InlineStack.count(F.V)) {
+          const CFun *Fn = Cen.fn(F.V);
+          bool Once = isOnce(F.V);
           (Once ? Stats.InlinedOnce : Stats.InlinedSmall)++;
           Changed = true;
           InlineStack.insert(F.V);
-          Cexp *R = inlineCall(Fn, Args, /*NeedsRenaming=*/!Once);
+          Cexp *R = inlineCall(Fn, Args);
           InlineStack.erase(F.V);
           return R;
         }
-        auto FlIt = Flatten.find(F.V);
-        if (FlIt != Flatten.end()) {
+        int FlN = flattenLen(F.V);
+        if (FlN > 0) {
           // Rewrite the call to pass the record's components.
-          int N = FlIt->second;
           std::vector<CValue> NewArgs;
           std::vector<CVar> Sels;
-          for (int I = 0; I < N; ++I) {
+          for (int I = 0; I < FlN; ++I) {
             CVar S = B.fresh();
             Sels.push_back(S);
             NewArgs.push_back(CValue::var(S));
           }
           NewArgs.push_back(Args[1]); // return continuation
           Cexp *Call = B.app(F, NewArgs);
-          for (int I = N; I-- > 0;)
+          for (int I = FlN; I-- > 0;)
             Call = B.select(I, false, Args[0], Sels[I],
                             Cty::ptrUnknown(), Call);
           Changed = true;
@@ -509,9 +659,6 @@ private:
           Changed = true;
           continue;
         }
-        // Inline candidates keep their definitions this round (calls may
-        // decline to inline when a cycle is detected at rewrite time);
-        // once all uses are gone, dead-function removal reaps them.
         // Eta: cont k(x) = j(x) ==> k := j.
         if (F->K == CFun::Kind::Cont && F->Params.size() == 1 &&
             F->Body->K == Cexp::Kind::App && F->Body->Args.size() == 1 &&
@@ -520,12 +667,16 @@ private:
             F->Body->F.V != F->Name &&
             // Redirecting uses to the target would invalidate this
             // round's single-use inlining plan for it.
-            !InlineOnce.count(F->Body->F.V) &&
-            !InlineSmall.count(F->Body->F.V)) {
-          ++Stats.EtaConts;
-          Changed = true;
-          Subst[F->Name] = resolve(F->Body->F);
-          continue;
+            !isOnce(F->Body->F.V) && !isSmall(F->Body->F.V)) {
+          CValue J = resolve(F->Body->F);
+          // A mutual eta pair in one bundle would otherwise produce a
+          // self-substitution (k := k) and an unresolvable cycle.
+          if (!(J.isVar() && J.V == F->Name)) {
+            ++Stats.EtaConts;
+            Changed = true;
+            Subst.set(F->Name, J);
+            continue;
+          }
         }
         Funs.push_back(F);
       }
@@ -536,19 +687,17 @@ private:
         // known, and substitutions can surface new value (escaping) uses.
         CFun::Kind K = F->K;
         if (K != CFun::Kind::Cont)
-          K = Cen.EscapingFns.count(F->Name) ? CFun::Kind::Escape
-                                             : CFun::Kind::Known;
-        auto FlIt = Flatten.find(F->Name);
-        if (FlIt != Flatten.end()) {
+          K = Cen.escapes(F->Name) ? CFun::Kind::Escape : CFun::Kind::Known;
+        int FlN = flattenLen(F->Name);
+        if (FlN > 0) {
           // Flattened entry: fresh component params, rebuild the record
           // (contracted away next round when only selects remain).
-          int N = FlIt->second;
           ++Stats.KnownFnsFlattened;
           Changed = true;
           std::vector<CVar> Params;
           std::vector<Cty> Tys;
           std::vector<CField> Fields;
-          for (int I = 0; I < N; ++I) {
+          for (int I = 0; I < FlN; ++I) {
             CVar P = B.fresh();
             Params.push_back(P);
             Tys.push_back(Cty::ptrUnknown());
@@ -660,7 +809,7 @@ private:
         if (Known) {
           ++Stats.ConstantsFolded;
           Changed = true;
-          Subst[E->W] = CValue::intC(R);
+          Subst.set(E->W, CValue::intC(R));
           return rewrite(E->C1);
         }
       }
@@ -669,8 +818,8 @@ private:
         int64_t X = Args[0].I;
         ++Stats.ConstantsFolded;
         Changed = true;
-        Subst[E->W] = CValue::intC(E->Op == CpsOp::INeg ? -X
-                                                        : (X < 0 ? -X : X));
+        Subst.set(E->W, CValue::intC(E->Op == CpsOp::INeg ? -X
+                                                          : (X < 0 ? -X : X)));
         return rewrite(E->C1);
       }
       Cexp *N = B.arith(E->Op, Args, E->W, E->WTy, nullptr);
@@ -682,7 +831,7 @@ private:
       std::vector<CValue> Args = resolveAll(E->Args);
       if (E->Op == CpsOp::Copy) {
         Changed = true;
-        Subst[E->W] = Args[0];
+        Subst.set(E->W, Args[0]);
         return rewrite(E->C1);
       }
       if (!used(E->W)) {
@@ -735,13 +884,11 @@ private:
   // Inlining
   //===--------------------------------------------------------------------===//
 
-  Cexp *inlineCall(const CFun *Fn, const std::vector<CValue> &Args,
-                   bool NeedsRenaming) {
+  Cexp *inlineCall(const CFun *Fn, const std::vector<CValue> &Args) {
     assert(Fn->Params.size() == Args.size() && "inline arity mismatch");
     // Renaming is needed even for once-used functions: the call site may
     // itself live inside cloned (multi-inlined) code, in which case the
     // body would otherwise be spliced twice with the same binders.
-    (void)NeedsRenaming;
     std::unordered_map<CVar, CValue> Rename;
     for (size_t I = 0; I < Args.size(); ++I)
       Rename[Fn->Params[I]] = Args[I];
@@ -856,21 +1003,1574 @@ private:
   CVar &MaxVar;
   CpsOptStats &Stats;
   Census Cen;
-  CVar RoundStartVar = 0;
   bool Changed = false;
-  std::unordered_map<CVar, CValue> Subst;
+  DenseVarMap<CValue> Subst;
   ScopedMap<const Cexp *> RecDefs;
   ScopedMap<SelectInfo> SelDefs;
-  std::unordered_set<CVar> InlineOnce;
-  std::unordered_set<CVar> InlineSmall;
+  std::vector<uint8_t> OnceV;   ///< dense inline-once plan
+  std::vector<uint8_t> SmallV;  ///< dense inline-small plan
+  std::vector<int32_t> FlattenV; ///< dense flatten plan (0 = none)
   std::unordered_set<CVar> InlineStack; ///< functions being inlined now
-  std::unordered_map<CVar, int> Flatten;
+};
+
+//===----------------------------------------------------------------------===//
+// Shrink engine (default)
+//===----------------------------------------------------------------------===//
+
+/// Worklist shrinking reductions over an incrementally maintained census.
+///
+/// One census walk populates dense CVar-indexed tables (use/call counts,
+/// def nodes, fn defs); every contraction then updates the counts for
+/// exactly the occurrences it adds or removes, so the census always
+/// describes the *virtual* tree (the physical tree with the pending
+/// substitution applied). Contractions splice the tree in place
+/// (`*E = *E->C1`), so unchanged subtrees are never re-cloned; a worklist
+/// of vars whose use count hit zero cascades dead-code removal.
+///
+/// Shrinking reductions (monotonically decrease tree size, run to
+/// fixpoint): dead bindings/functions, select-from-known-record, constant
+/// and branch folding, wrap/unwrap cancellation, record-copy elimination,
+/// eta-cont, beta of once-used functions. Non-shrinking expansions
+/// (inline-small, Kranz flattening) run as planned phases between shrink
+/// phases, bounded by the same cap of 10 the rounds engine uses.
+class ShrinkOptimizer {
+public:
+  ShrinkOptimizer(Arena &A, const CompilerOptions &Opts, CVar &MaxVar,
+                  CpsOptStats &Stats)
+      : A(A), Opts(Opts), B(A, MaxVar), MaxVar(MaxVar), Stats(Stats) {}
+
+  Cexp *run(Cexp *Program) {
+    ensure(B.maxVar());
+    {
+      SMLTC_SPAN("cps_shrink_census", "compile");
+      census(Program, nullptr);
+    }
+    bool Audit = AuditEnabled.load(std::memory_order_relaxed);
+    // Phase cadence deliberately mirrors the rounds engine decision for
+    // decision — plan expansions on phase-entry counts, one contraction
+    // sweep per phase, dead bindings removed only when the sweep reaches
+    // them — so both engines converge on the same normal form (the
+    // differential suite asserts identical dynamic instruction counts).
+    // The throughput win comes from what each phase no longer does: no
+    // from-scratch census walk (counts are maintained incrementally) and
+    // no arena rebuild of the whole tree (contractions splice in place).
+    int Phase = 0;
+    bool Progressed = true;
+    for (; Phase < 10; ++Phase) {
+      bool HavePlan;
+      {
+        SMLTC_SPAN("cps_expand_plan", "compile");
+        HavePlan = planExpand(Program);
+      }
+      uint64_t PhaseStart = Contractions;
+      {
+        SMLTC_SPAN(HavePlan ? "cps_expand" : "cps_shrink", "compile");
+        PlanActive = HavePlan;
+        PhaseFloor = B.maxVar();
+        visit(Program);
+        PlanActive = false;
+        ++Stats.WorklistPasses;
+        if (Audit)
+          auditCensus(Program);
+      }
+      if (HavePlan)
+        ++Stats.ExpandPasses;
+      ++Stats.Rounds;
+      if (tracingPhases()) {
+        std::string Plan;
+        for (size_t V = 0; V < PlanOnceV.size(); ++V) {
+          if (PlanOnceV[V])
+            Plan += " o" + std::to_string(V);
+          if (PlanSmallV[V])
+            Plan += " s" + std::to_string(V);
+          if (PlanFlattenV[V])
+            Plan += " f" + std::to_string(V);
+        }
+        tracePhase("shrink", Phase, Program, Plan);
+      }
+      Progressed = Contractions != PhaseStart;
+      if (!Progressed) {
+        ++Phase;
+        break;
+      }
+    }
+    Stats.HitRoundCap = Phase == 10 && Progressed;
+    MaxVar = B.maxVar();
+    return Program;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Dense incremental census
+  //===--------------------------------------------------------------------===//
+
+  void ensure(CVar Hi) {
+    if (Hi >= 0 && static_cast<size_t>(Hi) < UseV.size())
+      return;
+    size_t N = std::max<size_t>(
+        64, std::max(static_cast<size_t>(Hi) + 1, UseV.size() * 2));
+    UseV.resize(N, 0);
+    CallsV.resize(N, 0);
+    DefNodeV.resize(N, nullptr);
+    FnDefV.resize(N, nullptr);
+    FixNodeV.resize(N, nullptr);
+    VarTyV.resize(N, Cty());
+    SubstV.resize(N, CValue());
+    HasSubstV.resize(N, 0);
+    InlineOnV.resize(N, 0);
+    PlanOnceV.resize(N, 0);
+    PlanSmallV.resize(N, 0);
+    PlanFlattenV.resize(N, 0);
+    OwsV.resize(N, 0);
+    SelfRecPV.resize(N, 0);
+    EscPV.resize(N, 0);
+    AdoptableV.resize(N, 0);
+    SnapBodyV.resize(N, nullptr);
+  }
+
+  /// Resolves a value through the pending substitution.
+  CValue rv(CValue V) const {
+    while (V.isVar() && HasSubstV[V.V])
+      V = SubstV[V.V];
+    return V;
+  }
+
+  void addUse(CValue V, bool Call = false) {
+    V = rv(V);
+    if (!V.isVar())
+      return;
+    ++UseV[V.V];
+    if (Call)
+      ++CallsV[V.V];
+  }
+
+  void dropUse(CValue V, bool Call = false) {
+    V = rv(V);
+    if (!V.isVar())
+      return;
+    CVar X = V.V;
+    if (UseV[X] > 0)
+      --UseV[X];
+    if (Call && CallsV[X] > 0)
+      --CallsV[X];
+  }
+
+  /// A binding is removable only once the sweep reaches it with a zero
+  /// count, and never in the phase that created it — the rounds engine's
+  /// `used()` treats vars above the census cap as used, so mirroring that
+  /// keeps the two engines' removal timing (and thus their expand plans)
+  /// in lockstep.
+  bool liveOrFresh(CVar W) const { return W >= PhaseFloor || UseV[W] > 0; }
+
+  /// Substitutes \p Target (already resolved) for every remaining use of
+  /// \p X, transferring X's counts so the census keeps describing the
+  /// virtual tree.
+  void bindSubst(CVar X, CValue Target) {
+    HasSubstV[X] = 1;
+    SubstV[X] = Target;
+    if (Target.isVar()) {
+      UseV[Target.V] += UseV[X];
+      CallsV[Target.V] += CallsV[X];
+    }
+    UseV[X] = 0;
+    CallsV[X] = 0;
+  }
+
+  void defineVar(CVar W, Cty T, Cexp *Node) {
+    VarTyV[W] = T;
+    DefNodeV[W] = Node;
+  }
+
+  /// The up-front census: counts every occurrence and records def nodes.
+  void census(Cexp *E, const CFun *Owner) {
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record:
+        for (const CField &F : E->Fields)
+          addUse(F.V);
+        defineVar(E->W, E->WTy, E);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Select:
+        addUse(E->F);
+        defineVar(E->W, E->WTy, E);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::App:
+        addUse(E->F, /*Call=*/true);
+        for (const CValue &V : E->Args)
+          addUse(V);
+        return;
+      case Cexp::Kind::Fix:
+        for (CFun *F : E->Funs) {
+          FnDefV[F->Name] = F;
+          FixNodeV[F->Name] = E;
+          for (size_t I = 0; I < F->Params.size(); ++I)
+            VarTyV[F->Params[I]] = F->ParamTys[I];
+        }
+        for (CFun *F : E->Funs)
+          census(F->Body, F);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Branch:
+        for (const CValue &V : E->Args)
+          addUse(V);
+        census(E->C1, Owner);
+        E = E->C2;
+        continue;
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+      case Cexp::Kind::CCall:
+        for (const CValue &V : E->Args)
+          addUse(V);
+        defineVar(E->W, E->WTy, E);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Setter:
+        for (const CValue &V : E->Args)
+          addUse(V);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Halt:
+        addUse(E->F);
+        return;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // In-place splicing
+  //===--------------------------------------------------------------------===//
+
+  /// After `*E = *C`, def tables pointing at C's content must point at E.
+  void reanchor(Cexp *E) {
+    switch (E->K) {
+    case Cexp::Kind::Record:
+    case Cexp::Kind::Select:
+    case Cexp::Kind::Arith:
+    case Cexp::Kind::Pure:
+    case Cexp::Kind::Looker:
+    case Cexp::Kind::CCall:
+      if (DefNodeV[E->W])
+        DefNodeV[E->W] = E;
+      break;
+    case Cexp::Kind::Fix:
+      for (CFun *F : E->Funs)
+        if (FnDefV[F->Name] == F)
+          FixNodeV[F->Name] = E;
+      break;
+    default:
+      break;
+    }
+  }
+
+  void replaceWith(Cexp *E, Cexp *C) {
+    *E = *C;
+    reanchor(E);
+  }
+
+  /// Removes a straight-line node by replacing it with its continuation.
+  void spliceOut(Cexp *E) { replaceWith(E, E->C1); }
+
+  bool deadRemovable(const Cexp *D) const {
+    switch (D->K) {
+    case Cexp::Kind::Record:
+      return D->RK != RecordKind::Ref &&
+             (D->RK != RecordKind::FloatBox || Opts.CpsWrapCancel);
+    case Cexp::Kind::Select:
+    case Cexp::Kind::Pure:
+      return true;
+    case Cexp::Kind::Arith:
+      return D->Op != CpsOp::IDiv && D->Op != CpsOp::IMod;
+    case Cexp::Kind::Looker:
+      return D->Op != CpsOp::LoadCell && D->Op != CpsOp::LoadByte;
+    default:
+      return false;
+    }
+  }
+
+  /// Removes a dead value-binding node, dropping its operand uses.
+  void removeValueNode(Cexp *D) {
+    switch (D->K) {
+    case Cexp::Kind::Record:
+      for (const CField &F : D->Fields)
+        dropUse(F.V);
+      break;
+    case Cexp::Kind::Select:
+      dropUse(D->F);
+      break;
+    case Cexp::Kind::Arith:
+    case Cexp::Kind::Pure:
+    case Cexp::Kind::Looker:
+      for (const CValue &V : D->Args)
+        dropUse(V);
+      break;
+    default:
+      return;
+    }
+    DefNodeV[D->W] = nullptr;
+    ++Stats.DeadRemoved;
+    ++Contractions;
+    spliceOut(D);
+  }
+
+  /// Drops every census count contributed by a subtree being deleted.
+  void censusRemove(Cexp *E) {
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record:
+        for (const CField &F : E->Fields)
+          dropUse(F.V);
+        DefNodeV[E->W] = nullptr;
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Select:
+        dropUse(E->F);
+        DefNodeV[E->W] = nullptr;
+        E = E->C1;
+        continue;
+      case Cexp::Kind::App:
+        dropUse(E->F, /*Call=*/true);
+        for (const CValue &V : E->Args)
+          dropUse(V);
+        return;
+      case Cexp::Kind::Fix:
+        for (CFun *F : E->Funs) {
+          if (FnDefV[F->Name] != F)
+            continue; // already unlinked elsewhere
+          FnDefV[F->Name] = nullptr;
+          FixNodeV[F->Name] = nullptr;
+          censusRemove(F->Body);
+        }
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Branch:
+        for (const CValue &V : E->Args)
+          dropUse(V);
+        censusRemove(E->C1);
+        E = E->C2;
+        continue;
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+      case Cexp::Kind::CCall:
+        for (const CValue &V : E->Args)
+          dropUse(V);
+        DefNodeV[E->W] = nullptr;
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Setter:
+        for (const CValue &V : E->Args)
+          dropUse(V);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Halt:
+        dropUse(E->F);
+        return;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Contraction sweep
+  //===--------------------------------------------------------------------===//
+
+  void resolveArgs(Cexp *E) {
+    CValue *Vs = E->Args.mutableBegin();
+    for (size_t I = 0, N = E->Args.size(); I < N; ++I)
+      Vs[I] = rv(Vs[I]);
+  }
+
+  void resolveFields(Cexp *E) {
+    CField *Fs = E->Fields.mutableBegin();
+    for (size_t I = 0, N = E->Fields.size(); I < N; ++I)
+      Fs[I].V = rv(Fs[I].V);
+  }
+
+  void visit(Cexp *E) {
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record: {
+        resolveFields(E);
+        bool FloatBoxOpt =
+            E->RK != RecordKind::FloatBox || Opts.CpsWrapCancel;
+        if (!liveOrFresh(E->W) && E->RK != RecordKind::Ref && FloatBoxOpt) {
+          removeValueNode(E);
+          continue;
+        }
+        // Wrap/unwrap cancellation (Section 5.2).
+        if (Opts.CpsWrapCancel && E->RK == RecordKind::FloatBox &&
+            E->Fields.size() == 1 && E->Fields[0].V.isVar()) {
+          const Cexp *SD = DefNodeV[E->Fields[0].V.V];
+          if (SD && SD->K == Cexp::Kind::Select && SD->IsFloat &&
+              SD->Idx == 0) {
+            CValue Base = rv(SD->F);
+            if (Base.isVar()) {
+              const Cexp *BD = DefNodeV[Base.V];
+              if (BD && BD->K == Cexp::Kind::Record &&
+                  BD->RK == RecordKind::FloatBox) {
+                ++Stats.FloatBoxesReused;
+                ++Contractions;
+                dropUse(E->Fields[0].V);
+                DefNodeV[E->W] = nullptr;
+                bindSubst(E->W, Base);
+                spliceOut(E);
+                continue;
+              }
+            }
+          }
+        }
+        // Record copy elimination (Section 5.2).
+        if (Opts.CpsRecordCopyElim && E->RK != RecordKind::Ref &&
+            !E->Fields.empty()) {
+          CVar Base = 0;
+          bool AllSelects = true;
+          for (size_t I = 0; I < E->Fields.size() && AllSelects; ++I) {
+            const CField &Fd = E->Fields[I];
+            if (!Fd.V.isVar()) {
+              AllSelects = false;
+              break;
+            }
+            const Cexp *SD = DefNodeV[Fd.V.V];
+            if (!SD || SD->K != Cexp::Kind::Select ||
+                SD->Idx != static_cast<int>(I) ||
+                SD->IsFloat != Fd.IsFloat) {
+              AllSelects = false;
+              break;
+            }
+            CValue SB = rv(SD->F);
+            if (!SB.isVar()) {
+              AllSelects = false;
+              break;
+            }
+            if (I == 0)
+              Base = SB.V;
+            else if (SB.V != Base)
+              AllSelects = false;
+          }
+          // Fresh bases (introduced this phase) have no census type in the
+          // rounds engine, which therefore never eliminates through them
+          // until the next round; keep the same timing.
+          if (AllSelects && Base != 0 && Base < PhaseFloor) {
+            Cty BT = VarTyV[Base];
+            if (BT.K == CtyKind::PtrKnown &&
+                BT.Len == static_cast<int>(E->Fields.size())) {
+              ++Stats.RecordsCopyEliminated;
+              ++Contractions;
+              for (const CField &Fd : E->Fields)
+                dropUse(Fd.V);
+              DefNodeV[E->W] = nullptr;
+              bindSubst(E->W, CValue::var(Base));
+              spliceOut(E);
+              continue;
+            }
+          }
+        }
+        E = E->C1;
+        continue;
+      }
+
+      case Cexp::Kind::Select: {
+        E->F = rv(E->F);
+        if (E->F.isVar()) {
+          const Cexp *RD = DefNodeV[E->F.V];
+          if (RD && RD->K == Cexp::Kind::Record &&
+              RD->RK != RecordKind::Ref &&
+              (RD->RK != RecordKind::FloatBox || Opts.CpsWrapCancel) &&
+              E->Idx < static_cast<int>(RD->Fields.size())) {
+            ++Stats.SelectsFolded;
+            ++Contractions;
+            CValue Repl = rv(RD->Fields[E->Idx].V);
+            DefNodeV[E->W] = nullptr;
+            bindSubst(E->W, Repl);
+            dropUse(E->F);
+            spliceOut(E);
+            continue;
+          }
+        }
+        if (!liveOrFresh(E->W)) {
+          // Selects from known-immutable records cannot trap.
+          removeValueNode(E);
+          continue;
+        }
+        E = E->C1;
+        continue;
+      }
+
+      case Cexp::Kind::App: {
+        E->F = rv(E->F);
+        resolveArgs(E);
+        if (!E->F.isVar())
+          return;
+        CVar Fv = E->F.V;
+        CFun *Fn = FnDefV[Fv];
+        if (!Fn)
+          return;
+        // Planned inlining: beta of once-used functions and clone-inline
+        // of small ones, decided at phase entry exactly like the rounds
+        // engine plans them at round entry. The inline-on guard plays the
+        // role of the rounds engine's InlineStack: a body never expands
+        // into its own clone.
+        if (PlanActive && (PlanOnceV[Fv] || PlanSmallV[Fv]) &&
+            !InlineOnV[Fv]) {
+          inlineCallAt(E, Fn, Fv, PlanOnceV[Fv] != 0);
+          InlineOnV[Fv] = 1;
+          visit(E);
+          InlineOnV[Fv] = 0;
+          return;
+        }
+        if (PlanActive && PlanFlattenV[Fv] > 0 && E->Args.size() == 2) {
+          // The fresh selects are not revisited this phase (the rounds
+          // engine emits them unrewritten); they fold next phase.
+          flattenCallAt(E, Fv);
+          return;
+        }
+        return;
+      }
+
+      case Cexp::Kind::Fix: {
+        // Pass 1: dead functions and eta-conts.
+        CFun **Fs = E->Funs.mutableBegin();
+        size_t N = E->Funs.size(), J = 0;
+        for (size_t I = 0; I < N; ++I) {
+          CFun *F = Fs[I];
+          CVar Name = F->Name;
+          if (FnDefV[Name] != F)
+            continue; // unlinked earlier (stale entry)
+          if (!liveOrFresh(Name)) {
+            FnDefV[Name] = nullptr;
+            FixNodeV[Name] = nullptr;
+            censusRemove(F->Body);
+            ++Stats.DeadRemoved;
+            ++Contractions;
+            continue;
+          }
+          // Eta: cont k(x) = j(x) ==> k := j. The plan guard tests the
+          // as-written head, before substitution, exactly as the rounds
+          // engine's !isOnce/!isSmall eta guard does: redirecting uses
+          // onto a function planned for inlining would invalidate the
+          // plan's use counts.
+          if (F->K == CFun::Kind::Cont && F->Params.size() == 1 &&
+              F->Body->K == Cexp::Kind::App &&
+              F->Body->Args.size() == 1 && F->Body->Args[0].isVar() &&
+              F->Body->Args[0].V == F->Params[0] && F->Body->F.isVar() &&
+              F->Body->F.V != Name && !PlanOnceV[F->Body->F.V] &&
+              !PlanSmallV[F->Body->F.V]) {
+            CValue J2 = rv(F->Body->F);
+            // Guard self-substitution through a mutual eta pair.
+            if (!(J2.isVar() && J2.V == Name)) {
+              ++Stats.EtaConts;
+              ++Contractions;
+              dropUse(F->Body->F, /*Call=*/true);
+              dropUse(F->Body->Args[0]);
+              FnDefV[Name] = nullptr;
+              FixNodeV[Name] = nullptr;
+              bindSubst(Name, J2);
+              continue;
+            }
+          }
+          Fs[J++] = F;
+        }
+        E->Funs.truncate(J);
+        if (J == 0) {
+          spliceOut(E);
+          continue;
+        }
+        // Pass 2: kinds, entry flattening, bodies. Every member kept by
+        // pass 1 is visited — the rounds engine rewrites all of them even
+        // if a sibling's rewrite dropped their last use this round. A
+        // flattened entry wraps the body in its rebuild record only after
+        // the body's sweep, so the body's selects fold against it next
+        // phase, not this one (the rounds engine constructs the record
+        // around the already-rewritten body).
+        for (size_t I = 0; I < E->Funs.size(); ++I) {
+          CFun *F = E->Funs.mutableBegin()[I];
+          CVar Name = F->Name;
+          if (FnDefV[Name] != F)
+            continue; // unlinked elsewhere (stale entry)
+          if (PlanActive && PlanFlattenV[Name] > 0 &&
+              F->Params.size() == 2) {
+            visit(F->Body);
+            flattenEntry(F, PlanFlattenV[Name]);
+            continue;
+          }
+          if (F->K != CFun::Kind::Cont)
+            // Phase-entry escape status, not the live counts: mid-phase
+            // count transfers (eta substitution) must not flip a kind the
+            // phase-entry census had already settled. Functions created
+            // this phase have no entry census and default to Known.
+            F->K = (Name < PhaseFloor && EscPV[Name]) ? CFun::Kind::Escape
+                                                      : CFun::Kind::Known;
+          visit(F->Body);
+        }
+        E = E->C1;
+        continue;
+      }
+
+      case Cexp::Kind::Branch: {
+        resolveArgs(E);
+        Cexp *Live = nullptr;
+        if (E->BOp == BranchOp::IsBoxed && !E->Args[0].isVar())
+          Live = E->Args[0].K != CValue::Kind::Int ? E->C1 : E->C2;
+        else if (E->Args.size() == 2 &&
+                 E->Args[0].K == CValue::Kind::Int &&
+                 E->Args[1].K == CValue::Kind::Int) {
+          int64_t X = E->Args[0].I, Y = E->Args[1].I;
+          bool T;
+          bool Known = true;
+          switch (E->BOp) {
+          case BranchOp::Ieq: T = X == Y; break;
+          case BranchOp::Ine: T = X != Y; break;
+          case BranchOp::Ilt: T = X < Y; break;
+          case BranchOp::Ile: T = X <= Y; break;
+          case BranchOp::Igt: T = X > Y; break;
+          case BranchOp::Ige: T = X >= Y; break;
+          case BranchOp::Ult:
+            T = static_cast<uint64_t>(X) < static_cast<uint64_t>(Y);
+            break;
+          default:
+            Known = false;
+            T = false;
+          }
+          if (Known)
+            Live = T ? E->C1 : E->C2;
+        }
+        if (Live) {
+          ++Stats.BranchesFolded;
+          ++Contractions;
+          Cexp *Dead = Live == E->C1 ? E->C2 : E->C1;
+          censusRemove(Dead);
+          replaceWith(E, Live);
+          continue;
+        }
+        visit(E->C1);
+        E = E->C2;
+        continue;
+      }
+
+      case Cexp::Kind::Arith: {
+        resolveArgs(E);
+        bool CanTrap = E->Op == CpsOp::IDiv || E->Op == CpsOp::IMod;
+        if (!liveOrFresh(E->W) && !CanTrap) {
+          removeValueNode(E);
+          continue;
+        }
+        if (E->Args.size() == 2 && E->Args[0].K == CValue::Kind::Int &&
+            E->Args[1].K == CValue::Kind::Int) {
+          int64_t X = E->Args[0].I, Y = E->Args[1].I;
+          int64_t R;
+          bool Known = true;
+          switch (E->Op) {
+          case CpsOp::IAdd: R = X + Y; break;
+          case CpsOp::ISub: R = X - Y; break;
+          case CpsOp::IMul: R = X * Y; break;
+          case CpsOp::IDiv:
+          case CpsOp::IMod: {
+            // SML div/mod round toward negative infinity (match the VM).
+            Known = Y != 0;
+            if (!Known) {
+              R = 0;
+              break;
+            }
+            int64_t Q = X / Y;
+            int64_t Rm = X % Y;
+            if (Rm != 0 && ((Rm < 0) != (Y < 0))) {
+              Q -= 1;
+              Rm += Y;
+            }
+            R = E->Op == CpsOp::IDiv ? Q : Rm;
+            break;
+          }
+          default: Known = false; R = 0;
+          }
+          if (Known) {
+            ++Stats.ConstantsFolded;
+            ++Contractions;
+            DefNodeV[E->W] = nullptr;
+            bindSubst(E->W, CValue::intC(R));
+            spliceOut(E);
+            continue;
+          }
+        }
+        if (E->Args.size() == 1 && E->Args[0].K == CValue::Kind::Int &&
+            (E->Op == CpsOp::INeg || E->Op == CpsOp::IAbs)) {
+          int64_t X = E->Args[0].I;
+          ++Stats.ConstantsFolded;
+          ++Contractions;
+          DefNodeV[E->W] = nullptr;
+          bindSubst(E->W, CValue::intC(E->Op == CpsOp::INeg
+                                           ? -X
+                                           : (X < 0 ? -X : X)));
+          spliceOut(E);
+          continue;
+        }
+        E = E->C1;
+        continue;
+      }
+
+      case Cexp::Kind::Pure: {
+        resolveArgs(E);
+        if (E->Op == CpsOp::Copy) {
+          ++Contractions;
+          CValue Repl = E->Args[0];
+          DefNodeV[E->W] = nullptr;
+          bindSubst(E->W, Repl);
+          dropUse(Repl);
+          spliceOut(E);
+          continue;
+        }
+        if (!liveOrFresh(E->W)) {
+          removeValueNode(E);
+          continue;
+        }
+        E = E->C1;
+        continue;
+      }
+
+      case Cexp::Kind::Looker: {
+        resolveArgs(E);
+        bool CanTrap =
+            E->Op == CpsOp::LoadCell || E->Op == CpsOp::LoadByte;
+        if (!liveOrFresh(E->W) && !CanTrap) {
+          removeValueNode(E);
+          continue;
+        }
+        E = E->C1;
+        continue;
+      }
+
+      case Cexp::Kind::Setter:
+      case Cexp::Kind::CCall:
+        resolveArgs(E);
+        E = E->C1;
+        continue;
+
+      case Cexp::Kind::Halt:
+        E->F = rv(E->F);
+        return;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Beta / inline / flatten
+  //===--------------------------------------------------------------------===//
+
+  CValue cloneVal(const CValue &V,
+                  const std::unordered_map<CVar, CValue> &Rn) const {
+    if (!V.isVar())
+      return V;
+    auto It = Rn.find(V.V);
+    return It == Rn.end() ? rv(V) : It->second;
+  }
+
+  CVar freshBinder(CVar Old, std::unordered_map<CVar, CValue> &Rn) {
+    CVar N = B.fresh();
+    ensure(N);
+    Rn[Old] = CValue::var(N);
+    return N;
+  }
+
+  /// Alpha-renaming deep copy that also registers every cloned occurrence
+  /// and binder in the census.
+  Cexp *cloneCounted(const Cexp *E, std::unordered_map<CVar, CValue> &Rn) {
+    switch (E->K) {
+    case Cexp::Kind::Record: {
+      std::vector<CField> Fields;
+      for (const CField &F : E->Fields) {
+        CValue V = cloneVal(F.V, Rn);
+        addUse(V);
+        Fields.push_back(CField{V, F.IsFloat});
+      }
+      CVar W = freshBinder(E->W, Rn);
+      Cexp *N = B.record(E->RK, Fields, W, nullptr);
+      N->WTy = E->WTy;
+      defineVar(W, E->WTy, N);
+      N->C1 = cloneCounted(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::Select: {
+      CValue Base = cloneVal(E->F, Rn);
+      addUse(Base);
+      CVar W = freshBinder(E->W, Rn);
+      Cexp *N = B.select(E->Idx, E->IsFloat, Base, W, E->WTy, nullptr);
+      defineVar(W, E->WTy, N);
+      N->C1 = cloneCounted(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::App: {
+      CValue F = cloneVal(E->F, Rn);
+      addUse(F, /*Call=*/true);
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args) {
+        CValue A2 = cloneVal(V, Rn);
+        addUse(A2);
+        Args.push_back(A2);
+      }
+      return B.app(F, Args);
+    }
+    case Cexp::Kind::Fix: {
+      std::vector<CFun *> Funs;
+      for (const CFun *F : E->Funs)
+        freshBinder(F->Name, Rn);
+      for (const CFun *F : E->Funs) {
+        std::vector<CVar> Params;
+        std::vector<Cty> Tys(F->ParamTys.begin(), F->ParamTys.end());
+        for (CVar P : F->Params)
+          Params.push_back(freshBinder(P, Rn));
+        for (size_t I = 0; I < Params.size(); ++I)
+          VarTyV[Params[I]] = Tys[I];
+        Cexp *Body = cloneCounted(F->Body, Rn);
+        Funs.push_back(B.fun(F->K, Rn.at(F->Name).V, Params, Tys, Body));
+      }
+      Cexp *N = B.fix(Funs, nullptr);
+      for (CFun *F : Funs) {
+        FnDefV[F->Name] = F;
+        FixNodeV[F->Name] = N;
+      }
+      N->C1 = cloneCounted(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::Branch: {
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args) {
+        CValue A2 = cloneVal(V, Rn);
+        addUse(A2);
+        Args.push_back(A2);
+      }
+      Cexp *Then = cloneCounted(E->C1, Rn);
+      Cexp *Else = cloneCounted(E->C2, Rn);
+      return B.branch(E->BOp, Args, Then, Else);
+    }
+    case Cexp::Kind::Arith:
+    case Cexp::Kind::Pure:
+    case Cexp::Kind::Looker:
+    case Cexp::Kind::CCall: {
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args) {
+        CValue A2 = cloneVal(V, Rn);
+        addUse(A2);
+        Args.push_back(A2);
+      }
+      CVar W = freshBinder(E->W, Rn);
+      Cexp *N;
+      if (E->K == Cexp::Kind::Arith)
+        N = B.arith(E->Op, Args, W, E->WTy, nullptr);
+      else if (E->K == Cexp::Kind::Pure)
+        N = B.pure(E->Op, Args, W, E->WTy, nullptr);
+      else if (E->K == Cexp::Kind::Looker)
+        N = B.looker(E->Op, Args, W, E->WTy, nullptr);
+      else
+        N = B.ccall(E->Op, Args, W, E->WTy, nullptr);
+      defineVar(W, E->WTy, N);
+      N->C1 = cloneCounted(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::Setter: {
+      std::vector<CValue> Args;
+      for (const CValue &V : E->Args) {
+        CValue A2 = cloneVal(V, Rn);
+        addUse(A2);
+        Args.push_back(A2);
+      }
+      Cexp *N = B.setter(E->Op, Args, nullptr);
+      N->C1 = cloneCounted(E->C1, Rn);
+      return N;
+    }
+    case Cexp::Kind::Halt: {
+      CValue V = cloneVal(E->F, Rn);
+      addUse(V);
+      Cexp *N = B.halt(V);
+      N->Idx = E->Idx;
+      return N;
+    }
+    }
+    assert(false && "unknown CPS node in cloneCounted");
+    return nullptr;
+  }
+
+  /// In-place variant of cloneCounted for a clone source that will never
+  /// be read again (a once-inline's body snapshot): renames every binder
+  /// to a fresh variable, resolves every occurrence, and registers both
+  /// in the census — without allocating a second copy of the tree.
+  void adoptCounted(Cexp *E, std::unordered_map<CVar, CValue> &Rn) {
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record: {
+        CField *Fs = E->Fields.mutableBegin();
+        for (size_t I = 0; I < E->Fields.size(); ++I) {
+          Fs[I].V = cloneVal(Fs[I].V, Rn);
+          addUse(Fs[I].V);
+        }
+        E->W = freshBinder(E->W, Rn);
+        defineVar(E->W, E->WTy, E);
+        E = E->C1;
+        continue;
+      }
+      case Cexp::Kind::Select: {
+        E->F = cloneVal(E->F, Rn);
+        addUse(E->F);
+        E->W = freshBinder(E->W, Rn);
+        defineVar(E->W, E->WTy, E);
+        E = E->C1;
+        continue;
+      }
+      case Cexp::Kind::App: {
+        E->F = cloneVal(E->F, Rn);
+        addUse(E->F, /*Call=*/true);
+        CValue *Vs = E->Args.mutableBegin();
+        for (size_t I = 0; I < E->Args.size(); ++I) {
+          Vs[I] = cloneVal(Vs[I], Rn);
+          addUse(Vs[I]);
+        }
+        return;
+      }
+      case Cexp::Kind::Fix: {
+        // Sibling member names must all be renamed before any body is
+        // adopted (mutual references resolve through Rn).
+        for (CFun *F : E->Funs)
+          freshBinder(F->Name, Rn);
+        CFun **Fns = E->Funs.mutableBegin();
+        for (size_t I = 0; I < E->Funs.size(); ++I) {
+          CFun *F = Fns[I];
+          CVar *Ps = F->Params.mutableBegin();
+          for (size_t J = 0; J < F->Params.size(); ++J) {
+            Ps[J] = freshBinder(Ps[J], Rn);
+            VarTyV[Ps[J]] = F->ParamTys.begin()[J];
+          }
+          adoptCounted(F->Body, Rn);
+          F->Name = Rn.at(F->Name).V;
+          FnDefV[F->Name] = F;
+          FixNodeV[F->Name] = E;
+        }
+        E = E->C1;
+        continue;
+      }
+      case Cexp::Kind::Branch: {
+        CValue *Vs = E->Args.mutableBegin();
+        for (size_t I = 0; I < E->Args.size(); ++I) {
+          Vs[I] = cloneVal(Vs[I], Rn);
+          addUse(Vs[I]);
+        }
+        adoptCounted(E->C1, Rn);
+        E = E->C2;
+        continue;
+      }
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+      case Cexp::Kind::CCall: {
+        CValue *Vs = E->Args.mutableBegin();
+        for (size_t I = 0; I < E->Args.size(); ++I) {
+          Vs[I] = cloneVal(Vs[I], Rn);
+          addUse(Vs[I]);
+        }
+        E->W = freshBinder(E->W, Rn);
+        defineVar(E->W, E->WTy, E);
+        E = E->C1;
+        continue;
+      }
+      case Cexp::Kind::Setter: {
+        CValue *Vs = E->Args.mutableBegin();
+        for (size_t I = 0; I < E->Args.size(); ++I) {
+          Vs[I] = cloneVal(Vs[I], Rn);
+          addUse(Vs[I]);
+        }
+        E = E->C1;
+        continue;
+      }
+      case Cexp::Kind::Halt: {
+        E->F = cloneVal(E->F, Rn);
+        addUse(E->F);
+        return;
+      }
+      }
+      assert(false && "unknown CPS node in adoptCounted");
+      return;
+    }
+  }
+
+  /// Verbatim deep copy: no renaming, no census registration. Freezes a
+  /// planned function's body exactly as it stands at phase entry; inline
+  /// sites clone from the frozen copy so mid-phase contractions of the
+  /// original body cannot leak into the clones (the rounds engine inlines
+  /// from the immutable pre-rewrite tree).
+  Cexp *snapCopy(const Cexp *E) {
+    switch (E->K) {
+    case Cexp::Kind::Record: {
+      std::vector<CField> Fields(E->Fields.begin(), E->Fields.end());
+      Cexp *N = B.record(E->RK, Fields, E->W, nullptr);
+      N->WTy = E->WTy;
+      N->C1 = snapCopy(E->C1);
+      return N;
+    }
+    case Cexp::Kind::Select: {
+      Cexp *N = B.select(E->Idx, E->IsFloat, E->F, E->W, E->WTy, nullptr);
+      N->C1 = snapCopy(E->C1);
+      return N;
+    }
+    case Cexp::Kind::App:
+      return B.app(E->F,
+                   std::vector<CValue>(E->Args.begin(), E->Args.end()));
+    case Cexp::Kind::Fix: {
+      std::vector<CFun *> Funs;
+      for (const CFun *F : E->Funs)
+        Funs.push_back(
+            B.fun(F->K, F->Name,
+                  std::vector<CVar>(F->Params.begin(), F->Params.end()),
+                  std::vector<Cty>(F->ParamTys.begin(), F->ParamTys.end()),
+                  snapCopy(F->Body)));
+      Cexp *N = B.fix(Funs, nullptr);
+      N->C1 = snapCopy(E->C1);
+      return N;
+    }
+    case Cexp::Kind::Branch:
+      return B.branch(E->BOp,
+                      std::vector<CValue>(E->Args.begin(), E->Args.end()),
+                      snapCopy(E->C1), snapCopy(E->C2));
+    case Cexp::Kind::Arith:
+    case Cexp::Kind::Pure:
+    case Cexp::Kind::Looker:
+    case Cexp::Kind::CCall: {
+      std::vector<CValue> Args(E->Args.begin(), E->Args.end());
+      Cexp *N;
+      if (E->K == Cexp::Kind::Arith)
+        N = B.arith(E->Op, Args, E->W, E->WTy, nullptr);
+      else if (E->K == Cexp::Kind::Pure)
+        N = B.pure(E->Op, Args, E->W, E->WTy, nullptr);
+      else if (E->K == Cexp::Kind::Looker)
+        N = B.looker(E->Op, Args, E->W, E->WTy, nullptr);
+      else
+        N = B.ccall(E->Op, Args, E->W, E->WTy, nullptr);
+      N->C1 = snapCopy(E->C1);
+      return N;
+    }
+    case Cexp::Kind::Setter: {
+      std::vector<CValue> Args(E->Args.begin(), E->Args.end());
+      Cexp *N = B.setter(E->Op, Args, nullptr);
+      N->C1 = snapCopy(E->C1);
+      return N;
+    }
+    case Cexp::Kind::Halt: {
+      Cexp *N = B.halt(E->F);
+      N->Idx = E->Idx;
+      return N;
+    }
+    }
+    assert(false && "unknown CPS node in snapCopy");
+    return nullptr;
+  }
+
+  /// Inline-expands a planned function at one call site (clone + splice;
+  /// the original binding dies through the count cascade once its last
+  /// call site is consumed). Clones from the phase-entry snapshot.
+  void inlineCallAt(Cexp *E, const CFun *Fn, CVar Fv, bool Once) {
+    assert(Fn->Params.size() == E->Args.size() && "inline arity mismatch");
+    assert(SnapBodyV[Fv] && "planned function has no body snapshot");
+    ++(Once ? Stats.InlinedOnce : Stats.InlinedSmall);
+    ++Contractions;
+    std::unordered_map<CVar, CValue> Rn;
+    for (size_t I = 0; I < E->Args.size(); ++I)
+      Rn[Fn->Params[I]] = E->Args[I];
+    Cexp *Cl;
+    if (Once && AdoptableV[Fv]) {
+      // Provably the last materialization of this body: rename/register
+      // the snapshot in place instead of copying it a second time.
+      Cl = SnapBodyV[Fv];
+      adoptCounted(Cl, Rn);
+      SnapBodyV[Fv] = nullptr;
+    } else {
+      Cl = cloneCounted(SnapBodyV[Fv], Rn);
+    }
+    dropUse(E->F, /*Call=*/true);
+    for (const CValue &V : E->Args)
+      dropUse(V);
+    replaceWith(E, Cl);
+  }
+
+  /// Rewrites one flattened call site: N fresh selects feed a spread call.
+  void flattenCallAt(Cexp *E, CVar Fv) {
+    int N = PlanFlattenV[Fv];
+    ++Contractions;
+    CValue RecV = E->Args[0];
+    CValue K = E->Args[1];
+    std::vector<CValue> NewArgs;
+    std::vector<CVar> Sels;
+    for (int I = 0; I < N; ++I) {
+      CVar S = B.fresh();
+      ensure(S);
+      Sels.push_back(S);
+      NewArgs.push_back(CValue::var(S));
+    }
+    NewArgs.push_back(K);
+    Cexp *Call = B.app(E->F, NewArgs);
+    for (int I = N; I-- > 0;) {
+      Call = B.select(I, false, RecV, Sels[I], Cty::ptrUnknown(), Call);
+      defineVar(Sels[I], Cty::ptrUnknown(), Call);
+      UseV[Sels[I]] = 1; // one occurrence, in the new arg list
+      addUse(RecV);
+    }
+    dropUse(RecV); // the old direct record argument occurrence
+    replaceWith(E, Call);
+  }
+
+  /// Rewrites a flattened function's entry: fresh component params and a
+  /// record rebuild the original parameter (folded away by the next
+  /// shrink phase once only selects remain).
+  void flattenEntry(CFun *F, int N) {
+    ++Stats.KnownFnsFlattened;
+    ++Contractions;
+    CVar OldRec = F->Params[0];
+    CVar OldK = F->Params[1];
+    Cty OldKTy = F->ParamTys[1];
+    std::vector<CVar> Params;
+    std::vector<Cty> Tys;
+    std::vector<CField> Fields;
+    for (int I = 0; I < N; ++I) {
+      CVar P = B.fresh();
+      ensure(P);
+      Params.push_back(P);
+      Tys.push_back(Cty::ptrUnknown());
+      VarTyV[P] = Cty::ptrUnknown();
+      UseV[P] = 1; // one occurrence, in the rebuild record
+      Fields.push_back(CField{CValue::var(P), false});
+    }
+    Params.push_back(OldK);
+    Tys.push_back(OldKTy);
+    Cexp *Rec = B.record(RecordKind::Std, Fields, OldRec, F->Body);
+    defineVar(OldRec, Rec->WTy, Rec);
+    F->K = CFun::Kind::Known;
+    F->Params = Span<CVar>::copy(A, Params);
+    F->ParamTys = Span<Cty>::copy(A, Tys);
+    F->Body = Rec;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expand planning
+  //===--------------------------------------------------------------------===//
+
+  /// Recomputes the expand-phase facts the incremental census does not
+  /// track (only-word-selected params, self-recursion) and plans the
+  /// bounded non-shrinking passes. Returns true if any plan was made.
+  bool planExpand(const Cexp *Root) {
+    std::fill(PlanOnceV.begin(), PlanOnceV.end(), 0);
+    std::fill(PlanSmallV.begin(), PlanSmallV.end(), 0);
+    std::fill(PlanFlattenV.begin(), PlanFlattenV.end(), 0);
+    std::fill(OwsV.begin(), OwsV.end(), 0);
+    std::fill(SelfRecPV.begin(), SelfRecPV.end(), 0);
+    AliveFns.clear();
+    CallEdges.clear();
+    PlanParentOf.clear();
+    {
+      SMLTC_SPAN("cps_plan_walk", "compile");
+      planWalk(Root, nullptr);
+    }
+    bool Any = false;
+    for (CVar Name : AliveFns) {
+      const CFun *F = FnDefV[Name];
+      if (!F)
+        continue;
+      int U = UseV[Name], C = CallsV[Name];
+      if (U == 0 || U != C)
+        continue; // dead, or escapes (some use is not a call)
+      bool SelfRec = SelfRecPV[Name] != 0;
+      if (C == 1 && !SelfRec) {
+        PlanOnceV[Name] = 1;
+        Any = true;
+        continue;
+      }
+      if (Opts.InlineSmallFns && !SelfRec && bodyAtMost(F->Body, 10) &&
+          C <= 6) {
+        PlanSmallV[Name] = 1;
+        Any = true;
+        continue;
+      }
+      if (Opts.KnownFnFlattening && F->K != CFun::Kind::Cont &&
+          F->Params.size() == 2) {
+        Cty PT = F->ParamTys[0];
+        if (PT.K == CtyKind::PtrKnown && PT.Len >= 2 &&
+            PT.Len <= Opts.MaxSpreadArgs && OwsV[F->Params[0]] == 1) {
+          PlanFlattenV[Name] = PT.Len;
+          Any = true;
+        }
+      }
+    }
+    if (Any) {
+      SMLTC_SPAN("cps_plan_prune", "compile");
+      Any = prunePlanCycles() || anyFlatten();
+    }
+    SMLTC_SPAN("cps_plan_snap", "compile");
+    // Freeze phase-entry state: escape bits for every live function (kind
+    // recompute in pass 2 must not see mid-phase count transfers), and body
+    // snapshots for the planned inline survivors (clone sources must not see
+    // mid-phase contractions of the original body).
+    for (CVar Name : AliveFns) {
+      EscPV[Name] = UseV[Name] != CallsV[Name] ? 1 : 0;
+      AdoptableV[Name] = PlanOnceV[Name];
+      SnapBodyV[Name] =
+          (Any && (PlanOnceV[Name] || PlanSmallV[Name]) && FnDefV[Name])
+              ? snapCopy(FnDefV[Name]->Body)
+              : nullptr;
+    }
+    // A once-planned function's snapshot can be adopted (renamed in place,
+    // no second copy) only if its single call cannot be duplicated this
+    // phase — i.e. no OTHER surviving planned function holds a call to it
+    // inside its own snapshot. Such a call lives in the body of some
+    // candidate on the edge owner's nesting-ancestor chain.
+    for (const auto &[O, T] : CallEdges) {
+      if (!PlanOnceV[T])
+        continue;
+      for (CVar A = O;;) {
+        if (A != T && (PlanOnceV[A] || PlanSmallV[A])) {
+          AdoptableV[T] = 0;
+          break;
+        }
+        const CVar *P = PlanParentOf.get(A);
+        if (!P)
+          break;
+        A = *P;
+      }
+    }
+    return Any;
+  }
+
+  bool anyFlatten() const {
+    for (CVar Name : AliveFns)
+      if (PlanFlattenV[Name] > 0)
+        return true;
+    return false;
+  }
+
+  void planWalk(const Cexp *E, const CFun *Owner) {
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record:
+        for (const CField &F : E->Fields)
+          notOws(F.V);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Select: {
+        if (E->IsFloat)
+          notOws(E->F);
+        E = E->C1;
+        continue;
+      }
+      case Cexp::Kind::App: {
+        CValue F = rv(E->F);
+        if (F.isVar()) {
+          OwsV[F.V] = 2;
+          if (Owner && F.V == Owner->Name)
+            SelfRecPV[Owner->Name] = 1;
+          // Call edge for cycle pruning. Only App heads can reference an
+          // inline candidate (candidates have Uses == Calls, so a value
+          // occurrence would have disqualified them), which lets the
+          // pruner reuse this walk instead of re-walking candidate bodies.
+          if (Owner && FnDefV[F.V])
+            CallEdges.emplace_back(Owner->Name, F.V);
+        }
+        for (const CValue &V : E->Args)
+          notOws(V);
+        return;
+      }
+      case Cexp::Kind::Fix:
+        for (const CFun *F : E->Funs) {
+          AliveFns.push_back(F->Name);
+          if (Owner)
+            PlanParentOf.set(F->Name, Owner->Name);
+          for (CVar P : F->Params)
+            if (OwsV[P] == 0)
+              OwsV[P] = 1; // optimistic until a disqualifying use
+        }
+        for (const CFun *F : E->Funs)
+          planWalk(F->Body, F);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Branch:
+        for (const CValue &V : E->Args)
+          notOws(V);
+        planWalk(E->C1, Owner);
+        E = E->C2;
+        continue;
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+      case Cexp::Kind::CCall:
+      case Cexp::Kind::Setter:
+        for (const CValue &V : E->Args)
+          notOws(V);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Halt:
+        notOws(E->F);
+        return;
+      }
+    }
+  }
+
+  void notOws(const CValue &V) {
+    CValue R = rv(V);
+    if (R.isVar())
+      OwsV[R.V] = 2;
+  }
+
+  /// Mirrors the rounds engine's Kahn-style cycle pruning for the
+  /// inline-small plan (mutually recursive candidates must keep their
+  /// calls, identically in both engines). Returns true if any small
+  /// candidate survives.
+  ///
+  /// A candidate's references to other candidates are reconstructed from
+  /// the call edges planWalk collected, not by re-walking its body: a
+  /// candidate has Uses == Calls, so every occurrence is an App head and
+  /// planWalk has already resolved it. A candidate's body spans its own
+  /// call edges plus those of every transitively nested function, so the
+  /// per-candidate ref set is the edge union over its nesting subtree.
+  bool prunePlanCycles() {
+    std::vector<CVar> Candidates;
+    for (CVar Name : AliveFns)
+      if (PlanOnceV[Name] || PlanSmallV[Name])
+        Candidates.push_back(Name);
+    if (Candidates.empty())
+      return false;
+    std::unordered_map<CVar, std::unordered_set<CVar>> Refs;
+    for (CVar V : Candidates)
+      Refs[V];
+    // An edge in function O's body belongs to every candidate whose body
+    // encloses O — i.e. every candidate on O's nesting-ancestor chain
+    // (including O itself).
+    for (const auto &[O, T] : CallEdges) {
+      if (!(PlanOnceV[T] || PlanSmallV[T]))
+        continue;
+      for (CVar A = O;;) {
+        if (PlanOnceV[A] || PlanSmallV[A])
+          Refs[A].insert(T);
+        const CVar *P = PlanParentOf.get(A);
+        if (!P)
+          break;
+        A = *P;
+      }
+    }
+    bool Progress = true;
+    std::unordered_set<CVar> Alive(Refs.size());
+    for (auto &[V, _] : Refs)
+      Alive.insert(V);
+    while (Progress) {
+      Progress = false;
+      for (auto It = Alive.begin(); It != Alive.end();) {
+        bool HasLiveRef = false;
+        for (CVar R : Refs[*It])
+          if (R != *It && Alive.count(R)) {
+            HasLiveRef = true;
+            break;
+          }
+        if (!HasLiveRef) {
+          It = Alive.erase(It);
+          Progress = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    for (CVar V : Alive) {
+      PlanOnceV[V] = 0;
+      PlanSmallV[V] = 0;
+    }
+    return Candidates.size() > Alive.size();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Census audit (test hook)
+  //===--------------------------------------------------------------------===//
+
+  void auditCount(const Cexp *E, std::vector<int32_t> &U,
+                  std::vector<int32_t> &C) const {
+    auto Val = [&](const CValue &V, bool Call) {
+      CValue R = rv(V);
+      if (!R.isVar())
+        return;
+      if (static_cast<size_t>(R.V) < U.size()) {
+        ++U[R.V];
+        if (Call)
+          ++C[R.V];
+      }
+    };
+    for (;;) {
+      switch (E->K) {
+      case Cexp::Kind::Record:
+        for (const CField &F : E->Fields)
+          Val(F.V, false);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Select:
+        Val(E->F, false);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::App:
+        Val(E->F, true);
+        for (const CValue &V : E->Args)
+          Val(V, false);
+        return;
+      case Cexp::Kind::Fix:
+        for (const CFun *F : E->Funs)
+          auditCount(F->Body, U, C);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Branch:
+        for (const CValue &V : E->Args)
+          Val(V, false);
+        auditCount(E->C1, U, C);
+        E = E->C2;
+        continue;
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+      case Cexp::Kind::CCall:
+      case Cexp::Kind::Setter:
+        for (const CValue &V : E->Args)
+          Val(V, false);
+        E = E->C1;
+        continue;
+      case Cexp::Kind::Halt:
+        Val(E->F, false);
+        return;
+      }
+    }
+  }
+
+  void auditCensus(const Cexp *Root) {
+    std::vector<int32_t> U(UseV.size(), 0), C(UseV.size(), 0);
+    auditCount(Root, U, C);
+    for (size_t I = 0; I < U.size(); ++I)
+      if (U[I] != UseV[I] || C[I] != CallsV[I])
+        ++Stats.CensusAuditFailures;
+  }
+
+  Arena &A;
+  const CompilerOptions &Opts;
+  CpsBuilder B;
+  CVar &MaxVar;
+  CpsOptStats &Stats;
+
+  // Dense var-indexed census tables, grown together by ensure().
+  std::vector<int32_t> UseV;
+  std::vector<int32_t> CallsV;
+  std::vector<Cexp *> DefNodeV;  ///< binder -> defining node
+  std::vector<CFun *> FnDefV;    ///< fn name -> definition
+  std::vector<Cexp *> FixNodeV;  ///< fn name -> its Fix node
+  std::vector<Cty> VarTyV;
+  std::vector<CValue> SubstV;
+  std::vector<uint8_t> HasSubstV;
+  std::vector<uint8_t> InlineOnV; ///< fns being clone-inlined right now
+  std::vector<uint8_t> PlanOnceV;
+  std::vector<uint8_t> PlanSmallV;
+  std::vector<int32_t> PlanFlattenV;
+  std::vector<uint8_t> OwsV; ///< 0 unseen, 1 only-word-selected, 2 not
+  std::vector<uint8_t> SelfRecPV;
+  std::vector<uint8_t> EscPV; ///< phase-entry escape status per function
+  /// Once-planned functions whose snapshot may be adopted in place (no
+  /// other surviving candidate's snapshot can re-materialize their call).
+  std::vector<uint8_t> AdoptableV;
+  /// Phase-entry body snapshots for planned once/small functions: inline
+  /// sites clone from these, never from the live (possibly already
+  /// contracted this phase) body — the rounds engine inlines from the
+  /// pre-rewrite tree, and plan parity requires the same clone contents.
+  std::vector<Cexp *> SnapBodyV;
+
+  std::vector<CVar> AliveFns;
+  /// Call-graph facts planWalk collects for prunePlanCycles: resolved App
+  /// heads that target a live function, and the function nesting tree.
+  std::vector<std::pair<CVar, CVar>> CallEdges; ///< (owner fn, callee fn)
+  DenseVarMap<CVar> PlanParentOf;               ///< nested fn -> enclosing fn
+  uint64_t Contractions = 0;
+  bool PlanActive = false;
+  CVar PhaseFloor = 0; ///< Vars at/above this were created this phase.
 };
 
 } // namespace
 
 Cexp *smltc::optimizeCps(Arena &A, const CompilerOptions &Opts,
                          Cexp *Program, CVar &MaxVar, CpsOptStats &Stats) {
-  Optimizer O(A, Opts, MaxVar, Stats);
-  return O.run(Program);
+  Stats.ArenaBytesBefore = A.bytesAllocated();
+  if (Opts.CpsOpt == CpsOptEngine::Rounds) {
+    Optimizer O(A, Opts, MaxVar, Stats);
+    Program = O.run(Program);
+  } else {
+    ShrinkOptimizer O(A, Opts, MaxVar, Stats);
+    Program = O.run(Program);
+  }
+  Stats.ArenaBytesAfter = A.bytesAllocated();
+
+  CpsOptTotals &T = cpsOptTotals();
+  T.Runs.fetch_add(1, std::memory_order_relaxed);
+  T.DeadRemoved.fetch_add(Stats.DeadRemoved, std::memory_order_relaxed);
+  T.SelectsFolded.fetch_add(Stats.SelectsFolded, std::memory_order_relaxed);
+  T.RecordsCopyEliminated.fetch_add(Stats.RecordsCopyEliminated,
+                                    std::memory_order_relaxed);
+  T.FloatBoxesReused.fetch_add(Stats.FloatBoxesReused,
+                               std::memory_order_relaxed);
+  T.BranchesFolded.fetch_add(Stats.BranchesFolded, std::memory_order_relaxed);
+  T.ConstantsFolded.fetch_add(Stats.ConstantsFolded,
+                              std::memory_order_relaxed);
+  T.InlinedOnce.fetch_add(Stats.InlinedOnce, std::memory_order_relaxed);
+  T.InlinedSmall.fetch_add(Stats.InlinedSmall, std::memory_order_relaxed);
+  T.EtaConts.fetch_add(Stats.EtaConts, std::memory_order_relaxed);
+  T.KnownFnsFlattened.fetch_add(Stats.KnownFnsFlattened,
+                                std::memory_order_relaxed);
+  T.Rounds.fetch_add(Stats.Rounds, std::memory_order_relaxed);
+  T.WorklistPasses.fetch_add(Stats.WorklistPasses, std::memory_order_relaxed);
+  T.ExpandPasses.fetch_add(Stats.ExpandPasses, std::memory_order_relaxed);
+  T.ArenaBytes.fetch_add(Stats.ArenaBytesAfter - Stats.ArenaBytesBefore,
+                         std::memory_order_relaxed);
+  if (Stats.HitRoundCap)
+    T.RoundCapHits.fetch_add(1, std::memory_order_relaxed);
+  return Program;
+}
+
+CpsOptTotals &smltc::cpsOptTotals() {
+  static CpsOptTotals T;
+  return T;
+}
+
+void smltc::setCpsOptAudit(bool Enabled) {
+  AuditEnabled.store(Enabled, std::memory_order_relaxed);
+}
+
+void smltc::registerCpsOptMetrics(obs::Registry &R) {
+  CpsOptTotals &T = cpsOptTotals();
+  auto C = [&R](const char *Name, const std::atomic<uint64_t> &A,
+                const char *Help) {
+    R.counterFn(Name, [&A] { return A.load(std::memory_order_relaxed); },
+                Help);
+  };
+  C("smltcc_cps_opt_runs_total", T.Runs, "optimizeCps invocations");
+  C("smltcc_cps_opt_dead_removed_total", T.DeadRemoved,
+    "dead bindings and functions removed");
+  C("smltcc_cps_opt_selects_folded_total", T.SelectsFolded,
+    "selects folded from known records");
+  C("smltcc_cps_opt_record_copies_elim_total", T.RecordsCopyEliminated,
+    "record copies eliminated (Section 5.2)");
+  C("smltcc_cps_opt_float_boxes_reused_total", T.FloatBoxesReused,
+    "wrap/unwrap pairs cancelled (Section 5.2)");
+  C("smltcc_cps_opt_branches_folded_total", T.BranchesFolded,
+    "branches folded on constants");
+  C("smltcc_cps_opt_constants_folded_total", T.ConstantsFolded,
+    "arith constants folded");
+  C("smltcc_cps_opt_inlined_once_total", T.InlinedOnce,
+    "once-used functions beta-reduced");
+  C("smltcc_cps_opt_inlined_small_total", T.InlinedSmall,
+    "small functions inline-expanded");
+  C("smltcc_cps_opt_eta_conts_total", T.EtaConts,
+    "continuations eta-reduced");
+  C("smltcc_cps_opt_fns_flattened_total", T.KnownFnsFlattened,
+    "known functions argument-flattened");
+  C("smltcc_cps_opt_rounds_total", T.Rounds,
+    "rounds-engine census+rewrite rounds");
+  C("smltcc_cps_opt_worklist_passes_total", T.WorklistPasses,
+    "shrink-engine contraction sweeps");
+  C("smltcc_cps_opt_expand_passes_total", T.ExpandPasses,
+    "shrink-engine inline/flatten phases");
+  C("smltcc_cps_opt_arena_bytes_total", T.ArenaBytes,
+    "arena bytes allocated while optimizing");
+  C("smltcc_cps_opt_round_cap_hits_total", T.RoundCapHits,
+    "optimizations stopped at the round/phase cap");
 }

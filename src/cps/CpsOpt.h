@@ -10,6 +10,20 @@
 /// Also implements Kranz-style argument flattening for known functions
 /// (the sml.fag configuration).
 ///
+/// Two engines implement the same reductions (CompilerOptions::CpsOpt):
+///
+///  - `rounds` (legacy): up to 10 fixpoint rounds, each taking a fresh
+///    census and rebuilding the whole tree in the arena.
+///  - `shrink` (default): one up-front census over dense CVar-indexed
+///    tables, incrementally maintained as each contraction fires, with
+///    the tree mutated in place so unchanged subtrees are never
+///    re-cloned. Each phase plans the non-shrinking passes (inline-small,
+///    argument flattening) from phase-entry counts, then applies all
+///    reductions in one top-down sweep that mirrors the rounds cadence
+///    decision-for-decision — both engines reach the same normal form
+///    through the same intermediate states, so they are differentially
+///    testable down to exact VM instruction counts.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMLTC_CPS_CPSOPT_H
@@ -18,10 +32,17 @@
 #include "cps/Cps.h"
 #include "driver/Options.h"
 
+#include <atomic>
+#include <cstdint>
+
 namespace smltc {
 
+namespace obs {
+class Registry;
+}
+
 struct CpsOptStats {
-  int Rounds = 0;
+  int Rounds = 0; ///< census+rewrite rounds (rounds) / sweep phases (shrink)
   size_t DeadRemoved = 0;
   size_t SelectsFolded = 0;
   size_t RecordsCopyEliminated = 0;
@@ -32,6 +53,18 @@ struct CpsOptStats {
   size_t InlinedSmall = 0;
   size_t EtaConts = 0;
   size_t KnownFnsFlattened = 0;
+  size_t WorklistPasses = 0; ///< shrink engine: contraction sweeps run
+  size_t ExpandPasses = 0;   ///< shrink engine: inline/flatten phases run
+  /// Arena payload bytes before/after the optimizer ran; the difference is
+  /// the allocation churn this compile's optimization cost.
+  size_t ArenaBytesBefore = 0;
+  size_t ArenaBytesAfter = 0;
+  /// Shrink-engine audit mode (setCpsOptAudit): per-variable mismatches
+  /// between the incrementally maintained census and a recount.
+  size_t CensusAuditFailures = 0;
+  /// The engine stopped at its round/phase cap while reductions were still
+  /// firing (previously a silent non-convergence).
+  bool HitRoundCap = false;
 };
 
 /// Optimizes a CPS program in place (functionally: returns the new root).
@@ -39,6 +72,37 @@ struct CpsOptStats {
 /// optimizer introduces fresh variables.
 Cexp *optimizeCps(Arena &A, const CompilerOptions &Opts, Cexp *Program,
                   CVar &MaxVar, CpsOptStats &Stats);
+
+/// Process-wide totals accumulated across every optimizeCps run, for the
+/// observability metrics registry.
+struct CpsOptTotals {
+  std::atomic<uint64_t> Runs{0};
+  std::atomic<uint64_t> DeadRemoved{0};
+  std::atomic<uint64_t> SelectsFolded{0};
+  std::atomic<uint64_t> RecordsCopyEliminated{0};
+  std::atomic<uint64_t> FloatBoxesReused{0};
+  std::atomic<uint64_t> BranchesFolded{0};
+  std::atomic<uint64_t> ConstantsFolded{0};
+  std::atomic<uint64_t> InlinedOnce{0};
+  std::atomic<uint64_t> InlinedSmall{0};
+  std::atomic<uint64_t> EtaConts{0};
+  std::atomic<uint64_t> KnownFnsFlattened{0};
+  std::atomic<uint64_t> Rounds{0};
+  std::atomic<uint64_t> WorklistPasses{0};
+  std::atomic<uint64_t> ExpandPasses{0};
+  std::atomic<uint64_t> ArenaBytes{0};
+  std::atomic<uint64_t> RoundCapHits{0};
+};
+
+CpsOptTotals &cpsOptTotals();
+
+/// Registers smltcc_cps_opt_* counters over cpsOptTotals() in \p R.
+void registerCpsOptMetrics(obs::Registry &R);
+
+/// Test hook: when enabled, the shrink engine recounts the census from
+/// scratch after every sweep phase and records mismatches in
+/// CpsOptStats::CensusAuditFailures. Off by default (it is quadratic).
+void setCpsOptAudit(bool Enabled);
 
 } // namespace smltc
 

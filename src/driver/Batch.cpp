@@ -57,6 +57,30 @@ std::string smltc::compileMetricsJson(const CompileMetrics &M) {
       .field("lty_interned", M.LtyInterned)
       .field("lty_allocated", M.LtyAllocated)
       .field("closures_built", M.ClosuresBuilt)
+      .key("cps_opt")
+      .beginObject()
+      .field("rounds", static_cast<uint64_t>(M.Opt.Rounds))
+      .field("worklist_passes", static_cast<uint64_t>(M.Opt.WorklistPasses))
+      .field("expand_passes", static_cast<uint64_t>(M.Opt.ExpandPasses))
+      .field("dead_removed", static_cast<uint64_t>(M.Opt.DeadRemoved))
+      .field("selects_folded", static_cast<uint64_t>(M.Opt.SelectsFolded))
+      .field("records_copy_eliminated",
+             static_cast<uint64_t>(M.Opt.RecordsCopyEliminated))
+      .field("float_boxes_reused",
+             static_cast<uint64_t>(M.Opt.FloatBoxesReused))
+      .field("branches_folded", static_cast<uint64_t>(M.Opt.BranchesFolded))
+      .field("constants_folded",
+             static_cast<uint64_t>(M.Opt.ConstantsFolded))
+      .field("inlined_once", static_cast<uint64_t>(M.Opt.InlinedOnce))
+      .field("inlined_small", static_cast<uint64_t>(M.Opt.InlinedSmall))
+      .field("eta_conts", static_cast<uint64_t>(M.Opt.EtaConts))
+      .field("known_fns_flattened",
+             static_cast<uint64_t>(M.Opt.KnownFnsFlattened))
+      .field("arena_bytes",
+             static_cast<uint64_t>(M.Opt.ArenaBytesAfter -
+                                   M.Opt.ArenaBytesBefore))
+      .field("hit_round_cap", M.Opt.HitRoundCap)
+      .endObject()
       .endObject();
   return W.take();
 }

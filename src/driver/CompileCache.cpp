@@ -30,11 +30,11 @@ template <typename T> void appendPod(std::string &Key, T V) {
 /// Bump when canonicalJobKey gains, loses, or reorders a field — the
 /// salt is part of every key, so persisted entries written under the old
 /// layout can never alias entries under the new one.
-constexpr int kOptionsSchemaVersion = 2;
+constexpr int kOptionsSchemaVersion = 3;
 /// Bump on releases that change generated code for identical inputs, or
 /// the layout of the persisted CompileOutput blob (CompileMetrics is
 /// stored as a sized memcpy, so growing it invalidates old entries).
-constexpr const char *kCompilerVersion = "smltc-0.4.0";
+constexpr const char *kCompilerVersion = "smltc-0.5.0";
 
 } // namespace
 
@@ -59,6 +59,7 @@ std::string smltc::canonicalJobKey(const std::string &Source,
   // struct is never memcpy'd wholesale, so padding bytes and the
   // VariantName pointer can't leak into the key.
   appendPod(Key, static_cast<uint8_t>(WithPrelude));
+  appendPod(Key, static_cast<uint8_t>(Opts.CpsOpt));
   appendPod(Key, static_cast<uint8_t>(Opts.Repr));
   appendPod(Key, static_cast<uint8_t>(Opts.Mtd));
   appendPod(Key, static_cast<uint8_t>(Opts.KnownFnFlattening));

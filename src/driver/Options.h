@@ -11,10 +11,22 @@
 
 #include "lty/TypeToLty.h"
 
+#include <cstdint>
+
 namespace smltc {
+
+/// Which CPS-optimizer engine drives contraction (Section 5.2).
+enum class CpsOptEngine : uint8_t {
+  Rounds, ///< legacy: up to 10 census + full-rebuild fixpoint rounds
+  Shrink, ///< worklist shrinking reductions with an incremental census
+};
 
 struct CompilerOptions {
   const char *VariantName = "custom";
+
+  /// CPS optimizer engine; `shrink` is the default, `rounds` is kept as a
+  /// differential-testing escape hatch (--cps-opt=rounds).
+  CpsOptEngine CpsOpt = CpsOptEngine::Shrink;
 
   /// Representation mode for the LTY lowering (Figure 6).
   ReprMode Repr = ReprMode::Standard;

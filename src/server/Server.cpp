@@ -2,6 +2,7 @@
 
 #include "server/Server.h"
 
+#include "cps/CpsOpt.h"
 #include "obs/Json.h"
 #include "obs/Trace.h"
 
@@ -153,6 +154,7 @@ bool CompileServer::start(std::string &Err) {
 }
 
 void CompileServer::registerMetrics() {
+  registerCpsOptMetrics(Reg);
   auto C = [this](const char *Name, const uint64_t &Field,
                   const char *Help) {
     Reg.counterFn(Name, [&Field] { return Field; }, Help);

