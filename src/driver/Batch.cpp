@@ -181,8 +181,16 @@ void BatchCompiler::runItem(WorkItem &Item, int WorkerId, bool BigStack) {
     if (std::shared_ptr<const CompileOutput> Hit =
             Cache->lookup(Job.Source, Job.Opts, Job.WithPrelude, Tier)) {
       R.Out = *Hit;
-      R.Out.Metrics.CacheHit = true;
-      R.Out.Metrics.CacheDiskHit = Tier == CacheTier::Disk;
+      // The cached entry carries the phase timings of the compile that
+      // produced it; serving them as this job's timings would corrupt
+      // per-phase aggregates (a cache hit "compiles" in ~0). Zero every
+      // phase field; size/statistic fields still describe the program.
+      CompileMetrics &CM = R.Out.Metrics;
+      CM.TotalSec = CM.FrontSec = CM.TranslateSec = CM.BackSec = 0;
+      CM.ParseSec = CM.ElabSec = CM.MtdSec = 0;
+      CM.CpsConvertSec = CM.CpsOptSec = CM.ClosureSec = CM.CodegenSec = 0;
+      CM.CacheHit = true;
+      CM.CacheDiskHit = Tier == CacheTier::Disk;
     } else {
       R.Out = WorkerId < 0
                   ? Compiler::compile(Job.Source, Job.Opts, Job.WithPrelude)

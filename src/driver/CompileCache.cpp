@@ -30,11 +30,11 @@ template <typename T> void appendPod(std::string &Key, T V) {
 /// Bump when canonicalJobKey gains, loses, or reorders a field — the
 /// salt is part of every key, so persisted entries written under the old
 /// layout can never alias entries under the new one.
-constexpr int kOptionsSchemaVersion = 3;
+constexpr int kOptionsSchemaVersion = 4;
 /// Bump on releases that change generated code for identical inputs, or
 /// the layout of the persisted CompileOutput blob (CompileMetrics is
 /// stored as a sized memcpy, so growing it invalidates old entries).
-constexpr const char *kCompilerVersion = "smltc-0.5.0";
+constexpr const char *kCompilerVersion = "smltc-0.6.0";
 
 } // namespace
 
@@ -60,6 +60,11 @@ std::string smltc::canonicalJobKey(const std::string &Source,
   // VariantName pointer can't leak into the key.
   appendPod(Key, static_cast<uint8_t>(WithPrelude));
   appendPod(Key, static_cast<uint8_t>(Opts.CpsOpt));
+  // The backend does not change the generated TM program, but it is a
+  // declared compile option, and conflating entries across it would let
+  // a cached CompileOutput mask a backend-selection bug; keep the keys
+  // disjoint (schema v4).
+  appendPod(Key, static_cast<uint8_t>(Opts.Backend));
   appendPod(Key, static_cast<uint8_t>(Opts.Repr));
   appendPod(Key, static_cast<uint8_t>(Opts.Mtd));
   appendPod(Key, static_cast<uint8_t>(Opts.KnownFnFlattening));

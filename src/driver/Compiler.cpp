@@ -9,6 +9,7 @@
 #include "elab/Elaborator.h"
 #include "lexp/LexpCheck.h"
 #include "lexp/Translate.h"
+#include "native/NativeBackend.h"
 #include "obs/Trace.h"
 #include "support/Diagnostics.h"
 #include "support/StringInterner.h"
@@ -257,6 +258,18 @@ ExecResult Compiler::compileAndRun(const std::string &Source,
     return R;
   }
   VmOpts.UnalignedFloats = Opts.UnalignedFloats;
+  if (Opts.Backend == ExecBackend::Native) {
+    ExecResult R;
+    std::string Err;
+    if (!native::executeNative(C.Program, VmOpts, R, Err)) {
+      // No silent interpreter fallback: a native-selection caller wants
+      // native numbers or an explicit error.
+      R = ExecResult();
+      R.Trapped = true;
+      R.TrapMessage = Err;
+    }
+    return R;
+  }
   return execute(C.Program, VmOpts);
 }
 

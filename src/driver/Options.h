@@ -21,12 +21,23 @@ enum class CpsOptEngine : uint8_t {
   Shrink, ///< worklist shrinking reductions with an incremental census
 };
 
+/// How compiled TM programs are executed (--backend=).
+enum class ExecBackend : uint8_t {
+  Vm,     ///< one of the three interpreter engines (--vm-dispatch=)
+  Native, ///< AOT TM -> C -> shared object (src/native/)
+};
+
 struct CompilerOptions {
   const char *VariantName = "custom";
 
   /// CPS optimizer engine; `shrink` is the default, `rounds` is kept as a
   /// differential-testing escape hatch (--cps-opt=rounds).
   CpsOptEngine CpsOpt = CpsOptEngine::Shrink;
+
+  /// Execution backend. `vm` interprets; `native` AOT-compiles the TM
+  /// program to C, loads the shared object, and runs it over the same
+  /// heap and runtime services with bit-identical observable results.
+  ExecBackend Backend = ExecBackend::Vm;
 
   /// Representation mode for the LTY lowering (Figure 6).
   ReprMode Repr = ReprMode::Standard;

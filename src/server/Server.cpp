@@ -3,6 +3,7 @@
 #include "server/Server.h"
 
 #include "cps/CpsOpt.h"
+#include "native/NativeBackend.h"
 #include "obs/Json.h"
 #include "obs/Trace.h"
 
@@ -155,6 +156,7 @@ bool CompileServer::start(std::string &Err) {
 
 void CompileServer::registerMetrics() {
   registerCpsOptMetrics(Reg);
+  native::registerNativeMetrics(Reg);
   auto C = [this](const char *Name, const uint64_t &Field,
                   const char *Help) {
     Reg.counterFn(Name, [&Field] { return Field; }, Help);

@@ -174,6 +174,12 @@ void Heap::minorCollect() {
   for (RootRange &R : RootRanges)
     for (size_t I = 0, E = R.count(); I < E; ++I)
       R.Begin[I] = forwardMinor(R.Begin[I]);
+  // Native frames published through the shadow-stack protocol.
+  for (uint64_t FI = 0; FI < ShadowDepth; ++FI) {
+    ShadowFrame &SF = ShadowStack[FI];
+    for (uint64_t I = 0; I < SF.Count; ++I)
+      SF.Base[I] = forwardMinor(SF.Base[I]);
+  }
   // Old-to-young pointers recorded by the write barrier.
   for (size_t Slot : StoreList)
     Mem[Slot] = forwardMinor(Mem[Slot]);
@@ -228,6 +234,12 @@ void Heap::collect() {
   for (RootRange &R : RootRanges)
     for (size_t I = 0, E = R.count(); I < E; ++I)
       R.Begin[I] = forward(R.Begin[I]);
+  // Native frames published through the shadow-stack protocol.
+  for (uint64_t FI = 0; FI < ShadowDepth; ++FI) {
+    ShadowFrame &SF = ShadowStack[FI];
+    for (uint64_t I = 0; I < SF.Count; ++I)
+      SF.Base[I] = forward(SF.Base[I]);
+  }
   // Cheney scan.
   while (Scan < HP) {
     Word Desc = Mem[Scan];

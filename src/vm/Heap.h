@@ -87,6 +87,15 @@ struct HeapStats {
   double GcSec = 0;           ///< wall time inside collections
 };
 
+/// One native-frame root map: a frame's word registers live in memory the
+/// generated code owns (a local array), and the frame publishes their
+/// location here so the collector can scan and update them like any other
+/// root range. See pushFrame/popFrame below.
+struct ShadowFrame {
+  Word *Base;
+  uint64_t Count;
+};
+
 /// A generational heap: bump-allocated nursery in front of a two-space
 /// Cheney-collected major space. Allocation never fails: minor-collects,
 /// major-collects, then grows, as needed. Root ranges must be registered
@@ -149,6 +158,45 @@ public:
   }
   void clearRootRanges() { RootRanges.clear(); }
 
+  //===--------------------------------------------------------------------===//
+  // Shadow-stack root protocol (native frames)
+  //
+  // Compiled code keeps a function's word registers in a frame-local
+  // array and pushes a (base, count) map around every region that can
+  // allocate; both collectors scan the live frames exactly like root
+  // ranges. The interpreters never push frames, so the depth stays 0 and
+  // they pay nothing. The stack is a fixed array so generated code can
+  // push/pop through raw pointers (shadowFrames/shadowDepth) without a
+  // callback per function entry; CPS code runs at depth 1 (every call is
+  // a tail transfer through the trampoline), so the capacity is about
+  // nesting of host-side re-entry, not program recursion.
+  //===--------------------------------------------------------------------===//
+
+  static constexpr size_t MaxShadowFrames = 64;
+
+  void pushFrame(Word *Base, size_t Count) {
+    assert(ShadowDepth < MaxShadowFrames && "shadow stack overflow");
+    ShadowStack[ShadowDepth].Base = Base;
+    ShadowStack[ShadowDepth].Count = Count;
+    ++ShadowDepth;
+  }
+  void popFrame() {
+    assert(ShadowDepth > 0 && "shadow stack underflow");
+    --ShadowDepth;
+  }
+  /// Raw access for the native backend: generated code maintains the
+  /// frame entries and depth directly through these pointers.
+  ShadowFrame *shadowFrames() { return ShadowStack; }
+  uint64_t *shadowDepth() { return &ShadowDepth; }
+  uint64_t shadowDepthNow() const { return ShadowDepth; }
+
+  /// Raw semispace / nursery storage for the native backend's inlined
+  /// heap accesses. Both pointers are invalidated by any allocation
+  /// (GC swap or growth): the native host refreshes its context copies
+  /// after every call that can allocate.
+  Word *majorData() { return Mem.data(); }
+  Word *nurseryData() { return Nursery.data(); }
+
   /// Words copied by all collections so far (GC cost metric): minor
   /// promotions plus major-space copies.
   uint64_t copiedWords() const { return CopiedWords; }
@@ -193,6 +241,8 @@ private:
   size_t SemiWords;
   size_t NurseryWords; ///< 0 disables the nursery
   std::vector<RootRange> RootRanges;
+  ShadowFrame ShadowStack[MaxShadowFrames];
+  uint64_t ShadowDepth = 0;
   std::vector<size_t> StoreList; ///< major slots holding nursery pointers
   uint64_t CopiedWords = 0;
   uint64_t AllocatedObjects = 0;

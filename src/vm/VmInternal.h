@@ -1,11 +1,12 @@
 //===- vm/VmInternal.h - Machine state shared by the dispatch engines --------------===//
 ///
 /// \file
-/// The Machine holds the register files, heap, and runtime services
-/// (allocation, exceptions, the CCallRt services, polymorphic equality)
-/// shared by all three dispatch engines. Vm.cpp implements the services
-/// and the legacy loop; Interp.cpp implements the pre-decoded switch and
-/// computed-goto loops over the bodies in InterpLoop.inc.
+/// The Machine layers the three interpreter engines over the shared
+/// VmRuntime services (vm/Runtime.h): it owns the word/float register
+/// files and the dispatch loops. Vm.cpp implements the legacy loop and
+/// run(); Interp.cpp implements the pre-decoded switch and computed-goto
+/// loops over the bodies in InterpLoop.inc. The native backend
+/// (src/native/) derives its own host from VmRuntime instead.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -13,6 +14,7 @@
 #define SMLTC_VM_VMINTERNAL_H
 
 #include "vm/Decode.h"
+#include "vm/Runtime.h"
 #include "vm/Vm.h"
 
 #include <cstring>
@@ -22,45 +24,16 @@
 namespace smltc {
 namespace vmdetail {
 
-// Virtual register files. The float file matches the word file: the
-// code generator allocates fresh virtual registers per function and
-// float-heavy programs exceed 64 (Nucleic under sml.nrp reaches f79 —
-// with the old 64-entry file those writes silently landed in ArgW and
-// became garbage "pointers" for the GC). The cost model is unaffected:
-// registers past the fast-file sizes below already model spills.
-constexpr int NumWordRegs = 256;
-constexpr int NumFloatRegs = 256;
-constexpr int FastWordRegs = 32;
-constexpr int FastFloatRegs = 16;
-constexpr int MaxArgs = 64;
-
-/// Builtin exception tag indices (must match BuiltinExns::all() order in
-/// the translator prologue: Match, Bind, Div, Subscript, Size, Overflow,
-/// Chr; ids are 1-based).
-enum BuiltinTag {
-  TagMatch = 1,
-  TagBind = 2,
-  TagDiv = 3,
-  TagSubscript = 4,
-  TagSize = 5,
-  TagOverflow = 6,
-  TagChr = 7,
-  NumBuiltinTags = 8,
-};
-
-class Machine {
+class Machine : public VmRuntime {
 public:
   Machine(const TmProgram &P, const VmOptions &Opts);
   ExecResult run();
 
 private:
-  friend struct InterpAccess;
-
   //===--------------------------------------------------------------------===//
   // Cost model (legacy loop; the decoded loops use the fused constants)
   //===--------------------------------------------------------------------===//
 
-  void cost(uint64_t C) { R.Cycles += C; }
   void regCost(Reg Word1, Reg Word2 = 0, Reg Word3 = 0) {
     // Registers beyond the fast file model spilled values.
     if (Word1 >= FastWordRegs)
@@ -80,25 +53,20 @@ private:
   }
 
   //===--------------------------------------------------------------------===//
-  // Heap helpers and runtime services (Vm.cpp)
+  // Engine hooks for the shared runtime services
   //===--------------------------------------------------------------------===//
 
-  size_t allocObject(ObjKind K, uint32_t Len1, uint32_t Len2,
-                     size_t PayloadWords);
-  Word allocBytes(const char *Data, size_t N);
-  const char *bytesData(Word P, size_t &N);
-  void internStrings();
+  Word &regOut(Reg Rd) override { return W[Rd]; }
+  void enterFunction(int Label, int NW, int NF) override {
+    jumpInto(Label, NW, NF);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Control (Vm.cpp)
+  //===--------------------------------------------------------------------===//
 
   void jumpInto(int Label, int NW, int NF);
   void jumpIntoDecoded(const DecodedProgram &DP, int Label, int NW, int NF);
-  void trap(const std::string &Msg);
-  void raiseBuiltin(int TagIdx);
-  void invokeHandler(Word Exn);
-  bool polyEq(Word A, Word B, uint64_t &Nodes);
-  void runtimeCall(CpsOp Rt, Reg Rd);
-
-  bool condHolds(TmCond C, int64_t A, int64_t B);
-  bool condHoldsF(TmCond C, double A, double B);
 
   //===--------------------------------------------------------------------===//
   // Dispatch engines
@@ -113,18 +81,8 @@ private:
   // State
   //===--------------------------------------------------------------------===//
 
-  const TmProgram &P;
-  VmOptions Opts;
-  Heap Hp;
-  ExecResult R;
-
   Word W[NumWordRegs];
   double F[NumFloatRegs];
-  Word ArgW[MaxArgs];
-  double ArgF[MaxArgs];
-  Word Handler;
-  Word Tags[NumBuiltinTags];
-  std::vector<Word> StrPtrs;
 
   int Fn = 0;
   size_t Pc = 0;
@@ -132,7 +90,6 @@ private:
   /// legacy interpreter keeps them as tagged zeros; the decoded engines
   /// skip both the clear and the scan).
   size_t WLive = NumWordRegs;
-  bool Done = false;
   int MaxWSeen = -1;
   int MaxFSeen = -1;
 
@@ -140,8 +97,6 @@ private:
   size_t PendingCursor = 0;
   uint32_t PendingWords = 0;
   uint32_t PendingFloats = 0;
-
-  uint64_t AllocWords32 = 0;
 
   bool ProfileOps = false;
   uint64_t OpCounts[NumDOps] = {};

@@ -169,6 +169,57 @@ TEST(CompileCacheTest, RepeatedJobsHitWithIdenticalOutput) {
   EXPECT_EQ(Cache.hitCount(), 0u);
 }
 
+TEST(CompileCacheTest, HitsZeroPhaseTimingsAndSetCacheHit) {
+  // A cache hit does no front/middle/back-end work, so the phase timings
+  // surfaced for that job must be zero rather than stale copies of the
+  // miss that populated the entry; otherwise batch aggregates double-
+  // count compile time on warm runs.
+  CompileJob J;
+  J.Source = "fun f x = x + x val it = f 21";
+  J.Opts = CompilerOptions::ffb();
+  std::vector<CompileJob> Jobs{J};
+
+  CompileCache Cache;
+  BatchOptions BO;
+  BO.NumThreads = 1;
+  BO.Cache = &Cache;
+  BatchCompiler Batch(BO);
+
+  std::vector<CompileOutput> Cold = Batch.compileAll(Jobs);
+  ASSERT_TRUE(Cold[0].Ok) << Cold[0].Errors;
+  EXPECT_FALSE(Cold[0].Metrics.CacheHit);
+  EXPECT_GT(Cold[0].Metrics.TotalSec, 0.0);
+  EXPECT_GT(Cold[0].Metrics.FrontSec, 0.0);
+
+  std::vector<CompileOutput> Warm = Batch.compileAll(Jobs);
+  ASSERT_TRUE(Warm[0].Ok);
+  EXPECT_TRUE(Warm[0].Metrics.CacheHit);
+  EXPECT_EQ(Warm[0].Metrics.TotalSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.FrontSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.TranslateSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.BackSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.ParseSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.ElabSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.CpsConvertSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.CpsOptSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.ClosureSec, 0.0);
+  EXPECT_EQ(Warm[0].Metrics.CodegenSec, 0.0);
+  // The generated program itself is still the cached one, bit for bit.
+  EXPECT_EQ(programBytes(Warm[0].Program), programBytes(Cold[0].Program));
+}
+
+TEST(CompileCacheTest, KeyDistinguishesBackend) {
+  // --backend=native must never satisfy a lookup stored under the VM
+  // backend (and vice versa): their ExecResults differ in Metrics even
+  // when the generated program is identical.
+  const std::string Src = "val it = 1";
+  CompilerOptions Vm = CompilerOptions::ffb();
+  CompilerOptions Native = Vm;
+  Native.Backend = ExecBackend::Native;
+  EXPECT_NE(canonicalJobKey(Src, Vm, true),
+            canonicalJobKey(Src, Native, true));
+}
+
 TEST(CompileCacheTest, KeyDistinguishesOptionsSourceAndPrelude) {
   const std::string Src = "val it = 1";
   CompilerOptions Ffb = CompilerOptions::ffb();

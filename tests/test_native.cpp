@@ -1,0 +1,335 @@
+//===- tests/test_native.cpp - Native backend differential oracle -----------------===//
+//
+// The native backend is held to the same bar as the interpreter engines:
+// bit-identical observable state — result, output, exception flag,
+// retired instructions, cycles, allocation statistics, GC copy counts —
+// across the whole 12x6 corpus, with all three interpreter engines as
+// the oracle. Programs containing decoder trap paths (fall-off-the-end
+// pads, statically invalid instructions) are refused at native build
+// time and must keep trapping identically through every interpreter.
+//
+// Every native test skips when no C compiler is reachable (the backend
+// is an optional capability, probed once per process).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "native/NativeBackend.h"
+#include "native/NativeEmit.h"
+#include "vm/Decode.h"
+#include "vm/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace smltc;
+
+namespace {
+
+ExecResult runWith(const TmProgram &P, VmDispatch D, size_t NurseryKb,
+                   bool UnalignedFloats) {
+  VmOptions V;
+  V.Dispatch = D;
+  V.NurseryKb = NurseryKb;
+  V.UnalignedFloats = UnalignedFloats;
+  return execute(P, V);
+}
+
+bool runNative(const TmProgram &P, size_t NurseryKb, bool UnalignedFloats,
+               ExecResult &Out, std::string &Err) {
+  VmOptions V;
+  V.NurseryKb = NurseryKb;
+  V.UnalignedFloats = UnalignedFloats;
+  return native::executeNative(P, V, Out, Err);
+}
+
+/// Full observable-state comparison; Tag names the failing case.
+void expectIdentical(const ExecResult &Want, const ExecResult &Got,
+                     const std::string &Tag) {
+  EXPECT_EQ(Want.Ok, Got.Ok) << Tag;
+  EXPECT_EQ(Want.Trapped, Got.Trapped) << Tag;
+  EXPECT_EQ(Want.TrapMessage, Got.TrapMessage) << Tag;
+  EXPECT_EQ(Want.UncaughtException, Got.UncaughtException) << Tag;
+  EXPECT_EQ(Want.Result, Got.Result) << Tag;
+  EXPECT_EQ(Want.Output, Got.Output) << Tag;
+  EXPECT_EQ(Want.Instructions, Got.Instructions) << Tag;
+  EXPECT_EQ(Want.Cycles, Got.Cycles) << Tag;
+  EXPECT_EQ(Want.AllocWords32, Got.AllocWords32) << Tag;
+  EXPECT_EQ(Want.AllocObjects, Got.AllocObjects) << Tag;
+  EXPECT_EQ(Want.GcCopiedWords, Got.GcCopiedWords) << Tag;
+  EXPECT_EQ(Want.Collections, Got.Collections) << Tag;
+}
+
+#define SKIP_WITHOUT_CC()                                                    \
+  do {                                                                       \
+    if (!native::nativeAvailable())                                          \
+      GTEST_SKIP() << "no C compiler reachable; native backend untestable";  \
+  } while (0)
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential oracle: the full corpus, all six variants
+//===----------------------------------------------------------------------===//
+
+TEST(NativeBackend, BitIdenticalAcrossCorpusAndVariants) {
+  SKIP_WITHOUT_CC();
+  size_t NumVariants;
+  const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
+  for (const BenchmarkProgram &B : benchmarkCorpus()) {
+    for (size_t V = 0; V < NumVariants; ++V) {
+      CompileOutput C = Compiler::compile(B.Source, Variants[V]);
+      ASSERT_TRUE(C.Ok) << B.Name << " " << Variants[V].VariantName;
+      bool UA = Variants[V].UnalignedFloats;
+      std::string Tag = std::string(B.Name) + " " + Variants[V].VariantName;
+
+      ExecResult N;
+      std::string Err;
+      ASSERT_TRUE(runNative(C.Program, 256, UA, N, Err)) << Tag << ": " << Err;
+      ASSERT_TRUE(N.Ok) << Tag << ": " << N.TrapMessage;
+      EXPECT_EQ(N.Result, B.ExpectedResult) << Tag;
+      EXPECT_EQ(N.Metrics.Dispatch, std::string("native")) << Tag;
+
+      ExecResult T = runWith(C.Program, VmDispatch::Threaded, 256, UA);
+      expectIdentical(T, N, Tag + " vs threaded");
+    }
+  }
+}
+
+TEST(NativeBackend, MatchesAllThreeEnginesOnFfb) {
+  // The threaded/switch/legacy trio is already asserted identical across
+  // the corpus (test_vm_engine); here the native run is compared against
+  // each engine independently so the oracle does not rest on that chain.
+  SKIP_WITHOUT_CC();
+  for (const BenchmarkProgram &B : benchmarkCorpus()) {
+    CompileOutput C = Compiler::compile(B.Source, CompilerOptions::ffb());
+    ASSERT_TRUE(C.Ok) << B.Name;
+    ExecResult N;
+    std::string Err;
+    ASSERT_TRUE(runNative(C.Program, 256, true, N, Err))
+        << B.Name << ": " << Err;
+    for (VmDispatch D :
+         {VmDispatch::Legacy, VmDispatch::Switch, VmDispatch::Threaded}) {
+      ExecResult R = runWith(C.Program, D, 256, true);
+      expectIdentical(R, N, std::string(B.Name) + " engine " +
+                                std::to_string(static_cast<int>(D)));
+    }
+  }
+}
+
+TEST(NativeBackend, TinyNurseryForcesShadowStackScans) {
+  // An 8 KiB nursery forces many minor collections whose only roots for
+  // native word registers are the shadow frames; any scan or forwarding
+  // bug diverges results or GC counters immediately.
+  SKIP_WITHOUT_CC();
+  size_t SawMinors = 0;
+  for (const char *Name : {"Life", "Boyer", "KB-C"}) {
+    const BenchmarkProgram *B = findBenchmark(Name);
+    ASSERT_NE(B, nullptr) << Name;
+    CompileOutput C = Compiler::compile(B->Source, CompilerOptions::ffb());
+    ASSERT_TRUE(C.Ok) << Name;
+    ExecResult N;
+    std::string Err;
+    ASSERT_TRUE(runNative(C.Program, 8, true, N, Err)) << Name << ": " << Err;
+    ExecResult T = runWith(C.Program, VmDispatch::Threaded, 8, true);
+    expectIdentical(T, N, std::string(Name) + " tiny nursery");
+    SawMinors += N.Metrics.MinorCollections;
+  }
+  EXPECT_GT(SawMinors, 0u) << "test exercised no minor collections";
+}
+
+//===----------------------------------------------------------------------===//
+// Decoder trap paths: identical across interpreters, refused natively
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A function that falls off its end (the decoder's TrapEnd pad).
+TmProgram fallOffEndProgram() {
+  TmProgram P;
+  TmFunction F;
+  Insn M{TmOp::MovI};
+  M.Rd = 1;
+  M.IVal = 7;
+  F.Code.push_back(M);
+  P.Funs.push_back(F);
+  return P;
+}
+
+/// BrF with an unsigned condition: statically invalid (TrapInvalid).
+TmProgram floatUnsignedCompareProgram() {
+  TmProgram P;
+  TmFunction F;
+  Insn B{TmOp::BrF};
+  B.Rs1 = 0;
+  B.Rs2 = 1;
+  B.Cond = TmCond::Ult;
+  B.Imm = 1;
+  F.Code.push_back(B);
+  Insn H{TmOp::HaltOp};
+  F.Code.push_back(H);
+  P.Funs.push_back(F);
+  return P;
+}
+
+} // namespace
+
+TEST(NativeBackend, TrapEndIdenticalAcrossInterpretersRefusedNatively) {
+  TmProgram P = fallOffEndProgram();
+  ExecResult First;
+  bool Have = false;
+  for (VmDispatch D :
+       {VmDispatch::Legacy, VmDispatch::Switch, VmDispatch::Threaded}) {
+    ExecResult R = runWith(P, D, 0, true);
+    ASSERT_TRUE(R.Trapped);
+    EXPECT_EQ(R.TrapMessage, "fell off the end of a function");
+    EXPECT_EQ(R.Instructions, 1u); // the MovI retired; the pad did not
+    if (!Have) {
+      First = R;
+      Have = true;
+    } else {
+      expectIdentical(First, R, "trap-end engines");
+    }
+  }
+  SKIP_WITHOUT_CC();
+  ExecResult N;
+  std::string Err;
+  EXPECT_FALSE(runNative(P, 0, true, N, Err));
+  EXPECT_NE(Err.find("fall through"), std::string::npos) << Err;
+}
+
+TEST(NativeBackend, TrapInvalidIdenticalAcrossInterpretersRefusedNatively) {
+  TmProgram P = floatUnsignedCompareProgram();
+  ExecResult First;
+  bool Have = false;
+  for (VmDispatch D :
+       {VmDispatch::Legacy, VmDispatch::Switch, VmDispatch::Threaded}) {
+    ExecResult R = runWith(P, D, 0, true);
+    ASSERT_TRUE(R.Trapped);
+    EXPECT_NE(R.TrapMessage.find("unsigned"), std::string::npos)
+        << R.TrapMessage;
+    if (!Have) {
+      First = R;
+      Have = true;
+    } else {
+      expectIdentical(First, R, "trap-invalid engines");
+    }
+  }
+  SKIP_WITHOUT_CC();
+  ExecResult N;
+  std::string Err;
+  EXPECT_FALSE(runNative(P, 0, true, N, Err));
+  EXPECT_NE(Err.find("invalid"), std::string::npos) << Err;
+}
+
+TEST(NativeBackend, EmitterRefusesBranchToPad) {
+  // A branch past the last instruction decodes to a clamped pad target;
+  // the emitter must refuse rather than emit a reachable pad.
+  TmProgram P;
+  TmFunction F;
+  Insn B{TmOp::Br};
+  B.Rs1 = 0;
+  B.Rs2 = 0;
+  B.Cond = TmCond::Eq;
+  B.Imm = 99; // far out of range: clamps to the pad
+  F.Code.push_back(B);
+  Insn H{TmOp::HaltOp};
+  F.Code.push_back(H);
+  P.Funs.push_back(F);
+
+  std::string Src, Err;
+  EXPECT_FALSE(native::emitNativeC(P, true, Src, Err));
+  EXPECT_NE(Err.find("pad"), std::string::npos) << Err;
+}
+
+TEST(NativeBackend, EmitterAcceptsMinimalHaltProgram) {
+  TmProgram P;
+  TmFunction F;
+  Insn M{TmOp::MovI};
+  M.Rd = 1;
+  M.IVal = 21;
+  F.Code.push_back(M);
+  Insn H{TmOp::HaltOp};
+  H.Rs1 = 1;
+  F.Code.push_back(H);
+  P.Funs.push_back(F);
+
+  std::string Src, Err;
+  ASSERT_TRUE(native::emitNativeC(P, true, Src, Err)) << Err;
+  EXPECT_NE(Src.find("smltc_native_entry_v1"), std::string::npos);
+
+  SKIP_WITHOUT_CC();
+  ExecResult N;
+  ASSERT_TRUE(runNative(P, 0, true, N, Err)) << Err;
+  EXPECT_TRUE(N.Ok) << N.TrapMessage;
+  EXPECT_EQ(N.Result, 21);
+  ExecResult L = runWith(P, VmDispatch::Legacy, 0, true);
+  expectIdentical(L, N, "minimal halt");
+}
+
+TEST(NativeBackend, RegisterValidationTrapsBeforeCompile) {
+  // An out-of-range register must produce the same load-time trap as the
+  // interpreters, before any instruction retires.
+  TmProgram P;
+  TmFunction F;
+  Insn M{TmOp::MovFI};
+  M.Rd = 300;
+  M.FVal = 1.0;
+  F.Code.push_back(M);
+  Insn H{TmOp::HaltOp};
+  F.Code.push_back(H);
+  P.Funs.push_back(F);
+
+  SKIP_WITHOUT_CC();
+  ExecResult N;
+  std::string Err;
+  ASSERT_TRUE(runNative(P, 0, true, N, Err)) << Err;
+  ExecResult L = runWith(P, VmDispatch::Legacy, 0, true);
+  ASSERT_TRUE(N.Trapped);
+  EXPECT_EQ(N.TrapMessage, L.TrapMessage);
+  EXPECT_EQ(N.Instructions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shadow-stack root protocol (unit level, no C compiler needed)
+//===----------------------------------------------------------------------===//
+
+TEST(NativeBackend, ShadowFramesAreScannedAndUpdatedByGc) {
+  Heap H(1 << 12, /*NurseryWords=*/512);
+  // A live object in the nursery, referenced only from a shadow frame.
+  size_t At = H.allocRaw(2);
+  ASSERT_TRUE(H.inNursery(At));
+  H.at(At) = makeDesc(ObjKind::Record, 0, 2);
+  H.at(At + 1) = tagInt(41);
+  H.at(At + 2) = tagInt(42);
+
+  Word Frame[3] = {tagInt(5), makePointer(At), tagInt(6)};
+  H.pushFrame(Frame, 3);
+
+  // Fill the nursery so every allocation forces minor collections; the
+  // frame's pointer must be forwarded each time and the payload survive.
+  for (int I = 0; I < 2000; ++I)
+    H.allocRaw(8);
+  EXPECT_GT(H.stats().MinorCollections, 0u);
+
+  EXPECT_EQ(Frame[0], tagInt(5));
+  EXPECT_EQ(Frame[2], tagInt(6));
+  ASSERT_TRUE(isPointer(Frame[1]));
+  size_t Moved = pointerIndex(Frame[1]);
+  EXPECT_NE(Moved, At) << "object should have been promoted";
+  EXPECT_EQ(H.at(Moved + 1), tagInt(41));
+  EXPECT_EQ(H.at(Moved + 2), tagInt(42));
+
+  H.popFrame();
+  EXPECT_EQ(H.shadowDepthNow(), 0u);
+}
+
+TEST(NativeBackend, InterpretersIgnoreShadowStack) {
+  // The interpreters never push frames: a corpus run leaves depth 0.
+  const BenchmarkProgram *B = findBenchmark("Life");
+  ASSERT_NE(B, nullptr);
+  CompileOutput C = Compiler::compile(B->Source, CompilerOptions::ffb());
+  ASSERT_TRUE(C.Ok);
+  ExecResult R = runWith(C.Program, VmDispatch::Threaded, 8, true);
+  EXPECT_TRUE(R.Ok) << R.TrapMessage;
+}

@@ -591,14 +591,15 @@ TEST(ServerTest, QueueFullReturnsDocumentedStatus) {
   // single worker, the second fills the queue, the third must bounce.
   CompileRequest Blocker;
   Blocker.Opts = CompilerOptions::ffb();
-  Blocker.Source = heavySource(400, 2);
+  Blocker.Source = heavySource(1200, 2);
   ASSERT_TRUE(Cl.sendRaw(
       encodeFrame(MsgType::CompileReq, encodeCompileRequest(Blocker)),
       Err))
       << Err;
   // Give the idle worker a moment to dequeue the blocker so the queue
-  // is empty when the next two arrive.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // is empty when the next two arrive. The wait must stay well under the
+  // blocker's compile time or the worker frees up and nothing bounces.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
 
   CompileRequest Small;
   Small.Opts = CompilerOptions::ffb();

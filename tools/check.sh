@@ -14,14 +14,21 @@
 # 5. Smoke the CPS-optimizer gate (opt_throughput): both optimizer
 #    engines must produce VM-identical programs over the full compile
 #    matrix, with the shrink engine >= 1.5x faster in the cps_opt phase.
-# 6. Rebuild under ThreadSanitizer and run the batch-engine,
+# 6. Smoke the native backend: the AOT gate (native_throughput --smoke,
+#    bit-identical to threaded dispatch and >= 3x geomean ips), a CLI
+#    --backend=native run diffed against the VM run, and strict CLI
+#    option validation (--vm-dispatch / --cps-opt / --backend with
+#    unknown values must exit 64, not silently fall back).
+# 7. Rebuild under ThreadSanitizer and run the batch-engine,
 #    compile-server, and observability tests, so data races in the
 #    worker pool, poll loop, disk cache, and trace/metric registries are
 #    caught mechanically.
-# 7. Rebuild under AddressSanitizer and run the full suite (including
-#    the protocol frame fuzzer and the optimizer differential harness),
-#    so heap/GC bugs and codec over-reads are caught at the first bad
-#    access rather than as downstream corruption.
+# 8. Rebuild under AddressSanitizer and run the full suite (including
+#    the protocol frame fuzzer, the optimizer differential harness, and
+#    the native-backend differential tests, whose dlopen'd artifacts run
+#    inside the instrumented process), so heap/GC bugs and codec
+#    over-reads are caught at the first bad access rather than as
+#    downstream corruption.
 #
 # Usage: tools/check.sh [--no-tsan] [--no-asan]
 #
@@ -92,6 +99,33 @@ rm -f "$CHECK_TRACE"
 echo "== smoke: opt_throughput (engine parity + 1.5x cps_opt gate) =="
 (cd "$ROOT/build" && ./bench/opt_throughput --smoke \
   --out="$ROOT/build/BENCH_opt_smoke.json")
+
+echo "== smoke: native_throughput (bit-identical AOT + 3x exec gate) =="
+(cd "$ROOT/build" && ./bench/native_throughput --smoke \
+  --out="$ROOT/build/BENCH_native_smoke.json")
+
+echo "== smoke: native CLI vs VM CLI =="
+VM_OUT="$("$SMLTCC" --backend=vm --expr 'fun main () = 6 * 7')"
+NATIVE_OUT="$("$SMLTCC" --backend=native --expr 'fun main () = 6 * 7')"
+echo "$NATIVE_OUT" | grep 'result = 42' >/dev/null
+if [[ "$(echo "$VM_OUT" | grep 'result =')" != \
+      "$(echo "$NATIVE_OUT" | grep 'result =')" ]]; then
+  echo "FAIL: native CLI result differs from VM CLI result" >&2
+  exit 1
+fi
+
+echo "== smoke: strict CLI option validation (exit 64 on unknown values) =="
+for Bad in --vm-dispatch=bogus --cps-opt=bogus --backend=bogus; do
+  if "$SMLTCC" "$Bad" --expr 'fun main () = 1' >/dev/null 2>&1; then
+    echo "FAIL: $Bad was accepted; unknown option values must be rejected" >&2
+    exit 1
+  fi
+  Rc=0; "$SMLTCC" "$Bad" --expr 'fun main () = 1' >/dev/null 2>&1 || Rc=$?
+  if [[ "$Rc" != 64 ]]; then
+    echo "FAIL: $Bad exited $Rc, expected usage error 64" >&2
+    exit 1
+  fi
+done
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: batch engine + compile server race check =="

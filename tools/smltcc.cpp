@@ -10,6 +10,10 @@
 //     --no-prelude     do not prepend the standard prelude
 //     --metrics        print compile- and run-time metrics
 //     --metrics-json   print per-compile and batch metrics as JSON
+//     --backend=vm|native  execution backend (default: vm). `native`
+//                      AOT-compiles TM to C, builds a shared object
+//                      (cached content-addressed), and runs it with
+//                      bit-identical results to the interpreters.
 //     --vm-dispatch=threaded|switch|legacy   execution engine (default: threaded)
 //     --vm-nursery-kb=N   nursery size in KiB; 0 = plain two-space GC
 //     --vm-metrics-json   print runtime metrics (incl. per-opcode counts) as JSON
@@ -34,12 +38,14 @@
 //
 // Exit codes: 0 ok, 1 uncaught exception, 2 compile error, 3 VM trap,
 // 64 usage, 66 missing input, 69 cannot reach/protocol error against the
-// daemon, 75 transient server-side rejection (queue full / deadline).
+// daemon, 70 native backend unavailable or refused the program, 75
+// transient server-side rejection (queue full / deadline).
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Batch.h"
 #include "driver/Compiler.h"
+#include "native/NativeBackend.h"
 #include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Server.h"
@@ -79,7 +85,16 @@ int runCompiled(const CompileOutput &C, const CompilerOptions &O,
     std::printf("=== CPS ===\n%s\n", C.CpsDump.c_str());
   VmOptions V = VmBase;
   V.UnalignedFloats = O.UnalignedFloats;
-  ExecResult R = execute(C.Program, V);
+  ExecResult R;
+  if (O.Backend == ExecBackend::Native) {
+    std::string Err;
+    if (!native::executeNative(C.Program, V, R, Err)) {
+      std::fprintf(stderr, "native backend error: %s\n", Err.c_str());
+      return 70;
+    }
+  } else {
+    R = execute(C.Program, V);
+  }
   if (R.Trapped) {
     std::fprintf(stderr, "runtime trap: %s\n", R.TrapMessage.c_str());
     return 3;
@@ -165,6 +180,7 @@ struct TraceExport {
 int main(int Argc, char **Argv) {
   std::string VariantName = "ffb";
   CpsOptEngine OptEngine = CpsOptEngine::Shrink;
+  ExecBackend Backend = ExecBackend::Vm;
   std::string File;
   std::string Expr;
   bool All = false, WithPrelude = true, Metrics = false;
@@ -193,6 +209,16 @@ int main(int Argc, char **Argv) {
       else {
         std::fprintf(stderr, "unknown cps-opt engine '%s' (shrink|rounds)\n",
                      En.c_str());
+        return 64;
+      }
+    } else if (A.rfind("--backend=", 0) == 0) {
+      std::string B = A.substr(10);
+      if (B == "vm")
+        Backend = ExecBackend::Vm;
+      else if (B == "native")
+        Backend = ExecBackend::Native;
+      else {
+        std::fprintf(stderr, "unknown backend '%s' (vm|native)\n", B.c_str());
         return 64;
       }
     } else if (A.rfind("--vm-dispatch=", 0) == 0) {
@@ -271,7 +297,7 @@ int main(int Argc, char **Argv) {
       RemoteShutdown = true;
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
-                  "[--cps-opt=shrink|rounds] "
+                  "[--cps-opt=shrink|rounds] [--backend=vm|native] "
                   "[--all] [--jobs=N] [--metrics] [--metrics-json] "
                   "[--vm-dispatch=threaded|switch|legacy] "
                   "[--vm-nursery-kb=N] [--vm-metrics-json] "
@@ -382,6 +408,7 @@ int main(int Argc, char **Argv) {
     Req.WithPrelude = WithPrelude;
     Req.Opts = *O;
     Req.Opts.CpsOpt = OptEngine;
+    Req.Opts.Backend = Backend;
     Req.Source = Source;
     server::CompileResponse Resp;
     if (!Cl.compile(Req, Resp, Err)) {
@@ -404,8 +431,9 @@ int main(int Argc, char **Argv) {
     C.Metrics.CodeSize = 0;
     for (const TmFunction &F : C.Program.Funs)
       C.Metrics.CodeSize += F.Code.size();
-    return runCompiled(C, *O, VmBase, Metrics, MetricsJson, VmMetricsJson,
-                       false, /*DumpLexp=*/false, /*DumpCps=*/false);
+    return runCompiled(C, Req.Opts, VmBase, Metrics, MetricsJson,
+                       VmMetricsJson, false, /*DumpLexp=*/false,
+                       /*DumpCps=*/false);
   }
 
   if (All) {
@@ -417,6 +445,7 @@ int main(int Argc, char **Argv) {
       BatchJobs[I].Source = Source;
       BatchJobs[I].Opts = Vs[I];
       BatchJobs[I].Opts.CpsOpt = OptEngine;
+      BatchJobs[I].Opts.Backend = Backend;
       BatchJobs[I].Opts.KeepDumps = DumpLexp || DumpCps;
       BatchJobs[I].WithPrelude = WithPrelude;
     }
@@ -428,7 +457,7 @@ int main(int Argc, char **Argv) {
     std::vector<CompileOutput> Outs = Batch.compileAll(BatchJobs);
     int Rc = 0;
     for (size_t I = 0; I < N; ++I)
-      Rc |= runCompiled(Outs[I], Vs[I], VmBase, true, MetricsJson,
+      Rc |= runCompiled(Outs[I], BatchJobs[I].Opts, VmBase, true, MetricsJson,
                         VmMetricsJson, /*Quiet=*/true, DumpLexp, DumpCps);
     if (MetricsJson)
       std::printf("%s\n", Batch.lastBatch().toJson().c_str());
@@ -441,6 +470,7 @@ int main(int Argc, char **Argv) {
   }
   CompilerOptions Opts = *O;
   Opts.CpsOpt = OptEngine;
+  Opts.Backend = Backend;
   Opts.KeepDumps = DumpLexp || DumpCps;
   CompileOutput C = Compiler::compile(Source, Opts, WithPrelude);
   return runCompiled(C, Opts, VmBase, Metrics, MetricsJson, VmMetricsJson,
