@@ -50,6 +50,8 @@ std::string smltc::compileMetricsJson(const CompileMetrics &M) {
       .field("cache_hit", M.CacheHit)
       .field("cache_disk_hit", M.CacheDiskHit)
       .field("big_stack_unavailable", M.BigStackUnavailable)
+      .field("prelude_snapshot_hit", M.PreludeSnapshotHit)
+      .field("prelude_elab_sec", M.PreludeElabSec)
       .field("lexp_nodes", M.LexpNodes)
       .field("cps_nodes_before_opt", M.CpsNodesBeforeOpt)
       .field("cps_nodes_after_opt", M.CpsNodesAfterOpt)

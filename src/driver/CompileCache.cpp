@@ -2,6 +2,8 @@
 
 #include "driver/CompileCache.h"
 
+#include "driver/PreludeSnapshot.h"
+
 #include <cstring>
 #include <type_traits>
 
@@ -30,11 +32,11 @@ template <typename T> void appendPod(std::string &Key, T V) {
 /// Bump when canonicalJobKey gains, loses, or reorders a field — the
 /// salt is part of every key, so persisted entries written under the old
 /// layout can never alias entries under the new one.
-constexpr int kOptionsSchemaVersion = 4;
+constexpr int kOptionsSchemaVersion = 5;
 /// Bump on releases that change generated code for identical inputs, or
 /// the layout of the persisted CompileOutput blob (CompileMetrics is
 /// stored as a sized memcpy, so growing it invalidates old entries).
-constexpr const char *kCompilerVersion = "smltc-0.6.0";
+constexpr const char *kCompilerVersion = "smltc-0.7.0";
 
 } // namespace
 
@@ -59,6 +61,14 @@ std::string smltc::canonicalJobKey(const std::string &Source,
   // struct is never memcpy'd wholesale, so padding bytes and the
   // VariantName pointer can't leak into the key.
   appendPod(Key, static_cast<uint8_t>(WithPrelude));
+  appendPod(Key, static_cast<uint8_t>(Opts.Prelude));
+  // Prelude-sensitive keying without hashing the prelude text per job:
+  // the snapshot's interface fingerprint covers the exported names, their
+  // lowered LTY interfaces under every representation mode, and the
+  // post-elaboration counter state, so any prelude edit that could change
+  // generated code changes every WithPrelude key (schema v5).
+  if (WithPrelude)
+    appendPod(Key, PreludeSnapshot::cacheFingerprint());
   appendPod(Key, static_cast<uint8_t>(Opts.CpsOpt));
   // The backend does not change the generated TM program, but it is a
   // declared compile option, and conflating entries across it would let

@@ -6,6 +6,7 @@
 #include "closure/Closure.h"
 #include "cps/CpsCheck.h"
 #include "cps/CpsConvert.h"
+#include "driver/PreludeSnapshot.h"
 #include "elab/Elaborator.h"
 #include "lexp/LexpCheck.h"
 #include "lexp/Translate.h"
@@ -16,7 +17,9 @@
 
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <pthread.h>
+#include <vector>
 
 using namespace smltc;
 
@@ -115,13 +118,47 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   Arena A;
   StringInterner Interner;
   DiagnosticEngine Diags;
-  TypeContext Types(A, Interner);
 
-  std::string Full = WithPrelude ? std::string(prelude()) + Source : Source;
+  // Prelude delivery: layer on the process-wide snapshot (default), or
+  // fall back to the legacy source-text concatenation when the caller
+  // asked for the inline oracle or the snapshot failed verification.
+  const PreludeSnapshot *Snap = nullptr;
+  const PreludeLayer *Layer = nullptr;
+  if (WithPrelude && Opts.Prelude == PreludeMode::Snapshot) {
+    auto TSnap = std::chrono::steady_clock::now();
+    Snap = PreludeSnapshot::get();
+    Out.Metrics.PreludeElabSec = secondsSince(TSnap);
+    if (Snap) {
+      Layer = &Snap->layer(Opts.Mtd);
+      Out.Metrics.PreludeSnapshotHit = true;
+      preludeStats().SnapshotHits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      preludeStats().InlineFallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::optional<TypeContext> TypesOpt;
+  if (Layer) {
+    Interner.setBase(&Snap->interner());
+    TypesOpt.emplace(A, Interner, *Layer->Types);
+  } else {
+    TypesOpt.emplace(A, Interner);
+  }
+  TypeContext &Types = *TypesOpt;
+
+  // Under the snapshot the job parses only its own source, so
+  // diagnostics carry user-relative line numbers; the inline oracle
+  // keeps the historical prelude-offset positions byte-for-byte.
+  std::string Full;
+  const std::string *ParseInput = &Source;
+  if (WithPrelude && !Layer) {
+    Full = PreludeSnapshot::sourceText() + Source;
+    ParseInput = &Full;
+  }
 
   // --- Front end: parse + elaborate (+ MTD) ---
   auto TFront = std::chrono::steady_clock::now();
-  Parser P(Full, A, Interner, Diags);
+  Parser P(*ParseInput, A, Interner, Diags);
   ast::Program Raw;
   {
     SMLTC_SPAN("parse", "compile");
@@ -129,7 +166,12 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
   }
   Out.Metrics.ParseSec = secondsSince(TFront);
   auto TElab = std::chrono::steady_clock::now();
-  Elaborator Elab(A, Types, Interner, Diags);
+  std::optional<Elaborator> ElabOpt;
+  if (Layer)
+    ElabOpt.emplace(A, Types, Interner, Diags, Layer->Seed);
+  else
+    ElabOpt.emplace(A, Types, Interner, Diags);
+  Elaborator &Elab = *ElabOpt;
   AProgram Prog;
   {
     SMLTC_SPAN("elaborate", "compile");
@@ -143,10 +185,30 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
     return Out;
   }
   if (Opts.Mtd) {
+    // Under the snapshot the user program is analyzed alone; the
+    // prelude's own MTD pass ran at snapshot construction (the split is
+    // exact: prelude top-levels are Exported/poisoned and prelude inner
+    // bindings only see prelude-internal evidence), so adding the stored
+    // stats reproduces the fused pass's numbers.
     auto TMtd = std::chrono::steady_clock::now();
     SMLTC_SPAN("mtd", "compile");
     Out.Metrics.Mtd = runMtd(Prog, Types, A);
+    if (Layer) {
+      Out.Metrics.Mtd.VarsGrounded += Layer->Mtd.VarsGrounded;
+      Out.Metrics.Mtd.BindingsNarrowed += Layer->Mtd.BindingsNarrowed;
+    }
     Out.Metrics.MtdSec = secondsSince(TMtd);
+  }
+  if (Layer) {
+    // The job's typed program is the snapshot's declarations followed by
+    // its own — exactly the sequence the inline path elaborates.
+    std::vector<ADec *> All;
+    All.reserve(Layer->Prog.Decs.size() + Prog.Decs.size());
+    for (ADec *D : Layer->Prog.Decs)
+      All.push_back(D);
+    for (ADec *D : Prog.Decs)
+      All.push_back(D);
+    Prog.Decs = Span<ADec *>::copy(A, All);
   }
   Out.Metrics.FrontSec = secondsSince(TFront);
 

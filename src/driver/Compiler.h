@@ -65,6 +65,15 @@ struct CompileMetrics {
   /// The 1 GiB compile stack could not be created and compilation fell
   /// back to the caller's (or a default-sized worker's) stack.
   bool BigStackUnavailable = false;
+
+  // --- prelude snapshot (driver/PreludeSnapshot.h) ---
+  /// This compile layered on the pre-elaborated prelude snapshot
+  /// instead of re-parsing and re-elaborating the prelude source.
+  bool PreludeSnapshotHit = false;
+  /// Seconds this compile spent obtaining the snapshot: ~0 once built,
+  /// the one-time construction cost for the compile that built it, and
+  /// 0 under `--prelude=inline` or `--no-prelude`.
+  double PreludeElabSec = 0;
 };
 
 struct CompileOutput {
@@ -85,7 +94,10 @@ public:
   static const char *prelude();
 
   /// Compiles a MiniML source program under the given compiler variant.
-  /// When \p WithPrelude, the prelude is prepended.
+  /// When \p WithPrelude, the prelude is layered on (via the process-wide
+  /// pre-elaborated snapshot by default, or by prepending its source
+  /// text under `CompilerOptions::Prelude == PreludeMode::Inline`; the
+  /// two modes produce bit-identical programs).
   static CompileOutput compile(const std::string &Source,
                                const CompilerOptions &Opts,
                                bool WithPrelude = true);

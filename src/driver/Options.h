@@ -27,6 +27,12 @@ enum class ExecBackend : uint8_t {
   Native, ///< AOT TM -> C -> shared object (src/native/)
 };
 
+/// How the standard prelude reaches a compile job (--prelude=).
+enum class PreludeMode : uint8_t {
+  Snapshot, ///< layer on the process-wide pre-elaborated snapshot
+  Inline,   ///< legacy: prepend the prelude source text to the job
+};
+
 struct CompilerOptions {
   const char *VariantName = "custom";
 
@@ -38,6 +44,13 @@ struct CompilerOptions {
   /// program to C, loads the shared object, and runs it over the same
   /// heap and runtime services with bit-identical observable results.
   ExecBackend Backend = ExecBackend::Vm;
+
+  /// Prelude delivery. `snapshot` (default) elaborates the prelude once
+  /// per process and layers jobs on the immutable result; `inline` is
+  /// the legacy concatenation path, kept as a differential oracle — the
+  /// two produce bit-identical programs. Ignored when compiling without
+  /// a prelude.
+  PreludeMode Prelude = PreludeMode::Snapshot;
 
   /// Representation mode for the LTY lowering (Figure 6).
   ReprMode Repr = ReprMode::Standard;

@@ -16,6 +16,42 @@ Elaborator::Elaborator(Arena &A, TypeContext &Types, StringInterner &Interner,
   setupBuiltins();
 }
 
+Elaborator::Elaborator(Arena &A, TypeContext &Types, StringInterner &Interner,
+                       DiagnosticEngine &Diags, const ElabSeed &Seed)
+    : A(A), Types(Types), Interner(Interner), Diags(Diags),
+      E(std::make_shared<Env>()) {
+  SymMain = Interner.intern("main");
+  E->setBase(Seed.BaseEnv);
+  MatchExn = Seed.Match;
+  BindExn = Seed.Bind;
+  DivExn = Seed.Div;
+  OverflowExn = Seed.Overflow;
+  SubscriptExn = Seed.Subscript;
+  SizeExn = Seed.Size;
+  ChrExn = Seed.Chr;
+  NextValId = Seed.NextValId;
+  NextExnId = Seed.NextExnId;
+  NextStrId = Seed.NextStrId;
+  NextFctId = Seed.NextFctId;
+}
+
+ElabSeed Elaborator::exportSeed() const {
+  ElabSeed S;
+  S.BaseEnv = E.get();
+  S.Match = MatchExn;
+  S.Bind = BindExn;
+  S.Div = DivExn;
+  S.Overflow = OverflowExn;
+  S.Subscript = SubscriptExn;
+  S.Size = SizeExn;
+  S.Chr = ChrExn;
+  S.NextValId = NextValId;
+  S.NextExnId = NextExnId;
+  S.NextStrId = NextStrId;
+  S.NextFctId = NextFctId;
+  return S;
+}
+
 ValInfo *Elaborator::makeValInfo(Symbol Name, Type *Ty) {
   ValInfo *V = A.create<ValInfo>();
   V->Name = Name;

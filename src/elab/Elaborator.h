@@ -47,13 +47,47 @@ struct ResolvedVal {
   ExnInfo *Exn = nullptr;      // LocalExn
 };
 
+/// Everything a derived Elaborator needs to resume where a frozen one
+/// (the prelude snapshot's) left off: the elaborated environment to layer
+/// on, the builtin-exception handles, and the binding-id counters — the
+/// counters make snapshot-mode elaboration number new bindings exactly as
+/// the inline (concatenated-prelude) pipeline would, which is what keeps
+/// the generated code bit-identical between the two modes.
+struct ElabSeed {
+  const Env *BaseEnv = nullptr;
+  ExnInfo *Match = nullptr;
+  ExnInfo *Bind = nullptr;
+  ExnInfo *Div = nullptr;
+  ExnInfo *Overflow = nullptr;
+  ExnInfo *Subscript = nullptr;
+  ExnInfo *Size = nullptr;
+  ExnInfo *Chr = nullptr;
+  int NextValId = 1;
+  int NextExnId = 1;
+  int NextStrId = 1;
+  int NextFctId = 1;
+};
+
 class Elaborator {
 public:
   Elaborator(Arena &A, TypeContext &Types, StringInterner &Interner,
              DiagnosticEngine &Diags);
 
+  /// Seeded construction: layers a fresh overlay environment over
+  /// \p Seed.BaseEnv instead of rebuilding the builtins, adopts the
+  /// seed's exception handles, and resumes its counters. \p Types must
+  /// be derived from the context the seed was elaborated under.
+  Elaborator(Arena &A, TypeContext &Types, StringInterner &Interner,
+             DiagnosticEngine &Diags, const ElabSeed &Seed);
+
   /// Elaborates a program (prelude declarations should be part of it).
   AProgram elaborate(const ast::Program &P);
+
+  /// Exports the post-elaboration state a derived Elaborator resumes
+  /// from (prelude snapshot construction).
+  ElabSeed exportSeed() const;
+  /// The elaborated environment (kept alive by the snapshot).
+  std::shared_ptr<Env> environment() const { return E; }
 
   // Builtin exceptions (referenced by the translator for match failure,
   // division by zero, and array bounds).

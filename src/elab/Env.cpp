@@ -10,7 +10,7 @@ ValBinding Env::lookupVal(Symbol S) const {
     if (F != It->Vals.end())
       return F->second;
   }
-  return ValBinding();
+  return Base ? Base->lookupVal(S) : ValBinding();
 }
 
 TyCon *Env::lookupTycon(Symbol S) const {
@@ -19,7 +19,7 @@ TyCon *Env::lookupTycon(Symbol S) const {
     if (F != It->Tycons.end())
       return F->second;
   }
-  return nullptr;
+  return Base ? Base->lookupTycon(S) : nullptr;
 }
 
 StrInfo *Env::lookupStr(Symbol S) const {
@@ -28,7 +28,7 @@ StrInfo *Env::lookupStr(Symbol S) const {
     if (F != It->Strs.end())
       return F->second;
   }
-  return nullptr;
+  return Base ? Base->lookupStr(S) : nullptr;
 }
 
 std::shared_ptr<SigInfo> Env::lookupSig(Symbol S) const {
@@ -37,7 +37,7 @@ std::shared_ptr<SigInfo> Env::lookupSig(Symbol S) const {
     if (F != It->Sigs.end())
       return F->second;
   }
-  return nullptr;
+  return Base ? Base->lookupSig(S) : nullptr;
 }
 
 FctInfo *Env::lookupFct(Symbol S) const {
@@ -46,5 +46,20 @@ FctInfo *Env::lookupFct(Symbol S) const {
     if (F != It->Fcts.end())
       return F->second;
   }
-  return nullptr;
+  return Base ? Base->lookupFct(S) : nullptr;
+}
+
+void Env::visit(EnvVisitor &V) const {
+  for (const Scope &Sc : Scopes) {
+    for (const auto &[S, B] : Sc.Vals)
+      V.val(S, B);
+    for (const auto &[S, T] : Sc.Tycons)
+      V.tycon(S, T);
+    for (const auto &[S, I] : Sc.Strs)
+      V.str(S, I);
+    for (const auto &[S, I] : Sc.Sigs)
+      V.sig(S, *I);
+    for (const auto &[S, F] : Sc.Fcts)
+      V.fct(S, F);
+  }
 }

@@ -57,8 +57,28 @@ struct SigInfo {
   std::shared_ptr<class Env> DefEnv;
 };
 
+/// Read-only visitor over every binding of an Env (all scopes, outermost
+/// first; the base env, if any, is not visited). Used by the prelude
+/// snapshot's freeze pass to reach every type the environment retains.
+class EnvVisitor {
+public:
+  virtual ~EnvVisitor() = default;
+  virtual void val(Symbol S, const ValBinding &B) = 0;
+  virtual void tycon(Symbol S, TyCon *T) = 0;
+  virtual void str(Symbol S, StrInfo *I) = 0;
+  virtual void sig(Symbol S, const SigInfo &I) = 0;
+  virtual void fct(Symbol S, FctInfo *F) = 0;
+};
+
 /// A lexically scoped environment. Scopes are pushed/popped as a stack;
 /// copying an Env snapshots it (used for signature definitions).
+///
+/// An Env may layer on an immutable *base* env: lookups that miss every
+/// local scope fall through to the base (the prelude snapshot's top-level
+/// environment), so a job's elaborator sees the prelude bindings without
+/// copying them. Local bindings shadow base bindings exactly as a later
+/// scope shadows an earlier one. The base is never mutated and must
+/// outlive this env; copies (signature snapshots) keep the base pointer.
 class Env {
 public:
   Env() { push(); }
@@ -104,6 +124,12 @@ public:
   std::shared_ptr<SigInfo> lookupSig(Symbol S) const;
   FctInfo *lookupFct(Symbol S) const;
 
+  void setBase(const Env *B) { Base = B; }
+  const Env *base() const { return Base; }
+
+  /// Visits every local binding (not the base's).
+  void visit(EnvVisitor &V) const;
+
 private:
   struct Scope {
     std::unordered_map<Symbol, ValBinding> Vals;
@@ -112,6 +138,7 @@ private:
     std::unordered_map<Symbol, std::shared_ptr<SigInfo>> Sigs;
     std::unordered_map<Symbol, FctInfo *> Fcts;
   };
+  const Env *Base = nullptr;
   std::vector<Scope> Scopes;
 };
 

@@ -267,7 +267,7 @@ namespace {
 /// Number of serialized option fields below; bumped together with the
 /// cache options-schema version so an old client cannot silently send a
 /// truncated option set.
-constexpr uint8_t kNumOptionFields = 16;
+constexpr uint8_t kNumOptionFields = 17;
 
 void encodeOptions(WireWriter &W, const CompilerOptions &O) {
   W.u8(kNumOptionFields);
@@ -287,6 +287,7 @@ void encodeOptions(WireWriter &W, const CompilerOptions &O) {
   W.u8(O.KeepDumps);
   W.i32(O.MaxSpreadArgs);
   W.i32(O.GpCalleeSaves);
+  W.u8(static_cast<uint8_t>(O.Prelude));
 }
 
 bool decodeOptions(WireReader &R, CompilerOptions &O, std::string &Err) {
@@ -312,10 +313,16 @@ bool decodeOptions(WireReader &R, CompilerOptions &O, std::string &Err) {
   O.KeepDumps = R.u8() != 0;
   O.MaxSpreadArgs = R.i32();
   O.GpCalleeSaves = R.i32();
+  uint8_t Prelude = R.u8();
   if (R.failed()) {
     Err = "truncated options";
     return false;
   }
+  if (Prelude > static_cast<uint8_t>(PreludeMode::Inline)) {
+    Err = "prelude mode out of range";
+    return false;
+  }
+  O.Prelude = static_cast<PreludeMode>(Prelude);
   if (Repr > static_cast<uint8_t>(ReprMode::FullFloat)) {
     Err = "representation mode out of range";
     return false;

@@ -3,6 +3,7 @@
 #include "server/Server.h"
 
 #include "cps/CpsOpt.h"
+#include "driver/PreludeSnapshot.h"
 #include "native/NativeBackend.h"
 #include "obs/Json.h"
 #include "obs/Trace.h"
@@ -191,6 +192,32 @@ void CompileServer::registerMetrics() {
     "Bytes received from clients");
   C("smltcc_server_bytes_out_total", Metrics.BytesOut,
     "Bytes sent to clients");
+
+  // Prelude-snapshot accounting: process-wide (the snapshot is shared by
+  // every worker), read straight from the atomic counters.
+  Reg.counterFn(
+      "smltcc_prelude_snapshot_hits_total",
+      [] { return preludeStats().SnapshotHits.load(std::memory_order_relaxed); },
+      "Compiles served by the pre-elaborated prelude snapshot");
+  Reg.counterFn(
+      "smltcc_prelude_snapshot_builds_total",
+      [] {
+        return preludeStats().SnapshotBuilds.load(std::memory_order_relaxed);
+      },
+      "Prelude snapshot constructions (0 or 1 per process)");
+  Reg.counterFn(
+      "smltcc_prelude_inline_fallbacks_total",
+      [] {
+        return preludeStats().InlineFallbacks.load(std::memory_order_relaxed);
+      },
+      "Compiles that fell back to inline prelude concatenation");
+  Reg.gaugeFn(
+      "smltcc_prelude_snapshot_build_seconds",
+      [] {
+        const PreludeSnapshot *S = PreludeSnapshot::get();
+        return S ? S->buildSeconds() : 0.0;
+      },
+      "One-time prelude snapshot construction seconds");
 
   Reg.gaugeFn(
       "smltcc_server_uptime_seconds",

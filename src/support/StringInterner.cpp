@@ -4,7 +4,15 @@
 
 using namespace smltc;
 
+const std::string *StringInterner::find(std::string_view S) const {
+  auto It = Table.find(std::string(S));
+  return It == Table.end() ? nullptr : &*It;
+}
+
 Symbol StringInterner::intern(std::string_view S) {
+  if (Base)
+    if (const std::string *P = Base->find(S))
+      return Symbol(P);
   auto It = Table.emplace(S).first;
   return Symbol(&*It);
 }

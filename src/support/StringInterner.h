@@ -47,11 +47,24 @@ private:
 };
 
 /// The intern table. One per Compiler; Symbols are valid for its lifetime.
+///
+/// An interner may layer on an immutable *base* interner (the prelude
+/// snapshot's): `intern` first consults the base read-only, so names that
+/// were interned when the snapshot was built resolve to the snapshot's
+/// Symbol pointers and symbol equality keeps working across the
+/// snapshot/job boundary. New names go into this table. The base must be
+/// frozen (never interned into again) and must outlive this interner.
 class StringInterner {
 public:
   Symbol intern(std::string_view S);
 
+  void setBase(const StringInterner *B) { Base = B; }
+
 private:
+  /// Read-only probe used for base lookups; no insertion.
+  const std::string *find(std::string_view S) const;
+
+  const StringInterner *Base = nullptr;
   std::unordered_set<std::string> Table;
 };
 

@@ -92,6 +92,34 @@ TypeContext::TypeContext(Arena &A, StringInterner &Interner)
   }
 }
 
+TypeContext::TypeContext(Arena &A, StringInterner &Interner,
+                         const TypeContext &Base)
+    : A(A), Interner(Interner) {
+  IntTycon = Base.IntTycon;
+  RealTycon = Base.RealTycon;
+  StringTycon = Base.StringTycon;
+  UnitTycon = Base.UnitTycon;
+  BoolTycon = Base.BoolTycon;
+  ListTycon = Base.ListTycon;
+  RefTycon = Base.RefTycon;
+  ArrayTycon = Base.ArrayTycon;
+  ExnTycon = Base.ExnTycon;
+  ContTycon = Base.ContTycon;
+  TrueCon = Base.TrueCon;
+  FalseCon = Base.FalseCon;
+  NilCon = Base.NilCon;
+  ConsCon = Base.ConsCon;
+  RefCon = Base.RefCon;
+  IntType = Base.IntType;
+  RealType = Base.RealType;
+  StringType = Base.StringType;
+  UnitType = Base.UnitType;
+  BoolType = Base.BoolType;
+  ExnType = Base.ExnType;
+  NextVarId = Base.NextVarId;
+  NextStamp = Base.NextStamp;
+}
+
 Type *TypeContext::freshVar(int Depth, bool IsEq) {
   Type *T = A.create<Type>();
   T->K = Type::Kind::Var;

@@ -124,9 +124,27 @@ struct DataCon {
 /// type constructors.
 class TypeContext {
 public:
+  /// Fresh-variable and tycon-stamp counters; exported by a frozen
+  /// context so a derived context can resume the exact numbering the
+  /// inline (concatenated-prelude) pipeline would have reached.
+  struct Counters {
+    int NextVarId = 1;
+    int NextStamp = 1;
+  };
+
   TypeContext(Arena &A, StringInterner &Interner);
 
+  /// Derives a context that *shares* an immutable base context (the
+  /// prelude snapshot's): the builtin tycon/type pointers are the base's
+  /// (so tycon identity holds across the boundary) and the counters
+  /// resume from the base's post-elaboration values. The base is never
+  /// mutated — everything new is allocated in \p A — and must outlive
+  /// this context.
+  TypeContext(Arena &A, StringInterner &Interner, const TypeContext &Base);
+
   Arena &arena() { return A; }
+
+  Counters counters() const { return {NextVarId, NextStamp}; }
 
   // --- construction ---
   Type *freshVar(int Depth, bool IsEq = false);

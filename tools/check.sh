@@ -19,11 +19,16 @@
 #    --backend=native run diffed against the VM run, and strict CLI
 #    option validation (--vm-dispatch / --cps-opt / --backend with
 #    unknown values must exit 64, not silently fall back).
-# 7. Rebuild under ThreadSanitizer and run the batch-engine,
+# 7. Smoke the prelude snapshot: compile_throughput --smoke (front-end
+#    speedup report + prelude-mode byte identity over the 72-job
+#    matrix), plus a CLI differential — one corpus program compiled
+#    under --prelude=snapshot and --prelude=inline must print identical
+#    results.
+# 8. Rebuild under ThreadSanitizer and run the batch-engine,
 #    compile-server, and observability tests, so data races in the
 #    worker pool, poll loop, disk cache, and trace/metric registries are
 #    caught mechanically.
-# 8. Rebuild under AddressSanitizer and run the full suite (including
+# 9. Rebuild under AddressSanitizer and run the full suite (including
 #    the protocol frame fuzzer, the optimizer differential harness, and
 #    the native-backend differential tests, whose dlopen'd artifacts run
 #    inside the instrumented process), so heap/GC bugs and codec
@@ -114,8 +119,21 @@ if [[ "$(echo "$VM_OUT" | grep 'result =')" != \
   exit 1
 fi
 
+echo "== smoke: compile_throughput (front-end gate + prelude byte identity) =="
+(cd "$ROOT/build" && ./bench/compile_throughput --smoke \
+  --out="$ROOT/build/BENCH_compile_smoke.json")
+
+echo "== smoke: prelude snapshot CLI vs inline oracle =="
+SNAP_OUT="$("$SMLTCC" --prelude=snapshot --expr 'fun main () = length (rev (tabulate (10, fn i => i)))')"
+INLINE_OUT="$("$SMLTCC" --prelude=inline --expr 'fun main () = length (rev (tabulate (10, fn i => i)))')"
+echo "$SNAP_OUT" | grep 'result = 10' >/dev/null
+if [[ "$SNAP_OUT" != "$INLINE_OUT" ]]; then
+  echo "FAIL: --prelude=snapshot output differs from --prelude=inline" >&2
+  exit 1
+fi
+
 echo "== smoke: strict CLI option validation (exit 64 on unknown values) =="
-for Bad in --vm-dispatch=bogus --cps-opt=bogus --backend=bogus; do
+for Bad in --vm-dispatch=bogus --cps-opt=bogus --backend=bogus --prelude=bogus; do
   if "$SMLTCC" "$Bad" --expr 'fun main () = 1' >/dev/null 2>&1; then
     echo "FAIL: $Bad was accepted; unknown option values must be rejected" >&2
     exit 1
@@ -132,7 +150,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSMLTC_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j"$JOBS" --target smltc_tests
   "$ROOT/build-tsan/tests/smltc_tests" \
-    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*:Obs*:CpsOptDifferential.*'
+    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*:Obs*:CpsOptDifferential.*:PreludeDifferential.*'
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

@@ -8,6 +8,11 @@
 //     --all            run under all six variants and compare
 //     --jobs=N         compile the --all variants on N batch workers
 //     --no-prelude     do not prepend the standard prelude
+//     --prelude=snapshot|inline  prelude delivery (default: snapshot).
+//                      `snapshot` layers on the process-wide
+//                      pre-elaborated prelude; `inline` is the legacy
+//                      source-text concatenation kept as a
+//                      differential oracle (bit-identical output).
 //     --metrics        print compile- and run-time metrics
 //     --metrics-json   print per-compile and batch metrics as JSON
 //     --backend=vm|native  execution backend (default: vm). `native`
@@ -181,6 +186,7 @@ int main(int Argc, char **Argv) {
   std::string VariantName = "ffb";
   CpsOptEngine OptEngine = CpsOptEngine::Shrink;
   ExecBackend Backend = ExecBackend::Vm;
+  PreludeMode Prelude = PreludeMode::Snapshot;
   std::string File;
   std::string Expr;
   bool All = false, WithPrelude = true, Metrics = false;
@@ -219,6 +225,17 @@ int main(int Argc, char **Argv) {
         Backend = ExecBackend::Native;
       else {
         std::fprintf(stderr, "unknown backend '%s' (vm|native)\n", B.c_str());
+        return 64;
+      }
+    } else if (A.rfind("--prelude=", 0) == 0) {
+      std::string M = A.substr(10);
+      if (M == "snapshot")
+        Prelude = PreludeMode::Snapshot;
+      else if (M == "inline")
+        Prelude = PreludeMode::Inline;
+      else {
+        std::fprintf(stderr, "unknown prelude mode '%s' (snapshot|inline)\n",
+                     M.c_str());
         return 64;
       }
     } else if (A.rfind("--vm-dispatch=", 0) == 0) {
@@ -298,6 +315,7 @@ int main(int Argc, char **Argv) {
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
                   "[--cps-opt=shrink|rounds] [--backend=vm|native] "
+                  "[--prelude=snapshot|inline] "
                   "[--all] [--jobs=N] [--metrics] [--metrics-json] "
                   "[--vm-dispatch=threaded|switch|legacy] "
                   "[--vm-nursery-kb=N] [--vm-metrics-json] "
@@ -409,6 +427,7 @@ int main(int Argc, char **Argv) {
     Req.Opts = *O;
     Req.Opts.CpsOpt = OptEngine;
     Req.Opts.Backend = Backend;
+    Req.Opts.Prelude = Prelude;
     Req.Source = Source;
     server::CompileResponse Resp;
     if (!Cl.compile(Req, Resp, Err)) {
@@ -446,6 +465,7 @@ int main(int Argc, char **Argv) {
       BatchJobs[I].Opts = Vs[I];
       BatchJobs[I].Opts.CpsOpt = OptEngine;
       BatchJobs[I].Opts.Backend = Backend;
+      BatchJobs[I].Opts.Prelude = Prelude;
       BatchJobs[I].Opts.KeepDumps = DumpLexp || DumpCps;
       BatchJobs[I].WithPrelude = WithPrelude;
     }
@@ -471,6 +491,7 @@ int main(int Argc, char **Argv) {
   CompilerOptions Opts = *O;
   Opts.CpsOpt = OptEngine;
   Opts.Backend = Backend;
+  Opts.Prelude = Prelude;
   Opts.KeepDumps = DumpLexp || DumpCps;
   CompileOutput C = Compiler::compile(Source, Opts, WithPrelude);
   return runCompiled(C, Opts, VmBase, Metrics, MetricsJson, VmMetricsJson,
