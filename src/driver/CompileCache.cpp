@@ -161,8 +161,29 @@ CompileCache::lookup(const std::string &Source, const CompilerOptions &Opts,
 void CompileCache::insertMemory(uint64_t H, std::string Key,
                                 std::shared_ptr<const CompileOutput> Out) {
   Shard &S = Shards[H % NumShards];
+  size_t Max = MaxEntries.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> Lock(S.M);
-  S.Map.emplace(H, std::make_pair(std::move(Key), std::move(Out)));
+  auto Ins =
+      S.Map.emplace(H, std::make_pair(std::move(Key), std::move(Out)));
+  if (!Ins.second)
+    return; // duplicate insert: first one wins, nothing new to track
+  S.Order.push_back(H);
+  uint64_t Total = Count.fetch_add(1, std::memory_order_relaxed) + 1;
+  // FIFO-evict from this shard while the whole map is over the cap.
+  // Only this shard's lock is held; inserts land across shards, so the
+  // total stays within a shard's worth of the cap in the steady state.
+  while (Max != 0 && Total > Max && S.Order.size() > 1) {
+    uint64_t Old = S.Order.front();
+    S.Order.pop_front();
+    if (Old == H) { // never evict the entry just inserted
+      S.Order.push_back(Old);
+      continue;
+    }
+    if (S.Map.erase(Old)) {
+      Total = Count.fetch_sub(1, std::memory_order_relaxed) - 1;
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 void CompileCache::insert(const std::string &Source,
@@ -179,7 +200,10 @@ void CompileCache::clear() {
   for (Shard &S : Shards) {
     std::lock_guard<std::mutex> Lock(S.M);
     S.Map.clear();
+    S.Order.clear();
   }
+  Count.store(0, std::memory_order_relaxed);
+  Evictions.store(0, std::memory_order_relaxed);
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
   DiskHits.store(0, std::memory_order_relaxed);

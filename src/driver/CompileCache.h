@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -105,6 +106,24 @@ public:
     Backing.store(Store, std::memory_order_release);
   }
 
+  /// Bounds the in-memory map to roughly `Max` entries (0 = unbounded,
+  /// the default). When over the cap, the oldest-inserted entries in
+  /// the shard being written are dropped (FIFO). This is what makes a
+  /// farm shard daemon's memory footprint proportional to the slice of
+  /// the key space the router sends it: with consistent-hash routing
+  /// each shard's working set fits its cap and stays resident, while a
+  /// single daemon serving the whole key space churns.
+  void setMaxEntries(size_t Max) {
+    MaxEntries.store(Max, std::memory_order_relaxed);
+  }
+  size_t maxEntries() const {
+    return MaxEntries.load(std::memory_order_relaxed);
+  }
+  /// Entries dropped by the cap since construction / last clear().
+  uint64_t evictedCount() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+
   /// Drops every in-memory entry and resets the hit/miss counters. The
   /// backing store is not touched.
   void clear();
@@ -136,6 +155,8 @@ private:
                        std::pair<std::string,
                                  std::shared_ptr<const CompileOutput>>>
         Map;
+    /// Insertion order of live keys, for FIFO eviction under a cap.
+    std::deque<uint64_t> Order;
   };
 
   /// Inserts into the in-memory map only (promotion from the backing
@@ -145,6 +166,9 @@ private:
 
   Shard Shards[NumShards];
   std::atomic<CacheBackingStore *> Backing{nullptr};
+  std::atomic<size_t> MaxEntries{0};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Evictions{0};
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> DiskHits{0};

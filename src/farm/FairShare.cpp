@@ -1,0 +1,94 @@
+//===- farm/FairShare.cpp - Weighted fair-share compile admission ------------===//
+
+#include "farm/FairShare.h"
+
+#include <algorithm>
+
+using namespace smltc;
+using namespace smltc::farm;
+
+FairShareScheduler::Tenant &
+FairShareScheduler::addTenant(const TenantConfig &Cfg) {
+  for (auto &T : Tenants)
+    if (T->Cfg.Name == Cfg.Name)
+      return *T;
+  auto T = std::make_unique<Tenant>();
+  T->Cfg = Cfg;
+  Tenants.push_back(std::move(T));
+  return *Tenants.back();
+}
+
+FairShareScheduler::Tenant *FairShareScheduler::byName(
+    const std::string &Name) {
+  for (auto &T : Tenants)
+    if (T->Cfg.Name == Name)
+      return T.get();
+  return nullptr;
+}
+
+double FairShareScheduler::minActiveService() const {
+  double Min = 0;
+  bool Any = false;
+  for (const auto &T : Tenants) {
+    if (T->Q.empty() && T->InFlight == 0)
+      continue;
+    if (!Any || T->VirtualService < Min) {
+      Min = T->VirtualService;
+      Any = true;
+    }
+  }
+  return Any ? Min : 0;
+}
+
+FairShareScheduler::Verdict FairShareScheduler::enqueue(Tenant &T,
+                                                        QueuedJob Item) {
+  if (T.Cfg.MaxQueued != 0 && T.Q.size() >= T.Cfg.MaxQueued) {
+    ++T.QuotaRejects;
+    return Verdict::TenantQueueFull;
+  }
+  if (GlobalMaxQueued != 0 && TotalQueued >= GlobalMaxQueued) {
+    ++T.QuotaRejects;
+    return Verdict::GlobalQueueFull;
+  }
+  // A tenant going from idle to active re-enters at the pack's current
+  // service level: fairness is about rates while competing, not about
+  // banking credit while away.
+  if (T.Q.empty() && T.InFlight == 0)
+    T.VirtualService = std::max(T.VirtualService, minActiveService());
+  T.Q.push_back(std::move(Item));
+  ++TotalQueued;
+  return Verdict::Queued;
+}
+
+bool FairShareScheduler::popNext(QueuedJob &Out, Tenant *&Owner) {
+  Tenant *Best = nullptr;
+  for (auto &T : Tenants) {
+    if (T->Q.empty())
+      continue;
+    if (T->Cfg.MaxInFlight != 0 && T->InFlight >= T->Cfg.MaxInFlight)
+      continue;
+    if (!Best || T->VirtualService < Best->VirtualService)
+      Best = T.get();
+  }
+  if (!Best)
+    return false;
+  Out = std::move(Best->Q.front());
+  Best->Q.pop_front();
+  --TotalQueued;
+  ++Best->InFlight;
+  ++Best->Admitted;
+  Best->VirtualService += 1.0 / static_cast<double>(Best->Cfg.Weight);
+  Owner = Best;
+  return true;
+}
+
+std::vector<QueuedJob> FairShareScheduler::drainAll() {
+  std::vector<QueuedJob> Out;
+  for (auto &T : Tenants) {
+    for (QueuedJob &J : T->Q)
+      Out.push_back(std::move(J));
+    T->Q.clear();
+  }
+  TotalQueued = 0;
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- farm/Http.cpp - Minimal HTTP/1.1 for the /metrics scrape endpoint -----===//
+
+#include "farm/Http.h"
+
+using namespace smltc;
+using namespace smltc::farm;
+
+bool smltc::farm::looksLikeHttp(const std::string &In) {
+  // Compare against the shortest prefix that distinguishes a method
+  // from the frame magic; partial prefixes keep returning false until
+  // enough bytes arrive, and the frame parser rejects them as BadMagic.
+  static const char *Methods[] = {"GET ", "HEAD ", "POST ", "PUT ",
+                                  "DELETE ", "OPTIONS "};
+  for (const char *M : Methods) {
+    std::string Prefix(M);
+    size_t N = std::min(In.size(), Prefix.size());
+    if (N == Prefix.size() && In.compare(0, N, Prefix) == 0)
+      return true;
+  }
+  return false;
+}
+
+HttpParse smltc::farm::parseHttpRequest(const std::string &In,
+                                        std::string &Method,
+                                        std::string &Path) {
+  size_t HeadEnd = In.find("\r\n\r\n");
+  size_t HeadLen = HeadEnd == std::string::npos ? In.size() : HeadEnd;
+  if (HeadLen > kMaxHttpHeadBytes)
+    return HttpParse::Bad;
+  if (HeadEnd == std::string::npos)
+    return HttpParse::NeedMore;
+  size_t LineEnd = In.find("\r\n");
+  std::string Line = In.substr(0, LineEnd);
+  size_t Sp1 = Line.find(' ');
+  if (Sp1 == std::string::npos || Sp1 == 0)
+    return HttpParse::Bad;
+  size_t Sp2 = Line.find(' ', Sp1 + 1);
+  if (Sp2 == std::string::npos || Sp2 == Sp1 + 1)
+    return HttpParse::Bad;
+  if (Line.compare(Sp2 + 1, std::string::npos, "HTTP/1.1") != 0 &&
+      Line.compare(Sp2 + 1, std::string::npos, "HTTP/1.0") != 0)
+    return HttpParse::Bad;
+  Method = Line.substr(0, Sp1);
+  Path = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  size_t Query = Path.find('?');
+  if (Query != std::string::npos)
+    Path.resize(Query);
+  return HttpParse::Ok;
+}
+
+std::string smltc::farm::httpResponse(int Code,
+                                      const std::string &ContentType,
+                                      const std::string &Body,
+                                      bool HeadOnly) {
+  const char *Reason = Code == 200   ? "OK"
+                       : Code == 404 ? "Not Found"
+                       : Code == 405 ? "Method Not Allowed"
+                                     : "Error";
+  std::string Out = "HTTP/1.1 " + std::to_string(Code) + " " + Reason +
+                    "\r\n"
+                    "Content-Type: " +
+                    ContentType +
+                    "\r\n"
+                    "Content-Length: " +
+                    std::to_string(Body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n"
+                    "\r\n";
+  if (!HeadOnly)
+    Out += Body;
+  return Out;
+}

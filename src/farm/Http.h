@@ -1,0 +1,57 @@
+//===- farm/Http.h - Minimal HTTP/1.1 for the /metrics scrape endpoint -------===//
+///
+/// \file
+/// Just enough HTTP/1.1 for a Prometheus scraper to `GET /metrics` from
+/// the same TCP port that speaks the binary compile protocol. The
+/// server sniffs the first bytes of a new connection: frames start with
+/// the "CLTS" magic, scrapes start with an HTTP method, so the two
+/// cannot be confused. One request per connection (`Connection: close`)
+/// — scrapers poll at multi-second intervals and a persistent-
+/// connection state machine would be complexity with no payoff here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_FARM_HTTP_H
+#define SMLTC_FARM_HTTP_H
+
+#include <string>
+
+namespace smltc {
+namespace farm {
+
+/// Hard cap on request head (request line + headers): past this without
+/// a blank line the connection is torn down, mirroring the frame
+/// protocol's reject-before-buffering discipline.
+constexpr size_t kMaxHttpHeadBytes = 8192;
+
+/// True when a receive buffer's first bytes look like an HTTP request
+/// rather than a protocol frame. Decides as soon as bytes arrive; a
+/// frame's magic ("CLTS" little-endian) never matches a method name.
+bool looksLikeHttp(const std::string &In);
+
+enum class HttpParse : uint8_t {
+  NeedMore, ///< no blank line yet and under the head cap
+  Ok,       ///< Method/Path filled
+  Bad,      ///< malformed or over the cap; close the connection
+};
+
+/// Incremental parse of the request head at the front of `In`. Headers
+/// are skipped — only the method and path (query string stripped)
+/// matter to the scrape endpoint.
+HttpParse parseHttpRequest(const std::string &In, std::string &Method,
+                           std::string &Path);
+
+/// Renders a complete HTTP/1.1 response with Content-Length and
+/// `Connection: close`. `HeadOnly` omits the body (HEAD requests)
+/// while keeping the Content-Length of the full body.
+std::string httpResponse(int Code, const std::string &ContentType,
+                         const std::string &Body, bool HeadOnly = false);
+
+/// The Content-Type of the Prometheus text exposition format.
+constexpr const char *kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+} // namespace farm
+} // namespace smltc
+
+#endif // SMLTC_FARM_HTTP_H

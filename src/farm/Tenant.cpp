@@ -1,0 +1,138 @@
+//===- farm/Tenant.cpp - Tenant token file and quota registry ----------------===//
+
+#include "farm/Tenant.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace smltc;
+using namespace smltc::farm;
+
+namespace {
+
+/// Tenant names become Prometheus label values and JSON keys; keep them
+/// to characters that need no escaping anywhere.
+bool labelSafeName(const std::string &S) {
+  if (S.empty() || S.size() > 64)
+    return false;
+  for (char C : S) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+bool parseU32(const std::string &S, uint32_t &Out) {
+  if (S.empty() || S.size() > 9)
+    return false;
+  uint32_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint32_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+bool TenantRegistry::loadFile(const std::string &Path, std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = "cannot open token file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (!parse(SS.str(), Err)) {
+    Err = "token file '" + Path + "': " + Err;
+    return false;
+  }
+  return true;
+}
+
+bool TenantRegistry::parse(const std::string &Text, std::string &Err) {
+  std::vector<TenantConfig> Parsed;
+  std::istringstream Lines(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Fields(Line);
+    std::vector<std::string> F;
+    std::string Tok;
+    while (Fields >> Tok)
+      F.push_back(Tok);
+    if (F.empty())
+      continue;
+    std::string Where = "line " + std::to_string(LineNo);
+    if (F.size() < 2 || F.size() > 5) {
+      Err = Where + ": want 'name token [weight] [max_inflight] "
+                    "[max_queued]', got " +
+            std::to_string(F.size()) + " fields";
+      return false;
+    }
+    TenantConfig T;
+    T.Name = F[0];
+    T.Token = F[1];
+    if (!labelSafeName(T.Name)) {
+      Err = Where + ": tenant name '" + T.Name +
+            "' must be 1-64 chars of [A-Za-z0-9_-]";
+      return false;
+    }
+    if (T.Token.size() < 8 || T.Token.size() > 256) {
+      Err = Where + ": token must be 8-256 characters";
+      return false;
+    }
+    if (F.size() > 2 && (!parseU32(F[2], T.Weight) || T.Weight == 0)) {
+      Err = Where + ": weight must be a positive integer";
+      return false;
+    }
+    if (F.size() > 3 && !parseU32(F[3], T.MaxInFlight)) {
+      Err = Where + ": max_inflight must be a non-negative integer";
+      return false;
+    }
+    if (F.size() > 4 && !parseU32(F[4], T.MaxQueued)) {
+      Err = Where + ": max_queued must be a non-negative integer";
+      return false;
+    }
+    for (const TenantConfig &Seen : Parsed) {
+      if (Seen.Name == T.Name) {
+        Err = Where + ": duplicate tenant name '" + T.Name + "'";
+        return false;
+      }
+      if (Seen.Token == T.Token) {
+        Err = Where + ": duplicate token (tenants '" + Seen.Name +
+              "' and '" + T.Name + "')";
+        return false;
+      }
+    }
+    Parsed.push_back(std::move(T));
+  }
+  if (Parsed.empty()) {
+    Err = "no tenants defined";
+    return false;
+  }
+  Tenants = std::move(Parsed);
+  return true;
+}
+
+const TenantConfig *TenantRegistry::byToken(const std::string &Token) const {
+  for (const TenantConfig &T : Tenants)
+    if (T.Token == Token)
+      return &T;
+  return nullptr;
+}
+
+const TenantConfig *TenantRegistry::byName(const std::string &Name) const {
+  for (const TenantConfig &T : Tenants)
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}

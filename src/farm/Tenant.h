@@ -1,0 +1,70 @@
+//===- farm/Tenant.h - Tenant token file and quota registry ------------------===//
+///
+/// \file
+/// Tenancy configuration for the build farm. A daemon started with
+/// `--token-file=PATH` loads one tenant per line:
+///
+///     # name   token          [weight]  [max_inflight]  [max_queued]
+///     team-a   s3cret-a       3         8               64
+///     team-b   s3cret-b       1
+///
+/// Whitespace-separated; `#` starts a comment; blank lines are skipped.
+/// Omitted trailing fields take the defaults below. The token is the
+/// only credential a client presents (in a TenantAuth frame after
+/// Hello); the tenant name is what shows up in per-tenant metric labels
+/// and so is restricted to label-safe characters.
+///
+/// Loading is all-or-nothing and happens once at startup: a malformed
+/// line, a duplicate name, or a duplicate token rejects the whole file
+/// (a farm silently running with half its tenants is worse than one
+/// that refuses to start).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_FARM_TENANT_H
+#define SMLTC_FARM_TENANT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smltc {
+namespace farm {
+
+struct TenantConfig {
+  std::string Name;
+  std::string Token;
+  /// Fair-share weight: a tenant with weight 3 is admitted 3x as often
+  /// as a weight-1 tenant when both have work queued.
+  uint32_t Weight = 1;
+  /// Max requests from this tenant in flight (submitted to the compile
+  /// pool, not yet completed). 0 = unlimited.
+  uint32_t MaxInFlight = 8;
+  /// Max requests from this tenant waiting for admission. 0 =
+  /// unlimited. Beyond it the tenant gets QueueFull while others are
+  /// unaffected — one noisy tenant cannot fill the shared queue.
+  uint32_t MaxQueued = 64;
+};
+
+/// Parses and holds the tenant set. Immutable after a successful load;
+/// safe to share across threads by const reference.
+class TenantRegistry {
+public:
+  /// Loads `Path`; false + `Err` on I/O or parse failure.
+  bool loadFile(const std::string &Path, std::string &Err);
+  /// Parses token-file text (exposed for tests and in-process benches).
+  bool parse(const std::string &Text, std::string &Err);
+
+  const TenantConfig *byToken(const std::string &Token) const;
+  const TenantConfig *byName(const std::string &Name) const;
+  const std::vector<TenantConfig> &tenants() const { return Tenants; }
+  bool empty() const { return Tenants.empty(); }
+
+private:
+  std::vector<TenantConfig> Tenants;
+};
+
+} // namespace farm
+} // namespace smltc
+
+#endif // SMLTC_FARM_TENANT_H

@@ -126,30 +126,39 @@ const char *kindType(MetricEntry::Kind K) {
 
 } // namespace
 
-Counter &Registry::counter(const std::string &Name,
-                           const std::string &Help) {
+Counter &Registry::counter(const std::string &Name, const std::string &Help,
+                           const std::string &LabelKey,
+                           const std::string &LabelVal) {
   std::lock_guard<std::mutex> Lock(M);
   for (auto &E : Entries)
-    if (E->K == MetricEntry::Kind::Counter && E->Name == Name)
+    if (E->K == MetricEntry::Kind::Counter && E->Name == Name &&
+        E->LabelVal == LabelVal)
       return *E->C;
   auto E = std::make_shared<MetricEntry>();
   E->K = MetricEntry::Kind::Counter;
   E->Name = Name;
   E->Help = Help;
+  E->LabelKey = LabelKey;
+  E->LabelVal = LabelVal;
   E->C = std::make_shared<Counter>();
   Entries.push_back(E);
   return *E->C;
 }
 
-Gauge &Registry::gauge(const std::string &Name, const std::string &Help) {
+Gauge &Registry::gauge(const std::string &Name, const std::string &Help,
+                       const std::string &LabelKey,
+                       const std::string &LabelVal) {
   std::lock_guard<std::mutex> Lock(M);
   for (auto &E : Entries)
-    if (E->K == MetricEntry::Kind::Gauge && E->Name == Name)
+    if (E->K == MetricEntry::Kind::Gauge && E->Name == Name &&
+        E->LabelVal == LabelVal)
       return *E->G;
   auto E = std::make_shared<MetricEntry>();
   E->K = MetricEntry::Kind::Gauge;
   E->Name = Name;
   E->Help = Help;
+  E->LabelKey = LabelKey;
+  E->LabelVal = LabelVal;
   E->G = std::make_shared<Gauge>();
   Entries.push_back(E);
   return *E->G;
@@ -178,23 +187,31 @@ Histogram &Registry::histogram(const std::string &Name,
 
 void Registry::counterFn(const std::string &Name,
                          std::function<uint64_t()> Fn,
-                         const std::string &Help) {
+                         const std::string &Help,
+                         const std::string &LabelKey,
+                         const std::string &LabelVal) {
   std::lock_guard<std::mutex> Lock(M);
   auto E = std::make_shared<MetricEntry>();
   E->K = MetricEntry::Kind::CounterFn;
   E->Name = Name;
   E->Help = Help;
+  E->LabelKey = LabelKey;
+  E->LabelVal = LabelVal;
   E->CFn = std::move(Fn);
   Entries.push_back(E);
 }
 
 void Registry::gaugeFn(const std::string &Name, std::function<double()> Fn,
-                       const std::string &Help) {
+                       const std::string &Help,
+                       const std::string &LabelKey,
+                       const std::string &LabelVal) {
   std::lock_guard<std::mutex> Lock(M);
   auto E = std::make_shared<MetricEntry>();
   E->K = MetricEntry::Kind::GaugeFn;
   E->Name = Name;
   E->Help = Help;
+  E->LabelKey = LabelKey;
+  E->LabelVal = LabelVal;
   E->GFn = std::move(Fn);
   Entries.push_back(E);
 }

@@ -105,8 +105,17 @@ struct MetricEntry {
 /// concurrent registration, updates, and rendering.
 class Registry {
 public:
-  Counter &counter(const std::string &Name, const std::string &Help = "");
-  Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  /// Counters and gauges take the same optional single label pair as
+  /// histograms; same-name entries with distinct label values form one
+  /// family (register them back-to-back so the Prometheus renderer
+  /// emits a single HELP/TYPE header) — the farm's per-tenant
+  /// `{tenant="..."}` split uses this.
+  Counter &counter(const std::string &Name, const std::string &Help = "",
+                   const std::string &LabelKey = "",
+                   const std::string &LabelVal = "");
+  Gauge &gauge(const std::string &Name, const std::string &Help = "",
+               const std::string &LabelKey = "",
+               const std::string &LabelVal = "");
   Histogram &histogram(const std::string &Name, std::vector<double> Bounds,
                        const std::string &Help = "",
                        const std::string &LabelKey = "",
@@ -116,9 +125,13 @@ public:
   /// at render time, so it must stay valid for the registry's lifetime
   /// and be safe to call from the rendering thread.
   void counterFn(const std::string &Name, std::function<uint64_t()> Fn,
-                 const std::string &Help = "");
+                 const std::string &Help = "",
+                 const std::string &LabelKey = "",
+                 const std::string &LabelVal = "");
   void gaugeFn(const std::string &Name, std::function<double()> Fn,
-               const std::string &Help = "");
+               const std::string &Help = "",
+               const std::string &LabelKey = "",
+               const std::string &LabelVal = "");
 
   /// Prometheus text exposition (text/plain; version=0.0.4): `# HELP` /
   /// `# TYPE` per family, `_bucket`/`_sum`/`_count` series for

@@ -2,11 +2,17 @@
 
 #include "server/Client.h"
 
+#include "driver/CompileCache.h"
+#include "farm/Net.h"
+
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace smltc;
@@ -36,10 +42,30 @@ void Client::close() {
   In.clear();
 }
 
-bool Client::connect(const std::string &SocketPath, std::string &Err) {
-  close();
+namespace {
+
+/// Connect errors worth retrying: the daemon may simply not have bound
+/// its socket yet, or is briefly over its accept backlog.
+bool transientConnectErrno(int E) {
+  return E == ECONNREFUSED || E == ENOENT || E == EAGAIN ||
+         E == ETIMEDOUT || E == ECONNRESET;
+}
+
+} // namespace
+
+bool Client::connectOnce(const std::string &Target, std::string &Err,
+                         int &ErrnoOut) {
+  ErrnoOut = 0;
+  if (farm::isTcpTarget(Target)) {
+    Fd = farm::connectTcp(farm::stripTcpScheme(Target), Err);
+    if (Fd < 0) {
+      ErrnoOut = errno;
+      return false;
+    }
+    return true;
+  }
   sockaddr_un Addr;
-  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+  if (Target.empty() || Target.size() >= sizeof(Addr.sun_path)) {
     Err = "bad socket path";
     return false;
   }
@@ -50,11 +76,40 @@ bool Client::connect(const std::string &SocketPath, std::string &Err) {
   }
   std::memset(&Addr, 0, sizeof(Addr));
   Addr.sun_family = AF_UNIX;
-  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  std::strncpy(Addr.sun_path, Target.c_str(), sizeof(Addr.sun_path) - 1);
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    Err = "connect '" + SocketPath + "': " + std::strerror(errno);
+    ErrnoOut = errno;
+    Err = "connect '" + Target + "': " + std::strerror(errno);
     close();
     return false;
+  }
+  return true;
+}
+
+bool Client::connect(const std::string &Target, std::string &Err,
+                     const ConnectPolicy &Policy) {
+  close();
+  int Attempts = std::max(1, Policy.Attempts);
+  // Cheap deterministic-enough jitter: decorrelates a burst of clients
+  // all retrying after the same failure, no PRNG state to carry.
+  uint64_t JitterSeed =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (static_cast<uint64_t>(::getpid()) << 32);
+  for (int A = 0;; ++A) {
+    int E = 0;
+    if (connectOnce(Target, Err, E))
+      break;
+    if (A + 1 >= Attempts || !transientConnectErrno(E))
+      return false;
+    int Delay = Policy.BaseDelayMs << A;
+    if (Policy.Jitter && Policy.BaseDelayMs > 1) {
+      JitterSeed = JitterSeed * 6364136223846793005ull + 1442695040888963407ull;
+      Delay += static_cast<int>((JitterSeed >> 33) %
+                                (static_cast<uint64_t>(Policy.BaseDelayMs) / 2 +
+                                 1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
   }
 
   HelloMsg H;
@@ -69,6 +124,21 @@ bool Client::connect(const std::string &SocketPath, std::string &Err) {
   if (!decodeHelloOk(Resp.Payload, Ok)) {
     Err = "malformed hello-ok from server";
     close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::authenticate(const std::string &Token, AuthOkMsg &Ok,
+                          std::string &Err) {
+  TenantAuthMsg M;
+  M.Token = Token;
+  Frame F;
+  if (!roundTrip(MsgType::TenantAuth, encodeTenantAuth(M), MsgType::AuthOk,
+                 F, Err))
+    return false;
+  if (!decodeAuthOk(F.Payload, Ok)) {
+    Err = "malformed auth-ok from server";
     return false;
   }
   return true;
@@ -129,6 +199,7 @@ bool Client::recvFrame(Frame &F, std::string &Err) {
 
 bool Client::roundTrip(MsgType ReqType, const std::string &Payload,
                        MsgType Expect, Frame &Resp, std::string &Err) {
+  LastErrorStatus = Status::Ok;
   if (!sendFrame(ReqType, Payload, Err))
     return false;
   for (;;) {
@@ -138,11 +209,13 @@ bool Client::roundTrip(MsgType ReqType, const std::string &Payload,
       return true;
     if (Resp.Type == MsgType::Error) {
       ErrorMsg E;
-      if (decodeError(Resp.Payload, E))
+      if (decodeError(Resp.Payload, E)) {
+        LastErrorStatus = E.St;
         Err = std::string("server error (") + statusName(E.St) +
               "): " + E.Message;
-      else
+      } else {
         Err = "malformed error frame from server";
+      }
       return false;
     }
     // Any other frame type here is a protocol violation: the client
@@ -161,6 +234,11 @@ bool Client::compile(const CompileRequest &Req, CompileResponse &Resp,
   CompileRequest Sent = Req;
   if (Sent.RequestId == 0)
     Sent.RequestId = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  // The routing hint lets a farm router shard without re-hashing the
+  // (possibly megabytes of) source; daemons still derive their own key.
+  if (Sent.CacheKeyHash == 0)
+    Sent.CacheKeyHash = fnv1a64(
+        canonicalJobKey(Sent.Source, Sent.Opts, Sent.WithPrelude));
   Frame F;
   if (!roundTrip(MsgType::CompileReq, encodeCompileRequest(Sent),
                  MsgType::CompileResp, F, Err))

@@ -2,10 +2,14 @@
 ///
 /// \file
 /// The client half of the compile-server protocol: a blocking
-/// request/response connection over the daemon's Unix-domain socket.
-/// `connect()` performs the Hello/HelloOk version handshake; after
-/// that, each call sends one frame and reads frames until the matching
-/// response arrives. Used by `smltcc --connect` and the server tests.
+/// request/response connection over the daemon's Unix-domain socket or,
+/// with a `tcp://HOST:PORT` target, over TCP to a farm daemon/router.
+/// `connect()` performs the Hello/HelloOk version handshake and retries
+/// transient connect failures (ECONNREFUSED while the daemon is still
+/// binding, a not-yet-created socket file) with bounded, jittered
+/// exponential backoff; after that, each call sends one frame and reads
+/// frames until the matching response arrives. Used by `smltcc
+/// --connect`, the farm router, and the server tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +23,15 @@
 namespace smltc {
 namespace server {
 
+/// Bounded retry policy for `Client::connect`. Only *transient* connect
+/// errors (refused / missing socket file / timeout) are retried; real
+/// failures (bad address, permission) surface immediately.
+struct ConnectPolicy {
+  int Attempts = 3;     ///< total tries, >= 1
+  int BaseDelayMs = 40; ///< first retry delay; doubles per attempt
+  bool Jitter = true;   ///< add up to BaseDelayMs/2 of random skew
+};
+
 class Client {
 public:
   Client() = default;
@@ -28,10 +41,25 @@ public:
   Client(Client &&Other) noexcept;
   Client &operator=(Client &&Other) noexcept;
 
-  /// Connects to the daemon socket and runs the version handshake.
-  bool connect(const std::string &SocketPath, std::string &Err);
+  /// Connects to `Target` — a Unix socket path, or "tcp://HOST:PORT" —
+  /// and runs the version handshake, retrying transient connect
+  /// failures per `Policy`.
+  bool connect(const std::string &Target, std::string &Err,
+               const ConnectPolicy &Policy = ConnectPolicy());
   bool connected() const { return Fd >= 0; }
   void close();
+
+  /// Presents a tenant token (TenantAuth/AuthOk). Required before
+  /// compiling when the daemon runs with --token-file; harmless (the
+  /// implicit default tenant answers) when it does not.
+  bool authenticate(const std::string &Token, AuthOkMsg &Ok,
+                    std::string &Err);
+
+  /// The Status carried by the last Error frame a round trip saw
+  /// (Status::Ok when the last call succeeded or failed below the
+  /// protocol level). Lets callers map e.g. Unauthorized to a distinct
+  /// exit code without string-matching `Err`.
+  Status lastErrorStatus() const { return LastErrorStatus; }
 
   /// One compile round trip. Returns false only on transport/protocol
   /// failure; compile-level outcomes (QueueFull, DeadlineExceeded,
@@ -67,8 +95,13 @@ private:
   bool roundTrip(MsgType ReqType, const std::string &Payload,
                  MsgType Expect, Frame &Resp, std::string &Err);
 
+  /// One raw connect attempt; on failure fills Err and the errno seen.
+  bool connectOnce(const std::string &Target, std::string &Err,
+                   int &ErrnoOut);
+
   int Fd = -1;
   std::string In; ///< received bytes not yet parsed into frames
+  Status LastErrorStatus = Status::Ok;
 };
 
 } // namespace server

@@ -21,6 +21,7 @@ const char *smltc::server::statusName(Status S) {
   case Status::CompileFailed: return "compile_failed";
   case Status::Draining: return "draining";
   case Status::Internal: return "internal";
+  case Status::Unauthorized: return "unauthorized";
   }
   return "invalid";
 }
@@ -217,10 +218,45 @@ bool smltc::server::decodeError(const std::string &Payload, ErrorMsg &M) {
   WireReader R(Payload);
   uint8_t St = R.u8();
   M.Message = R.str(65536);
-  if (!R.atEndOk() || St > static_cast<uint8_t>(Status::Internal))
+  if (!R.atEndOk() || St > kMaxStatus)
     return false;
   M.St = static_cast<Status>(St);
   return true;
+}
+
+/// Tenant tokens are short shared secrets, not documents; cap well
+/// below any frame limit so a hostile TenantAuth cannot buffer much.
+static constexpr uint32_t kMaxTokenBytes = 512;
+
+std::string smltc::server::encodeTenantAuth(const TenantAuthMsg &M) {
+  WireWriter W;
+  W.str(M.Token);
+  return W.take();
+}
+
+bool smltc::server::decodeTenantAuth(const std::string &Payload,
+                                     TenantAuthMsg &M) {
+  WireReader R(Payload);
+  M.Token = R.str(kMaxTokenBytes);
+  return R.atEndOk() && !M.Token.empty();
+}
+
+std::string smltc::server::encodeAuthOk(const AuthOkMsg &M) {
+  WireWriter W;
+  W.str(M.Tenant);
+  W.u32(M.Weight);
+  W.u32(M.MaxInFlight);
+  W.u32(M.MaxQueued);
+  return W.take();
+}
+
+bool smltc::server::decodeAuthOk(const std::string &Payload, AuthOkMsg &M) {
+  WireReader R(Payload);
+  M.Tenant = R.str(256);
+  M.Weight = R.u32();
+  M.MaxInFlight = R.u32();
+  M.MaxQueued = R.u32();
+  return R.atEndOk();
 }
 
 std::string smltc::server::encodeStatsTextRequest(const StatsTextRequest &M) {
@@ -353,6 +389,7 @@ bool decodeOptions(WireReader &R, CompilerOptions &O, std::string &Err) {
 std::string smltc::server::encodeCompileRequest(const CompileRequest &Req) {
   WireWriter W;
   W.u64(Req.RequestId);
+  W.u64(Req.CacheKeyHash);
   W.u32(Req.DeadlineMs);
   W.u8(Req.WithPrelude);
   encodeOptions(W, Req.Opts);
@@ -365,6 +402,7 @@ bool smltc::server::decodeCompileRequest(const std::string &Payload,
                                          std::string &Err) {
   WireReader R(Payload);
   Req.RequestId = R.u64();
+  Req.CacheKeyHash = R.u64();
   Req.DeadlineMs = R.u32();
   Req.WithPrelude = R.u8() != 0;
   if (R.failed()) {
@@ -407,7 +445,7 @@ bool smltc::server::decodeCompileResponse(const std::string &Payload,
   Resp.RequestId = R.u64();
   Resp.CompileSec = R.f64();
   Resp.Errors = R.str(1u << 20);
-  if (R.failed() || St > static_cast<uint8_t>(Status::Internal) ||
+  if (R.failed() || St > kMaxStatus ||
       Tier > static_cast<uint8_t>(WireTier::Disk)) {
     Err = "malformed compile response header";
     return false;

@@ -46,7 +46,13 @@ constexpr uint32_t kFrameMagic = 0x53544C43u;
 /// (propagated into server-side trace spans), and StatsTextReq /
 /// StatsTextResp expose the metrics registry as Prometheus text or a
 /// human-readable summary.
-constexpr uint8_t kProtocolVersion = 2;
+/// v3: multi-tenant build farm. TenantAuth / AuthOk authenticate a
+/// connection against the server's token file (Status::Unauthorized on
+/// mismatch), and CompileReq carries the client-computed
+/// content-addressed cache-key hash so a FarmRouter front door can
+/// consistent-hash requests onto shard daemons without recompiling the
+/// canonical key server-side.
+constexpr uint8_t kProtocolVersion = 3;
 constexpr size_t kFrameHeaderBytes = 12;
 /// Hard cap on any frame payload; a declared length above this is a
 /// protocol error before a single payload byte is read.
@@ -64,6 +70,7 @@ enum class MsgType : uint8_t {
   StatsReq = 4,
   ShutdownReq = 5,
   StatsTextReq = 6, ///< rendered stats (Prometheus / human text), v2
+  TenantAuth = 7,   ///< per-tenant token presented after Hello, v3
   // Responses (server -> client).
   HelloOk = 64,
   Pong = 65,
@@ -72,6 +79,7 @@ enum class MsgType : uint8_t {
   ShutdownOk = 68,
   Error = 69,
   StatsTextResp = 70,
+  AuthOk = 71, ///< TenantAuth accepted; carries the tenant's quotas, v3
 };
 
 /// Render format carried by StatsTextReq.
@@ -91,7 +99,12 @@ enum class Status : uint8_t {
   CompileFailed = 8,    ///< the program itself failed to compile
   Draining = 9,         ///< server is shutting down, not accepting work
   Internal = 10,        ///< server-side invariant failure
+  Unauthorized = 11,    ///< missing/unknown tenant token (v3 auth)
 };
+
+/// Highest valid Status value; decode-side range checks use this so a
+/// new code only needs to be added in one place.
+constexpr uint8_t kMaxStatus = static_cast<uint8_t>(Status::Unauthorized);
 
 const char *statusName(Status S);
 
@@ -199,6 +212,12 @@ struct CompileRequest {
   /// server-side trace span for this request (0 = unassigned; the
   /// client fills one in before sending).
   uint64_t RequestId = 0;
+  /// Client-computed fnv1a64 of the canonical job key (v3). A routing
+  /// hint only: the FarmRouter consistent-hashes it onto a shard so the
+  /// same source lands on the same daemon's cache, but every daemon
+  /// still derives its own key from the request body — a wrong hash can
+  /// cost a cache miss, never a wrong answer. 0 = not computed.
+  uint64_t CacheKeyHash = 0;
   uint32_t DeadlineMs = 0; ///< 0 = no deadline
   bool WithPrelude = true;
   CompilerOptions Opts;
@@ -228,6 +247,20 @@ struct ErrorMsg {
   std::string Message;
 };
 
+/// Presented once per connection, after Hello. The token is the only
+/// credential; tenant identity is derived from it server-side.
+struct TenantAuthMsg {
+  std::string Token;
+};
+
+/// Acknowledges TenantAuth and tells the client what it bought.
+struct AuthOkMsg {
+  std::string Tenant;      ///< tenant name the token resolved to
+  uint32_t Weight = 1;     ///< fair-share weight
+  uint32_t MaxInFlight = 0; ///< per-tenant in-flight cap (0 = unlimited)
+  uint32_t MaxQueued = 0;   ///< per-tenant queued cap (0 = unlimited)
+};
+
 std::string encodeHello(const HelloMsg &M);
 bool decodeHello(const std::string &Payload, HelloMsg &M);
 std::string encodeHelloOk(const HelloOkMsg &M);
@@ -250,6 +283,11 @@ bool decodeCompileResponse(const std::string &Payload, CompileResponse &Resp,
 
 std::string encodeError(const ErrorMsg &M);
 bool decodeError(const std::string &Payload, ErrorMsg &M);
+
+std::string encodeTenantAuth(const TenantAuthMsg &M);
+bool decodeTenantAuth(const std::string &Payload, TenantAuthMsg &M);
+std::string encodeAuthOk(const AuthOkMsg &M);
+bool decodeAuthOk(const std::string &Payload, AuthOkMsg &M);
 
 std::string encodeStatsTextRequest(const StatsTextRequest &M);
 bool decodeStatsTextRequest(const std::string &Payload, StatsTextRequest &M);

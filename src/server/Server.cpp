@@ -4,6 +4,8 @@
 
 #include "cps/CpsOpt.h"
 #include "driver/PreludeSnapshot.h"
+#include "farm/Http.h"
+#include "farm/Net.h"
 #include "native/NativeBackend.h"
 #include "obs/Json.h"
 #include "obs/Trace.h"
@@ -13,6 +15,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -63,7 +67,11 @@ std::string ServerMetrics::toJson(size_t QueueDepthNow,
       .field("bytes_in", BytesIn)
       .field("bytes_out", BytesOut)
       .field("queue_depth", QueueDepthNow)
-      .field("queue_depth_peak", QueueDepthPeak);
+      .field("queue_depth_peak", QueueDepthPeak)
+      .field("auth_requests", AuthRequests)
+      .field("auth_rejects", AuthRejects)
+      .field("tenant_quota_rejects", TenantQuotaRejects)
+      .field("scrape_requests", ScrapeRequests);
   if (Disk)
     W.fieldRaw("disk_cache", Disk->statsJson());
   W.endObject();
@@ -83,6 +91,8 @@ CompileServer::~CompileServer() {
   Pool.reset();
   if (ListenFd >= 0)
     ::close(ListenFd);
+  if (TcpListenFd >= 0)
+    ::close(TcpListenFd);
   if (WakePipe[0] >= 0)
     ::close(WakePipe[0]);
   if (WakePipe[1] >= 0)
@@ -92,18 +102,41 @@ CompileServer::~CompileServer() {
 }
 
 bool CompileServer::start(std::string &Err) {
-  if (Opts.SocketPath.empty()) {
-    Err = "server socket path is empty";
+  if (Opts.SocketPath.empty() && Opts.ListenAddr.empty()) {
+    Err = "server needs a Unix socket path or a TCP listen address";
     return false;
   }
   sockaddr_un Addr;
-  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+  if (!Opts.SocketPath.empty() &&
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
     Err = "socket path too long (max " +
           std::to_string(sizeof(Addr.sun_path) - 1) + " bytes)";
     return false;
   }
 
+  // Tenancy: token file -> registry -> one fair-share queue per tenant.
+  // Without a token file the farm degenerates to a single implicit
+  // tenant with no per-tenant quotas, which reproduces the old
+  // single-bounded-queue admission behavior exactly.
+  if (!Opts.TokenFile.empty()) {
+    if (!Tenants.loadFile(Opts.TokenFile, Err))
+      return false;
+    AuthRequired = true;
+  }
+  Sched = std::make_unique<farm::FairShareScheduler>(Opts.MaxQueue);
+  if (AuthRequired) {
+    for (const farm::TenantConfig &T : Tenants.tenants())
+      Sched->addTenant(T);
+  } else {
+    farm::TenantConfig Def;
+    Def.Name = "default";
+    Def.MaxInFlight = 0;
+    Def.MaxQueued = 0;
+    Sched->addTenant(Def);
+  }
+
   Cache = std::make_unique<CompileCache>();
+  Cache->setMaxEntries(Opts.MaxMemCacheEntries);
   if (!Opts.DiskCachePath.empty()) {
     DiskCacheOptions DO;
     DO.Root = Opts.DiskCachePath;
@@ -116,8 +149,13 @@ bool CompileServer::start(std::string &Err) {
   BatchOptions BO;
   BO.NumThreads = Opts.NumWorkers;
   BO.Cache = Cache.get();
-  BO.MaxQueue = Opts.MaxQueue;
+  // Admission control moved up a layer: the fair-share scheduler bounds
+  // what gets in (Opts.MaxQueue globally, MaxQueued per tenant) and
+  // releases jobs only as workers free up, so the pool queue itself
+  // stays near-empty and unbounded is safe.
+  BO.MaxQueue = 0;
   Pool = std::make_unique<BatchCompiler>(BO);
+  PoolTargetInFlight = std::max<size_t>(1, Pool->numThreads());
 
   if (::pipe(WakePipe) != 0) {
     Err = std::string("pipe: ") + std::strerror(errno);
@@ -126,29 +164,38 @@ bool CompileServer::start(std::string &Err) {
   setNonBlocking(WakePipe[0]);
   setNonBlocking(WakePipe[1]);
 
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0) {
-    Err = std::string("socket: ") + std::strerror(errno);
-    return false;
+  if (!Opts.SocketPath.empty()) {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    // A previous daemon that crashed leaves a stale socket file behind;
+    // binding over it needs the unlink. A *live* daemon on the same
+    // path is the operator's error — first bind wins after the unlink.
+    ::unlink(Opts.SocketPath.c_str());
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0) {
+      Err = "bind '" + Opts.SocketPath + "': " + std::strerror(errno);
+      return false;
+    }
+    if (::listen(ListenFd, 64) != 0) {
+      Err = std::string("listen: ") + std::strerror(errno);
+      return false;
+    }
+    setNonBlocking(ListenFd);
   }
-  // A previous daemon that crashed leaves a stale socket file behind;
-  // binding over it needs the unlink. A *live* daemon on the same path
-  // is the operator's error — first bind wins after the unlink.
-  ::unlink(Opts.SocketPath.c_str());
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
-               sizeof(Addr.sun_path) - 1);
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
-             sizeof(Addr)) != 0) {
-    Err = "bind '" + Opts.SocketPath + "': " + std::strerror(errno);
-    return false;
+  if (!Opts.ListenAddr.empty()) {
+    TcpListenFd = farm::listenTcp(Opts.ListenAddr, Err);
+    if (TcpListenFd < 0)
+      return false;
+    setNonBlocking(TcpListenFd);
+    BoundTcpAddr = farm::localAddr(TcpListenFd);
   }
-  if (::listen(ListenFd, 64) != 0) {
-    Err = std::string("listen: ") + std::strerror(errno);
-    return false;
-  }
-  setNonBlocking(ListenFd);
   StartTime = std::chrono::steady_clock::now();
   registerMetrics();
   Started = true;
@@ -192,6 +239,46 @@ void CompileServer::registerMetrics() {
     "Bytes received from clients");
   C("smltcc_server_bytes_out_total", Metrics.BytesOut,
     "Bytes sent to clients");
+  C("smltcc_server_auth_requests_total", Metrics.AuthRequests,
+    "TenantAuth handshake frames handled");
+  C("smltcc_server_auth_rejects_total", Metrics.AuthRejects,
+    "Requests refused for a bad token or missing authentication");
+  C("smltcc_server_tenant_quota_rejects_total", Metrics.TenantQuotaRejects,
+    "Compile requests bounced on a per-tenant MaxQueued quota");
+  C("smltcc_server_scrape_requests_total", Metrics.ScrapeRequests,
+    "HTTP GET/HEAD /metrics scrapes served");
+
+  // Persistent-cache accounting straight from the DiskCache atomics
+  // (safe to read from any thread).
+  if (Disk) {
+    DiskCache *D = Disk.get();
+    Reg.counterFn(
+        "smltcc_disk_cache_load_calls_total", [D] { return D->loadCalls(); },
+        "Disk-cache lookup attempts");
+    Reg.counterFn(
+        "smltcc_disk_cache_load_hits_total", [D] { return D->loadHits(); },
+        "Disk-cache lookups that returned a stored entry");
+    Reg.counterFn(
+        "smltcc_disk_cache_store_calls_total", [D] { return D->storeCalls(); },
+        "Disk-cache store attempts");
+    Reg.counterFn(
+        "smltcc_disk_cache_evicted_files_total",
+        [D] { return D->evictedFiles(); },
+        "Disk-cache entries evicted to stay under the byte capacity");
+    Reg.counterFn(
+        "smltcc_disk_cache_corrupt_dropped_total",
+        [D] { return D->corruptDropped(); },
+        "Disk-cache entries unlinked because their payload failed "
+        "verification");
+    Reg.gaugeFn(
+        "smltcc_disk_cache_bytes",
+        [D] { return static_cast<double>(D->currentBytes()); },
+        "Bytes currently resident in the disk cache");
+  }
+  Reg.counterFn(
+      "smltcc_compile_cache_evictions_total",
+      [this] { return Cache ? Cache->evictedCount() : 0; },
+      "In-memory compile cache entries dropped at the entry cap");
 
   // Prelude-snapshot accounting: process-wide (the snapshot is shared by
   // every worker), read straight from the atomic counters.
@@ -230,9 +317,12 @@ void CompileServer::registerMetrics() {
   Reg.gaugeFn(
       "smltcc_server_queue_depth",
       [this] {
-        return Pool ? static_cast<double>(Pool->pendingJobs()) : 0.0;
+        size_t D = Sched ? Sched->totalQueued() : 0;
+        if (Pool)
+          D += Pool->pendingJobs();
+        return static_cast<double>(D);
       },
-      "Compile jobs queued, not yet picked up by a worker");
+      "Compile jobs queued (fair-share + pool), not yet on a worker");
   Reg.gaugeFn(
       "smltcc_server_queue_depth_peak",
       [this] { return static_cast<double>(Metrics.QueueDepthPeak); },
@@ -248,11 +338,38 @@ void CompileServer::registerMetrics() {
         "Compile request latency from frame decode to response, by cache "
         "tier",
         "tier", Tiers[I]);
+
+  // Per-tenant series. Each family loops over every tenant so the
+  // same-name entries stay consecutive (one HELP/TYPE header per run);
+  // the instrument pointers go into the scheduler's Tenant records so
+  // the hot path increments without a registry lookup.
+  if (Sched) {
+    for (auto &T : Sched->tenants())
+      T->ReqCounter =
+          &Reg.counter("smltcc_tenant_requests_total",
+                       "Compile requests per tenant (cache hits included)",
+                       "tenant", T->Cfg.Name);
+    for (auto &T : Sched->tenants())
+      T->RejCounter = &Reg.counter(
+          "smltcc_tenant_rejects_total",
+          "Per-tenant admission rejections (quota or global queue cap)",
+          "tenant", T->Cfg.Name);
+    for (auto &T : Sched->tenants())
+      Reg.gaugeFn(
+          "smltcc_tenant_inflight",
+          [TP = T.get()] { return static_cast<double>(TP->InFlight); },
+          "Jobs released to the worker pool per tenant", "tenant",
+          T->Cfg.Name);
+    for (auto &T : Sched->tenants())
+      T->LatencyHist = &Reg.histogram(
+          "smltcc_tenant_request_seconds", obs::Histogram::latencyBuckets(),
+          "Compile request latency by tenant", "tenant", T->Cfg.Name);
+  }
 }
 
 void CompileServer::recordRequestDone(
     std::chrono::steady_clock::time_point Arrival, uint64_t RequestId,
-    const char *Tier) {
+    const char *Tier, obs::Histogram *TenantHist) {
   auto Now = std::chrono::steady_clock::now();
   double Sec = std::chrono::duration<double>(Now - Arrival).count();
   int TierIdx = std::strcmp(Tier, "memory") == 0 ? 0
@@ -260,6 +377,8 @@ void CompileServer::recordRequestDone(
                                                  : 2;
   if (TierHist[TierIdx])
     TierHist[TierIdx]->observe(Sec);
+  if (TenantHist)
+    TenantHist->observe(Sec);
   if (obs::Tracer::enabled()) {
     obs::Tracer &T = obs::Tracer::instance();
     std::string Args = "\"request_id\":" + std::to_string(RequestId) +
@@ -274,7 +393,8 @@ std::string CompileServer::renderHumanStats() const {
   double Uptime = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - StartTime)
                       .count();
-  size_t Depth = Pool ? Pool->pendingJobs() : 0;
+  size_t Depth =
+      (Sched ? Sched->totalQueued() : 0) + (Pool ? Pool->pendingJobs() : 0);
   char Buf[512];
   std::string S = "smltcc compile server\n";
   std::snprintf(Buf, sizeof(Buf), "  uptime_sec:        %.1f\n", Uptime);
@@ -320,6 +440,19 @@ std::string CompileServer::renderHumanStats() const {
                   H->percentile(0.50), H->percentile(0.99));
     S += Buf;
   }
+  if (AuthRequired && Sched) {
+    S += "  tenants (weight | requests admitted rejects inflight):\n";
+    for (const auto &T : Sched->tenants()) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "    %-16s w=%u | %llu %llu %llu %u\n",
+                    T->Cfg.Name.c_str(), T->Cfg.Weight,
+                    static_cast<unsigned long long>(T->Requests),
+                    static_cast<unsigned long long>(T->Admitted),
+                    static_cast<unsigned long long>(T->QuotaRejects),
+                    T->InFlight);
+      S += Buf;
+    }
+  }
   return S;
 }
 
@@ -342,7 +475,9 @@ void CompileServer::installSignalHandlers(CompileServer *S) {
 }
 
 std::string CompileServer::metricsJson() const {
-  return Metrics.toJson(Pool ? Pool->pendingJobs() : 0, Disk.get());
+  size_t Depth =
+      (Sched ? Sched->totalQueued() : 0) + (Pool ? Pool->pendingJobs() : 0);
+  return Metrics.toJson(Depth, Disk.get());
 }
 
 void CompileServer::send(Conn &C, MsgType Type, const std::string &Payload) {
@@ -377,10 +512,42 @@ void CompileServer::beginDrain() {
     ::close(ListenFd);
     ListenFd = -1;
   }
+  if (TcpListenFd >= 0) {
+    ::close(TcpListenFd);
+    TcpListenFd = -1;
+  }
+  // Jobs still waiting in tenant queues were never released to a
+  // worker, so no completion will arrive for them: answer each with
+  // Draining right now. (In-flight jobs keep running and drain through
+  // the normal completion path.)
+  if (Sched) {
+    for (farm::QueuedJob &J : Sched->drainAll()) {
+      auto PIt = Pending.find(std::make_pair(J.ConnId, J.Seq));
+      uint64_t RequestId = 0;
+      bool Responded = false;
+      if (PIt != Pending.end()) {
+        RequestId = PIt->second.RequestId;
+        Responded = PIt->second.Responded;
+        Pending.erase(PIt);
+      }
+      auto CIt = Conns.find(J.ConnId);
+      if (CIt == Conns.end())
+        continue;
+      if (CIt->second.InFlight > 0)
+        --CIt->second.InFlight;
+      if (!Responded) {
+        ++Metrics.DrainingRejects;
+        sendCompileStatus(CIt->second, Status::Draining,
+                          "server is draining", RequestId);
+      }
+    }
+  }
 }
 
 bool CompileServer::drainComplete() const {
   if (InFlightTotal > 0)
+    return false;
+  if (Sched && Sched->totalQueued() > 0)
     return false;
   for (const auto &KV : Conns)
     if (KV.second.OutPos < KV.second.OutBuf.size())
@@ -388,9 +555,9 @@ bool CompileServer::drainComplete() const {
   return true;
 }
 
-void CompileServer::acceptClients() {
+void CompileServer::acceptClients(int ListenerFd) {
   for (;;) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = ::accept(ListenerFd, nullptr, nullptr);
     if (Fd < 0)
       return; // EAGAIN or transient error: poll again
     if (Conns.size() >= Opts.MaxConnections) {
@@ -399,6 +566,11 @@ void CompileServer::acceptClients() {
       continue;
     }
     setNonBlocking(Fd);
+    if (ListenerFd == TcpListenFd) {
+      // Responses are one write each; don't let Nagle sit on them.
+      int One = 1;
+      (void)::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    }
     Conn C;
     C.Fd = Fd;
     C.Id = NextConnId++;
@@ -430,6 +602,16 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
     C.Closing = true;
     return;
   }
+  if (!C.Tenant) {
+    ++Metrics.AuthRejects;
+    sendCompileStatus(C, Status::Unauthorized,
+                      "tenant authentication required before compiling",
+                      Req.RequestId);
+    return;
+  }
+  ++C.Tenant->Requests;
+  if (C.Tenant->ReqCounter)
+    C.Tenant->ReqCounter->inc();
   if (Draining) {
     ++Metrics.DrainingRejects;
     sendCompileStatus(C, Status::Draining, "server is draining",
@@ -451,7 +633,8 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
         ++Metrics.CompileErrors;
         sendCompileStatus(C, Status::CompileFailed, Hit->Errors,
                           Req.RequestId);
-        recordRequestDone(Arrival, Req.RequestId, TierName);
+        recordRequestDone(Arrival, Req.RequestId, TierName,
+                          C.Tenant->LatencyHist);
         return;
       }
       ++Metrics.CompileOk;
@@ -466,21 +649,102 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
       Resp.RequestId = Req.RequestId;
       send(C, MsgType::CompileResp,
            encodeCompileResponse(Resp, Hit->Program));
-      recordRequestDone(Arrival, Req.RequestId, TierName);
+      recordRequestDone(Arrival, Req.RequestId, TierName,
+                        C.Tenant->LatencyHist);
       return;
     }
   }
 
   uint64_t ConnId = C.Id;
   uint64_t Seq = C.NextSeq++;
-  CompileJob Job;
-  Job.Source = std::move(Req.Source);
-  Job.Opts = Req.Opts;
-  Job.WithPrelude = Req.WithPrelude;
-  Job.TraceRequestId = Req.RequestId;
+  farm::QueuedJob QJ;
+  QJ.ConnId = ConnId;
+  QJ.Seq = Seq;
+  QJ.Job.Source = std::move(Req.Source);
+  QJ.Job.Opts = Req.Opts;
+  QJ.Job.WithPrelude = Req.WithPrelude;
+  QJ.Job.TraceRequestId = Req.RequestId;
+  QJ.DeadlineMs = Req.DeadlineMs;
 
+  farm::FairShareScheduler::Verdict V =
+      Sched->enqueue(*C.Tenant, std::move(QJ));
+  if (V != farm::FairShareScheduler::Verdict::Queued) {
+    ++Metrics.QueueFullRejects;
+    if (V == farm::FairShareScheduler::Verdict::TenantQueueFull)
+      ++Metrics.TenantQuotaRejects;
+    if (C.Tenant->RejCounter)
+      C.Tenant->RejCounter->inc();
+    sendCompileStatus(
+        C, Status::QueueFull,
+        V == farm::FairShareScheduler::Verdict::TenantQueueFull
+            ? "tenant queue quota at capacity; retry later"
+            : "compile queue at capacity; retry later",
+        Req.RequestId);
+    return;
+  }
+
+  PendingReq P;
+  P.Arrival = Arrival;
+  P.RequestId = Req.RequestId;
+  P.Tenant = C.Tenant;
+  if (Req.DeadlineMs) {
+    P.HasDeadline = true;
+    P.Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Req.DeadlineMs);
+  }
+  Pending.emplace(std::make_pair(ConnId, Seq), P);
+  ++C.InFlight;
+  size_t Depth = Sched->totalQueued();
+  if (Depth > Metrics.QueueDepthPeak)
+    Metrics.QueueDepthPeak = Depth;
+  pumpScheduler();
+}
+
+void CompileServer::pumpScheduler() {
+  if (!Sched || !Pool)
+    return;
+  while (InFlightTotal < PoolTargetInFlight) {
+    farm::QueuedJob J;
+    farm::FairShareScheduler::Tenant *Owner = nullptr;
+    if (!Sched->popNext(J, Owner))
+      return;
+    auto PIt = Pending.find(std::make_pair(J.ConnId, J.Seq));
+    auto CIt = Conns.find(J.ConnId);
+    if (PIt == Pending.end() || PIt->second.Responded ||
+        CIt == Conns.end()) {
+      // The deadline sweep already answered it, or the client left:
+      // the job never runs, so settle the tenant's in-flight charge
+      // here instead of in the completion path.
+      Sched->onComplete(*Owner);
+      if (PIt != Pending.end())
+        Pending.erase(PIt);
+      if (CIt != Conns.end() && CIt->second.InFlight > 0)
+        --CIt->second.InFlight;
+      continue;
+    }
+    uint64_t RequestId = PIt->second.RequestId;
+    PIt->second.Submitted = true;
+    if (!submitToPool(std::move(J))) {
+      // Pool is shutting down; nothing further will be accepted.
+      Sched->onComplete(*Owner);
+      Pending.erase(PIt);
+      if (CIt->second.InFlight > 0)
+        --CIt->second.InFlight;
+      ++Metrics.DrainingRejects;
+      sendCompileStatus(CIt->second, Status::Draining,
+                        "server is shutting down", RequestId);
+      continue;
+    }
+    ++InFlightTotal;
+  }
+}
+
+bool CompileServer::submitToPool(farm::QueuedJob J) {
+  uint64_t ConnId = J.ConnId;
+  uint64_t Seq = J.Seq;
+  uint32_t DeadlineMs = J.DeadlineMs;
   SubmitStatus St = Pool->submitJob(
-      std::move(Job),
+      std::move(J.Job),
       [this, ConnId, Seq](AsyncCompileResult R) {
         {
           std::lock_guard<std::mutex> Lock(CompMutex);
@@ -489,36 +753,67 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
         char B = 'c';
         (void)!::write(WakePipe[1], &B, 1);
       },
-      Req.DeadlineMs);
+      DeadlineMs);
+  return St == SubmitStatus::Accepted;
+}
 
-  if (St == SubmitStatus::QueueFull) {
-    ++Metrics.QueueFullRejects;
-    sendCompileStatus(C, Status::QueueFull,
-                      "compile queue at capacity; retry later",
-                      Req.RequestId);
+void CompileServer::handleTenantAuth(Conn &C, const Frame &F) {
+  ++Metrics.AuthRequests;
+  TenantAuthMsg M;
+  if (!decodeTenantAuth(F.Payload, M)) {
+    ++Metrics.ProtocolErrors;
+    sendError(C, Status::BadFrame, "malformed tenant auth");
+    C.Closing = true;
     return;
   }
-  if (St == SubmitStatus::ShuttingDown) {
-    ++Metrics.DrainingRejects;
-    sendCompileStatus(C, Status::Draining, "server is shutting down",
-                      Req.RequestId);
-    return;
+  if (AuthRequired) {
+    const farm::TenantConfig *T = Tenants.byToken(M.Token);
+    if (!T) {
+      ++Metrics.AuthRejects;
+      sendError(C, Status::Unauthorized, "unknown tenant token");
+      C.Closing = true;
+      return;
+    }
+    C.Tenant = Sched->byName(T->Name);
   }
+  // Without a token file C.Tenant is already the implicit default
+  // (assigned at Hello); answer AuthOk anyway so clients can send a
+  // token unconditionally.
+  AuthOkMsg Ok;
+  Ok.Tenant = C.Tenant->Cfg.Name;
+  Ok.Weight = C.Tenant->Cfg.Weight;
+  Ok.MaxInFlight = C.Tenant->Cfg.MaxInFlight;
+  Ok.MaxQueued = C.Tenant->Cfg.MaxQueued;
+  send(C, MsgType::AuthOk, encodeAuthOk(Ok));
+}
 
-  PendingReq P;
-  P.Arrival = Arrival;
-  P.RequestId = Req.RequestId;
-  if (Req.DeadlineMs) {
-    P.HasDeadline = true;
-    P.Deadline = std::chrono::steady_clock::now() +
-                 std::chrono::milliseconds(Req.DeadlineMs);
+void CompileServer::handleHttp(Conn &C) {
+  std::string Method, Path;
+  farm::HttpParse R = farm::parseHttpRequest(C.In, Method, Path);
+  if (R == farm::HttpParse::NeedMore)
+    return;
+  ++Metrics.Requests;
+  std::string Resp;
+  if (R == farm::HttpParse::Bad) {
+    ++Metrics.ProtocolErrors;
+    Resp = farm::httpResponse(400, "text/plain; charset=utf-8",
+                              "bad request\n");
+  } else if (Method != "GET" && Method != "HEAD") {
+    Resp = farm::httpResponse(405, "text/plain; charset=utf-8",
+                              "method not allowed\n");
+  } else if (Path == "/metrics") {
+    ++Metrics.ScrapeRequests;
+    Resp = farm::httpResponse(200, farm::kPromContentType,
+                              Reg.renderPrometheus(), Method == "HEAD");
+  } else {
+    Resp = farm::httpResponse(404, "text/plain; charset=utf-8",
+                              "not found; try /metrics\n");
   }
-  Pending.emplace(std::make_pair(ConnId, Seq), P);
-  ++C.InFlight;
-  ++InFlightTotal;
-  size_t Depth = Pool->pendingJobs();
-  if (Depth > Metrics.QueueDepthPeak)
-    Metrics.QueueDepthPeak = Depth;
+  Metrics.BytesOut += Resp.size();
+  C.OutBuf.append(Resp);
+  C.In.clear();
+  C.Closing = true; // one request per connection
+  flushClient(C);
 }
 
 void CompileServer::handleFrame(Conn &C, const Frame &F) {
@@ -547,11 +842,16 @@ void CompileServer::handleFrame(Conn &C, const Frame &F) {
       return;
     }
     C.GotHello = true;
+    if (!AuthRequired)
+      C.Tenant = Sched->byName("default");
     HelloOkMsg Ok;
     Ok.ServerName = "smltccd";
     send(C, MsgType::HelloOk, encodeHelloOk(Ok));
     return;
   }
+  case MsgType::TenantAuth:
+    handleTenantAuth(C, F);
+    return;
   case MsgType::Ping: {
     ++Metrics.PingRequests;
     if (F.Payload.size() > kMaxPingPayload) {
@@ -591,6 +891,13 @@ void CompileServer::handleFrame(Conn &C, const Frame &F) {
     return;
   }
   case MsgType::ShutdownReq: {
+    if (AuthRequired && !C.Tenant) {
+      ++Metrics.AuthRejects;
+      sendError(C, Status::Unauthorized,
+                "tenant authentication required to shut the server down");
+      C.Closing = true;
+      return;
+    }
     ++Metrics.ShutdownRequests;
     send(C, MsgType::ShutdownOk, std::string());
     C.Closing = true;
@@ -631,6 +938,18 @@ void CompileServer::readClient(Conn &C) {
     C.OutBuf.clear();
     C.OutPos = 0;
     break;
+  }
+
+  // The TCP listener doubles as a Prometheus scrape target: bytes that
+  // start like an HTTP request line are routed to the tiny HTTP
+  // handler instead of the frame parser (the frame magic can never
+  // collide with a method name).
+  if (!C.Http && !C.GotHello && farm::looksLikeHttp(C.In))
+    C.Http = true;
+  if (C.Http) {
+    if (!C.Closing)
+      handleHttp(C);
+    return;
   }
 
   while (!C.Closing && !C.In.empty()) {
@@ -691,6 +1010,14 @@ void CompileServer::drainCompletions() {
     auto Arrival = PIt != Pending.end()
                        ? PIt->second.Arrival
                        : std::chrono::steady_clock::now();
+    obs::Histogram *TenantHist = nullptr;
+    if (PIt != Pending.end() && PIt->second.Tenant) {
+      // Return the fair-share in-flight slot; the tenant record
+      // outlives every connection, so this is safe even when the
+      // client is gone.
+      Sched->onComplete(*PIt->second.Tenant);
+      TenantHist = PIt->second.Tenant->LatencyHist;
+    }
     if (PIt != Pending.end())
       Pending.erase(PIt);
 
@@ -719,7 +1046,7 @@ void CompileServer::drainCompletions() {
     if (!Out.Ok) {
       ++Metrics.CompileErrors;
       sendCompileStatus(C, Status::CompileFailed, Out.Errors, RequestId);
-      recordRequestDone(Arrival, RequestId, TierName);
+      recordRequestDone(Arrival, RequestId, TierName, TenantHist);
       continue;
     }
     ++Metrics.CompileOk;
@@ -740,8 +1067,10 @@ void CompileServer::drainCompletions() {
     Resp.CompileSec = Out.Metrics.CacheHit ? 0.0 : Out.Metrics.TotalSec;
     Resp.Program = Out.Program;
     send(C, MsgType::CompileResp, encodeCompileResponse(Resp));
-    recordRequestDone(Arrival, RequestId, TierName);
+    recordRequestDone(Arrival, RequestId, TierName, TenantHist);
   }
+  // Workers freed up: release the next fair-share picks.
+  pumpScheduler();
 }
 
 void CompileServer::sweepDeadlines() {
@@ -775,8 +1104,15 @@ uint64_t CompileServer::run() {
     Fds.clear();
     ConnIds.clear();
     Fds.push_back(pollfd{WakePipe[0], POLLIN, 0});
-    if (ListenFd >= 0)
+    size_t UnixIdx = SIZE_MAX, TcpIdx = SIZE_MAX;
+    if (ListenFd >= 0) {
+      UnixIdx = Fds.size();
       Fds.push_back(pollfd{ListenFd, POLLIN, 0});
+    }
+    if (TcpListenFd >= 0) {
+      TcpIdx = Fds.size();
+      Fds.push_back(pollfd{TcpListenFd, POLLIN, 0});
+    }
     size_t ConnBase = Fds.size();
     for (auto &KV : Conns) {
       short Ev = POLLIN;
@@ -799,9 +1135,12 @@ uint64_t CompileServer::run() {
     drainCompletions();
     sweepDeadlines();
 
-    if (ListenFd >= 0 && Fds.size() > 1 && Fds[1].fd == ListenFd &&
-        (Fds[1].revents & POLLIN))
-      acceptClients();
+    if (UnixIdx != SIZE_MAX && ListenFd >= 0 &&
+        (Fds[UnixIdx].revents & POLLIN))
+      acceptClients(ListenFd);
+    if (TcpIdx != SIZE_MAX && TcpListenFd >= 0 &&
+        (Fds[TcpIdx].revents & POLLIN))
+      acceptClients(TcpListenFd);
 
     for (size_t I = 0; I < ConnIds.size(); ++I) {
       auto It = Conns.find(ConnIds[I]);

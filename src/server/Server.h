@@ -31,6 +31,8 @@
 #define SMLTC_SERVER_SERVER_H
 
 #include "driver/Batch.h"
+#include "farm/FairShare.h"
+#include "farm/Tenant.h"
 #include "obs/Metrics.h"
 #include "server/DiskCache.h"
 #include "server/Protocol.h"
@@ -45,15 +47,30 @@ namespace smltc {
 namespace server {
 
 struct ServerOptions {
+  /// Unix-domain socket path; may be empty when ListenAddr is set.
   std::string SocketPath;
+  /// TCP listen address "HOST:PORT" ("[::1]:PORT" for IPv6 literals;
+  /// port 0 = kernel-assigned, see tcpAddr()). Empty = no TCP listener.
+  /// The same frame protocol and caps apply on both transports, and the
+  /// TCP listener additionally answers HTTP `GET /metrics` scrapes.
+  std::string ListenAddr;
+  /// Tenant token file (farm/Tenant.h format). When set, every compile
+  /// must be preceded by a TenantAuth frame or it is answered with
+  /// Status::Unauthorized. Empty = single implicit "default" tenant, no
+  /// auth required.
+  std::string TokenFile;
   /// Compile workers (BatchCompiler pool); 0 = hardware concurrency.
   size_t NumWorkers = 0;
   /// Admission cap: compile jobs queued (not yet running) before new
-  /// requests are rejected with Status::QueueFull.
+  /// requests are rejected with Status::QueueFull. This is the
+  /// farm-wide bound; per-tenant MaxQueued quotas apply underneath it.
   size_t MaxQueue = 64;
   /// Persistent cache directory; empty = in-memory cache only.
   std::string DiskCachePath;
   uint64_t DiskCacheCapBytes = 256ull << 20;
+  /// In-memory compile cache entry cap (0 = unbounded). Farm shards set
+  /// this so a daemon's resident set tracks its consistent-hash slice.
+  size_t MaxMemCacheEntries = 0;
   /// Poll-loop tick; bounds deadline-sweep latency.
   int PollIntervalMs = 20;
   size_t MaxConnections = 128;
@@ -81,6 +98,10 @@ struct ServerMetrics {
   uint64_t BytesIn = 0;
   uint64_t BytesOut = 0;
   size_t QueueDepthPeak = 0;
+  uint64_t AuthRequests = 0;       ///< TenantAuth frames handled
+  uint64_t AuthRejects = 0;        ///< bad token / missing auth
+  uint64_t TenantQuotaRejects = 0; ///< per-tenant MaxQueued bounces
+  uint64_t ScrapeRequests = 0;     ///< HTTP GET/HEAD /metrics hits
 
   /// Renders the counters (plus live queue depth and disk-cache stats
   /// when attached) as one JSON object.
@@ -119,6 +140,10 @@ public:
   std::string metricsJson() const;
 
   const std::string &socketPath() const { return Opts.SocketPath; }
+  /// The TCP address actually bound ("HOST:PORT", numeric), resolved
+  /// after start() — meaningful when Opts.ListenAddr was set; kernel-
+  /// assigned ephemeral ports show their real number here.
+  const std::string &tcpAddr() const { return BoundTcpAddr; }
 
 private:
   struct Conn {
@@ -129,8 +154,12 @@ private:
     size_t OutPos = 0;
     bool GotHello = false;
     bool Closing = false; ///< close once OutBuf is flushed
+    bool Http = false;    ///< first bytes looked like HTTP, not frames
     size_t InFlight = 0;  ///< compile requests awaiting a response
     uint64_t NextSeq = 0;
+    /// Resolved tenant (after TenantAuth; the implicit default tenant
+    /// when no token file is loaded). Null = not yet authenticated.
+    farm::FairShareScheduler::Tenant *Tenant = nullptr;
   };
 
   /// One compile request awaiting completion; keyed by (ConnId, Seq).
@@ -140,6 +169,10 @@ private:
     uint64_t RequestId = 0; ///< client-assigned; echoed in the response
     bool HasDeadline = false;
     bool Responded = false; ///< deadline sweep already answered it
+    bool Submitted = false; ///< released to the worker pool already
+    /// Owning tenant; scheduler tenants are heap-allocated and live for
+    /// the server's lifetime, so the pointer stays valid.
+    farm::FairShareScheduler::Tenant *Tenant = nullptr;
   };
 
   /// A finished job travelling from a worker to the poll loop.
@@ -149,10 +182,18 @@ private:
     AsyncCompileResult R;
   };
 
-  void acceptClients();
+  void acceptClients(int Fd);
   void readClient(Conn &C);
   void handleFrame(Conn &C, const Frame &F);
   void handleCompile(Conn &C, const Frame &F);
+  void handleTenantAuth(Conn &C, const Frame &F);
+  void handleHttp(Conn &C);
+  /// Releases fair-share-queued jobs to the pool while workers have
+  /// headroom; called after enqueue and after every completion drain.
+  void pumpScheduler();
+  /// Submits one released job to the pool; false only when the pool is
+  /// shutting down.
+  bool submitToPool(farm::QueuedJob J);
   void drainCompletions();
   void sweepDeadlines();
   void flushClient(Conn &C);
@@ -167,10 +208,12 @@ private:
   /// Publishes the counters, uptime/queue gauges, and per-tier latency
   /// histograms into `Reg` (start() calls this once).
   void registerMetrics();
-  /// Records one answered compile request: latency histogram for its
-  /// cache tier plus a "request" trace span carrying the request id.
+  /// Records one answered compile request: latency histograms for its
+  /// cache tier and tenant, plus a "request" trace span carrying the
+  /// request id.
   void recordRequestDone(std::chrono::steady_clock::time_point Arrival,
-                         uint64_t RequestId, const char *Tier);
+                         uint64_t RequestId, const char *Tier,
+                         obs::Histogram *TenantHist = nullptr);
   /// The human-readable stats page (StatsTextReq, format=human).
   std::string renderHumanStats() const;
 
@@ -179,6 +222,16 @@ private:
   std::unique_ptr<CompileCache> Cache;
   std::unique_ptr<DiskCache> Disk;
   std::unique_ptr<BatchCompiler> Pool;
+
+  /// Tenancy: token registry (immutable after start) and the fair-share
+  /// scheduler (poll-thread-owned, like every Conn).
+  farm::TenantRegistry Tenants;
+  std::unique_ptr<farm::FairShareScheduler> Sched;
+  bool AuthRequired = false;
+  /// Jobs released to the pool concurrently; matches the worker count
+  /// so fair-share decisions are made as late as possible while workers
+  /// never starve.
+  size_t PoolTargetInFlight = 1;
 
   /// Prometheus/JSON metric registry (StatsTextReq). Callback
   /// instruments read the ServerMetrics counters; rendering happens on
@@ -190,7 +243,9 @@ private:
   /// disk=1, miss=2. Owned by `Reg`.
   obs::Histogram *TierHist[3] = {nullptr, nullptr, nullptr};
 
-  int ListenFd = -1;
+  int ListenFd = -1;    ///< Unix-domain listener (-1 = none)
+  int TcpListenFd = -1; ///< TCP listener (-1 = none)
+  std::string BoundTcpAddr;
   int WakePipe[2] = {-1, -1};
   bool Started = false;
   bool Draining = false;

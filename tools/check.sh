@@ -24,11 +24,19 @@
 #    matrix), plus a CLI differential — one corpus program compiled
 #    under --prelude=snapshot and --prelude=inline must print identical
 #    results.
-# 8. Rebuild under ThreadSanitizer and run the batch-engine,
-#    compile-server, and observability tests, so data races in the
-#    worker pool, poll loop, disk cache, and trace/metric registries are
-#    caught mechanically.
-# 9. Rebuild under AddressSanitizer and run the full suite (including
+# 8. Smoke the build farm: the farm_throughput gates (byte-identical
+#    responses through the router, 2-shard cache scaling, clean
+#    QueueFull-only overload, live /metrics), then a CLI-driven farm —
+#    two --listen daemons behind a --router on loopback, a tenant-
+#    authenticated compile through the router diffed against a local
+#    run, a raw HTTP /metrics scrape asserting per-tenant counters, and
+#    strict validation of the farm flags (--listen=bogus / empty
+#    --backends exit 64, a missing --token-file exits 66).
+# 9. Rebuild under ThreadSanitizer and run the batch-engine,
+#    compile-server, farm, and observability tests, so data races in
+#    the worker pool, poll loop, router threads, disk cache, and
+#    trace/metric registries are caught mechanically.
+# 10. Rebuild under AddressSanitizer and run the full suite (including
 #    the protocol frame fuzzer, the optimizer differential harness, and
 #    the native-backend differential tests, whose dlopen'd artifacts run
 #    inside the instrumented process), so heap/GC bugs and codec
@@ -145,12 +153,103 @@ for Bad in --vm-dispatch=bogus --cps-opt=bogus --backend=bogus --prelude=bogus; 
   fi
 done
 
+echo "== smoke: farm_throughput (router identity + scaling + overload gates) =="
+(cd "$ROOT/build" && ./bench/farm_throughput --smoke \
+  --out="$ROOT/build/BENCH_farm_smoke.json")
+
+echo "== smoke: farm CLI (2 shard daemons + router on loopback) =="
+FARM_TOKENS="/tmp/smltcc-check-tokens-$$"
+FARM_LOG1="/tmp/smltcc-check-shard1-$$.log"
+FARM_LOG2="/tmp/smltcc-check-shard2-$$.log"
+FARM_LOG3="/tmp/smltcc-check-router-$$.log"
+printf 'team-a check-token-aaaa 3 8 64\nteam-b check-token-bbbb 1 8 64\n' \
+  > "$FARM_TOKENS"
+"$SMLTCC" --daemon --listen=127.0.0.1:0 --token-file="$FARM_TOKENS" \
+  2>"$FARM_LOG1" &
+SHARD1_PID=$!
+"$SMLTCC" --daemon --listen=127.0.0.1:0 --token-file="$FARM_TOKENS" \
+  2>"$FARM_LOG2" &
+SHARD2_PID=$!
+trap 'kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null || true; \
+  rm -f "$FARM_TOKENS" "$FARM_LOG1" "$FARM_LOG2" "$FARM_LOG3"' EXIT
+sleep 1
+SHARD1="$(sed -n 's#.*listening on tcp://##p' "$FARM_LOG1")"
+SHARD2="$(sed -n 's#.*listening on tcp://##p' "$FARM_LOG2")"
+[[ -n "$SHARD1" && -n "$SHARD2" ]] || { echo "FAIL: shards did not bind" >&2; exit 1; }
+"$SMLTCC" --router --listen=127.0.0.1:0 --backends="$SHARD1,$SHARD2" \
+  2>"$FARM_LOG3" &
+ROUTER_PID=$!
+trap 'kill "$SHARD1_PID" "$SHARD2_PID" "$ROUTER_PID" 2>/dev/null || true; \
+  rm -f "$FARM_TOKENS" "$FARM_LOG1" "$FARM_LOG2" "$FARM_LOG3"' EXIT
+sleep 1
+ROUTER="$(sed -n 's#.*listening on ##p' "$FARM_LOG3")"
+[[ -n "$ROUTER" ]] || { echo "FAIL: router did not bind" >&2; exit 1; }
+"$SMLTCC" --connect="tcp://$ROUTER" --token=check-token-aaaa --remote-ping
+# A compile through the router must print exactly what a local run does.
+FARM_EXPR='fun main () = let fun go 0 acc = acc | go n acc = go (n - 1) (acc + n) in go 100 0 end'
+LOCAL_OUT="$("$SMLTCC" --expr "$FARM_EXPR")"
+ROUTED_OUT="$("$SMLTCC" --connect="tcp://$ROUTER" --token=check-token-bbbb \
+  --expr "$FARM_EXPR")"
+echo "$ROUTED_OUT" | grep 'result = 5050' >/dev/null
+if [[ "$LOCAL_OUT" != "$ROUTED_OUT" ]]; then
+  echo "FAIL: routed compile output differs from local output" >&2
+  exit 1
+fi
+# An unauthenticated compile against a token-file daemon must exit 77.
+Rc=0; "$SMLTCC" --connect="tcp://$SHARD1" --expr 'fun main () = 1' \
+  >/dev/null 2>&1 || Rc=$?
+if [[ "$Rc" != 77 ]]; then
+  echo "FAIL: unauthenticated remote compile exited $Rc, expected 77" >&2
+  exit 1
+fi
+# The shard's TCP port doubles as the Prometheus scrape endpoint, with
+# live per-tenant series.
+python3 - "$SHARD1" <<'PYEOF'
+import socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=5)
+s.sendall(b"GET /metrics HTTP/1.1\r\nHost: check\r\n\r\n")
+resp = b""
+while chunk := s.recv(65536):
+    resp += chunk
+text = resp.decode()
+assert text.startswith("HTTP/1.1 200"), text[:100]
+assert "# TYPE smltcc_tenant_requests_total counter" in text
+assert 'smltcc_tenant_requests_total{tenant="team-a"}' in text
+assert 'smltcc_tenant_requests_total{tenant="team-b"}' in text
+PYEOF
+"$SMLTCC" --connect="tcp://$ROUTER" --remote-shutdown
+wait "$ROUTER_PID"
+"$SMLTCC" --connect="tcp://$SHARD1" --token=check-token-aaaa --remote-shutdown
+"$SMLTCC" --connect="tcp://$SHARD2" --token=check-token-aaaa --remote-shutdown
+wait "$SHARD1_PID" "$SHARD2_PID"
+trap - EXIT
+rm -f "$FARM_TOKENS" "$FARM_LOG1" "$FARM_LOG2" "$FARM_LOG3"
+
+echo "== smoke: strict farm flag validation =="
+Rc=0; "$SMLTCC" --daemon --listen=bogus >/dev/null 2>&1 || Rc=$?
+if [[ "$Rc" != 64 ]]; then
+  echo "FAIL: --listen=bogus exited $Rc, expected usage error 64" >&2
+  exit 1
+fi
+Rc=0; "$SMLTCC" --router --listen=127.0.0.1:0 --backends= >/dev/null 2>&1 || Rc=$?
+if [[ "$Rc" != 64 ]]; then
+  echo "FAIL: empty --backends exited $Rc, expected usage error 64" >&2
+  exit 1
+fi
+Rc=0; "$SMLTCC" --daemon --listen=127.0.0.1:0 \
+  --token-file="/tmp/smltcc-no-such-tokens-$$" >/dev/null 2>&1 || Rc=$?
+if [[ "$Rc" != 66 ]]; then
+  echo "FAIL: missing --token-file exited $Rc, expected 66" >&2
+  exit 1
+fi
+
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: batch engine + compile server race check =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSMLTC_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j"$JOBS" --target smltc_tests
   "$ROOT/build-tsan/tests/smltc_tests" \
-    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*:Obs*:CpsOptDifferential.*:PreludeDifferential.*'
+    --gtest_filter='BatchCompilerTest.*:CompileCacheTest.*:BatchMetricsTest.*:ProtocolTest.*:DiskCacheTest.*:ServerTest.*:Obs*:CpsOptDifferential.*:PreludeDifferential.*:Farm*'
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

@@ -28,13 +28,24 @@
 //     --trace-json=FILE   write a Chrome trace-event file covering the
 //                      whole run (works in every mode, incl. --daemon)
 //
-// Compile-server modes:
+// Compile-server / build-farm modes:
 //     --daemon --socket=PATH    run as a compile server (alias: --server)
+//       --listen=HOST:PORT      also (or instead) listen on TCP; the
+//                               same port answers HTTP GET /metrics
+//       --token-file=PATH       require per-tenant auth tokens (farm
+//                               multi-tenancy: weights + quotas)
 //       --cache-dir=PATH        persistent disk cache directory
 //       --cache-cap-mb=N        disk cache size cap (default 256)
+//       --cache-mem-entries=N   in-memory cache entry cap (0 = unbounded)
 //       --workers=N             compile workers (default: hardware)
 //       --max-queue=N           queued-compile admission cap (default 64)
+//     --router --backends=A,B   run the farm front door: consistent-hash
+//                               compile requests onto backend daemons
+//                               (with --listen and/or --socket)
 //     --connect=PATH            compile via a running daemon, then run
+//     --connect=tcp://HOST:PORT same, over TCP (daemon or router)
+//       --token=SECRET          tenant token presented after the
+//                               handshake (exit 77 when rejected)
 //       --deadline-ms=N         fail the request after N ms (exit 75)
 //     --remote-stats            print the daemon's metrics JSON
 //       --format=json|prom|human  stats flavour (default: json)
@@ -44,17 +55,21 @@
 // Exit codes: 0 ok, 1 uncaught exception, 2 compile error, 3 VM trap,
 // 64 usage, 66 missing input, 69 cannot reach/protocol error against the
 // daemon, 70 native backend unavailable or refused the program, 75
-// transient server-side rejection (queue full / deadline).
+// transient server-side rejection (queue full / deadline), 77 tenant
+// token missing or rejected.
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Batch.h"
 #include "driver/Compiler.h"
+#include "farm/Net.h"
+#include "farm/Router.h"
 #include "native/NativeBackend.h"
 #include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Server.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -146,11 +161,46 @@ int runDaemon(const server::ServerOptions &SO, bool MetricsJson) {
     return 69;
   }
   server::CompileServer::installSignalHandlers(&Server);
-  std::fprintf(stderr, "smltccd: listening on %s\n",
-               Server.socketPath().c_str());
+  std::string Where = Server.socketPath();
+  if (!Server.tcpAddr().empty()) {
+    if (!Where.empty())
+      Where += " and ";
+    Where += "tcp://" + Server.tcpAddr();
+  }
+  std::fprintf(stderr, "smltccd: listening on %s\n", Where.c_str());
   Server.run();
   if (MetricsJson)
     std::printf("%s\n", Server.metricsJson().c_str());
+  return 0;
+}
+
+/// Signal plumbing for `--router` (mirrors the daemon's).
+farm::FarmRouter *volatile GSignalRouter = nullptr;
+void onRouterSignal(int) {
+  if (farm::FarmRouter *R = GSignalRouter)
+    R->requestStop();
+}
+
+/// Runs `smltcc --router`: forward until SIGTERM/SIGINT or a client
+/// shutdown request.
+int runRouter(farm::RouterOptions RO) {
+  farm::FarmRouter Router(std::move(RO));
+  std::string Err;
+  if (!Router.start(Err)) {
+    std::fprintf(stderr, "smltcc --router: %s\n", Err.c_str());
+    return 69;
+  }
+  GSignalRouter = &Router;
+  struct sigaction Sa;
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sa_handler = onRouterSignal;
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  ::sigaction(SIGINT, &Sa, nullptr);
+  std::fprintf(stderr, "smltcc-router: listening on %s\n",
+               Router.tcpAddr().empty() ? "unix socket"
+                                        : Router.tcpAddr().c_str());
+  Router.run();
+  GSignalRouter = nullptr;
   return 0;
 }
 
@@ -159,6 +209,8 @@ int runDaemon(const server::ServerOptions &SO, bool MetricsJson) {
 int remoteRejectExit(server::Status St, const std::string &Errors) {
   std::fprintf(stderr, "server rejected compile (%s): %s\n",
                server::statusName(St), Errors.c_str());
+  if (St == server::Status::Unauthorized)
+    return 77;
   return St == server::Status::QueueFull ||
                  St == server::Status::DeadlineExceeded ||
                  St == server::Status::Draining
@@ -195,8 +247,10 @@ int main(int Argc, char **Argv) {
   size_t Jobs = 1;
   VmOptions VmBase;
   bool Daemon = false, RemoteStats = false, RemotePing = false;
-  bool RemoteShutdown = false;
+  bool RemoteShutdown = false, Router = false;
   std::string ConnectPath;
+  std::string Token;
+  std::vector<std::string> Backends;
   uint32_t DeadlineMs = 0;
   std::string TraceJsonPath;
   std::string StatsFormat = "json";
@@ -279,6 +333,45 @@ int main(int Argc, char **Argv) {
       Daemon = true;
     } else if (A.rfind("--socket=", 0) == 0) {
       SO.SocketPath = A.substr(9);
+    } else if (A.rfind("--listen=", 0) == 0) {
+      SO.ListenAddr = A.substr(9);
+      std::string Host, Port, AddrErr;
+      if (!farm::splitHostPort(SO.ListenAddr, Host, Port, AddrErr)) {
+        std::fprintf(stderr, "--listen=%s: %s\n", SO.ListenAddr.c_str(),
+                     AddrErr.c_str());
+        return 64;
+      }
+    } else if (A.rfind("--token-file=", 0) == 0) {
+      SO.TokenFile = A.substr(13);
+      if (SO.TokenFile.empty() || !std::ifstream(SO.TokenFile)) {
+        std::fprintf(stderr, "--token-file: cannot open '%s'\n",
+                     SO.TokenFile.c_str());
+        return 66;
+      }
+    } else if (A.rfind("--token=", 0) == 0) {
+      Token = A.substr(8);
+    } else if (A == "--router") {
+      Router = true;
+    } else if (A.rfind("--backends=", 0) == 0) {
+      std::string List = A.substr(11);
+      Backends.clear();
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string One = List.substr(Pos, Comma - Pos);
+        if (!One.empty())
+          Backends.push_back(std::move(One));
+        Pos = Comma + 1;
+      }
+      if (Backends.empty()) {
+        std::fprintf(stderr,
+                     "--backends needs a comma-separated address list\n");
+        return 64;
+      }
+    } else if (A.rfind("--cache-mem-entries=", 0) == 0) {
+      SO.MaxMemCacheEntries = static_cast<size_t>(std::atol(A.c_str() + 20));
     } else if (A.rfind("--cache-dir=", 0) == 0) {
       SO.DiskCachePath = A.substr(12);
     } else if (A.rfind("--cache-cap-mb=", 0) == 0) {
@@ -320,9 +413,14 @@ int main(int Argc, char **Argv) {
                   "[--vm-dispatch=threaded|switch|legacy] "
                   "[--vm-nursery-kb=N] [--vm-metrics-json] "
                   "[--no-prelude] (file.sml | --expr 'src')\n"
-                  "       smltcc --daemon --socket=PATH [--cache-dir=PATH] "
-                  "[--cache-cap-mb=N] [--workers=N] [--max-queue=N]\n"
-                  "       smltcc --connect=PATH [--deadline-ms=N] "
+                  "       smltcc --daemon (--socket=PATH | "
+                  "--listen=HOST:PORT) [--token-file=PATH] "
+                  "[--cache-dir=PATH] [--cache-cap-mb=N] "
+                  "[--cache-mem-entries=N] [--workers=N] [--max-queue=N]\n"
+                  "       smltcc --router --backends=ADDR[,ADDR...] "
+                  "(--listen=HOST:PORT | --socket=PATH) [--token=SECRET]\n"
+                  "       smltcc --connect=(PATH|tcp://HOST:PORT) "
+                  "[--token=SECRET] [--deadline-ms=N] "
                   "(file.sml | --expr 'src' | "
                   "--remote-stats [--format=json|prom|human] | "
                   "--remote-ping | --remote-shutdown)\n"
@@ -345,9 +443,31 @@ int main(int Argc, char **Argv) {
     Trace.Path = TraceJsonPath;
   }
 
+  if (Router) {
+    if (Backends.empty()) {
+      std::fprintf(stderr,
+                   "--router requires --backends=ADDR[,ADDR...]\n");
+      return 64;
+    }
+    if (SO.ListenAddr.empty() && SO.SocketPath.empty()) {
+      std::fprintf(stderr,
+                   "--router requires --listen=HOST:PORT or "
+                   "--socket=PATH\n");
+      return 64;
+    }
+    farm::RouterOptions RO;
+    RO.ListenAddr = SO.ListenAddr;
+    RO.SocketPath = SO.SocketPath;
+    RO.Backends = Backends;
+    RO.Token = Token;
+    return runRouter(std::move(RO));
+  }
+
   if (Daemon) {
-    if (SO.SocketPath.empty()) {
-      std::fprintf(stderr, "--daemon requires --socket=PATH\n");
+    if (SO.SocketPath.empty() && SO.ListenAddr.empty()) {
+      std::fprintf(stderr,
+                   "--daemon requires --socket=PATH or "
+                   "--listen=HOST:PORT\n");
       return 64;
     }
     return runDaemon(SO, MetricsJson);
@@ -363,6 +483,14 @@ int main(int Argc, char **Argv) {
     if (!Cl.connect(ConnectPath, Err)) {
       std::fprintf(stderr, "%s\n", Err.c_str());
       return 69;
+    }
+    if (!Token.empty()) {
+      server::AuthOkMsg AuthOk;
+      if (!Cl.authenticate(Token, AuthOk, Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        return Cl.lastErrorStatus() == server::Status::Unauthorized ? 77
+                                                                    : 69;
+      }
     }
     bool Ok = true;
     if (RemotePing)
@@ -420,6 +548,14 @@ int main(int Argc, char **Argv) {
     if (!Cl.connect(ConnectPath, Err)) {
       std::fprintf(stderr, "%s\n", Err.c_str());
       return 69;
+    }
+    if (!Token.empty()) {
+      server::AuthOkMsg AuthOk;
+      if (!Cl.authenticate(Token, AuthOk, Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        return Cl.lastErrorStatus() == server::Status::Unauthorized ? 77
+                                                                    : 69;
+      }
     }
     server::CompileRequest Req;
     Req.DeadlineMs = DeadlineMs;
