@@ -28,6 +28,7 @@
 #include "BenchUtil.h"
 
 #include "obs/Json.h"
+#include "obs/Log.h"
 #include "obs/Trace.h"
 
 #include <chrono>
@@ -97,6 +98,20 @@ int main(int Argc, char **Argv) {
   std::printf("disabled span fast path:  %.2f ns/span (%llu reps)\n",
               NsPerDisabledSpan, (unsigned long long)SpanReps);
 
+  // Same story for the structured logger: a below-threshold SMLTC_LOG
+  // must be one relaxed load + compare, with the fields expression
+  // never evaluated. Default level is Warn, so a Debug site is the
+  // disabled path.
+  obs::Logger::setLevel(obs::LogLevel::Warn);
+  const uint64_t LogReps = 4u << 20;
+  auto TL0 = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < LogReps; ++I)
+    SMLTC_LOG(obs::LogLevel::Debug, "bench", "obs_overhead_probe",
+              obs::LogFields().add("i", I).take());
+  double NsPerDisabledLog = wallSeconds(TL0) / LogReps * 1e9;
+  std::printf("disabled log fast path:   %.2f ns/site (%llu reps)\n",
+              NsPerDisabledLog, (unsigned long long)LogReps);
+
   // --- 2. Span census: how many spans one 72-job matrix records ---
   // (Compile caching would collapse repeat runs to cache probes, so
   // every pass below uses a fresh cacheless engine configuration.)
@@ -135,7 +150,11 @@ int main(int Argc, char **Argv) {
 
   // --- 3. Disabled-tracer wall + the analytic gate ---
   double DisabledWall = bestMatrixWall(Batch, Jobs, Iters);
-  double SpanCostSec = SpansPerRun * NsPerDisabledSpan / 1e9;
+  // Gate the combined disabled cost, charging one disabled log check
+  // per span — an over-count (log sites are far sparser than spans),
+  // so the analytic bound stays conservative.
+  double SpanCostSec =
+      SpansPerRun * (NsPerDisabledSpan + NsPerDisabledLog) / 1e9;
   double OverheadPct =
       DisabledWall > 0 ? 100.0 * SpanCostSec / DisabledWall : 0;
   double MeasuredEnabledPct =
@@ -145,9 +164,10 @@ int main(int Argc, char **Argv) {
               Iters);
   std::printf("enabled wall:             %.3fs (tracing on, not gated)\n",
               EnabledWall);
-  std::printf("analytic disabled cost:   %zu spans x %.2f ns = %.6fs "
-              "= %.4f%% of wall\n",
-              SpansPerRun, NsPerDisabledSpan, SpanCostSec, OverheadPct);
+  std::printf("analytic disabled cost:   %zu spans x (%.2f + %.2f) ns = "
+              "%.6fs = %.4f%% of wall\n",
+              SpansPerRun, NsPerDisabledSpan, NsPerDisabledLog, SpanCostSec,
+              OverheadPct);
   std::printf("measured enabled delta:   %+.2f%% (informational)\n\n",
               MeasuredEnabledPct);
 
@@ -159,6 +179,7 @@ int main(int Argc, char **Argv) {
   W.field("jobs", static_cast<uint64_t>(Jobs.size()));
   W.field("threads", static_cast<uint64_t>(Threads));
   W.field("ns_per_disabled_span", NsPerDisabledSpan, 3);
+  W.field("ns_per_disabled_log", NsPerDisabledLog, 3);
   W.field("spans_per_run", static_cast<uint64_t>(SpansPerRun));
   W.field("disabled_wall_sec", DisabledWall, 6);
   W.field("enabled_wall_sec", EnabledWall, 6);

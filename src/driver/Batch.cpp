@@ -158,12 +158,21 @@ void BatchCompiler::runItem(WorkItem &Item, int WorkerId, bool BigStack) {
       std::chrono::duration<double>(Now - Item.Enqueued).count();
   const CompileJob &Job = Item.Job;
 
+  // Install the request's propagated context (if any) for the job's
+  // scope: the compile_job span and all phase spans under it then
+  // parent into the originating client's trace.
+  obs::TraceContext WireCtx{Job.TraceIdHi, Job.TraceIdLo,
+                            Job.ParentSpanId};
+  obs::ScopedTraceContext CtxScope(WireCtx.valid()
+                                       ? WireCtx
+                                       : obs::Tracer::currentContext());
   if (obs::Tracer::enabled()) {
     // The span for the time the job sat queued, recorded retroactively on
     // the worker that picked it up (the enqueuing thread has moved on).
     obs::Tracer &T = obs::Tracer::instance();
     T.emitComplete("queue_wait", "batch", T.toUs(Item.Enqueued),
-                   static_cast<uint64_t>(QueueWait * 1e6));
+                   static_cast<uint64_t>(QueueWait * 1e6),
+                   std::string(), WireCtx, 0, WireCtx.SpanId);
   }
   obs::Span JobSpan("compile_job", "batch");
   JobSpan.arg("variant", Job.Opts.VariantName);

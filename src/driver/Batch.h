@@ -44,6 +44,13 @@ struct CompileJob {
   /// has no originating request. Carried into the job's trace span so a
   /// server-side trace can be joined against client logs.
   uint64_t TraceRequestId = 0;
+  /// Distributed trace context the originating request carried
+  /// (protocol v4): the worker installs it for the job's scope so the
+  /// compile_job span and every phase span under it parent into the
+  /// remote caller's trace. All-zero = no context.
+  uint64_t TraceIdHi = 0;
+  uint64_t TraceIdLo = 0;
+  uint64_t ParentSpanId = 0;
 };
 
 /// Completion of an asynchronously submitted job (`submitJob`).

@@ -40,6 +40,10 @@ constexpr const char *kCompilerVersion = "smltc-0.7.0";
 
 } // namespace
 
+const char *smltc::compilerVersion() { return kCompilerVersion; }
+
+int smltc::optionsSchemaVersion() { return kOptionsSchemaVersion; }
+
 const char *smltc::compileCacheSalt() {
   static const std::string Salt = std::string(kCompilerVersion) +
                                   ";optschema=" +

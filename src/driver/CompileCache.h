@@ -41,6 +41,12 @@ namespace smltc {
 /// older build — the key simply never matches.
 const char *compileCacheSalt();
 
+/// The two salt components individually — what `smltcc_build_info`
+/// reports on every node's /metrics, so a fleet scrape can spot a shard
+/// running a stale build or schema before it poisons a shared cache.
+const char *compilerVersion();
+int optionsSchemaVersion();
+
 /// Serializes every semantically relevant field of a compile job into a
 /// deterministic byte string, prefixed with `compileCacheSalt()`. Two
 /// jobs with equal canonical keys are guaranteed to produce identical

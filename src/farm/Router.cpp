@@ -6,6 +6,8 @@
 #include "farm/Http.h"
 #include "farm/Net.h"
 #include "obs/Json.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -154,7 +156,45 @@ bool FarmRouter::start(std::string &Err) {
   return true;
 }
 
+std::string FarmRouter::renderStatusz() const {
+  double Uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - StartTime)
+                      .count();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.field("role", "router");
+  W.key("build")
+      .beginObject()
+      .field("version", compilerVersion())
+      .field("cache_schema", optionsSchemaVersion())
+      .field("protocol", static_cast<int>(server::kProtocolVersion))
+      .endObject();
+  W.field("uptime_sec", Uptime, 1);
+  W.field("draining", StopRequested.load(std::memory_order_acquire));
+  W.field("live_connections",
+          static_cast<uint64_t>(LiveConns.load(std::memory_order_relaxed)));
+  W.field("compile_forwards",
+          CompileForwards.load(std::memory_order_relaxed));
+  W.field("retries", Retries.load(std::memory_order_relaxed));
+  W.field("unroutable", Unroutable.load(std::memory_order_relaxed));
+  W.key("backends").beginArray();
+  for (const auto &B : Backends) {
+    W.beginObject()
+        .field("addr", B->Addr)
+        .field("healthy", B->Healthy.load(std::memory_order_relaxed))
+        .field("forwarded", B->Forwarded.load(std::memory_order_relaxed))
+        .field("failures", B->Failures.load(std::memory_order_relaxed))
+        .endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
 void FarmRouter::registerMetrics() {
+  obs::registerProcessInfo(Reg, compilerVersion(),
+                           std::to_string(optionsSchemaVersion()),
+                           server::kProtocolVersion);
   auto C = [this](const char *Name, const std::atomic<uint64_t> &Field,
                   const char *Help) {
     Reg.counterFn(
@@ -288,6 +328,15 @@ uint64_t FarmRouter::run() {
       }
     }
   }
+  // Stop requested: flush any span still open on a connection thread so
+  // a --trace-json written after run() returns is complete, and say
+  // goodbye in the structured log.
+  obs::Tracer::instance().flushActive();
+  SMLTC_LOG(obs::LogLevel::Info, "router", "drain_complete",
+            obs::LogFields()
+                .add("compile_forwards",
+                     CompileForwards.load(std::memory_order_relaxed))
+                .take());
   return CompileForwards.load(std::memory_order_relaxed);
 }
 
@@ -370,6 +419,22 @@ void FarmRouter::forwardCompile(
         fnv1a64(canonicalJobKey(Req.Source, Req.Opts, Req.WithPrelude));
 
   ++CompileForwards;
+  auto Arrival = std::chrono::steady_clock::now();
+  // The router's span in the distributed trace: adopted under the
+  // client's rpc span via the wire context, and — when this router is
+  // recording — stamped into the forwarded frame as the new parent, so
+  // shard spans nest under the hop that routed them.
+  obs::TraceContext WireCtx{Req.TraceIdHi, Req.TraceIdLo,
+                            Req.ParentSpanId};
+  obs::Span Fwd("router_forward", "router");
+  Fwd.adopt(WireCtx);
+  Fwd.arg("request_id", Req.RequestId);
+  std::string ForwardPayload = F.Payload;
+  if (Fwd.spanId() != 0 && WireCtx.valid()) {
+    CompileRequest Rewritten = Req;
+    Rewritten.ParentSpanId = Fwd.spanId();
+    ForwardPayload = encodeCompileRequest(Rewritten);
+  }
   std::vector<size_t> Candidates = candidatesFor(KeyHash);
   // Healthy candidates first, in ring order; unhealthy ones still get a
   // last-resort attempt so a fully-down marking can self-correct.
@@ -393,16 +458,24 @@ void FarmRouter::forwardCompile(
       B.Healthy.store(false, std::memory_order_relaxed);
       continue;
     }
-    // Relay the request payload untouched and the response payload
-    // untouched: byte transparency end to end.
+    // Relay the request payload (re-encoded only to restamp the trace
+    // parent when this router records spans) and the response payload
+    // untouched: responses are byte-transparent end to end.
     std::string Err;
     Frame Resp;
-    bool Ok = C->sendRaw(encodeFrame(MsgType::CompileReq, F.Payload), Err) &&
-              C->recvFrame(Resp, Err);
+    bool Ok =
+        C->sendRaw(encodeFrame(MsgType::CompileReq, ForwardPayload), Err) &&
+        C->recvFrame(Resp, Err);
     if (!Ok) {
       ++B.Failures;
       B.Healthy.store(false, std::memory_order_relaxed);
       Pool[Idx].reset(); // the cached connection is broken
+      SMLTC_LOG(obs::LogLevel::Warn, "router", "backend_failed",
+                obs::LogFields()
+                    .add("backend", B.Addr)
+                    .add("request_id", Req.RequestId)
+                    .add("error", Err)
+                    .take());
       continue;
     }
     if (Resp.Type != MsgType::CompileResp &&
@@ -413,14 +486,39 @@ void FarmRouter::forwardCompile(
     }
     B.Healthy.store(true, std::memory_order_relaxed);
     ++B.Forwarded;
+    Fwd.arg("backend", B.Addr);
     sendAll(Fd, encodeFrame(Resp.Type, Resp.Payload));
+    recordForward(Arrival, Req.RequestId, WireCtx);
     return;
   }
   ++Unroutable;
+  SMLTC_LOG(obs::LogLevel::Error, "router", "unroutable",
+            obs::LogFields()
+                .add("request_id", Req.RequestId)
+                .add("candidates",
+                     static_cast<uint64_t>(Candidates.size()))
+                .take());
   ErrorMsg E;
   E.St = Status::Internal;
   E.Message = "no reachable backend for this request";
   sendAll(Fd, encodeFrame(MsgType::Error, encodeError(E)));
+  recordForward(Arrival, Req.RequestId, WireCtx);
+}
+
+void FarmRouter::recordForward(std::chrono::steady_clock::time_point Arrival,
+                               uint64_t RequestId,
+                               const obs::TraceContext &Ctx) {
+  obs::Tracer &T = obs::Tracer::instance();
+  obs::RequestSample S;
+  S.RequestId = RequestId;
+  S.TraceIdHi = Ctx.TraceIdHi;
+  S.TraceIdLo = Ctx.TraceIdLo;
+  S.TsUs = T.toUs(Arrival);
+  S.Sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Arrival)
+              .count();
+  S.Kind = "forward";
+  obs::RequestLog::instance().record(std::move(S));
 }
 
 void FarmRouter::handleHttpConn(int Fd, std::string In) {
@@ -447,9 +545,23 @@ void FarmRouter::handleHttpConn(int Fd, std::string In) {
       ++ScrapeRequests;
       Resp = httpResponse(200, kPromContentType, Reg.renderPrometheus(),
                           Method == "HEAD");
+    } else if (Path == "/healthz") {
+      bool Stopping = StopRequested.load(std::memory_order_acquire);
+      Resp = Stopping
+                 ? httpResponse(503, "text/plain; charset=utf-8",
+                                "draining\n", Method == "HEAD")
+                 : httpResponse(200, "text/plain; charset=utf-8", "ok\n",
+                                Method == "HEAD");
+    } else if (Path == "/statusz") {
+      Resp = httpResponse(200, "application/json; charset=utf-8",
+                          renderStatusz(), Method == "HEAD");
+    } else if (Path == "/tracez") {
+      Resp = httpResponse(200, "application/json; charset=utf-8",
+                          obs::renderTracezJson(), Method == "HEAD");
     } else {
-      Resp = httpResponse(404, "text/plain; charset=utf-8",
-                          "not found; try /metrics\n");
+      Resp = httpResponse(
+          404, "text/plain; charset=utf-8",
+          "not found; try /metrics, /healthz, /statusz, /tracez\n");
     }
     sendAll(Fd, Resp);
     return;

@@ -32,10 +32,12 @@
 #define SMLTC_FARM_ROUTER_H
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Protocol.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -105,6 +107,10 @@ private:
   void forwardCompile(int Fd, const server::Frame &F,
                       std::string &ConnToken,
                       std::vector<std::unique_ptr<server::Client>> &Pool);
+  /// Records one forwarded (or exhausted) compile into the process
+  /// RequestLog so the router's /tracez lists its slowest forwards.
+  void recordForward(std::chrono::steady_clock::time_point Arrival,
+                     uint64_t RequestId, const obs::TraceContext &Ctx);
   /// Returns a connected (and, if needed, authenticated) client for
   /// backend `Idx` from the per-connection pool, or null on failure.
   server::Client *backendClient(
@@ -113,6 +119,9 @@ private:
   void probeLoop();
   bool sendAll(int Fd, const std::string &Bytes);
   std::string statsJson() const;
+  /// The /statusz JSON document: build identity, uptime, drain state,
+  /// and the backend ring with per-backend health and counters.
+  std::string renderStatusz() const;
   void registerMetrics();
 
   RouterOptions Opts;
@@ -136,6 +145,8 @@ private:
   int StopPipe[2] = {-1, -1};
   std::atomic<bool> StopRequested{false};
   bool Started = false;
+  std::chrono::steady_clock::time_point StartTime{
+      std::chrono::steady_clock::now()};
 
   /// Connection threads are detached; this counts the live ones so
   /// shutdown can wait for them (receive timeouts keep every thread

@@ -177,3 +177,243 @@ JsonWriter &JsonWriter::valueRaw(const std::string &Json) {
   NeedComma = true;
   return *this;
 }
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonParser {
+  const std::string &S;
+  size_t P = 0;
+  std::string &Err;
+
+  bool fail(const std::string &Msg) {
+    Err = Msg + " at byte " + std::to_string(P);
+    return false;
+  }
+
+  void skipWs() {
+    while (P < S.size() && (S[P] == ' ' || S[P] == '\t' || S[P] == '\n' ||
+                            S[P] == '\r'))
+      ++P;
+  }
+
+  bool consume(char C, const char *What) {
+    skipWs();
+    if (P >= S.size() || S[P] != C)
+      return fail(std::string("expected ") + What);
+    ++P;
+    return true;
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    if (P + 4 > S.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = S[P++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return fail("bad \\u escape digit");
+    }
+    return true;
+  }
+
+  void appendUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xc0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else if (Cp < 0x10000) {
+      Out += static_cast<char>(0xe0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Cp >> 18));
+      Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"', "string"))
+      return false;
+    Out.clear();
+    while (true) {
+      if (P >= S.size())
+        return fail("unterminated string");
+      char C = S[P++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (P >= S.size())
+        return fail("truncated escape");
+      char E = S[P++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        uint32_t Cp;
+        if (!parseHex4(Cp))
+          return false;
+        // Surrogate pair: a high surrogate must be followed by \uDCxx.
+        if (Cp >= 0xd800 && Cp <= 0xdbff && P + 1 < S.size() &&
+            S[P] == '\\' && S[P + 1] == 'u') {
+          P += 2;
+          uint32_t Lo;
+          if (!parseHex4(Lo))
+            return false;
+          if (Lo >= 0xdc00 && Lo <= 0xdfff)
+            Cp = 0x10000 + ((Cp - 0xd800) << 10) + (Lo - 0xdc00);
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return fail("bad escape character");
+      }
+    }
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > 64)
+      return fail("nesting too deep");
+    skipWs();
+    if (P >= S.size())
+      return fail("unexpected end of input");
+    char C = S[P];
+    if (C == '{') {
+      ++P;
+      Out.K = JsonValue::Kind::Object;
+      skipWs();
+      if (P < S.size() && S[P] == '}') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        std::string Key;
+        if (!parseString(Key) || !consume(':', "':'"))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), JsonValue());
+        if (!parseValue(Out.Obj.back().second, Depth + 1))
+          return false;
+        skipWs();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          skipWs();
+          continue;
+        }
+        return consume('}', "'}'");
+      }
+    }
+    if (C == '[') {
+      ++P;
+      Out.K = JsonValue::Kind::Array;
+      skipWs();
+      if (P < S.size() && S[P] == ']') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        Out.Arr.emplace_back();
+        if (!parseValue(Out.Arr.back(), Depth + 1))
+          return false;
+        skipWs();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        return consume(']', "']'");
+      }
+    }
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (S.compare(P, 4, "true") == 0) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      P += 4;
+      return true;
+    }
+    if (S.compare(P, 5, "false") == 0) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      P += 5;
+      return true;
+    }
+    if (S.compare(P, 4, "null") == 0) {
+      Out.K = JsonValue::Kind::Null;
+      P += 4;
+      return true;
+    }
+    // Number.
+    size_t Start = P;
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    while (P < S.size() &&
+           ((S[P] >= '0' && S[P] <= '9') || S[P] == '.' || S[P] == 'e' ||
+            S[P] == 'E' || S[P] == '+' || S[P] == '-'))
+      ++P;
+    if (P == Start)
+      return fail("unexpected character");
+    try {
+      Out.Num = std::stod(S.substr(Start, P - Start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    Out.K = JsonValue::Kind::Number;
+    return true;
+  }
+};
+
+const std::string EmptyString;
+
+} // namespace
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &KV : Obj)
+    if (KV.first == Key)
+      return &KV.second;
+  return nullptr;
+}
+
+const std::string &JsonValue::getString(const std::string &Key) const {
+  const JsonValue *V = get(Key);
+  return V && V->K == Kind::String ? V->Str : EmptyString;
+}
+
+bool obs::jsonParse(const std::string &Text, JsonValue &Out,
+                    std::string &Err) {
+  Out = JsonValue();
+  JsonParser Pr{Text, 0, Err};
+  if (!Pr.parseValue(Out, 0))
+    return false;
+  Pr.skipWs();
+  if (Pr.P != Text.size()) {
+    Err = "trailing garbage at byte " + std::to_string(Pr.P);
+    return false;
+  }
+  return true;
+}

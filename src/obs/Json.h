@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace smltc {
 namespace obs {
@@ -78,6 +80,34 @@ private:
 
 /// Renders a double with fixed precision (the historical "%.Nf").
 std::string jsonDouble(double V, int Precision = 6);
+
+/// A parsed JSON value — the minimal recursive model `tools/merge_traces`
+/// and the tests use to read back what JsonWriter (and the tracer)
+/// emitted. Numbers are doubles (Chrome trace ts/dur fit exactly up to
+/// 2^53 us, ~285 years of uptime); object fields keep insertion order.
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(const std::string &Key) const;
+  /// get() that also requires the member to be a string; "" fallback.
+  const std::string &getString(const std::string &Key) const;
+};
+
+/// Strict-enough recursive-descent parse of a complete JSON document
+/// (trailing whitespace allowed, trailing garbage rejected). On failure
+/// returns false with a byte-offset diagnostic in `Err`.
+bool jsonParse(const std::string &Text, JsonValue &Out, std::string &Err);
 
 } // namespace obs
 } // namespace smltc

@@ -1,0 +1,179 @@
+//===- obs/Log.cpp - Leveled, structured, rate-limited logging ----------------===//
+
+#include "obs/Log.h"
+
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
+#include <chrono>
+
+using namespace smltc;
+using namespace smltc::obs;
+
+std::atomic<uint8_t> Logger::Level{
+    static_cast<uint8_t>(LogLevel::Warn)};
+
+const char *smltc::obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "unknown";
+}
+
+bool smltc::obs::parseLogLevel(const std::string &S, LogLevel &Out) {
+  if (S == "debug")
+    Out = LogLevel::Debug;
+  else if (S == "info")
+    Out = LogLevel::Info;
+  else if (S == "warn")
+    Out = LogLevel::Warn;
+  else if (S == "error")
+    Out = LogLevel::Error;
+  else if (S == "off")
+    Out = LogLevel::Off;
+  else
+    return false;
+  return true;
+}
+
+LogFields &LogFields::add(const char *Key, const std::string &Val) {
+  if (!Body.empty())
+    Body += ',';
+  Body += '"';
+  Body += jsonEscape(Key);
+  Body += "\":\"";
+  Body += jsonEscape(Val);
+  Body += '"';
+  return *this;
+}
+
+LogFields &LogFields::add(const char *Key, const char *Val) {
+  return add(Key, std::string(Val));
+}
+
+LogFields &LogFields::add(const char *Key, uint64_t Val) {
+  if (!Body.empty())
+    Body += ',';
+  Body += '"';
+  Body += jsonEscape(Key);
+  Body += "\":";
+  Body += std::to_string(Val);
+  return *this;
+}
+
+LogFields &LogFields::add(const char *Key, int64_t Val) {
+  if (!Body.empty())
+    Body += ',';
+  Body += '"';
+  Body += jsonEscape(Key);
+  Body += "\":";
+  Body += std::to_string(Val);
+  return *this;
+}
+
+LogFields &LogFields::add(const char *Key, double Val) {
+  if (!Body.empty())
+    Body += ',';
+  Body += '"';
+  Body += jsonEscape(Key);
+  Body += "\":";
+  Body += jsonDouble(Val, 6);
+  return *this;
+}
+
+Logger &Logger::instance() {
+  static Logger L;
+  return L;
+}
+
+bool Logger::openFile(const std::string &Path, std::string &Err) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Out) {
+    std::fclose(Out);
+    Out = nullptr;
+  }
+  if (Path.empty())
+    return true;
+  Out = std::fopen(Path.c_str(), "a");
+  if (!Out) {
+    Err = "cannot open log file '" + Path + "' for appending";
+    return false;
+  }
+  return true;
+}
+
+void Logger::closeFile() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Out) {
+    std::fclose(Out);
+    Out = nullptr;
+  }
+}
+
+void Logger::log(LogLevel L, const char *Comp, const char *Event,
+                 std::string Fields) {
+  if (!levelEnabled(L))
+    return;
+
+  double NowSec =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()) /
+      1e6;
+  TraceContext Ctx = Tracer::currentContext();
+
+  std::string Line = "{\"ts\":" + jsonDouble(NowSec, 6) +
+                     ",\"level\":\"" + logLevelName(L) + "\",\"comp\":\"" +
+                     jsonEscape(Comp) + "\",\"event\":\"" +
+                     jsonEscape(Event) + "\"";
+  if (Ctx.valid()) {
+    Line += ",\"trace_id\":\"" + traceIdHex(Ctx.TraceIdHi, Ctx.TraceIdLo) +
+            "\"";
+    if (Ctx.SpanId)
+      Line += ",\"span_id\":\"" + spanIdHex(Ctx.SpanId) + "\"";
+  }
+  if (!Fields.empty()) {
+    Line += ',';
+    Line += Fields;
+  }
+  Line += "}\n";
+
+  uint64_t WindowSec = static_cast<uint64_t>(NowSec);
+  std::lock_guard<std::mutex> Lock(M);
+  RateBucket &B = Buckets[std::string(Comp) + "/" + Event];
+  std::FILE *Dst = Out ? Out : stderr;
+  if (B.WindowSec != WindowSec) {
+    // Window rolled over: account for anything the last one dropped.
+    if (B.Dropped) {
+      std::string Summary =
+          "{\"ts\":" + jsonDouble(NowSec, 6) +
+          ",\"level\":\"warn\",\"comp\":\"" + jsonEscape(Comp) +
+          "\",\"event\":\"log_suppressed\",\"suppressed_event\":\"" +
+          jsonEscape(Event) +
+          "\",\"dropped\":" + std::to_string(B.Dropped) + "}\n";
+      std::fwrite(Summary.data(), 1, Summary.size(), Dst);
+    }
+    B.WindowSec = WindowSec;
+    B.CountInWindow = 0;
+    B.Dropped = 0;
+  }
+  if (B.CountInWindow >= kMaxPerKeyPerSec) {
+    ++B.Dropped;
+    Suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++B.CountInWindow;
+  Emitted.fetch_add(1, std::memory_order_relaxed);
+  std::fwrite(Line.data(), 1, Line.size(), Dst);
+  std::fflush(Dst);
+}

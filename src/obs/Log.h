@@ -1,0 +1,129 @@
+//===- obs/Log.h - Leveled, structured, rate-limited logging ------------------===//
+///
+/// \file
+/// One JSON line per event, to stderr or `--log-file`: a `ts` wall
+/// clock, `level`, `comp`onent, `event`, then whatever fields the call
+/// site attached — plus the thread's distributed-trace id when one is
+/// installed, so a log line from any farm node greps straight to its
+/// span in the merged trace. `--log-level` gates emission; the disabled
+/// fast path is a relaxed load and an integer compare, cheap enough to
+/// leave call sites in hot code (bench/obs_overhead covers it alongside
+/// the tracer under the same <= 2% gate).
+///
+/// Rate limiting is per (component, event) key: at most
+/// `kMaxPerKeyPerSec` lines per key per second, with one summary line
+/// (`event:"log_suppressed"`) when a window closes having dropped any —
+/// a crash-looping backend can't turn the log into its own DoS.
+///
+/// Usage:
+///   SMLTC_LOG(LogLevel::Warn, "router", "backend_unhealthy",
+///             LogFields().add("backend", Addr).take());
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLTC_OBS_LOG_H
+#define SMLTC_OBS_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace smltc {
+namespace obs {
+
+enum class LogLevel : uint8_t { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+const char *logLevelName(LogLevel L);
+/// Parses "debug"/"info"/"warn"/"error"/"off"; false on anything else.
+bool parseLogLevel(const std::string &S, LogLevel &Out);
+
+/// Pre-rendered JSON field body builder (comma-joined `"k":v` pairs, no
+/// braces — the same convention Span::arg uses).
+class LogFields {
+public:
+  LogFields &add(const char *Key, const std::string &Val);
+  LogFields &add(const char *Key, const char *Val);
+  LogFields &add(const char *Key, uint64_t Val);
+  LogFields &add(const char *Key, int64_t Val);
+  LogFields &add(const char *Key, int Val) {
+    return add(Key, static_cast<int64_t>(Val));
+  }
+  LogFields &add(const char *Key, double Val);
+  std::string take() { return std::move(Body); }
+
+private:
+  std::string Body;
+};
+
+class Logger {
+public:
+  static Logger &instance();
+
+  /// The per-call fast path: one relaxed load + compare. Default level
+  /// is Warn, so Info/Debug call sites cost nothing until --log-level
+  /// opts in.
+  static bool levelEnabled(LogLevel L) {
+    return static_cast<uint8_t>(L) >=
+           Level.load(std::memory_order_relaxed);
+  }
+  static void setLevel(LogLevel L) {
+    Level.store(static_cast<uint8_t>(L), std::memory_order_relaxed);
+  }
+  static LogLevel level() {
+    return static_cast<LogLevel>(Level.load(std::memory_order_relaxed));
+  }
+
+  /// Redirects output to `Path` (append mode); empty restores stderr.
+  bool openFile(const std::string &Path, std::string &Err);
+  /// Closes any open log file and reverts to stderr.
+  void closeFile();
+
+  /// Emits one line. `Comp`/`Event` should be static strings (they are
+  /// also the rate-limit key); `Fields` is a pre-rendered JSON object
+  /// body (LogFields) or empty. The thread's current TraceContext is
+  /// stamped automatically.
+  void log(LogLevel L, const char *Comp, const char *Event,
+           std::string Fields = std::string());
+
+  uint64_t emittedCount() const {
+    return Emitted.load(std::memory_order_relaxed);
+  }
+  uint64_t suppressedCount() const {
+    return Suppressed.load(std::memory_order_relaxed);
+  }
+
+  static constexpr uint64_t kMaxPerKeyPerSec = 50;
+
+private:
+  Logger() = default;
+
+  static std::atomic<uint8_t> Level;
+
+  struct RateBucket {
+    uint64_t WindowSec = 0;
+    uint64_t CountInWindow = 0;
+    uint64_t Dropped = 0;
+  };
+
+  std::mutex M;
+  std::FILE *Out = nullptr; ///< null = stderr
+  std::unordered_map<std::string, RateBucket> Buckets;
+  std::atomic<uint64_t> Emitted{0};
+  std::atomic<uint64_t> Suppressed{0};
+};
+
+/// Level-gated logging; the fields expression is only evaluated when
+/// the line will actually be considered for emission.
+#define SMLTC_LOG(Lvl, Comp, Event, FieldsExpr)                              \
+  do {                                                                       \
+    if (::smltc::obs::Logger::levelEnabled(Lvl))                             \
+      ::smltc::obs::Logger::instance().log(Lvl, Comp, Event, (FieldsExpr)); \
+  } while (0)
+
+} // namespace obs
+} // namespace smltc
+
+#endif // SMLTC_OBS_LOG_H

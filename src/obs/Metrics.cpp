@@ -5,6 +5,7 @@
 #include "obs/Json.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 using namespace smltc;
@@ -93,6 +94,23 @@ std::string promNumber(double V) {
 
 std::string promLabel(const MetricEntry &E, const char *Extra = nullptr,
                       const std::string &ExtraVal = std::string()) {
+  if (!E.Labels.empty()) {
+    std::string S = "{";
+    bool First = true;
+    for (const auto &KV : E.Labels) {
+      if (!First)
+        S += ",";
+      S += KV.first + "=\"" + KV.second + "\"";
+      First = false;
+    }
+    if (Extra) {
+      if (!First)
+        S += ",";
+      S += std::string(Extra) + "=\"" + ExtraVal + "\"";
+    }
+    S += "}";
+    return S;
+  }
   if (E.LabelKey.empty() && !Extra)
     return "";
   std::string S = "{";
@@ -183,6 +201,46 @@ Histogram &Registry::histogram(const std::string &Name,
   E->H = std::make_shared<Histogram>(std::move(Bounds));
   Entries.push_back(E);
   return *E->H;
+}
+
+void Registry::registerHistogram(const std::string &Name,
+                                 std::shared_ptr<Histogram> H,
+                                 const std::string &Help,
+                                 const std::string &LabelKey,
+                                 const std::string &LabelVal) {
+  if (!H)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &E : Entries)
+    if (E->K == MetricEntry::Kind::Histogram && E->Name == Name &&
+        E->LabelVal == LabelVal)
+      return;
+  auto E = std::make_shared<MetricEntry>();
+  E->K = MetricEntry::Kind::Histogram;
+  E->Name = Name;
+  E->Help = Help;
+  E->LabelKey = LabelKey;
+  E->LabelVal = LabelVal;
+  E->H = std::move(H);
+  Entries.push_back(E);
+}
+
+void Registry::infoGauge(
+    const std::string &Name,
+    std::vector<std::pair<std::string, std::string>> Labels,
+    const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &E : Entries)
+    if (E->K == MetricEntry::Kind::Gauge && E->Name == Name)
+      return;
+  auto E = std::make_shared<MetricEntry>();
+  E->K = MetricEntry::Kind::Gauge;
+  E->Name = Name;
+  E->Help = Help;
+  E->Labels = std::move(Labels);
+  E->G = std::make_shared<Gauge>();
+  E->G->set(1);
+  Entries.push_back(E);
 }
 
 void Registry::counterFn(const std::string &Name,
@@ -280,6 +338,33 @@ std::string Registry::renderPrometheus() const {
     }
   }
   return Out;
+}
+
+namespace {
+
+// Captured during static initialization, i.e. effectively at exec time —
+// every registry in the process reports the same start instant.
+const double GProcessStartSec = [] {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count()) /
+         1e6;
+}();
+
+} // namespace
+
+void obs::registerProcessInfo(Registry &R, const std::string &Version,
+                              const std::string &CacheSchema,
+                              unsigned ProtocolVersion) {
+  R.infoGauge("smltcc_build_info",
+              {{"version", Version},
+               {"cache_schema", CacheSchema},
+               {"protocol", std::to_string(ProtocolVersion)}},
+              "Build identity of this node; value is always 1.");
+  R.gaugeFn(
+      "smltcc_process_start_time_seconds", [] { return GProcessStartSec; },
+      "Unix time the process started, in seconds.");
 }
 
 std::string Registry::renderJson() const {

@@ -84,8 +84,10 @@ private:
 };
 
 /// One registered metric family. Label support is a single optional
-/// key/value pair — enough for the server's `{tier="..."}` split
-/// without growing a full label model.
+/// key/value pair — enough for the server's `{tier="..."}` split —
+/// plus an explicit multi-label list for info-style series
+/// (`smltcc_build_info{version=...,cache_schema=...,protocol=...}`).
+/// When `Labels` is non-empty it wins over LabelKey/LabelVal.
 struct MetricEntry {
   enum class Kind : uint8_t { Counter, Gauge, Histogram, CounterFn, GaugeFn };
   Kind K = Kind::Counter;
@@ -93,6 +95,7 @@ struct MetricEntry {
   std::string Help;
   std::string LabelKey;
   std::string LabelVal;
+  std::vector<std::pair<std::string, std::string>> Labels;
   std::shared_ptr<Counter> C;
   std::shared_ptr<Gauge> G;
   std::shared_ptr<Histogram> H;
@@ -120,6 +123,23 @@ public:
                        const std::string &Help = "",
                        const std::string &LabelKey = "",
                        const std::string &LabelVal = "");
+
+  /// Publishes an externally owned histogram (shared with its writer —
+  /// the VM's process-global GC pause/copy histograms use this so every
+  /// node's registry exposes the same series without the heap knowing
+  /// about registries). Same-name-same-label registration is a no-op.
+  void registerHistogram(const std::string &Name,
+                         std::shared_ptr<Histogram> H,
+                         const std::string &Help = "",
+                         const std::string &LabelKey = "",
+                         const std::string &LabelVal = "");
+
+  /// Registers a constant-1 "info" gauge with an explicit multi-label
+  /// set (Prometheus build_info convention). Re-registration under the
+  /// same name is a no-op.
+  void infoGauge(const std::string &Name,
+                 std::vector<std::pair<std::string, std::string>> Labels,
+                 const std::string &Help = "");
 
   /// Publishes an externally owned value under `Name`; `Fn` is invoked
   /// at render time, so it must stay valid for the registry's lifetime
@@ -151,6 +171,14 @@ private:
   mutable std::mutex M;
   std::vector<std::shared_ptr<MetricEntry>> Entries;
 };
+
+/// Registers the standard per-process identity series every farm node
+/// exposes: `smltcc_build_info{version,cache_schema,protocol} 1` and
+/// `smltcc_process_start_time_seconds` (Unix seconds, captured at
+/// static initialization).
+void registerProcessInfo(Registry &R, const std::string &Version,
+                         const std::string &CacheSchema,
+                         unsigned ProtocolVersion);
 
 } // namespace obs
 } // namespace smltc

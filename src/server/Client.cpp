@@ -4,6 +4,8 @@
 
 #include "driver/CompileCache.h"
 #include "farm/Net.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -239,10 +241,38 @@ bool Client::compile(const CompileRequest &Req, CompileResponse &Resp,
   if (Sent.CacheKeyHash == 0)
     Sent.CacheKeyHash = fnv1a64(
         canonicalJobKey(Sent.Source, Sent.Opts, Sent.WithPrelude));
+  // Distributed trace context (v4). The rpc span records locally when
+  // tracing is on; the wire fields are filled either way — minted here
+  // if no context is installed — so router and shard spans downstream
+  // still share one trace id even when the client itself records
+  // nothing.
+  obs::Span Rpc("rpc_compile", "client");
+  Rpc.arg("request_id", Sent.RequestId);
+  if ((Sent.TraceIdHi | Sent.TraceIdLo) == 0) {
+    obs::TraceContext Ctx = Rpc.context(); // valid when inside a trace
+    if (!Ctx.valid()) {
+      // This rpc is the trace root: mint the 128-bit id and re-parent
+      // the rpc span under it so its own record carries the id too.
+      obs::TraceContext Minted = obs::mintTraceContext();
+      Rpc.adopt(obs::TraceContext{Minted.TraceIdHi, Minted.TraceIdLo, 0});
+      Ctx = Rpc.context();
+      if (!Ctx.valid()) // tracing off: the wire still gets the mint
+        Ctx = Minted;
+    }
+    Sent.TraceIdHi = Ctx.TraceIdHi;
+    Sent.TraceIdLo = Ctx.TraceIdLo;
+    Sent.ParentSpanId = Ctx.SpanId;
+  }
   Frame F;
   if (!roundTrip(MsgType::CompileReq, encodeCompileRequest(Sent),
-                 MsgType::CompileResp, F, Err))
+                 MsgType::CompileResp, F, Err)) {
+    SMLTC_LOG(obs::LogLevel::Warn, "client", "compile_rpc_failed",
+              obs::LogFields()
+                  .add("request_id", Sent.RequestId)
+                  .add("error", Err)
+                  .take());
     return false;
+  }
   std::string DecodeErr;
   if (!decodeCompileResponse(F.Payload, Resp, DecodeErr)) {
     Err = "malformed compile response: " + DecodeErr;

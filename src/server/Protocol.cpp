@@ -390,6 +390,9 @@ std::string smltc::server::encodeCompileRequest(const CompileRequest &Req) {
   WireWriter W;
   W.u64(Req.RequestId);
   W.u64(Req.CacheKeyHash);
+  W.u64(Req.TraceIdHi);
+  W.u64(Req.TraceIdLo);
+  W.u64(Req.ParentSpanId);
   W.u32(Req.DeadlineMs);
   W.u8(Req.WithPrelude);
   encodeOptions(W, Req.Opts);
@@ -403,6 +406,9 @@ bool smltc::server::decodeCompileRequest(const std::string &Payload,
   WireReader R(Payload);
   Req.RequestId = R.u64();
   Req.CacheKeyHash = R.u64();
+  Req.TraceIdHi = R.u64();
+  Req.TraceIdLo = R.u64();
+  Req.ParentSpanId = R.u64();
   Req.DeadlineMs = R.u32();
   Req.WithPrelude = R.u8() != 0;
   if (R.failed()) {

@@ -52,7 +52,12 @@ constexpr uint32_t kFrameMagic = 0x53544C43u;
 /// content-addressed cache-key hash so a FarmRouter front door can
 /// consistent-hash requests onto shard daemons without recompiling the
 /// canonical key server-side.
-constexpr uint8_t kProtocolVersion = 3;
+/// v4: distributed tracing. CompileReq carries the client-minted
+/// 128-bit trace id plus the sender's span id (TraceIdHi / TraceIdLo /
+/// ParentSpanId), so router and shard spans for one routed compile link
+/// into a single trace; the router rewrites ParentSpanId with its
+/// forward span when re-encoding.
+constexpr uint8_t kProtocolVersion = 4;
 constexpr size_t kFrameHeaderBytes = 12;
 /// Hard cap on any frame payload; a declared length above this is a
 /// protocol error before a single payload byte is read.
@@ -218,6 +223,14 @@ struct CompileRequest {
   /// still derives its own key from the request body — a wrong hash can
   /// cost a cache miss, never a wrong answer. 0 = not computed.
   uint64_t CacheKeyHash = 0;
+  /// Distributed trace context (v4). The client mints a random 128-bit
+  /// trace id per request — even when its own tracing is off, so
+  /// downstream nodes still share one trace — and each hop stamps its
+  /// own span id into ParentSpanId before forwarding. All-zero means
+  /// "no trace context".
+  uint64_t TraceIdHi = 0;
+  uint64_t TraceIdLo = 0;
+  uint64_t ParentSpanId = 0;
   uint32_t DeadlineMs = 0; ///< 0 = no deadline
   bool WithPrelude = true;
   CompilerOptions Opts;

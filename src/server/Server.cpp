@@ -7,8 +7,11 @@
 #include "farm/Http.h"
 #include "farm/Net.h"
 #include "native/NativeBackend.h"
+#include "driver/CompileCache.h"
 #include "obs/Json.h"
+#include "obs/Log.h"
 #include "obs/Trace.h"
+#include "vm/Heap.h"
 
 #include <cerrno>
 #include <csignal>
@@ -203,8 +206,27 @@ bool CompileServer::start(std::string &Err) {
 }
 
 void CompileServer::registerMetrics() {
+  obs::registerProcessInfo(Reg, compilerVersion(),
+                           std::to_string(optionsSchemaVersion()),
+                           kProtocolVersion);
   registerCpsOptMetrics(Reg);
   native::registerNativeMetrics(Reg);
+  // The VM's process-global GC histograms; label pairs registered
+  // back-to-back so each family renders one HELP/TYPE header.
+  Reg.registerHistogram("smltcc_vm_gc_pause_seconds", gcPauseHistogram(false),
+                        "Stop-the-world GC pause duration", "gc", "minor");
+  Reg.registerHistogram("smltcc_vm_gc_pause_seconds", gcPauseHistogram(true),
+                        "Stop-the-world GC pause duration", "gc", "major");
+  Reg.registerHistogram("smltcc_vm_gc_copied_words",
+                        gcCopiedWordsHistogram(false),
+                        "Words promoted (minor) or copied (major) per "
+                        "collection",
+                        "gc", "minor");
+  Reg.registerHistogram("smltcc_vm_gc_copied_words",
+                        gcCopiedWordsHistogram(true),
+                        "Words promoted (minor) or copied (major) per "
+                        "collection",
+                        "gc", "major");
   auto C = [this](const char *Name, const uint64_t &Field,
                   const char *Help) {
     Reg.counterFn(Name, [&Field] { return Field; }, Help);
@@ -369,7 +391,9 @@ void CompileServer::registerMetrics() {
 
 void CompileServer::recordRequestDone(
     std::chrono::steady_clock::time_point Arrival, uint64_t RequestId,
-    const char *Tier, obs::Histogram *TenantHist) {
+    const char *Tier, obs::Histogram *TenantHist,
+    const obs::TraceContext &Ctx, uint64_t ServerSpanId,
+    const std::string &Tenant, std::string PhasesJson) {
   auto Now = std::chrono::steady_clock::now();
   double Sec = std::chrono::duration<double>(Now - Arrival).count();
   int TierIdx = std::strcmp(Tier, "memory") == 0 ? 0
@@ -379,13 +403,80 @@ void CompileServer::recordRequestDone(
     TierHist[TierIdx]->observe(Sec);
   if (TenantHist)
     TenantHist->observe(Sec);
+  obs::Tracer &T = obs::Tracer::instance();
   if (obs::Tracer::enabled()) {
-    obs::Tracer &T = obs::Tracer::instance();
     std::string Args = "\"request_id\":" + std::to_string(RequestId) +
                        ",\"tier\":\"" + Tier + "\"";
+    // Ctx.SpanId is the remote sender's span (the wire ParentSpanId);
+    // the request span we emit here carries its own minted id so
+    // job-side spans can parent under it.
     T.emitComplete("request", "server", T.toUs(Arrival),
-                   static_cast<uint64_t>(Sec * 1e6), std::move(Args));
+                   static_cast<uint64_t>(Sec * 1e6), std::move(Args), Ctx,
+                   ServerSpanId, Ctx.SpanId);
   }
+  obs::RequestSample S;
+  S.RequestId = RequestId;
+  S.TraceIdHi = Ctx.TraceIdHi;
+  S.TraceIdLo = Ctx.TraceIdLo;
+  S.TsUs = T.toUs(Arrival);
+  S.Sec = Sec;
+  S.Kind = Tier;
+  S.Tenant = Tenant;
+  S.PhasesJson = std::move(PhasesJson);
+  obs::RequestLog::instance().record(std::move(S));
+  // Stamp the log line with the request's trace id, not whatever
+  // context the poll thread happens to carry.
+  obs::ScopedTraceContext LogCtx(Ctx);
+  SMLTC_LOG(obs::LogLevel::Info, "server", "request_done",
+            obs::LogFields()
+                .add("request_id", RequestId)
+                .add("tier", Tier)
+                .add("sec", Sec)
+                .add("tenant", Tenant)
+                .take());
+}
+
+std::string CompileServer::renderStatusz() const {
+  double Uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - StartTime)
+                      .count();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.field("role", "shard");
+  W.key("build")
+      .beginObject()
+      .field("version", compilerVersion())
+      .field("cache_schema", optionsSchemaVersion())
+      .field("protocol", static_cast<int>(kProtocolVersion))
+      .endObject();
+  W.field("uptime_sec", Uptime, 1);
+  W.field("draining", Draining);
+  W.field("connections", static_cast<uint64_t>(Conns.size()));
+  W.field("in_flight", static_cast<uint64_t>(InFlightTotal));
+  W.field("queue_depth",
+          static_cast<uint64_t>((Sched ? Sched->totalQueued() : 0) +
+                                (Pool ? Pool->pendingJobs() : 0)));
+  W.field("compile_requests", Metrics.CompileRequests);
+  W.field("auth_required", AuthRequired);
+  W.key("tenants").beginArray();
+  if (Sched) {
+    for (const auto &T : Sched->tenants()) {
+      W.beginObject()
+          .field("name", T->Cfg.Name)
+          .field("weight", static_cast<uint64_t>(T->Cfg.Weight))
+          .field("queued", static_cast<uint64_t>(T->Q.size()))
+          .field("max_queued", static_cast<uint64_t>(T->Cfg.MaxQueued))
+          .field("in_flight", static_cast<uint64_t>(T->InFlight))
+          .field("max_in_flight",
+                 static_cast<uint64_t>(T->Cfg.MaxInFlight))
+          .field("requests", T->Requests)
+          .field("quota_rejects", T->QuotaRejects)
+          .endObject();
+    }
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
 }
 
 std::string CompileServer::renderHumanStats() const {
@@ -508,6 +599,11 @@ void CompileServer::beginDrain() {
   if (Draining)
     return;
   Draining = true;
+  SMLTC_LOG(obs::LogLevel::Info, "server", "drain_begin",
+            obs::LogFields()
+                .add("pending", static_cast<uint64_t>(Pending.size()))
+                .add("in_flight", static_cast<uint64_t>(InFlightTotal))
+                .take());
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
@@ -619,6 +715,14 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
     return;
   }
 
+  // Distributed trace context off the wire (v4), plus the span id this
+  // server's "request" span will carry — the parent for everything the
+  // job does here.
+  obs::TraceContext WireCtx{Req.TraceIdHi, Req.TraceIdLo,
+                            Req.ParentSpanId};
+  uint64_t ServerSpanId = WireCtx.valid() ? obs::mintSpanId() : 0;
+  const std::string &TenantName = C.Tenant->Cfg.Name;
+
   // Fast path: cache hits (memory or disk tier) are answered straight
   // from the poll loop — no worker handoff, no admission charge. A disk
   // probe is one bounded small-file read, cheap enough to keep inline;
@@ -634,7 +738,8 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
         sendCompileStatus(C, Status::CompileFailed, Hit->Errors,
                           Req.RequestId);
         recordRequestDone(Arrival, Req.RequestId, TierName,
-                          C.Tenant->LatencyHist);
+                          C.Tenant->LatencyHist, WireCtx, ServerSpanId,
+                          TenantName);
         return;
       }
       ++Metrics.CompileOk;
@@ -650,7 +755,8 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
       send(C, MsgType::CompileResp,
            encodeCompileResponse(Resp, Hit->Program));
       recordRequestDone(Arrival, Req.RequestId, TierName,
-                        C.Tenant->LatencyHist);
+                        C.Tenant->LatencyHist, WireCtx, ServerSpanId,
+                        TenantName);
       return;
     }
   }
@@ -664,6 +770,11 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
   QJ.Job.Opts = Req.Opts;
   QJ.Job.WithPrelude = Req.WithPrelude;
   QJ.Job.TraceRequestId = Req.RequestId;
+  // The worker installs this context for the job's scope: compile_job
+  // and the phase spans under it parent into the server's request span.
+  QJ.Job.TraceIdHi = Req.TraceIdHi;
+  QJ.Job.TraceIdLo = Req.TraceIdLo;
+  QJ.Job.ParentSpanId = ServerSpanId;
   QJ.DeadlineMs = Req.DeadlineMs;
 
   farm::FairShareScheduler::Verdict V =
@@ -686,6 +797,10 @@ void CompileServer::handleCompile(Conn &C, const Frame &F) {
   PendingReq P;
   P.Arrival = Arrival;
   P.RequestId = Req.RequestId;
+  P.TraceIdHi = Req.TraceIdHi;
+  P.TraceIdLo = Req.TraceIdLo;
+  P.WireParentSpanId = Req.ParentSpanId;
+  P.ServerSpanId = ServerSpanId;
   P.Tenant = C.Tenant;
   if (Req.DeadlineMs) {
     P.HasDeadline = true;
@@ -770,6 +885,8 @@ void CompileServer::handleTenantAuth(Conn &C, const Frame &F) {
     const farm::TenantConfig *T = Tenants.byToken(M.Token);
     if (!T) {
       ++Metrics.AuthRejects;
+      SMLTC_LOG(obs::LogLevel::Warn, "server", "auth_reject",
+                obs::LogFields().add("conn_id", C.Id).take());
       sendError(C, Status::Unauthorized, "unknown tenant token");
       C.Closing = true;
       return;
@@ -805,9 +922,24 @@ void CompileServer::handleHttp(Conn &C) {
     ++Metrics.ScrapeRequests;
     Resp = farm::httpResponse(200, farm::kPromContentType,
                               Reg.renderPrometheus(), Method == "HEAD");
+  } else if (Path == "/healthz") {
+    // Readiness: a draining server answers 503 so a farm front door
+    // stops routing to it before the socket actually closes.
+    Resp = Draining
+               ? farm::httpResponse(503, "text/plain; charset=utf-8",
+                                    "draining\n", Method == "HEAD")
+               : farm::httpResponse(200, "text/plain; charset=utf-8",
+                                    "ok\n", Method == "HEAD");
+  } else if (Path == "/statusz") {
+    Resp = farm::httpResponse(200, "application/json; charset=utf-8",
+                              renderStatusz(), Method == "HEAD");
+  } else if (Path == "/tracez") {
+    Resp = farm::httpResponse(200, "application/json; charset=utf-8",
+                              obs::renderTracezJson(), Method == "HEAD");
   } else {
-    Resp = farm::httpResponse(404, "text/plain; charset=utf-8",
-                              "not found; try /metrics\n");
+    Resp = farm::httpResponse(
+        404, "text/plain; charset=utf-8",
+        "not found; try /metrics, /healthz, /statusz, /tracez\n");
   }
   Metrics.BytesOut += Resp.size();
   C.OutBuf.append(Resp);
@@ -1010,13 +1142,23 @@ void CompileServer::drainCompletions() {
     auto Arrival = PIt != Pending.end()
                        ? PIt->second.Arrival
                        : std::chrono::steady_clock::now();
+    obs::TraceContext ReqCtx;
+    uint64_t ServerSpanId = 0;
+    std::string TenantName;
     obs::Histogram *TenantHist = nullptr;
+    if (PIt != Pending.end()) {
+      ReqCtx = obs::TraceContext{PIt->second.TraceIdHi,
+                                 PIt->second.TraceIdLo,
+                                 PIt->second.WireParentSpanId};
+      ServerSpanId = PIt->second.ServerSpanId;
+    }
     if (PIt != Pending.end() && PIt->second.Tenant) {
       // Return the fair-share in-flight slot; the tenant record
       // outlives every connection, so this is safe even when the
       // client is gone.
       Sched->onComplete(*PIt->second.Tenant);
       TenantHist = PIt->second.Tenant->LatencyHist;
+      TenantName = PIt->second.Tenant->Cfg.Name;
     }
     if (PIt != Pending.end())
       Pending.erase(PIt);
@@ -1043,10 +1185,23 @@ void CompileServer::drainCompletions() {
     const char *TierName = Out.Metrics.CacheDiskHit ? "disk"
                            : Out.Metrics.CacheHit   ? "memory"
                                                     : "miss";
+    // Per-phase breakdown for /tracez (a true compile has real phase
+    // timings; cache hits report zeros and get no breakdown).
+    std::string Phases;
+    if (!Out.Metrics.CacheHit && Out.Metrics.TotalSec > 0) {
+      Phases = "\"queue_wait_sec\":" +
+               obs::jsonDouble(Out.Metrics.QueueWaitSec, 6) +
+               ",\"front_sec\":" + obs::jsonDouble(Out.Metrics.FrontSec, 6) +
+               ",\"translate_sec\":" +
+               obs::jsonDouble(Out.Metrics.TranslateSec, 6) +
+               ",\"back_sec\":" + obs::jsonDouble(Out.Metrics.BackSec, 6) +
+               ",\"total_sec\":" + obs::jsonDouble(Out.Metrics.TotalSec, 6);
+    }
     if (!Out.Ok) {
       ++Metrics.CompileErrors;
       sendCompileStatus(C, Status::CompileFailed, Out.Errors, RequestId);
-      recordRequestDone(Arrival, RequestId, TierName, TenantHist);
+      recordRequestDone(Arrival, RequestId, TierName, TenantHist, ReqCtx,
+                        ServerSpanId, TenantName, std::move(Phases));
       continue;
     }
     ++Metrics.CompileOk;
@@ -1067,7 +1222,8 @@ void CompileServer::drainCompletions() {
     Resp.CompileSec = Out.Metrics.CacheHit ? 0.0 : Out.Metrics.TotalSec;
     Resp.Program = Out.Program;
     send(C, MsgType::CompileResp, encodeCompileResponse(Resp));
-    recordRequestDone(Arrival, RequestId, TierName, TenantHist);
+    recordRequestDone(Arrival, RequestId, TierName, TenantHist, ReqCtx,
+                      ServerSpanId, TenantName, std::move(Phases));
   }
   // Workers freed up: release the next fair-share picks.
   pumpScheduler();
@@ -1169,5 +1325,13 @@ uint64_t CompileServer::run() {
     All.push_back(KV.first);
   for (uint64_t Id : All)
     closeConn(Id);
+  // Force-record any span still open on any thread (workers parked
+  // mid-span, a job the drain abandoned): the --trace-json file written
+  // after run() returns must never be missing in-flight work.
+  obs::Tracer::instance().flushActive();
+  SMLTC_LOG(obs::LogLevel::Info, "server", "drain_complete",
+            obs::LogFields()
+                .add("compile_requests", Metrics.CompileRequests)
+                .take());
   return Metrics.CompileRequests;
 }

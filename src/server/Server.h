@@ -34,6 +34,7 @@
 #include "farm/FairShare.h"
 #include "farm/Tenant.h"
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "server/DiskCache.h"
 #include "server/Protocol.h"
 
@@ -167,6 +168,13 @@ private:
     std::chrono::steady_clock::time_point Arrival{};
     std::chrono::steady_clock::time_point Deadline{};
     uint64_t RequestId = 0; ///< client-assigned; echoed in the response
+    /// Trace context carried by the request frame (v4; zeros = none)
+    /// and the span id minted for this server's "request" span — the
+    /// parent every job-side span links under.
+    uint64_t TraceIdHi = 0;
+    uint64_t TraceIdLo = 0;
+    uint64_t WireParentSpanId = 0;
+    uint64_t ServerSpanId = 0;
     bool HasDeadline = false;
     bool Responded = false; ///< deadline sweep already answered it
     bool Submitted = false; ///< released to the worker pool already
@@ -209,13 +217,22 @@ private:
   /// histograms into `Reg` (start() calls this once).
   void registerMetrics();
   /// Records one answered compile request: latency histograms for its
-  /// cache tier and tenant, plus a "request" trace span carrying the
-  /// request id.
+  /// cache tier and tenant, a "request" trace span linked into the
+  /// request's distributed trace (`Ctx` = wire context with the remote
+  /// parent span id, `ServerSpanId` = this request's own span), and a
+  /// RequestLog sample for /tracez (always, even with tracing off).
   void recordRequestDone(std::chrono::steady_clock::time_point Arrival,
                          uint64_t RequestId, const char *Tier,
-                         obs::Histogram *TenantHist = nullptr);
+                         obs::Histogram *TenantHist = nullptr,
+                         const obs::TraceContext &Ctx = obs::TraceContext(),
+                         uint64_t ServerSpanId = 0,
+                         const std::string &Tenant = std::string(),
+                         std::string PhasesJson = std::string());
   /// The human-readable stats page (StatsTextReq, format=human).
   std::string renderHumanStats() const;
+  /// The /statusz JSON document: build identity, uptime, drain state,
+  /// queue/connection gauges, and per-tenant quota usage.
+  std::string renderStatusz() const;
 
   ServerOptions Opts;
   ServerMetrics Metrics;

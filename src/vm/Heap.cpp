@@ -2,6 +2,7 @@
 
 #include "vm/Heap.h"
 
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <cassert>
@@ -17,7 +18,36 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
+// GC pauses are microseconds-to-tens-of-milliseconds; the ladder spans
+// 1us..100ms in ~2.5x steps.
+std::vector<double> gcPauseBuckets() {
+  return {1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+          5e-4, 1e-3,   2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1};
+}
+
+// Copy volume per collection, in heap words (1Ki..16Mi, 4x steps).
+std::vector<double> gcCopyBuckets() {
+  return {1024.0,   4096.0,    16384.0,   65536.0,
+          262144.0, 1048576.0, 4194304.0, 16777216.0};
+}
+
 } // namespace
+
+std::shared_ptr<obs::Histogram> smltc::gcPauseHistogram(bool Major) {
+  static std::shared_ptr<obs::Histogram> Minor =
+      std::make_shared<obs::Histogram>(gcPauseBuckets());
+  static std::shared_ptr<obs::Histogram> Maj =
+      std::make_shared<obs::Histogram>(gcPauseBuckets());
+  return Major ? Maj : Minor;
+}
+
+std::shared_ptr<obs::Histogram> smltc::gcCopiedWordsHistogram(bool Major) {
+  static std::shared_ptr<obs::Histogram> Minor =
+      std::make_shared<obs::Histogram>(gcCopyBuckets());
+  static std::shared_ptr<obs::Histogram> Maj =
+      std::make_shared<obs::Histogram>(gcCopyBuckets());
+  return Major ? Maj : Minor;
+}
 
 Heap::Heap(size_t SemiWords, size_t NurseryWords)
     : SemiWords(SemiWords), NurseryWords(NurseryWords) {
@@ -192,7 +222,10 @@ void Heap::minorCollect() {
   NurseryHP = 0;
   StoreList.clear();
   GcSpan.arg("promoted_words", Promoted);
-  Stats.GcSec += secondsSince(T0);
+  double Sec = secondsSince(T0);
+  Stats.GcSec += Sec;
+  gcPauseHistogram(false)->observe(Sec);
+  gcCopiedWordsHistogram(false)->observe(static_cast<double>(Promoted));
 }
 
 //===----------------------------------------------------------------------===//
@@ -274,5 +307,8 @@ void Heap::collect() {
   if (Pause > Stats.MaxMajorPauseWords)
     Stats.MaxMajorPauseWords = Pause;
   GcSpan.arg("copied_words", Pause);
-  Stats.GcSec += secondsSince(T0);
+  double Sec = secondsSince(T0);
+  Stats.GcSec += Sec;
+  gcPauseHistogram(true)->observe(Sec);
+  gcCopiedWordsHistogram(true)->observe(static_cast<double>(Pause));
 }

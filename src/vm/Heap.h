@@ -32,9 +32,14 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace smltc {
+
+namespace obs {
+class Histogram;
+}
 
 using Word = uint64_t;
 
@@ -95,6 +100,16 @@ struct ShadowFrame {
   Word *Base;
   uint64_t Count;
 };
+
+/// Process-global GC histograms, shared by every Heap in the process
+/// and observed on every collection. A node's metrics registry adopts
+/// them (Registry::registerHistogram) to expose
+/// `smltcc_vm_gc_pause_seconds{gc="minor"|"major"}` and
+/// `smltcc_vm_gc_copied_words{gc=...}` (minor = words promoted out of
+/// the nursery, major = words copied between semispaces) on /metrics —
+/// the heap itself never learns about registries.
+std::shared_ptr<obs::Histogram> gcPauseHistogram(bool Major);
+std::shared_ptr<obs::Histogram> gcCopiedWordsHistogram(bool Major);
 
 /// A generational heap: bump-allocated nursery in front of a two-space
 /// Cheney-collected major space. Allocation never fails: minor-collects,

@@ -18,6 +18,8 @@
 #include "farm/Net.h"
 #include "farm/Router.h"
 #include "farm/Tenant.h"
+#include "obs/Json.h"
+#include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Server.h"
 
@@ -902,4 +904,307 @@ TEST(FarmMetricsTest, RouterScrapeExposesBackendHealth) {
   EXPECT_NE(Resp.find("smltcc_router_backend_healthy{backend="),
             std::string::npos)
       << Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Distributed tracing: one trace id from client through router to shard
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every node in these in-process farms shares the one global tracer,
+/// so a single snapshot sees the client, router, and shard spans of a
+/// routed compile. Restores "disabled, empty" however the test exits.
+struct ScopedFarmTracing {
+  ScopedFarmTracing() {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().enable();
+  }
+  ~ScopedFarmTracing() {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+  }
+};
+
+/// Finds the first completed span named `Name`, polling briefly: the
+/// router's forward span closes after the response is already back at
+/// the client, so a snapshot taken immediately can race it.
+bool findSpan(const char *Name, obs::TraceEvent &Out) {
+  for (int Try = 0; Try < 200; ++Try) {
+    for (const obs::TraceEvent &E : obs::Tracer::instance().snapshot())
+      if (std::string(E.Name) == Name) {
+        Out = E;
+        return true;
+      }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+/// One HTTP GET against a farm node's TCP port; returns the full
+/// response (head + body).
+std::string httpGet(const std::string &HostPort, const std::string &Path) {
+  RawTcp Raw(HostPort);
+  EXPECT_TRUE(
+      Raw.send("GET " + Path + " HTTP/1.1\r\nHost: farm-test\r\n\r\n"));
+  return Raw.drain();
+}
+
+} // namespace
+
+TEST(FarmTraceTest, OneTraceIdFromClientThroughRouterToShard) {
+  TwoShardFarm F;
+  ASSERT_TRUE(F.ok());
+  ScopedFarmTracing Tr;
+
+  {
+    Client C = connectedClient(tcpTarget(F.R->Rtr.tcpAddr()));
+    CompileRequest Req;
+    Req.Source = "val it = 191 * 7";
+    CompileResponse Resp;
+    std::string Err;
+    ASSERT_TRUE(C.compile(Req, Resp, Err)) << Err;
+    ASSERT_EQ(Resp.St, Status::Ok);
+  }
+
+  obs::TraceEvent Rpc, Fwd, Srv, Job;
+  ASSERT_TRUE(findSpan("rpc_compile", Rpc));
+  ASSERT_TRUE(findSpan("router_forward", Fwd));
+  ASSERT_TRUE(findSpan("request", Srv));
+  ASSERT_TRUE(findSpan("compile_job", Job));
+
+  // One 128-bit trace id stamps every hop.
+  ASSERT_TRUE((Rpc.TraceIdHi | Rpc.TraceIdLo) != 0);
+  for (const obs::TraceEvent *E : {&Fwd, &Srv, &Job}) {
+    EXPECT_EQ(E->TraceIdHi, Rpc.TraceIdHi);
+    EXPECT_EQ(E->TraceIdLo, Rpc.TraceIdLo);
+  }
+  // And the parent chain reads client -> router -> shard -> worker.
+  EXPECT_EQ(Rpc.ParentSpanId, 0u);
+  EXPECT_EQ(Fwd.ParentSpanId, Rpc.SpanId);
+  EXPECT_EQ(Srv.ParentSpanId, Fwd.SpanId);
+  EXPECT_EQ(Job.ParentSpanId, Srv.SpanId);
+}
+
+TEST(FarmTraceTest, DirectCompileStillLinksClientToShard) {
+  // No router in the path: the shard's request span parents straight
+  // under the client's rpc span.
+  TestServer TS(tcpServerOptions());
+  ASSERT_TRUE(TS.Ok);
+  ScopedFarmTracing Tr;
+
+  {
+    Client C = connectedClient(tcpTarget(TS.Srv.tcpAddr()));
+    CompileRequest Req;
+    Req.Source = "val it = 17 + 4";
+    CompileResponse Resp;
+    std::string Err;
+    ASSERT_TRUE(C.compile(Req, Resp, Err)) << Err;
+    ASSERT_EQ(Resp.St, Status::Ok);
+  }
+
+  obs::TraceEvent Rpc, Srv;
+  ASSERT_TRUE(findSpan("rpc_compile", Rpc));
+  ASSERT_TRUE(findSpan("request", Srv));
+  EXPECT_EQ(Srv.TraceIdHi, Rpc.TraceIdHi);
+  EXPECT_EQ(Srv.TraceIdLo, Rpc.TraceIdLo);
+  EXPECT_EQ(Srv.ParentSpanId, Rpc.SpanId);
+}
+
+TEST(FarmTcpServerTest, PreviousProtocolV3IsRejectedCleanly) {
+  // A v3 client (no trace-context fields in CompileReq) must be turned
+  // away at the handshake with BadVersion, not mis-parsed.
+  TestServer TS(tcpServerOptions());
+  ASSERT_TRUE(TS.Ok);
+  RawTcp Raw(TS.Srv.tcpAddr());
+
+  HelloMsg H;
+  H.ClientName = "v3-client";
+  std::string Wire = encodeFrame(MsgType::Hello, encodeHello(H));
+  Wire[9] = 3; // the pre-tracing protocol revision
+  ASSERT_TRUE(Raw.send(Wire));
+
+  Frame F = mustParseFrame(Raw.drain());
+  ASSERT_EQ(F.Type, MsgType::Error);
+  ErrorMsg E;
+  ASSERT_TRUE(decodeError(F.Payload, E));
+  EXPECT_EQ(E.St, Status::BadVersion);
+}
+
+//===----------------------------------------------------------------------===//
+// Live status surface: /healthz /statusz /tracez on shard and router
+//===----------------------------------------------------------------------===//
+
+TEST(FarmStatusTest, HealthzStatuszTracezAnswerOnShardAndRouter) {
+  // The request ring is process-global: drop whatever slower compiles
+  // earlier tests left behind, or the routed compile below would lose
+  // the "slowest requests" contest and never appear in /tracez.
+  obs::RequestLog::instance().clear();
+  TwoShardFarm F;
+  ASSERT_TRUE(F.ok());
+
+  // One routed compile so /tracez has a request to show on both nodes.
+  {
+    Client C = connectedClient(tcpTarget(F.R->Rtr.tcpAddr()));
+    CompileRequest Req;
+    Req.Source = "val it = 5 * 11";
+    CompileResponse Resp;
+    std::string Err;
+    ASSERT_TRUE(C.compile(Req, Resp, Err)) << Err;
+    ASSERT_EQ(Resp.St, Status::Ok);
+  }
+
+  const std::string Shard1 = F.S1->Srv.tcpAddr();
+  const std::string Shard2 = F.S2->Srv.tcpAddr();
+  const std::string Router = F.R->Rtr.tcpAddr();
+
+  for (const std::string &Node : {Shard1, Router}) {
+    std::string Health = httpGet(Node, "/healthz");
+    EXPECT_NE(Health.find("HTTP/1.1 200"), std::string::npos) << Node;
+    EXPECT_NE(Health.find("ok"), std::string::npos) << Node;
+  }
+
+  // /statusz: role-specific JSON with shared build identity.
+  for (const std::string &Node : {Shard1, Router}) {
+    std::string Resp = httpGet(Node, "/statusz");
+    ASSERT_NE(Resp.find("HTTP/1.1 200"), std::string::npos) << Node;
+    std::string Body = Resp.substr(Resp.find("\r\n\r\n") + 4);
+    obs::JsonValue Doc;
+    std::string Err;
+    ASSERT_TRUE(obs::jsonParse(Body, Doc, Err)) << Err << "\n" << Body;
+    const obs::JsonValue *Build = Doc.get("build");
+    ASSERT_TRUE(Build && Build->isObject()) << Body;
+    EXPECT_EQ(Build->getString("version"), compilerVersion());
+    const obs::JsonValue *Proto = Build->get("protocol");
+    ASSERT_TRUE(Proto && Proto->isNumber());
+    EXPECT_EQ(Proto->Num, static_cast<double>(kProtocolVersion));
+    const obs::JsonValue *Draining = Doc.get("draining");
+    ASSERT_TRUE(Draining != nullptr) << Body;
+    EXPECT_FALSE(Draining->B);
+    if (Node == Router) {
+      EXPECT_EQ(Doc.getString("role"), "router");
+      const obs::JsonValue *Backends = Doc.get("backends");
+      ASSERT_TRUE(Backends && Backends->isArray()) << Body;
+      EXPECT_EQ(Backends->Arr.size(), 2u);
+    } else {
+      EXPECT_EQ(Doc.getString("role"), "shard");
+      const obs::JsonValue *Tenants = Doc.get("tenants");
+      ASSERT_TRUE(Tenants && Tenants->isArray()) << Body;
+    }
+  }
+
+  // /tracez: the routed compile shows up — as a tiered request on
+  // exactly one shard, as a forward on the router — with one shared
+  // trace id (minted by the client even though tracing is off).
+  std::string RouterTracez = httpGet(Router, "/tracez");
+  ASSERT_NE(RouterTracez.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(RouterTracez.find("\"kind\":\"forward\""), std::string::npos)
+      << RouterTracez;
+  size_t IdPos = RouterTracez.find("\"trace_id\":\"");
+  ASSERT_NE(IdPos, std::string::npos) << RouterTracez;
+  std::string TraceId = RouterTracez.substr(IdPos + 12, 32);
+
+  std::string T1 = httpGet(Shard1, "/tracez");
+  std::string T2 = httpGet(Shard2, "/tracez");
+  EXPECT_TRUE(T1.find(TraceId) != std::string::npos ||
+              T2.find(TraceId) != std::string::npos)
+      << "neither shard's /tracez carries the router's trace id "
+      << TraceId;
+
+}
+
+TEST(FarmStatusTest, HealthzFlips503WhileDraining) {
+  // beginDrain closes the listeners, so the draining state is only
+  // observable on a connection opened before SIGTERM — exactly the
+  // load-balancer health-probe conversation that matters.
+  ServerOptions SO = tcpServerOptions();
+  SO.NumWorkers = 1;
+  SO.MaxQueue = 256;
+  TestServer TS(SO);
+  ASSERT_TRUE(TS.Ok);
+
+  // The drain refuses to finish while any response byte is unflushed,
+  // so a connection that never reads its responses holds the drain
+  // open deterministically: big compiled programs overflow the kernel
+  // socket buffers into the server's own OutBuf, and drainComplete()
+  // waits for OutPos to catch up.
+  RawTcp Jobs(TS.Srv.tcpAddr());
+  HelloMsg H;
+  H.ClientName = "pipeliner";
+  std::string Wire = encodeFrame(MsgType::Hello, encodeHello(H));
+  for (int I = 0; I < 6; ++I) {
+    CompileRequest Req;
+    Req.RequestId = static_cast<uint64_t>(I) + 1;
+    // A chain of thousands of mutually-referencing recursive functions
+    // survives inlining, folding, and dead-code elimination, so each
+    // shipped TmProgram is a long instruction stream — too big for the
+    // kernel socket buffers to absorb.
+    std::string Src = "fun g0 x = if x < " + std::to_string(I + 1) +
+                      " then x else g0 (x - 1)\n";
+    for (int T = 1; T < 3000; ++T)
+      Src += "fun g" + std::to_string(T) + " x = if x < 1 then g" +
+             std::to_string(T - 1) + " x else g" + std::to_string(T) +
+             " (x - 1)\n";
+    Src += "val it = g2999 5\n";
+    Req.Source = Src;
+    Wire += encodeFrame(MsgType::CompileReq, encodeCompileRequest(Req));
+  }
+  ASSERT_TRUE(Jobs.send(Wire));
+
+  // Barrier on a second connection: its tiny job sits behind the six
+  // big ones in the single worker's queue, so its response proves all
+  // six responses have already been written into Jobs's OutBuf.
+  {
+    Client C = connectedClient(tcpTarget(TS.Srv.tcpAddr()));
+    CompileRequest Req;
+    Req.Source = "val it = 6 * 7";
+    CompileResponse Resp;
+    std::string Err;
+    ASSERT_TRUE(C.compile(Req, Resp, Err)) << Err;
+  }
+
+  // The sniffer serves one request per connection and beginDrain
+  // closes the listeners, so stage probes before the stop. Each parks
+  // a *partial* request — the sniffer holds the connection open for
+  // the rest — and /statusz's live connection count confirms the
+  // server really accepted them (TCP connect alone only reaches the
+  // backlog, which dies with the listener).
+  std::vector<std::unique_ptr<RawTcp>> Probes;
+  for (int I = 0; I < 8; ++I) {
+    Probes.push_back(std::make_unique<RawTcp>(TS.Srv.tcpAddr()));
+    ASSERT_TRUE(Probes.back()->send("GET /healthz HTTP/1.1\r\n"));
+  }
+  bool AllAccepted = false;
+  for (int Try = 0; Try < 400 && !AllAccepted; ++Try) {
+    std::string SZ = httpGet(TS.Srv.tcpAddr(), "/statusz");
+    size_t At = SZ.find("\"connections\":");
+    if (At != std::string::npos &&
+        std::atoi(SZ.c_str() + At + 14) >= 9) // Jobs + 8 probes
+      AllAccepted = true;
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(AllAccepted) << "server never accepted the parked probes";
+
+  TS.Srv.requestStop();
+  bool Saw503 = false;
+  std::string Last;
+  for (auto &P : Probes) {
+    if (!P->send("\r\n"))
+      break; // server exited: the drain hold failed
+    Last = P->drain();
+    if (Last.find("HTTP/1.1 503") != std::string::npos) {
+      EXPECT_NE(Last.find("draining"), std::string::npos) << Last;
+      Saw503 = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(Saw503) << "never observed a draining 503; last response:\n"
+                      << Last;
+
+  // Release the hold: consuming Jobs's responses lets the flush finish
+  // and the server complete its drain (TS teardown joins run()).
+  Jobs.drain();
 }

@@ -11,15 +11,25 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/CompileCache.h"
 #include "driver/Compiler.h"
 #include "obs/Json.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Server.h"
+#include "vm/Heap.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -430,4 +440,536 @@ TEST(ObsServerTest, RequestIdsReachTheReplyAndTheRequestSpan) {
   std::string Json = Tracer::instance().renderJson();
   EXPECT_TRUE(jsonBalanced(Json));
   EXPECT_NE(Json.find("\"request_id\":777"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Distributed trace context: minting, inheritance, adoption, flush
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTraceContextTest, MintedContextsAreValidAndUnique) {
+  std::set<std::string> TraceIds;
+  std::set<uint64_t> SpanIds;
+  for (int I = 0; I < 64; ++I) {
+    TraceContext C = mintTraceContext();
+    EXPECT_TRUE(C.valid());
+    // The trace mint leaves SpanId 0: the caller's root span owns it.
+    EXPECT_EQ(C.SpanId, 0u);
+    TraceIds.insert(traceIdHex(C.TraceIdHi, C.TraceIdLo));
+    SpanIds.insert(mintSpanId());
+  }
+  EXPECT_EQ(TraceIds.size(), 64u);
+  EXPECT_EQ(SpanIds.size(), 64u);
+  EXPECT_FALSE(SpanIds.count(0));
+  // Hex forms are fixed-width: 32 and 16 digits.
+  TraceContext C = mintTraceContext();
+  EXPECT_EQ(traceIdHex(C.TraceIdHi, C.TraceIdLo).size(), 32u);
+  EXPECT_EQ(spanIdHex(mintSpanId()).size(), 16u);
+}
+
+TEST(ObsTraceContextTest, SpansInheritInstalledContextAndLinkParents) {
+  ScopedTracing Tr;
+  TraceContext Wire{0x1111, 0x2222, 0x3333};
+  uint64_t OuterId = 0, InnerId = 0;
+  {
+    ScopedTraceContext Install(Wire);
+    obs::Span Outer("ctx_outer", "test");
+    OuterId = Outer.spanId();
+    {
+      obs::Span Inner("ctx_inner", "test");
+      InnerId = Inner.spanId();
+    }
+  }
+  // The scope is gone: the thread context is restored to none.
+  EXPECT_FALSE(Tracer::currentContext().valid());
+
+  const TraceEvent *Outer = nullptr, *Inner = nullptr;
+  std::vector<TraceEvent> Evs = Tracer::instance().snapshot();
+  for (const TraceEvent &E : Evs) {
+    if (std::string(E.Name) == "ctx_outer")
+      Outer = &E;
+    if (std::string(E.Name) == "ctx_inner")
+      Inner = &E;
+  }
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  // Both spans carry the wire trace id; the outer parents under the
+  // wire span, the inner under the outer.
+  EXPECT_EQ(Outer->TraceIdHi, 0x1111u);
+  EXPECT_EQ(Outer->TraceIdLo, 0x2222u);
+  EXPECT_EQ(Outer->ParentSpanId, 0x3333u);
+  EXPECT_EQ(Outer->SpanId, OuterId);
+  EXPECT_EQ(Inner->TraceIdHi, 0x1111u);
+  EXPECT_EQ(Inner->ParentSpanId, OuterId);
+  EXPECT_EQ(Inner->SpanId, InnerId);
+  EXPECT_NE(InnerId, OuterId);
+}
+
+TEST(ObsTraceContextTest, AdoptReparentsASpanUnderTheWireContext) {
+  ScopedTracing Tr;
+  TraceContext Wire{0xabc, 0xdef, 0x123};
+  {
+    obs::Span S("ctx_adopted", "test");
+    S.adopt(Wire);
+    // Children started inside the scope now inherit the adopted trace.
+    obs::Span Child("ctx_adopted_child", "test");
+    EXPECT_EQ(Tracer::currentContext().TraceIdHi, 0xabcu);
+  }
+  bool SawAdopted = false, SawChild = false;
+  for (const TraceEvent &E : Tracer::instance().snapshot()) {
+    if (std::string(E.Name) == "ctx_adopted") {
+      SawAdopted = true;
+      EXPECT_EQ(E.TraceIdHi, 0xabcu);
+      EXPECT_EQ(E.TraceIdLo, 0xdefu);
+      EXPECT_EQ(E.ParentSpanId, 0x123u);
+    }
+    if (std::string(E.Name) == "ctx_adopted_child") {
+      SawChild = true;
+      EXPECT_EQ(E.TraceIdHi, 0xabcu);
+    }
+  }
+  EXPECT_TRUE(SawAdopted);
+  EXPECT_TRUE(SawChild);
+  // Adopting an invalid context is a no-op, not a reset.
+  {
+    obs::Span S("ctx_no_adopt", "test");
+    uint64_t Id = S.spanId();
+    S.adopt(TraceContext());
+    EXPECT_EQ(S.spanId(), Id);
+  }
+}
+
+TEST(ObsTraceFlushTest, FlushActiveRecordsOpenSpansExactlyOnce) {
+  ScopedTracing Tr;
+  std::atomic<int> Stage{0};
+  std::thread Th([&] {
+    obs::Span Held("drain_held", "test");
+    Stage.store(1);
+    while (Stage.load() != 2)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Held ends here — after the flush already recorded it.
+  });
+  while (Stage.load() != 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // The span is visible as active before the flush.
+  bool SawActive = false;
+  for (const ActiveSpan &A : Tracer::instance().activeSpans())
+    if (std::string(A.Name) == "drain_held")
+      SawActive = true;
+  EXPECT_TRUE(SawActive);
+
+  size_t Flushed = Tracer::instance().flushActive();
+  EXPECT_GE(Flushed, 1u);
+  size_t Count = 0;
+  for (const TraceEvent &E : Tracer::instance().snapshot())
+    if (std::string(E.Name) == "drain_held") {
+      ++Count;
+      EXPECT_NE(E.Args.find("\"flushed\":true"), std::string::npos);
+    }
+  EXPECT_EQ(Count, 1u);
+
+  Stage.store(2);
+  Th.join();
+  // The span's normal end() after the flush must not double-record.
+  Count = 0;
+  for (const TraceEvent &E : Tracer::instance().snapshot())
+    if (std::string(E.Name) == "drain_held")
+      ++Count;
+  EXPECT_EQ(Count, 1u);
+}
+
+TEST(ObsServerTest, DrainFlushesOpenSpansIntoTheTrace) {
+  // Regression: a drained daemon's --trace-json used to silently drop
+  // every span still open at SIGTERM. run() now flushes all threads'
+  // active spans before returning.
+  ScopedTracing Tr;
+  server::ServerOptions SO;
+  SO.SocketPath = uniqueSocketPath();
+  SO.NumWorkers = 1;
+  SO.PollIntervalMs = 5;
+  TestServer TS(SO);
+  ASSERT_TRUE(TS.Ok);
+
+  auto Held = std::make_unique<obs::Span>("inflight_at_sigterm", "test");
+  TS.stop(); // run() returns only after Tracer::flushActive()
+
+  size_t Count = 0;
+  for (const TraceEvent &E : Tracer::instance().snapshot())
+    if (std::string(E.Name) == "inflight_at_sigterm") {
+      ++Count;
+      EXPECT_NE(E.Args.find("\"flushed\":true"), std::string::npos);
+    }
+  EXPECT_EQ(Count, 1u);
+
+  Held.reset(); // no-op end; still exactly one record
+  Count = 0;
+  for (const TraceEvent &E : Tracer::instance().snapshot())
+    if (std::string(E.Name) == "inflight_at_sigterm")
+      ++Count;
+  EXPECT_EQ(Count, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// /tracez JSON
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTracezTest, RendersActiveSpansAndSlowestRequests) {
+  ScopedTracing Tr;
+  RequestSample S;
+  S.RequestId = 987654321;
+  S.TraceIdHi = 0x1234;
+  S.TraceIdLo = 0x5678;
+  S.TsUs = 42;
+  S.Sec = 123.5; // slow enough to outrank anything other tests logged
+  S.Kind = "miss";
+  S.Tenant = "team-z";
+  S.PhasesJson = "\"front_sec\":0.001000,\"back_sec\":0.002000";
+  RequestLog::instance().record(S);
+
+  obs::Span Open("tracez_open", "test");
+  std::string Json = renderTracezJson();
+  EXPECT_TRUE(jsonBalanced(Json)) << Json;
+
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(jsonParse(Json, Doc, Err)) << Err << "\n" << Json;
+  const JsonValue *Enabled = Doc.get("tracing_enabled");
+  ASSERT_NE(Enabled, nullptr);
+  EXPECT_EQ(Enabled->K, JsonValue::Kind::Bool);
+  EXPECT_TRUE(Enabled->B);
+
+  const JsonValue *Active = Doc.get("active_spans");
+  ASSERT_TRUE(Active && Active->isArray());
+  bool SawOpen = false;
+  for (const JsonValue &A : Active->Arr)
+    if (A.getString("name") == "tracez_open")
+      SawOpen = true;
+  EXPECT_TRUE(SawOpen) << Json;
+
+  const JsonValue *Slow = Doc.get("slowest_requests");
+  ASSERT_TRUE(Slow && Slow->isArray());
+  const JsonValue *Mine = nullptr;
+  for (const JsonValue &R : Slow->Arr) {
+    const JsonValue *Id = R.get("request_id");
+    if (Id && Id->isNumber() && Id->Num == 987654321.0)
+      Mine = &R;
+  }
+  ASSERT_NE(Mine, nullptr) << Json;
+  EXPECT_EQ(Mine->getString("kind"), "miss");
+  EXPECT_EQ(Mine->getString("tenant"), "team-z");
+  EXPECT_EQ(Mine->getString("trace_id"), traceIdHex(0x1234, 0x5678));
+  const JsonValue *Phases = Mine->get("phases");
+  ASSERT_TRUE(Phases && Phases->isObject()) << Json;
+  const JsonValue *Front = Phases->get("front_sec");
+  ASSERT_TRUE(Front && Front->isNumber());
+  EXPECT_NEAR(Front->Num, 0.001, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Structured logging
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Redirects the global logger to a temp file and restores stderr +
+/// the default level however the test exits.
+struct ScopedLogCapture {
+  ScopedLogCapture() {
+    Path = "/tmp/smltc_obs_log_" + std::to_string(::getpid()) + "_" +
+           std::to_string(Seq++) + ".jsonl";
+    std::string Err;
+    EXPECT_TRUE(Logger::instance().openFile(Path, Err)) << Err;
+  }
+  ~ScopedLogCapture() {
+    Logger::instance().closeFile();
+    Logger::setLevel(LogLevel::Warn);
+    ::unlink(Path.c_str());
+  }
+  std::vector<std::string> lines() const {
+    Logger::instance(); // flushed on every write; just read the file
+    std::ifstream F(Path);
+    std::vector<std::string> Ls;
+    std::string L;
+    while (std::getline(F, L))
+      if (!L.empty())
+        Ls.push_back(L);
+    return Ls;
+  }
+  std::string Path;
+  static int Seq;
+};
+
+int ScopedLogCapture::Seq = 0;
+
+} // namespace
+
+TEST(ObsLogTest, EmitsJsonLinesGatedByLevel) {
+  ScopedLogCapture Cap;
+  Logger::setLevel(LogLevel::Info);
+  SMLTC_LOG(LogLevel::Info, "test", "visible",
+            LogFields().add("answer", uint64_t(42)).add("who", "a\"b").take());
+  SMLTC_LOG(LogLevel::Debug, "test", "gated", std::string());
+
+  std::vector<std::string> Ls = Cap.lines();
+  ASSERT_EQ(Ls.size(), 1u);
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(jsonParse(Ls[0], Doc, Err)) << Err << "\n" << Ls[0];
+  EXPECT_EQ(Doc.getString("level"), "info");
+  EXPECT_EQ(Doc.getString("comp"), "test");
+  EXPECT_EQ(Doc.getString("event"), "visible");
+  EXPECT_EQ(Doc.getString("who"), "a\"b");
+  const JsonValue *Ts = Doc.get("ts");
+  ASSERT_TRUE(Ts && Ts->isNumber());
+  EXPECT_GT(Ts->Num, 1.0e9); // a real wall clock, not zero
+  const JsonValue *Answer = Doc.get("answer");
+  ASSERT_TRUE(Answer && Answer->isNumber());
+  EXPECT_EQ(Answer->Num, 42.0);
+
+  // Off silences even Error.
+  Logger::setLevel(LogLevel::Off);
+  SMLTC_LOG(LogLevel::Error, "test", "silenced", std::string());
+  EXPECT_EQ(Cap.lines().size(), 1u);
+}
+
+TEST(ObsLogTest, LinesCarryTheInstalledTraceContext) {
+  ScopedLogCapture Cap;
+  Logger::setLevel(LogLevel::Info);
+  {
+    ScopedTraceContext Install(TraceContext{0xfeed, 0xbeef, 0x77});
+    SMLTC_LOG(LogLevel::Info, "test", "traced", std::string());
+  }
+  SMLTC_LOG(LogLevel::Info, "test", "untraced", std::string());
+
+  std::vector<std::string> Ls = Cap.lines();
+  ASSERT_EQ(Ls.size(), 2u);
+  JsonValue Traced, Untraced;
+  std::string Err;
+  ASSERT_TRUE(jsonParse(Ls[0], Traced, Err)) << Err;
+  ASSERT_TRUE(jsonParse(Ls[1], Untraced, Err)) << Err;
+  EXPECT_EQ(Traced.getString("trace_id"), traceIdHex(0xfeed, 0xbeef));
+  EXPECT_EQ(Traced.getString("span_id"), spanIdHex(0x77));
+  EXPECT_EQ(Untraced.get("trace_id"), nullptr);
+}
+
+TEST(ObsLogTest, RateLimitBoundsPerKeyEmissionAndSummarises) {
+  ScopedLogCapture Cap;
+  Logger::setLevel(LogLevel::Info);
+  // 4x the cap, as fast as possible. Even if the burst straddles a
+  // second boundary it can emit at most two windows' worth.
+  const uint64_t Burst = Logger::kMaxPerKeyPerSec * 4;
+  for (uint64_t I = 0; I < Burst; ++I)
+    SMLTC_LOG(LogLevel::Info, "test", "flood",
+              LogFields().add("i", I).take());
+  // A different key is not throttled by the flood.
+  SMLTC_LOG(LogLevel::Info, "test", "calm", std::string());
+
+  size_t FloodLines = 0, CalmLines = 0;
+  for (const std::string &L : Cap.lines()) {
+    if (L.find("\"event\":\"flood\"") != std::string::npos)
+      ++FloodLines;
+    if (L.find("\"event\":\"calm\"") != std::string::npos)
+      ++CalmLines;
+  }
+  EXPECT_LE(FloodLines, 2 * Logger::kMaxPerKeyPerSec);
+  EXPECT_GE(FloodLines, 1u);
+  EXPECT_EQ(CalmLines, 1u);
+  EXPECT_GE(Logger::instance().suppressedCount(),
+            Burst - 2 * Logger::kMaxPerKeyPerSec);
+}
+
+TEST(ObsLogTest, ParsesEveryDocumentedLevelAndRejectsOthers) {
+  LogLevel L;
+  EXPECT_TRUE(parseLogLevel("debug", L));
+  EXPECT_EQ(L, LogLevel::Debug);
+  EXPECT_TRUE(parseLogLevel("off", L));
+  EXPECT_EQ(L, LogLevel::Off);
+  EXPECT_FALSE(parseLogLevel("verbose", L));
+  EXPECT_FALSE(parseLogLevel("", L));
+  EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser (merge_traces' reader)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsJsonTest, ParserRoundTripsWriterOutputAndRejectsGarbage) {
+  JsonWriter W;
+  W.beginObject()
+      .field("n", uint64_t(7))
+      .field("d", 2.5, 3)
+      .field("s", "a\"b\\c\n")
+      .field("t", true)
+      .key("arr")
+      .beginArray()
+      .value(uint64_t(1))
+      .value("two")
+      .endArray()
+      .key("obj")
+      .beginObject()
+      .field("inner", int64_t(-3))
+      .endObject()
+      .endObject();
+
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(jsonParse(W.str(), Doc, Err)) << Err;
+  EXPECT_EQ(Doc.get("n")->Num, 7.0);
+  EXPECT_EQ(Doc.get("d")->Num, 2.5);
+  EXPECT_EQ(Doc.getString("s"), "a\"b\\c\n");
+  EXPECT_TRUE(Doc.get("t")->B);
+  ASSERT_TRUE(Doc.get("arr")->isArray());
+  EXPECT_EQ(Doc.get("arr")->Arr.size(), 2u);
+  EXPECT_EQ(Doc.get("arr")->Arr[1].Str, "two");
+  EXPECT_EQ(Doc.get("obj")->get("inner")->Num, -3.0);
+
+  for (const char *Bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\":1} trailing", "nul",
+        "{\"a\" 1}", "\"unterminated"})
+    EXPECT_FALSE(jsonParse(Bad, Doc, Err)) << Bad;
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition lint over a full node registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool validMetricName(const std::string &N) {
+  if (N.empty())
+    return false;
+  for (size_t I = 0; I < N.size(); ++I) {
+    char C = N[I];
+    bool Ok = std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+              C == ':' || (I > 0 && std::isdigit(static_cast<unsigned char>(C)));
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+bool validLabelName(const std::string &N) {
+  if (N.empty())
+    return false;
+  for (size_t I = 0; I < N.size(); ++I) {
+    char C = N[I];
+    bool Ok = std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+              (I > 0 && std::isdigit(static_cast<unsigned char>(C)));
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+/// The family a sample belongs to: its name minus a histogram suffix.
+std::string familyOf(const std::string &Name) {
+  for (const char *Suffix : {"_bucket", "_sum", "_count"}) {
+    size_t L = std::strlen(Suffix);
+    if (Name.size() > L && Name.compare(Name.size() - L, L, Suffix) == 0)
+      return Name.substr(0, Name.size() - L);
+  }
+  return Name;
+}
+
+} // namespace
+
+TEST(ObsMetricsTest, FullExpositionPassesPrometheusLint) {
+  Registry R;
+  // Everything a farm node's registry carries: build identity and
+  // process start time, the process-global GC histograms under both
+  // labels, labelled tier histograms, plain counters and callbacks.
+  registerProcessInfo(R, compilerVersion(),
+                      std::to_string(optionsSchemaVersion()), 4);
+  R.registerHistogram("smltcc_vm_gc_pause_seconds", gcPauseHistogram(false),
+                      "GC pause", "gc", "minor");
+  R.registerHistogram("smltcc_vm_gc_pause_seconds", gcPauseHistogram(true),
+                      "GC pause", "gc", "major");
+  R.registerHistogram("smltcc_vm_gc_copied_words",
+                      gcCopiedWordsHistogram(false), "Words copied", "gc",
+                      "minor");
+  R.registerHistogram("smltcc_vm_gc_copied_words",
+                      gcCopiedWordsHistogram(true), "Words copied", "gc",
+                      "major");
+  R.histogram("lint_seconds", {0.1, 1.0}, "Latency", "tier", "memory")
+      .observe(0.05);
+  R.histogram("lint_seconds", {0.1, 1.0}, "Latency", "tier", "miss")
+      .observe(0.5);
+  R.counter("lint_ops_total", "Ops").inc(3);
+  R.gaugeFn("lint_depth", [] { return 1.5; }, "Depth");
+
+  std::string P = R.renderPrometheus();
+  std::istringstream In(P);
+  std::string Line;
+  std::set<std::string> HelpSeen, TypeSeen, Series;
+  size_t Samples = 0;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (Line.rfind("# HELP ", 0) == 0 || Line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream Hdr(Line);
+      std::string Hash, Kw, Fam, Rest;
+      Hdr >> Hash >> Kw >> Fam;
+      ASSERT_TRUE(validMetricName(Fam)) << Line;
+      std::set<std::string> &Seen = Kw == "HELP" ? HelpSeen : TypeSeen;
+      // One header per family, and HELP always precedes TYPE's samples.
+      EXPECT_TRUE(Seen.insert(Fam).second)
+          << "duplicate # " << Kw << " for " << Fam;
+      if (Kw == "TYPE") {
+        Hdr >> Rest;
+        EXPECT_TRUE(Rest == "counter" || Rest == "gauge" ||
+                    Rest == "histogram")
+            << Line;
+      }
+      continue;
+    }
+    ASSERT_FALSE(Line[0] == '#') << "unknown comment form: " << Line;
+    // Sample line: name[{labels}] value
+    size_t Brace = Line.find('{');
+    size_t Space = Line.find(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    std::string Name =
+        Line.substr(0, Brace == std::string::npos ? Space : Brace);
+    ASSERT_TRUE(validMetricName(Name)) << Line;
+    std::string Labels;
+    if (Brace != std::string::npos && Brace < Space) {
+      size_t Close = Line.find('}', Brace);
+      ASSERT_NE(Close, std::string::npos) << Line;
+      Labels = Line.substr(Brace + 1, Close - Brace - 1);
+      // Each label is key="value".
+      size_t Pos = 0;
+      while (Pos < Labels.size()) {
+        size_t Eq = Labels.find('=', Pos);
+        ASSERT_NE(Eq, std::string::npos) << Line;
+        ASSERT_TRUE(validLabelName(Labels.substr(Pos, Eq - Pos))) << Line;
+        ASSERT_EQ(Labels[Eq + 1], '"') << Line;
+        size_t EndQ = Labels.find('"', Eq + 2);
+        ASSERT_NE(EndQ, std::string::npos) << Line;
+        Pos = EndQ + 1;
+        if (Pos < Labels.size()) {
+          ASSERT_EQ(Labels[Pos], ',') << Line;
+          ++Pos;
+        }
+      }
+    }
+    // The family headers must have preceded the first sample.
+    std::string Fam = familyOf(Name);
+    EXPECT_TRUE(HelpSeen.count(Fam)) << "sample before # HELP: " << Line;
+    EXPECT_TRUE(TypeSeen.count(Fam)) << "sample before # TYPE: " << Line;
+    // No duplicate (name, labels) series.
+    EXPECT_TRUE(Series.insert(Name + "{" + Labels + "}").second)
+        << "duplicate series: " << Line;
+    // The value parses as a number (+Inf only appears inside le="").
+    std::string Val = Line.substr(Space + 1);
+    ASSERT_FALSE(Val.empty()) << Line;
+    char *End = nullptr;
+    std::strtod(Val.c_str(), &End);
+    EXPECT_EQ(*End, '\0') << "bad sample value: " << Line;
+    ++Samples;
+  }
+  EXPECT_GT(Samples, 40u); // 4 histograms' buckets alone clear this
+  // The info-gauge carries all three build labels with value 1.
+  EXPECT_NE(P.find("smltcc_build_info{version=\""), std::string::npos) << P;
+  EXPECT_NE(P.find("cache_schema=\""), std::string::npos);
+  EXPECT_NE(P.find("protocol=\"4\"} 1"), std::string::npos);
+  EXPECT_NE(P.find("smltcc_process_start_time_seconds"), std::string::npos);
 }

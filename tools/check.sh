@@ -32,11 +32,18 @@
 #    run, a raw HTTP /metrics scrape asserting per-tenant counters, and
 #    strict validation of the farm flags (--listen=bogus / empty
 #    --backends exit 64, a missing --token-file exits 66).
-# 9. Rebuild under ThreadSanitizer and run the batch-engine,
+# 9. Smoke distributed tracing end to end: two --trace-json shards
+#    behind a --trace-json router, one routed compile from a
+#    --trace-json client, SIGTERM everything (the drain must flush
+#    each node's trace buffers), then merge_traces must stitch the
+#    four exports into ONE trace carrying rpc_compile, router_forward,
+#    request, and compile_job spans; the shard's --log-file must hold
+#    a structured drain_begin line, and --log-level=bogus must exit 64.
+# 10. Rebuild under ThreadSanitizer and run the batch-engine,
 #    compile-server, farm, and observability tests, so data races in
 #    the worker pool, poll loop, router threads, disk cache, and
 #    trace/metric registries are caught mechanically.
-# 10. Rebuild under AddressSanitizer and run the full suite (including
+# 11. Rebuild under AddressSanitizer and run the full suite (including
 #    the protocol frame fuzzer, the optimizer differential harness, and
 #    the native-backend differential tests, whose dlopen'd artifacts run
 #    inside the instrumented process), so heap/GC bugs and codec
@@ -141,7 +148,8 @@ if [[ "$SNAP_OUT" != "$INLINE_OUT" ]]; then
 fi
 
 echo "== smoke: strict CLI option validation (exit 64 on unknown values) =="
-for Bad in --vm-dispatch=bogus --cps-opt=bogus --backend=bogus --prelude=bogus; do
+for Bad in --vm-dispatch=bogus --cps-opt=bogus --backend=bogus \
+           --prelude=bogus --log-level=bogus; do
   if "$SMLTCC" "$Bad" --expr 'fun main () = 1' >/dev/null 2>&1; then
     echo "FAIL: $Bad was accepted; unknown option values must be rejected" >&2
     exit 1
@@ -243,6 +251,50 @@ if [[ "$Rc" != 66 ]]; then
   echo "FAIL: missing --token-file exited $Rc, expected 66" >&2
   exit 1
 fi
+
+echo "== smoke: distributed tracing (4 nodes, SIGTERM drain, merged trace) =="
+TR_DIR="/tmp/smltcc-check-tracing-$$"
+mkdir -p "$TR_DIR"
+"$SMLTCC" --daemon --listen=127.0.0.1:0 --trace-json="$TR_DIR/shard1.json" \
+  --log-level=info --log-file="$TR_DIR/shard1.jsonl" 2>"$TR_DIR/shard1.log" &
+TSHARD1_PID=$!
+"$SMLTCC" --daemon --listen=127.0.0.1:0 --trace-json="$TR_DIR/shard2.json" \
+  2>"$TR_DIR/shard2.log" &
+TSHARD2_PID=$!
+trap 'kill "$TSHARD1_PID" "$TSHARD2_PID" 2>/dev/null || true; \
+  rm -rf "$TR_DIR"' EXIT
+sleep 1
+TSHARD1="$(sed -n 's#.*listening on tcp://##p' "$TR_DIR/shard1.log")"
+TSHARD2="$(sed -n 's#.*listening on tcp://##p' "$TR_DIR/shard2.log")"
+[[ -n "$TSHARD1" && -n "$TSHARD2" ]] \
+  || { echo "FAIL: tracing shards did not bind" >&2; exit 1; }
+"$SMLTCC" --router --listen=127.0.0.1:0 --backends="$TSHARD1,$TSHARD2" \
+  --trace-json="$TR_DIR/router.json" 2>"$TR_DIR/router.log" &
+TROUTER_PID=$!
+trap 'kill "$TSHARD1_PID" "$TSHARD2_PID" "$TROUTER_PID" 2>/dev/null || true; \
+  rm -rf "$TR_DIR"' EXIT
+sleep 1
+TROUTER="$(sed -n 's#.*listening on ##p' "$TR_DIR/router.log")"
+[[ -n "$TROUTER" ]] || { echo "FAIL: tracing router did not bind" >&2; exit 1; }
+"$SMLTCC" --connect="tcp://$TROUTER" --trace-json="$TR_DIR/client.json" \
+  --expr 'fun main () = 191 * 7' | grep 'result = 1337' >/dev/null
+# SIGTERM rather than --remote-shutdown: the drain path must flush
+# every node's per-thread trace buffers on the way out.
+kill -TERM "$TROUTER_PID" "$TSHARD1_PID" "$TSHARD2_PID"
+wait "$TROUTER_PID" "$TSHARD1_PID" "$TSHARD2_PID" 2>/dev/null || true
+grep '"event":"drain_begin"' "$TR_DIR/shard1.jsonl" >/dev/null \
+  || { echo "FAIL: structured log missing drain_begin" >&2; exit 1; }
+# One routed compile, four processes, ONE trace: the merged export must
+# carry a single trace id through client rpc -> router forward -> shard
+# request -> batch compile_job.
+"$ROOT/build/tools/merge_traces" --out="$TR_DIR/merged.json" \
+  --require-single-trace \
+  --require-span=rpc_compile --require-span=router_forward \
+  --require-span=request --require-span=compile_job \
+  "$TR_DIR/client.json" "$TR_DIR/router.json" \
+  "$TR_DIR/shard1.json" "$TR_DIR/shard2.json"
+trap - EXIT
+rm -rf "$TR_DIR"
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: batch engine + compile server race check =="

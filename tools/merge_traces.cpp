@@ -1,0 +1,291 @@
+//===- tools/merge_traces.cpp - Merge per-node Chrome traces -------------------===//
+//
+// merge_traces: combines the `--trace-json` output of several farm
+// nodes (client, router, shard daemons) into one Chrome trace-event
+// file, so a routed compile can be read end to end in one timeline.
+//
+//   merge_traces [--out=FILE] [--require-single-trace]
+//                [--require-span=NAME]... trace.json...
+//
+// Each input file becomes its own Chrome process track (pid = input
+// order, process_name = the file's basename), and its timestamps are
+// shifted by the difference of the files' `epochWallUs` stamps — the
+// wall-clock instant each node's tracer was constructed — so spans from
+// different processes line up on one clock. Steady-clock drift between
+// processes on one machine is negligible over a smoke run; the merge is
+// for reading causality (the trace/parent ids), not for ns-accurate
+// cross-process deltas.
+//
+// Assertions (for CI smokes):
+//   --require-single-trace   every event that carries a trace_id must
+//                            carry the SAME one, and at least one must
+//   --require-span=NAME      some event named NAME carries a trace_id
+//                            (repeatable; all must hold)
+//
+// Exit codes: 0 ok, 1 an assertion failed, 64 usage, 66 unreadable or
+// unparseable input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace smltc;
+
+namespace {
+
+std::string baseName(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+}
+
+/// Re-serializes a parsed JsonValue. Integral numbers render without a
+/// decimal point (Chrome's ts/pid/tid are integers in our emitters);
+/// anything fractional keeps microsecond precision.
+void writeJson(const obs::JsonValue &V, std::string &Out) {
+  switch (V.K) {
+  case obs::JsonValue::Kind::Null:
+    Out += "null";
+    break;
+  case obs::JsonValue::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    break;
+  case obs::JsonValue::Kind::Number: {
+    double N = V.Num;
+    if (std::floor(N) == N && std::fabs(N) < 9.0e15) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%lld", (long long)N);
+      Out += Buf;
+    } else {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.3f", N);
+      Out += Buf;
+    }
+    break;
+  }
+  case obs::JsonValue::Kind::String:
+    Out += '"';
+    Out += obs::jsonEscape(V.Str);
+    Out += '"';
+    break;
+  case obs::JsonValue::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const auto &E : V.Arr) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeJson(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case obs::JsonValue::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &M : V.Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += obs::jsonEscape(M.first);
+      Out += "\":";
+      writeJson(M.second, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+obs::JsonValue *find(obs::JsonValue &Obj, const char *Key) {
+  for (auto &M : Obj.Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+void setNumber(obs::JsonValue &Obj, const char *Key, double N) {
+  if (obs::JsonValue *V = find(Obj, Key)) {
+    V->K = obs::JsonValue::Kind::Number;
+    V->Num = N;
+    return;
+  }
+  obs::JsonValue V;
+  V.K = obs::JsonValue::Kind::Number;
+  V.Num = N;
+  Obj.Obj.emplace_back(Key, std::move(V));
+}
+
+struct InputTrace {
+  std::string Path;
+  obs::JsonValue Doc;
+  double EpochWallUs = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath;
+  bool RequireSingleTrace = false;
+  std::vector<std::string> RequiredSpans;
+  std::vector<std::string> Inputs;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--out=", 0) == 0) {
+      OutPath = A.substr(6);
+    } else if (A == "--require-single-trace") {
+      RequireSingleTrace = true;
+    } else if (A.rfind("--require-span=", 0) == 0) {
+      RequiredSpans.push_back(A.substr(15));
+    } else if (A == "--help" || A == "-h") {
+      std::printf("usage: merge_traces [--out=FILE] [--require-single-trace] "
+                  "[--require-span=NAME]... trace.json...\n");
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "merge_traces: unknown option '%s'\n", A.c_str());
+      return 64;
+    } else {
+      Inputs.push_back(A);
+    }
+  }
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "merge_traces: no input trace files (try --help)\n");
+    return 64;
+  }
+
+  std::vector<InputTrace> Traces;
+  for (const std::string &Path : Inputs) {
+    std::ifstream F(Path);
+    if (!F) {
+      std::fprintf(stderr, "merge_traces: cannot read '%s'\n", Path.c_str());
+      return 66;
+    }
+    std::ostringstream SS;
+    SS << F.rdbuf();
+    InputTrace T;
+    T.Path = Path;
+    std::string Err;
+    if (!obs::jsonParse(SS.str(), T.Doc, Err)) {
+      std::fprintf(stderr, "merge_traces: '%s': %s\n", Path.c_str(),
+                   Err.c_str());
+      return 66;
+    }
+    if (const obs::JsonValue *E = T.Doc.get("epochWallUs"))
+      if (E->isNumber())
+        T.EpochWallUs = E->Num;
+    Traces.push_back(std::move(T));
+  }
+
+  // Align every file's steady-clock timestamps onto the earliest
+  // tracer's epoch.
+  double MinEpoch = 0;
+  for (const InputTrace &T : Traces)
+    if (T.EpochWallUs > 0 && (MinEpoch == 0 || T.EpochWallUs < MinEpoch))
+      MinEpoch = T.EpochWallUs;
+
+  std::set<std::string> TraceIds;
+  std::set<std::string> SpanNamesWithTraceId;
+  std::string Out;
+  Out += "{\"traceEvents\":[";
+  bool FirstEvent = true;
+  size_t EventCount = 0;
+
+  for (size_t FileIdx = 0; FileIdx < Traces.size(); ++FileIdx) {
+    InputTrace &T = Traces[FileIdx];
+    double Pid = static_cast<double>(FileIdx + 1);
+    double Shift =
+        (T.EpochWallUs > 0 && MinEpoch > 0) ? T.EpochWallUs - MinEpoch : 0;
+
+    if (!FirstEvent)
+      Out += ',';
+    FirstEvent = false;
+    Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    char PidBuf[32];
+    std::snprintf(PidBuf, sizeof(PidBuf), "%zu", FileIdx + 1);
+    Out += PidBuf;
+    Out += ",\"args\":{\"name\":\"" + obs::jsonEscape(baseName(T.Path)) +
+           "\"}}";
+
+    obs::JsonValue *Events = find(T.Doc, "traceEvents");
+    if (!Events || !Events->isArray()) {
+      std::fprintf(stderr, "merge_traces: '%s' has no traceEvents array\n",
+                   T.Path.c_str());
+      return 66;
+    }
+    for (obs::JsonValue &E : Events->Arr) {
+      if (!E.isObject())
+        continue;
+      setNumber(E, "pid", Pid);
+      if (obs::JsonValue *Ts = find(E, "ts"))
+        if (Ts->isNumber())
+          Ts->Num += Shift;
+      if (const obs::JsonValue *Args = E.get("args")) {
+        const std::string &Tid = Args->getString("trace_id");
+        if (!Tid.empty()) {
+          TraceIds.insert(Tid);
+          SpanNamesWithTraceId.insert(E.getString("name"));
+        }
+      }
+      Out += ',';
+      writeJson(E, Out);
+      ++EventCount;
+    }
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"}";
+
+  bool Ok = true;
+  if (RequireSingleTrace) {
+    if (TraceIds.empty()) {
+      std::fprintf(stderr,
+                   "merge_traces: FAIL no event carries a trace_id\n");
+      Ok = false;
+    } else if (TraceIds.size() > 1) {
+      std::fprintf(stderr,
+                   "merge_traces: FAIL %zu distinct trace ids (expected 1):",
+                   TraceIds.size());
+      for (const std::string &Id : TraceIds)
+        std::fprintf(stderr, " %s", Id.c_str());
+      std::fprintf(stderr, "\n");
+      Ok = false;
+    }
+  }
+  for (const std::string &Name : RequiredSpans) {
+    if (!SpanNamesWithTraceId.count(Name)) {
+      std::fprintf(stderr,
+                   "merge_traces: FAIL no span named '%s' carries a "
+                   "trace_id\n",
+                   Name.c_str());
+      Ok = false;
+    }
+  }
+
+  if (OutPath.empty()) {
+    std::printf("%s\n", Out.c_str());
+  } else {
+    std::FILE *F = std::fopen(OutPath.c_str(), "w");
+    if (!F || std::fprintf(F, "%s\n", Out.c_str()) < 0) {
+      std::fprintf(stderr, "merge_traces: cannot write '%s'\n",
+                   OutPath.c_str());
+      if (F)
+        std::fclose(F);
+      return 66;
+    }
+    std::fclose(F);
+  }
+  std::fprintf(stderr,
+               "merge_traces: %zu file%s, %zu events, %zu trace id%s%s\n",
+               Traces.size(), Traces.size() == 1 ? "" : "s", EventCount,
+               TraceIds.size(), TraceIds.size() == 1 ? "" : "s",
+               Ok ? "" : " [FAILED]");
+  return Ok ? 0 : 1;
+}

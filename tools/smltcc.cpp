@@ -27,6 +27,9 @@
 //     --dump-cps       print the optimized CPS program
 //     --trace-json=FILE   write a Chrome trace-event file covering the
 //                      whole run (works in every mode, incl. --daemon)
+//     --log-level=debug|info|warn|error|off   structured-log threshold
+//                      (default warn; works in every mode)
+//     --log-file=PATH  append JSON log lines to PATH instead of stderr
 //
 // Compile-server / build-farm modes:
 //     --daemon --socket=PATH    run as a compile server (alias: --server)
@@ -65,6 +68,7 @@
 #include "farm/Net.h"
 #include "farm/Router.h"
 #include "native/NativeBackend.h"
+#include "obs/Log.h"
 #include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Server.h"
@@ -391,6 +395,25 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "--trace-json needs a file path\n");
         return 64;
       }
+    } else if (A.rfind("--log-level=", 0) == 0) {
+      std::string Lvl = A.substr(12);
+      obs::LogLevel L;
+      if (!obs::parseLogLevel(Lvl, L)) {
+        std::fprintf(stderr,
+                     "unknown log level '%s' (debug|info|warn|error|off)\n",
+                     Lvl.c_str());
+        return 64;
+      }
+      obs::Logger::setLevel(L);
+    } else if (A.rfind("--log-file=", 0) == 0) {
+      std::string Path = A.substr(11);
+      std::string LogErr;
+      if (Path.empty() || !obs::Logger::instance().openFile(Path, LogErr)) {
+        std::fprintf(stderr, "--log-file: cannot open '%s'%s%s\n",
+                     Path.c_str(), LogErr.empty() ? "" : ": ",
+                     LogErr.c_str());
+        return 64;
+      }
     } else if (A.rfind("--format=", 0) == 0) {
       StatsFormat = A.substr(9);
       if (StatsFormat != "json" && StatsFormat != "prom" &&
@@ -425,7 +448,9 @@ int main(int Argc, char **Argv) {
                   "--remote-stats [--format=json|prom|human] | "
                   "--remote-ping | --remote-shutdown)\n"
                   "       any mode: --trace-json=FILE writes a Chrome "
-                  "trace-event file\n");
+                  "trace-event file; --log-level=debug|info|warn|error|off "
+                  "(default warn) and --log-file=PATH control the "
+                  "structured JSON log\n");
       return 0;
     } else if (!A.empty() && A[0] != '-') {
       File = A;
