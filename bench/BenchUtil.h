@@ -27,6 +27,12 @@ struct Measurement {
   double CompileSec = 0;
   double ExecSec = 0; ///< wall time inside the dispatch loop
   int64_t Result = 0;
+  // Semantic-identity observables (the opt_throughput oracle): two
+  // compiles of the same source are equivalent iff result, printed
+  // output, trap state, and store-barrier count all agree.
+  uint64_t BarrierStores = 0;
+  std::string Output;
+  bool Trapped = false;
 };
 
 inline Measurement measure(const std::string &Source,
@@ -60,6 +66,9 @@ inline Measurement measure(const std::string &Source,
                         : R.Metrics.MaxMajorPauseWords;
   M.ExecSec = R.Metrics.ExecSec;
   M.Result = R.Result;
+  M.BarrierStores = R.Metrics.BarrierStores;
+  M.Output = R.Output;
+  M.Trapped = R.Trapped;
   return M;
 }
 
@@ -95,6 +104,9 @@ inline Measurement runCompiled(const CompileOutput &C,
                         : R.Metrics.MaxMajorPauseWords;
   M.ExecSec = R.Metrics.ExecSec;
   M.Result = R.Result;
+  M.BarrierStores = R.Metrics.BarrierStores;
+  M.Output = R.Output;
+  M.Trapped = R.Trapped;
   return M;
 }
 

@@ -7,7 +7,13 @@
 // type-theory-based wrapper elimination."
 //
 // We run the float-intensive benchmarks under sml.rep (floats boxed, so
-// wrap/unwrap pairs abound) with the cancellation on and off.
+// wrap/unwrap pairs abound) along three settings:
+//
+//   off      adjacent-pair cancellation and record-copy elim disabled
+//   pairs    the legacy adjacent-pair rule only (fixpoint breadth rule
+//            ablated via the wrapcancel disable bit)
+//   breadth  the full fixpoint rule: cross-binding dedup, select CSE,
+//            loop-carried cancellation
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,28 +25,32 @@ using namespace smltc;
 using namespace smltc::bench;
 
 int main() {
-  std::printf("Section 5.2 ablation: wrap/unwrap pair cancellation and "
-              "record-copy elimination under sml.rep\n\n");
-  std::printf("%-10s  %14s  %14s  %9s  %12s  %12s\n", "bench",
-              "cycles (off)", "cycles (on)", "speedup", "alloc (off)",
-              "alloc (on)");
+  std::printf("Section 5.2 ablation: wrap/unwrap cancellation under "
+              "sml.rep (off / adjacent pairs / fixpoint breadth)\n\n");
+  std::printf("%-10s  %14s  %14s  %14s  %9s  %12s  %12s\n", "bench",
+              "cycles (off)", "cycles (pairs)", "cycles (brdth)", "speedup",
+              "alloc (off)", "alloc (brdth)");
   for (const char *Name : {"MBrot", "BHut", "Ray", "Nucleic", "Simple"}) {
     const BenchmarkProgram *B = findBenchmark(Name);
     CompilerOptions Off = CompilerOptions::rep();
     Off.CpsWrapCancel = false;
     Off.CpsRecordCopyElim = false;
-    CompilerOptions On = CompilerOptions::rep();
+    CompilerOptions Pairs = CompilerOptions::rep();
+    Pairs.CpsOptDisable = kCpsRuleWrapCancel;
+    CompilerOptions Breadth = CompilerOptions::rep();
     Measurement MOff = measure(B->Source, Off);
-    Measurement MOn = measure(B->Source, On);
-    if (!MOff.Ok || !MOn.Ok)
+    Measurement MPairs = measure(B->Source, Pairs);
+    Measurement MBreadth = measure(B->Source, Breadth);
+    if (!MOff.Ok || !MPairs.Ok || !MBreadth.Ok)
       continue;
-    std::printf("%-10s  %14llu  %14llu  %8.2fx  %12llu  %12llu\n", Name,
-                static_cast<unsigned long long>(MOff.Cycles),
-                static_cast<unsigned long long>(MOn.Cycles),
+    std::printf("%-10s  %14llu  %14llu  %14llu  %8.2fx  %12llu  %12llu\n",
+                Name, static_cast<unsigned long long>(MOff.Cycles),
+                static_cast<unsigned long long>(MPairs.Cycles),
+                static_cast<unsigned long long>(MBreadth.Cycles),
                 static_cast<double>(MOff.Cycles) /
-                    static_cast<double>(MOn.Cycles),
+                    static_cast<double>(MBreadth.Cycles),
                 static_cast<unsigned long long>(MOff.AllocWords),
-                static_cast<unsigned long long>(MOn.AllocWords));
+                static_cast<unsigned long long>(MBreadth.AllocWords));
   }
   return 0;
 }

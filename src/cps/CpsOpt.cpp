@@ -33,6 +33,7 @@
 
 #include "cps/CpsOpt.h"
 
+#include "cps/CpsCheck.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -41,6 +42,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,6 +53,22 @@ using namespace smltc;
 namespace {
 
 std::atomic<bool> AuditEnabled{false};
+
+/// Phases a fixpoint-mode shrink run may take before the optimizer gives
+/// up and reports non-convergence. Contraction rules provably shrink and
+/// expansion plans are bounded, so reaching this is a rule bug, not a
+/// program property; the driver turns it into a compile error instead of
+/// letting the process spin.
+constexpr int kPhaseSafetyCeiling = 1000;
+
+/// Process-wide histogram of phases-to-normal-form per shrink run,
+/// registered into the obs registry by registerCpsOptMetrics.
+std::shared_ptr<obs::Histogram> &shrinkPhaseHistogram() {
+  static std::shared_ptr<obs::Histogram> H =
+      std::make_shared<obs::Histogram>(std::vector<double>{
+          1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 64, 128});
+  return H;
+}
 
 void bodySizeUpTo(const Cexp *E, size_t Cap, size_t &N) {
   if (!E || N > Cap)
@@ -1054,9 +1072,25 @@ public:
     // The throughput win comes from what each phase no longer does: no
     // from-scratch census walk (counts are maintained incrementally) and
     // no arena rebuild of the whole tree (contractions splice in place).
+    //
+    // Fixpoint mode (CpsOptMaxPhases == 0, the default) keeps that
+    // cadence but runs until a whole phase fires nothing, behind a
+    // safety ceiling. The fixpoint-era rules — generalized eta,
+    // census-driven argument flattening, wrap-cancellation breadth,
+    // loop-invariant alloc hoisting — are active only here, so any
+    // bounded --cps-opt-max-phases=N reproduces the legacy cadence
+    // bit-for-bit (N=10 matches the rounds oracle exactly).
+    bool Fixpoint = Opts.CpsOptMaxPhases <= 0;
+    int Cap = Fixpoint ? kPhaseSafetyCeiling : Opts.CpsOptMaxPhases;
+    EtaOn = Fixpoint && !(Opts.CpsOptDisable & kCpsRuleEta);
+    FagOn = Fixpoint && !(Opts.CpsOptDisable & kCpsRuleFag) &&
+            Opts.KnownFnFlattening;
+    WrapOn = Fixpoint && !(Opts.CpsOptDisable & kCpsRuleWrapCancel) &&
+             Opts.CpsWrapCancel;
+    HoistOn = Fixpoint && !(Opts.CpsOptDisable & kCpsRuleHoist);
     int Phase = 0;
     bool Progressed = true;
-    for (; Phase < 10; ++Phase) {
+    for (; Phase < Cap; ++Phase) {
       bool HavePlan;
       {
         SMLTC_SPAN("cps_expand_plan", "compile");
@@ -1067,12 +1101,24 @@ public:
         SMLTC_SPAN(HavePlan ? "cps_expand" : "cps_shrink", "compile");
         PlanActive = HavePlan;
         PhaseFloor = B.maxVar();
+        NewRuleFired = false;
+        WrapBoxOf.popTo(0);
+        UnwrapOf.popTo(0);
+        RecordsOf.popTo(0);
+        WrapDepth = 0;
         visit(Program);
         PlanActive = false;
         ++Stats.WorklistPasses;
         if (Audit)
           auditCensus(Program);
       }
+#ifndef NDEBUG
+      if (NewRuleFired) {
+        CpsCheckResult CR = checkCps(Program);
+        assert(CR.Ok && "CPS check failed after a fixpoint-era rule");
+        (void)CR;
+      }
+#endif
       if (HavePlan)
         ++Stats.ExpandPasses;
       ++Stats.Rounds;
@@ -1094,7 +1140,25 @@ public:
         break;
       }
     }
-    Stats.HitRoundCap = Phase == 10 && Progressed;
+    if (Fixpoint)
+      Stats.HitSafetyCeiling = Phase == Cap && Progressed;
+    else
+      Stats.HitRoundCap = Phase == Cap && Progressed;
+    // At a true fixpoint every kept occurrence has been rewritten to its
+    // resolved form, so the maintained census must equal a raw recount;
+    // verify with the census half of CpsCheck in audit mode and in debug
+    // builds.
+    bool DebugBuild = false;
+#ifndef NDEBUG
+    DebugBuild = true;
+#endif
+    if (Fixpoint && !Progressed && (Audit || DebugBuild)) {
+      CpsCheckResult CR = checkCpsCensus(
+          Program, UseV, CallsV, [this](CValue V) { return rv(V); });
+      if (!CR.Ok)
+        ++Stats.CensusAuditFailures;
+    }
+    shrinkPhaseHistogram()->observe(static_cast<double>(Phase));
     MaxVar = B.maxVar();
     return Program;
   }
@@ -1123,9 +1187,13 @@ private:
     PlanFlattenV.resize(N, 0);
     OwsV.resize(N, 0);
     SelfRecPV.resize(N, 0);
+    LoopNestPV.resize(N, 0);
     EscPV.resize(N, 0);
     AdoptableV.resize(N, 0);
     SnapBodyV.resize(N, nullptr);
+    FagLenV.resize(N, 0);
+    SelMaskV.resize(N, 0);
+    PlanFagV.resize(N, 0);
   }
 
   /// Resolves a value through the pending substitution.
@@ -1421,6 +1489,94 @@ private:
             }
           }
         }
+        // Fixpoint-era breadth: a float re-boxed under a dominating box
+        // of the same raw value reuses that box, however many bindings
+        // separate the two wraps (the adjacent rule above only cancels
+        // box-of-unwrap-of-box shapes).
+        if (WrapOn && E->RK == RecordKind::FloatBox &&
+            E->Fields.size() == 1 && E->Fields[0].V.isVar()) {
+          const WrapEntry *Box = WrapBoxOf.get(E->Fields[0].V.V);
+          // Same-depth reuse is free. Cross-depth reuse makes the outer
+          // box a captured free variable of this function, so it only
+          // pays when the saved allocation outweighs the capture: when
+          // this is the raw float's last remaining use (closures swap
+          // raw for box, slot for slot), or inside a self-recursive
+          // body, where the cancelled alloc ran per iteration but the
+          // capture costs once per loop entry. Unconditional cross-depth
+          // reuse regressed BHut in measurement; these two cases carry
+          // all of the MBrot/Ray loop wins.
+          CValue RawV = rv(E->Fields[0].V);
+          bool LastRawUse = RawV.isVar() && UseV[RawV.V] == 1;
+          if (Box &&
+              (Box->Depth == WrapDepth || LastRawUse || InLoopBody)) {
+            ++Stats.WrapCancelChains;
+            if (Box->Depth != WrapDepth && !LastRawUse)
+              ++Stats.WrapCancelLoopCarried;
+            ++Contractions;
+            NewRuleFired = true;
+            dropUse(E->Fields[0].V);
+            DefNodeV[E->W] = nullptr;
+            bindSubst(E->W, rv(CValue::var(Box->V)));
+            spliceOut(E);
+            continue;
+          }
+          WrapBoxOf.set(E->Fields[0].V.V, {E->W, WrapDepth});
+        }
+        // Fixpoint-era breadth, general-record side: an immutable record
+        // whose fields are identical to a dominating allocation reuses it
+        // (records are arena values with no observable identity; Select is
+        // the only reader of non-Ref records). Same cross-depth gate as
+        // the float-box rule: reuse across a function boundary trades a
+        // per-call allocation for a closure capture, which only pays
+        // inside a loop nest.
+        if (WrapOn && E->RK != RecordKind::Ref &&
+            E->RK != RecordKind::FloatBox && !E->Fields.empty()) {
+          CVar Key = 0;
+          for (const CField &Fd : E->Fields)
+            if (Fd.V.isVar()) {
+              Key = Fd.V.V;
+              break;
+            }
+          if (Key != 0) {
+            const RecCseList *L = RecordsOf.get(Key);
+            const Cexp *Hit = nullptr;
+            int HitDepth = 0;
+            if (L)
+              for (uint8_t I = 0; I < L->N && !Hit; ++I) {
+                const Cexp *R = L->E[I].R;
+                if (R->RK != E->RK ||
+                    R->Fields.size() != E->Fields.size() ||
+                    !(L->E[I].Depth == WrapDepth || InLoopBody))
+                  continue;
+                bool Same = true;
+                for (size_t J = 0; J < E->Fields.size() && Same; ++J)
+                  Same = E->Fields[J].IsFloat == R->Fields[J].IsFloat &&
+                         sameValue(E->Fields[J].V, rv(R->Fields[J].V));
+                if (Same) {
+                  Hit = R;
+                  HitDepth = L->E[I].Depth;
+                }
+              }
+            if (Hit) {
+              ++Stats.WrapCancelChains;
+              if (HitDepth != WrapDepth)
+                ++Stats.WrapCancelLoopCarried;
+              ++Contractions;
+              NewRuleFired = true;
+              for (const CField &Fd : E->Fields)
+                dropUse(Fd.V);
+              DefNodeV[E->W] = nullptr;
+              bindSubst(E->W, rv(CValue::var(Hit->W)));
+              spliceOut(E);
+              continue;
+            }
+            RecCseList NL = L ? *L : RecCseList{};
+            if (NL.N < RecCseList::kMax) {
+              NL.E[NL.N++] = {E, WrapDepth};
+              RecordsOf.set(Key, NL);
+            }
+          }
+        }
         // Record copy elimination (Section 5.2).
         if (Opts.CpsRecordCopyElim && E->RK != RecordKind::Ref &&
             !E->Fields.empty()) {
@@ -1494,6 +1650,47 @@ private:
           removeValueNode(E);
           continue;
         }
+        // Fixpoint-era breadth: identical selects of the same
+        // (unknown-definition) base CSE to the dominating one — Select
+        // only ever reads immutable records (refs and arrays go through
+        // Looker), so same base and index is the same value. Float
+        // unwraps are the wrap-cancellation case the rule is named for;
+        // word selects from shared parameter/closure records cancel the
+        // same way, and the wrap-dedup above then collapses re-wraps of
+        // either copy. Same-depth only, like the wrap rule.
+        if (WrapOn && E->F.isVar()) {
+          const SelCseList *L = UnwrapOf.get(E->F.V);
+          const SelCseEntry *Hit = nullptr;
+          // Cross-depth CSE swaps a captured base for a captured field;
+          // as with wrap-dedup above, that is gated to the cases that
+          // cannot lose: last remaining use of the base, or a loop nest
+          // (select per iteration vs capture per entry).
+          bool LastBaseUse = UseV[E->F.V] == 1;
+          if (L)
+            for (uint8_t I = 0; I < L->N; ++I)
+              if (L->E[I].Idx == E->Idx &&
+                  L->E[I].IsFloat == static_cast<uint8_t>(E->IsFloat) &&
+                  (L->E[I].Depth == WrapDepth || LastBaseUse || InLoopBody))
+                Hit = &L->E[I];
+          if (Hit) {
+            ++Stats.WrapCancelChains;
+            if (Hit->Depth != WrapDepth && !LastBaseUse)
+              ++Stats.WrapCancelLoopCarried;
+            ++Contractions;
+            NewRuleFired = true;
+            dropUse(E->F);
+            DefNodeV[E->W] = nullptr;
+            bindSubst(E->W, rv(CValue::var(Hit->W)));
+            spliceOut(E);
+            continue;
+          }
+          SelCseList NL = L ? *L : SelCseList{};
+          if (NL.N < SelCseList::kMax) {
+            NL.E[NL.N++] = {E->Idx, static_cast<uint8_t>(E->IsFloat), E->W,
+                            WrapDepth};
+            UnwrapOf.set(E->F.V, NL);
+          }
+        }
         E = E->C1;
         continue;
       }
@@ -1530,6 +1727,12 @@ private:
       }
 
       case Cexp::Kind::Fix: {
+        // Fixpoint-era loop-invariant hoisting: a closed allocation in a
+        // self-recursive known function's straight-line prefix moves
+        // above the Fix (once per loop instead of once per iteration).
+        // The node E becomes the hoisted binding; reprocess it in place.
+        if (HoistOn && hoistFromFix(E))
+          continue;
         // Pass 1: dead functions and eta-conts.
         CFun **Fs = E->Funs.mutableBegin();
         size_t N = E->Funs.size(), J = 0;
@@ -1570,6 +1773,12 @@ private:
               continue;
             }
           }
+          // Fixpoint-era eta: fun/cont k(x...) = g(x...) ==> k := g for
+          // any arity and kind (the legacy rule above covers only
+          // one-parameter continuations, and fires first so its stat
+          // attribution is unchanged).
+          if (EtaOn && etaReduceFun(F, Name))
+            continue;
           Fs[J++] = F;
         }
         E->Funs.truncate(J);
@@ -1589,9 +1798,22 @@ private:
           CVar Name = F->Name;
           if (FnDefV[Name] != F)
             continue; // unlinked elsewhere (stale entry)
+          size_t MB = WrapBoxOf.mark(), MU = UnwrapOf.mark(),
+                 MR = RecordsOf.mark();
+          ++WrapDepth;
+          bool SaveLoop = InLoopBody;
+          // Inherited through the nest: continuations and helpers defined
+          // inside a loop body run per iteration too.
+          InLoopBody = SaveLoop || (Name < PhaseFloor &&
+                                    (SelfRecPV[Name] || LoopNestPV[Name]));
           if (PlanActive && PlanFlattenV[Name] > 0 &&
               F->Params.size() == 2) {
             visit(F->Body);
+            InLoopBody = SaveLoop;
+            --WrapDepth;
+            WrapBoxOf.popTo(MB);
+            UnwrapOf.popTo(MU);
+            RecordsOf.popTo(MR);
             flattenEntry(F, PlanFlattenV[Name]);
             continue;
           }
@@ -1603,6 +1825,11 @@ private:
             F->K = (Name < PhaseFloor && EscPV[Name]) ? CFun::Kind::Escape
                                                       : CFun::Kind::Known;
           visit(F->Body);
+          InLoopBody = SaveLoop;
+          --WrapDepth;
+          WrapBoxOf.popTo(MB);
+          UnwrapOf.popTo(MU);
+          RecordsOf.popTo(MR);
         }
         E = E->C1;
         continue;
@@ -1644,7 +1871,14 @@ private:
           replaceWith(E, Live);
           continue;
         }
-        visit(E->C1);
+        {
+          size_t MB = WrapBoxOf.mark(), MU = UnwrapOf.mark(),
+                 MR = RecordsOf.mark();
+          visit(E->C1);
+          WrapBoxOf.popTo(MB);
+          UnwrapOf.popTo(MU);
+          RecordsOf.popTo(MR);
+        }
         E = E->C2;
         continue;
       }
@@ -2120,6 +2354,10 @@ private:
   /// shrink phase once only selects remain).
   void flattenEntry(CFun *F, int N) {
     ++Stats.KnownFnsFlattened;
+    if (PlanFagV[F->Name]) {
+      ++Stats.CensusFlattened;
+      NewRuleFired = true;
+    }
     ++Contractions;
     CVar OldRec = F->Params[0];
     CVar OldK = F->Params[1];
@@ -2147,6 +2385,211 @@ private:
   }
 
   //===--------------------------------------------------------------------===//
+  // Fixpoint-era rules (eta of functions, loop-invariant hoisting)
+  //===--------------------------------------------------------------------===//
+
+  /// Generalized eta: a function or continuation whose body is exactly a
+  /// forwarding call of its own parameters, in order, renames to the
+  /// target. The body being a single App node means the target's binding
+  /// necessarily dominates this Fix, so redirecting every use of the
+  /// forwarder is scope-safe. Same plan guards and mutual-pair guard as
+  /// the legacy cont-eta, plus a guard against redirecting onto a
+  /// function planned for flattening this phase (its call sites were
+  /// vetted at phase entry; inherited sites were not).
+  bool etaReduceFun(CFun *F, CVar Name) {
+    Cexp *Bd = F->Body;
+    if (Bd->K != Cexp::Kind::App || !Bd->F.isVar() || Bd->F.V == Name ||
+        Bd->Args.size() != F->Params.size())
+      return false;
+    if (PlanOnceV[Bd->F.V] || PlanSmallV[Bd->F.V] ||
+        PlanFlattenV[Bd->F.V] > 0)
+      return false;
+    for (size_t I = 0; I < F->Params.size(); ++I)
+      if (!(Bd->Args[I].isVar() && Bd->Args[I].V == F->Params[I]))
+        return false;
+    CValue J2 = rv(Bd->F);
+    if (!J2.isVar() || J2.V == Name)
+      return false;
+    CVar G = J2.V;
+    if (PlanOnceV[G] || PlanSmallV[G] || PlanFlattenV[G] > 0)
+      return false;
+    // The target must not be one of F's own params: that binding is not
+    // in scope at F's other use sites.
+    for (CVar P : F->Params)
+      if (P == G)
+        return false;
+    if (const CFun *GF = FnDefV[G]) {
+      if ((GF->K == CFun::Kind::Cont) != (F->K == CFun::Kind::Cont))
+        return false;
+      if (GF->Params.size() != F->Params.size())
+        return false;
+    } else {
+      // No definition in sight (a parameter or closure value): allow
+      // only targets whose CTY proves the same calling species.
+      CtyKind TK = VarTyV[G].K;
+      if (F->K == CFun::Kind::Cont ? TK != CtyKind::Cnt
+                                   : TK != CtyKind::Fun)
+        return false;
+    }
+    ++Stats.EtaFuns;
+    ++Contractions;
+    NewRuleFired = true;
+    dropUse(Bd->F, /*Call=*/true);
+    for (const CValue &V : Bd->Args)
+      dropUse(V);
+    FnDefV[Name] = nullptr;
+    FixNodeV[Name] = nullptr;
+    bindSubst(Name, J2);
+    return true;
+  }
+
+  /// Finds a hoistable allocation in F's straight-line body prefix: a
+  /// non-Ref Record whose fields are all constants or variables bound
+  /// outside the function (so the value is loop-invariant). The scan
+  /// stops at the first control or effect node; a Ref allocation is a
+  /// barrier too — it is observably fresh per iteration.
+  Cexp *findHoistable(const Cexp *Fx, const CFun *F) {
+    HoistSeen.clear();
+    for (const CFun *G : Fx->Funs)
+      HoistSeen.set(G->Name, 1); // bundle names are not in scope above
+    for (CVar P : F->Params)
+      HoistSeen.set(P, 1);
+    return hoistScan(F->Body, F->Name, /*BranchBudget=*/0);
+  }
+
+  /// Does any App under \p N (including nested function bodies — loops
+  /// commonly recurse through an inner continuation) call \p Name?
+  bool containsCall(const Cexp *N, CVar Name) {
+    for (;;) {
+      switch (N->K) {
+      case Cexp::Kind::App: {
+        CValue F = rv(N->F);
+        return F.isVar() && F.V == Name;
+      }
+      case Cexp::Kind::Fix:
+        for (const CFun *G : N->Funs)
+          if (containsCall(G->Body, Name))
+            return true;
+        N = N->C1;
+        continue;
+      case Cexp::Kind::Branch:
+        if (containsCall(N->C1, Name))
+          return true;
+        N = N->C2;
+        continue;
+      case Cexp::Kind::Halt:
+        return false;
+      default:
+        N = N->C1;
+        continue;
+      }
+    }
+  }
+
+  /// The scan behind findHoistable. At budget 0 it walks only the part
+  /// of the body that runs unconditionally on every iteration — the
+  /// straight-line prefix — so moving a closed alloc above the Fix is
+  /// guaranteed non-increasing (once per loop entry <= once per
+  /// iteration). A positive budget additionally descends, at each
+  /// branch, into the arm that leads back to the recursive call when
+  /// the other arm does not (the `if done then k(r) else <body;
+  /// loop(...)>` rotation). Both relaxations were measured and lost:
+  /// descending into both arms regressed KB-C 4% (cold exit-path allocs
+  /// made unconditional), and backedge-only descent regressed Simple
+  /// (+36) and VLIW (+232) on loops that exit after their first test.
+  /// The budget stays 0 until a profile says otherwise. Fix nodes
+  /// execute nothing at this IR level; the scan steps over them after
+  /// marking their names loop-local. Binders seen stay in HoistSeen
+  /// across the walk, which can only make the closed check more
+  /// conservative, never wrong.
+  Cexp *hoistScan(Cexp *N, CVar LoopName, int BranchBudget) {
+    for (;;) {
+      switch (N->K) {
+      case Cexp::Kind::Record: {
+        if (N->RK == RecordKind::Ref)
+          return nullptr; // observably fresh per iteration: a barrier
+        if (N->RK != RecordKind::FloatBox || Opts.CpsWrapCancel) {
+          bool Closed = true;
+          for (const CField &Fd : N->Fields) {
+            CValue V = rv(Fd.V);
+            if (V.isVar() && HoistSeen.has(V.V)) {
+              Closed = false;
+              break;
+            }
+          }
+          if (Closed)
+            return N;
+        }
+        HoistSeen.set(N->W, 1);
+        N = N->C1;
+        continue;
+      }
+      case Cexp::Kind::Select:
+      case Cexp::Kind::Arith:
+      case Cexp::Kind::Pure:
+      case Cexp::Kind::Looker:
+        HoistSeen.set(N->W, 1);
+        N = N->C1;
+        continue;
+      case Cexp::Kind::Fix:
+        for (const CFun *G : N->Funs)
+          HoistSeen.set(G->Name, 1);
+        N = N->C1;
+        continue;
+      case Cexp::Kind::Branch: {
+        if (BranchBudget == 0)
+          return nullptr;
+        --BranchBudget;
+        bool InC1 = containsCall(N->C1, LoopName);
+        bool InC2 = containsCall(N->C2, LoopName);
+        if (InC1 == InC2)
+          return nullptr; // no backedge below, or one on each arm
+        N = InC1 ? N->C1 : N->C2;
+        continue;
+      }
+      default:
+        return nullptr; // control/effect: end of the hoistable region
+      }
+    }
+  }
+
+  /// Hoists one closed allocation out of one self-recursive known
+  /// function of this Fix. Returns true if the Fix node was rewritten
+  /// (it now holds the hoisted Record; the caller reprocesses it).
+  /// Census counts are unchanged — the binding and all its uses survive,
+  /// only the binding's position moves (its def still dominates every
+  /// use, now from above the Fix).
+  bool hoistFromFix(Cexp *Fx) {
+    for (CFun *F : Fx->Funs) {
+      CVar Name = F->Name;
+      if (FnDefV[Name] != F)
+        continue;
+      if (!(Name < PhaseFloor && (SelfRecPV[Name] || LoopNestPV[Name]) &&
+            !EscPV[Name]))
+        continue;
+      Cexp *R = findHoistable(Fx, F);
+      if (!R)
+        continue;
+      ++Stats.HoistedAllocs;
+      ++Contractions;
+      NewRuleFired = true;
+      // The Fix node's contents migrate to a fresh node, R's contents
+      // take over the Fix node's slot (its parent now sees the Record),
+      // and R's old position splices to its own tail.
+      Cexp *FixCopy = A.create<Cexp>();
+      *FixCopy = *Fx;
+      reanchor(FixCopy);
+      Cexp *Tail = R->C1;
+      *Fx = *R;
+      Fx->C1 = FixCopy;
+      reanchor(Fx);
+      replaceWith(R, Tail);
+      return true;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
   // Expand planning
   //===--------------------------------------------------------------------===//
 
@@ -2157,8 +2600,14 @@ private:
     std::fill(PlanOnceV.begin(), PlanOnceV.end(), 0);
     std::fill(PlanSmallV.begin(), PlanSmallV.end(), 0);
     std::fill(PlanFlattenV.begin(), PlanFlattenV.end(), 0);
+    if (FagOn) {
+      std::fill(FagLenV.begin(), FagLenV.end(), 0);
+      std::fill(SelMaskV.begin(), SelMaskV.end(), 0);
+      std::fill(PlanFagV.begin(), PlanFagV.end(), 0);
+    }
     std::fill(OwsV.begin(), OwsV.end(), 0);
     std::fill(SelfRecPV.begin(), SelfRecPV.end(), 0);
+    std::fill(LoopNestPV.begin(), LoopNestPV.end(), 0);
     AliveFns.clear();
     CallEdges.clear();
     PlanParentOf.clear();
@@ -2192,6 +2641,17 @@ private:
         if (PT.K == CtyKind::PtrKnown && PT.Len >= 2 &&
             PT.Len <= Opts.MaxSpreadArgs && OwsV[F->Params[0]] == 1) {
           PlanFlattenV[Name] = PT.Len;
+          Any = true;
+        } else if (FagOn && OwsV[F->Params[0]] == 1 && FagLenV[Name] >= 2 &&
+                   SelMaskV[F->Params[0]] ==
+                       (1u << FagLenV[Name]) - 1u) {
+          // Census-driven sml.fag: the record's shape is proven by its
+          // construction at every call site rather than by the parameter
+          // type. Requiring the body to select every component keeps the
+          // rewrite a win — otherwise a k-of-N select pattern would turn
+          // into N argument moves.
+          PlanFlattenV[Name] = FagLenV[Name];
+          PlanFagV[Name] = 1;
           Any = true;
         }
       }
@@ -2251,8 +2711,13 @@ private:
         E = E->C1;
         continue;
       case Cexp::Kind::Select: {
-        if (E->IsFloat)
+        if (E->IsFloat) {
           notOws(E->F);
+        } else if (FagOn) {
+          CValue Bv = rv(E->F);
+          if (Bv.isVar() && E->Idx >= 0 && E->Idx < 31)
+            SelMaskV[Bv.V] |= 1u << E->Idx;
+        }
         E = E->C1;
         continue;
       }
@@ -2262,12 +2727,32 @@ private:
           OwsV[F.V] = 2;
           if (Owner && F.V == Owner->Name)
             SelfRecPV[Owner->Name] = 1;
+          // Loop-nest detection for the fixpoint-era rules: a call to a
+          // lexical ancestor re-enters it, so everything between the
+          // call and that ancestor runs per iteration. SelfRecPV stays
+          // immediate-self-calls-only — it feeds the inline plan, whose
+          // cadence must keep mirroring the rounds engine.
+          if (Owner && FnDefV[F.V])
+            for (CVar Anc = Owner->Name;;) {
+              if (Anc == F.V) {
+                LoopNestPV[F.V] = 1;
+                break;
+              }
+              const CVar *Up = PlanParentOf.get(Anc);
+              if (!Up)
+                break;
+              Anc = *Up;
+            }
           // Call edge for cycle pruning. Only App heads can reference an
           // inline candidate (candidates have Uses == Calls, so a value
           // occurrence would have disqualified them), which lets the
           // pruner reuse this walk instead of re-walking candidate bodies.
           if (Owner && FnDefV[F.V])
             CallEdges.emplace_back(Owner->Name, F.V);
+          // Census-driven flattening vets every call site, including
+          // top-level ones outside any function.
+          if (FagOn && FnDefV[F.V])
+            noteFagSite(F.V, E);
         }
         for (const CValue &V : E->Args)
           notOws(V);
@@ -2312,6 +2797,39 @@ private:
     CValue R = rv(V);
     if (R.isVar())
       OwsV[R.V] = 2;
+  }
+
+  /// Census-driven flattening facts: a function qualifies only when every
+  /// call site passes a record proven (by its construction) to be a Std
+  /// all-word record of one consistent length within MaxSpreadArgs — the
+  /// paper's sml.fag discipline without needing a PtrKnown parameter
+  /// type. -1 marks the function disqualified.
+  void noteFagSite(CVar Fn, const Cexp *Site) {
+    int32_t &L = FagLenV[Fn];
+    if (L < 0)
+      return;
+    int N = -1;
+    if (Site->Args.size() == 2) {
+      CValue A0 = rv(Site->Args[0]);
+      if (A0.isVar()) {
+        const Cexp *D = DefNodeV[A0.V];
+        if (D && D->K == Cexp::Kind::Record && D->RK == RecordKind::Std) {
+          int Len = static_cast<int>(D->Fields.size());
+          if (Len >= 2 && Len <= Opts.MaxSpreadArgs && Len < 31) {
+            N = Len;
+            for (const CField &Fd : D->Fields)
+              if (Fd.IsFloat) {
+                N = -1;
+                break;
+              }
+          }
+        }
+      }
+    }
+    if (N < 0 || (L > 0 && L != N))
+      L = -1;
+    else
+      L = N;
   }
 
   /// Mirrors the rounds engine's Kahn-style cycle pruning for the
@@ -2466,6 +2984,10 @@ private:
   std::vector<int32_t> PlanFlattenV;
   std::vector<uint8_t> OwsV; ///< 0 unseen, 1 only-word-selected, 2 not
   std::vector<uint8_t> SelfRecPV;
+  /// Called from somewhere inside its own lexical nest (recursion through
+  /// inner continuations, which SelfRecPV's immediate-self-call test
+  /// misses). Drives the fixpoint-era loop heuristics only, never plans.
+  std::vector<uint8_t> LoopNestPV;
   std::vector<uint8_t> EscPV; ///< phase-entry escape status per function
   /// Once-planned functions whose snapshot may be adopted in place (no
   /// other surviving candidate's snapshot can re-materialize their call).
@@ -2481,6 +3003,78 @@ private:
   /// heads that target a live function, and the function nesting tree.
   std::vector<std::pair<CVar, CVar>> CallEdges; ///< (owner fn, callee fn)
   DenseVarMap<CVar> PlanParentOf;               ///< nested fn -> enclosing fn
+
+  // Fixpoint-era rule state (all unused when CpsOptMaxPhases > 0).
+  /// Census-driven flattening: per-function consistent call-site record
+  /// length (0 unseen, -1 disqualified), per-var bitmap of non-float
+  /// select indices, and which flatten plans came from the census rule.
+  std::vector<int32_t> FagLenV;
+  std::vector<uint32_t> SelMaskV;
+  std::vector<uint8_t> PlanFagV;
+  /// Wrap-cancellation breadth: dominating FloatBox binder per raw float
+  /// var, and dominating sel.f(box, 0) binder per box var. Scoped like
+  /// the rounds engine's RecDefs/SelDefs (popped at branch arms and
+  /// function-body boundaries). Each entry remembers the function-nesting
+  /// depth it was bound at: reuse fires only at the same depth, because
+  /// resurrecting a binder from an enclosing function turns it into a
+  /// captured free variable and can grow closures past what the cancelled
+  /// allocation saved (observed as a dynamic-instruction regression).
+  struct WrapEntry {
+    CVar V;
+    int Depth;
+  };
+  /// Dominating selects per base var, a few entries each (the common
+  /// record is selected at 2-4 distinct indices). A shadowing inner-scope
+  /// set erases the whole per-base list on popTo — a missed CSE, never a
+  /// wrong one.
+  struct SelCseEntry {
+    int32_t Idx;
+    uint8_t IsFloat;
+    CVar W;
+    int Depth;
+  };
+  struct SelCseList {
+    static constexpr uint8_t kMax = 4;
+    SelCseEntry E[kMax];
+    uint8_t N = 0;
+  };
+  /// Dominating general-record allocations, keyed by the first variable
+  /// field (identical records share it by construction). Matching
+  /// re-resolves the stored node's fields, so entries stay valid across
+  /// later substitutions.
+  struct RecCseEntry {
+    const Cexp *R;
+    int Depth;
+  };
+  struct RecCseList {
+    static constexpr uint8_t kMax = 4;
+    RecCseEntry E[kMax];
+    uint8_t N = 0;
+  };
+  /// Field equality for record CSE. Conservatively only var and int
+  /// fields compare equal: reals carry NaN and pad-slot encodings, and
+  /// strings/labels never appear duplicated enough to matter.
+  static bool sameValue(const CValue &A, const CValue &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case CValue::Kind::Var:
+      return A.V == B.V;
+    case CValue::Kind::Int:
+      return A.I == B.I;
+    default:
+      return false;
+    }
+  }
+  ScopedMap<WrapEntry> WrapBoxOf;
+  ScopedMap<SelCseList> UnwrapOf;
+  ScopedMap<RecCseList> RecordsOf;
+  int WrapDepth = 0;       ///< current function-nesting depth in the sweep
+  bool InLoopBody = false; ///< innermost enclosing function self-recurses
+  DenseVarMap<uint8_t> HoistSeen; ///< loop-local binders during hoist scan
+  bool EtaOn = false, FagOn = false, WrapOn = false, HoistOn = false;
+  bool NewRuleFired = false; ///< a fixpoint-era rule fired this phase
+
   uint64_t Contractions = 0;
   bool PlanActive = false;
   CVar PhaseFloor = 0; ///< Vars at/above this were created this phase.
@@ -2516,6 +3110,14 @@ Cexp *smltc::optimizeCps(Arena &A, const CompilerOptions &Opts,
   T.EtaConts.fetch_add(Stats.EtaConts, std::memory_order_relaxed);
   T.KnownFnsFlattened.fetch_add(Stats.KnownFnsFlattened,
                                 std::memory_order_relaxed);
+  T.EtaFuns.fetch_add(Stats.EtaFuns, std::memory_order_relaxed);
+  T.CensusFlattened.fetch_add(Stats.CensusFlattened,
+                              std::memory_order_relaxed);
+  T.WrapCancelChains.fetch_add(Stats.WrapCancelChains,
+                               std::memory_order_relaxed);
+  T.WrapCancelLoopCarried.fetch_add(Stats.WrapCancelLoopCarried,
+                                    std::memory_order_relaxed);
+  T.HoistedAllocs.fetch_add(Stats.HoistedAllocs, std::memory_order_relaxed);
   T.Rounds.fetch_add(Stats.Rounds, std::memory_order_relaxed);
   T.WorklistPasses.fetch_add(Stats.WorklistPasses, std::memory_order_relaxed);
   T.ExpandPasses.fetch_add(Stats.ExpandPasses, std::memory_order_relaxed);
@@ -2523,6 +3125,8 @@ Cexp *smltc::optimizeCps(Arena &A, const CompilerOptions &Opts,
                          std::memory_order_relaxed);
   if (Stats.HitRoundCap)
     T.RoundCapHits.fetch_add(1, std::memory_order_relaxed);
+  if (Stats.HitSafetyCeiling)
+    T.SafetyCeilingHits.fetch_add(1, std::memory_order_relaxed);
   return Program;
 }
 
@@ -2563,6 +3167,16 @@ void smltc::registerCpsOptMetrics(obs::Registry &R) {
     "continuations eta-reduced");
   C("smltcc_cps_opt_fns_flattened_total", T.KnownFnsFlattened,
     "known functions argument-flattened");
+  C("smltcc_cps_opt_eta_funs_total", T.EtaFuns,
+    "forwarding functions eta-reduced (fixpoint rule)");
+  C("smltcc_cps_opt_census_flattened_total", T.CensusFlattened,
+    "functions flattened by the census-driven fag rule");
+  C("smltcc_cps_opt_wrap_cancel_chains_total", T.WrapCancelChains,
+    "non-adjacent wrap dedups and unwrap CSEs (fixpoint rule)");
+  C("smltcc_cps_opt_wrap_cancel_loop_carried_total", T.WrapCancelLoopCarried,
+    "wrap cancellations of per-iteration allocations in loop nests");
+  C("smltcc_cps_opt_hoisted_allocs_total", T.HoistedAllocs,
+    "closed allocations hoisted out of known-function loops");
   C("smltcc_cps_opt_rounds_total", T.Rounds,
     "rounds-engine census+rewrite rounds");
   C("smltcc_cps_opt_worklist_passes_total", T.WorklistPasses,
@@ -2573,4 +3187,9 @@ void smltc::registerCpsOptMetrics(obs::Registry &R) {
     "arena bytes allocated while optimizing");
   C("smltcc_cps_opt_round_cap_hits_total", T.RoundCapHits,
     "optimizations stopped at the round/phase cap");
+  C("smltcc_cps_opt_safety_ceiling_hits_total", T.SafetyCeilingHits,
+    "fixpoint runs aborted at the phase safety ceiling");
+  R.registerHistogram("smltcc_cps_opt_fixpoint_phases",
+                      shrinkPhaseHistogram(),
+                      "shrink-engine phases to reach normal form");
 }

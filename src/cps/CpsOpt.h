@@ -53,6 +53,17 @@ struct CpsOptStats {
   size_t InlinedSmall = 0;
   size_t EtaConts = 0;
   size_t KnownFnsFlattened = 0;
+  // Fixpoint-era shrink rules (fire only when CpsOptMaxPhases == 0):
+  size_t EtaFuns = 0;          ///< generalized eta of forwarding functions
+  size_t CensusFlattened = 0;  ///< census-driven (untyped) arg flattening;
+                               ///< also counted in KnownFnsFlattened
+  size_t WrapCancelChains = 0; ///< non-adjacent wrap dedup / unwrap CSE
+  /// The subset of WrapCancelChains that cancelled a per-iteration
+  /// allocation or select inside a loop nest (fired through the
+  /// loop-body gate rather than same-depth or last-use). These carry
+  /// the dynamic-instruction wins; the bench gate keys on them.
+  size_t WrapCancelLoopCarried = 0;
+  size_t HoistedAllocs = 0;    ///< closed allocs hoisted out of known loops
   size_t WorklistPasses = 0; ///< shrink engine: contraction sweeps run
   size_t ExpandPasses = 0;   ///< shrink engine: inline/flatten phases run
   /// Arena payload bytes before/after the optimizer ran; the difference is
@@ -65,6 +76,11 @@ struct CpsOptStats {
   /// The engine stopped at its round/phase cap while reductions were still
   /// firing (previously a silent non-convergence).
   bool HitRoundCap = false;
+  /// Fixpoint mode only: the shrink engine was still contracting when it
+  /// reached the safety ceiling. The driver turns this into a compile
+  /// error — contraction rules provably shrink, so this is a rule bug,
+  /// not a program property.
+  bool HitSafetyCeiling = false;
 };
 
 /// Optimizes a CPS program in place (functionally: returns the new root).
@@ -87,11 +103,17 @@ struct CpsOptTotals {
   std::atomic<uint64_t> InlinedSmall{0};
   std::atomic<uint64_t> EtaConts{0};
   std::atomic<uint64_t> KnownFnsFlattened{0};
+  std::atomic<uint64_t> EtaFuns{0};
+  std::atomic<uint64_t> CensusFlattened{0};
+  std::atomic<uint64_t> WrapCancelChains{0};
+  std::atomic<uint64_t> WrapCancelLoopCarried{0};
+  std::atomic<uint64_t> HoistedAllocs{0};
   std::atomic<uint64_t> Rounds{0};
   std::atomic<uint64_t> WorklistPasses{0};
   std::atomic<uint64_t> ExpandPasses{0};
   std::atomic<uint64_t> ArenaBytes{0};
   std::atomic<uint64_t> RoundCapHits{0};
+  std::atomic<uint64_t> SafetyCeilingHits{0};
 };
 
 CpsOptTotals &cpsOptTotals();

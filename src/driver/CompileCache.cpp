@@ -32,11 +32,13 @@ template <typename T> void appendPod(std::string &Key, T V) {
 /// Bump when canonicalJobKey gains, loses, or reorders a field — the
 /// salt is part of every key, so persisted entries written under the old
 /// layout can never alias entries under the new one.
-constexpr int kOptionsSchemaVersion = 5;
+constexpr int kOptionsSchemaVersion = 6;
 /// Bump on releases that change generated code for identical inputs, or
 /// the layout of the persisted CompileOutput blob (CompileMetrics is
 /// stored as a sized memcpy, so growing it invalidates old entries).
-constexpr const char *kCompilerVersion = "smltc-0.7.0";
+/// 0.8.0: the shrink engine runs to fixpoint by default, so optimized
+/// programs differ from every 0.7.x build.
+constexpr const char *kCompilerVersion = "smltc-0.8.0";
 
 } // namespace
 
@@ -93,6 +95,10 @@ std::string smltc::canonicalJobKey(const std::string &Source,
   appendPod(Key, static_cast<uint8_t>(Opts.KeepDumps));
   appendPod(Key, static_cast<int32_t>(Opts.MaxSpreadArgs));
   appendPod(Key, static_cast<int32_t>(Opts.GpCalleeSaves));
+  // Fixpoint-era optimizer knobs (schema v6): both change the optimized
+  // program, so entries must not alias across them.
+  appendPod(Key, static_cast<int32_t>(Opts.CpsOptMaxPhases));
+  appendPod(Key, static_cast<uint8_t>(Opts.CpsOptDisable));
   Key += '\0';
   Key += Source;
   return Key;

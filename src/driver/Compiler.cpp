@@ -288,6 +288,19 @@ CompileOutput Compiler::compileImpl(const std::string &Source,
     Out.Metrics.TotalSec = secondsSince(TStart);
     return Out;
   }
+  if (Out.Metrics.Opt.HitSafetyCeiling) {
+    // Contraction rules provably shrink the term, so a fixpoint run that
+    // is still firing at the ceiling is an optimizer bug, not a program
+    // property. Fail loudly rather than ship a half-contracted program.
+    Out.Errors =
+        "internal: CPS optimizer failed to converge within " +
+        std::to_string(Out.Metrics.Opt.Rounds) +
+        " phases (safety ceiling); rerun with --cps-opt-max-phases=10 "
+        "to restore the bounded legacy cadence and report this program";
+    Out.Metrics.BackSec = secondsSince(TBack);
+    Out.Metrics.TotalSec = secondsSince(TStart);
+    return Out;
+  }
   auto TClosure = std::chrono::steady_clock::now();
   ClosureResult Closed;
   {

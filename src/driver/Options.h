@@ -33,6 +33,18 @@ enum class PreludeMode : uint8_t {
   Inline,   ///< legacy: prepend the prelude source text to the job
 };
 
+/// Individually ablatable fixpoint-era contraction rules of the shrink
+/// engine (--cps-opt-disable=). These rules are active only in fixpoint
+/// mode (CpsOptMaxPhases == 0): a bounded phase cap reproduces the legacy
+/// cadence bit-for-bit, so the new rules disengage there.
+enum CpsOptRule : uint8_t {
+  kCpsRuleEta = 1,        ///< eta reduction of forwarding functions/conts
+  kCpsRuleFag = 2,        ///< census-driven known-fn argument flattening
+  kCpsRuleWrapCancel = 4, ///< wrap/unwrap cancellation breadth (dedup)
+  kCpsRuleHoist = 8,      ///< invariant alloc hoisting out of known loops
+  kCpsRuleAll = 0xF,
+};
+
 struct CompilerOptions {
   const char *VariantName = "custom";
 
@@ -86,6 +98,18 @@ struct CompilerOptions {
   /// General-purpose callee-save registers (all variants use 3, after
   /// Appel & Shao [6]).
   int GpCalleeSaves = 3;
+
+  /// Shrink-engine phase budget (--cps-opt-max-phases=). 0 (the default)
+  /// runs contraction to a true fixpoint behind a large safety ceiling
+  /// that turns non-convergence into a compile error instead of a hang.
+  /// N > 0 caps the cadence; 10 reproduces the legacy PR 5 cadence
+  /// bit-for-bit (the fixpoint-era rules below disengage). Ignored by
+  /// the `rounds` oracle engine, which always runs the legacy cadence.
+  int CpsOptMaxPhases = 0;
+  /// Bitmask of CpsOptRule values disabled for ablation
+  /// (--cps-opt-disable=eta,fag,wrapcancel,hoist). Only meaningful in
+  /// fixpoint mode.
+  uint8_t CpsOptDisable = 0;
 
   static CompilerOptions nrp() {
     CompilerOptions O;

@@ -4,6 +4,7 @@
 #include "cps/Cps.h"
 #include "cps/CpsCheck.h"
 #include "cps/CpsOpt.h"
+#include "driver/CompileCache.h"
 #include "driver/Compiler.h"
 #include "driver/Options.h"
 #include "support/Arena.h"
@@ -269,14 +270,13 @@ INSTANTIATE_TEST_SUITE_P(
                                              : std::string("Shrink");
     });
 
-TEST_P(CpsOptFixture, RoundCapFlagOnDeepDeadChain) {
-  // A 12-deep chain of dead records: each layer only becomes dead once
-  // the layer above it is removed, and a binding already visited (and
-  // kept) this pass is never revisited. Both engines therefore peel one
-  // layer per round/phase — deliberately, since the shrink engine mirrors
-  // the rounds cadence decision-for-decision — so a chain deeper than the
-  // round cap must leave work behind and say so via HitRoundCap.
-  constexpr int Depth = 12;
+namespace {
+
+/// A Depth-deep chain of dead records: each layer only becomes dead once
+/// the layer above it is removed, and a binding already visited (and
+/// kept) this pass is never revisited, so the engines peel exactly one
+/// layer per round/phase.
+Cexp *deadRecordChain(CpsBuilder &B, int Depth) {
   std::vector<CVar> Vs;
   for (int I = 0; I < Depth; ++I)
     Vs.push_back(B.fresh());
@@ -285,9 +285,41 @@ TEST_P(CpsOptFixture, RoundCapFlagOnDeepDeadChain) {
     CValue Field = (I == 0) ? CValue::intC(1) : CValue::var(Vs[I - 1]);
     P = B.record(RecordKind::Std, {{Field, false}}, Vs[I], P);
   }
-  Cexp *R = optimize(P);
+  return P;
+}
+
+} // namespace
+
+TEST_P(CpsOptFixture, RoundCapFlagOnDeepDeadChainWhenCapped) {
+  // In capped mode (--cps-opt-max-phases=10, the legacy PR 5 cadence) a
+  // chain deeper than the cap must leave work behind and say so via
+  // HitRoundCap. The rounds engine always runs the bounded cadence.
+  CompilerOptions O = CompilerOptions::ffb();
+  O.CpsOptMaxPhases = 10;
+  Cexp *R = optimize(deadRecordChain(B, 12), O);
   EXPECT_TRUE(Stats.HitRoundCap);
   EXPECT_NE(R->K, Cexp::Kind::Halt); // dead layers were left behind
+}
+
+TEST(CpsOptFixpoint, FixpointDrainsDeepDeadChain) {
+  // The fixpoint default (CpsOptMaxPhases == 0) keeps peeling until the
+  // chain is gone — the standing HitRoundCap of the capped era cannot
+  // happen, and the safety ceiling is nowhere near.
+  Arena A;
+  CpsBuilder B{A};
+  CpsOptStats Stats;
+  CompilerOptions O = CompilerOptions::ffb();
+  O.CpsOpt = CpsOptEngine::Shrink;
+  ASSERT_EQ(O.CpsOptMaxPhases, 0);
+  CVar MaxVar;
+  Cexp *P = deadRecordChain(B, 40);
+  MaxVar = B.maxVar();
+  Cexp *R = optimizeCps(A, O, P, MaxVar, Stats);
+  ASSERT_TRUE(checkCps(R).Ok);
+  EXPECT_EQ(R->K, Cexp::Kind::Halt);
+  EXPECT_FALSE(Stats.HitRoundCap);
+  EXPECT_FALSE(Stats.HitSafetyCeiling);
+  EXPECT_GE(Stats.Rounds, 40);
 }
 
 namespace {
@@ -302,10 +334,13 @@ struct AuditGuard {
 } // namespace
 
 // The differential harness: both engines, over the full 12-program x
-// 6-variant matrix, must produce programs with identical observable
-// behavior AND identical dynamic instruction counts — the shrink engine
-// is a faster route to the same normal form, not a different optimizer.
-// (checkCps runs inside Compiler::compile on every optimized program.)
+// 6-variant matrix, must produce programs with identical VM observables
+// (result, output, exception/trap state, store-barrier counts). Because
+// the fixpoint-era rules legitimately change the program, the oracle is
+// semantic identity plus a ratchet — the fixpoint engine may only ever
+// execute fewer dynamic instructions than the bounded legacy cadence,
+// never more. (checkCps runs inside Compiler::compile on every
+// optimized program.)
 TEST(CpsOptDifferential, EnginesAgreeOnCorpusMatrix) {
   size_t NumVariants = 0;
   const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
@@ -321,12 +356,71 @@ TEST(CpsOptDifferential, EnginesAgreeOnCorpusMatrix) {
       ExecResult SR = Compiler::compileAndRun(P.Source, ShrinkOpts);
       ASSERT_TRUE(RR.Ok);
       ASSERT_TRUE(SR.Ok);
+      EXPECT_FALSE(RR.Trapped);
+      EXPECT_FALSE(SR.Trapped);
       EXPECT_FALSE(RR.UncaughtException);
       EXPECT_FALSE(SR.UncaughtException);
       EXPECT_EQ(RR.Result, P.ExpectedResult);
       EXPECT_EQ(SR.Result, RR.Result);
       EXPECT_EQ(SR.Output, RR.Output);
+      EXPECT_EQ(SR.Metrics.BarrierStores, RR.Metrics.BarrierStores);
+      EXPECT_LE(SR.Instructions, RR.Instructions);
+    }
+  }
+}
+
+// Capped mode is the compatibility escape hatch: with
+// --cps-opt-max-phases=10 the shrink engine must restore the exact
+// PR 5 oracle — programs whose dynamic instruction counts equal the
+// rounds engine's on the whole matrix, with every fixpoint-era rule
+// disengaged. (Byte identity holds against the PR 5 *shrink* cadence —
+// verified against the prior release out of tree — but not against
+// rounds: the two engines reached instruction-count-identical normal
+// forms with different variable numbering on sml.fag rows even then.)
+TEST(CpsOptDifferential, CappedModeRestoresLegacyCadence) {
+  size_t NumVariants = 0;
+  const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
+  for (const BenchmarkProgram &P : benchmarkCorpus()) {
+    for (size_t I = 0; I < NumVariants; ++I) {
+      SCOPED_TRACE(std::string(P.Name) + " / " + Variants[I].VariantName);
+      CompilerOptions RoundsOpts = Variants[I];
+      RoundsOpts.CpsOpt = CpsOptEngine::Rounds;
+      CompilerOptions CappedOpts = Variants[I];
+      CappedOpts.CpsOpt = CpsOptEngine::Shrink;
+      CappedOpts.CpsOptMaxPhases = 10;
+      CompileOutput CO = Compiler::compile(P.Source, CappedOpts);
+      ASSERT_TRUE(CO.Ok) << CO.Errors;
+      EXPECT_EQ(CO.Metrics.Opt.EtaFuns, 0u);
+      EXPECT_EQ(CO.Metrics.Opt.CensusFlattened, 0u);
+      EXPECT_EQ(CO.Metrics.Opt.WrapCancelChains, 0u);
+      EXPECT_EQ(CO.Metrics.Opt.HoistedAllocs, 0u);
+      ExecResult RR = Compiler::compileAndRun(P.Source, RoundsOpts);
+      ExecResult SR = Compiler::compileAndRun(P.Source, CappedOpts);
+      ASSERT_TRUE(RR.Ok);
+      ASSERT_TRUE(SR.Ok);
+      EXPECT_EQ(SR.Result, RR.Result);
+      EXPECT_EQ(SR.Output, RR.Output);
       EXPECT_EQ(SR.Instructions, RR.Instructions);
+    }
+  }
+}
+
+// After fixpoint landed, no corpus job may stop early: the standing
+// HitRoundCap on Ray is fixed, and nothing is anywhere near the safety
+// ceiling.
+TEST(CpsOptDifferential, NoCorpusRowHitsCapOrCeiling) {
+  size_t NumVariants = 0;
+  const CompilerOptions *Variants = CompilerOptions::allVariants(NumVariants);
+  for (const BenchmarkProgram &P : benchmarkCorpus()) {
+    for (size_t I = 0; I < NumVariants; ++I) {
+      SCOPED_TRACE(std::string(P.Name) + " / " + Variants[I].VariantName);
+      CompilerOptions O = Variants[I];
+      O.CpsOpt = CpsOptEngine::Shrink;
+      ASSERT_EQ(O.CpsOptMaxPhases, 0);
+      CompileOutput Out = Compiler::compile(P.Source, O);
+      ASSERT_TRUE(Out.Ok) << Out.Errors;
+      EXPECT_FALSE(Out.Metrics.Opt.HitRoundCap);
+      EXPECT_FALSE(Out.Metrics.Opt.HitSafetyCeiling);
     }
   }
 }
@@ -335,6 +429,264 @@ TEST(CpsOptDifferential, EnginesAgreeOnCorpusMatrix) {
 // after every worklist drain and compares against the incrementally
 // maintained tables. Any divergence is a bug in a contraction's count
 // bookkeeping.
+//===----------------------------------------------------------------------===//
+// Fixpoint-era rule unit tests. These rules fire only under the shrink
+// engine in fixpoint mode (the default), so they are not parameterized
+// over engines.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct FixpointFixture : ::testing::Test {
+  Arena A;
+  CpsBuilder B{A};
+  CpsOptStats Stats;
+
+  Cexp *optimize(Cexp *E, CompilerOptions O = CompilerOptions::ffb()) {
+    O.CpsOpt = CpsOptEngine::Shrink;
+    EXPECT_EQ(O.CpsOptMaxPhases, 0); // fixpoint default
+    CVar MaxVar = B.maxVar();
+    Cexp *R = optimizeCps(A, O, E, MaxVar, Stats);
+    EXPECT_TRUE(checkCps(R).Ok);
+    return R;
+  }
+};
+
+} // namespace
+
+namespace {
+
+/// fun g(x, kk) = kk(x + 1) — a non-forwarding target — and
+/// fun f(x, kk) = g(x, kk) — a pure forwarder. Both get two call sites
+/// (branching on an escaping function's parameter keeps the counts at
+/// two so neither is once-inlined), so eta is the only rule that can
+/// remove f. Returns the program root.
+Cexp *forwarderPair(CpsBuilder &B) {
+  CVar G = B.fresh(), GX = B.fresh(), GK = B.fresh(), GW = B.fresh();
+  CVar F = B.fresh(), FX = B.fresh(), FK = B.fresh();
+  CVar H = B.fresh(), HZ = B.fresh();
+  CVar Wrap = B.fresh(), WP = B.fresh(), WK = B.fresh(), Live = B.fresh();
+  CFun *GFn = B.fun(CFun::Kind::Known, G, {GX, GK},
+                    {Cty::intTy(), Cty::cntTy()},
+                    B.arith(CpsOp::IAdd, {CValue::var(GX), CValue::intC(1)},
+                            GW, Cty::intTy(),
+                            B.app(CValue::var(GK), {CValue::var(GW)})));
+  CFun *FFn = B.fun(CFun::Kind::Known, F, {FX, FK},
+                    {Cty::intTy(), Cty::cntTy()},
+                    B.app(CValue::var(G),
+                          {CValue::var(FX), CValue::var(FK)}));
+  CFun *HCnt = B.fun(CFun::Kind::Cont, H, {HZ}, {Cty::intTy()},
+                     B.halt(CValue::var(HZ)));
+  CFun *WFn = B.fun(
+      CFun::Kind::Escape, Wrap, {WP, WK}, {Cty::intTy(), Cty::cntTy()},
+      B.fix(
+          {HCnt},
+          B.fix({GFn, FFn},
+                B.branch(BranchOp::Ilt, {CValue::var(WP), CValue::intC(0)},
+                         B.app(CValue::var(F),
+                               {CValue::intC(1), CValue::var(H)}),
+                         B.branch(BranchOp::Ilt,
+                                  {CValue::var(WP), CValue::intC(5)},
+                                  B.app(CValue::var(F),
+                                        {CValue::intC(2), CValue::var(H)}),
+                                  B.app(CValue::var(G),
+                                        {CValue::intC(3),
+                                         CValue::var(H)}))))));
+  return B.fix({WFn}, B.record(RecordKind::Std,
+                               {{CValue::var(Wrap), false}}, Live,
+                               B.halt(CValue::var(Live))));
+}
+
+} // namespace
+
+TEST_F(FixpointFixture, EtaReducesForwardingFunctions) {
+  Cexp *P = forwarderPair(B);
+  CompilerOptions O = CompilerOptions::ffb();
+  O.InlineSmallFns = false; // keep the forwarder from being inlined away
+  optimize(P, O);
+  EXPECT_GE(Stats.EtaFuns, 1u);
+}
+
+TEST_F(FixpointFixture, EtaRuleRespectsAblationFlag) {
+  Cexp *P = forwarderPair(B);
+  CompilerOptions O = CompilerOptions::ffb();
+  O.InlineSmallFns = false;
+  O.CpsOptDisable = kCpsRuleEta;
+  optimize(P, O);
+  EXPECT_EQ(Stats.EtaFuns, 0u);
+}
+
+TEST_F(FixpointFixture, CensusFlattensUntypedRecordArgs) {
+  // The census-driven sml.fag rule: the parameter type is ptrUnknown (no
+  // typed length), but every call site passes a 2-record built in scope
+  // and the body selects every component — flattening is proven by the
+  // census, not the types.
+  CVar F = B.fresh(), P1 = B.fresh(), K = B.fresh();
+  CVar S0 = B.fresh(), S1 = B.fresh(), W = B.fresh();
+  Cexp *Body = B.select(
+      0, false, CValue::var(P1), S0, Cty::intTy(),
+      B.select(1, false, CValue::var(P1), S1, Cty::intTy(),
+               B.arith(CpsOp::IAdd, {CValue::var(S0), CValue::var(S1)}, W,
+                       Cty::intTy(),
+                       B.app(CValue::var(K), {CValue::var(W)}))));
+  CFun *Fn = B.fun(CFun::Kind::Known, F, {P1, K},
+                   {Cty::ptrUnknown(), Cty::cntTy()}, Body);
+  CVar RK = B.fresh(), RX = B.fresh();
+  CVar Arg1 = B.fresh(), Arg2 = B.fresh();
+  CFun *Ret = B.fun(CFun::Kind::Cont, RK, {RX}, {Cty::intTy()},
+                    B.app(CValue::var(F),
+                          {CValue::var(Arg2), CValue::var(RK)}));
+  auto MakeArg = [&](CVar V, Cexp *Cont) {
+    return B.record(RecordKind::Std,
+                    {{CValue::intC(5), false}, {CValue::intC(6), false}}, V,
+                    Cont);
+  };
+  Cexp *P = MakeArg(
+      Arg1, MakeArg(Arg2, B.fix({Fn}, B.fix({Ret},
+                                            B.app(CValue::var(F),
+                                                  {CValue::var(Arg1),
+                                                   CValue::var(RK)})))));
+  CompilerOptions O = CompilerOptions::fag();
+  O.InlineSmallFns = false;
+  optimize(P, O);
+  EXPECT_GE(Stats.CensusFlattened, 1u);
+}
+
+TEST_F(FixpointFixture, CensusFlatteningRefusesEscapingAlias) {
+  // Same shape, but the body also stores the record parameter into
+  // another record — the alias escapes, so the parameter is not
+  // only-word-selected and the rewrite must refuse.
+  CVar F = B.fresh(), P1 = B.fresh(), K = B.fresh();
+  CVar S0 = B.fresh(), S1 = B.fresh(), W = B.fresh(), Esc = B.fresh();
+  Cexp *Body = B.select(
+      0, false, CValue::var(P1), S0, Cty::intTy(),
+      B.select(
+          1, false, CValue::var(P1), S1, Cty::intTy(),
+          B.record(RecordKind::Std, {{CValue::var(P1), false}}, Esc,
+                   B.arith(CpsOp::IAdd, {CValue::var(S0), CValue::var(Esc)},
+                           W, Cty::intTy(),
+                           B.app(CValue::var(K), {CValue::var(W)})))));
+  CFun *Fn = B.fun(CFun::Kind::Known, F, {P1, K},
+                   {Cty::ptrUnknown(), Cty::cntTy()}, Body);
+  CVar RK = B.fresh(), RX = B.fresh();
+  CVar Arg1 = B.fresh(), Arg2 = B.fresh();
+  CFun *Ret = B.fun(CFun::Kind::Cont, RK, {RX}, {Cty::intTy()},
+                    B.app(CValue::var(F),
+                          {CValue::var(Arg2), CValue::var(RK)}));
+  auto MakeArg = [&](CVar V, Cexp *Cont) {
+    return B.record(RecordKind::Std,
+                    {{CValue::intC(5), false}, {CValue::intC(6), false}}, V,
+                    Cont);
+  };
+  Cexp *P = MakeArg(
+      Arg1, MakeArg(Arg2, B.fix({Fn}, B.fix({Ret},
+                                            B.app(CValue::var(F),
+                                                  {CValue::var(Arg1),
+                                                   CValue::var(RK)})))));
+  CompilerOptions O = CompilerOptions::fag();
+  O.InlineSmallFns = false;
+  optimize(P, O);
+  EXPECT_EQ(Stats.CensusFlattened, 0u);
+}
+
+TEST_F(FixpointFixture, WrapDedupCancelsNonAdjacentRewrap) {
+  // Two boxes of the same raw float with an intervening use: the second
+  // wrap reuses the first even though no unwrap sits between them (the
+  // adjacent-pair rule of Section 5.2 cannot see this shape).
+  CVar F = B.fresh(), Raw = B.fresh(), K = B.fresh();
+  CVar B1 = B.fresh(), Mid = B.fresh(), B2 = B.fresh(), Out = B.fresh();
+  Cexp *Body = B.record(
+      RecordKind::FloatBox, {{CValue::var(Raw), true}}, B1,
+      B.record(RecordKind::Std, {{CValue::var(B1), false}}, Mid,
+               B.record(RecordKind::FloatBox, {{CValue::var(Raw), true}}, B2,
+                        B.record(RecordKind::Std,
+                                 {{CValue::var(Mid), false},
+                                  {CValue::var(B2), false}},
+                                 Out, B.app(CValue::var(K),
+                                            {CValue::var(Out)})))));
+  CFun *Fn = B.fun(CFun::Kind::Escape, F, {Raw, K},
+                   {Cty::fltTy(), Cty::cntTy()}, Body);
+  CVar W = B.fresh();
+  Cexp *P = B.fix({Fn}, B.record(RecordKind::Std,
+                                 {{CValue::var(F), false}}, W,
+                                 B.halt(CValue::var(W))));
+  CompilerOptions O = CompilerOptions::ffb();
+  ASSERT_TRUE(O.CpsWrapCancel);
+  optimize(P, O);
+  EXPECT_GE(Stats.WrapCancelChains, 1u);
+}
+
+TEST_F(FixpointFixture, SelectCseCancelsRepeatedUnwrap) {
+  // Two selects of the same index from the same unknown-definition base:
+  // the second folds onto the first.
+  CVar F = B.fresh(), P1 = B.fresh(), K = B.fresh();
+  CVar S1 = B.fresh(), Mid = B.fresh(), S2 = B.fresh(), Out = B.fresh();
+  Cexp *Body = B.select(
+      0, false, CValue::var(P1), S1, Cty::intTy(),
+      B.record(RecordKind::Std, {{CValue::var(S1), false}}, Mid,
+               B.select(0, false, CValue::var(P1), S2, Cty::intTy(),
+                        B.record(RecordKind::Std,
+                                 {{CValue::var(Mid), false},
+                                  {CValue::var(S2), false}},
+                                 Out, B.app(CValue::var(K),
+                                            {CValue::var(Out)})))));
+  CFun *Fn = B.fun(CFun::Kind::Escape, F, {P1, K},
+                   {Cty::ptrUnknown(), Cty::cntTy()}, Body);
+  CVar W = B.fresh();
+  Cexp *P = B.fix({Fn}, B.record(RecordKind::Std,
+                                 {{CValue::var(F), false}}, W,
+                                 B.halt(CValue::var(W))));
+  optimize(P);
+  EXPECT_GE(Stats.WrapCancelChains, 1u);
+}
+
+TEST_F(FixpointFixture, HoistsClosedAllocFromLoopPrefix) {
+  // A self-recursive known function whose body allocates a closed record
+  // in its straight-line prefix: the alloc moves above the Fix and runs
+  // once per loop entry instead of once per iteration.
+  CVar Loop = B.fresh(), X = B.fresh(), K = B.fresh(), R = B.fresh();
+  Cexp *Body = B.record(
+      RecordKind::Std,
+      {{CValue::intC(1), false}, {CValue::intC(2), false}}, R,
+      B.app(CValue::var(Loop), {CValue::var(R), CValue::var(K)}));
+  CFun *Fn = B.fun(CFun::Kind::Known, Loop, {X, K},
+                   {Cty::ptrUnknown(), Cty::cntTy()}, Body);
+  CVar RK = B.fresh(), RX = B.fresh();
+  CFun *Ret = B.fun(CFun::Kind::Cont, RK, {RX}, {Cty::intTy()},
+                    B.halt(CValue::var(RX)));
+  Cexp *P = B.fix({Ret}, B.fix({Fn}, B.app(CValue::var(Loop),
+                                           {CValue::intC(0),
+                                            CValue::var(RK)})));
+  optimize(P);
+  EXPECT_GE(Stats.HoistedAllocs, 1u);
+}
+
+TEST_F(FixpointFixture, HoistRefusesPastEffectfulAlloc) {
+  // A Ref allocation is observably fresh per iteration: it is a barrier,
+  // and the closed record behind it must stay put.
+  CVar Loop = B.fresh(), X = B.fresh(), K = B.fresh();
+  CVar Cell = B.fresh(), R = B.fresh(), Pair = B.fresh();
+  Cexp *Body = B.record(
+      RecordKind::Ref, {{CValue::intC(0), false}}, Cell,
+      B.record(RecordKind::Std,
+               {{CValue::intC(1), false}, {CValue::intC(2), false}}, R,
+               B.record(RecordKind::Std,
+                        {{CValue::var(Cell), false}, {CValue::var(R), false}},
+                        Pair,
+                        B.app(CValue::var(Loop),
+                              {CValue::var(Pair), CValue::var(K)}))));
+  CFun *Fn = B.fun(CFun::Kind::Known, Loop, {X, K},
+                   {Cty::ptrUnknown(), Cty::cntTy()}, Body);
+  CVar RK = B.fresh(), RX = B.fresh();
+  CFun *Ret = B.fun(CFun::Kind::Cont, RK, {RX}, {Cty::intTy()},
+                    B.halt(CValue::var(RX)));
+  Cexp *P = B.fix({Ret}, B.fix({Fn}, B.app(CValue::var(Loop),
+                                           {CValue::intC(0),
+                                            CValue::var(RK)})));
+  optimize(P);
+  EXPECT_EQ(Stats.HoistedAllocs, 0u);
+}
+
 TEST(CpsOptDifferential, IncrementalCensusMatchesFullRecount) {
   AuditGuard Guard;
   for (const char *Variant : {"sml.ffb", "sml.fag", "sml.nrp"}) {

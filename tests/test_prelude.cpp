@@ -258,12 +258,21 @@ TEST(PreludeDifferential, CacheKeyFoldsInFingerprintAndMode) {
     EXPECT_NE(F, fnv1a64(PreludeSnapshot::sourceText()));
   }
 
-  // Schema salt: entries persisted by pre-snapshot builds (schema v4 /
-  // 0.6.x) can never alias the new keys.
+  // The fixpoint-era optimizer knobs change the generated program, so
+  // they must keep keys disjoint (schema v6).
+  CompilerOptions Capped = Snap;
+  Capped.CpsOptMaxPhases = 10;
+  EXPECT_NE(canonicalJobKey(Src, Capped, true), KSnap);
+  CompilerOptions Ablated = Snap;
+  Ablated.CpsOptDisable = kCpsRuleWrapCancel;
+  EXPECT_NE(canonicalJobKey(Src, Ablated, true), KSnap);
+
+  // Schema salt: entries persisted by pre-fixpoint builds (schema v5 /
+  // 0.7.x and older) can never alias the new keys.
   std::string Salt = compileCacheSalt();
-  EXPECT_NE(Salt.find("smltc-0.7.0"), std::string::npos) << Salt;
-  EXPECT_NE(Salt.find("optschema=5"), std::string::npos) << Salt;
-  EXPECT_EQ(KSnap.find("smltc-0.6.0"), std::string::npos);
+  EXPECT_NE(Salt.find("smltc-0.8.0"), std::string::npos) << Salt;
+  EXPECT_NE(Salt.find("optschema=6"), std::string::npos) << Salt;
+  EXPECT_EQ(KSnap.find("smltc-0.7.0"), std::string::npos);
 }
 
 // Entries written under the old key layout miss cleanly: a lookup against

@@ -241,6 +241,8 @@ struct TraceExport {
 int main(int Argc, char **Argv) {
   std::string VariantName = "ffb";
   CpsOptEngine OptEngine = CpsOptEngine::Shrink;
+  int CpsOptMaxPhases = 0;
+  uint8_t CpsOptDisable = 0;
   ExecBackend Backend = ExecBackend::Vm;
   PreludeMode Prelude = PreludeMode::Snapshot;
   std::string File;
@@ -274,6 +276,50 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "unknown cps-opt engine '%s' (shrink|rounds)\n",
                      En.c_str());
         return 64;
+      }
+    } else if (A.rfind("--cps-opt-max-phases=", 0) == 0) {
+      std::string V = A.substr(21);
+      if (V == "unbounded") {
+        CpsOptMaxPhases = 0;
+      } else {
+        char *End = nullptr;
+        long N = std::strtol(V.c_str(), &End, 10);
+        if (V.empty() || *End != '\0' || N < 1 || N > 100000) {
+          std::fprintf(stderr,
+                       "bad --cps-opt-max-phases '%s' (unbounded, or an "
+                       "integer in [1, 100000])\n",
+                       V.c_str());
+          return 64;
+        }
+        CpsOptMaxPhases = static_cast<int>(N);
+      }
+    } else if (A.rfind("--cps-opt-disable=", 0) == 0) {
+      std::string V = A.substr(18);
+      size_t Pos = 0;
+      while (Pos <= V.size()) {
+        size_t Comma = V.find(',', Pos);
+        std::string Rule = V.substr(
+            Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+        if (Rule == "eta")
+          CpsOptDisable |= kCpsRuleEta;
+        else if (Rule == "fag")
+          CpsOptDisable |= kCpsRuleFag;
+        else if (Rule == "wrapcancel")
+          CpsOptDisable |= kCpsRuleWrapCancel;
+        else if (Rule == "hoist")
+          CpsOptDisable |= kCpsRuleHoist;
+        else if (Rule == "all")
+          CpsOptDisable |= kCpsRuleAll;
+        else {
+          std::fprintf(stderr,
+                       "unknown rule '%s' in --cps-opt-disable "
+                       "(eta,fag,wrapcancel,hoist,all)\n",
+                       Rule.c_str());
+          return 64;
+        }
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
       }
     } else if (A.rfind("--backend=", 0) == 0) {
       std::string B = A.substr(10);
@@ -430,7 +476,10 @@ int main(int Argc, char **Argv) {
       RemoteShutdown = true;
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: smltcc [--variant=nrp|fag|rep|mtd|ffb|fp3] "
-                  "[--cps-opt=shrink|rounds] [--backend=vm|native] "
+                  "[--cps-opt=shrink|rounds] "
+                  "[--cps-opt-max-phases=N|unbounded] "
+                  "[--cps-opt-disable=eta,fag,wrapcancel,hoist] "
+                  "[--backend=vm|native] "
                   "[--prelude=snapshot|inline] "
                   "[--all] [--jobs=N] [--metrics] [--metrics-json] "
                   "[--vm-dispatch=threaded|switch|legacy] "
@@ -587,6 +636,8 @@ int main(int Argc, char **Argv) {
     Req.WithPrelude = WithPrelude;
     Req.Opts = *O;
     Req.Opts.CpsOpt = OptEngine;
+    Req.Opts.CpsOptMaxPhases = CpsOptMaxPhases;
+    Req.Opts.CpsOptDisable = CpsOptDisable;
     Req.Opts.Backend = Backend;
     Req.Opts.Prelude = Prelude;
     Req.Source = Source;
@@ -625,6 +676,8 @@ int main(int Argc, char **Argv) {
       BatchJobs[I].Source = Source;
       BatchJobs[I].Opts = Vs[I];
       BatchJobs[I].Opts.CpsOpt = OptEngine;
+      BatchJobs[I].Opts.CpsOptMaxPhases = CpsOptMaxPhases;
+      BatchJobs[I].Opts.CpsOptDisable = CpsOptDisable;
       BatchJobs[I].Opts.Backend = Backend;
       BatchJobs[I].Opts.Prelude = Prelude;
       BatchJobs[I].Opts.KeepDumps = DumpLexp || DumpCps;
@@ -651,6 +704,8 @@ int main(int Argc, char **Argv) {
   }
   CompilerOptions Opts = *O;
   Opts.CpsOpt = OptEngine;
+  Opts.CpsOptMaxPhases = CpsOptMaxPhases;
+  Opts.CpsOptDisable = CpsOptDisable;
   Opts.Backend = Backend;
   Opts.Prelude = Prelude;
   Opts.KeepDumps = DumpLexp || DumpCps;
